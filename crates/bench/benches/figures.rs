@@ -1,0 +1,73 @@
+//! Smoke-scale versions of the figure experiments, under criterion.
+//!
+//! These keep `cargo bench` honest about end-to-end experiment cost: one
+//! short run of the Fig. 4 dumbbell and one of the cellular workload for
+//! a representative scheme each. The full experiments (all schemes, many
+//! runs) live in the `src/bin/` harnesses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netsim::prelude::*;
+use remy::remycc::RemyCc;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    g.bench_function("fig4_one_run_remycc_5s", |b| {
+        let table = remy::assets::delta1();
+        let s = Scenario::dumbbell(
+            LinkSpec::constant(15.0),
+            QueueSpec::DropTail { capacity: 1000 },
+            8,
+            Ns::from_millis(150),
+            TrafficSpec::fig4(),
+            Ns::from_secs(5),
+            9,
+        );
+        b.iter(|| {
+            let r = run_scenario(&s, &|_| Box::new(RemyCc::new(Arc::clone(&table))));
+            black_box(r.packets_forwarded)
+        });
+    });
+
+    g.bench_function("fig4_one_run_cubic_5s", |b| {
+        let s = Scenario::dumbbell(
+            LinkSpec::constant(15.0),
+            QueueSpec::DropTail { capacity: 1000 },
+            8,
+            Ns::from_millis(150),
+            TrafficSpec::fig4(),
+            Ns::from_secs(5),
+            9,
+        );
+        b.iter(|| {
+            let r = run_scenario(&s, &|_| Box::new(congestion::Cubic::new()));
+            black_box(r.packets_forwarded)
+        });
+    });
+
+    g.bench_function("fig7_one_run_remycc_5s", |b| {
+        let table = remy::assets::delta1();
+        let schedule = traces::LteModel::verizon_like().generate(4, Ns::from_secs(20));
+        let s = Scenario::dumbbell(
+            LinkSpec::trace("lte", schedule),
+            QueueSpec::DropTail { capacity: 1000 },
+            4,
+            Ns::from_millis(50),
+            TrafficSpec::fig4(),
+            Ns::from_secs(5),
+            9,
+        );
+        b.iter(|| {
+            let r = run_scenario(&s, &|_| Box::new(RemyCc::new(Arc::clone(&table))));
+            black_box(r.packets_forwarded)
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion micro-benchmarks of the discrete-event simulator — the inner
+//! loop of Remy's design procedure, so events/second directly bounds
+//! training throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netsim::prelude::*;
+use std::hint::black_box;
+
+fn dumbbell(n: usize, secs: u64) -> Scenario {
+    Scenario::dumbbell(
+        LinkSpec::constant(15.0),
+        QueueSpec::DropTail { capacity: 1000 },
+        n,
+        Ns::from_millis(150),
+        TrafficSpec::saturating(),
+        Ns::from_secs(secs),
+        7,
+    )
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+
+    g.bench_function("saturating_1flow_5s", |b| {
+        let s = dumbbell(1, 5);
+        b.iter(|| {
+            let r = run_scenario(&s, &|_| Box::new(FixedWindow::new(100.0)));
+            black_box(r.packets_forwarded)
+        });
+    });
+
+    g.bench_function("saturating_8flows_5s", |b| {
+        let s = dumbbell(8, 5);
+        b.iter(|| {
+            let r = run_scenario(&s, &|_| Box::new(FixedWindow::new(50.0)));
+            black_box(r.packets_forwarded)
+        });
+    });
+
+    g.bench_function("onoff_newreno_4flows_5s", |b| {
+        let mut s = dumbbell(4, 5);
+        s.senders
+            .iter_mut()
+            .for_each(|cfg| cfg.traffic = TrafficSpec::fig4());
+        b.iter(|| {
+            let r = run_scenario(&s, &|_| Box::new(congestion::NewReno::new()));
+            black_box(r.packets_forwarded)
+        });
+    });
+
+    g.bench_function("trace_link_5s", |b| {
+        let schedule = traces::LteModel::verizon_like().generate(3, Ns::from_secs(30));
+        let s = Scenario::dumbbell(
+            LinkSpec::trace("lte", schedule),
+            QueueSpec::DropTail { capacity: 1000 },
+            2,
+            Ns::from_millis(50),
+            TrafficSpec::saturating(),
+            Ns::from_secs(5),
+            1,
+        );
+        b.iter(|| {
+            let r = run_scenario(&s, &|_| Box::new(FixedWindow::new(100.0)));
+            black_box(r.packets_forwarded)
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

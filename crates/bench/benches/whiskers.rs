@@ -1,0 +1,77 @@
+//! Criterion micro-benchmarks of the whisker tree: lookups run on every
+//! ACK at every sender, and tree clones gate candidate evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use remy::prelude::*;
+use std::hint::black_box;
+
+/// Build a tree with several levels of splits (~regions where real
+/// training puts them: small EWMAs, rtt_ratio near 1–4).
+fn deep_tree() -> WhiskerTree {
+    let mut t = WhiskerTree::single_rule();
+    let mut targets = vec![Memory {
+        ack_ewma_ms: 10.0,
+        send_ewma_ms: 10.0,
+        rtt_ratio: 2.0,
+    }];
+    for depth in 0..4 {
+        let mut next = Vec::new();
+        for m in targets {
+            let id = t.lookup(m).id;
+            if t.split(id, m) {
+                let step = 5.0 / (depth + 1) as f64;
+                next.push(Memory {
+                    ack_ewma_ms: m.ack_ewma_ms + step,
+                    send_ewma_ms: (m.send_ewma_ms - step / 2.0).max(0.1),
+                    rtt_ratio: (m.rtt_ratio - 0.3).max(0.1),
+                });
+            }
+        }
+        targets = next;
+        if targets.is_empty() {
+            break;
+        }
+    }
+    t
+}
+
+fn bench_whiskers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("whiskers");
+    let tree = deep_tree();
+    let points: Vec<Memory> = (0..256)
+        .map(|i| Memory {
+            ack_ewma_ms: (i as f64 * 1.37) % 200.0,
+            send_ewma_ms: (i as f64 * 0.91) % 150.0,
+            rtt_ratio: 1.0 + (i as f64 * 0.11) % 8.0,
+        })
+        .collect();
+
+    g.bench_function("lookup_256_points", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &p in &points {
+                acc = acc.wrapping_add(tree.lookup(p).id);
+            }
+            black_box(acc)
+        });
+    });
+
+    g.bench_function("clone_tree", |b| {
+        b.iter(|| black_box(tree.clone()).len());
+    });
+
+    g.bench_function("neighbourhood_generation", |b| {
+        let a = Action::DEFAULT;
+        b.iter(|| black_box(a.neighbourhood()).len());
+    });
+
+    g.bench_function("json_round_trip", |b| {
+        let json = tree.to_json();
+        b.iter(|| WhiskerTree::from_json(black_box(&json)).unwrap().len());
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_whiskers);
+criterion_main!(benches);

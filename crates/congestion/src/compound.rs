@@ -1,0 +1,238 @@
+//! Compound TCP (Tan, Song, Zhang & Sridharan, INFOCOM 2006).
+//!
+//! Compound maintains two windows whose sum gates transmission: a
+//! loss-based *congestion window* that follows Reno, and a delay-based
+//! *dwnd* that grows binomially (`α·win^k`) while queueing delay stays
+//! low and retreats quickly once the delay estimate crosses a threshold.
+//! As the paper notes (§2), Compound "uses the delay-based window to
+//! identify the absence of congestion rather than its onset" — dwnd gives
+//! fast ramp-up on underused paths while the Reno component preserves
+//! fairness under loss.
+
+use netsim::cc::{AckInfo, CongestionControl, LossEvent};
+use netsim::time::Ns;
+
+/// Binomial increase coefficient α.
+pub const ALPHA: f64 = 0.125;
+/// Binomial exponent k.
+pub const K: f64 = 0.75;
+/// Queue-backlog threshold γ, packets.
+pub const GAMMA: f64 = 30.0;
+/// Delay-window retreat factor ζ.
+pub const ZETA: f64 = 1.0;
+/// Loss-response factor β for the delay window.
+pub const BETA: f64 = 0.5;
+/// Initial (loss) window, packets.
+pub const INITIAL_WINDOW: f64 = 2.0;
+
+/// Compound TCP.
+#[derive(Clone, Debug)]
+pub struct Compound {
+    /// Loss-based (Reno) window.
+    reno: f64,
+    /// Delay-based window.
+    dwnd: f64,
+    ssthresh: f64,
+    /// End of the current once-per-RTT dwnd update epoch.
+    epoch_end: Ns,
+}
+
+impl Compound {
+    /// Fresh instance in slow start.
+    pub fn new() -> Compound {
+        Compound {
+            reno: INITIAL_WINDOW,
+            dwnd: 0.0,
+            ssthresh: f64::INFINITY,
+            epoch_end: Ns::ZERO,
+        }
+    }
+
+    /// Delay window (tests).
+    pub fn dwnd(&self) -> f64 {
+        self.dwnd
+    }
+
+    /// Loss window (tests).
+    pub fn reno_window(&self) -> f64 {
+        self.reno
+    }
+
+    fn win(&self) -> f64 {
+        self.reno + self.dwnd
+    }
+
+    fn in_slow_start(&self) -> bool {
+        self.win() < self.ssthresh
+    }
+}
+
+impl Default for Compound {
+    fn default() -> Self {
+        Compound::new()
+    }
+}
+
+impl CongestionControl for Compound {
+    fn on_flow_start(&mut self, _now: Ns) {
+        *self = Compound::new();
+    }
+
+    fn on_ack(&mut self, info: &AckInfo) {
+        if info.newly_acked == 0 || info.in_recovery {
+            return;
+        }
+        if self.in_slow_start() {
+            self.reno += info.newly_acked as f64;
+            if self.win() > self.ssthresh {
+                self.reno = (self.ssthresh - self.dwnd).max(2.0);
+            }
+            return;
+        }
+        // Reno component: +1/win per acked packet (increase applies to the
+        // total window's pace, credited to the loss window).
+        self.reno += info.newly_acked as f64 / self.win();
+        // Delay component: once per RTT, estimate the self-induced queue
+        // exactly as Vegas does.
+        if info.now >= self.epoch_end {
+            let base = info.min_rtt.as_secs_f64();
+            let rtt = info.rtt_sample.as_secs_f64();
+            if base > 0.0 && rtt > 0.0 {
+                let win = self.win();
+                let expected = win / base;
+                let actual = win / rtt;
+                let diff = (expected - actual) * base;
+                if diff < GAMMA {
+                    // Binomial increase: dwnd += α·win^k − 1 (at least 0).
+                    self.dwnd += (ALPHA * win.powf(K) - 1.0).max(0.0);
+                } else {
+                    // Congestion onset: retreat proportionally to backlog.
+                    self.dwnd = (self.dwnd - ZETA * diff).max(0.0);
+                }
+            }
+            self.epoch_end = info.now + info.rtt_sample;
+        }
+    }
+
+    fn on_loss(&mut self, _now: Ns, event: LossEvent) {
+        match event {
+            LossEvent::FastRetransmit => {
+                let win = self.win();
+                self.ssthresh = (win / 2.0).max(2.0);
+                self.reno = (self.reno / 2.0).max(2.0);
+                // dwnd = win·(1−β) − reno/2 (Tan et al., eq. 9), floored.
+                self.dwnd = (win * (1.0 - BETA) - self.reno).max(0.0);
+            }
+            LossEvent::Timeout => {
+                self.ssthresh = (self.win() / 2.0).max(2.0);
+                self.reno = 1.0;
+                self.dwnd = 0.0;
+            }
+        }
+    }
+
+    fn cwnd(&self) -> f64 {
+        self.win()
+    }
+
+    fn name(&self) -> &str {
+        "Compound"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ack_at(now_ms: u64, rtt_ms: u64, base_ms: u64, newly: u64) -> AckInfo {
+        AckInfo {
+            now: Ns::from_millis(now_ms),
+            rtt_sample: Ns::from_millis(rtt_ms),
+            min_rtt: Ns::from_millis(base_ms),
+            srtt: Ns::from_millis(rtt_ms),
+            echo_ts: Ns::ZERO,
+            seq: 0,
+            newly_acked: newly,
+            in_flight: 10,
+            in_recovery: false,
+            ecn_echo: false,
+            xcp_feedback: None,
+        }
+    }
+
+    fn out_of_slow_start() -> Compound {
+        let mut cc = Compound::new();
+        cc.ssthresh = 10.0;
+        cc.reno = 16.0;
+        cc
+    }
+
+    #[test]
+    fn dwnd_grows_binomially_when_delay_low() {
+        let mut cc = out_of_slow_start();
+        // rtt == base: diff 0 < gamma → binomial growth.
+        cc.on_ack(&ack_at(100, 100, 100, 1));
+        let expect = (ALPHA * 16.0f64.powf(K) - 1.0).max(0.0);
+        assert!((cc.dwnd() - expect).abs() < 0.05, "dwnd {}", cc.dwnd());
+    }
+
+    #[test]
+    fn dwnd_zero_growth_for_small_windows() {
+        // α·win^k − 1 < 0 for small windows: dwnd must not go negative.
+        let mut cc = Compound::new();
+        cc.ssthresh = 2.0;
+        cc.reno = 4.0;
+        cc.on_ack(&ack_at(100, 100, 100, 1));
+        assert_eq!(cc.dwnd(), 0.0);
+    }
+
+    #[test]
+    fn dwnd_retreats_on_queueing() {
+        let mut cc = out_of_slow_start();
+        cc.dwnd = 50.0;
+        cc.reno = 50.0;
+        // base 100, rtt 200 → diff = win/2 = 50 > gamma → retreat by ζ·50.
+        cc.on_ack(&ack_at(100, 200, 100, 1));
+        assert!(cc.dwnd() < 1.0, "dwnd should collapse, got {}", cc.dwnd());
+    }
+
+    #[test]
+    fn dwnd_updates_once_per_rtt() {
+        let mut cc = out_of_slow_start();
+        cc.on_ack(&ack_at(100, 100, 100, 1));
+        let d1 = cc.dwnd();
+        cc.on_ack(&ack_at(150, 100, 100, 1)); // within epoch
+        assert_eq!(cc.dwnd(), d1);
+        cc.on_ack(&ack_at(250, 100, 100, 1)); // new epoch
+        assert!(cc.dwnd() > d1);
+    }
+
+    #[test]
+    fn loss_halves_reno_and_caps_total() {
+        let mut cc = out_of_slow_start();
+        cc.reno = 40.0;
+        cc.dwnd = 40.0;
+        let win = cc.cwnd();
+        cc.on_loss(Ns::ZERO, LossEvent::FastRetransmit);
+        // Total after loss = win(1−β) = 40.
+        assert!((cc.cwnd() - win * (1.0 - BETA)).abs() < 1e-9);
+        assert_eq!(cc.reno_window(), 20.0);
+    }
+
+    #[test]
+    fn timeout_clears_delay_window() {
+        let mut cc = out_of_slow_start();
+        cc.dwnd = 25.0;
+        cc.on_loss(Ns::ZERO, LossEvent::Timeout);
+        assert_eq!(cc.dwnd(), 0.0);
+        assert_eq!(cc.cwnd(), 1.0);
+    }
+
+    #[test]
+    fn slow_start_matches_reno() {
+        let mut cc = Compound::new();
+        cc.on_ack(&ack_at(0, 100, 100, 2));
+        assert_eq!(cc.cwnd(), 4.0);
+        assert_eq!(cc.dwnd(), 0.0, "no delay window during slow start");
+    }
+}

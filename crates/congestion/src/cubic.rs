@@ -1,0 +1,280 @@
+//! TCP Cubic (Ha, Rhee & Xu 2008; RFC 8312).
+//!
+//! Cubic grows the window as a cubic function of the *real time* since the
+//! last congestion event, independent of RTT: after a loss reduces the
+//! window to `β·W_max`, the window first climbs back toward the previous
+//! maximum (concave region), plateaus near it, then probes beyond it
+//! (convex region). A "TCP-friendly" estimate keeps Cubic at least as
+//! aggressive as Reno on short-RTT paths, and fast convergence releases
+//! capacity when the bottleneck has new contenders. The paper notes Cubic
+//! "aggressively increases its window size, inflating queues and bloating
+//! RTTs" — visible in our Fig. 4 reproduction as high throughput *and*
+//! high queueing delay.
+
+use netsim::cc::{AckInfo, CongestionControl, LossEvent};
+use netsim::time::Ns;
+
+/// Cubic scaling constant `C` (RFC 8312 §5).
+pub const C: f64 = 0.4;
+/// Multiplicative decrease factor `β_cubic`.
+pub const BETA: f64 = 0.7;
+/// Initial window, packets.
+pub const INITIAL_WINDOW: f64 = 4.0;
+
+/// TCP Cubic.
+#[derive(Clone, Debug)]
+pub struct Cubic {
+    cwnd: f64,
+    ssthresh: f64,
+    /// Window size just before the last reduction.
+    w_max: f64,
+    /// W_max remembered for fast convergence.
+    w_last_max: f64,
+    /// Start of the current congestion-avoidance epoch.
+    epoch_start: Option<Ns>,
+    /// Time for the cubic to return to `w_max`.
+    k: f64,
+    /// Reno-equivalent window estimate for the TCP-friendly region.
+    w_est: f64,
+}
+
+impl Cubic {
+    /// Fresh instance in slow start.
+    pub fn new() -> Cubic {
+        Cubic {
+            cwnd: INITIAL_WINDOW,
+            ssthresh: f64::INFINITY,
+            w_max: 0.0,
+            w_last_max: 0.0,
+            epoch_start: None,
+            k: 0.0,
+            w_est: 0.0,
+        }
+    }
+
+    fn enter_epoch(&mut self, now: Ns) {
+        self.epoch_start = Some(now);
+        if self.cwnd < self.w_max {
+            self.k = ((self.w_max - self.cwnd) / C).cbrt();
+        } else {
+            self.k = 0.0;
+            self.w_max = self.cwnd;
+        }
+        self.w_est = self.cwnd;
+    }
+
+    /// W_cubic(t): the target window `t` seconds into the epoch.
+    fn w_cubic(&self, t: f64) -> f64 {
+        C * (t - self.k).powi(3) + self.w_max
+    }
+
+    /// True while in slow start.
+    pub fn in_slow_start(&self) -> bool {
+        self.cwnd < self.ssthresh
+    }
+
+    /// Current `W_max` (tests).
+    pub fn w_max(&self) -> f64 {
+        self.w_max
+    }
+}
+
+impl Default for Cubic {
+    fn default() -> Self {
+        Cubic::new()
+    }
+}
+
+impl CongestionControl for Cubic {
+    fn on_flow_start(&mut self, _now: Ns) {
+        *self = Cubic::new();
+    }
+
+    fn on_ack(&mut self, info: &AckInfo) {
+        if info.newly_acked == 0 || info.in_recovery {
+            return;
+        }
+        if self.in_slow_start() {
+            self.cwnd += info.newly_acked as f64;
+            if self.cwnd > self.ssthresh {
+                self.cwnd = self.ssthresh;
+            }
+            return;
+        }
+        if self.epoch_start.is_none() {
+            self.enter_epoch(info.now);
+        }
+        let t = (info.now - self.epoch_start.expect("just set")).as_secs_f64();
+        let rtt = info.srtt.as_secs_f64().max(1e-6);
+        // TCP-friendly region: Reno-equivalent AIMD with Cubic's β
+        // (RFC 8312 §4.2): slope 3(1−β)/(1+β) per RTT.
+        self.w_est += 3.0 * (1.0 - BETA) / (1.0 + BETA) * info.newly_acked as f64
+            / self.cwnd;
+        let target = self.w_cubic(t + rtt);
+        if self.w_cubic(t) < self.w_est {
+            // Cubic slower than Reno would be: follow Reno.
+            if self.cwnd < self.w_est {
+                self.cwnd = self.w_est;
+            }
+        } else if target > self.cwnd {
+            // Standard cubic increase: spread (target − cwnd) over the
+            // next window of ACKs.
+            self.cwnd += (target - self.cwnd) / self.cwnd * info.newly_acked as f64;
+        } else {
+            // At/above target: probe very slowly.
+            self.cwnd += 0.01 * info.newly_acked as f64 / self.cwnd;
+        }
+    }
+
+    fn on_loss(&mut self, _now: Ns, event: LossEvent) {
+        match event {
+            LossEvent::FastRetransmit => {
+                // Fast convergence: if this W_max is below the previous
+                // one, another flow is likely ramping up — release more.
+                if self.cwnd < self.w_last_max {
+                    self.w_last_max = self.cwnd;
+                    self.w_max = self.cwnd * (2.0 - BETA) / 2.0;
+                } else {
+                    self.w_last_max = self.cwnd;
+                    self.w_max = self.cwnd;
+                }
+                self.cwnd = (self.cwnd * BETA).max(2.0);
+                self.ssthresh = self.cwnd;
+                self.epoch_start = None;
+            }
+            LossEvent::Timeout => {
+                self.w_last_max = self.cwnd;
+                self.w_max = self.cwnd;
+                self.ssthresh = (self.cwnd * BETA).max(2.0);
+                self.cwnd = 1.0;
+                self.epoch_start = None;
+            }
+        }
+    }
+
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn name(&self) -> &str {
+        "Cubic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ack_at(now_ms: u64, newly: u64) -> AckInfo {
+        AckInfo {
+            now: Ns::from_millis(now_ms),
+            rtt_sample: Ns::from_millis(100),
+            min_rtt: Ns::from_millis(100),
+            srtt: Ns::from_millis(100),
+            echo_ts: Ns::ZERO,
+            seq: 0,
+            newly_acked: newly,
+            in_flight: 10,
+            in_recovery: false,
+            ecn_echo: false,
+            xcp_feedback: None,
+        }
+    }
+
+    #[test]
+    fn slow_start_then_loss_sets_wmax() {
+        let mut cc = Cubic::new();
+        for t in 0..10 {
+            cc.on_ack(&ack_at(100 * t, 4));
+        }
+        let before = cc.cwnd();
+        cc.on_loss(Ns::from_secs(1), LossEvent::FastRetransmit);
+        assert!((cc.w_max() - before).abs() < 1e-9);
+        assert!((cc.cwnd() - before * BETA).abs() < 1e-9);
+        assert!(!cc.in_slow_start());
+    }
+
+    #[test]
+    fn concave_growth_toward_wmax() {
+        let mut cc = Cubic::new();
+        cc.cwnd = 100.0;
+        cc.ssthresh = 50.0; // out of slow start
+        cc.on_loss(Ns::from_secs(1), LossEvent::FastRetransmit);
+        let after_loss = cc.cwnd(); // 70
+        // Feed ACKs over several seconds; window should recover toward
+        // W_max = 100 but not wildly overshoot early.
+        let mut t_ms = 1000;
+        for _ in 0..2_000 {
+            t_ms += 10;
+            cc.on_ack(&ack_at(t_ms, 1));
+        }
+        assert!(cc.cwnd() > after_loss, "must grow after loss");
+        // K = ((100-70)/0.4)^(1/3) ≈ 4.2 s; at t = 20 s we are past W_max.
+        assert!(
+            cc.cwnd() > 95.0,
+            "after 20 s the cubic must have reached W_max, got {}",
+            cc.cwnd()
+        );
+    }
+
+    #[test]
+    fn growth_is_rtt_independent() {
+        // Two flows with different RTTs see the same wall-clock cubic
+        // target. Feed the same elapsed time with different ack cadence.
+        let run = |ack_every_ms: u64| {
+            let mut cc = Cubic::new();
+            cc.cwnd = 50.0;
+            cc.ssthresh = 25.0;
+            cc.on_loss(Ns::ZERO, LossEvent::FastRetransmit);
+            let mut t = 0;
+            while t < 10_000 {
+                t += ack_every_ms;
+                // scale newly_acked so both send the same packet volume
+                cc.on_ack(&ack_at(t, 1));
+            }
+            cc.cwnd()
+        };
+        let fast = run(10);
+        let slow = run(40);
+        // Not exactly equal (per-ack quantization), but the same ballpark:
+        let ratio = fast / slow;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "cubic growth should be roughly RTT-independent: {fast} vs {slow}"
+        );
+    }
+
+    #[test]
+    fn fast_convergence_releases_capacity() {
+        let mut cc = Cubic::new();
+        cc.cwnd = 100.0;
+        cc.ssthresh = 50.0;
+        cc.on_loss(Ns::ZERO, LossEvent::FastRetransmit);
+        // Second loss at a lower window: w_max set below cwnd.
+        let w = cc.cwnd(); // 70
+        cc.on_loss(Ns::from_secs(1), LossEvent::FastRetransmit);
+        assert!(
+            cc.w_max() < w,
+            "fast convergence must remember a reduced W_max"
+        );
+    }
+
+    #[test]
+    fn timeout_collapses_window() {
+        let mut cc = Cubic::new();
+        cc.cwnd = 64.0;
+        cc.on_loss(Ns::ZERO, LossEvent::Timeout);
+        assert_eq!(cc.cwnd(), 1.0);
+        assert!(cc.in_slow_start());
+    }
+
+    #[test]
+    fn flow_restart_is_clean() {
+        let mut cc = Cubic::new();
+        cc.cwnd = 80.0;
+        cc.on_loss(Ns::ZERO, LossEvent::FastRetransmit);
+        cc.on_flow_start(Ns::from_secs(5));
+        assert_eq!(cc.cwnd(), INITIAL_WINDOW);
+        assert_eq!(cc.w_max(), 0.0);
+    }
+}

@@ -1,0 +1,222 @@
+//! TCP Vegas (Brakmo & Peterson, SIGCOMM 1994).
+//!
+//! Vegas is the delay-based baseline of the paper (§2): it computes a
+//! BaseRTT (the minimum RTT seen, i.e. the RTT absent congestion), the
+//! *expected* rate `cwnd / BaseRTT`, the *actual* rate `cwnd / RTT`, and
+//! `diff = (expected − actual) × BaseRTT` — an estimate of how many of the
+//! flow's own packets sit in the bottleneck queue. Once per RTT the window
+//! moves linearly: up if `diff < α`, down if `diff > β`, else unchanged.
+
+use netsim::cc::{AckInfo, CongestionControl, LossEvent};
+use netsim::time::Ns;
+
+/// Vegas lower threshold, packets queued.
+pub const ALPHA: f64 = 1.0;
+/// Vegas upper threshold, packets queued.
+pub const BETA: f64 = 3.0;
+/// Slow-start exit threshold on `diff` (Vegas' gamma).
+pub const GAMMA: f64 = 1.0;
+/// Initial window, packets.
+pub const INITIAL_WINDOW: f64 = 2.0;
+
+/// TCP Vegas.
+#[derive(Clone, Debug)]
+pub struct Vegas {
+    cwnd: f64,
+    in_slow_start: bool,
+    /// End of the current once-per-RTT adjustment epoch.
+    epoch_end: Ns,
+    /// Most recent RTT sample within the epoch.
+    last_rtt: Ns,
+}
+
+impl Vegas {
+    /// Fresh instance in Vegas slow start.
+    pub fn new() -> Vegas {
+        Vegas {
+            cwnd: INITIAL_WINDOW,
+            in_slow_start: true,
+            epoch_end: Ns::ZERO,
+            last_rtt: Ns::ZERO,
+        }
+    }
+
+    /// The `diff` statistic for given window/RTTs, in packets.
+    fn diff(cwnd: f64, base_rtt: Ns, rtt: Ns) -> f64 {
+        if base_rtt.is_zero() || rtt.is_zero() {
+            return 0.0;
+        }
+        let expected = cwnd / base_rtt.as_secs_f64();
+        let actual = cwnd / rtt.as_secs_f64();
+        (expected - actual) * base_rtt.as_secs_f64()
+    }
+}
+
+impl Default for Vegas {
+    fn default() -> Self {
+        Vegas::new()
+    }
+}
+
+impl CongestionControl for Vegas {
+    fn on_flow_start(&mut self, _now: Ns) {
+        self.cwnd = INITIAL_WINDOW;
+        self.in_slow_start = true;
+        self.epoch_end = Ns::ZERO;
+        self.last_rtt = Ns::ZERO;
+    }
+
+    fn on_ack(&mut self, info: &AckInfo) {
+        if info.newly_acked == 0 || info.in_recovery {
+            return;
+        }
+        self.last_rtt = info.rtt_sample;
+        if info.now < self.epoch_end {
+            // Within the epoch: Vegas only adjusts once per RTT. During
+            // slow start it still grows exponentially every other RTT; we
+            // approximate with +1 per two acked packets (doubling every
+            // other RTT overall).
+            if self.in_slow_start {
+                self.cwnd += info.newly_acked as f64 / 2.0;
+            }
+            return;
+        }
+        // Epoch boundary: evaluate diff and adjust.
+        let diff = Vegas::diff(self.cwnd, info.min_rtt, info.rtt_sample);
+        if self.in_slow_start {
+            if diff > GAMMA {
+                // Leave slow start and back off the overshoot.
+                self.in_slow_start = false;
+                self.cwnd = (self.cwnd - diff).max(2.0);
+            } else {
+                self.cwnd += info.newly_acked as f64 / 2.0;
+            }
+        } else if diff < ALPHA {
+            self.cwnd += 1.0;
+        } else if diff > BETA {
+            self.cwnd = (self.cwnd - 1.0).max(2.0);
+        }
+        // Next adjustment one (current) RTT from now.
+        self.epoch_end = info.now + info.rtt_sample;
+    }
+
+    fn on_loss(&mut self, _now: Ns, event: LossEvent) {
+        match event {
+            LossEvent::FastRetransmit => {
+                // Vegas reduces less aggressively than Reno: a loss
+                // detected while the delay signal was quiet is likely not
+                // persistent congestion (Brakmo & Peterson use 3/4).
+                self.cwnd = (self.cwnd * 0.75).max(2.0);
+                self.in_slow_start = false;
+            }
+            LossEvent::Timeout => {
+                self.cwnd = 2.0;
+                self.in_slow_start = true;
+            }
+        }
+    }
+
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn name(&self) -> &str {
+        "Vegas"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ack_at(now_ms: u64, rtt_ms: u64, base_ms: u64, newly: u64) -> AckInfo {
+        AckInfo {
+            now: Ns::from_millis(now_ms),
+            rtt_sample: Ns::from_millis(rtt_ms),
+            min_rtt: Ns::from_millis(base_ms),
+            srtt: Ns::from_millis(rtt_ms),
+            echo_ts: Ns::ZERO,
+            seq: 0,
+            newly_acked: newly,
+            in_flight: 10,
+            in_recovery: false,
+            ecn_echo: false,
+            xcp_feedback: None,
+        }
+    }
+
+    #[test]
+    fn diff_measures_self_queued_packets() {
+        // cwnd 10, base 100 ms, rtt 150 ms: expected 100 pkt/s, actual
+        // 66.7 pkt/s, diff = 33.3 pkt/s × 0.1 s = 3.33 packets queued.
+        let d = Vegas::diff(10.0, Ns::from_millis(100), Ns::from_millis(150));
+        assert!((d - 10.0 / 3.0).abs() < 1e-9);
+        assert_eq!(Vegas::diff(10.0, Ns::from_millis(100), Ns::from_millis(100)), 0.0);
+    }
+
+    #[test]
+    fn grows_when_below_alpha() {
+        let mut cc = Vegas::new();
+        cc.in_slow_start = false;
+        let w = cc.cwnd();
+        // rtt == base → diff 0 < alpha → +1.
+        cc.on_ack(&ack_at(100, 100, 100, 1));
+        assert_eq!(cc.cwnd(), w + 1.0);
+    }
+
+    #[test]
+    fn shrinks_when_above_beta() {
+        let mut cc = Vegas::new();
+        cc.in_slow_start = false;
+        cc.cwnd = 20.0;
+        // rtt 200 vs base 100: diff = 10 packets > beta → −1.
+        cc.on_ack(&ack_at(100, 200, 100, 1));
+        assert_eq!(cc.cwnd(), 19.0);
+    }
+
+    #[test]
+    fn holds_between_thresholds() {
+        let mut cc = Vegas::new();
+        cc.in_slow_start = false;
+        cc.cwnd = 10.0;
+        // base 100, rtt 125: diff = 10*(1/0.1 - 1/0.125)*0.1 = 2 packets —
+        // inside [alpha, beta].
+        cc.on_ack(&ack_at(100, 125, 100, 1));
+        assert_eq!(cc.cwnd(), 10.0);
+    }
+
+    #[test]
+    fn adjusts_once_per_rtt() {
+        let mut cc = Vegas::new();
+        cc.in_slow_start = false;
+        cc.cwnd = 10.0;
+        cc.on_ack(&ack_at(100, 100, 100, 1)); // epoch set, +1
+        cc.on_ack(&ack_at(110, 100, 100, 1)); // within epoch: no change
+        cc.on_ack(&ack_at(150, 100, 100, 1)); // still within (epoch ends at 200)
+        assert_eq!(cc.cwnd(), 11.0);
+        cc.on_ack(&ack_at(201, 100, 100, 1)); // next epoch: +1
+        assert_eq!(cc.cwnd(), 12.0);
+    }
+
+    #[test]
+    fn slow_start_exits_on_rising_delay() {
+        let mut cc = Vegas::new();
+        assert!(cc.in_slow_start);
+        cc.cwnd = 16.0;
+        // diff = 16*(1/0.1-1/0.2)*0.1 = 8 > gamma → exit and back off.
+        cc.on_ack(&ack_at(100, 200, 100, 4));
+        assert!(!cc.in_slow_start);
+        assert!((cc.cwnd() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn losses_reduce_conservatively() {
+        let mut cc = Vegas::new();
+        cc.cwnd = 16.0;
+        cc.on_loss(Ns::ZERO, LossEvent::FastRetransmit);
+        assert_eq!(cc.cwnd(), 12.0);
+        cc.on_loss(Ns::ZERO, LossEvent::Timeout);
+        assert_eq!(cc.cwnd(), 2.0);
+        assert!(cc.in_slow_start);
+    }
+}

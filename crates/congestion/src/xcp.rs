@@ -1,0 +1,368 @@
+//! XCP — the eXplicit Control Protocol (Katabi, Handley & Rohrs,
+//! SIGCOMM 2002).
+//!
+//! XCP is the paper's strongest router-assisted baseline. Senders stamp a
+//! congestion header (cwnd, RTT, desired feedback) on every packet; the
+//! bottleneck router runs two controllers over a control interval `d`
+//! (the mean RTT of traversing flows):
+//!
+//! * the **efficiency controller** computes the aggregate feedback
+//!   `φ = α·d·S − β·Q`, where `S` is the spare bandwidth and `Q` the
+//!   persistent queue (α = 0.4, β = 0.226);
+//! * the **fairness controller** divides `φ` across packets AIMD-style —
+//!   positive feedback `p_i ∝ rtt_i²/cwnd_i` (equal per-flow additive
+//!   increase), negative feedback `n_i ∝ rtt_i` (multiplicative decrease) —
+//!   plus bandwidth shuffling `h = max(0, 0.1·y − |φ|)` so allocations
+//!   keep converging to fairness even at full utilization.
+//!
+//! The receiver echoes the (possibly reduced) feedback; the sender applies
+//! it directly: `cwnd ← max(cwnd + H_feedback, 1)`.
+//!
+//! As in the paper (§5.3, footnote 6), XCP "needs to know the bandwidth of
+//! the outgoing link"; for trace-driven cellular links we configure it with
+//! the long-term average rate.
+
+use netsim::cc::{AckInfo, CongestionControl, LossEvent};
+use netsim::packet::{Packet, XcpHeader};
+use netsim::router::RouterHook;
+use netsim::time::Ns;
+
+/// Efficiency-controller gain on spare bandwidth.
+pub const XCP_ALPHA: f64 = 0.4;
+/// Efficiency-controller gain on persistent queue.
+pub const XCP_BETA: f64 = 0.226;
+/// Fraction of traffic shuffled each interval for fairness convergence.
+pub const SHUFFLE: f64 = 0.1;
+/// Initial window, packets.
+pub const INITIAL_WINDOW: f64 = 2.0;
+/// A sender's default demand: ask for up to one extra packet of window
+/// per packet sent (doubling per RTT), letting the router cap from there.
+pub const DEFAULT_DEMAND: f64 = 1.0;
+
+// ---------------------------------------------------------------------------
+// Endpoint
+// ---------------------------------------------------------------------------
+
+/// XCP endpoint congestion control.
+#[derive(Clone, Debug)]
+pub struct Xcp {
+    cwnd: f64,
+    srtt: Ns,
+}
+
+impl Xcp {
+    /// Fresh endpoint.
+    pub fn new() -> Xcp {
+        Xcp {
+            cwnd: INITIAL_WINDOW,
+            srtt: Ns::ZERO,
+        }
+    }
+}
+
+impl Default for Xcp {
+    fn default() -> Self {
+        Xcp::new()
+    }
+}
+
+impl CongestionControl for Xcp {
+    fn on_flow_start(&mut self, _now: Ns) {
+        *self = Xcp::new();
+    }
+
+    fn on_ack(&mut self, info: &AckInfo) {
+        self.srtt = info.srtt;
+        if let Some(fb) = info.xcp_feedback {
+            self.cwnd = (self.cwnd + fb).max(1.0);
+        }
+    }
+
+    fn on_loss(&mut self, _now: Ns, event: LossEvent) {
+        // Losses mean the explicit control loop failed (e.g. trace links
+        // whose instantaneous rate dives below the configured capacity);
+        // fall back to TCP-like reactions.
+        match event {
+            LossEvent::FastRetransmit => self.cwnd = (self.cwnd / 2.0).max(1.0),
+            LossEvent::Timeout => self.cwnd = 1.0,
+        }
+    }
+
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn xcp_header(&self) -> Option<XcpHeader> {
+        Some(XcpHeader {
+            cwnd_pkts: self.cwnd.max(1.0),
+            rtt: self.srtt,
+            feedback: DEFAULT_DEMAND,
+        })
+    }
+
+    fn name(&self) -> &str {
+        "XCP"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Router
+// ---------------------------------------------------------------------------
+
+/// Per-interval accumulators.
+#[derive(Clone, Copy, Debug, Default)]
+struct IntervalAcc {
+    /// Packets that arrived.
+    input_pkts: f64,
+    /// Σ rtt_i (seconds).
+    sum_rtt: f64,
+    /// Σ rtt_i² / cwnd_i (seconds²/packet).
+    sum_rtt2_over_cwnd: f64,
+    /// Minimum queue occupancy observed (persistent queue).
+    min_queue: usize,
+}
+
+/// The XCP bottleneck controller, attached to the simulator as a
+/// [`RouterHook`].
+pub struct XcpRouter {
+    /// Link capacity, packets per second.
+    capacity_pps: f64,
+    /// Control interval (mean RTT estimate).
+    d: Ns,
+    acc: IntervalAcc,
+    /// Per-packet positive-feedback scale ξ_p from the previous interval.
+    xi_pos: f64,
+    /// Per-packet negative-feedback scale ξ_n from the previous interval.
+    xi_neg: f64,
+    /// Last computed aggregate feedback (diagnostics/tests).
+    last_phi: f64,
+}
+
+impl XcpRouter {
+    /// Build a controller for a link of `capacity_mbps` carrying
+    /// `mss`-byte packets.
+    pub fn new(capacity_mbps: f64, mss: u32) -> XcpRouter {
+        XcpRouter {
+            capacity_pps: capacity_mbps * 1e6 / 8.0 / mss as f64,
+            d: Ns::from_millis(100),
+            acc: IntervalAcc {
+                min_queue: usize::MAX,
+                ..IntervalAcc::default()
+            },
+            xi_pos: 0.0,
+            xi_neg: 0.0,
+            last_phi: 0.0,
+        }
+    }
+
+    /// Last aggregate feedback φ, packets (tests).
+    pub fn last_phi(&self) -> f64 {
+        self.last_phi
+    }
+
+}
+
+impl RouterHook for XcpRouter {
+    fn on_arrival(&mut self, _now: Ns, p: &mut Packet, queue_pkts: usize) {
+        let Some(h) = p.xcp.as_mut() else {
+            return; // non-XCP cross traffic passes untouched
+        };
+        let rtt = if h.rtt.is_zero() {
+            self.d.as_secs_f64()
+        } else {
+            h.rtt.as_secs_f64()
+        };
+        let cwnd = h.cwnd_pkts.max(1.0);
+        // Accumulate for the next interval's scales.
+        self.acc.input_pkts += 1.0;
+        self.acc.sum_rtt += rtt;
+        self.acc.sum_rtt2_over_cwnd += rtt * rtt / cwnd;
+        self.acc.min_queue = self.acc.min_queue.min(queue_pkts);
+        // Hand out feedback using the scales computed at the last tick.
+        let p_i = self.xi_pos * rtt * rtt / cwnd;
+        let n_i = self.xi_neg * rtt;
+        let computed = p_i - n_i;
+        // The sender's demand caps positive feedback.
+        h.feedback = computed.min(h.feedback);
+    }
+
+    fn on_departure(&mut self, _now: Ns, _p: &mut Packet, _queue_pkts: usize) {}
+
+    fn tick_interval(&self) -> Option<Ns> {
+        Some(self.d)
+    }
+
+    fn on_tick(&mut self, _now: Ns, queue_pkts: usize) {
+        let d = self.d.as_secs_f64();
+        let y_pps = self.acc.input_pkts / d; // input traffic rate
+        let spare = self.capacity_pps - y_pps;
+        let q = if self.acc.min_queue == usize::MAX {
+            queue_pkts as f64
+        } else {
+            self.acc.min_queue as f64
+        };
+        // Aggregate feedback over the next interval, in packets.
+        let phi = XCP_ALPHA * d * spare - XCP_BETA * q;
+        self.last_phi = phi;
+        let h = (SHUFFLE * self.acc.input_pkts - phi.abs()).max(0.0);
+        let pos_budget = h + phi.max(0.0);
+        let neg_budget = h + (-phi).max(0.0);
+        self.xi_pos = if self.acc.sum_rtt2_over_cwnd > 0.0 {
+            pos_budget / self.acc.sum_rtt2_over_cwnd
+        } else {
+            0.0
+        };
+        self.xi_neg = if self.acc.sum_rtt > 0.0 {
+            neg_budget / self.acc.sum_rtt
+        } else {
+            0.0
+        };
+        // Refresh the control interval to the mean RTT of current traffic.
+        if self.acc.input_pkts > 0.0 {
+            let mean_rtt = self.acc.sum_rtt / self.acc.input_pkts;
+            self.d = Ns::from_secs_f64(mean_rtt.clamp(0.010, 0.500));
+        }
+        self.acc = IntervalAcc {
+            min_queue: usize::MAX,
+            ..IntervalAcc::default()
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ack_with_feedback(fb: f64) -> AckInfo {
+        AckInfo {
+            now: Ns::from_millis(100),
+            rtt_sample: Ns::from_millis(100),
+            min_rtt: Ns::from_millis(100),
+            srtt: Ns::from_millis(100),
+            echo_ts: Ns::ZERO,
+            seq: 0,
+            newly_acked: 1,
+            in_flight: 10,
+            in_recovery: false,
+            ecn_echo: false,
+            xcp_feedback: Some(fb),
+        }
+    }
+
+    #[test]
+    fn endpoint_applies_feedback_directly() {
+        let mut cc = Xcp::new();
+        let w = cc.cwnd();
+        cc.on_ack(&ack_with_feedback(3.5));
+        assert_eq!(cc.cwnd(), w + 3.5);
+        cc.on_ack(&ack_with_feedback(-100.0));
+        assert_eq!(cc.cwnd(), 1.0, "window floors at one packet");
+    }
+
+    #[test]
+    fn endpoint_stamps_header() {
+        let mut cc = Xcp::new();
+        cc.on_ack(&ack_with_feedback(5.0));
+        let h = cc.xcp_header().expect("XCP always stamps a header");
+        assert_eq!(h.cwnd_pkts, cc.cwnd());
+        assert_eq!(h.rtt, Ns::from_millis(100));
+        assert_eq!(h.feedback, DEFAULT_DEMAND);
+    }
+
+    #[test]
+    fn router_grants_increase_on_idle_link() {
+        // 15 Mbps link (1250 pkt/s), no traffic in the first interval:
+        // spare capacity is the whole link, φ > 0, and packets in the next
+        // interval receive positive feedback.
+        let mut r = XcpRouter::new(15.0, 1500);
+        // First interval: one probe packet so the accumulators are sane.
+        let mut p = Packet::data(0, 0, 1500, Ns::ZERO);
+        p.xcp = Some(XcpHeader {
+            cwnd_pkts: 2.0,
+            rtt: Ns::from_millis(100),
+            feedback: 1e9, // unconstrained demand for the test
+        });
+        r.on_arrival(Ns::ZERO, &mut p, 0);
+        r.on_tick(Ns::from_millis(100), 0);
+        assert!(r.last_phi() > 0.0, "idle link yields positive feedback");
+        // Second interval: a packet should receive positive feedback.
+        let mut p2 = Packet::data(0, 1, 1500, Ns::ZERO);
+        p2.xcp = Some(XcpHeader {
+            cwnd_pkts: 2.0,
+            rtt: Ns::from_millis(100),
+            feedback: 1e9,
+        });
+        r.on_arrival(Ns::from_millis(150), &mut p2, 0);
+        assert!(p2.xcp.unwrap().feedback > 0.0);
+    }
+
+    #[test]
+    fn router_throttles_on_standing_queue() {
+        let mut r = XcpRouter::new(15.0, 1500);
+        // Saturate: 1250 pkt/s × 0.1 s interval = 125 packets arriving,
+        // with a persistent queue of 200 packets.
+        for i in 0..125 {
+            let mut p = Packet::data(0, i, 1500, Ns::ZERO);
+            p.xcp = Some(XcpHeader {
+                cwnd_pkts: 100.0,
+                rtt: Ns::from_millis(100),
+                feedback: 1e9,
+            });
+            r.on_arrival(Ns::ZERO, &mut p, 200);
+        }
+        r.on_tick(Ns::from_millis(100), 200);
+        assert!(
+            r.last_phi() < 0.0,
+            "full link + standing queue must yield negative φ, got {}",
+            r.last_phi()
+        );
+        // Next packet gets net-negative feedback.
+        let mut p = Packet::data(0, 999, 1500, Ns::ZERO);
+        p.xcp = Some(XcpHeader {
+            cwnd_pkts: 100.0,
+            rtt: Ns::from_millis(100),
+            feedback: 1e9,
+        });
+        r.on_arrival(Ns::from_millis(150), &mut p, 200);
+        assert!(p.xcp.unwrap().feedback < 0.0);
+    }
+
+    #[test]
+    fn demand_caps_positive_feedback() {
+        let mut r = XcpRouter::new(100.0, 1500);
+        let mut probe = Packet::data(0, 0, 1500, Ns::ZERO);
+        probe.xcp = Some(XcpHeader {
+            cwnd_pkts: 1.0,
+            rtt: Ns::from_millis(100),
+            feedback: 1e9,
+        });
+        r.on_arrival(Ns::ZERO, &mut probe, 0);
+        r.on_tick(Ns::from_millis(100), 0);
+        let mut p = Packet::data(0, 1, 1500, Ns::ZERO);
+        p.xcp = Some(XcpHeader {
+            cwnd_pkts: 1.0,
+            rtt: Ns::from_millis(100),
+            feedback: 0.25, // modest demand
+        });
+        r.on_arrival(Ns::from_millis(150), &mut p, 0);
+        assert!(p.xcp.unwrap().feedback <= 0.25);
+    }
+
+    #[test]
+    fn non_xcp_packets_pass_untouched() {
+        let mut r = XcpRouter::new(15.0, 1500);
+        let mut p = Packet::data(0, 0, 1500, Ns::ZERO);
+        r.on_arrival(Ns::ZERO, &mut p, 5);
+        assert!(p.xcp.is_none());
+    }
+
+    #[test]
+    fn loss_fallback_behaves_like_tcp() {
+        let mut cc = Xcp::new();
+        cc.cwnd = 40.0;
+        cc.on_loss(Ns::ZERO, LossEvent::FastRetransmit);
+        assert_eq!(cc.cwnd(), 20.0);
+        cc.on_loss(Ns::ZERO, LossEvent::Timeout);
+        assert_eq!(cc.cwnd(), 1.0);
+    }
+}

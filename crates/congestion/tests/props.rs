@@ -1,0 +1,76 @@
+//! Property-based tests: no baseline scheme ever produces a non-finite or
+//! non-positive window, whatever event sequence it sees.
+
+use congestion::Scheme;
+use netsim::cc::{AckInfo, LossEvent};
+use netsim::time::Ns;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Event {
+    Ack { newly: u64, rtt_ms: u64, marked: bool, xcp: Option<i32> },
+    Loss(bool), // true = timeout
+    Restart,
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        (0u64..4, 50u64..500, any::<bool>(), prop::option::of(-20i32..20)).prop_map(
+            |(newly, rtt_ms, marked, xcp)| Event::Ack { newly, rtt_ms, marked, xcp }
+        ),
+        any::<bool>().prop_map(Event::Loss),
+        Just(Event::Restart),
+    ]
+}
+
+fn all_schemes() -> Vec<Scheme> {
+    let mut v = Scheme::standard_suite();
+    v.push(Scheme::Dctcp { mark_threshold: 20 });
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn windows_stay_finite_and_positive(events in prop::collection::vec(arb_event(), 1..200)) {
+        for scheme in all_schemes() {
+            let mut cc = scheme.build_cc();
+            cc.on_flow_start(Ns::ZERO);
+            let mut now = Ns::ZERO;
+            let mut min_rtt = Ns::from_millis(500);
+            for e in &events {
+                now += Ns::from_millis(10);
+                match e {
+                    Event::Ack { newly, rtt_ms, marked, xcp } => {
+                        let rtt = Ns::from_millis(*rtt_ms);
+                        min_rtt = min_rtt.min(rtt);
+                        let info = AckInfo {
+                            now,
+                            rtt_sample: rtt,
+                            min_rtt,
+                            srtt: rtt,
+                            echo_ts: now.saturating_sub(rtt),
+                            seq: 0,
+                            newly_acked: *newly,
+                            in_flight: 10,
+                            in_recovery: false,
+                            ecn_echo: *marked,
+                            xcp_feedback: xcp.map(|x| x as f64),
+                        };
+                        cc.on_ack(&info);
+                    }
+                    Event::Loss(timeout) => {
+                        let kind = if *timeout { LossEvent::Timeout } else { LossEvent::FastRetransmit };
+                        cc.on_loss(now, kind);
+                    }
+                    Event::Restart => cc.on_flow_start(now),
+                }
+                let w = cc.cwnd();
+                prop_assert!(w.is_finite(), "{}: non-finite window", scheme.label());
+                prop_assert!(w >= 1.0 - 1e-9, "{}: window {w} below 1", scheme.label());
+                prop_assert!(w <= 1e7, "{}: window {w} exploded", scheme.label());
+                prop_assert!(cc.pacing().0 < u64::MAX, "{}: pacing overflow", scheme.label());
+            }
+        }
+    }
+}

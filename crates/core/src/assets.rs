@@ -1,0 +1,116 @@
+//! Pre-trained RemyCC rule tables.
+//!
+//! The paper's RemyCCs took "3–5 CPU-days" each on large servers; the
+//! tables shipped here were produced by `examples/train_remycc.rs` with a
+//! laptop-scale budget (see each table's embedded `provenance` string for
+//! the exact model, objective, and budget). Regenerate any of them with:
+//!
+//! ```text
+//! cargo run --release -p remy-sim --example train_remycc -- <name> <seconds>
+//! ```
+//!
+//! Tables are stored as JSON under `crates/core/assets/` and compiled into
+//! the binary, so experiment harnesses need no filesystem access.
+
+use crate::whisker::WhiskerTree;
+use std::sync::Arc;
+
+/// Names of the shipped tables.
+pub const TABLE_NAMES: [&str; 7] = [
+    "delta01", "delta1", "delta10", "onex", "tenx", "datacenter", "coexist",
+];
+
+fn parse(name: &str, json: &str) -> Arc<WhiskerTree> {
+    Arc::new(
+        WhiskerTree::from_json(json)
+            .unwrap_or_else(|e| panic!("shipped table '{name}' is corrupt: {e}")),
+    )
+}
+
+/// RemyCC for the general model with δ = 0.1 (throughput-leaning).
+pub fn delta01() -> Arc<WhiskerTree> {
+    parse("delta01", include_str!("../assets/delta01.json"))
+}
+
+/// RemyCC for the general model with δ = 1.
+pub fn delta1() -> Arc<WhiskerTree> {
+    parse("delta1", include_str!("../assets/delta1.json"))
+}
+
+/// RemyCC for the general model with δ = 10 (delay-leaning).
+pub fn delta10() -> Arc<WhiskerTree> {
+    parse("delta10", include_str!("../assets/delta10.json"))
+}
+
+/// The "1×" RemyCC of §5.7: link speed known exactly (15 Mbps).
+pub fn onex() -> Arc<WhiskerTree> {
+    parse("onex", include_str!("../assets/onex.json"))
+}
+
+/// The "10×" RemyCC of §5.7: link speed known to a tenfold range
+/// (4.7–47 Mbps).
+pub fn tenx() -> Arc<WhiskerTree> {
+    parse("tenx", include_str!("../assets/tenx.json"))
+}
+
+/// The datacenter RemyCC of §5.5 (α = 2 objective, 10 Gbps / 4 ms model).
+pub fn datacenter() -> Arc<WhiskerTree> {
+    parse("datacenter", include_str!("../assets/datacenter.json"))
+}
+
+/// The §5.6 coexistence RemyCC (designed for RTTs of 100 ms – 10 s).
+pub fn coexist() -> Arc<WhiskerTree> {
+    parse("coexist", include_str!("../assets/coexist.json"))
+}
+
+/// Look a table up by name (the names in [`TABLE_NAMES`]).
+pub fn by_name(name: &str) -> Option<Arc<WhiskerTree>> {
+    match name {
+        "delta01" => Some(delta01()),
+        "delta1" => Some(delta1()),
+        "delta10" => Some(delta10()),
+        "onex" => Some(onex()),
+        "tenx" => Some(tenx()),
+        "datacenter" => Some(datacenter()),
+        "coexist" => Some(coexist()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::Memory;
+
+    #[test]
+    fn all_tables_parse_and_cover_memory_space() {
+        for name in TABLE_NAMES {
+            let t = by_name(name).expect("known name");
+            assert!(t.len() >= 1, "{name} is empty");
+            // Lookup is total over a grid of points.
+            for &a in &[0.0, 1.0, 50.0, 16_000.0] {
+                for &r in &[0.0, 1.0, 2.5, 100.0] {
+                    let m = Memory {
+                        ack_ewma_ms: a,
+                        send_ewma_ms: a / 2.0,
+                        rtt_ratio: r,
+                    };
+                    let w = t.lookup(m);
+                    assert!(w.domain.contains(m.clamped()), "{name} lookup broken");
+                }
+            }
+        }
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn tables_carry_provenance() {
+        for name in TABLE_NAMES {
+            let t = by_name(name).expect("known name");
+            assert!(
+                !t.provenance.is_empty(),
+                "{name} should record how it was trained"
+            );
+        }
+    }
+}

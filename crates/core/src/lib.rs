@@ -1,0 +1,81 @@
+//! # remy — computer-generated congestion control
+//!
+//! A from-scratch Rust implementation of the system described in *TCP ex
+//! Machina: Computer-Generated Congestion Control* (Winstein &
+//! Balakrishnan, SIGCOMM 2013): an offline optimizer ("Remy") that, given
+//! prior assumptions about the network and an explicit objective, designs
+//! the congestion-control algorithm ("RemyCC") that endpoints should run.
+//!
+//! * [`memory`] — the three-signal sender state (ack EWMA, send EWMA,
+//!   RTT ratio);
+//! * [`action`] — (window multiple, window increment, intersend pacing)
+//!   triples and the optimizer's candidate neighbourhood;
+//! * [`whisker`] — the octree rule table mapping memory regions to
+//!   actions, plus usage statistics;
+//! * [`remycc`] — the runtime that executes a rule table inside a TCP-like
+//!   sender (implements `netsim::cc::CongestionControl`);
+//! * [`objective`] — alpha-fairness scoring, `U_α(tput) − δ·U_β(delay)`;
+//! * [`model`] — design-range network models (the paper's design tables);
+//! * [`evaluator`] — common-random-number evaluation of candidate tables;
+//! * [`optimizer`] — the greedy improve/subdivide design loop;
+//! * [`assets`] — pre-trained rule tables shipped with the crate.
+//!
+//! ## Designing a RemyCC
+//!
+//! ```no_run
+//! use remy::prelude::*;
+//!
+//! let remy = Remy::new(
+//!     NetworkModel::general(),          // 10–20 Mbps, 100–200 ms, n ≤ 16
+//!     Objective::proportional(1.0),     // log tput − 1·log delay
+//!     TrainConfig::default(),
+//! );
+//! let table = remy.design(|event| println!("{event:?}"));
+//! std::fs::write("my_remycc.json", table.to_json()).unwrap();
+//! ```
+//!
+//! ## Running one
+//!
+//! ```
+//! use remy::prelude::*;
+//! use netsim::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let tree = Arc::new(WhiskerTree::single_rule());
+//! let scenario = Scenario::dumbbell(
+//!     LinkSpec::constant(15.0),
+//!     QueueSpec::DropTail { capacity: 1000 },
+//!     2,
+//!     Ns::from_millis(150),
+//!     TrafficSpec::saturating(),
+//!     Ns::from_secs(5),
+//!     1,
+//! );
+//! let results = run_scenario(&scenario, &|_| Box::new(RemyCc::new(Arc::clone(&tree))));
+//! assert!(results.flows[0].bytes > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod action;
+pub mod assets;
+pub mod evaluator;
+pub mod inspect;
+pub mod memory;
+pub mod model;
+pub mod objective;
+pub mod optimizer;
+pub mod remycc;
+pub mod whisker;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::action::Action;
+    pub use crate::evaluator::{EvalConfig, Evaluator};
+    pub use crate::memory::{Memory, MemoryTracker};
+    pub use crate::model::NetworkModel;
+    pub use crate::objective::Objective;
+    pub use crate::optimizer::{Remy, TrainConfig, TrainEvent};
+    pub use crate::remycc::RemyCc;
+    pub use crate::whisker::{Usage, Whisker, WhiskerTree};
+}

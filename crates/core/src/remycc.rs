@@ -1,0 +1,280 @@
+//! The RemyCC runtime: executing a whisker tree at a sender (§4.2).
+//!
+//! "Operationally, a RemyCC runs as a sequence of lookups triggered by
+//! incoming ACKs. Each time a RemyCC sender receives an ACK, it updates
+//! its memory and then looks up the corresponding action." The action sets
+//! a window multiple `m`, a window increment `b`, and a pacing floor `r`;
+//! the shared transport enforces `outstanding < cwnd` and the `r`-spacing.
+//!
+//! Losses are deliberately not congestion signals here: RemyCCs "inherit
+//! the loss-recovery behavior of whatever TCP sender they are added to"
+//! but make no window adjustment of their own on loss (§4.1).
+
+use crate::memory::MemoryTracker;
+use crate::whisker::{Usage, WhiskerTree};
+use netsim::cc::{AckInfo, CongestionControl, LossEvent};
+use netsim::time::Ns;
+use std::sync::{Arc, Mutex};
+
+/// Initial congestion window before the first ACK arrives.
+pub const INITIAL_WINDOW: f64 = 2.0;
+
+/// Shared sink for whisker-usage statistics, filled in when the optimizer
+/// evaluates candidate tables.
+pub type UsageSink = Arc<Mutex<Usage>>;
+
+/// A sender-side RemyCC executing a (typically Remy-designed) rule table.
+pub struct RemyCc {
+    tree: Arc<WhiskerTree>,
+    memory: MemoryTracker,
+    window: f64,
+    intersend: Ns,
+    /// Local usage accumulation, flushed to `sink` on drop.
+    local: Usage,
+    sink: Option<UsageSink>,
+    name: String,
+    /// Ablation hook: axes set to `false` are zeroed before lookup,
+    /// blinding the controller to that congestion signal (§4.1 discusses
+    /// why exactly these three signals were chosen — this lets you
+    /// measure it).
+    signal_mask: [bool; 3],
+}
+
+impl RemyCc {
+    /// Run the given rule table.
+    pub fn new(tree: Arc<WhiskerTree>) -> RemyCc {
+        let local = Usage::new(tree.id_bound());
+        RemyCc {
+            tree,
+            memory: MemoryTracker::new(),
+            window: INITIAL_WINDOW,
+            intersend: Ns::ZERO,
+            local,
+            sink: None,
+            name: "RemyCC".to_string(),
+            signal_mask: [true; 3],
+        }
+    }
+
+    /// Attach a usage sink (the optimizer's statistics channel).
+    pub fn with_usage_sink(mut self, sink: UsageSink) -> RemyCc {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Override the display name (e.g. "RemyCC δ=0.1").
+    pub fn with_name(mut self, name: impl Into<String>) -> RemyCc {
+        self.name = name.into();
+        self
+    }
+
+    /// Blind the controller to some memory axes (ablation studies):
+    /// `[ack_ewma, send_ewma, rtt_ratio]`, `false` = zeroed before lookup.
+    pub fn with_signal_mask(mut self, mask: [bool; 3]) -> RemyCc {
+        self.signal_mask = mask;
+        self
+    }
+
+    /// The rule table in use.
+    pub fn tree(&self) -> &WhiskerTree {
+        &self.tree
+    }
+}
+
+impl Drop for RemyCc {
+    fn drop(&mut self) {
+        if let Some(sink) = &self.sink {
+            sink.lock().expect("usage sink poisoned").merge(&self.local);
+        }
+    }
+}
+
+impl CongestionControl for RemyCc {
+    fn on_flow_start(&mut self, _now: Ns) {
+        // New on-period: memory returns to the all-zeroes state; the
+        // window restarts like a fresh connection.
+        self.memory.reset();
+        self.window = INITIAL_WINDOW;
+        self.intersend = Ns::ZERO;
+    }
+
+    fn on_ack(&mut self, info: &AckInfo) {
+        let mut mem = self.memory.on_ack(
+            info.now,
+            info.echo_ts,
+            info.rtt_sample,
+            info.min_rtt,
+        );
+        for i in 0..3 {
+            if !self.signal_mask[i] {
+                *mem.axis_mut(i) = 0.0;
+            }
+        }
+        let whisker = self.tree.lookup(mem);
+        self.local.record(whisker.id, mem);
+        self.window = whisker.action.apply(self.window);
+        self.intersend = whisker.action.intersend();
+    }
+
+    fn on_loss(&mut self, _now: Ns, _event: LossEvent) {
+        // Intentional no-op: loss is not a RemyCC congestion signal.
+    }
+
+    fn cwnd(&self) -> f64 {
+        self.window
+    }
+
+    fn pacing(&self) -> Ns {
+        self.intersend
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use crate::memory::Memory;
+
+    fn ack(now_ms: u64, rtt_ms: u64, min_ms: u64) -> AckInfo {
+        AckInfo {
+            now: Ns::from_millis(now_ms),
+            rtt_sample: Ns::from_millis(rtt_ms),
+            min_rtt: Ns::from_millis(min_ms),
+            srtt: Ns::from_millis(rtt_ms),
+            echo_ts: Ns::from_millis(now_ms.saturating_sub(rtt_ms)),
+            seq: 0,
+            newly_acked: 1,
+            in_flight: 4,
+            in_recovery: false,
+            ecn_echo: false,
+            xcp_feedback: None,
+        }
+    }
+
+    #[test]
+    fn default_rule_grows_additively() {
+        // Single-rule tree, default action m=1 b=1: window += 1 per ACK.
+        let mut cc = RemyCc::new(Arc::new(WhiskerTree::single_rule()));
+        cc.on_flow_start(Ns::ZERO);
+        let w0 = cc.cwnd();
+        cc.on_ack(&ack(100, 100, 100));
+        cc.on_ack(&ack(110, 100, 100));
+        assert_eq!(cc.cwnd(), w0 + 2.0);
+        assert_eq!(cc.pacing(), Ns::from_micros(10)); // r = 0.01 ms
+    }
+
+    #[test]
+    fn region_specific_actions_apply() {
+        let mut tree = WhiskerTree::single_rule();
+        tree.split(
+            0,
+            Memory {
+                ack_ewma_ms: 10.0,
+                send_ewma_ms: 10.0,
+                rtt_ratio: 2.0,
+            },
+        );
+        // Rule covering high rtt_ratio territory halves the window.
+        let shrink = Action {
+            window_multiple: 0.5,
+            window_increment: 0.0,
+            intersend_ms: 5.0,
+        };
+        let high_ratio = Memory {
+            ack_ewma_ms: 0.0,
+            send_ewma_ms: 0.0,
+            rtt_ratio: 4.0,
+        };
+        let id = tree.lookup(high_ratio).id;
+        tree.set_action(id, shrink);
+        let mut cc = RemyCc::new(Arc::new(tree));
+        cc.on_flow_start(Ns::ZERO);
+        // First ACK has rtt_ratio 4 (400 vs 100 min): shrink rule fires.
+        cc.on_ack(&ack(400, 400, 100));
+        assert_eq!(cc.cwnd(), 1.0, "0.5×2+0 clamped at 1");
+        assert_eq!(cc.pacing(), Ns::from_millis(5));
+    }
+
+    #[test]
+    fn loss_is_not_a_signal() {
+        let mut cc = RemyCc::new(Arc::new(WhiskerTree::single_rule()));
+        cc.on_flow_start(Ns::ZERO);
+        cc.on_ack(&ack(100, 100, 100));
+        let w = cc.cwnd();
+        cc.on_loss(Ns::from_millis(200), LossEvent::FastRetransmit);
+        cc.on_loss(Ns::from_millis(300), LossEvent::Timeout);
+        assert_eq!(cc.cwnd(), w, "RemyCC ignores loss events");
+    }
+
+    #[test]
+    fn flow_restart_resets_memory_and_window() {
+        let mut cc = RemyCc::new(Arc::new(WhiskerTree::single_rule()));
+        cc.on_flow_start(Ns::ZERO);
+        for k in 0..10 {
+            cc.on_ack(&ack(100 + k * 10, 120, 100));
+        }
+        assert!(cc.cwnd() > INITIAL_WINDOW);
+        cc.on_flow_start(Ns::from_secs(5));
+        assert_eq!(cc.cwnd(), INITIAL_WINDOW);
+        assert_eq!(cc.memory.memory(), Memory::INITIAL);
+    }
+
+    #[test]
+    fn usage_flows_to_sink_on_drop() {
+        let sink: UsageSink = Arc::new(Mutex::new(Usage::new(1)));
+        {
+            let mut cc = RemyCc::new(Arc::new(WhiskerTree::single_rule()))
+                .with_usage_sink(Arc::clone(&sink));
+            cc.on_flow_start(Ns::ZERO);
+            cc.on_ack(&ack(100, 100, 100));
+            cc.on_ack(&ack(110, 100, 100));
+            cc.on_ack(&ack(120, 100, 100));
+        } // drop flushes
+        assert_eq!(sink.lock().unwrap().count(0), 3);
+    }
+
+    #[test]
+    fn signal_mask_blinds_an_axis() {
+        // Tree splits on rtt_ratio; with the ratio masked, the high-ratio
+        // rule must never fire.
+        let mut tree = WhiskerTree::single_rule();
+        tree.split(
+            0,
+            Memory {
+                ack_ewma_ms: 10.0,
+                send_ewma_ms: 10.0,
+                rtt_ratio: 2.0,
+            },
+        );
+        let high_ratio = Memory {
+            ack_ewma_ms: 0.0,
+            send_ewma_ms: 0.0,
+            rtt_ratio: 4.0,
+        };
+        let id = tree.lookup(high_ratio).id;
+        tree.set_action(
+            id,
+            Action {
+                window_multiple: 0.5,
+                window_increment: 0.0,
+                intersend_ms: 5.0,
+            },
+        );
+        let mut cc = RemyCc::new(Arc::new(tree)).with_signal_mask([true, true, false]);
+        cc.on_flow_start(Ns::ZERO);
+        cc.on_ack(&ack(400, 400, 100)); // true ratio 4, masked to 0
+        // The default rule (m=1, b=1) fires instead of the shrink rule.
+        assert_eq!(cc.cwnd(), 3.0);
+        assert_eq!(cc.pacing(), Ns::from_micros(10));
+    }
+
+    #[test]
+    fn named_instances() {
+        let cc = RemyCc::new(Arc::new(WhiskerTree::single_rule())).with_name("RemyCC δ=1");
+        assert_eq!(cc.name(), "RemyCC δ=1");
+    }
+}

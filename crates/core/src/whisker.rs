@@ -1,0 +1,590 @@
+//! The whisker tree: Remy's piecewise-constant rule table (§4.2–4.3).
+//!
+//! A RemyCC "is defined by a set of piecewise-constant rules, each one
+//! mapping a three-dimensional rectangular region of the three-dimensional
+//! memory space to a three-dimensional action". Remy grows the table by
+//! splitting the most-used rule at the median memory value that triggered
+//! it, "producing eight new rules (one per dimension of the memory-space)"
+//! — an octree over memory space whose granularity is finest where traffic
+//! actually lands.
+
+use crate::action::Action;
+use crate::memory::{Memory, MEMORY_MAX};
+use serde::{Deserialize, Serialize};
+
+/// A half-open axis-aligned box `[lo, hi)` in memory space.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Cube {
+    /// Inclusive lower corner.
+    pub lo: Memory,
+    /// Exclusive upper corner.
+    pub hi: Memory,
+}
+
+impl Cube {
+    /// The whole valid memory domain.
+    pub fn whole() -> Cube {
+        Cube {
+            lo: Memory {
+                ack_ewma_ms: 0.0,
+                send_ewma_ms: 0.0,
+                rtt_ratio: 0.0,
+            },
+            hi: Memory {
+                // Slightly past MEMORY_MAX so clamped values at exactly
+                // MEMORY_MAX fall inside the half-open domain.
+                ack_ewma_ms: MEMORY_MAX + 1.0,
+                send_ewma_ms: MEMORY_MAX + 1.0,
+                rtt_ratio: MEMORY_MAX + 1.0,
+            },
+        }
+    }
+
+    /// True if the point is inside.
+    pub fn contains(&self, m: Memory) -> bool {
+        (0..3).all(|i| m.axis(i) >= self.lo.axis(i) && m.axis(i) < self.hi.axis(i))
+    }
+
+    /// The geometric center.
+    pub fn midpoint(&self) -> Memory {
+        let mut m = Memory::INITIAL;
+        for i in 0..3 {
+            *m.axis_mut(i) = 0.5 * (self.lo.axis(i) + self.hi.axis(i));
+        }
+        m
+    }
+}
+
+/// One rule: a region of memory space and the action it maps to.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Whisker {
+    /// Stable identifier within its tree (usage statistics key).
+    pub id: usize,
+    /// The region this rule covers.
+    pub domain: Cube,
+    /// The action applied whenever memory lands in `domain`.
+    pub action: Action,
+    /// The optimizer epoch this rule was last improved in (§4.3).
+    pub epoch: u64,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+enum Node {
+    Leaf(Whisker),
+    Branch {
+        domain: Cube,
+        /// Component-wise split point.
+        split: Memory,
+        /// Eight children indexed by the 3-bit code: bit i set ⇔
+        /// `memory.axis(i) >= split.axis(i)`.
+        children: Vec<Node>,
+    },
+}
+
+impl Node {
+    fn lookup(&self, m: Memory) -> &Whisker {
+        match self {
+            Node::Leaf(w) => w,
+            Node::Branch { split, children, .. } => {
+                let mut idx = 0usize;
+                for i in 0..3 {
+                    if m.axis(i) >= split.axis(i) {
+                        idx |= 1 << i;
+                    }
+                }
+                children[idx].lookup(m)
+            }
+        }
+    }
+
+    fn find_mut(&mut self, id: usize) -> Option<&mut Whisker> {
+        match self {
+            Node::Leaf(w) => (w.id == id).then_some(w),
+            Node::Branch { children, .. } => {
+                children.iter_mut().find_map(|c| c.find_mut(id))
+            }
+        }
+    }
+
+    fn visit<'a>(&'a self, out: &mut Vec<&'a Whisker>) {
+        match self {
+            Node::Leaf(w) => out.push(w),
+            Node::Branch { children, .. } => {
+                for c in children {
+                    c.visit(out);
+                }
+            }
+        }
+    }
+
+    fn visit_mut(&mut self, f: &mut dyn FnMut(&mut Whisker)) {
+        match self {
+            Node::Leaf(w) => f(w),
+            Node::Branch { children, .. } => {
+                for c in children {
+                    c.visit_mut(f);
+                }
+            }
+        }
+    }
+}
+
+/// The complete rule table of one RemyCC.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WhiskerTree {
+    root: Node,
+    /// Next unassigned whisker id (ids are never reused).
+    next_id: usize,
+    /// Free-form provenance (design ranges, δ, training budget) recorded
+    /// by the optimizer for reports.
+    pub provenance: String,
+}
+
+impl WhiskerTree {
+    /// The single-rule table Remy starts from: the whole memory domain
+    /// mapped to the default action `(m=1, b=1, r=0.01)`.
+    pub fn single_rule() -> WhiskerTree {
+        WhiskerTree {
+            root: Node::Leaf(Whisker {
+                id: 0,
+                domain: Cube::whole(),
+                action: Action::DEFAULT,
+                epoch: 0,
+            }),
+            next_id: 1,
+            provenance: String::new(),
+        }
+    }
+
+    /// The rule covering the given memory point.
+    pub fn lookup(&self, m: Memory) -> &Whisker {
+        self.root.lookup(m.clamped())
+    }
+
+    /// All rules, in tree order.
+    pub fn whiskers(&self) -> Vec<&Whisker> {
+        let mut out = Vec::new();
+        self.root.visit(&mut out);
+        out
+    }
+
+    /// Number of rules. (The paper's general-purpose RemyCCs contain
+    /// "between 162 and 204 rules".)
+    pub fn len(&self) -> usize {
+        self.whiskers().len()
+    }
+
+    /// True if the tree is a single rule.
+    pub fn is_empty(&self) -> bool {
+        false // a tree always has at least one rule
+    }
+
+    /// Upper bound on whisker ids (usage vectors size to this).
+    pub fn id_bound(&self) -> usize {
+        self.next_id
+    }
+
+    /// Replace the action of rule `id`.
+    pub fn set_action(&mut self, id: usize, action: Action) {
+        let w = self
+            .root
+            .find_mut(id)
+            .unwrap_or_else(|| panic!("no whisker with id {id}"));
+        w.action = action;
+    }
+
+    /// Fetch a rule by id.
+    pub fn get(&self, id: usize) -> Option<&Whisker> {
+        self.whiskers().into_iter().find(|w| w.id == id)
+    }
+
+    /// Mark every rule as belonging to `epoch` (§4.3 step 1).
+    pub fn set_all_epochs(&mut self, epoch: u64) {
+        self.root.visit_mut(&mut |w| w.epoch = epoch);
+    }
+
+    /// Advance one rule past the current epoch (§4.3 step 3 exit).
+    pub fn bump_epoch(&mut self, id: usize) {
+        let w = self
+            .root
+            .find_mut(id)
+            .unwrap_or_else(|| panic!("no whisker with id {id}"));
+        w.epoch += 1;
+    }
+
+    /// Split rule `id` at `point` into eight children inheriting the
+    /// parent's action (§4.3 step 5). The split point is clamped strictly
+    /// inside the domain; returns `false` (tree unchanged) if the domain
+    /// is too small to subdivide.
+    pub fn split(&mut self, id: usize, point: Memory) -> bool {
+        // Find the leaf and compute the clamped split point first.
+        let Some(w) = self.root.find_mut(id) else {
+            panic!("no whisker with id {id}");
+        };
+        let domain = w.domain;
+        let action = w.action;
+        let epoch = w.epoch;
+        let mut split = Memory::INITIAL;
+        for i in 0..3 {
+            let lo = domain.lo.axis(i);
+            let hi = domain.hi.axis(i);
+            let span = hi - lo;
+            if span <= 1e-6 {
+                return false; // cell too thin to split on this axis
+            }
+            // Keep the split strictly interior; the margin is tiny so a
+            // median near zero (where most memory values live) is honored
+            // almost exactly.
+            let margin = (span * 1e-6).max(1e-9);
+            *split.axis_mut(i) = point.axis(i).clamp(lo + margin, hi - margin);
+        }
+        // Build children.
+        let mut children = Vec::with_capacity(8);
+        for code in 0..8usize {
+            let mut lo = domain.lo;
+            let mut hi = domain.hi;
+            for i in 0..3 {
+                if code & (1 << i) != 0 {
+                    *lo.axis_mut(i) = split.axis(i);
+                } else {
+                    *hi.axis_mut(i) = split.axis(i);
+                }
+            }
+            children.push(Node::Leaf(Whisker {
+                id: self.next_id + code,
+                domain: Cube { lo, hi },
+                action,
+                epoch,
+            }));
+        }
+        self.next_id += 8;
+        // Replace the leaf in place.
+        let target = self
+            .root
+            .find_node_mut(id)
+            .expect("leaf located above");
+        *target = Node::Branch {
+            domain,
+            split,
+            children,
+        };
+        true
+    }
+
+    /// Rules belonging to `epoch`, as (id, use-count) given a usage table;
+    /// used by the optimizer's "most-used rule in this epoch" step.
+    pub fn most_used_in_epoch(&self, epoch: u64, usage: &Usage) -> Option<usize> {
+        self.whiskers()
+            .into_iter()
+            .filter(|w| w.epoch == epoch)
+            .map(|w| (w.id, usage.count(w.id)))
+            .filter(|&(_, c)| c > 0)
+            .max_by_key(|&(id, c)| (c, std::cmp::Reverse(id)))
+            .map(|(id, _)| id)
+    }
+
+    /// The most-used rule overall (splitting step).
+    pub fn most_used(&self, usage: &Usage) -> Option<usize> {
+        self.whiskers()
+            .into_iter()
+            .map(|w| (w.id, usage.count(w.id)))
+            .filter(|&(_, c)| c > 0)
+            .max_by_key(|&(id, c)| (c, std::cmp::Reverse(id)))
+            .map(|(id, _)| id)
+    }
+
+    /// Serialize to pretty JSON (the shipped rule-table asset format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("tree serializes")
+    }
+
+    /// Parse a JSON rule table.
+    pub fn from_json(s: &str) -> Result<WhiskerTree, String> {
+        serde_json::from_str(s).map_err(|e| format!("bad whisker table: {e}"))
+    }
+}
+
+impl Node {
+    /// Find the *node* holding leaf `id` (for in-place replacement).
+    fn find_node_mut(&mut self, id: usize) -> Option<&mut Node> {
+        match self {
+            Node::Leaf(w) if w.id == id => Some(self),
+            Node::Leaf(_) => None,
+            Node::Branch { children, .. } => {
+                children.iter_mut().find_map(|c| c.find_node_mut(id))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Usage statistics
+// ---------------------------------------------------------------------------
+
+/// Maximum memory samples retained per whisker for median estimation.
+pub const MAX_SAMPLES: usize = 128;
+
+/// Per-whisker usage collected during evaluation simulations: hit counts
+/// (most-used selection) and memory samples (median split points).
+#[derive(Clone, Debug, Default)]
+pub struct Usage {
+    counts: Vec<u64>,
+    samples: Vec<Vec<Memory>>,
+}
+
+impl Usage {
+    /// Table sized for whisker ids `0..id_bound`.
+    pub fn new(id_bound: usize) -> Usage {
+        Usage {
+            counts: vec![0; id_bound],
+            samples: vec![Vec::new(); id_bound],
+        }
+    }
+
+    /// Record one rule hit at the given memory point.
+    pub fn record(&mut self, id: usize, m: Memory) {
+        if id >= self.counts.len() {
+            self.counts.resize(id + 1, 0);
+            self.samples.resize(id + 1, Vec::new());
+        }
+        self.counts[id] += 1;
+        let s = &mut self.samples[id];
+        if s.len() < MAX_SAMPLES {
+            s.push(m);
+        } else {
+            // Reservoir-style thinning keyed on the count keeps samples
+            // spread across the whole run, deterministically.
+            let k = (self.counts[id] as usize) % MAX_SAMPLES;
+            if self.counts[id] % 7 == 0 {
+                s[k] = m;
+            }
+        }
+    }
+
+    /// Hits for a rule.
+    pub fn count(&self, id: usize) -> u64 {
+        self.counts.get(id).copied().unwrap_or(0)
+    }
+
+    /// Fold another usage table into this one.
+    pub fn merge(&mut self, other: &Usage) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+            self.samples.resize(other.counts.len(), Vec::new());
+        }
+        for (i, &c) in other.counts.iter().enumerate() {
+            self.counts[i] += c;
+            let room = MAX_SAMPLES.saturating_sub(self.samples[i].len());
+            self.samples[i]
+                .extend(other.samples[i].iter().take(room).copied());
+        }
+    }
+
+    /// Component-wise median of the memory values that hit rule `id`
+    /// (the split point of §4.3 step 5). `None` if the rule was never hit.
+    pub fn median_memory(&self, id: usize) -> Option<Memory> {
+        let s = self.samples.get(id)?;
+        if s.is_empty() {
+            return None;
+        }
+        let mut m = Memory::INITIAL;
+        for i in 0..3 {
+            let mut axis: Vec<f64> = s.iter().map(|x| x.axis(i)).collect();
+            axis.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            *m.axis_mut(i) = axis[axis.len() / 2];
+        }
+        Some(m)
+    }
+
+    /// Total hits across all rules.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem(a: f64, s: f64, r: f64) -> Memory {
+        Memory {
+            ack_ewma_ms: a,
+            send_ewma_ms: s,
+            rtt_ratio: r,
+        }
+    }
+
+    #[test]
+    fn single_rule_covers_everything() {
+        let t = WhiskerTree::single_rule();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(Memory::INITIAL).id, 0);
+        assert_eq!(t.lookup(mem(16_384.0, 0.0, 9_000.0)).id, 0);
+        assert_eq!(t.lookup(mem(1e18, -5.0, 3.0)).id, 0, "clamped lookup");
+    }
+
+    #[test]
+    fn split_produces_eight_disjoint_children() {
+        let mut t = WhiskerTree::single_rule();
+        assert!(t.split(0, mem(100.0, 200.0, 2.0)));
+        assert_eq!(t.len(), 8);
+        // Every corner of the old domain maps to a distinct child.
+        let mut seen = std::collections::HashSet::new();
+        for &a in &[50.0, 150.0] {
+            for &s in &[100.0, 300.0] {
+                for &r in &[1.0, 3.0] {
+                    seen.insert(t.lookup(mem(a, s, r)).id);
+                }
+            }
+        }
+        assert_eq!(seen.len(), 8, "each octant its own rule");
+    }
+
+    #[test]
+    fn children_inherit_action_and_epoch() {
+        let mut t = WhiskerTree::single_rule();
+        let act = Action {
+            window_multiple: 0.5,
+            window_increment: 3.0,
+            intersend_ms: 1.0,
+        };
+        t.set_action(0, act);
+        t.set_all_epochs(7);
+        t.split(0, mem(8.0, 8.0, 2.0));
+        for w in t.whiskers() {
+            assert_eq!(w.action, act);
+            assert_eq!(w.epoch, 7);
+        }
+    }
+
+    #[test]
+    fn lookup_total_after_many_splits() {
+        // The partition property: every memory point maps to exactly one
+        // rule whose domain contains it.
+        let mut t = WhiskerTree::single_rule();
+        t.split(0, mem(10.0, 10.0, 1.5));
+        let first_children: Vec<usize> = t.whiskers().iter().map(|w| w.id).collect();
+        t.split(first_children[0], mem(5.0, 5.0, 1.2));
+        t.split(first_children[7], mem(1000.0, 1000.0, 4.0));
+        assert_eq!(t.len(), 22);
+        for &a in &[0.0, 5.0, 9.0, 11.0, 500.0, 16_000.0] {
+            for &s in &[0.0, 7.0, 20.0, 12_000.0] {
+                for &r in &[0.0, 1.3, 2.0, 10.0] {
+                    let w = t.lookup(mem(a, s, r));
+                    assert!(w.domain.contains(mem(a, s, r)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_point_is_clamped_inside() {
+        let mut t = WhiskerTree::single_rule();
+        // Degenerate median at the domain edge must still split.
+        assert!(t.split(0, mem(0.0, 0.0, 0.0)));
+        assert_eq!(t.len(), 8);
+    }
+
+    #[test]
+    fn tiny_cells_refuse_to_split() {
+        let mut t = WhiskerTree::single_rule();
+        let mut id = 0;
+        // Repeatedly split the lowest-corner child; spans shrink toward
+        // the 1e-6 floor and the split must eventually refuse.
+        let mut splits = 0;
+        loop {
+            if !t.split(id, mem(0.0, 0.0, 0.0)) {
+                break;
+            }
+            splits += 1;
+            assert!(splits < 100, "split never refused");
+            // child 0 of the fresh split has the smallest corner
+            id = t
+                .whiskers()
+                .iter()
+                .map(|w| w.id)
+                .max()
+                .expect("rules exist")
+                - 7;
+        }
+        // Each corner split shrinks the corner child by ~10⁶×, so the
+        // 1e-6 span floor is reached after a couple of splits.
+        assert!(splits >= 2, "should manage a few splits before refusing");
+    }
+
+    #[test]
+    fn epochs_and_most_used() {
+        let mut t = WhiskerTree::single_rule();
+        t.split(0, mem(10.0, 10.0, 2.0));
+        let ids: Vec<usize> = t.whiskers().iter().map(|w| w.id).collect();
+        let mut u = Usage::new(t.id_bound());
+        u.record(ids[3], mem(5.0, 20.0, 3.0));
+        u.record(ids[3], mem(6.0, 21.0, 3.0));
+        u.record(ids[5], mem(20.0, 5.0, 3.0));
+        assert_eq!(t.most_used(&u), Some(ids[3]));
+        assert_eq!(t.most_used_in_epoch(0, &u), Some(ids[3]));
+        t.bump_epoch(ids[3]);
+        assert_eq!(t.most_used_in_epoch(0, &u), Some(ids[5]));
+        t.bump_epoch(ids[5]);
+        assert_eq!(t.most_used_in_epoch(0, &u), None, "unused rules skipped");
+    }
+
+    #[test]
+    fn usage_median_is_componentwise() {
+        let mut u = Usage::new(1);
+        u.record(0, mem(1.0, 30.0, 1.0));
+        u.record(0, mem(2.0, 10.0, 5.0));
+        u.record(0, mem(3.0, 20.0, 3.0));
+        let m = u.median_memory(0).expect("samples exist");
+        assert_eq!(m.ack_ewma_ms, 2.0);
+        assert_eq!(m.send_ewma_ms, 20.0);
+        assert_eq!(m.rtt_ratio, 3.0);
+        assert!(u.median_memory(5).is_none());
+    }
+
+    #[test]
+    fn usage_merge_accumulates() {
+        let mut a = Usage::new(2);
+        let mut b = Usage::new(2);
+        a.record(0, Memory::INITIAL);
+        b.record(0, Memory::INITIAL);
+        b.record(1, Memory::INITIAL);
+        a.merge(&b);
+        assert_eq!(a.count(0), 2);
+        assert_eq!(a.count(1), 1);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    fn usage_sample_cap_holds() {
+        let mut u = Usage::new(1);
+        for k in 0..10_000 {
+            u.record(0, mem(k as f64, 0.0, 1.0));
+        }
+        assert_eq!(u.count(0), 10_000);
+        assert!(u.median_memory(0).is_some());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut t = WhiskerTree::single_rule();
+        t.split(0, mem(50.0, 60.0, 2.0));
+        let ids: Vec<usize> = t.whiskers().iter().map(|w| w.id).collect();
+        t.set_action(
+            ids[2],
+            Action {
+                window_multiple: 0.8,
+                window_increment: -2.0,
+                intersend_ms: 3.5,
+            },
+        );
+        t.provenance = "test".into();
+        let json = t.to_json();
+        let back = WhiskerTree::from_json(&json).expect("parse");
+        assert_eq!(back.len(), t.len());
+        assert_eq!(back.provenance, "test");
+        let m = mem(100.0, 100.0, 3.0);
+        assert_eq!(back.lookup(m).action, t.lookup(m).action);
+        assert!(WhiskerTree::from_json("{").is_err());
+    }
+}

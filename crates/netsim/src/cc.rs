@@ -1,0 +1,185 @@
+//! The congestion-control interface.
+//!
+//! Every scheme in this repository — the human-designed baselines in the
+//! `congestion` crate and the machine-designed RemyCC in the `remy` crate —
+//! implements [`CongestionControl`]. The reliable transport
+//! ([`crate::transport::Transport`]) owns one instance per flow, feeds it
+//! ACK and loss events, and reads back a congestion window plus an optional
+//! pacing gap.
+//!
+//! The split mirrors the paper's architecture: a RemyCC "runs as part of an
+//! existing TCP sender implementation" and "inherits the loss-recovery
+//! behavior of whatever TCP sender [it is] added to" (§4.1). Loss detection,
+//! retransmission, and RTO management are the transport's job; the
+//! congestion-control object only decides *how much* and *how fast* to send.
+
+use crate::packet::XcpHeader;
+use crate::time::Ns;
+
+/// Everything a congestion-control module may consult when an ACK arrives.
+#[derive(Clone, Copy, Debug)]
+pub struct AckInfo {
+    /// Sender clock at ACK arrival.
+    pub now: Ns,
+    /// RTT sample for the acknowledged packet (arrival − echoed send time).
+    pub rtt_sample: Ns,
+    /// Minimum RTT observed on this connection so far (includes this sample).
+    pub min_rtt: Ns,
+    /// Smoothed RTT maintained by the transport (RFC 6298 style).
+    pub srtt: Ns,
+    /// The echoed sender timestamp of the packet that triggered this ACK.
+    pub echo_ts: Ns,
+    /// Sequence of the packet that triggered this ACK.
+    pub seq: u64,
+    /// How many previously-unacknowledged packets this ACK newly covers
+    /// (0 for a duplicate ACK).
+    pub newly_acked: u64,
+    /// Packets currently in flight, after accounting for this ACK.
+    pub in_flight: u64,
+    /// True if the transport is in fast-recovery.
+    pub in_recovery: bool,
+    /// True if the delivered packet carried an ECN CE mark (DCTCP).
+    pub ecn_echo: bool,
+    /// XCP per-packet feedback echoed by the receiver, in packets.
+    pub xcp_feedback: Option<f64>,
+}
+
+/// Why the transport believes a packet was lost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LossEvent {
+    /// Three duplicate ACKs — fast retransmit. The network is still
+    /// delivering packets; a moderate reduction is appropriate.
+    FastRetransmit,
+    /// Retransmission timeout — the ACK clock stalled entirely.
+    Timeout,
+}
+
+/// A congestion-control algorithm driven by per-ACK events.
+///
+/// Implementations must be deterministic functions of the event stream they
+/// observe; the simulator relies on this for reproducibility and Remy's
+/// design procedure relies on it for common-random-number comparisons.
+pub trait CongestionControl: Send {
+    /// A new "on" period (connection) is starting. Reset any per-connection
+    /// state. RemyCCs reset their memory to the all-zeroes initial state
+    /// here (§4.1); TCP schemes return to slow start.
+    fn on_flow_start(&mut self, now: Ns);
+
+    /// An acknowledgment arrived.
+    fn on_ack(&mut self, info: &AckInfo);
+
+    /// The transport inferred a loss.
+    fn on_loss(&mut self, now: Ns, event: LossEvent);
+
+    /// A data packet was handed to the network (new or retransmitted).
+    fn on_packet_sent(&mut self, _now: Ns, _seq: u64, _in_flight: u64) {}
+
+    /// Current congestion window, in packets. May be fractional; the
+    /// transport sends while `in_flight < floor-or-probe(cwnd)`.
+    fn cwnd(&self) -> f64;
+
+    /// Minimum spacing between consecutive transmissions (a rate pacer).
+    /// `Ns::ZERO` disables pacing. RemyCC actions set this via their `r`
+    /// component; most TCP baselines leave it at zero.
+    fn pacing(&self) -> Ns {
+        Ns::ZERO
+    }
+
+    /// For XCP senders: the congestion header to stamp on an outgoing
+    /// packet. `None` for every other scheme.
+    fn xcp_header(&self) -> Option<XcpHeader> {
+        None
+    }
+
+    /// Whether outgoing packets should advertise ECN capability.
+    fn ecn_capable(&self) -> bool {
+        false
+    }
+
+    /// Human-readable scheme name for reports.
+    fn name(&self) -> &str;
+}
+
+/// A trivial fixed-window scheme, useful for tests and for measuring the
+/// raw capacity of a simulated path (it behaves like a window-clamped
+/// greedy sender with no congestion response).
+#[derive(Clone, Debug)]
+pub struct FixedWindow {
+    window: f64,
+    pacing: Ns,
+}
+
+impl FixedWindow {
+    /// A sender that keeps exactly `window` packets in flight.
+    pub fn new(window: f64) -> FixedWindow {
+        FixedWindow {
+            window,
+            pacing: Ns::ZERO,
+        }
+    }
+
+    /// Add a fixed pacing gap between transmissions.
+    pub fn with_pacing(mut self, gap: Ns) -> FixedWindow {
+        self.pacing = gap;
+        self
+    }
+}
+
+impl CongestionControl for FixedWindow {
+    fn on_flow_start(&mut self, _now: Ns) {}
+    fn on_ack(&mut self, _info: &AckInfo) {}
+    fn on_loss(&mut self, _now: Ns, _event: LossEvent) {}
+
+    fn cwnd(&self) -> f64 {
+        self.window
+    }
+
+    fn pacing(&self) -> Ns {
+        self.pacing
+    }
+
+    fn name(&self) -> &str {
+        "FixedWindow"
+    }
+}
+
+/// Factory for congestion-control instances: one simulation needs one
+/// instance per flow, and experiment harnesses need to construct many
+/// simulations, so schemes are passed around as factories.
+pub type CcFactory = Box<dyn Fn(FlowId) -> Box<dyn CongestionControl> + Send + Sync>;
+
+use crate::packet::FlowId;
+
+/// Convenience: build a [`CcFactory`] from a closure returning a concrete
+/// scheme.
+pub fn factory<C, F>(f: F) -> CcFactory
+where
+    C: CongestionControl + 'static,
+    F: Fn(FlowId) -> C + Send + Sync + 'static,
+{
+    Box::new(move |id| Box::new(f(id)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_window_is_inert() {
+        let mut cc = FixedWindow::new(10.0).with_pacing(Ns::from_millis(2));
+        cc.on_flow_start(Ns::ZERO);
+        cc.on_loss(Ns::ZERO, LossEvent::Timeout);
+        assert_eq!(cc.cwnd(), 10.0);
+        assert_eq!(cc.pacing(), Ns::from_millis(2));
+        assert!(cc.xcp_header().is_none());
+        assert!(!cc.ecn_capable());
+    }
+
+    #[test]
+    fn factory_builds_boxed_instances() {
+        let f = factory(|_id| FixedWindow::new(4.0));
+        let cc = f(0);
+        assert_eq!(cc.cwnd(), 4.0);
+        assert_eq!(cc.name(), "FixedWindow");
+    }
+}

@@ -1,0 +1,268 @@
+//! Bottleneck link models.
+//!
+//! Two service models cover every experiment in the paper:
+//!
+//! * [`LinkSpec::Constant`] — a fixed-rate link: each packet occupies the
+//!   link for `size * 8 / rate` seconds (the dumbbell and datacenter
+//!   experiments).
+//! * [`LinkSpec::Trace`] — a trace-driven link: the link may release one
+//!   packet at each instant recorded in a delivery schedule, exactly the
+//!   paper's cellular methodology ("queueing packets until they are
+//!   released to the receiver at the same time they were released in the
+//!   trace", §5.1). The schedule loops when the simulation outlasts it.
+
+use crate::time::{service_time, Ns};
+use std::sync::Arc;
+
+/// Declarative link configuration.
+#[derive(Clone, Debug)]
+pub enum LinkSpec {
+    /// Fixed-rate link.
+    Constant {
+        /// Rate in megabits per second.
+        rate_mbps: f64,
+    },
+    /// Trace-driven link: one delivery opportunity per instant in
+    /// `schedule` (strictly increasing). When the simulation runs past the
+    /// end, the schedule repeats with period `schedule.last() + tail_gap`.
+    Trace {
+        /// The delivery-opportunity schedule.
+        schedule: Arc<DeliverySchedule>,
+        /// Descriptive name for reports (e.g. "verizon-lte-down").
+        name: String,
+    },
+}
+
+impl LinkSpec {
+    /// A fixed-rate link.
+    pub fn constant(rate_mbps: f64) -> LinkSpec {
+        assert!(rate_mbps > 0.0, "link rate must be positive");
+        LinkSpec::Constant { rate_mbps }
+    }
+
+    /// A trace-driven link from a delivery schedule.
+    pub fn trace(name: impl Into<String>, schedule: DeliverySchedule) -> LinkSpec {
+        LinkSpec::Trace {
+            schedule: Arc::new(schedule),
+            name: name.into(),
+        }
+    }
+
+    /// The long-term average rate in Mbps, assuming `mss`-byte packets.
+    /// For constant links this is exact; for traces it is the mean delivery
+    /// rate over one full period. XCP is configured with this value (the
+    /// paper supplies XCP "the long-term average link speed" on traces).
+    pub fn average_rate_mbps(&self, mss: u32) -> f64 {
+        match self {
+            LinkSpec::Constant { rate_mbps } => *rate_mbps,
+            LinkSpec::Trace { schedule, .. } => {
+                let n = schedule.instants.len() as f64;
+                let period = schedule.period().as_secs_f64();
+                if period <= 0.0 {
+                    0.0
+                } else {
+                    n * mss as f64 * 8.0 / period / 1e6
+                }
+            }
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            LinkSpec::Constant { rate_mbps } => format!("{rate_mbps} Mbps"),
+            LinkSpec::Trace { name, .. } => name.clone(),
+        }
+    }
+}
+
+/// A strictly-increasing list of packet-delivery instants.
+#[derive(Clone, Debug, Default)]
+pub struct DeliverySchedule {
+    instants: Vec<Ns>,
+    /// Gap appended after the final instant before the schedule repeats.
+    tail_gap: Ns,
+}
+
+impl DeliverySchedule {
+    /// Build a schedule from delivery instants. The list must be
+    /// non-empty and strictly increasing. `tail_gap` is the idle time
+    /// between the last instant and the start of the next repetition; a
+    /// reasonable choice is the mean inter-delivery gap.
+    pub fn new(instants: Vec<Ns>, tail_gap: Ns) -> DeliverySchedule {
+        assert!(!instants.is_empty(), "empty delivery schedule");
+        for w in instants.windows(2) {
+            assert!(w[0] < w[1], "delivery instants must strictly increase");
+        }
+        DeliverySchedule { instants, tail_gap }
+    }
+
+    /// The repetition period.
+    pub fn period(&self) -> Ns {
+        *self.instants.last().expect("non-empty") + self.tail_gap
+    }
+
+    /// Number of delivery opportunities per period.
+    pub fn len(&self) -> usize {
+        self.instants.len()
+    }
+
+    /// True if the schedule holds no instants (never constructed this way).
+    pub fn is_empty(&self) -> bool {
+        self.instants.is_empty()
+    }
+
+    /// The first delivery opportunity strictly after `now`, unrolling the
+    /// schedule periodically.
+    pub fn next_after(&self, now: Ns) -> Ns {
+        let period = self.period();
+        debug_assert!(period.0 > 0);
+        let cycle = now.0 / period.0;
+        let offset = Ns(now.0 % period.0);
+        let base = Ns(cycle * period.0);
+        // Find the first instant strictly greater than `offset`.
+        match self.instants.binary_search_by(|t| {
+            if *t <= offset {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Greater
+            }
+        }) {
+            Ok(_) => unreachable!("comparator never returns Equal"),
+            Err(idx) => {
+                if idx < self.instants.len() {
+                    base + self.instants[idx]
+                } else {
+                    // Wrap into the next cycle.
+                    Ns(base.0 + period.0) + self.instants[0]
+                }
+            }
+        }
+    }
+}
+
+/// Runtime state of the bottleneck link inside the simulator.
+pub enum LinkState {
+    /// Fixed-rate service.
+    Constant {
+        /// Rate in megabits per second.
+        rate_mbps: f64,
+    },
+    /// Trace-driven delivery.
+    Trace {
+        /// The delivery-opportunity schedule.
+        schedule: Arc<DeliverySchedule>,
+    },
+}
+
+impl LinkState {
+    /// Instantiate runtime state from a spec.
+    pub fn from_spec(spec: &LinkSpec) -> LinkState {
+        match spec {
+            LinkSpec::Constant { rate_mbps } => LinkState::Constant {
+                rate_mbps: *rate_mbps,
+            },
+            LinkSpec::Trace { schedule, .. } => LinkState::Trace {
+                schedule: Arc::clone(schedule),
+            },
+        }
+    }
+
+    /// Service time for a packet of `bytes` bytes on a constant link;
+    /// trace links have no per-packet service time (delivery is pinned to
+    /// trace instants).
+    pub fn service_time(&self, bytes: u32) -> Option<Ns> {
+        match self {
+            LinkState::Constant { rate_mbps } => Some(service_time(bytes, *rate_mbps)),
+            LinkState::Trace { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_link_average_rate() {
+        let l = LinkSpec::constant(15.0);
+        assert_eq!(l.average_rate_mbps(1500), 15.0);
+        assert_eq!(l.label(), "15 Mbps");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn constant_link_rejects_zero_rate() {
+        let _ = LinkSpec::constant(0.0);
+    }
+
+    #[test]
+    fn schedule_next_after_basic() {
+        let s = DeliverySchedule::new(
+            vec![Ns(10), Ns(20), Ns(35)],
+            Ns(5), // period = 40
+        );
+        assert_eq!(s.period(), Ns(40));
+        assert_eq!(s.next_after(Ns(0)), Ns(10));
+        assert_eq!(s.next_after(Ns(10)), Ns(20)); // strictly after
+        assert_eq!(s.next_after(Ns(21)), Ns(35));
+        // Wraps to next cycle: 40 + 10.
+        assert_eq!(s.next_after(Ns(35)), Ns(50));
+        assert_eq!(s.next_after(Ns(36)), Ns(50));
+    }
+
+    #[test]
+    fn schedule_unrolls_many_cycles() {
+        let s = DeliverySchedule::new(vec![Ns(1), Ns(3)], Ns(1)); // period 4
+        // Cycle k delivers at 4k+1, 4k+3.
+        assert_eq!(s.next_after(Ns(100)), Ns(101));
+        assert_eq!(s.next_after(Ns(101)), Ns(103));
+        assert_eq!(s.next_after(Ns(103)), Ns(105));
+    }
+
+    #[test]
+    fn schedule_is_strictly_monotonic_generator() {
+        let s = DeliverySchedule::new(vec![Ns(5), Ns(9), Ns(14)], Ns(2));
+        let mut t = Ns::ZERO;
+        let mut prev = Ns::ZERO;
+        for _ in 0..100 {
+            t = s.next_after(t);
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn schedule_rejects_unsorted() {
+        let _ = DeliverySchedule::new(vec![Ns(5), Ns(5)], Ns(1));
+    }
+
+    #[test]
+    fn trace_average_rate() {
+        // 4 deliveries of 1500 B over a 2 ms period = 4*12000 bits / 2 ms
+        // = 24 Mbps.
+        let s = DeliverySchedule::new(
+            vec![
+                Ns::from_micros(400),
+                Ns::from_micros(900),
+                Ns::from_micros(1400),
+                Ns::from_micros(1900),
+            ],
+            Ns::from_micros(100),
+        );
+        let l = LinkSpec::trace("test", s);
+        assert!((l.average_rate_mbps(1500) - 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_state_service_time() {
+        let c = LinkState::from_spec(&LinkSpec::constant(12.0));
+        assert_eq!(c.service_time(1500), Some(Ns::from_millis(1)));
+        let t = LinkState::from_spec(&LinkSpec::trace(
+            "t",
+            DeliverySchedule::new(vec![Ns(1)], Ns(1)),
+        ));
+        assert_eq!(t.service_time(1500), None);
+    }
+}

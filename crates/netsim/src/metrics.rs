@@ -1,0 +1,291 @@
+//! Per-flow measurement, following the paper's definitions (§5.1).
+//!
+//! Throughput of a sender that is active during on-intervals `t1, t2, …`
+//! receiving `s1, s2, …` bytes is `Σ si / Σ ti`. Queueing delay is the
+//! average per-packet delay in excess of the minimum (time spent waiting
+//! in the bottleneck queue). We also track the average RTT, which the
+//! objective function's delay term uses.
+
+use crate::time::Ns;
+
+/// One "on" period of a flow.
+#[derive(Clone, Copy, Debug)]
+pub struct OnInterval {
+    /// When the sender switched on.
+    pub start: Ns,
+    /// When it switched off (or the simulation ended).
+    pub end: Option<Ns>,
+    /// New (not previously delivered) bytes the receiver got that are
+    /// attributed to this interval.
+    pub bytes: u64,
+}
+
+impl OnInterval {
+    fn duration_capped(&self, sim_end: Ns) -> Ns {
+        let end = self.end.unwrap_or(sim_end).min(sim_end);
+        end.saturating_sub(self.start)
+    }
+}
+
+/// Running measurements for a single flow.
+#[derive(Clone, Debug, Default)]
+pub struct FlowMetrics {
+    intervals: Vec<OnInterval>,
+    /// Packets delivered to the receiver (new data only).
+    pub packets_delivered: u64,
+    /// Duplicate deliveries (spurious retransmissions observed).
+    pub duplicate_deliveries: u64,
+    queue_delay_sum_s: f64,
+    queue_delay_count: u64,
+    rtt_sum_s: f64,
+    rtt_count: u64,
+}
+
+impl FlowMetrics {
+    /// A new on-interval began.
+    pub fn start_interval(&mut self, now: Ns) {
+        debug_assert!(self
+            .intervals
+            .last()
+            .map(|i| i.end.is_some())
+            .unwrap_or(true));
+        self.intervals.push(OnInterval {
+            start: now,
+            end: None,
+            bytes: 0,
+        });
+    }
+
+    /// The current on-interval ended.
+    pub fn end_interval(&mut self, now: Ns) {
+        if let Some(i) = self.intervals.last_mut() {
+            if i.end.is_none() {
+                i.end = Some(now);
+            }
+        }
+    }
+
+    /// Credit delivered bytes: to the open interval if one exists,
+    /// otherwise to the most recent one (late deliveries while draining).
+    pub fn credit_bytes(&mut self, bytes: u64) {
+        if let Some(i) = self.intervals.last_mut() {
+            i.bytes += bytes;
+        }
+        // Bytes delivered before the first on-interval cannot happen: the
+        // sender only transmits while on.
+    }
+
+    /// Record one packet's bottleneck queueing delay.
+    pub fn record_queue_delay(&mut self, d: Ns) {
+        self.queue_delay_sum_s += d.as_secs_f64();
+        self.queue_delay_count += 1;
+    }
+
+    /// Record one RTT sample observed at the sender.
+    pub fn record_rtt(&mut self, rtt: Ns) {
+        self.rtt_sum_s += rtt.as_secs_f64();
+        self.rtt_count += 1;
+    }
+
+    /// Total on-time, capping the final (possibly open) interval at the
+    /// simulation end.
+    pub fn on_time(&self, sim_end: Ns) -> Ns {
+        Ns(self
+            .intervals
+            .iter()
+            .map(|i| i.duration_capped(sim_end).0)
+            .sum())
+    }
+
+    /// Total new bytes delivered.
+    pub fn bytes(&self) -> u64 {
+        self.intervals.iter().map(|i| i.bytes).sum()
+    }
+
+    /// All recorded intervals.
+    pub fn intervals(&self) -> &[OnInterval] {
+        &self.intervals
+    }
+
+    /// Summarize at simulation end.
+    pub fn summarize(&self, sim_end: Ns) -> FlowSummary {
+        let on = self.on_time(sim_end).as_secs_f64();
+        let bytes = self.bytes();
+        FlowSummary {
+            throughput_mbps: if on > 0.0 {
+                bytes as f64 * 8.0 / on / 1e6
+            } else {
+                0.0
+            },
+            on_secs: on,
+            bytes,
+            packets_delivered: self.packets_delivered,
+            duplicate_deliveries: self.duplicate_deliveries,
+            mean_queue_delay_ms: if self.queue_delay_count > 0 {
+                self.queue_delay_sum_s / self.queue_delay_count as f64 * 1e3
+            } else {
+                0.0
+            },
+            mean_rtt_ms: if self.rtt_count > 0 {
+                self.rtt_sum_s / self.rtt_count as f64 * 1e3
+            } else {
+                0.0
+            },
+            n_intervals: self.intervals.len(),
+        }
+    }
+}
+
+/// Final per-flow results of one simulation run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FlowSummary {
+    /// `Σ si / Σ ti`, in Mbps.
+    pub throughput_mbps: f64,
+    /// Total on-time in seconds.
+    pub on_secs: f64,
+    /// Total new bytes delivered.
+    pub bytes: u64,
+    /// New packets delivered.
+    pub packets_delivered: u64,
+    /// Duplicate deliveries seen at the receiver.
+    pub duplicate_deliveries: u64,
+    /// Mean time spent in the bottleneck queue, milliseconds.
+    pub mean_queue_delay_ms: f64,
+    /// Mean sender-observed RTT, milliseconds.
+    pub mean_rtt_ms: f64,
+    /// Number of on-intervals (flows) this sender ran.
+    pub n_intervals: usize,
+}
+
+impl FlowSummary {
+    /// True if this sender was ever active (summaries of never-on senders
+    /// are excluded from medians, as in the paper's per-sender statistics).
+    pub fn was_active(&self) -> bool {
+        self.on_secs > 0.0
+    }
+}
+
+/// One delivery record for sequence plots (Fig. 6).
+#[derive(Clone, Copy, Debug)]
+pub struct DeliveryRecord {
+    /// Receiver clock at delivery.
+    pub at: Ns,
+    /// Flow the packet belonged to.
+    pub flow: usize,
+    /// Delivered sequence number.
+    pub seq: u64,
+}
+
+/// Complete results of one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct SimResults {
+    /// Per-sender summaries, indexed by flow id.
+    pub flows: Vec<FlowSummary>,
+    /// Packets dropped at the bottleneck.
+    pub queue_drops: u64,
+    /// Total packets the bottleneck served.
+    pub packets_forwarded: u64,
+    /// Simulated duration.
+    pub duration: Ns,
+    /// Optional per-delivery log (enabled via
+    /// [`crate::scenario::Scenario::record_deliveries`]).
+    pub deliveries: Vec<DeliveryRecord>,
+}
+
+impl SimResults {
+    /// Aggregate link utilization: delivered payload bits / (rate × time).
+    /// Only meaningful for constant-rate links; harnesses pass the rate.
+    pub fn utilization(&self, rate_mbps: f64) -> f64 {
+        let bits: f64 = self.flows.iter().map(|f| f.bytes as f64 * 8.0).sum();
+        bits / (rate_mbps * 1e6 * self.duration.as_secs_f64())
+    }
+
+    /// Summaries of senders that were active at least once.
+    pub fn active_flows(&self) -> impl Iterator<Item = &FlowSummary> {
+        self.flows.iter().filter(|f| f.was_active())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_is_bytes_over_on_time() {
+        let mut m = FlowMetrics::default();
+        m.start_interval(Ns::from_secs(1));
+        m.credit_bytes(1_250_000); // 10 Mbit
+        m.end_interval(Ns::from_secs(2));
+        let s = m.summarize(Ns::from_secs(10));
+        assert!((s.throughput_mbps - 10.0).abs() < 1e-9);
+        assert_eq!(s.on_secs, 1.0);
+        assert_eq!(s.n_intervals, 1);
+    }
+
+    #[test]
+    fn multiple_intervals_pool_bytes_and_time() {
+        let mut m = FlowMetrics::default();
+        m.start_interval(Ns::ZERO);
+        m.credit_bytes(500_000);
+        m.end_interval(Ns::from_secs(1));
+        m.start_interval(Ns::from_secs(5));
+        m.credit_bytes(750_000);
+        m.end_interval(Ns::from_secs(6));
+        let s = m.summarize(Ns::from_secs(10));
+        // 1.25 MB over 2 s = 5 Mbps.
+        assert!((s.throughput_mbps - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn open_interval_capped_at_sim_end() {
+        let mut m = FlowMetrics::default();
+        m.start_interval(Ns::from_secs(8));
+        m.credit_bytes(250_000);
+        let s = m.summarize(Ns::from_secs(10));
+        assert_eq!(s.on_secs, 2.0);
+        assert!((s.throughput_mbps - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn late_bytes_credit_last_interval() {
+        let mut m = FlowMetrics::default();
+        m.start_interval(Ns::ZERO);
+        m.end_interval(Ns::from_secs(1));
+        m.credit_bytes(1000); // drain delivery after off
+        assert_eq!(m.bytes(), 1000);
+    }
+
+    #[test]
+    fn delay_averages() {
+        let mut m = FlowMetrics::default();
+        m.record_queue_delay(Ns::from_millis(4));
+        m.record_queue_delay(Ns::from_millis(8));
+        m.record_rtt(Ns::from_millis(150));
+        m.record_rtt(Ns::from_millis(250));
+        let s = m.summarize(Ns::from_secs(1));
+        assert!((s.mean_queue_delay_ms - 6.0).abs() < 1e-9);
+        assert!((s.mean_rtt_ms - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn never_active_flow() {
+        let m = FlowMetrics::default();
+        let s = m.summarize(Ns::from_secs(10));
+        assert!(!s.was_active());
+        assert_eq!(s.throughput_mbps, 0.0);
+    }
+
+    #[test]
+    fn utilization_math() {
+        let mut m = FlowMetrics::default();
+        m.start_interval(Ns::ZERO);
+        m.credit_bytes(12_500_000); // 100 Mbit
+        let r = SimResults {
+            flows: vec![m.summarize(Ns::from_secs(10))],
+            duration: Ns::from_secs(10),
+            ..SimResults::default()
+        };
+        // 100 Mbit over 10 s on a 15 Mbps link = 2/3 utilization.
+        assert!((r.utilization(15.0) - 0.6667).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,112 @@
+//! Packets and acknowledgments.
+//!
+//! Every data segment in the simulator is one [`Packet`] of `mss` bytes
+//! (1500 by default, matching the paper's ns-2 setup). Receivers acknowledge
+//! every delivered packet with an [`Ack`] carrying a cumulative
+//! acknowledgment, the echoed sender timestamp (the signal behind a
+//! RemyCC's `send_ewma`), an ECN echo for DCTCP, and the XCP feedback field
+//! for XCP senders.
+
+use crate::time::Ns;
+
+/// Identifies one sender/receiver pair within a simulation.
+pub type FlowId = usize;
+
+/// The fields an XCP-capable sender stamps into each packet and an XCP
+/// router rewrites in flight (§2, Katabi et al. 2002).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct XcpHeader {
+    /// Sender's current congestion window, in packets.
+    pub cwnd_pkts: f64,
+    /// Sender's current RTT estimate.
+    pub rtt: Ns,
+    /// Router-computed per-packet window feedback, in packets (signed).
+    /// Initialized by the sender to its desired increase ("demand").
+    pub feedback: f64,
+}
+
+/// One data segment traversing the dumbbell.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    /// Owning flow.
+    pub flow: FlowId,
+    /// Sequence number, counted in whole packets (not bytes).
+    pub seq: u64,
+    /// Size on the wire, in bytes.
+    pub size: u32,
+    /// Sender clock when this copy of the segment was transmitted. Echoed
+    /// back by the receiver; drives RTT samples and `send_ewma`.
+    pub sent_at: Ns,
+    /// True if this is a retransmission (excluded from goodput accounting
+    /// only when the receiver has already seen the data).
+    pub retransmit: bool,
+    /// True if the sender is ECN-capable (DCTCP).
+    pub ecn_capable: bool,
+    /// Set by an ECN-marking queue instead of dropping.
+    pub ecn_marked: bool,
+    /// XCP congestion header, when the sender runs XCP.
+    pub xcp: Option<XcpHeader>,
+    /// Stamped by the bottleneck queue on arrival; used to measure
+    /// per-packet queueing delay.
+    pub enqueued_at: Ns,
+}
+
+impl Packet {
+    /// A fresh data segment with no router state attached.
+    pub fn data(flow: FlowId, seq: u64, size: u32, sent_at: Ns) -> Packet {
+        Packet {
+            flow,
+            seq,
+            size,
+            sent_at,
+            retransmit: false,
+            ecn_capable: false,
+            ecn_marked: false,
+            xcp: None,
+            enqueued_at: Ns::ZERO,
+        }
+    }
+}
+
+/// An acknowledgment traveling back to the sender.
+///
+/// The simulator models a pure ACK path: acknowledgments are never dropped
+/// or queued (the paper's dumbbell has an uncongested reverse path), they
+/// are only delayed by the flow's return propagation time.
+#[derive(Clone, Debug)]
+pub struct Ack {
+    /// Owning flow.
+    pub flow: FlowId,
+    /// Cumulative acknowledgment: the next sequence number the receiver
+    /// expects (all packets below this have been delivered).
+    pub cum_ack: u64,
+    /// Sequence number of the specific packet that triggered this ACK.
+    pub seq: u64,
+    /// The `sent_at` timestamp of that packet, echoed back.
+    pub echo_ts: Ns,
+    /// Receiver clock when the packet arrived (one-way delay accounting).
+    pub received_at: Ns,
+    /// True if the delivered packet carried an ECN CE mark.
+    pub ecn_echo: bool,
+    /// XCP feedback copied from the delivered packet's congestion header.
+    pub xcp_feedback: Option<f64>,
+    /// True if the packet carried data the receiver had not seen before.
+    pub new_data: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_constructor_defaults() {
+        let p = Packet::data(3, 17, 1500, Ns::from_millis(5));
+        assert_eq!(p.flow, 3);
+        assert_eq!(p.seq, 17);
+        assert_eq!(p.size, 1500);
+        assert_eq!(p.sent_at, Ns::from_millis(5));
+        assert!(!p.retransmit);
+        assert!(!p.ecn_capable && !p.ecn_marked);
+        assert!(p.xcp.is_none());
+    }
+}

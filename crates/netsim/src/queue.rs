@@ -1,0 +1,1118 @@
+//! Bottleneck queue disciplines.
+//!
+//! The paper's evaluation uses four router configurations, all implemented
+//! here:
+//!
+//! * **DropTail** — a FIFO with a fixed packet capacity (1000 packets in
+//!   most experiments; "unlimited" during Remy's design phase).
+//! * **ECN threshold** — DropTail plus DCTCP-style marking: packets are
+//!   CE-marked when the instantaneous queue occupancy at enqueue meets a
+//!   threshold `K` (the paper's "modified RED" gateway for DCTCP).
+//! * **CoDel** — Nichols & Jacobson's controlled-delay AQM: drops at
+//!   dequeue when the per-packet sojourn time stays above `target` (5 ms)
+//!   for longer than `interval` (100 ms), with the drop rate growing as the
+//!   square root of the drop count.
+//! * **sfqCoDel** — stochastic fair queueing (flows hashed into buckets,
+//!   round-robin service) with an independent CoDel instance per bucket;
+//!   this is the strongest router-assisted baseline in the paper.
+
+use crate::packet::Packet;
+use crate::time::Ns;
+use std::collections::VecDeque;
+
+/// Outcome of offering a packet to a queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Enqueue {
+    /// Accepted (possibly ECN-marked; inspect the packet on delivery).
+    Queued,
+    /// Dropped at the tail — the sender will discover this via dup-ACKs
+    /// or a timeout.
+    Dropped,
+}
+
+/// A bottleneck queue discipline.
+///
+/// The simulator stamps no state of its own into the queue; disciplines own
+/// their packets between `enqueue` and `dequeue` and are free to drop or
+/// mark. `dequeue` is called when the outgoing link is ready to serve the
+/// next packet.
+pub trait Queue: Send {
+    /// Offer a packet at time `now`.
+    fn enqueue(&mut self, now: Ns, p: Packet) -> Enqueue;
+
+    /// Pull the next packet to transmit at time `now` (AQMs may drop
+    /// packets internally while selecting it).
+    fn dequeue(&mut self, now: Ns) -> Option<Packet>;
+
+    /// Packets currently held.
+    fn len(&self) -> usize;
+
+    /// Bytes currently held.
+    fn bytes(&self) -> u64;
+
+    /// True if no packet is available.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Packets dropped so far (tail drops plus AQM drops).
+    fn drops(&self) -> u64;
+}
+
+// ---------------------------------------------------------------------------
+// DropTail
+// ---------------------------------------------------------------------------
+
+/// A plain FIFO with a packet-count capacity.
+pub struct DropTail {
+    q: VecDeque<Packet>,
+    capacity: usize,
+    bytes: u64,
+    drops: u64,
+}
+
+impl DropTail {
+    /// A FIFO holding at most `capacity` packets.
+    pub fn new(capacity: usize) -> DropTail {
+        DropTail {
+            q: VecDeque::new(),
+            capacity,
+            bytes: 0,
+            drops: 0,
+        }
+    }
+
+    /// An effectively infinite queue — the paper's design-phase
+    /// configuration ("queue capacity: unlimited").
+    pub fn unlimited() -> DropTail {
+        DropTail::new(usize::MAX)
+    }
+}
+
+impl Queue for DropTail {
+    fn enqueue(&mut self, now: Ns, mut p: Packet) -> Enqueue {
+        if self.q.len() >= self.capacity {
+            self.drops += 1;
+            return Enqueue::Dropped;
+        }
+        p.enqueued_at = now;
+        self.bytes += p.size as u64;
+        self.q.push_back(p);
+        Enqueue::Queued
+    }
+
+    fn dequeue(&mut self, _now: Ns) -> Option<Packet> {
+        let p = self.q.pop_front()?;
+        self.bytes -= p.size as u64;
+        Some(p)
+    }
+
+    fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    fn drops(&self) -> u64 {
+        self.drops
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ECN threshold (DCTCP gateway)
+// ---------------------------------------------------------------------------
+
+/// DropTail plus instantaneous-queue ECN marking at threshold `K`.
+///
+/// DCTCP's gateway marks a packet's CE codepoint when the queue occupancy
+/// it sees on arrival is at least `K` packets (Alizadeh et al. 2010 use a
+/// single-threshold "modified RED"). Non-ECN-capable packets pass through
+/// unmarked and are dropped only on overflow.
+pub struct EcnThreshold {
+    inner: DropTail,
+    mark_threshold: usize,
+    marks: u64,
+}
+
+impl EcnThreshold {
+    /// Capacity `capacity` packets, marking at `mark_threshold` packets.
+    pub fn new(capacity: usize, mark_threshold: usize) -> EcnThreshold {
+        EcnThreshold {
+            inner: DropTail::new(capacity),
+            mark_threshold,
+            marks: 0,
+        }
+    }
+
+    /// CE marks applied so far.
+    pub fn marks(&self) -> u64 {
+        self.marks
+    }
+}
+
+impl Queue for EcnThreshold {
+    fn enqueue(&mut self, now: Ns, mut p: Packet) -> Enqueue {
+        if p.ecn_capable && self.inner.len() >= self.mark_threshold {
+            p.ecn_marked = true;
+            self.marks += 1;
+        }
+        self.inner.enqueue(now, p)
+    }
+
+    fn dequeue(&mut self, now: Ns) -> Option<Packet> {
+        self.inner.dequeue(now)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn bytes(&self) -> u64 {
+        self.inner.bytes()
+    }
+
+    fn drops(&self) -> u64 {
+        self.inner.drops()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CoDel
+// ---------------------------------------------------------------------------
+
+/// CoDel control-law state, shared by [`Codel`] and each sfqCoDel bucket.
+///
+/// Implements the dequeue-side algorithm from Nichols & Jacobson,
+/// "Controlling Queue Delay" (ACM Queue 2012): track how long the sojourn
+/// time has continuously exceeded `target`; once it has for a full
+/// `interval`, enter a dropping state where packets are dropped at
+/// `interval / sqrt(count)` spacing until the sojourn falls below target.
+#[derive(Clone, Debug)]
+struct CodelLaw {
+    target: Ns,
+    interval: Ns,
+    first_above_time: Ns,
+    drop_next: Ns,
+    count: u64,
+    last_count: u64,
+    dropping: bool,
+}
+
+impl CodelLaw {
+    fn new(target: Ns, interval: Ns) -> CodelLaw {
+        CodelLaw {
+            target,
+            interval,
+            first_above_time: Ns::ZERO,
+            drop_next: Ns::ZERO,
+            count: 0,
+            last_count: 0,
+            dropping: false,
+        }
+    }
+
+    fn control_interval(&self, count: u64) -> Ns {
+        // interval / sqrt(count)
+        Ns::from_secs_f64(self.interval.as_secs_f64() / (count.max(1) as f64).sqrt())
+    }
+
+    /// Decide whether the packet dequeued at `now` with the given sojourn
+    /// time should be dropped, per the "ok to drop" half of the algorithm.
+    fn should_drop(&mut self, now: Ns, sojourn: Ns, queue_bytes: u64, mss: u64) -> bool {
+        if sojourn < self.target || queue_bytes <= mss {
+            // Went below target: reset the above-target clock.
+            self.first_above_time = Ns::ZERO;
+            return false;
+        }
+        if self.first_above_time.is_zero() {
+            self.first_above_time = now + self.interval;
+            false
+        } else {
+            now >= self.first_above_time
+        }
+    }
+
+    /// Run the dequeue-side state machine. Returns `true` if the packet
+    /// with the given sojourn time must be dropped (the caller then
+    /// re-invokes with the next packet).
+    fn on_dequeue(&mut self, now: Ns, sojourn: Ns, queue_bytes: u64, mss: u64) -> bool {
+        let ok_to_drop = self.should_drop(now, sojourn, queue_bytes, mss);
+        if self.dropping {
+            if !ok_to_drop {
+                self.dropping = false;
+                return false;
+            }
+            if now >= self.drop_next {
+                self.count += 1;
+                self.drop_next = self.drop_next + self.control_interval(self.count);
+                return true;
+            }
+            false
+        } else if ok_to_drop {
+            self.dropping = true;
+            // If we dropped recently, resume from a higher count so the
+            // drop rate re-converges quickly (the "count - 2" heuristic).
+            self.count = if self.count > 2 && now.saturating_sub(self.drop_next) < self.interval
+            {
+                self.count - 2
+            } else {
+                1
+            };
+            self.last_count = self.count;
+            self.drop_next = now + self.control_interval(self.count);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Default CoDel target sojourn time (5 ms).
+pub const CODEL_TARGET: Ns = Ns(5_000_000);
+/// Default CoDel interval (100 ms).
+pub const CODEL_INTERVAL: Ns = Ns(100_000_000);
+
+/// A single-queue CoDel AQM over a FIFO with packet-count capacity.
+pub struct Codel {
+    q: VecDeque<Packet>,
+    capacity: usize,
+    bytes: u64,
+    drops: u64,
+    law: CodelLaw,
+    mss: u64,
+}
+
+impl Codel {
+    /// CoDel with the standard 5 ms / 100 ms parameters.
+    pub fn new(capacity: usize) -> Codel {
+        Codel::with_params(capacity, CODEL_TARGET, CODEL_INTERVAL)
+    }
+
+    /// CoDel with explicit target/interval (exposed for tests and
+    /// sensitivity studies).
+    pub fn with_params(capacity: usize, target: Ns, interval: Ns) -> Codel {
+        Codel {
+            q: VecDeque::new(),
+            capacity,
+            bytes: 0,
+            drops: 0,
+            law: CodelLaw::new(target, interval),
+            mss: 1500,
+        }
+    }
+}
+
+impl Queue for Codel {
+    fn enqueue(&mut self, now: Ns, mut p: Packet) -> Enqueue {
+        if self.q.len() >= self.capacity {
+            self.drops += 1;
+            return Enqueue::Dropped;
+        }
+        p.enqueued_at = now;
+        self.bytes += p.size as u64;
+        self.q.push_back(p);
+        Enqueue::Queued
+    }
+
+    fn dequeue(&mut self, now: Ns) -> Option<Packet> {
+        loop {
+            let p = self.q.pop_front()?;
+            self.bytes -= p.size as u64;
+            let sojourn = now.saturating_sub(p.enqueued_at);
+            if self.law.on_dequeue(now, sojourn, self.bytes, self.mss) {
+                self.drops += 1;
+                continue;
+            }
+            return Some(p);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    fn drops(&self) -> u64 {
+        self.drops
+    }
+}
+
+// ---------------------------------------------------------------------------
+// sfqCoDel
+// ---------------------------------------------------------------------------
+
+/// Stochastic fair queueing with per-bucket CoDel.
+///
+/// Flows are hashed into `n_buckets` FIFOs; service visits non-empty
+/// buckets round-robin (all simulated packets are MSS-sized, so
+/// packet-granularity round-robin equals byte-granularity DRR). Each bucket
+/// runs its own CoDel law. On overflow the packet at the head of the
+/// longest bucket is dropped to make room, as in Nichols's published
+/// `sfqcodel` implementation.
+pub struct SfqCodel {
+    buckets: Vec<VecDeque<Packet>>,
+    laws: Vec<CodelLaw>,
+    /// Round-robin cursor: index of the next bucket to consider.
+    cursor: usize,
+    capacity: usize,
+    len: usize,
+    bytes: u64,
+    drops: u64,
+    mss: u64,
+}
+
+impl SfqCodel {
+    /// `capacity` total packets shared across `n_buckets` buckets, standard
+    /// CoDel parameters.
+    pub fn new(capacity: usize, n_buckets: usize) -> SfqCodel {
+        assert!(n_buckets > 0, "need at least one bucket");
+        SfqCodel {
+            buckets: (0..n_buckets).map(|_| VecDeque::new()).collect(),
+            laws: (0..n_buckets)
+                .map(|_| CodelLaw::new(CODEL_TARGET, CODEL_INTERVAL))
+                .collect(),
+            cursor: 0,
+            capacity,
+            len: 0,
+            bytes: 0,
+            drops: 0,
+            mss: 1500,
+        }
+    }
+
+    /// Fibonacci hashing so adjacent flow ids land in scattered buckets.
+    fn bucket_index(&self, flow: usize) -> usize {
+        let h = (flow as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 32) as usize % self.buckets.len()
+    }
+
+    fn drop_from_longest(&mut self) {
+        let (idx, _) = self
+            .buckets
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, b)| b.len())
+            .expect("non-empty bucket set");
+        if let Some(victim) = self.buckets[idx].pop_front() {
+            self.len -= 1;
+            self.bytes -= victim.size as u64;
+            self.drops += 1;
+        }
+    }
+}
+
+impl Queue for SfqCodel {
+    fn enqueue(&mut self, now: Ns, mut p: Packet) -> Enqueue {
+        let idx = self.bucket_index(p.flow);
+        if self.len >= self.capacity {
+            // Make room by shedding from the most backlogged flow; the
+            // arriving packet is then admitted. If the longest bucket is
+            // the arriving flow's own, this is equivalent to head drop.
+            self.drop_from_longest();
+        }
+        p.enqueued_at = now;
+        self.len += 1;
+        self.bytes += p.size as u64;
+        self.buckets[idx].push_back(p);
+        Enqueue::Queued
+    }
+
+    fn dequeue(&mut self, now: Ns) -> Option<Packet> {
+        if self.len == 0 {
+            return None;
+        }
+        let n = self.buckets.len();
+        // Visit buckets round-robin; within a bucket, run CoDel until it
+        // yields a packet or empties.
+        for step in 0..n {
+            let idx = (self.cursor + step) % n;
+            loop {
+                let Some(p) = self.buckets[idx].pop_front() else {
+                    break;
+                };
+                self.len -= 1;
+                self.bytes -= p.size as u64;
+                let sojourn = now.saturating_sub(p.enqueued_at);
+                let bucket_bytes: u64 =
+                    self.buckets[idx].iter().map(|q| q.size as u64).sum();
+                if self.laws[idx].on_dequeue(now, sojourn, bucket_bytes, self.mss) {
+                    self.drops += 1;
+                    continue;
+                }
+                self.cursor = (idx + 1) % n;
+                return Some(p);
+            }
+        }
+        None
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    fn drops(&self) -> u64 {
+        self.drops
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RED — Random Early Detection
+// ---------------------------------------------------------------------------
+
+/// RED gateway (Floyd & Jacobson 1993), in drop or ECN-mark mode.
+///
+/// Maintains an EWMA of the queue length; between `min_th` and `max_th`
+/// packets it drops/marks arrivals with probability rising linearly to
+/// `max_p` (with the standard `count` correction that spreads early drops
+/// uniformly), and above `max_th` it drops/marks everything. DCTCP's
+/// gateway is the degenerate "modified RED" with `min_th == max_th` and
+/// instantaneous averaging — provided directly by [`EcnThreshold`]; this
+/// full implementation covers classic AQM configurations.
+pub struct Red {
+    q: VecDeque<Packet>,
+    capacity: usize,
+    bytes: u64,
+    drops: u64,
+    marks: u64,
+    /// EWMA weight for the average queue size.
+    w_q: f64,
+    avg: f64,
+    min_th: f64,
+    max_th: f64,
+    max_p: f64,
+    /// Packets since the last early drop/mark (the uniformization count).
+    count: i64,
+    /// Mark instead of dropping (for ECN-capable packets).
+    ecn_mode: bool,
+    rng: crate::rng::SimRng,
+}
+
+impl Red {
+    /// Classic RED in drop mode.
+    pub fn new(capacity: usize, min_th: usize, max_th: usize) -> Red {
+        Red::with_mode(capacity, min_th, max_th, false)
+    }
+
+    /// RED that CE-marks ECN-capable packets instead of dropping them.
+    pub fn ecn(capacity: usize, min_th: usize, max_th: usize) -> Red {
+        Red::with_mode(capacity, min_th, max_th, true)
+    }
+
+    fn with_mode(capacity: usize, min_th: usize, max_th: usize, ecn_mode: bool) -> Red {
+        assert!(min_th < max_th, "RED needs min_th < max_th");
+        Red {
+            q: VecDeque::new(),
+            capacity,
+            bytes: 0,
+            drops: 0,
+            marks: 0,
+            w_q: 0.002,
+            avg: 0.0,
+            min_th: min_th as f64,
+            max_th: max_th as f64,
+            max_p: 0.1,
+            count: -1,
+            ecn_mode,
+            rng: crate::rng::SimRng::new(0x12ED_D00D),
+        }
+    }
+
+    /// CE marks applied so far (ECN mode).
+    pub fn marks(&self) -> u64 {
+        self.marks
+    }
+
+    /// Current average queue estimate (tests).
+    pub fn avg(&self) -> f64 {
+        self.avg
+    }
+
+    /// Whether the arriving packet should be dropped/marked early.
+    fn early_action(&mut self) -> bool {
+        if self.avg < self.min_th {
+            self.count = -1;
+            return false;
+        }
+        if self.avg >= self.max_th {
+            self.count = 0;
+            return true;
+        }
+        self.count += 1;
+        let p_b = self.max_p * (self.avg - self.min_th) / (self.max_th - self.min_th);
+        // Uniformize inter-drop gaps: p_a = p_b / (1 − count·p_b).
+        let p_a = (p_b / (1.0 - self.count as f64 * p_b)).clamp(0.0, 1.0);
+        if p_b > 0.0 && self.rng.chance(p_a) {
+            self.count = 0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl Queue for Red {
+    fn enqueue(&mut self, now: Ns, mut p: Packet) -> Enqueue {
+        // Update the average on every arrival (idle-time correction
+        // omitted: the simulator's bottleneck rarely idles under load,
+        // and the EWMA recovers in a few arrivals).
+        self.avg = (1.0 - self.w_q) * self.avg + self.w_q * self.q.len() as f64;
+        if self.q.len() >= self.capacity {
+            self.drops += 1;
+            return Enqueue::Dropped;
+        }
+        if self.early_action() {
+            if self.ecn_mode && p.ecn_capable {
+                p.ecn_marked = true;
+                self.marks += 1;
+            } else {
+                self.drops += 1;
+                return Enqueue::Dropped;
+            }
+        }
+        p.enqueued_at = now;
+        self.bytes += p.size as u64;
+        self.q.push_back(p);
+        Enqueue::Queued
+    }
+
+    fn dequeue(&mut self, _now: Ns) -> Option<Packet> {
+        let p = self.q.pop_front()?;
+        self.bytes -= p.size as u64;
+        Some(p)
+    }
+
+    fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    fn drops(&self) -> u64 {
+        self.drops
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stochastic (non-congestive) loss injection
+// ---------------------------------------------------------------------------
+
+/// Wraps any discipline with random, non-congestive packet loss.
+///
+/// §4.1 of the paper argues that because RemyCCs do not use loss as a
+/// congestion signal, they "robustly handle stochastic (non-congestive)
+/// packet losses without adversely reducing performance" — unlike
+/// loss-based TCP. This wrapper injects exactly that impairment: each
+/// arriving packet is dropped with probability `p`, independent of queue
+/// state, from a deterministic per-queue random stream.
+pub struct Lossy<Q> {
+    inner: Q,
+    drop_probability: f64,
+    rng: crate::rng::SimRng,
+    stochastic_drops: u64,
+}
+
+impl<Q: Queue> Lossy<Q> {
+    /// Drop arrivals with probability `p ∈ [0, 1]`, deterministic in `seed`.
+    pub fn new(inner: Q, p: f64, seed: u64) -> Lossy<Q> {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        Lossy {
+            inner,
+            drop_probability: p,
+            rng: crate::rng::SimRng::new(seed ^ 0x1055_1055),
+            stochastic_drops: 0,
+        }
+    }
+
+    /// Random (non-congestive) drops so far.
+    pub fn stochastic_drops(&self) -> u64 {
+        self.stochastic_drops
+    }
+}
+
+impl<Q: Queue> Queue for Lossy<Q> {
+    fn enqueue(&mut self, now: Ns, p: Packet) -> Enqueue {
+        if self.drop_probability > 0.0 && self.rng.chance(self.drop_probability) {
+            self.stochastic_drops += 1;
+            return Enqueue::Dropped;
+        }
+        self.inner.enqueue(now, p)
+    }
+
+    fn dequeue(&mut self, now: Ns) -> Option<Packet> {
+        self.inner.dequeue(now)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn bytes(&self) -> u64 {
+        self.inner.bytes()
+    }
+
+    fn drops(&self) -> u64 {
+        self.inner.drops() + self.stochastic_drops
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Configuration enum used by scenarios
+// ---------------------------------------------------------------------------
+
+/// Declarative queue configuration, used by scenario descriptions so that
+/// experiment configs remain plain data.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum QueueSpec {
+    /// FIFO, tail drop, given packet capacity.
+    DropTail {
+        /// Capacity in packets.
+        capacity: usize,
+    },
+    /// FIFO with no practical capacity limit (design-phase model).
+    Unlimited,
+    /// DropTail with DCTCP ECN marking at `mark_threshold` packets.
+    Ecn {
+        /// Capacity in packets.
+        capacity: usize,
+        /// Instantaneous-queue CE-marking threshold, packets.
+        mark_threshold: usize,
+    },
+    /// Single-queue CoDel.
+    Codel {
+        /// Capacity in packets.
+        capacity: usize,
+    },
+    /// Stochastic fair queueing + CoDel.
+    SfqCodel {
+        /// Total capacity in packets.
+        capacity: usize,
+        /// Number of hash buckets.
+        buckets: usize,
+    },
+    /// Classic RED (drop mode).
+    Red {
+        /// Capacity in packets.
+        capacity: usize,
+        /// Lower average-queue threshold, packets.
+        min_th: usize,
+        /// Upper average-queue threshold, packets.
+        max_th: usize,
+    },
+    /// RED that CE-marks ECN-capable packets instead of dropping.
+    RedEcn {
+        /// Capacity in packets.
+        capacity: usize,
+        /// Lower average-queue threshold, packets.
+        min_th: usize,
+        /// Upper average-queue threshold, packets.
+        max_th: usize,
+    },
+    /// Any other discipline plus random non-congestive loss (see
+    /// [`Lossy`]).
+    LossyDropTail {
+        /// Capacity in packets.
+        capacity: usize,
+        /// Per-packet drop probability.
+        drop_probability: f64,
+        /// Seed for the loss stream.
+        seed: u64,
+    },
+}
+
+impl QueueSpec {
+    /// Instantiate the discipline.
+    pub fn build(&self) -> Box<dyn Queue> {
+        match *self {
+            QueueSpec::DropTail { capacity } => Box::new(DropTail::new(capacity)),
+            QueueSpec::Unlimited => Box::new(DropTail::unlimited()),
+            QueueSpec::Ecn {
+                capacity,
+                mark_threshold,
+            } => Box::new(EcnThreshold::new(capacity, mark_threshold)),
+            QueueSpec::Codel { capacity } => Box::new(Codel::new(capacity)),
+            QueueSpec::SfqCodel { capacity, buckets } => {
+                Box::new(SfqCodel::new(capacity, buckets))
+            }
+            QueueSpec::Red {
+                capacity,
+                min_th,
+                max_th,
+            } => Box::new(Red::new(capacity, min_th, max_th)),
+            QueueSpec::RedEcn {
+                capacity,
+                min_th,
+                max_th,
+            } => Box::new(Red::ecn(capacity, min_th, max_th)),
+            QueueSpec::LossyDropTail {
+                capacity,
+                drop_probability,
+                seed,
+            } => Box::new(Lossy::new(DropTail::new(capacity), drop_probability, seed)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Packet;
+
+    fn pkt(flow: usize, seq: u64) -> Packet {
+        Packet::data(flow, seq, 1500, Ns::ZERO)
+    }
+
+    #[test]
+    fn droptail_fifo_order() {
+        let mut q = DropTail::new(10);
+        for i in 0..5 {
+            assert_eq!(q.enqueue(Ns(i), pkt(0, i)), Enqueue::Queued);
+        }
+        for i in 0..5 {
+            assert_eq!(q.dequeue(Ns(100)).unwrap().seq, i);
+        }
+        assert!(q.dequeue(Ns(100)).is_none());
+    }
+
+    #[test]
+    fn droptail_drops_at_capacity() {
+        let mut q = DropTail::new(2);
+        assert_eq!(q.enqueue(Ns::ZERO, pkt(0, 0)), Enqueue::Queued);
+        assert_eq!(q.enqueue(Ns::ZERO, pkt(0, 1)), Enqueue::Queued);
+        assert_eq!(q.enqueue(Ns::ZERO, pkt(0, 2)), Enqueue::Dropped);
+        assert_eq!(q.drops(), 1);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.bytes(), 3000);
+    }
+
+    #[test]
+    fn droptail_stamps_enqueue_time() {
+        let mut q = DropTail::new(10);
+        q.enqueue(Ns::from_millis(7), pkt(0, 0));
+        assert_eq!(q.dequeue(Ns::from_millis(9)).unwrap().enqueued_at, Ns::from_millis(7));
+    }
+
+    #[test]
+    fn ecn_marks_above_threshold_only_capable_packets() {
+        let mut q = EcnThreshold::new(100, 2);
+        let mut capable = pkt(0, 0);
+        capable.ecn_capable = true;
+        // Queue below threshold: no mark.
+        q.enqueue(Ns::ZERO, capable.clone());
+        q.enqueue(Ns::ZERO, capable.clone());
+        // Now occupancy == 2 == K: mark.
+        q.enqueue(Ns::ZERO, capable.clone());
+        // Non-capable packet at same occupancy: not marked.
+        q.enqueue(Ns::ZERO, pkt(0, 3));
+        let a = q.dequeue(Ns::ZERO).unwrap();
+        let b = q.dequeue(Ns::ZERO).unwrap();
+        let c = q.dequeue(Ns::ZERO).unwrap();
+        let d = q.dequeue(Ns::ZERO).unwrap();
+        assert!(!a.ecn_marked && !b.ecn_marked);
+        assert!(c.ecn_marked);
+        assert!(!d.ecn_marked);
+        assert_eq!(q.marks(), 1);
+    }
+
+    #[test]
+    fn codel_passes_short_sojourns() {
+        let mut q = Codel::new(100);
+        for i in 0..10 {
+            q.enqueue(Ns::from_millis(i), pkt(0, i));
+        }
+        // Dequeue immediately: sojourn ~ 0, nothing dropped.
+        for _ in 0..10 {
+            assert!(q.dequeue(Ns::from_millis(10)).is_some());
+        }
+        assert_eq!(q.drops(), 0);
+    }
+
+    #[test]
+    fn codel_drops_under_persistent_delay() {
+        let mut q = Codel::new(10_000);
+        // Build a standing queue: packets enqueued at t=0, dequeued much
+        // later, so every sojourn is far above the 5 ms target.
+        for i in 0..2_000 {
+            q.enqueue(Ns::ZERO, pkt(0, i));
+        }
+        let mut delivered = 0;
+        let mut t = Ns::from_millis(50);
+        for _ in 0..1_500 {
+            if q.dequeue(t).is_some() {
+                delivered += 1;
+            }
+            t += Ns::from_millis(1);
+        }
+        assert!(q.drops() > 0, "CoDel should drop under persistent queue");
+        assert!(delivered > 0, "CoDel must still deliver packets");
+    }
+
+    #[test]
+    fn codel_drop_rate_increases() {
+        // With a persistent standing queue, inter-drop gaps shrink like
+        // interval/sqrt(count): verify drops accelerate over time.
+        let mut q = Codel::new(100_000);
+        for i in 0..50_000 {
+            q.enqueue(Ns::ZERO, pkt(0, i));
+        }
+        let mut drops_at = Vec::new();
+        let mut t = Ns::from_millis(200);
+        let mut last_drops = 0;
+        for step in 0..3_000 {
+            q.dequeue(t);
+            if q.drops() > last_drops {
+                last_drops = q.drops();
+                drops_at.push(step);
+            }
+            t += Ns::from_millis(1);
+        }
+        assert!(drops_at.len() >= 4, "expected several drops, got {drops_at:?}");
+        let first_gap = drops_at[1] - drops_at[0];
+        let last_gap = drops_at[drops_at.len() - 1] - drops_at[drops_at.len() - 2];
+        assert!(
+            last_gap <= first_gap,
+            "drop spacing should shrink: first {first_gap}, last {last_gap}"
+        );
+    }
+
+    #[test]
+    fn sfq_isolates_flows_round_robin() {
+        let mut q = SfqCodel::new(1000, 64);
+        // Flow 0 floods; flow 1 sends a little.
+        for i in 0..100 {
+            q.enqueue(Ns::ZERO, pkt(0, i));
+        }
+        for i in 0..3 {
+            q.enqueue(Ns::ZERO, pkt(1, i));
+        }
+        // In the first 6 dequeues, flow 1's packets must appear
+        // interleaved, not starved behind flow 0's backlog.
+        let mut flow1_seen = 0;
+        for _ in 0..6 {
+            let p = q.dequeue(Ns::from_micros(10)).unwrap();
+            if p.flow == 1 {
+                flow1_seen += 1;
+            }
+        }
+        assert_eq!(flow1_seen, 3, "flow 1 should be served round-robin");
+    }
+
+    #[test]
+    fn sfq_overflow_sheds_from_longest_flow() {
+        let mut q = SfqCodel::new(10, 64);
+        for i in 0..10 {
+            q.enqueue(Ns::ZERO, pkt(0, i));
+        }
+        // Queue full; a packet from flow 1 should displace one of flow 0's.
+        assert_eq!(q.enqueue(Ns::ZERO, pkt(1, 0)), Enqueue::Queued);
+        assert_eq!(q.len(), 10);
+        assert_eq!(q.drops(), 1);
+        let mut flows: Vec<usize> = Vec::new();
+        while let Some(p) = q.dequeue(Ns::from_micros(1)) {
+            flows.push(p.flow);
+        }
+        assert!(flows.contains(&1), "new flow's packet survived");
+        assert_eq!(flows.iter().filter(|&&f| f == 0).count(), 9);
+    }
+
+    #[test]
+    fn sfq_conserves_packets_without_pressure() {
+        let mut q = SfqCodel::new(1000, 16);
+        for f in 0..5 {
+            for i in 0..7 {
+                q.enqueue(Ns::ZERO, pkt(f, i));
+            }
+        }
+        let mut out = 0;
+        while q.dequeue(Ns::from_micros(5)).is_some() {
+            out += 1;
+        }
+        assert_eq!(out, 35);
+        assert_eq!(q.drops(), 0);
+        assert_eq!(q.bytes(), 0);
+    }
+
+    #[test]
+    fn queue_spec_builds_each_discipline() {
+        let specs = [
+            QueueSpec::DropTail { capacity: 10 },
+            QueueSpec::Unlimited,
+            QueueSpec::Ecn {
+                capacity: 10,
+                mark_threshold: 3,
+            },
+            QueueSpec::Codel { capacity: 10 },
+            QueueSpec::SfqCodel {
+                capacity: 10,
+                buckets: 4,
+            },
+        ];
+        for spec in &specs {
+            let mut q = spec.build();
+            assert_eq!(q.enqueue(Ns::ZERO, pkt(0, 0)), Enqueue::Queued);
+            assert_eq!(q.len(), 1);
+            assert!(q.dequeue(Ns(1)).is_some());
+            assert!(q.is_empty());
+        }
+    }
+
+    #[test]
+    fn red_passes_everything_below_min_th() {
+        let mut q = Red::new(1000, 50, 150);
+        // Light load: queue never builds, avg stays ~0.
+        for i in 0..500 {
+            assert_eq!(q.enqueue(Ns(i), pkt(0, i)), Enqueue::Queued);
+            assert!(q.dequeue(Ns(i + 1)).is_some());
+        }
+        assert_eq!(q.drops(), 0);
+    }
+
+    #[test]
+    fn red_drops_probabilistically_between_thresholds() {
+        let mut q = Red::new(10_000, 20, 100);
+        // Build a standing queue of ~60 so avg converges between the
+        // thresholds, then offer many more arrivals.
+        for i in 0..60 {
+            q.enqueue(Ns(i), pkt(0, i));
+        }
+        let mut early_drops = 0;
+        for i in 0..5_000 {
+            // Keep occupancy steady: one out, one (maybe) in.
+            q.dequeue(Ns(1000 + i));
+            if q.enqueue(Ns(1000 + i), pkt(0, 100 + i)) == Enqueue::Dropped {
+                early_drops += 1;
+            }
+        }
+        assert!(early_drops > 20, "expected early drops, got {early_drops}");
+        assert!(
+            (early_drops as f64) < 2_000.0,
+            "drop rate should be moderate, got {early_drops}/5000"
+        );
+    }
+
+    #[test]
+    fn red_force_drops_above_max_th() {
+        let mut q = Red::new(10_000, 5, 20);
+        // Slam 2000 arrivals with no departures: avg climbs past max_th
+        // and RED begins dropping every arrival.
+        let mut admitted = 0;
+        for i in 0..2_000 {
+            if q.enqueue(Ns(i), pkt(0, i)) == Enqueue::Queued {
+                admitted += 1;
+            }
+        }
+        assert!(admitted < 2_000, "forced region must drop");
+        assert!(q.avg() > 20.0, "avg {} should exceed max_th", q.avg());
+    }
+
+    #[test]
+    fn red_ecn_marks_instead_of_dropping() {
+        let mut q = Red::ecn(10_000, 5, 50);
+        for i in 0..200 {
+            let mut p = pkt(0, i);
+            p.ecn_capable = true;
+            q.enqueue(Ns(i), p);
+        }
+        // Standing queue of 200 → marking regime on further arrivals.
+        let mut marked = 0;
+        for i in 0..500 {
+            q.dequeue(Ns(1000 + i));
+            let mut p = pkt(0, 1000 + i);
+            p.ecn_capable = true;
+            if q.enqueue(Ns(1000 + i), p) == Enqueue::Queued {
+                // fine either way; marks counted below
+            }
+        }
+        marked += q.marks();
+        assert!(marked > 50, "ECN mode should mark heavily, got {marked}");
+        assert_eq!(q.drops(), 0, "ECN-capable packets are marked, not dropped");
+    }
+
+    #[test]
+    fn red_specs_build() {
+        for spec in [
+            QueueSpec::Red {
+                capacity: 100,
+                min_th: 10,
+                max_th: 50,
+            },
+            QueueSpec::RedEcn {
+                capacity: 100,
+                min_th: 10,
+                max_th: 50,
+            },
+        ] {
+            let mut q = spec.build();
+            assert_eq!(q.enqueue(Ns::ZERO, pkt(0, 0)), Enqueue::Queued);
+            assert!(q.dequeue(Ns(1)).is_some());
+        }
+    }
+
+    #[test]
+    fn lossy_wrapper_drops_at_configured_rate() {
+        let mut q = Lossy::new(DropTail::new(usize::MAX), 0.3, 7);
+        let n = 20_000;
+        for i in 0..n {
+            q.enqueue(Ns::ZERO, pkt(0, i));
+        }
+        let rate = q.stochastic_drops() as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.02, "loss rate {rate}");
+        assert_eq!(q.drops(), q.stochastic_drops());
+        // Survivors dequeue in order.
+        let mut prev = None;
+        while let Some(p) = q.dequeue(Ns(1)) {
+            if let Some(prev) = prev {
+                assert!(p.seq > prev);
+            }
+            prev = Some(p.seq);
+        }
+    }
+
+    #[test]
+    fn lossy_wrapper_with_zero_probability_is_transparent() {
+        let mut q = Lossy::new(DropTail::new(10), 0.0, 1);
+        for i in 0..10 {
+            assert_eq!(q.enqueue(Ns::ZERO, pkt(0, i)), Enqueue::Queued);
+        }
+        assert_eq!(q.stochastic_drops(), 0);
+        assert_eq!(q.len(), 10);
+        // Inner tail-drop still applies.
+        assert_eq!(q.enqueue(Ns::ZERO, pkt(0, 10)), Enqueue::Dropped);
+        assert_eq!(q.drops(), 1);
+    }
+
+    #[test]
+    fn lossy_spec_builds() {
+        let mut q = QueueSpec::LossyDropTail {
+            capacity: 100_000,
+            drop_probability: 0.5,
+            seed: 3,
+        }
+        .build();
+        let mut admitted = 0;
+        for i in 0..1000 {
+            if q.enqueue(Ns::ZERO, pkt(0, i)) == Enqueue::Queued {
+                admitted += 1;
+            }
+        }
+        assert!(admitted > 300 && admitted < 700, "admitted {admitted}");
+    }
+
+    #[test]
+    fn bucket_hash_stays_in_range() {
+        let q = SfqCodel::new(10, 7);
+        for f in 0..1000 {
+            assert!(q.bucket_index(f) < 7);
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Deterministic random numbers for simulation.
+//!
+//! The simulator needs random draws that are (a) fast, (b) identical across
+//! platforms and library versions, and (c) cheap to fork into independent
+//! streams — Remy's design procedure depends on *common random numbers*:
+//! every candidate action must be evaluated on exactly the same specimen
+//! networks with exactly the same arrival randomness (§4.3 of the paper).
+//!
+//! We implement xoshiro256++ seeded through splitmix64, which is the
+//! textbook combination; no external crate behaviour can change under us.
+
+/// A deterministic xoshiro256++ PRNG.
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Create a generator from a 64-bit seed. Two generators with the same
+    /// seed produce identical streams forever.
+    pub fn new(seed: u64) -> SimRng {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s }
+    }
+
+    /// Fork an independent stream. The child is seeded from the parent's
+    /// output mixed with `stream`, so `fork(0)` and `fork(1)` are unrelated
+    /// sequences, and the parent advances by one draw.
+    pub fn fork(&mut self, stream: u64) -> SimRng {
+        let base = self.next_u64();
+        SimRng::new(base ^ stream.wrapping_mul(0xA24B_AED4_963E_E407))
+    }
+
+    /// Next raw 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw in the half-open interval `[0, 1)`.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw in the half-open interval `(0, 1]` — safe to take `ln` of.
+    #[inline]
+    pub fn f64_open(&mut self) -> f64 {
+        1.0 - self.f64()
+    }
+
+    /// Uniform draw in `[lo, hi)`. Requires `lo <= hi`.
+    #[inline]
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi);
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive). Requires `lo <= hi`.
+    #[inline]
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        let span = hi - lo + 1;
+        // Multiply-shift rejection-free mapping; bias is < 2^-64 * span,
+        // negligible for simulation purposes.
+        lo + ((self.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+
+    /// Uniform usize in `[lo, hi]` (inclusive).
+    #[inline]
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Exponentially distributed draw with the given mean (inverse-CDF).
+    #[inline]
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean >= 0.0);
+        -mean * self.f64_open().ln()
+    }
+
+    /// Pareto-distributed draw with scale `xm` and shape `alpha`
+    /// (inverse-CDF: `xm * u^(-1/alpha)`).
+    ///
+    /// The paper's empirical flow-length distribution (Fig. 3) is
+    /// Pareto(Xm = 147, alpha = 0.5), which has infinite mean — callers are
+    /// expected to cap samples if they need bounded work.
+    #[inline]
+    pub fn pareto(&mut self, xm: f64, alpha: f64) -> f64 {
+        debug_assert!(xm > 0.0 && alpha > 0.0);
+        xm * self.f64_open().powf(-1.0 / alpha)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Standard-normal draw (Box–Muller). Used by the synthetic cellular
+    /// trace generator's rate random walk.
+    #[inline]
+    pub fn normal(&mut self) -> f64 {
+        let u1 = self.f64_open();
+        let u2 = self.f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_same_seed_same_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn forks_are_independent_of_each_other() {
+        let mut parent = SimRng::new(7);
+        let mut c0 = parent.clone().fork(0);
+        let mut c1 = parent.fork(1);
+        let same = (0..64).filter(|_| c0.next_u64() == c1.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SimRng::new(3);
+        for _ in 0..10_000 {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x));
+            let y = rng.f64_open();
+            assert!(y > 0.0 && y <= 1.0);
+        }
+    }
+
+    #[test]
+    fn range_u64_bounds_inclusive() {
+        let mut rng = SimRng::new(9);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..10_000 {
+            let x = rng.range_u64(3, 6);
+            assert!((3..=6).contains(&x));
+            seen_lo |= x == 3;
+            seen_hi |= x == 6;
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut rng = SimRng::new(11);
+        let n = 200_000;
+        let mean = 5.0;
+        let sum: f64 = (0..n).map(|_| rng.exponential(mean)).sum();
+        let est = sum / n as f64;
+        assert!(
+            (est - mean).abs() < 0.1,
+            "sample mean {est} too far from {mean}"
+        );
+    }
+
+    #[test]
+    fn pareto_obeys_scale_floor() {
+        let mut rng = SimRng::new(13);
+        for _ in 0..10_000 {
+            assert!(rng.pareto(147.0, 0.5) >= 147.0);
+        }
+    }
+
+    #[test]
+    fn pareto_median_matches_closed_form() {
+        // Median of Pareto(xm, alpha) is xm * 2^(1/alpha); for alpha = 0.5
+        // that is 147 * 4 = 588.
+        let mut rng = SimRng::new(17);
+        let mut samples: Vec<f64> = (0..100_001).map(|_| rng.pareto(147.0, 0.5)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        assert!(
+            (median - 588.0).abs() / 588.0 < 0.05,
+            "median {median} should be near 588"
+        );
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = SimRng::new(23);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "variance {var}");
+    }
+
+    #[test]
+    fn chance_is_calibrated() {
+        let mut rng = SimRng::new(19);
+        let hits = (0..100_000).filter(|_| rng.chance(0.25)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.25).abs() < 0.01);
+    }
+}

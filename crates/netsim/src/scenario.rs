@@ -1,0 +1,113 @@
+//! Declarative simulation scenarios.
+//!
+//! A [`Scenario`] is plain data describing one dumbbell network (Fig. 2 of
+//! the paper): the bottleneck link and queue, per-sender round-trip times
+//! and traffic processes, a duration, and a seed. Experiment harnesses
+//! construct scenarios, attach congestion-control factories, and run them
+//! through [`crate::sim::Simulator`].
+
+use crate::link::LinkSpec;
+use crate::queue::QueueSpec;
+use crate::time::Ns;
+use crate::traffic::TrafficSpec;
+
+/// Configuration of one sender/receiver pair.
+#[derive(Clone, Debug)]
+pub struct SenderConfig {
+    /// Two-way propagation delay to this sender's receiver (no queueing).
+    pub rtt: Ns,
+    /// The sender's offered-load process.
+    pub traffic: TrafficSpec,
+}
+
+/// One complete dumbbell experiment configuration.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Bottleneck link model.
+    pub link: LinkSpec,
+    /// Bottleneck queue discipline.
+    pub queue: QueueSpec,
+    /// Per-sender configuration; the number of entries is the degree of
+    /// multiplexing `n`.
+    pub senders: Vec<SenderConfig>,
+    /// Segment size in bytes (the paper's ns-2 setup uses ~1500 B MTUs).
+    pub mss: u32,
+    /// Simulated duration (the paper uses 100 s per run).
+    pub duration: Ns,
+    /// Root seed. Every stochastic element (traffic draws per sender)
+    /// derives a deterministic stream from this.
+    pub seed: u64,
+    /// Record every delivery (sequence plots, Fig. 6). Off by default —
+    /// the log grows with every packet.
+    pub record_deliveries: bool,
+}
+
+impl Scenario {
+    /// A dumbbell with `n` identical senders.
+    pub fn dumbbell(
+        link: LinkSpec,
+        queue: QueueSpec,
+        n: usize,
+        rtt: Ns,
+        traffic: TrafficSpec,
+        duration: Ns,
+        seed: u64,
+    ) -> Scenario {
+        Scenario {
+            link,
+            queue,
+            senders: (0..n)
+                .map(|_| SenderConfig {
+                    rtt,
+                    traffic: traffic.clone(),
+                })
+                .collect(),
+            mss: 1500,
+            duration,
+            seed,
+            record_deliveries: false,
+        }
+    }
+
+    /// Number of senders.
+    pub fn n(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Builder-style: change the seed (harnesses re-run scenarios across
+    /// many seeds to build distributions).
+    pub fn with_seed(mut self, seed: u64) -> Scenario {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style: enable the delivery log.
+    pub fn with_delivery_log(mut self) -> Scenario {
+        self.record_deliveries = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dumbbell_builder() {
+        let s = Scenario::dumbbell(
+            LinkSpec::constant(15.0),
+            QueueSpec::DropTail { capacity: 1000 },
+            8,
+            Ns::from_millis(150),
+            TrafficSpec::fig4(),
+            Ns::from_secs(100),
+            7,
+        );
+        assert_eq!(s.n(), 8);
+        assert_eq!(s.mss, 1500);
+        assert_eq!(s.senders[3].rtt, Ns::from_millis(150));
+        let s2 = s.with_seed(9).with_delivery_log();
+        assert_eq!(s2.seed, 9);
+        assert!(s2.record_deliveries);
+    }
+}

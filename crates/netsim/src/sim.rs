@@ -1,0 +1,676 @@
+//! The discrete-event simulation engine.
+//!
+//! One [`Simulator`] runs one dumbbell scenario: `n` senders share a
+//! bottleneck queue and link; data packets experience queueing plus a
+//! per-flow forward propagation delay; receivers acknowledge every packet
+//! and ACKs return after the flow's reverse propagation delay, uncongested
+//! (the paper's dumbbell has no reverse-path bottleneck).
+//!
+//! The engine is strictly deterministic: all randomness flows from the
+//! scenario seed, and simultaneous events tie-break on insertion order.
+
+use crate::cc::CongestionControl;
+use crate::link::LinkState;
+use crate::metrics::{DeliveryRecord, FlowMetrics, SimResults};
+use crate::packet::{Ack, Packet};
+use crate::queue::{Enqueue, Queue};
+use crate::router::RouterHook;
+use crate::rng::SimRng;
+use crate::scenario::Scenario;
+use crate::time::Ns;
+use crate::traffic::TrafficProcess;
+use crate::transport::{SendPoll, Transport};
+use std::cmp::Ordering;
+use std::collections::{BTreeSet, BinaryHeap};
+
+/// Events the engine processes.
+enum Ev {
+    /// A traffic-process timer (off→on or timed on→off) for a flow.
+    Toggle(usize),
+    /// A pacing timer expired for a flow.
+    Pacer(usize),
+    /// The constant-rate link finished serving a packet.
+    LinkReady,
+    /// A trace-driven delivery opportunity.
+    TraceSlot,
+    /// A packet reaches its receiver.
+    Deliver(Packet),
+    /// An ACK reaches its sender.
+    AckArrive(Ack),
+    /// A retransmission timer (flow, generation).
+    Rto(usize, u64),
+    /// Periodic router control computation (XCP).
+    RouterTick,
+}
+
+struct Entry {
+    at: Ns,
+    id: u64,
+    ev: Ev,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Entry) -> bool {
+        self.at == other.at && self.id == other.id
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Entry) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Entry) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first, with
+        // insertion order breaking ties for determinism.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+/// Receiver-side reassembly state for one flow.
+#[derive(Default)]
+struct Receiver {
+    expected: u64,
+    out_of_order: BTreeSet<u64>,
+}
+
+impl Receiver {
+    /// Process a delivery; returns `true` if the packet carried new data.
+    fn on_packet(&mut self, seq: u64) -> bool {
+        if seq < self.expected || self.out_of_order.contains(&seq) {
+            return false;
+        }
+        if seq == self.expected {
+            self.expected += 1;
+            while self.out_of_order.remove(&self.expected) {
+                self.expected += 1;
+            }
+        } else {
+            self.out_of_order.insert(seq);
+        }
+        true
+    }
+}
+
+struct Flow {
+    transport: Transport,
+    traffic: TrafficProcess,
+    receiver: Receiver,
+    metrics: FlowMetrics,
+    /// Bottleneck → receiver propagation.
+    fwd_delay: Ns,
+    /// Receiver → sender propagation.
+    back_delay: Ns,
+    /// A pacer event is already scheduled at this time (dedup guard).
+    pacer_scheduled: Option<Ns>,
+    /// Latest RTO generation we have scheduled an event for.
+    rto_scheduled_gen: u64,
+}
+
+/// The dumbbell simulator.
+pub struct Simulator {
+    now: Ns,
+    end: Ns,
+    heap: BinaryHeap<Entry>,
+    next_id: u64,
+    queue: Box<dyn Queue>,
+    link: LinkState,
+    link_busy: bool,
+    router: Option<Box<dyn RouterHook>>,
+    flows: Vec<Flow>,
+    mss: u32,
+    packets_forwarded: u64,
+    deliveries: Vec<DeliveryRecord>,
+    record_deliveries: bool,
+}
+
+impl Simulator {
+    /// Build a simulator: one congestion-control instance per sender
+    /// (must match `scenario.n()`), plus an optional router hook (XCP).
+    pub fn new(
+        scenario: &Scenario,
+        ccs: Vec<Box<dyn CongestionControl>>,
+        router: Option<Box<dyn RouterHook>>,
+    ) -> Simulator {
+        assert_eq!(
+            ccs.len(),
+            scenario.n(),
+            "need exactly one congestion controller per sender"
+        );
+        let mut root = SimRng::new(scenario.seed);
+        let mut flows = Vec::with_capacity(scenario.n());
+        for (i, (cfg, cc)) in scenario.senders.iter().zip(ccs).enumerate() {
+            let rng = root.fork(i as u64 + 1);
+            let half = Ns(cfg.rtt.0 / 2);
+            flows.push(Flow {
+                transport: Transport::new(cc),
+                traffic: TrafficProcess::new(cfg.traffic.clone(), scenario.mss, rng),
+                receiver: Receiver::default(),
+                metrics: FlowMetrics::default(),
+                fwd_delay: half,
+                back_delay: cfg.rtt - half,
+                pacer_scheduled: None,
+                rto_scheduled_gen: 0,
+            });
+        }
+        let mut sim = Simulator {
+            now: Ns::ZERO,
+            end: scenario.duration,
+            heap: BinaryHeap::new(),
+            next_id: 0,
+            queue: scenario.queue.build(),
+            link: LinkState::from_spec(&scenario.link),
+            link_busy: false,
+            router,
+            flows,
+            mss: scenario.mss,
+            packets_forwarded: 0,
+            deliveries: Vec::new(),
+            record_deliveries: scenario.record_deliveries,
+        };
+        // Seed initial events: each flow's first traffic toggle…
+        for i in 0..sim.flows.len() {
+            if let Some(at) = sim.flows[i].traffic.next_wakeup() {
+                sim.schedule(at, Ev::Toggle(i));
+            }
+        }
+        // …the first trace slot for trace-driven links…
+        if let LinkState::Trace { schedule } = &sim.link {
+            let first = schedule.next_after(Ns::ZERO);
+            sim.schedule(first, Ev::TraceSlot);
+        }
+        // …and the router's control clock.
+        if let Some(r) = &sim.router {
+            if let Some(period) = r.tick_interval() {
+                sim.schedule(period, Ev::RouterTick);
+            }
+        }
+        sim
+    }
+
+    fn schedule(&mut self, at: Ns, ev: Ev) {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.heap.push(Entry { at, id, ev });
+    }
+
+    /// Run to completion and summarize.
+    pub fn run(mut self) -> SimResults {
+        self.drive();
+        self.finish().0
+    }
+
+    /// Run to completion, returning results *and* the congestion-control
+    /// objects (Remy's optimizer reads whisker-usage statistics off them).
+    pub fn run_returning_ccs(mut self) -> (SimResults, Vec<Box<dyn CongestionControl>>) {
+        self.drive();
+        self.finish()
+    }
+
+    fn drive(&mut self) {
+        while let Some(entry) = self.heap.pop() {
+            if entry.at > self.end {
+                break;
+            }
+            debug_assert!(entry.at >= self.now, "time went backwards");
+            self.now = entry.at;
+            match entry.ev {
+                Ev::Toggle(i) => self.on_toggle(i),
+                Ev::Pacer(i) => {
+                    self.flows[i].pacer_scheduled = None;
+                    self.try_send(i);
+                }
+                Ev::LinkReady => {
+                    self.link_busy = false;
+                    self.start_service_if_possible();
+                }
+                Ev::TraceSlot => self.on_trace_slot(),
+                Ev::Deliver(p) => self.on_deliver(p),
+                Ev::AckArrive(a) => self.on_ack_arrive(a),
+                Ev::Rto(i, generation) => self.on_rto(i, generation),
+                Ev::RouterTick => self.on_router_tick(),
+            }
+        }
+        self.now = self.end;
+        // Close any open on-intervals at the simulation horizon.
+        for f in &mut self.flows {
+            if f.traffic.is_on() {
+                f.metrics.end_interval(self.end);
+            }
+        }
+    }
+
+    fn finish(self) -> (SimResults, Vec<Box<dyn CongestionControl>>) {
+        let end = self.end;
+        let mut flows = Vec::with_capacity(self.flows.len());
+        let mut ccs = Vec::with_capacity(self.flows.len());
+        let queue_drops = self.queue.drops();
+        for f in self.flows {
+            flows.push(f.metrics.summarize(end));
+            ccs.push(f.transport.into_cc());
+        }
+        (
+            SimResults {
+                flows,
+                queue_drops,
+                packets_forwarded: self.packets_forwarded,
+                duration: end,
+                deliveries: self.deliveries,
+            },
+            ccs,
+        )
+    }
+
+    // --- event handlers -------------------------------------------------
+
+    fn on_toggle(&mut self, i: usize) {
+        let now = self.now;
+        let was_on = self.flows[i].traffic.is_on();
+        let changed = self.flows[i].traffic.on_wakeup(now);
+        if changed {
+            let is_on = self.flows[i].traffic.is_on();
+            if is_on && !was_on {
+                // New connection begins.
+                self.flows[i].transport.start_connection(now);
+                self.flows[i].metrics.start_interval(now);
+                self.try_send(i);
+            } else if !is_on && was_on {
+                // Timed on-period expired.
+                self.flows[i].metrics.end_interval(now);
+            }
+        }
+        // Chain the next timer for this flow, if any.
+        if let Some(at) = self.flows[i].traffic.next_wakeup() {
+            if at > now {
+                self.schedule(at, Ev::Toggle(i));
+            }
+        }
+    }
+
+    fn try_send(&mut self, i: usize) {
+        loop {
+            let now = self.now;
+            let may_new = self.flows[i].traffic.may_send_new(now);
+            match self.flows[i].transport.poll_send(now, may_new) {
+                SendPoll::Send { seq, retransmit } => {
+                    let mut p = Packet::data(i, seq, self.mss, now);
+                    p.retransmit = retransmit;
+                    {
+                        let cc = self.flows[i].transport.cc();
+                        p.ecn_capable = cc.ecn_capable();
+                        p.xcp = cc.xcp_header();
+                    }
+                    if let Some(r) = self.router.as_mut() {
+                        r.on_arrival(now, &mut p, self.queue.len());
+                    }
+                    let admitted = self.queue.enqueue(now, p) == Enqueue::Queued;
+                    self.flows[i].transport.on_sent(now, seq, retransmit);
+                    if !retransmit {
+                        self.flows[i].traffic.consume_packet();
+                    }
+                    self.sync_rto(i);
+                    if admitted {
+                        self.start_service_if_possible();
+                    }
+                }
+                SendPoll::Paced { until } => {
+                    let need = match self.flows[i].pacer_scheduled {
+                        Some(at) => at > until,
+                        None => true,
+                    };
+                    if need {
+                        self.flows[i].pacer_scheduled = Some(until);
+                        self.schedule(until, Ev::Pacer(i));
+                    }
+                    break;
+                }
+                SendPoll::Idle => break,
+            }
+        }
+    }
+
+    /// For constant-rate links: begin serving the head packet if the link
+    /// is idle. Trace links ignore this (deliveries happen on trace slots).
+    fn start_service_if_possible(&mut self) {
+        let LinkState::Constant { rate_mbps } = self.link else {
+            return;
+        };
+        if self.link_busy {
+            return;
+        }
+        let now = self.now;
+        let Some(mut p) = self.queue.dequeue(now) else {
+            return;
+        };
+        self.link_busy = true;
+        let service = crate::time::service_time(p.size, rate_mbps);
+        let flow = p.flow;
+        // Queueing delay: time spent waiting before service began.
+        let wait = now.saturating_sub(p.enqueued_at);
+        self.flows[flow].metrics.record_queue_delay(wait);
+        if let Some(r) = self.router.as_mut() {
+            r.on_departure(now, &mut p, self.queue.len());
+        }
+        self.packets_forwarded += 1;
+        let deliver_at = now + service + self.flows[flow].fwd_delay;
+        self.schedule(now + service, Ev::LinkReady);
+        self.schedule(deliver_at, Ev::Deliver(p));
+    }
+
+    fn on_trace_slot(&mut self) {
+        let now = self.now;
+        // Chain the next opportunity first.
+        if let LinkState::Trace { schedule } = &self.link {
+            let next = schedule.next_after(now);
+            self.schedule(next, Ev::TraceSlot);
+        }
+        let Some(mut p) = self.queue.dequeue(now) else {
+            return;
+        };
+        let flow = p.flow;
+        let wait = now.saturating_sub(p.enqueued_at);
+        self.flows[flow].metrics.record_queue_delay(wait);
+        if let Some(r) = self.router.as_mut() {
+            r.on_departure(now, &mut p, self.queue.len());
+        }
+        self.packets_forwarded += 1;
+        let deliver_at = now + self.flows[flow].fwd_delay;
+        self.schedule(deliver_at, Ev::Deliver(p));
+    }
+
+    fn on_deliver(&mut self, p: Packet) {
+        let now = self.now;
+        let i = p.flow;
+        let new_data = self.flows[i].receiver.on_packet(p.seq);
+        if new_data {
+            self.flows[i].metrics.packets_delivered += 1;
+            self.flows[i].metrics.credit_bytes(p.size as u64);
+            if self.record_deliveries {
+                self.deliveries.push(DeliveryRecord {
+                    at: now,
+                    flow: i,
+                    seq: p.seq,
+                });
+            }
+        } else {
+            self.flows[i].metrics.duplicate_deliveries += 1;
+        }
+        let ack = Ack {
+            flow: i,
+            cum_ack: self.flows[i].receiver.expected,
+            seq: p.seq,
+            echo_ts: p.sent_at,
+            received_at: now,
+            ecn_echo: p.ecn_marked,
+            xcp_feedback: p.xcp.map(|h| h.feedback),
+            new_data,
+        };
+        let at = now + self.flows[i].back_delay;
+        self.schedule(at, Ev::AckArrive(ack));
+    }
+
+    fn on_ack_arrive(&mut self, ack: Ack) {
+        let now = self.now;
+        let i = ack.flow;
+        let outcome = self.flows[i].transport.on_ack(now, &ack);
+        self.flows[i].metrics.record_rtt(outcome.rtt_sample);
+        self.sync_rto(i);
+        // Transfer completion: fixed-size flow fully delivered.
+        if self.flows[i].traffic.draining() && self.flows[i].transport.all_acked() {
+            self.flows[i].traffic.on_transfer_complete(now);
+            self.flows[i].metrics.end_interval(now);
+            if let Some(at) = self.flows[i].traffic.next_wakeup() {
+                self.schedule(at.max(now), Ev::Toggle(i));
+            }
+        }
+        self.try_send(i);
+    }
+
+    fn on_rto(&mut self, i: usize, generation: u64) {
+        let now = self.now;
+        if self.flows[i].transport.on_rto_fire(now, generation) {
+            self.try_send(i);
+        }
+        self.sync_rto(i);
+    }
+
+    fn on_router_tick(&mut self) {
+        let now = self.now;
+        if let Some(r) = self.router.as_mut() {
+            r.on_tick(now, self.queue.len());
+            if let Some(period) = r.tick_interval() {
+                self.schedule(now + period, Ev::RouterTick);
+            }
+        }
+    }
+
+    /// Make sure an event exists for the transport's current RTO deadline.
+    fn sync_rto(&mut self, i: usize) {
+        if let Some((deadline, generation)) = self.flows[i].transport.rto_deadline() {
+            if generation != self.flows[i].rto_scheduled_gen {
+                self.flows[i].rto_scheduled_gen = generation;
+                self.schedule(deadline, Ev::Rto(i, generation));
+            }
+        }
+    }
+
+    /// Current simulated time (tests).
+    pub fn now(&self) -> Ns {
+        self.now
+    }
+}
+
+/// Convenience: run `scenario` with one factory-built controller per
+/// sender and no router hook.
+pub fn run_scenario(
+    scenario: &Scenario,
+    factory: &dyn Fn(usize) -> Box<dyn CongestionControl>,
+) -> SimResults {
+    let ccs = (0..scenario.n()).map(factory).collect();
+    Simulator::new(scenario, ccs, None).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::FixedWindow;
+    use crate::link::{DeliverySchedule, LinkSpec};
+    use crate::queue::QueueSpec;
+    use crate::traffic::TrafficSpec;
+
+    fn saturating_scenario(n: usize, rate_mbps: f64, rtt_ms: u64) -> Scenario {
+        Scenario::dumbbell(
+            LinkSpec::constant(rate_mbps),
+            QueueSpec::DropTail { capacity: 1000 },
+            n,
+            Ns::from_millis(rtt_ms),
+            TrafficSpec::saturating(),
+            Ns::from_secs(20),
+            1,
+        )
+    }
+
+    #[test]
+    fn single_saturating_flow_fills_the_link() {
+        // Window large enough to cover the BDP: 10 Mbps × 100 ms ≈ 83 pkts.
+        let s = saturating_scenario(1, 10.0, 100);
+        let r = run_scenario(&s, &|_| Box::new(FixedWindow::new(200.0)));
+        let util = r.utilization(10.0);
+        assert!(
+            util > 0.95,
+            "expected near-full utilization, got {util} ({:?})",
+            r.flows[0]
+        );
+    }
+
+    #[test]
+    fn tiny_window_is_latency_limited() {
+        // One packet per RTT: throughput ≈ mss*8/rtt = 1500*8/0.1 s = 120 kbps.
+        let s = saturating_scenario(1, 10.0, 100);
+        let r = run_scenario(&s, &|_| Box::new(FixedWindow::new(1.0)));
+        let got = r.flows[0].throughput_mbps;
+        assert!(
+            (got - 0.12).abs() < 0.012,
+            "expected ~0.12 Mbps, got {got}"
+        );
+        // And the queue never builds.
+        assert!(r.flows[0].mean_queue_delay_ms < 1.5);
+    }
+
+    #[test]
+    fn two_equal_flows_split_capacity() {
+        let s = saturating_scenario(2, 10.0, 100);
+        let r = run_scenario(&s, &|_| Box::new(FixedWindow::new(100.0)));
+        let t0 = r.flows[0].throughput_mbps;
+        let t1 = r.flows[1].throughput_mbps;
+        assert!(t0 + t1 > 9.5, "link filled: {t0} + {t1}");
+        assert!(
+            (t0 - t1).abs() / (t0 + t1) < 0.1,
+            "even split expected: {t0} vs {t1}"
+        );
+    }
+
+    #[test]
+    fn oversized_windows_build_queueing_delay() {
+        // 2 flows × 400-pkt windows over a 83-pkt BDP: the DropTail queue
+        // should hold a large standing backlog.
+        let s = saturating_scenario(2, 10.0, 100);
+        let r = run_scenario(&s, &|_| Box::new(FixedWindow::new(400.0)));
+        assert!(
+            r.flows[0].mean_queue_delay_ms > 100.0,
+            "expected bloated queue, got {} ms",
+            r.flows[0].mean_queue_delay_ms
+        );
+    }
+
+    #[test]
+    fn drops_happen_only_when_queue_overflows() {
+        let small = Scenario {
+            queue: QueueSpec::DropTail { capacity: 10 },
+            ..saturating_scenario(1, 10.0, 100)
+        };
+        let r = run_scenario(&small, &|_| Box::new(FixedWindow::new(500.0)));
+        assert!(r.queue_drops > 0, "tiny buffer must overflow");
+        let big = saturating_scenario(1, 10.0, 100);
+        let r2 = run_scenario(&big, &|_| Box::new(FixedWindow::new(500.0)));
+        assert_eq!(r2.queue_drops, 0, "1000-pkt buffer holds a 500-pkt window");
+    }
+
+    #[test]
+    fn pacing_limits_rate_below_window() {
+        // 10 ms pacing → at most 100 pkts/s → 1.2 Mbps regardless of window.
+        let s = saturating_scenario(1, 10.0, 100);
+        let r = run_scenario(&s, &|_| {
+            Box::new(FixedWindow::new(1000.0).with_pacing(Ns::from_millis(10)))
+        });
+        let got = r.flows[0].throughput_mbps;
+        assert!((got - 1.2).abs() < 0.1, "expected ~1.2 Mbps, got {got}");
+    }
+
+    #[test]
+    fn trace_link_delivers_at_trace_rate() {
+        // 1 delivery per ms = 1000 pkt/s = 12 Mbps with 1500 B packets.
+        let instants: Vec<Ns> = (1..=1000).map(|k| Ns::from_millis(k)).collect();
+        let schedule = DeliverySchedule::new(instants, Ns::from_millis(1));
+        let s = Scenario::dumbbell(
+            LinkSpec::trace("synthetic", schedule),
+            QueueSpec::DropTail { capacity: 1000 },
+            1,
+            Ns::from_millis(50),
+            TrafficSpec::saturating(),
+            Ns::from_secs(10),
+            1,
+        );
+        let r = run_scenario(&s, &|_| Box::new(FixedWindow::new(400.0)));
+        let got = r.flows[0].throughput_mbps;
+        assert!((got - 12.0).abs() < 0.5, "expected ~12 Mbps, got {got}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let s = Scenario::dumbbell(
+            LinkSpec::constant(15.0),
+            QueueSpec::DropTail { capacity: 1000 },
+            4,
+            Ns::from_millis(150),
+            TrafficSpec::fig4(),
+            Ns::from_secs(30),
+            42,
+        );
+        let a = run_scenario(&s, &|_| Box::new(FixedWindow::new(50.0)));
+        let b = run_scenario(&s, &|_| Box::new(FixedWindow::new(50.0)));
+        for (fa, fb) in a.flows.iter().zip(&b.flows) {
+            assert_eq!(fa.bytes, fb.bytes);
+            assert_eq!(fa.packets_delivered, fb.packets_delivered);
+            assert_eq!(fa.throughput_mbps, fb.throughput_mbps);
+        }
+        assert_eq!(a.queue_drops, b.queue_drops);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let s = Scenario::dumbbell(
+            LinkSpec::constant(15.0),
+            QueueSpec::DropTail { capacity: 1000 },
+            4,
+            Ns::from_millis(150),
+            TrafficSpec::fig4(),
+            Ns::from_secs(30),
+            1,
+        );
+        let a = run_scenario(&s, &|_| Box::new(FixedWindow::new(50.0)));
+        let b = run_scenario(&s.clone().with_seed(2), &|_| {
+            Box::new(FixedWindow::new(50.0))
+        });
+        let ba: u64 = a.flows.iter().map(|f| f.bytes).sum();
+        let bb: u64 = b.flows.iter().map(|f| f.bytes).sum();
+        assert_ne!(ba, bb, "different seeds should change traffic draws");
+    }
+
+    #[test]
+    fn on_off_flow_records_intervals() {
+        let s = Scenario::dumbbell(
+            LinkSpec::constant(15.0),
+            QueueSpec::DropTail { capacity: 1000 },
+            1,
+            Ns::from_millis(150),
+            TrafficSpec::fig4(),
+            Ns::from_secs(60),
+            3,
+        );
+        let r = run_scenario(&s, &|_| Box::new(FixedWindow::new(20.0)));
+        let f = &r.flows[0];
+        assert!(f.was_active());
+        assert!(f.n_intervals > 1, "60 s of ~100 kB flows: several bursts");
+        assert!(f.bytes > 0);
+        // Conservation: the receiver cannot get more than was forwarded.
+        assert!(f.packets_delivered <= r.packets_forwarded);
+    }
+
+    #[test]
+    fn delivery_log_is_monotonic_when_enabled() {
+        let s = saturating_scenario(1, 5.0, 50).with_delivery_log();
+        let mut s = s;
+        s.duration = Ns::from_secs(2);
+        let r = run_scenario(&s, &|_| Box::new(FixedWindow::new(20.0)));
+        assert!(!r.deliveries.is_empty());
+        for w in r.deliveries.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        // In-order link and no drops: sequence numbers are increasing.
+        for w in r.deliveries.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one congestion controller per sender")]
+    fn wrong_cc_count_panics() {
+        let s = saturating_scenario(2, 10.0, 100);
+        let _ = Simulator::new(&s, vec![Box::new(FixedWindow::new(1.0))], None);
+    }
+}

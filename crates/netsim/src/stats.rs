@@ -1,0 +1,154 @@
+//! Small summary-statistics helpers used by experiment harnesses.
+//!
+//! The paper reports medians (its headline tables), 1-σ ellipses of
+//! throughput/delay clouds (Figs. 4–9), and standard errors (Fig. 10);
+//! these helpers compute all of those from raw per-run samples.
+
+/// Arithmetic mean (0.0 for an empty slice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation (0.0 for fewer than two samples).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Standard error of the mean.
+pub fn std_err(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    std_dev(xs) / (xs.len() as f64).sqrt()
+}
+
+/// Quantile via linear interpolation of the sorted samples; `q` in [0, 1].
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+    let pos = q.clamp(0.0, 1.0) * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let frac = pos - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    }
+}
+
+/// Median.
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// The 2-D Gaussian summary behind the paper's throughput–delay ellipses:
+/// means, standard deviations, and the correlation of the two coordinates.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Ellipse {
+    /// Mean of x (queueing delay in the paper's plots).
+    pub mean_x: f64,
+    /// Mean of y (throughput).
+    pub mean_y: f64,
+    /// Standard deviation of x.
+    pub sd_x: f64,
+    /// Standard deviation of y.
+    pub sd_y: f64,
+    /// Pearson correlation between x and y.
+    pub corr: f64,
+}
+
+/// Fit the maximum-likelihood 2-D Gaussian to paired samples.
+pub fn ellipse(xs: &[f64], ys: &[f64]) -> Ellipse {
+    assert_eq!(xs.len(), ys.len(), "paired samples required");
+    if xs.is_empty() {
+        return Ellipse::default();
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let sx = std_dev(xs);
+    let sy = std_dev(ys);
+    let cov = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| (x - mx) * (y - my))
+        .sum::<f64>()
+        / xs.len() as f64;
+    let corr = if sx > 0.0 && sy > 0.0 {
+        cov / (sx * sy)
+    } else {
+        0.0
+    };
+    Ellipse {
+        mean_x: mx,
+        mean_y: my,
+        sd_x: sx,
+        sd_y: sy,
+        corr,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+        assert!((std_err(&xs) - 2.0 / 8f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_slices_are_safe() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(quantile(&[], 0.9), 0.0);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(quantile(&xs, 0.0), 10.0);
+        assert_eq!(quantile(&xs, 1.0), 50.0);
+        assert_eq!(quantile(&xs, 0.25), 20.0);
+        assert!((quantile(&xs, 0.1) - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ellipse_of_correlated_cloud() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        let e = ellipse(&xs, &ys);
+        assert!((e.corr - 1.0).abs() < 1e-9, "perfect correlation");
+        assert!((e.mean_x - 49.5).abs() < 1e-9);
+        assert!((e.mean_y - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ellipse_of_constant_data_has_zero_corr() {
+        let xs = [5.0; 10];
+        let ys = [3.0; 10];
+        let e = ellipse(&xs, &ys);
+        assert_eq!(e.corr, 0.0);
+        assert_eq!(e.sd_x, 0.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests of netsim's core invariants.
+
+use netsim::link::DeliverySchedule;
+use netsim::packet::Packet;
+use netsim::queue::{Codel, DropTail, Enqueue, Queue, SfqCodel};
+use netsim::rng::SimRng;
+use netsim::stats;
+use netsim::time::Ns;
+use proptest::prelude::*;
+
+fn pkt(flow: usize, seq: u64) -> Packet {
+    Packet::data(flow, seq, 1500, Ns::ZERO)
+}
+
+proptest! {
+    /// Ns::from_secs_f64 round-trips within a nanosecond for sane values.
+    #[test]
+    fn ns_round_trip(secs in 0.0f64..1e6) {
+        let ns = Ns::from_secs_f64(secs);
+        prop_assert!((ns.as_secs_f64() - secs).abs() < 1e-9 * secs.max(1.0));
+    }
+
+    /// Saturating arithmetic never panics or wraps.
+    #[test]
+    fn ns_saturating(a in any::<u64>(), b in any::<u64>()) {
+        let x = Ns(a).saturating_sub(Ns(b));
+        prop_assert!(x.0 <= a);
+        let y = Ns(a).saturating_add(Ns(b));
+        prop_assert!(y.0 >= a.max(b) || y == Ns::MAX);
+    }
+
+    /// DropTail conserves packets: everything enqueued is either dropped
+    /// (counted) or eventually dequeued, in FIFO order.
+    #[test]
+    fn droptail_conserves(cap in 1usize..64, ops in prop::collection::vec(0u8..3, 1..200)) {
+        let mut q = DropTail::new(cap);
+        let mut inserted = 0u64;
+        let mut removed = 0u64;
+        let mut next_seq = 0u64;
+        let mut expected_head = 0u64;
+        for op in ops {
+            if op < 2 {
+                match q.enqueue(Ns(inserted), pkt(0, next_seq)) {
+                    Enqueue::Queued => { inserted += 1; next_seq += 1; }
+                    Enqueue::Dropped => { next_seq += 1; }
+                }
+            } else if let Some(p) = q.dequeue(Ns(1000)) {
+                prop_assert!(p.seq >= expected_head, "FIFO order");
+                expected_head = p.seq + 1;
+                removed += 1;
+            }
+        }
+        while q.dequeue(Ns(2000)).is_some() { removed += 1; }
+        prop_assert_eq!(inserted, removed);
+        prop_assert_eq!(q.bytes(), 0);
+    }
+
+    /// CoDel never loses packets silently: enqueued = dequeued + drops.
+    #[test]
+    fn codel_accounts_for_everything(n in 1usize..300, delay_ms in 0u64..200) {
+        let mut q = Codel::new(1000);
+        for i in 0..n {
+            q.enqueue(Ns::ZERO, pkt(0, i as u64));
+        }
+        let mut out = 0u64;
+        let mut t = Ns::from_millis(delay_ms);
+        for _ in 0..(2 * n) {
+            if q.dequeue(t).is_some() { out += 1; }
+            t += Ns::from_millis(1);
+            if q.is_empty() { break; }
+        }
+        prop_assert_eq!(out + q.drops() + q.len() as u64, n as u64);
+    }
+
+    /// sfqCoDel with ample capacity conserves packets across flows.
+    #[test]
+    fn sfq_conserves(flows in 1usize..10, per_flow in 1usize..20) {
+        let mut q = SfqCodel::new(100_000, 32);
+        for f in 0..flows {
+            for s in 0..per_flow {
+                q.enqueue(Ns::ZERO, pkt(f, s as u64));
+            }
+        }
+        let mut got = vec![0usize; flows];
+        while let Some(p) = q.dequeue(Ns::from_micros(1)) {
+            got[p.flow] += 1;
+        }
+        for f in 0..flows {
+            prop_assert_eq!(got[f], per_flow);
+        }
+    }
+
+    /// Delivery schedules: next_after is strictly increasing and respects
+    /// the period structure.
+    #[test]
+    fn schedule_monotonic(
+        gaps in prop::collection::vec(1u64..1_000_000, 1..50),
+        tail in 1u64..1_000_000,
+        start in 0u64..10_000_000,
+    ) {
+        let mut t = 0u64;
+        let instants: Vec<Ns> = gaps.iter().map(|g| { t += g; Ns(t) }).collect();
+        let s = DeliverySchedule::new(instants, Ns(tail));
+        let mut prev = Ns(start);
+        for _ in 0..20 {
+            let next = s.next_after(prev);
+            prop_assert!(next > prev);
+            prev = next;
+        }
+    }
+
+    /// Quantiles are monotone in q and bounded by the sample range.
+    #[test]
+    fn quantiles_monotone(mut xs in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let lo = xs[0];
+        let hi = xs[xs.len() - 1];
+        let mut prev = f64::NEG_INFINITY;
+        for k in 0..=10 {
+            let q = stats::quantile(&xs, k as f64 / 10.0);
+            prop_assert!(q >= prev - 1e-9);
+            prop_assert!(q >= lo - 1e-9 && q <= hi + 1e-9);
+            prev = q;
+        }
+    }
+
+    /// The RNG's uniform range draws stay in bounds for arbitrary bounds.
+    #[test]
+    fn rng_range_in_bounds(seed in any::<u64>(), lo in 0u64..1000, span in 0u64..1000) {
+        let mut rng = SimRng::new(seed);
+        let hi = lo + span;
+        for _ in 0..100 {
+            let x = rng.range_u64(lo, hi);
+            prop_assert!(x >= lo && x <= hi);
+        }
+    }
+
+    /// Exponential draws are non-negative; pareto draws respect the floor.
+    #[test]
+    fn rng_distributions_bounds(seed in any::<u64>(), mean in 0.001f64..100.0) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.exponential(mean) >= 0.0);
+            prop_assert!(rng.pareto(mean, 0.5) >= mean);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! `remy-cli` — inspect, evaluate, and compare RemyCC rule tables.
+//!
+//! ```text
+//! remy-cli inspect <table>                        # annotated rule dump
+//! remy-cli eval <table> [delta] [specimens] [secs]  # score on the general model
+//! remy-cli compare <tableA> <tableB> [runs] [secs]  # head-to-head on Fig. 4
+//! remy-cli list                                   # shipped tables
+//! ```
+//!
+//! `<table>` is either a shipped asset name (`delta01`, `delta1`,
+//! `delta10`, `onex`, `tenx`, `datacenter`, `coexist`) or a path to a
+//! JSON rule table produced by `Remy::design` / `train_remycc`.
+
+use remy_sim::prelude::*;
+use std::sync::Arc;
+
+fn load(spec: &str) -> Arc<WhiskerTree> {
+    if let Some(t) = remy::assets::by_name(spec) {
+        return t;
+    }
+    let text = std::fs::read_to_string(spec)
+        .unwrap_or_else(|e| die(&format!("cannot read '{spec}': {e}")));
+    Arc::new(
+        WhiskerTree::from_json(&text)
+            .unwrap_or_else(|e| die(&format!("cannot parse '{spec}': {e}"))),
+    )
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("remy-cli: {msg}");
+    std::process::exit(2)
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  remy-cli list\n  remy-cli inspect <table>\n  \
+         remy-cli eval <table> [delta=1] [specimens=8] [secs=15]\n  \
+         remy-cli compare <tableA> <tableB> [runs=8] [secs=20]"
+    );
+    std::process::exit(2)
+}
+
+fn cmd_inspect(table_spec: &str) {
+    let table = load(table_spec);
+    // Annotate with usage from a quick design-range evaluation so the
+    // dump shows which rules actually fire.
+    let evaluator = Evaluator::new(
+        NetworkModel::general(),
+        Objective::proportional(1.0),
+        EvalConfig {
+            specimens: 4,
+            sim_secs: 10.0,
+        },
+    );
+    let specimens = evaluator.specimens(1);
+    let (_, usage) = evaluator.evaluate(&table, &specimens);
+    print!("{}", remy::inspect::report(&table, Some(&usage)));
+}
+
+fn cmd_eval(table_spec: &str, delta: f64, specimens: usize, secs: f64) {
+    let table = load(table_spec);
+    let evaluator = Evaluator::new(
+        NetworkModel::general(),
+        Objective::proportional(delta),
+        EvalConfig {
+            specimens,
+            sim_secs: secs,
+        },
+    );
+    let sp = evaluator.specimens(7);
+    let score = evaluator.score(&table, &sp);
+    println!(
+        "table {table_spec}: {} rules, objective log(tput) - {delta} log(delay)",
+        table.len()
+    );
+    println!(
+        "score over {specimens} general-model specimens x {secs:.0}s: {score:.3}"
+    );
+}
+
+fn cmd_compare(a_spec: &str, b_spec: &str, runs: usize, secs: u64) {
+    let cfg = Workload {
+        link: LinkSpec::constant(15.0),
+        queue_capacity: 1000,
+        n_senders: 8,
+        rtt: Ns::from_millis(150),
+        traffic: TrafficSpec::fig4(),
+        duration: Ns::from_secs(secs),
+        runs,
+        seed: 12,
+    };
+    println!(
+        "Fig. 4 dumbbell (15 Mbps, 150 ms, n=8), {runs} runs x {secs} s:"
+    );
+    for (name, spec) in [(a_spec, a_spec), (b_spec, b_spec)] {
+        let c = Contender::remy(name.to_string(), load(spec));
+        println!("{}", evaluate(&c, &cfg).row());
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            for name in remy::assets::TABLE_NAMES {
+                let t = remy::assets::by_name(name).expect("shipped");
+                println!("{name:<12} {:>4} rules  {}", t.len(), t.provenance);
+            }
+        }
+        Some("inspect") => {
+            let t = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            cmd_inspect(t);
+        }
+        Some("eval") => {
+            let t = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            let delta = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(1.0);
+            let specimens = args.get(3).and_then(|v| v.parse().ok()).unwrap_or(8);
+            let secs = args.get(4).and_then(|v| v.parse().ok()).unwrap_or(15.0);
+            cmd_eval(t, delta, specimens, secs);
+        }
+        Some("compare") => {
+            let a = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            let b = args.get(2).map(String::as_str).unwrap_or_else(|| usage());
+            let runs = args.get(3).and_then(|v| v.parse().ok()).unwrap_or(8);
+            let secs = args.get(4).and_then(|v| v.parse().ok()).unwrap_or(20);
+            cmd_compare(a, b, runs, secs);
+        }
+        _ => usage(),
+    }
+}

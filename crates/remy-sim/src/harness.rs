@@ -1,0 +1,298 @@
+//! The experiment harness shared by every figure/table reproduction.
+//!
+//! The paper's evaluation methodology (§5.1): run each scenario for 100
+//! simulated seconds, at least 128 times with different random draws,
+//! measure each sender's throughput (`Σsi/Σti`) and average queueing
+//! delay, and report per-scheme medians plus 1-σ ellipses. [`evaluate`]
+//! implements exactly that loop for one [`Contender`] on one [`Workload`].
+
+use congestion::Scheme;
+use netsim::cc::CongestionControl;
+use netsim::link::LinkSpec;
+use netsim::queue::QueueSpec;
+use netsim::scenario::{Scenario, SenderConfig};
+use netsim::sim::Simulator;
+use netsim::stats::{ellipse, median, Ellipse};
+use netsim::time::Ns;
+use netsim::traffic::TrafficSpec;
+use remy::remycc::RemyCc;
+use remy::whisker::WhiskerTree;
+use std::sync::Arc;
+
+/// One congestion-control configuration under test: either a baseline
+/// scheme (which brings its own queue discipline and, for XCP, a router)
+/// or a RemyCC rule table (always end-to-end over DropTail).
+#[derive(Clone)]
+pub enum Contender {
+    /// A human-designed baseline.
+    Baseline(Scheme),
+    /// A RemyCC executing the given rule table.
+    Remy {
+        /// Display label, e.g. "RemyCC δ=0.1".
+        label: String,
+        /// The rule table.
+        table: Arc<WhiskerTree>,
+    },
+}
+
+impl Contender {
+    /// Wrap a baseline scheme.
+    pub fn baseline(s: Scheme) -> Contender {
+        Contender::Baseline(s)
+    }
+
+    /// Wrap a RemyCC rule table.
+    pub fn remy(label: impl Into<String>, table: Arc<WhiskerTree>) -> Contender {
+        Contender::Remy {
+            label: label.into(),
+            table,
+        }
+    }
+
+    /// Display label.
+    pub fn label(&self) -> String {
+        match self {
+            Contender::Baseline(s) => s.label().to_string(),
+            Contender::Remy { label, .. } => label.clone(),
+        }
+    }
+
+    /// The bottleneck queue this contender runs over.
+    pub fn queue_spec(&self, capacity: usize) -> QueueSpec {
+        match self {
+            Contender::Baseline(s) => s.queue_spec(capacity),
+            Contender::Remy { .. } => QueueSpec::DropTail { capacity },
+        }
+    }
+
+    /// Build one congestion-control instance.
+    pub fn build_cc(&self) -> Box<dyn CongestionControl> {
+        match self {
+            Contender::Baseline(s) => s.build_cc(),
+            Contender::Remy { label, table } => Box::new(
+                RemyCc::new(Arc::clone(table)).with_name(label.clone()),
+            ),
+        }
+    }
+
+    /// Router hook, if the scheme needs one.
+    pub fn router(
+        &self,
+        link: &LinkSpec,
+        mss: u32,
+    ) -> Option<Box<dyn netsim::router::RouterHook>> {
+        match self {
+            Contender::Baseline(s) => s.router(link, mss),
+            Contender::Remy { .. } => None,
+        }
+    }
+}
+
+/// One experiment configuration: the dumbbell everyone contends on.
+#[derive(Clone)]
+pub struct Workload {
+    /// Bottleneck link.
+    pub link: LinkSpec,
+    /// Queue capacity in packets (the discipline comes from the scheme).
+    pub queue_capacity: usize,
+    /// Degree of multiplexing.
+    pub n_senders: usize,
+    /// Propagation RTT shared by all senders.
+    pub rtt: Ns,
+    /// Offered-load process per sender.
+    pub traffic: TrafficSpec,
+    /// Duration of each run.
+    pub duration: Ns,
+    /// Number of independent runs (different seeds).
+    pub runs: usize,
+    /// Base seed; run `k` uses `seed + k`.
+    pub seed: u64,
+}
+
+impl Workload {
+    /// Materialize the scenario for run `k` under a given queue spec.
+    pub fn scenario(&self, queue: QueueSpec, k: usize) -> Scenario {
+        Scenario {
+            link: self.link.clone(),
+            queue,
+            senders: (0..self.n_senders)
+                .map(|_| SenderConfig {
+                    rtt: self.rtt,
+                    traffic: self.traffic.clone(),
+                })
+                .collect(),
+            mss: 1500,
+            duration: self.duration,
+            seed: self.seed + k as u64,
+            record_deliveries: false,
+        }
+    }
+}
+
+/// Pooled per-sender results of one contender across all runs.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// Contender label.
+    pub label: String,
+    /// One entry per active sender per run: throughput, Mbps.
+    pub throughput_samples: Vec<f64>,
+    /// Matching queueing-delay samples, ms.
+    pub delay_samples: Vec<f64>,
+    /// Matching mean-RTT samples, ms.
+    pub rtt_samples: Vec<f64>,
+    /// Median per-sender throughput, Mbps.
+    pub median_throughput_mbps: f64,
+    /// Median per-sender queueing delay, ms.
+    pub median_queue_delay_ms: f64,
+    /// Median per-sender mean RTT, ms.
+    pub median_rtt_ms: f64,
+    /// The paper's 1-σ throughput-delay ellipse (x = delay, y = tput).
+    pub ellipse: Ellipse,
+}
+
+impl Outcome {
+    fn from_samples(
+        label: String,
+        tput: Vec<f64>,
+        delay: Vec<f64>,
+        rtt: Vec<f64>,
+    ) -> Outcome {
+        let e = ellipse(&delay, &tput);
+        Outcome {
+            label,
+            median_throughput_mbps: median(&tput),
+            median_queue_delay_ms: median(&delay),
+            median_rtt_ms: median(&rtt),
+            throughput_samples: tput,
+            delay_samples: delay,
+            rtt_samples: rtt,
+            ellipse: e,
+        }
+    }
+
+    /// A one-line report row matching the paper's tables.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<16} tput {:>7.3} Mbps   qdelay {:>8.2} ms   rtt {:>8.2} ms   (n={})",
+            self.label,
+            self.median_throughput_mbps,
+            self.median_queue_delay_ms,
+            self.median_rtt_ms,
+            self.throughput_samples.len(),
+        )
+    }
+}
+
+/// Run a contender over every seed of a workload and pool per-sender
+/// samples, per the paper's methodology.
+pub fn evaluate(contender: &Contender, cfg: &Workload) -> Outcome {
+    let scenarios: Vec<Scenario> = (0..cfg.runs)
+        .map(|k| cfg.scenario(contender.queue_spec(cfg.queue_capacity), k))
+        .collect();
+    evaluate_scenarios(contender, &scenarios)
+}
+
+/// Run a contender over explicit scenarios (used by experiments with
+/// per-sender RTTs or other customizations).
+pub fn evaluate_scenarios(contender: &Contender, scenarios: &[Scenario]) -> Outcome {
+    let mut tput = Vec::new();
+    let mut delay = Vec::new();
+    let mut rtt = Vec::new();
+    for sc in scenarios {
+        let ccs: Vec<Box<dyn CongestionControl>> =
+            (0..sc.n()).map(|_| contender.build_cc()).collect();
+        let router = contender.router(&sc.link, sc.mss);
+        let results = Simulator::new(sc, ccs, router).run();
+        for f in results.active_flows() {
+            tput.push(f.throughput_mbps);
+            delay.push(f.mean_queue_delay_ms);
+            rtt.push(f.mean_rtt_ms);
+        }
+    }
+    Outcome::from_samples(contender.label(), tput, delay, rtt)
+}
+
+/// Environment-variable override helpers so `cargo bench` and CI can scale
+/// experiment budgets: `REMY_RUNS` (runs per scheme) and `REMY_SIM_SECS`.
+pub fn runs_from_env(default: usize) -> usize {
+    std::env::var("REMY_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// See [`runs_from_env`].
+pub fn sim_secs_from_env(default: u64) -> u64 {
+    std::env::var("REMY_SIM_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_workload() -> Workload {
+        Workload {
+            link: LinkSpec::constant(15.0),
+            queue_capacity: 1000,
+            n_senders: 2,
+            rtt: Ns::from_millis(150),
+            traffic: TrafficSpec::fig4(),
+            duration: Ns::from_secs(10),
+            runs: 2,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn baseline_outcome_has_samples() {
+        let out = evaluate(&Contender::baseline(Scheme::NewReno), &small_workload());
+        assert_eq!(out.label, "NewReno");
+        assert!(!out.throughput_samples.is_empty());
+        assert_eq!(out.throughput_samples.len(), out.delay_samples.len());
+        assert!(out.median_throughput_mbps > 0.0);
+        assert!(out.row().contains("NewReno"));
+    }
+
+    #[test]
+    fn remy_contender_runs_end_to_end() {
+        let table = Arc::new(WhiskerTree::single_rule());
+        let out = evaluate(&Contender::remy("RemyCC test", table), &small_workload());
+        assert_eq!(out.label, "RemyCC test");
+        assert!(out.median_throughput_mbps > 0.0);
+    }
+
+    #[test]
+    fn xcp_contender_gets_its_router() {
+        let c = Contender::baseline(Scheme::Xcp);
+        assert!(c.router(&LinkSpec::constant(15.0), 1500).is_some());
+        let c2 = Contender::baseline(Scheme::Cubic);
+        assert!(c2.router(&LinkSpec::constant(15.0), 1500).is_none());
+    }
+
+    #[test]
+    fn queue_spec_follows_scheme() {
+        let sfq = Contender::baseline(Scheme::CubicSfqCodel).queue_spec(1000);
+        assert!(matches!(sfq, QueueSpec::SfqCodel { .. }));
+        let remy = Contender::remy("r", Arc::new(WhiskerTree::single_rule()));
+        assert!(matches!(remy.queue_spec(5), QueueSpec::DropTail { capacity: 5 }));
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let c = Contender::baseline(Scheme::Vegas);
+        let w = small_workload();
+        let a = evaluate(&c, &w);
+        let b = evaluate(&c, &w);
+        assert_eq!(a.median_throughput_mbps, b.median_throughput_mbps);
+        assert_eq!(a.delay_samples, b.delay_samples);
+    }
+
+    #[test]
+    fn env_overrides_parse() {
+        assert_eq!(runs_from_env(128), 128);
+        assert_eq!(sim_secs_from_env(100), 100);
+    }
+}

@@ -1,0 +1,44 @@
+//! # remy-sim — one-stop API for the TCP ex Machina reproduction
+//!
+//! Re-exports the simulator substrate (`netsim`), the baseline schemes
+//! (`congestion`), the synthetic cellular traces (`traces`), and Remy
+//! itself (`remy`), plus the [`harness`] used by every experiment binary,
+//! example, and integration test in this repository.
+//!
+//! ```
+//! use remy_sim::prelude::*;
+//!
+//! // Compare NewReno with a (trivial, untrained) RemyCC on Fig. 4's
+//! // dumbbell workload, 2 runs of 10 seconds each.
+//! let cfg = Workload {
+//!     link: LinkSpec::constant(15.0),
+//!     queue_capacity: 1000,
+//!     n_senders: 4,
+//!     rtt: Ns::from_millis(150),
+//!     traffic: TrafficSpec::fig4(),
+//!     duration: Ns::from_secs(10),
+//!     runs: 2,
+//!     seed: 1,
+//! };
+//! let newreno = Contender::baseline(Scheme::NewReno);
+//! let out = evaluate(&newreno, &cfg);
+//! assert!(out.median_throughput_mbps > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use congestion;
+pub use netsim;
+pub use remy;
+pub use traces;
+
+pub mod harness;
+
+/// The most commonly used items across all four crates.
+pub mod prelude {
+    pub use crate::harness::{evaluate, evaluate_scenarios, Contender, Outcome, Workload};
+    pub use congestion::{Compound, Cubic, Dctcp, NewReno, Scheme, Vegas, Xcp, XcpRouter};
+    pub use netsim::prelude::*;
+    pub use remy::prelude::*;
+    pub use traces::{att_schedule, verizon_schedule, LteModel};
+}

@@ -1,0 +1,96 @@
+//! Incremental deployment (paper §5.6): one RemyCC flow sharing a
+//! DropTail bottleneck with one flow of Compound or Cubic.
+//!
+//! The RemyCC here is the "coexist" table, designed for RTTs far beyond
+//! the propagation delay so a buffer-filling competitor cannot push it out
+//! of its design range.
+//!
+//! ```text
+//! cargo run --release -p remy-sim --example competing
+//! ```
+
+use remy_sim::prelude::*;
+use std::sync::Arc;
+
+/// Run `runs` head-to-head sims and return (remy mean tput, rival mean
+/// tput) with std-devs, in Mbps.
+fn head_to_head(
+    rival: Scheme,
+    traffic: TrafficSpec,
+    runs: usize,
+    secs: u64,
+) -> ((f64, f64), (f64, f64)) {
+    let table = remy::assets::coexist();
+    let mut remy_t = Vec::new();
+    let mut rival_t = Vec::new();
+    for k in 0..runs {
+        let scenario = Scenario {
+            link: LinkSpec::constant(15.0),
+            queue: QueueSpec::DropTail { capacity: 1000 },
+            senders: vec![
+                SenderConfig {
+                    rtt: Ns::from_millis(150),
+                    traffic: traffic.clone(),
+                },
+                SenderConfig {
+                    rtt: Ns::from_millis(150),
+                    traffic: traffic.clone(),
+                },
+            ],
+            mss: 1500,
+            duration: Ns::from_secs(secs),
+            seed: 1000 + k as u64,
+            record_deliveries: false,
+        };
+        let ccs: Vec<Box<dyn netsim::cc::CongestionControl>> = vec![
+            Box::new(RemyCc::new(Arc::clone(&table)).with_name("RemyCC")),
+            rival.build_cc(),
+        ];
+        let r = Simulator::new(&scenario, ccs, None).run();
+        if r.flows[0].was_active() {
+            remy_t.push(r.flows[0].throughput_mbps);
+        }
+        if r.flows[1].was_active() {
+            rival_t.push(r.flows[1].throughput_mbps);
+        }
+    }
+    (
+        (netsim::stats::mean(&remy_t), netsim::stats::std_dev(&remy_t)),
+        (netsim::stats::mean(&rival_t), netsim::stats::std_dev(&rival_t)),
+    )
+}
+
+fn main() {
+    let runs = 8;
+    println!("15 Mbps DropTail bottleneck, RTT 150 ms, 1 RemyCC flow vs 1 rival flow\n");
+
+    println!("vs Compound — empirical (Fig. 3) flow lengths, varying mean off time:");
+    for off_ms in [200u64, 100, 10] {
+        let traffic = TrafficSpec {
+            on: OnSpec::empirical(),
+            off_mean: Ns::from_millis(off_ms),
+            start_on: false,
+        };
+        let ((rm, rs), (cm, cs)) = head_to_head(Scheme::Compound, traffic, runs, 60);
+        println!(
+            "  off {off_ms:>4} ms : RemyCC {rm:.2} ({rs:.2})  Compound {cm:.2} ({cs:.2}) Mbps"
+        );
+    }
+
+    println!("\nvs Cubic — exponential flow sizes, 0.5 s mean off time:");
+    for mean_bytes in [100_000.0, 1_000_000.0] {
+        let traffic = TrafficSpec {
+            on: OnSpec::ByBytes { mean_bytes },
+            off_mean: Ns::from_millis(500),
+            start_on: false,
+        };
+        let ((rm, rs), (cm, cs)) = head_to_head(Scheme::Cubic, traffic, runs, 60);
+        println!(
+            "  {:>4} kB    : RemyCC {rm:.2} ({rs:.2})  Cubic {cm:.2} ({cs:.2}) Mbps",
+            mean_bytes as u64 / 1000
+        );
+    }
+
+    println!("\nPaper finding (§5.6): RemyCC grabs spare bandwidth faster at low duty");
+    println!("cycles; aggressive buffer-fillers win at high duty cycles, but closely.");
+}

@@ -1,0 +1,40 @@
+//! Quickstart: the headline comparison in thirty seconds.
+//!
+//! Runs a computer-generated congestion-control algorithm (the shipped
+//! RemyCC trained with δ=1) against TCP NewReno and TCP Cubic on the
+//! paper's Fig. 4 dumbbell — 15 Mbps bottleneck, 150 ms RTT, eight
+//! senders flipping between 100 kB transfers and half-second pauses — and
+//! prints per-sender median throughput and queueing delay.
+//!
+//! ```text
+//! cargo run --release -p remy-sim --example quickstart
+//! ```
+
+use remy_sim::prelude::*;
+
+fn main() {
+    let cfg = Workload {
+        link: LinkSpec::constant(15.0),
+        queue_capacity: 1000,
+        n_senders: 8,
+        rtt: Ns::from_millis(150),
+        traffic: TrafficSpec::fig4(),
+        duration: Ns::from_secs(30),
+        runs: 8,
+        seed: 42,
+    };
+
+    println!("Dumbbell: 15 Mbps, RTT 150 ms, n = 8, exp(100 kB) transfers / exp(0.5 s) off");
+    println!("{} runs x {}s per scheme\n", cfg.runs, cfg.duration.as_secs_f64());
+
+    let contenders = [
+        Contender::remy("RemyCC d=1", remy::assets::delta1()),
+        Contender::baseline(Scheme::NewReno),
+        Contender::baseline(Scheme::Cubic),
+    ];
+    for c in &contenders {
+        let out = evaluate(c, &cfg);
+        println!("{}", out.row());
+    }
+    println!("\nHigher throughput at lower queueing delay wins (paper Fig. 4).");
+}

@@ -1,0 +1,129 @@
+//! Integration: bit-for-bit reproducibility across the whole stack.
+//! Everything the optimizer does relies on this (common random numbers).
+
+use remy_sim::prelude::*;
+use std::sync::Arc;
+
+fn fingerprint(r: &SimResults) -> (u64, u64, Vec<u64>) {
+    (
+        r.packets_forwarded,
+        r.queue_drops,
+        r.flows.iter().map(|f| f.bytes).collect(),
+    )
+}
+
+#[test]
+fn identical_runs_for_every_scheme() {
+    for scheme in Scheme::standard_suite() {
+        let link = LinkSpec::constant(15.0);
+        let scenario = Scenario {
+            link: link.clone(),
+            queue: scheme.queue_spec(1000),
+            senders: (0..3)
+                .map(|_| SenderConfig {
+                    rtt: Ns::from_millis(150),
+                    traffic: TrafficSpec::fig4(),
+                })
+                .collect(),
+            mss: 1500,
+            duration: Ns::from_secs(12),
+            seed: 1234,
+            record_deliveries: false,
+        };
+        let go = || {
+            let ccs = (0..3).map(|_| scheme.build_cc()).collect();
+            let router = scheme.router(&link, 1500);
+            Simulator::new(&scenario, ccs, router).run()
+        };
+        assert_eq!(
+            fingerprint(&go()),
+            fingerprint(&go()),
+            "{} is nondeterministic",
+            scheme.label()
+        );
+    }
+}
+
+#[test]
+fn identical_runs_for_remycc_on_trace_links() {
+    let table = remy::assets::delta1();
+    let scenario = Scenario::dumbbell(
+        LinkSpec::Trace {
+            schedule: Arc::new(verizon_schedule()),
+            name: "v".into(),
+        },
+        QueueSpec::DropTail { capacity: 1000 },
+        4,
+        Ns::from_millis(50),
+        TrafficSpec::fig4(),
+        Ns::from_secs(12),
+        77,
+    );
+    let go = || {
+        run_scenario(&scenario, &|_| {
+            Box::new(RemyCc::new(Arc::clone(&table)))
+        })
+    };
+    assert_eq!(fingerprint(&go()), fingerprint(&go()));
+}
+
+#[test]
+fn seeds_actually_matter() {
+    let scenario = |seed| {
+        Scenario::dumbbell(
+            LinkSpec::constant(15.0),
+            QueueSpec::DropTail { capacity: 1000 },
+            4,
+            Ns::from_millis(150),
+            TrafficSpec::fig4(),
+            Ns::from_secs(12),
+            seed,
+        )
+    };
+    let a = run_scenario(&scenario(1), &|_| Box::new(NewReno::new()));
+    let b = run_scenario(&scenario(2), &|_| Box::new(NewReno::new()));
+    assert_ne!(
+        fingerprint(&a).2,
+        fingerprint(&b).2,
+        "different seeds must change traffic draws"
+    );
+}
+
+#[test]
+fn evaluator_common_random_numbers_hold_across_tables() {
+    // Two different tables must see exactly the same specimen scenarios.
+    let evaluator = Evaluator::new(
+        NetworkModel::general(),
+        Objective::proportional(1.0),
+        EvalConfig {
+            specimens: 3,
+            sim_secs: 3.0,
+        },
+    );
+    let s1 = evaluator.specimens(42);
+    let s2 = evaluator.specimens(42);
+    for (a, b) in s1.iter().zip(&s2) {
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.n(), b.n());
+        assert_eq!(a.senders[0].rtt, b.senders[0].rtt);
+    }
+}
+
+#[test]
+fn training_with_step_budget_is_reproducible() {
+    let cfg = TrainConfig {
+        eval: EvalConfig {
+            specimens: 2,
+            sim_secs: 3.0,
+        },
+        wall_secs: 600.0,
+        max_steps: 2,
+        max_rules: 8,
+        seed: 9,
+    };
+    let t1 = Remy::new(NetworkModel::exact_link(), Objective::proportional(1.0), cfg)
+        .design(|_| {});
+    let t2 = Remy::new(NetworkModel::exact_link(), Objective::proportional(1.0), cfg)
+        .design(|_| {});
+    assert_eq!(t1.to_json(), t2.to_json());
+}

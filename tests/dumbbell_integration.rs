@@ -1,0 +1,165 @@
+//! Integration: whole-system behaviour on the paper's dumbbell topology,
+//! crossing crate boundaries (netsim + congestion + remy-sim harness).
+
+use remy_sim::prelude::*;
+
+fn saturating(n: usize, secs: u64, scheme: Scheme, seed: u64) -> SimResults {
+    let link = LinkSpec::constant(15.0);
+    let scenario = Scenario {
+        link: link.clone(),
+        queue: scheme.queue_spec(1000),
+        senders: (0..n)
+            .map(|_| SenderConfig {
+                rtt: Ns::from_millis(150),
+                traffic: TrafficSpec::saturating(),
+            })
+            .collect(),
+        mss: 1500,
+        duration: Ns::from_secs(secs),
+        seed,
+        record_deliveries: false,
+    };
+    let ccs = (0..n).map(|_| scheme.build_cc()).collect();
+    let router = scheme.router(&link, 1500);
+    Simulator::new(&scenario, ccs, router).run()
+}
+
+#[test]
+fn every_scheme_moves_data_on_the_dumbbell() {
+    for scheme in Scheme::standard_suite() {
+        let r = saturating(2, 20, scheme, 3);
+        let total: u64 = r.flows.iter().map(|f| f.bytes).sum();
+        assert!(
+            total > 1_000_000,
+            "{} moved only {total} bytes",
+            scheme.label()
+        );
+    }
+}
+
+#[test]
+fn conservation_no_receiver_gets_unforwarded_data() {
+    for scheme in [Scheme::NewReno, Scheme::Cubic, Scheme::CubicSfqCodel] {
+        let r = saturating(4, 20, scheme, 5);
+        let delivered: u64 = r.flows.iter().map(|f| f.packets_delivered).sum();
+        let dups: u64 = r.flows.iter().map(|f| f.duplicate_deliveries).sum();
+        assert!(
+            delivered + dups <= r.packets_forwarded,
+            "{}: delivered {delivered} + dups {dups} > forwarded {}",
+            scheme.label(),
+            r.packets_forwarded
+        );
+    }
+}
+
+#[test]
+fn delay_ordering_matches_the_papers_spectrum() {
+    // §5.2: "from most delay-conscious (Vegas) to most throughput-
+    // conscious (Cubic)".
+    let vegas = saturating(2, 40, Scheme::Vegas, 7);
+    let cubic = saturating(2, 40, Scheme::Cubic, 7);
+    let d = |r: &SimResults| {
+        netsim::stats::mean(
+            &r.flows
+                .iter()
+                .map(|f| f.mean_queue_delay_ms)
+                .collect::<Vec<_>>(),
+        )
+    };
+    assert!(
+        d(&vegas) * 4.0 < d(&cubic),
+        "Vegas {} must be far below Cubic {}",
+        d(&vegas),
+        d(&cubic)
+    );
+}
+
+#[test]
+fn sfqcodel_isolates_a_light_flow_from_a_buffer_filler() {
+    // One Cubic buffer-filler + one light on/off flow. Under sfqCoDel the
+    // light flow's queueing delay must stay far below the DropTail case.
+    let build = |queue: QueueSpec, seed: u64| {
+        let scenario = Scenario {
+            link: LinkSpec::constant(15.0),
+            queue,
+            senders: vec![
+                SenderConfig {
+                    rtt: Ns::from_millis(150),
+                    traffic: TrafficSpec::saturating(),
+                },
+                SenderConfig {
+                    rtt: Ns::from_millis(150),
+                    traffic: TrafficSpec::fig4(),
+                },
+            ],
+            mss: 1500,
+            duration: Ns::from_secs(40),
+            seed,
+            record_deliveries: false,
+        };
+        let ccs: Vec<Box<dyn netsim::cc::CongestionControl>> =
+            vec![Box::new(Cubic::new()), Box::new(Cubic::new())];
+        Simulator::new(&scenario, ccs, None).run()
+    };
+    let droptail = build(QueueSpec::DropTail { capacity: 1000 }, 9);
+    let sfq = build(
+        QueueSpec::SfqCodel {
+            capacity: 1000,
+            buckets: 64,
+        },
+        9,
+    );
+    let light_dt = droptail.flows[1].mean_queue_delay_ms;
+    let light_sfq = sfq.flows[1].mean_queue_delay_ms;
+    assert!(
+        light_sfq < light_dt / 4.0,
+        "sfqCoDel should isolate the light flow: {light_sfq} ms vs {light_dt} ms"
+    );
+}
+
+#[test]
+fn harness_medians_are_sane_for_fig4_workload() {
+    let cfg = Workload {
+        link: LinkSpec::constant(15.0),
+        queue_capacity: 1000,
+        n_senders: 8,
+        rtt: Ns::from_millis(150),
+        traffic: TrafficSpec::fig4(),
+        duration: Ns::from_secs(15),
+        runs: 3,
+        seed: 21,
+    };
+    let out = evaluate(&Contender::baseline(Scheme::NewReno), &cfg);
+    // 8 senders with ~17% duty cycle on 15 Mbps: per-sender throughput
+    // must land between "starved" and "whole link".
+    assert!(
+        out.median_throughput_mbps > 0.05 && out.median_throughput_mbps < 15.0,
+        "median {}",
+        out.median_throughput_mbps
+    );
+    assert!(out.throughput_samples.len() >= 8, "pooled per-sender samples");
+}
+
+#[test]
+fn bigger_buffers_mean_more_delay_for_loss_based_tcp() {
+    let run = |cap: usize| {
+        let scenario = Scenario::dumbbell(
+            LinkSpec::constant(15.0),
+            QueueSpec::DropTail { capacity: cap },
+            1,
+            Ns::from_millis(150),
+            TrafficSpec::saturating(),
+            Ns::from_secs(30),
+            11,
+        );
+        run_scenario(&scenario, &|_| Box::new(NewReno::new()))
+    };
+    let small = run(100);
+    let big = run(2000);
+    assert!(
+        big.flows[0].mean_queue_delay_ms > small.flows[0].mean_queue_delay_ms * 2.0,
+        "bufferbloat: {} ms (2000p) vs {} ms (100p)",
+        big.flows[0].mean_queue_delay_ms,
+        small.flows[0].mean_queue_delay_ms
+    );
+}

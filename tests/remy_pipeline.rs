@@ -1,0 +1,158 @@
+//! Integration: the complete Remy pipeline — design a table with a tiny
+//! budget, serialize it, reload it, and run it in the simulator.
+
+use remy_sim::prelude::*;
+use std::sync::Arc;
+
+#[test]
+fn design_serialize_reload_run() {
+    // 1. Design with a deterministic micro-budget.
+    let remy = Remy::new(
+        NetworkModel::general(),
+        Objective::proportional(1.0),
+        TrainConfig {
+            eval: EvalConfig {
+                specimens: 2,
+                sim_secs: 4.0,
+            },
+            wall_secs: 60.0,
+            max_steps: 2,
+            max_rules: 16,
+            seed: 5,
+        },
+    );
+    let table = remy.design(|_| {});
+    // 2. Serialize and reload.
+    let json = table.to_json();
+    let reloaded = WhiskerTree::from_json(&json).expect("round trip");
+    assert_eq!(reloaded.len(), table.len());
+    // 3. Run it on a dumbbell.
+    let tree = Arc::new(reloaded);
+    let scenario = Scenario::dumbbell(
+        LinkSpec::constant(15.0),
+        QueueSpec::DropTail { capacity: 1000 },
+        2,
+        Ns::from_millis(150),
+        TrafficSpec::saturating(),
+        Ns::from_secs(15),
+        2,
+    );
+    let r = run_scenario(&scenario, &|_| Box::new(RemyCc::new(Arc::clone(&tree))));
+    assert!(r.flows[0].bytes > 100_000, "trained table must move data");
+}
+
+#[test]
+fn optimizer_beats_a_crippled_starting_point() {
+    // Evaluate the shipped (trained) delta1 table against the naive
+    // single-rule default on design-range specimens: training must not
+    // have made things worse.
+    let evaluator = Evaluator::new(
+        NetworkModel::general(),
+        Objective::proportional(1.0),
+        EvalConfig {
+            specimens: 4,
+            sim_secs: 10.0,
+        },
+    );
+    let specimens = evaluator.specimens(77);
+    let trained = remy::assets::delta1();
+    let naive = Arc::new(WhiskerTree::single_rule());
+    let trained_score = evaluator.score(&trained, &specimens);
+    let naive_score = evaluator.score(&naive, &specimens);
+    assert!(
+        trained_score >= naive_score,
+        "trained {trained_score} must be >= naive {naive_score}"
+    );
+}
+
+#[test]
+fn shipped_tables_run_on_their_design_scenarios() {
+    for (name, table) in [
+        ("delta01", remy::assets::delta01()),
+        ("delta1", remy::assets::delta1()),
+        ("delta10", remy::assets::delta10()),
+        ("coexist", remy::assets::coexist()),
+    ] {
+        let scenario = Scenario::dumbbell(
+            LinkSpec::constant(15.0),
+            QueueSpec::DropTail { capacity: 1000 },
+            4,
+            Ns::from_millis(150),
+            TrafficSpec::fig4(),
+            Ns::from_secs(20),
+            8,
+        );
+        let r = run_scenario(&scenario, &|_| Box::new(RemyCc::new(Arc::clone(&table))));
+        let total: u64 = r.flows.iter().map(|f| f.bytes).sum();
+        assert!(total > 100_000, "{name}: moved only {total} bytes");
+    }
+}
+
+#[test]
+fn remycc_converges_quickly_after_competitor_departs() {
+    // Fig. 6's dynamic: with a competitor gone, the survivor's delivery
+    // rate must rise substantially within a couple of seconds.
+    let table = remy::assets::delta1();
+    if table.provenance.contains("placeholder") {
+        // The asset hasn't been trained yet (bootstrap build); the naive
+        // single-rule table has no delay response to measure.
+        eprintln!("skipping: delta1 asset is an untrained placeholder");
+        return;
+    }
+    let mut scenario = Scenario::dumbbell(
+        LinkSpec::constant(15.0),
+        QueueSpec::DropTail { capacity: 1000 },
+        2,
+        Ns::from_millis(150),
+        TrafficSpec::saturating(),
+        Ns::from_secs(20),
+        6,
+    )
+    .with_delivery_log();
+    scenario.senders[1].traffic = TrafficSpec {
+        on: OnSpec::ByTimeFixed {
+            duration: Ns::from_secs(10),
+        },
+        off_mean: Ns::from_secs(10_000),
+        start_on: true,
+    };
+    let r = run_scenario(&scenario, &|_| Box::new(RemyCc::new(Arc::clone(&table))));
+    let rate = |from_s: u64, to_s: u64| {
+        r.deliveries
+            .iter()
+            .filter(|d| {
+                d.flow == 0
+                    && d.at >= Ns::from_secs(from_s)
+                    && d.at < Ns::from_secs(to_s)
+            })
+            .count() as f64
+            / (to_s - from_s) as f64
+    };
+    let before = rate(7, 10);
+    let after = rate(12, 15);
+    // The paper's fully-trained tables double the rate within ~1 RTT
+    // (Fig. 6). Laptop-budget tables learn a coarser pacing floor, so we
+    // require a clear speed-up rather than a full doubling; the fig6
+    // harness reports the measured ratio (see EXPERIMENTS.md).
+    assert!(
+        after > before * 1.1,
+        "survivor should speed up: {before:.0} -> {after:.0} pkt/s"
+    );
+}
+
+#[test]
+fn usage_statistics_flow_through_evaluation() {
+    let evaluator = Evaluator::new(
+        NetworkModel::exact_link(),
+        Objective::proportional(1.0),
+        EvalConfig {
+            specimens: 2,
+            sim_secs: 5.0,
+        },
+    );
+    let tree = Arc::new(WhiskerTree::single_rule());
+    let specimens = evaluator.specimens(3);
+    let (_, usage) = evaluator.evaluate(&tree, &specimens);
+    assert!(usage.total() > 100, "ACK-driven lookups must register");
+    assert!(usage.median_memory(0).is_some());
+}

@@ -1,0 +1,130 @@
+//! Integration: trace-driven (cellular) links end to end.
+
+use remy_sim::prelude::*;
+use std::sync::Arc;
+
+#[test]
+fn delivery_rate_never_exceeds_trace_budget() {
+    // A greedy sender cannot receive more packets than the schedule has
+    // delivery slots.
+    let schedule = LteModel::verizon_like().generate(3, Ns::from_secs(30));
+    let slots_in_20s = {
+        let mut t = Ns::ZERO;
+        let mut n = 0u64;
+        loop {
+            t = schedule.next_after(t);
+            if t >= Ns::from_secs(20) {
+                break n;
+            }
+            n += 1;
+        }
+    };
+    let scenario = Scenario::dumbbell(
+        LinkSpec::Trace {
+            schedule: Arc::new(schedule),
+            name: "v".into(),
+        },
+        QueueSpec::DropTail { capacity: 1000 },
+        1,
+        Ns::from_millis(50),
+        TrafficSpec::saturating(),
+        Ns::from_secs(20),
+        4,
+    );
+    let r = run_scenario(&scenario, &|_| Box::new(FixedWindow::new(600.0)));
+    assert!(
+        r.packets_forwarded <= slots_in_20s,
+        "forwarded {} > slots {}",
+        r.packets_forwarded,
+        slots_in_20s
+    );
+    // And a big window should keep the lossy, varying link mostly busy.
+    assert!(
+        r.packets_forwarded as f64 > slots_in_20s as f64 * 0.9,
+        "greedy sender should use ≥90% of slots: {} / {}",
+        r.packets_forwarded,
+        slots_in_20s
+    );
+}
+
+#[test]
+fn all_schemes_survive_the_cellular_link() {
+    let cfg = Workload {
+        link: LinkSpec::Trace {
+            schedule: Arc::new(verizon_schedule()),
+            name: "verizon-like".into(),
+        },
+        queue_capacity: 1000,
+        n_senders: 4,
+        rtt: Ns::from_millis(50),
+        traffic: TrafficSpec::fig4(),
+        duration: Ns::from_secs(15),
+        runs: 1,
+        seed: 31,
+    };
+    for scheme in Scheme::standard_suite() {
+        let out = evaluate(&Contender::baseline(scheme), &cfg);
+        assert!(
+            out.median_throughput_mbps > 0.01,
+            "{} starved on the trace link: {}",
+            scheme.label(),
+            out.median_throughput_mbps
+        );
+    }
+    let remy_out = evaluate(
+        &Contender::remy("RemyCC d=1", remy::assets::delta1()),
+        &cfg,
+    );
+    assert!(remy_out.median_throughput_mbps > 0.01);
+}
+
+#[test]
+fn trace_io_round_trip_preserves_sim_results() {
+    let schedule = LteModel::att_like().generate(9, Ns::from_secs(10));
+    let text = traces::io::to_text(&schedule);
+    let reloaded = traces::io::from_text(&text).expect("parse");
+    let run_with = |s: netsim::link::DeliverySchedule| {
+        let scenario = Scenario::dumbbell(
+            LinkSpec::Trace {
+                schedule: Arc::new(s),
+                name: "t".into(),
+            },
+            QueueSpec::DropTail { capacity: 1000 },
+            1,
+            Ns::from_millis(50),
+            TrafficSpec::saturating(),
+            Ns::from_secs(8),
+            5,
+        );
+        run_scenario(&scenario, &|_| Box::new(FixedWindow::new(200.0)))
+    };
+    let a = run_with(schedule);
+    let b = run_with(reloaded);
+    assert_eq!(a.packets_forwarded, b.packets_forwarded);
+    assert_eq!(a.flows[0].bytes, b.flows[0].bytes);
+}
+
+#[test]
+fn outage_dips_show_up_as_rtt_spikes() {
+    // During outages the queue drains slowly, so a greedy sender's max
+    // observed RTT must far exceed its propagation RTT.
+    let schedule = LteModel::verizon_like().generate(13, Ns::from_secs(60));
+    let scenario = Scenario::dumbbell(
+        LinkSpec::Trace {
+            schedule: Arc::new(schedule),
+            name: "v".into(),
+        },
+        QueueSpec::DropTail { capacity: 1000 },
+        1,
+        Ns::from_millis(50),
+        TrafficSpec::saturating(),
+        Ns::from_secs(40),
+        6,
+    );
+    let r = run_scenario(&scenario, &|_| Box::new(congestion::Cubic::new()));
+    assert!(
+        r.flows[0].mean_rtt_ms > 100.0,
+        "bufferbloat through outages should inflate mean RTT, got {} ms",
+        r.flows[0].mean_rtt_ms
+    );
+}
