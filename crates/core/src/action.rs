@@ -14,7 +14,6 @@
 //! alternatives for m and b".
 
 use netsim::time::Ns;
-use serde::{Deserialize, Serialize};
 
 /// Bounds keeping actions physical: the window multiple.
 pub const M_RANGE: (f64, f64) = (0.0, 2.0);
@@ -31,7 +30,7 @@ pub const B_STEPS: [f64; 3] = [1.0, 8.0, 64.0];
 pub const R_STEPS: [f64; 3] = [0.01, 0.08, 0.64];
 
 /// One RemyCC action.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Action {
     /// Window multiple `m ≥ 0`.
     pub window_multiple: f64,

@@ -86,7 +86,7 @@ mod tests {
     fn all_tables_parse_and_cover_memory_space() {
         for name in TABLE_NAMES {
             let t = by_name(name).expect("known name");
-            assert!(t.len() >= 1, "{name} is empty");
+            assert!(!t.is_empty(), "{name} is empty");
             // Lookup is total over a grid of points.
             for &a in &[0.0, 1.0, 50.0, 16_000.0] {
                 for &r in &[0.0, 1.0, 2.5, 100.0] {

@@ -1,0 +1,495 @@
+//! A small self-contained JSON value tree, parser, and pretty-printer.
+//!
+//! The rule-table asset format ([`crate::whisker::WhiskerTree::to_json`])
+//! originally rode on `serde_json`; the build environment for this
+//! reproduction has no registry access, so the handful of JSON features
+//! the format needs live here instead. Numbers are formatted with Rust's
+//! shortest-round-trip `Display`, so `f64` values survive a round trip
+//! bit-for-bit.
+
+use std::fmt::Write as _;
+
+/// One JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (kept as f64; the format never needs full u64 range).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object. Key order is preserved (deterministic output).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Required object field, with a path-flavored error.
+    pub fn field(&self, key: &str) -> Result<&Value, String> {
+        self.get(key).ok_or_else(|| format!("missing field '{key}'"))
+    }
+
+    /// This value as f64.
+    pub fn as_f64(&self) -> Result<f64, String> {
+        match self {
+            Value::Num(n) => Ok(*n),
+            other => Err(format!("expected number, found {}", other.kind())),
+        }
+    }
+
+    /// This value as u64 (must be a non-negative integer-valued number).
+    pub fn as_u64(&self) -> Result<u64, String> {
+        let n = self.as_f64()?;
+        if n < 0.0 || n.fract() != 0.0 || n > u64::MAX as f64 {
+            return Err(format!("expected unsigned integer, found {n}"));
+        }
+        Ok(n as u64)
+    }
+
+    /// This value as usize.
+    pub fn as_usize(&self) -> Result<usize, String> {
+        Ok(self.as_u64()? as usize)
+    }
+
+    /// This value as &str.
+    pub fn as_str(&self) -> Result<&str, String> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(format!("expected string, found {}", other.kind())),
+        }
+    }
+
+    /// This value as an array slice.
+    pub fn as_arr(&self) -> Result<&[Value], String> {
+        match self {
+            Value::Arr(v) => Ok(v),
+            other => Err(format!("expected array, found {}", other.kind())),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+
+    /// Render with two-space indentation (the shipped-asset format).
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Value::Num(n) => write_number(out, *n),
+            Value::Str(s) => write_string(out, s),
+            Value::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Value::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_string(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if n.is_finite() {
+        // Rust's Display prints the shortest decimal that round-trips.
+        let _ = write!(out, "{n}");
+    } else {
+        // JSON has no Inf/NaN; the format never produces them, but never
+        // emit invalid JSON either.
+        out.push_str("null");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Maximum container nesting the parser accepts (matches serde_json's
+/// default recursion limit; the parser is recursive-descent, so this keeps
+/// corrupt or crafted input from overflowing the stack).
+const MAX_DEPTH: usize = 128;
+
+/// Parse a JSON document.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            None => Err("unexpected end of input".to_string()),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(_) => self.number(),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err("unterminated string".to_string());
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err("unterminated escape".to_string());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err("truncated \\u escape".to_string());
+                            }
+                            let hex =
+                                std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                    .map_err(|_| "bad \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed by this format;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        other => {
+                            return Err(format!("bad escape '\\{}'", other as char))
+                        }
+                    }
+                }
+                b if b < 0x80 => out.push(b as char),
+                _ => {
+                    // Multi-byte UTF-8 character: decode just its bytes
+                    // (input is &str, so validity is already guaranteed).
+                    let start = self.pos - 1;
+                    let end = (start + 4).min(self.bytes.len());
+                    let s = char_at(&self.bytes[start..end])?;
+                    out.push(s);
+                    self.pos = start + s.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if start == self.pos {
+            return Err(format!("expected value at byte {start}"));
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        s.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| format!("bad number '{s}' at byte {start}"))
+    }
+
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH} levels"));
+        }
+        Ok(())
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.enter()?;
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.enter()?;
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+/// Decode the first UTF-8 character from `bytes` (guaranteed valid by the
+/// `&str` input; the slice is bounded to at most 4 bytes).
+fn char_at(bytes: &[u8]) -> Result<char, String> {
+    let s = match std::str::from_utf8(bytes) {
+        Ok(s) => s,
+        // The 4-byte window may cut the *next* character; validity holds up
+        // to the error offset, which covers the first character.
+        Err(e) if e.valid_up_to() > 0 => {
+            std::str::from_utf8(&bytes[..e.valid_up_to()]).expect("validated")
+        }
+        Err(_) => return Err("invalid UTF-8 in string".to_string()),
+    };
+    s.chars().next().ok_or_else(|| "empty string slice".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars() {
+        for text in ["null", "true", "false", "0", "-1.5", "16385", "1e-9"] {
+            let v = parse(text).expect("parse");
+            let back = parse(&v.pretty()).expect("reparse");
+            assert_eq!(v, back, "{text}");
+        }
+    }
+
+    #[test]
+    fn f64_display_round_trips_exactly() {
+        for x in [0.1, 1.0 / 3.0, 16385.0, 1e-300, f64::MAX, 5e-324] {
+            let mut s = String::new();
+            write_number(&mut s, x);
+            let v = parse(&s).expect("parse");
+            assert_eq!(v.as_f64().unwrap().to_bits(), x.to_bits(), "{x}");
+        }
+    }
+
+    #[test]
+    fn nested_structures() {
+        let text = r#"{"a": [1, 2, {"b": "x\n\"y\""}], "c": {}}"#;
+        let v = parse(text).expect("parse");
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        let back = parse(&v.pretty()).expect("reparse");
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("nope").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+        assert!(parse("1 2").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        let bomb = "[".repeat(100_000);
+        let err = parse(&bomb).unwrap_err();
+        assert!(err.contains("nesting"), "{err}");
+        // At the limit itself, parsing still works.
+        let ok = format!("{}1{}", "[".repeat(128), "]".repeat(128));
+        assert!(parse(&ok).is_ok());
+        let over = format!("{}1{}", "[".repeat(129), "]".repeat(129));
+        assert!(parse(&over).is_err());
+    }
+
+    #[test]
+    fn depth_is_per_branch_not_cumulative() {
+        // Many sibling containers must not trip the depth limit.
+        let many = format!("[{}]", vec!["[]"; 1000].join(","));
+        assert!(parse(&many).is_ok());
+    }
+
+    #[test]
+    fn multibyte_strings_round_trip() {
+        let v = parse("\"δ=0.1 → π≈3.14159 ✓\"").expect("parse");
+        assert_eq!(v.as_str().unwrap(), "δ=0.1 → π≈3.14159 ✓");
+        let back = parse(&v.pretty()).expect("reparse");
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn field_access_helpers() {
+        let v = parse(r#"{"n": 3, "s": "hi"}"#).unwrap();
+        assert_eq!(v.field("n").unwrap().as_usize().unwrap(), 3);
+        assert_eq!(v.field("s").unwrap().as_str().unwrap(), "hi");
+        assert!(v.field("missing").is_err());
+        assert!(v.field("s").unwrap().as_u64().is_err());
+        assert!(parse("1.5").unwrap().as_u64().is_err());
+    }
+}

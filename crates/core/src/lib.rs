@@ -61,6 +61,7 @@ pub mod action;
 pub mod assets;
 pub mod evaluator;
 pub mod inspect;
+pub mod json;
 pub mod memory;
 pub mod model;
 pub mod objective;

@@ -14,7 +14,6 @@
 //! learning RTT-specific behaviours (§4.1).
 
 use netsim::time::Ns;
-use serde::{Deserialize, Serialize};
 
 /// EWMA gain for new samples.
 pub const EWMA_GAIN: f64 = 1.0 / 8.0;
@@ -23,7 +22,7 @@ pub const EWMA_GAIN: f64 = 1.0 / 8.0;
 pub const MEMORY_MAX: f64 = 16_384.0;
 
 /// A point in the three-dimensional RemyCC memory space.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Memory {
     /// EWMA of ACK interarrival times, milliseconds.
     pub ack_ewma_ms: f64,

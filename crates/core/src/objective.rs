@@ -8,7 +8,6 @@
 //! table).
 
 use netsim::metrics::{FlowSummary, SimResults};
-use serde::{Deserialize, Serialize};
 
 /// Floor applied to throughput (Mbps) and delay (ms) before the utility,
 /// so a silent flow scores very badly instead of producing −∞/NaN.
@@ -25,7 +24,7 @@ pub fn alpha_fair(alpha: f64, v: f64) -> f64 {
 }
 
 /// A complete objective configuration.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Objective {
     /// Throughput fairness exponent α.
     pub alpha: f64,
@@ -182,8 +181,10 @@ mod tests {
     #[test]
     fn results_total_skips_inactive_senders() {
         let obj = Objective::proportional(1.0);
-        let mut idle = FlowSummary::default();
-        idle.on_secs = 0.0;
+        let idle = FlowSummary {
+            on_secs: 0.0,
+            ..FlowSummary::default()
+        };
         let r = SimResults {
             flows: vec![flow(5.0, 100.0), idle],
             duration: netsim::time::Ns::from_secs(10),

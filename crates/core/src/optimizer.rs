@@ -218,7 +218,7 @@ impl Remy {
 
             // Step 4: advance the global epoch; every K epochs, subdivide.
             global_epoch += 1;
-            if global_epoch % K_SUBDIVIDE == 0 && tree.len() < self.config.max_rules {
+            if global_epoch.is_multiple_of(K_SUBDIVIDE) && tree.len() < self.config.max_rules {
                 draw_seed = draw_seed.wrapping_add(1);
                 let specimens = evaluator.specimens(draw_seed);
                 let shared = Arc::new(tree.clone());
@@ -289,7 +289,7 @@ mod tests {
         let remy = quick_remy(2);
         let mut events = Vec::new();
         let tree = remy.design(|e| events.push(e));
-        assert!(tree.len() >= 1);
+        assert!(!tree.is_empty());
         assert!(matches!(events.last(), Some(TrainEvent::Done { .. })));
         assert!(
             events.iter().any(|e| matches!(e, TrainEvent::Epoch { .. })),

@@ -9,11 +9,11 @@
 //! actually lands.
 
 use crate::action::Action;
+use crate::json::{self, Value};
 use crate::memory::{Memory, MEMORY_MAX};
-use serde::{Deserialize, Serialize};
 
 /// A half-open axis-aligned box `[lo, hi)` in memory space.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Cube {
     /// Inclusive lower corner.
     pub lo: Memory,
@@ -56,7 +56,7 @@ impl Cube {
 }
 
 /// One rule: a region of memory space and the action it maps to.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Whisker {
     /// Stable identifier within its tree (usage statistics key).
     pub id: usize,
@@ -68,7 +68,7 @@ pub struct Whisker {
     pub epoch: u64,
 }
 
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 enum Node {
     Leaf(Whisker),
     Branch {
@@ -130,7 +130,7 @@ impl Node {
 }
 
 /// The complete rule table of one RemyCC.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct WhiskerTree {
     root: Node,
     /// Next unassigned whisker id (ids are never reused).
@@ -295,12 +295,149 @@ impl WhiskerTree {
 
     /// Serialize to pretty JSON (the shipped rule-table asset format).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("tree serializes")
+        Value::Obj(vec![
+            ("root".into(), self.root.to_value()),
+            ("next_id".into(), Value::Num(self.next_id as f64)),
+            ("provenance".into(), Value::Str(self.provenance.clone())),
+        ])
+        .pretty()
     }
 
     /// Parse a JSON rule table.
     pub fn from_json(s: &str) -> Result<WhiskerTree, String> {
-        serde_json::from_str(s).map_err(|e| format!("bad whisker table: {e}"))
+        let err = |e: String| format!("bad whisker table: {e}");
+        let v = json::parse(s).map_err(err)?;
+        Ok(WhiskerTree {
+            root: Node::from_value(v.field("root").map_err(err)?).map_err(err)?,
+            next_id: v
+                .field("next_id")
+                .and_then(Value::as_usize)
+                .map_err(err)?,
+            provenance: v
+                .field("provenance")
+                .and_then(Value::as_str)
+                .map_err(err)?
+                .to_string(),
+        })
+    }
+}
+
+// --- JSON mapping (mirrors the serde derive layout these types used) -------
+
+fn memory_to_value(m: &Memory) -> Value {
+    Value::Obj(vec![
+        ("ack_ewma_ms".into(), Value::Num(m.ack_ewma_ms)),
+        ("send_ewma_ms".into(), Value::Num(m.send_ewma_ms)),
+        ("rtt_ratio".into(), Value::Num(m.rtt_ratio)),
+    ])
+}
+
+fn memory_from_value(v: &Value) -> Result<Memory, String> {
+    Ok(Memory {
+        ack_ewma_ms: v.field("ack_ewma_ms")?.as_f64()?,
+        send_ewma_ms: v.field("send_ewma_ms")?.as_f64()?,
+        rtt_ratio: v.field("rtt_ratio")?.as_f64()?,
+    })
+}
+
+fn cube_to_value(c: &Cube) -> Value {
+    Value::Obj(vec![
+        ("lo".into(), memory_to_value(&c.lo)),
+        ("hi".into(), memory_to_value(&c.hi)),
+    ])
+}
+
+fn cube_from_value(v: &Value) -> Result<Cube, String> {
+    Ok(Cube {
+        lo: memory_from_value(v.field("lo")?)?,
+        hi: memory_from_value(v.field("hi")?)?,
+    })
+}
+
+fn action_to_value(a: &Action) -> Value {
+    Value::Obj(vec![
+        ("window_multiple".into(), Value::Num(a.window_multiple)),
+        ("window_increment".into(), Value::Num(a.window_increment)),
+        ("intersend_ms".into(), Value::Num(a.intersend_ms)),
+    ])
+}
+
+fn action_from_value(v: &Value) -> Result<Action, String> {
+    Ok(Action {
+        window_multiple: v.field("window_multiple")?.as_f64()?,
+        window_increment: v.field("window_increment")?.as_f64()?,
+        intersend_ms: v.field("intersend_ms")?.as_f64()?,
+    })
+}
+
+impl Whisker {
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("id".into(), Value::Num(self.id as f64)),
+            ("domain".into(), cube_to_value(&self.domain)),
+            ("action".into(), action_to_value(&self.action)),
+            ("epoch".into(), Value::Num(self.epoch as f64)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Whisker, String> {
+        Ok(Whisker {
+            id: v.field("id")?.as_usize()?,
+            domain: cube_from_value(v.field("domain")?)?,
+            action: action_from_value(v.field("action")?)?,
+            epoch: v.field("epoch")?.as_u64()?,
+        })
+    }
+}
+
+impl Node {
+    /// Externally-tagged enum encoding: `{"Leaf": {...}}` or
+    /// `{"Branch": {...}}`.
+    fn to_value(&self) -> Value {
+        match self {
+            Node::Leaf(w) => Value::Obj(vec![("Leaf".into(), w.to_value())]),
+            Node::Branch {
+                domain,
+                split,
+                children,
+            } => Value::Obj(vec![(
+                "Branch".into(),
+                Value::Obj(vec![
+                    ("domain".into(), cube_to_value(domain)),
+                    ("split".into(), memory_to_value(split)),
+                    (
+                        "children".into(),
+                        Value::Arr(children.iter().map(Node::to_value).collect()),
+                    ),
+                ]),
+            )]),
+        }
+    }
+
+    fn from_value(v: &Value) -> Result<Node, String> {
+        if let Some(leaf) = v.get("Leaf") {
+            return Ok(Node::Leaf(Whisker::from_value(leaf)?));
+        }
+        if let Some(branch) = v.get("Branch") {
+            let children = branch
+                .field("children")?
+                .as_arr()?
+                .iter()
+                .map(Node::from_value)
+                .collect::<Result<Vec<Node>, String>>()?;
+            if children.len() != 8 {
+                return Err(format!(
+                    "branch must have 8 children, found {}",
+                    children.len()
+                ));
+            }
+            return Ok(Node::Branch {
+                domain: cube_from_value(branch.field("domain")?)?,
+                split: memory_from_value(branch.field("split")?)?,
+                children,
+            });
+        }
+        Err("node is neither Leaf nor Branch".to_string())
     }
 }
 
@@ -355,7 +492,7 @@ impl Usage {
             // Reservoir-style thinning keyed on the count keeps samples
             // spread across the whole run, deterministically.
             let k = (self.counts[id] as usize) % MAX_SAMPLES;
-            if self.counts[id] % 7 == 0 {
+            if self.counts[id].is_multiple_of(7) {
                 s[k] = m;
             }
         }

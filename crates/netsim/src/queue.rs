@@ -246,7 +246,7 @@ impl CodelLaw {
             }
             if now >= self.drop_next {
                 self.count += 1;
-                self.drop_next = self.drop_next + self.control_interval(self.count);
+                self.drop_next += self.control_interval(self.count);
                 return true;
             }
             false
@@ -431,10 +431,7 @@ impl Queue for SfqCodel {
         // yields a packet or empties.
         for step in 0..n {
             let idx = (self.cursor + step) % n;
-            loop {
-                let Some(p) = self.buckets[idx].pop_front() else {
-                    break;
-                };
+            while let Some(p) = self.buckets[idx].pop_front() {
                 self.len -= 1;
                 self.bytes -= p.size as u64;
                 let sojourn = now.saturating_sub(p.enqueued_at);
@@ -672,7 +669,7 @@ impl<Q: Queue> Queue for Lossy<Q> {
 
 /// Declarative queue configuration, used by scenario descriptions so that
 /// experiment configs remain plain data.
-#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum QueueSpec {
     /// FIFO, tail drop, given packet capacity.
     DropTail {

@@ -166,6 +166,57 @@ mod tests {
     }
 
     #[test]
+    fn forked_streams_reproduce_with_same_seed() {
+        // Common random numbers: the same parent seed and stream id must
+        // yield bit-identical child sequences on independent parents.
+        let mut pa = SimRng::new(2013);
+        let mut pb = SimRng::new(2013);
+        let mut ca = pa.fork(3);
+        let mut cb = pb.fork(3);
+        for _ in 0..1000 {
+            assert_eq!(ca.next_u64(), cb.next_u64());
+        }
+        // And the parents stayed in lockstep too (fork consumes exactly
+        // one parent draw each).
+        for _ in 0..100 {
+            assert_eq!(pa.next_u64(), pb.next_u64());
+        }
+    }
+
+    #[test]
+    fn sibling_forks_from_one_parent_differ() {
+        // Sequentially forked children (how the simulator seeds per-flow
+        // traffic) must be pairwise unrelated streams.
+        let mut parent = SimRng::new(42);
+        let mut children: Vec<SimRng> = (0..8).map(|i| parent.fork(i as u64 + 1)).collect();
+        let draws: Vec<Vec<u64>> = children
+            .iter_mut()
+            .map(|c| (0..64).map(|_| c.next_u64()).collect())
+            .collect();
+        for i in 0..draws.len() {
+            for j in (i + 1)..draws.len() {
+                let same = draws[i]
+                    .iter()
+                    .zip(&draws[j])
+                    .filter(|(a, b)| a == b)
+                    .count();
+                assert_eq!(same, 0, "children {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn fork_advances_parent_deterministically() {
+        let mut a = SimRng::new(5);
+        let mut b = SimRng::new(5);
+        let _ = a.fork(0);
+        let _ = b.fork(99); // stream id must not affect the parent's state
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
     fn f64_in_unit_interval() {
         let mut rng = SimRng::new(3);
         for _ in 0..10_000 {

@@ -574,7 +574,7 @@ mod tests {
     #[test]
     fn trace_link_delivers_at_trace_rate() {
         // 1 delivery per ms = 1000 pkt/s = 12 Mbps with 1500 B packets.
-        let instants: Vec<Ns> = (1..=1000).map(|k| Ns::from_millis(k)).collect();
+        let instants: Vec<Ns> = (1..=1000).map(Ns::from_millis).collect();
         let schedule = DeliverySchedule::new(instants, Ns::from_millis(1));
         let s = Scenario::dumbbell(
             LinkSpec::trace("synthetic", schedule),

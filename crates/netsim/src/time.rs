@@ -5,7 +5,6 @@
 //! Floating-point seconds/milliseconds are converted at the edges only
 //! (configuration and reporting).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
@@ -15,9 +14,7 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// level; both are monotonic counts of nanoseconds since the start of the
 /// simulation. This mirrors how ns-2 treats its scalar clock and keeps
 /// arithmetic in hot paths trivial.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Ns(pub u64);
 
 impl Ns {

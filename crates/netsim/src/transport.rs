@@ -658,15 +658,12 @@ mod tests {
         let (deadline, generation) = t.rto_deadline().unwrap();
         assert!(t.on_rto_fire(deadline + Ns::SECOND, generation));
         let mut resent = Vec::new();
-        loop {
-            match t.poll_send(deadline + Ns::SECOND + Ns(resent.len() as u64 + 1), false) {
-                SendPoll::Send { seq, retransmit } => {
-                    assert!(retransmit);
-                    resent.push(seq);
-                    t.on_sent(Ns(deadline.0 + 1_000_000 + resent.len() as u64), seq, true);
-                }
-                _ => break,
-            }
+        while let SendPoll::Send { seq, retransmit } =
+            t.poll_send(deadline + Ns::SECOND + Ns(resent.len() as u64 + 1), false)
+        {
+            assert!(retransmit);
+            resent.push(seq);
+            t.on_sent(Ns(deadline.0 + 1_000_000 + resent.len() as u64), seq, true);
         }
         assert_eq!(resent, vec![0, 2, 4], "delivered sequences skipped");
     }

@@ -85,8 +85,8 @@ proptest! {
         while let Some(p) = q.dequeue(Ns::from_micros(1)) {
             got[p.flow] += 1;
         }
-        for f in 0..flows {
-            prop_assert_eq!(got[f], per_flow);
+        for &count in &got {
+            prop_assert_eq!(count, per_flow);
         }
     }
 

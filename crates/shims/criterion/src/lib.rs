@@ -1,0 +1,199 @@
+//! A minimal, API-compatible stand-in for the subset of `criterion` used
+//! by this workspace's benches.
+//!
+//! The build environment has no access to crates.io, so the real criterion
+//! cannot be vendored. This shim keeps the bench sources unchanged and
+//! reports mean/min/max wall-clock time per iteration. Passing `--test`
+//! (as `cargo test` does for criterion benches) runs each benchmark body
+//! once, for a fast smoke check.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers work (benches here import
+/// `std::hint::black_box` directly, but the real crate exposes this too).
+pub use std::hint::black_box;
+
+/// Target measurement time per sample batch.
+const TARGET_SAMPLE: Duration = Duration::from_millis(50);
+
+/// The benchmark driver handed to each `criterion_group!` function.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Construct from process arguments (`--test` = single-iteration mode;
+    /// a bare positional argument filters benchmark names).
+    pub fn from_args() -> Criterion {
+        let mut test_mode = false;
+        let mut filter = None;
+        for a in std::env::args().skip(1) {
+            match a.as_str() {
+                "--test" => test_mode = true,
+                "--bench" => {}
+                s if !s.starts_with('-') => filter = Some(s.to_string()),
+                _ => {}
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Run a free-standing benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self, None, name, 10, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let group = self.name.clone();
+        let samples = self.sample_size;
+        run_one(self.parent, Some(&group), name, samples, f);
+        self
+    }
+
+    /// Finish the group (reporting is incremental; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] with the body.
+pub struct Bencher {
+    test_mode: bool,
+    samples: usize,
+    /// (mean, min, max) nanoseconds per iteration, filled by `iter`.
+    result: Option<(f64, f64, f64)>,
+    total_iters: u64,
+}
+
+impl Bencher {
+    /// Measure the closure.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.result = Some((0.0, 0.0, 0.0));
+            self.total_iters = 1;
+            return;
+        }
+        // Warm up and estimate a batch size that fills TARGET_SAMPLE.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters_per_sample = (TARGET_SAMPLE.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        let mut total = 0u64;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let ns = t.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            per_iter.push(ns);
+            total += iters_per_sample;
+        }
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = per_iter.iter().cloned().fold(0.0f64, f64::max);
+        self.result = Some((mean, min, max));
+        self.total_iters = total;
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    c: &Criterion,
+    group: Option<&str>,
+    name: &str,
+    samples: usize,
+    mut f: F,
+) {
+    let full = match group {
+        Some(g) => format!("{g}/{name}"),
+        None => name.to_string(),
+    };
+    if let Some(filter) = &c.filter {
+        if !full.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        test_mode: c.test_mode,
+        samples,
+        result: None,
+        total_iters: 0,
+    };
+    f(&mut b);
+    match b.result {
+        Some(_) if c.test_mode => println!("test {full} ... ok (1 iteration)"),
+        Some((mean, min, max)) => println!(
+            "{full:<40} time: [{} {} {}]  ({} iters)",
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max),
+            b.total_iters
+        ),
+        None => println!("{full:<40} (no measurement: Bencher::iter not called)"),
+    }
+}
+
+/// Mirror of criterion's group-definition macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Mirror of criterion's main-definition macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+        }
+    };
+}

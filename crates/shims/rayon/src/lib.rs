@@ -1,0 +1,123 @@
+//! A minimal, API-compatible stand-in for the subset of `rayon` this
+//! workspace uses: `slice.par_iter().map(f).collect::<Vec<_>>()`.
+//!
+//! The build environment has no access to crates.io, so the real rayon
+//! cannot be vendored; this shim provides genuine data parallelism for the
+//! one pattern the evaluator needs, via `std::thread::scope`. Results are
+//! collected positionally (chunked, in input order), so output is
+//! deterministic regardless of thread timing — the same guarantee the
+//! evaluator documents for the real rayon.
+
+use std::num::NonZeroUsize;
+
+/// Parallel view over a slice, produced by
+/// [`prelude::IntoParallelRefIterator::par_iter`].
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+/// A mapped parallel iterator awaiting collection.
+pub struct ParMap<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map each element through `f` (applied on worker threads).
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            slice: self.slice,
+            f,
+        }
+    }
+}
+
+fn worker_count(items: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    cores.min(items).max(1)
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Collect mapped results in input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        let n = self.slice.len();
+        if n <= 1 {
+            return self.slice.iter().map(&self.f).collect();
+        }
+        let workers = worker_count(n);
+        let chunk = n.div_ceil(workers);
+        let f = &self.f;
+        let mut parts: Vec<Vec<R>> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .slice
+                .chunks(chunk)
+                .map(|c| scope.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            for h in handles {
+                parts.push(h.join().expect("rayon-shim worker panicked"));
+            }
+        });
+        parts.into_iter().flatten().collect()
+    }
+}
+
+/// The traits user code imports with `use rayon::prelude::*`.
+pub mod prelude {
+    use super::ParIter;
+
+    /// `&collection → par_iter()`, mirroring rayon's trait of the same name.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Element type.
+        type Item: 'a;
+        /// Borrowing parallel iterator over the data.
+        fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = T;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { slice: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = T;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { slice: self }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn maps_in_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let ys: Vec<u64> = xs.par_iter().map(|x| x * 2).collect();
+        assert_eq!(ys, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let xs: Vec<u64> = vec![];
+        let ys: Vec<u64> = xs.par_iter().map(|x| x + 1).collect();
+        assert!(ys.is_empty());
+        let one = [7u64];
+        let ys: Vec<u64> = one.par_iter().map(|x| x + 1).collect();
+        assert_eq!(ys, vec![8]);
+    }
+}
