@@ -1,0 +1,52 @@
+//! Criterion micro-benchmarks of the training hot path: scoring a batch
+//! of hill-climb candidates over a fixed specimen set, exactly as one
+//! iteration of the optimizer's improve step does.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use remy::prelude::*;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_training(c: &mut Criterion) {
+    let mut g = c.benchmark_group("training");
+    g.sample_size(5);
+
+    let evaluator = Evaluator::new(
+        NetworkModel::general(),
+        Objective::proportional(1.0),
+        EvalConfig {
+            specimens: 2,
+            sim_secs: 2.0,
+        },
+    );
+    let specimens = evaluator.specimens(11);
+    let base = Arc::new(WhiskerTree::single_rule());
+    // A small slice of the real neighbourhood keeps one iteration ~tens
+    // of milliseconds while exercising the same candidate machinery.
+    let actions: Vec<Action> = Action::DEFAULT.neighbourhood().into_iter().take(8).collect();
+
+    g.bench_function("score_candidates_8x2", |b| {
+        b.iter(|| {
+            let tables: Vec<Arc<WhiskerTree>> = actions
+                .iter()
+                .map(|&a| {
+                    let mut t = (*base).clone();
+                    t.set_action(0, a);
+                    Arc::new(t)
+                })
+                .collect();
+            black_box(evaluator.score_candidates(&tables, &specimens))
+        });
+    });
+
+    // The optimizer's actual hill-climb path: candidates as overlays of
+    // the shared base table, no per-candidate clone.
+    g.bench_function("score_overlays_8x2", |b| {
+        b.iter(|| black_box(evaluator.score_overlays(&base, 0, &actions, &specimens)));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

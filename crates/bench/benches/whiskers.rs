@@ -46,13 +46,41 @@ fn bench_whiskers(c: &mut Criterion) {
         })
         .collect();
 
+    // The per-ACK hot path: RemyCc::on_ack resolves rules through the
+    // flattened view.
+    let flat = tree.flat();
     g.bench_function("lookup_256_points", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &p in &points {
+                acc = acc.wrapping_add(flat.lookup(p).id);
+            }
+            black_box(acc)
+        });
+    });
+
+    // The old boxed-octree walk, kept for comparison.
+    g.bench_function("lookup_256_points_octree", |b| {
         b.iter(|| {
             let mut acc = 0usize;
             for &p in &points {
                 acc = acc.wrapping_add(tree.lookup(p).id);
             }
             black_box(acc)
+        });
+    });
+
+    let (live_id, live_action) = {
+        let w = tree.whiskers()[0];
+        (w.id, w.action)
+    };
+    g.bench_function("flatten_tree", |b| {
+        b.iter(|| {
+            let mut t = tree.clone();
+            // A no-op action write invalidates the cached view, so each
+            // iteration measures a full rebuild.
+            t.set_action(live_id, live_action);
+            black_box(t.flat()).len()
         });
     });
 

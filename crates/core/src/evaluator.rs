@@ -10,6 +10,7 @@
 //! seeds) are reused for every candidate action so comparisons see the
 //! same traffic randomness.
 
+use crate::action::Action;
 use crate::model::NetworkModel;
 use crate::objective::Objective;
 use crate::remycc::RemyCc;
@@ -20,7 +21,20 @@ use netsim::scenario::Scenario;
 use netsim::sim::Simulator;
 use netsim::time::Ns;
 use rayon::prelude::*;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+/// Set the number of worker threads used by all parallel evaluation
+/// (`0` = automatic: `REMY_JOBS` if set, else all available cores).
+/// Trained tables are byte-identical at any setting — parallel results
+/// are collected positionally, never by completion order.
+pub fn set_jobs(n: usize) {
+    rayon::set_num_threads(n);
+}
+
+/// The worker count parallel evaluation will use right now.
+pub fn jobs() -> usize {
+    rayon::current_num_threads()
+}
 
 /// Evaluation budget knobs. The paper simulates ≥16 specimens for 100 s
 /// each on a 48-core server; the defaults here are laptop-scale and can be
@@ -73,57 +87,136 @@ impl Evaluator {
             .collect()
     }
 
+    /// One simulation cell: a table (optionally with a hill-climb overlay
+    /// on one rule) on one specimen. Returns the objective score and, if
+    /// requested, the whisker-usage statistics of that run.
+    fn simulate_cell(
+        &self,
+        tree: &Arc<WhiskerTree>,
+        overlay: Option<(usize, Action)>,
+        sc: &Scenario,
+        want_usage: bool,
+    ) -> (f64, Option<Usage>) {
+        let ccs: Vec<Box<dyn CongestionControl>> = (0..sc.n())
+            .map(|_| {
+                let cc = RemyCc::new(Arc::clone(tree));
+                let cc = match overlay {
+                    Some((rule, action)) => cc.with_candidate(rule, action),
+                    None => cc,
+                };
+                Box::new(cc) as Box<dyn CongestionControl>
+            })
+            .collect();
+        let (results, mut ccs) = Simulator::new(sc, ccs, None).run_returning_ccs();
+        let usage = want_usage.then(|| {
+            // Merge sender usages in sender order: deterministic.
+            let mut usage = Usage::new(tree.id_bound());
+            for cc in ccs.iter_mut() {
+                if let Some(rc) = cc
+                    .as_any_mut()
+                    .and_then(|a| a.downcast_mut::<RemyCc>())
+                {
+                    usage.merge(&rc.take_usage());
+                }
+            }
+            usage
+        });
+        (self.objective.score_results(&results), usage)
+    }
+
+    /// Run one table over a specimen set, each specimen simulated on its
+    /// own worker: per-specimen scores (in specimen order) plus the merged
+    /// whisker-usage statistics. Deterministic at any thread count: cells
+    /// are collected positionally and usages merged in specimen order.
+    pub fn evaluate_per_specimen(
+        &self,
+        tree: &Arc<WhiskerTree>,
+        specimens: &[Scenario],
+    ) -> (Vec<f64>, Usage) {
+        let cells: Vec<(f64, Option<Usage>)> = specimens
+            .par_iter()
+            .map(|sc| self.simulate_cell(tree, None, sc, true))
+            .collect();
+        let mut usage = Usage::new(tree.id_bound());
+        let mut scores = Vec::with_capacity(cells.len());
+        for (score, cell_usage) in cells {
+            scores.push(score);
+            usage.merge(&cell_usage.expect("usage requested"));
+        }
+        (scores, usage)
+    }
+
     /// Run one table over a specimen set: total objective score plus
     /// whisker-usage statistics.
     pub fn evaluate(&self, tree: &Arc<WhiskerTree>, specimens: &[Scenario]) -> (f64, Usage) {
-        let sink = Arc::new(Mutex::new(Usage::new(tree.id_bound())));
-        let mut score = 0.0;
-        for sc in specimens {
-            let ccs: Vec<Box<dyn CongestionControl>> = (0..sc.n())
-                .map(|_| {
-                    Box::new(
-                        RemyCc::new(Arc::clone(tree)).with_usage_sink(Arc::clone(&sink)),
-                    ) as Box<dyn CongestionControl>
-                })
-                .collect();
-            let (results, ccs) = Simulator::new(sc, ccs, None).run_returning_ccs();
-            drop(ccs); // flush usage sinks
-            score += self.objective.score_results(&results);
-        }
-        let usage = Arc::try_unwrap(sink)
-            .map(|m| m.into_inner().expect("sink"))
-            .unwrap_or_else(|arc| arc.lock().expect("sink").clone());
-        (score, usage)
+        let (scores, usage) = self.evaluate_per_specimen(tree, specimens);
+        (scores.iter().sum(), usage)
     }
 
-    /// Score only (skips usage plumbing where it isn't needed).
+    /// Score only (skips usage plumbing where it isn't needed). Specimens
+    /// run in parallel; the total is summed in specimen order.
     pub fn score(&self, tree: &Arc<WhiskerTree>, specimens: &[Scenario]) -> f64 {
-        let mut score = 0.0;
-        for sc in specimens {
-            let ccs: Vec<Box<dyn CongestionControl>> = (0..sc.n())
-                .map(|_| {
-                    Box::new(RemyCc::new(Arc::clone(tree))) as Box<dyn CongestionControl>
-                })
-                .collect();
-            let results = Simulator::new(sc, ccs, None).run();
-            score += self.objective.score_results(&results);
-        }
-        score
+        self.score_matrix(1, specimens, |_, sc| {
+            self.simulate_cell(tree, None, sc, false).0
+        })[0]
     }
 
-    /// Evaluate many candidate tables in parallel over the *same*
-    /// specimens, returning each candidate's score in input order.
-    /// Deterministic: scores are collected positionally, so thread timing
-    /// cannot change the result.
+    /// The flattened (row × specimen) work matrix behind all candidate
+    /// scoring: `rows` candidates, each simulated on every specimen by
+    /// `cell(row, specimen)`, as one parallel map so load-balancing is
+    /// per-simulation rather than per-candidate — a slow specimen can't
+    /// serialize a whole candidate behind one worker. Deterministic: cells
+    /// are collected positionally and each row's score is summed in
+    /// specimen order, so thread timing cannot change the result.
+    fn score_matrix(
+        &self,
+        rows: usize,
+        specimens: &[Scenario],
+        cell: impl Fn(usize, &Scenario) -> f64 + Sync,
+    ) -> Vec<f64> {
+        if specimens.is_empty() {
+            return vec![0.0; rows];
+        }
+        let cells: Vec<(usize, usize)> = (0..rows)
+            .flat_map(|r| (0..specimens.len()).map(move |si| (r, si)))
+            .collect();
+        let scored: Vec<f64> = cells
+            .par_iter()
+            .map(|&(r, si)| cell(r, &specimens[si]))
+            .collect();
+        scored
+            .chunks(specimens.len())
+            .map(|row| row.iter().sum())
+            .collect()
+    }
+
+    /// Evaluate many candidate tables over the *same* specimens, returning
+    /// each candidate's score in input order (see [`Self::score_matrix`]
+    /// for the parallelism and determinism guarantees).
     pub fn score_candidates(
         &self,
         candidates: &[Arc<WhiskerTree>],
         specimens: &[Scenario],
     ) -> Vec<f64> {
-        candidates
-            .par_iter()
-            .map(|tree| self.score(tree, specimens))
-            .collect()
+        self.score_matrix(candidates.len(), specimens, |ci, sc| {
+            self.simulate_cell(&candidates[ci], None, sc, false).0
+        })
+    }
+
+    /// Score hill-climb candidates as cheap overlays of a base table:
+    /// candidate `k` behaves as `base` with rule `rule`'s action replaced
+    /// by `actions[k]`, with no per-candidate tree clone. Same flattened
+    /// work matrix and determinism guarantees as [`Self::score_candidates`].
+    pub fn score_overlays(
+        &self,
+        base: &Arc<WhiskerTree>,
+        rule: usize,
+        actions: &[Action],
+        specimens: &[Scenario],
+    ) -> Vec<f64> {
+        self.score_matrix(actions.len(), specimens, |ai, sc| {
+            self.simulate_cell(base, Some((rule, actions[ai])), sc, false).0
+        })
     }
 }
 
@@ -204,6 +297,55 @@ mod tests {
             "default ({}) must beat crippled ({})",
             scores[0],
             scores[1]
+        );
+    }
+
+    #[test]
+    fn overlay_scores_match_full_clones() {
+        // A candidate evaluated as an overlay must score bit-identically
+        // to the same candidate materialized as a cloned, mutated table.
+        let e = tiny_eval();
+        let specimens = e.specimens(2);
+        let base = Arc::new(WhiskerTree::single_rule());
+        let actions: Vec<Action> = Action::DEFAULT
+            .neighbourhood()
+            .into_iter()
+            .take(5)
+            .collect();
+        let clones: Vec<Arc<WhiskerTree>> = actions
+            .iter()
+            .map(|&a| {
+                let mut t = (*base).clone();
+                t.set_action(0, a);
+                Arc::new(t)
+            })
+            .collect();
+        assert_eq!(
+            e.score_overlays(&base, 0, &actions, &specimens),
+            e.score_candidates(&clones, &specimens)
+        );
+    }
+
+    #[test]
+    fn per_specimen_scores_sum_to_total() {
+        let e = tiny_eval();
+        let specimens = e.specimens(9);
+        let tree = Arc::new(WhiskerTree::single_rule());
+        let (scores, usage) = e.evaluate_per_specimen(&tree, &specimens);
+        assert_eq!(scores.len(), specimens.len());
+        let (total, usage2) = e.evaluate(&tree, &specimens);
+        assert_eq!(total, scores.iter().sum::<f64>());
+        assert_eq!(usage.total(), usage2.total());
+    }
+
+    #[test]
+    fn empty_specimen_sets_score_zero() {
+        let e = tiny_eval();
+        let t = Arc::new(WhiskerTree::single_rule());
+        assert_eq!(e.score_candidates(&[Arc::clone(&t)], &[]), vec![0.0]);
+        assert_eq!(
+            e.score_overlays(&t, 0, &[Action::DEFAULT], &[]),
+            vec![0.0]
         );
     }
 

@@ -72,7 +72,7 @@ pub mod whisker;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use crate::action::Action;
-    pub use crate::evaluator::{EvalConfig, Evaluator};
+    pub use crate::evaluator::{set_jobs, EvalConfig, Evaluator};
     pub use crate::memory::{Memory, MemoryTracker};
     pub use crate::model::NetworkModel;
     pub use crate::objective::Objective;

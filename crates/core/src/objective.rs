@@ -13,9 +13,27 @@ use netsim::metrics::{FlowSummary, SimResults};
 /// so a silent flow scores very badly instead of producing −∞/NaN.
 pub const UTILITY_FLOOR: f64 = 1e-4;
 
-/// The alpha-fairness utility `U_a`.
+/// Ceiling applied to the same inputs: no physical specimen reaches it,
+/// but it keeps a degenerate summary (infinite throughput from a
+/// zero-length interval, say) from injecting ±∞ into a score sum, where a
+/// later −∞ would turn the total into NaN and poison candidate selection.
+pub const UTILITY_CEIL: f64 = 1e12;
+
+/// Clamp a utility input into `[UTILITY_FLOOR, UTILITY_CEIL]`, mapping
+/// NaN and −∞ to the floor and +∞ to the ceiling.
+fn sanitize(v: f64) -> f64 {
+    if v.is_nan() {
+        UTILITY_FLOOR
+    } else {
+        v.clamp(UTILITY_FLOOR, UTILITY_CEIL)
+    }
+}
+
+/// The alpha-fairness utility `U_a`. The input is sanitized (floored,
+/// capped, NaN-proofed) so the result is always finite for the α range
+/// the paper uses.
 pub fn alpha_fair(alpha: f64, v: f64) -> f64 {
-    let v = v.max(UTILITY_FLOOR);
+    let v = sanitize(v);
     if (alpha - 1.0).abs() < 1e-9 {
         v.ln()
     } else {
@@ -56,8 +74,12 @@ impl Objective {
 
     /// Score one flow from its summary: throughput in Mbps, delay =
     /// average RTT in milliseconds (the paper's `y` is the flow's average
-    /// round-trip delay).
+    /// round-trip delay). Inputs are clamped into
+    /// `[UTILITY_FLOOR, UTILITY_CEIL]` first, so a degenerate flow (never
+    /// on, zero delay, NaN mean) yields a terrible-but-finite score
+    /// rather than a ±∞ that could NaN-poison a specimen sum.
     pub fn score_flow(&self, f: &FlowSummary) -> f64 {
+        // The clamp itself lives in alpha_fair, which sanitizes its input.
         let tput = alpha_fair(self.alpha, f.throughput_mbps);
         if self.delta == 0.0 {
             return tput;
@@ -141,6 +163,37 @@ mod tests {
         let u = alpha_fair(1.0, 0.0);
         assert!(u.is_finite());
         assert_eq!(u, UTILITY_FLOOR.ln());
+    }
+
+    #[test]
+    fn degenerate_flow_summaries_score_finite() {
+        // A never-on sender (or a summary corrupted to NaN/∞) must yield a
+        // finite score under every objective in use, so candidate
+        // selection never sees NaN.
+        let cases = [
+            flow(0.0, 0.0),                   // never delivered, no RTT sample
+            flow(f64::NAN, f64::NAN),         // poisoned summary
+            flow(f64::INFINITY, 0.0),         // degenerate interval
+            flow(0.0, f64::INFINITY),
+            flow(-1.0, -5.0),                 // nonsense negatives
+        ];
+        for obj in [
+            Objective::proportional(0.1),
+            Objective::proportional(1.0),
+            Objective::proportional(10.0),
+            Objective::min_potential_delay(),
+        ] {
+            for f in &cases {
+                let s = obj.score_flow(f);
+                assert!(
+                    s.is_finite(),
+                    "{} scored {s} for tput={} rtt={}",
+                    obj.label(),
+                    f.throughput_mbps,
+                    f.mean_rtt_ms
+                );
+            }
+        }
     }
 
     #[test]

@@ -15,12 +15,26 @@
 //! "Areas of the memory space more likely to occur receive correspondingly
 //! more attention from the optimizer."
 
+use crate::action::Action;
 use crate::evaluator::{EvalConfig, Evaluator};
 use crate::model::NetworkModel;
 use crate::objective::Objective;
 use crate::whisker::WhiskerTree;
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Hashable fingerprint of an action (exact f64 bits — memoization must
+/// only ever hit for bit-identical candidates).
+type ActionKey = [u64; 3];
+
+fn action_key(a: &Action) -> ActionKey {
+    [
+        a.window_multiple.to_bits(),
+        a.window_increment.to_bits(),
+        a.intersend_ms.to_bits(),
+    ]
+}
 
 /// Subdivision cadence: split every K epochs ("We use K = 4 to balance
 /// structural improvements vs. honing the existing structure").
@@ -174,34 +188,42 @@ impl Remy {
                 };
 
                 // Step 3: hill-climb this rule's action on fixed specimens.
+                // Candidates are scored as overlays of the shared base
+                // table (no per-candidate clone), and every scored action —
+                // including the unchanged base — is memoized, so an action
+                // revisited by overlapping neighbourhoods is never
+                // re-simulated within this improve step.
+                let start_action = tree.get(rule).expect("rule exists").action;
+                let mut memo: HashMap<ActionKey, f64> = HashMap::new();
+                memo.insert(action_key(&start_action), base_score);
+                let mut current_action = start_action;
                 let mut current = base_score;
+                let mut budget_hit = false;
                 loop {
                     if out_of_budget(&started, steps, &self.config) {
-                        break 'outer;
+                        budget_hit = true;
+                        break;
                     }
                     steps += 1;
-                    let action = tree
-                        .get(rule)
-                        .expect("rule exists")
-                        .action;
-                    let candidates = action.neighbourhood();
-                    let tables: Vec<Arc<WhiskerTree>> = candidates
-                        .iter()
-                        .map(|&c| {
-                            let mut t = tree.clone();
-                            t.set_action(rule, c);
-                            Arc::new(t)
-                        })
-                        .collect();
-                    let scores = evaluator.score_candidates(&tables, &specimens);
-                    let (best_idx, best_score) = scores
+                    let candidates = current_action.neighbourhood();
+                    let fresh: Vec<Action> = candidates
                         .iter()
                         .copied()
+                        .filter(|c| !memo.contains_key(&action_key(c)))
+                        .collect();
+                    let fresh_scores =
+                        evaluator.score_overlays(&shared, rule, &fresh, &specimens);
+                    for (a, s) in fresh.iter().zip(&fresh_scores) {
+                        memo.insert(action_key(a), *s);
+                    }
+                    let (best_idx, best_score) = candidates
+                        .iter()
+                        .map(|c| memo[&action_key(c)])
                         .enumerate()
-                        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN scores"))
+                        .max_by(|a, b| a.1.total_cmp(&b.1))
                         .expect("non-empty candidate set");
                     if best_score > current {
-                        tree.set_action(rule, candidates[best_idx]);
+                        current_action = candidates[best_idx];
                         progress(TrainEvent::Improved {
                             rule,
                             from: current,
@@ -212,6 +234,14 @@ impl Remy {
                     } else {
                         break;
                     }
+                }
+                // Commit the climb's winner to the real table (the shared
+                // base stayed untouched while overlays were scored).
+                if current_action != start_action {
+                    tree.set_action(rule, current_action);
+                }
+                if budget_hit {
+                    break 'outer;
                 }
                 tree.bump_epoch(rule);
             }
@@ -330,6 +360,55 @@ mod tests {
         assert_eq!(frozen.len(), n_rules);
         let after: Vec<Action> = frozen.whiskers().iter().map(|w| w.action).collect();
         assert_eq!(actions, after);
+    }
+
+    #[test]
+    fn never_on_senders_do_not_poison_training() {
+        // A design range whose senders never turn on produces zero active
+        // flows in every specimen; scores must stay finite (no NaN panics
+        // in candidate selection) and the design loop must come back.
+        use netsim::time::Ns;
+        use netsim::traffic::{OnSpec, TrafficSpec};
+        let model = NetworkModel {
+            traffic: TrafficSpec {
+                on: OnSpec::ByTime {
+                    mean: Ns::from_secs(5),
+                },
+                off_mean: Ns::from_secs(1_000_000),
+                start_on: false,
+            },
+            ..NetworkModel::general()
+        };
+        let remy = Remy::new(
+            model,
+            Objective::proportional(1.0),
+            TrainConfig {
+                eval: EvalConfig {
+                    specimens: 2,
+                    sim_secs: 3.0,
+                },
+                wall_secs: 1.0,
+                max_steps: 4,
+                max_rules: 8,
+                seed: 2,
+            },
+        );
+        let mut done_score = f64::NAN;
+        let tree = remy.design(|e| {
+            if let TrainEvent::Done { score, .. } = e {
+                done_score = score;
+            }
+        });
+        assert!(!tree.is_empty());
+        // Specimens with zero active flows score 0; a rare off-time draw
+        // can still activate a sender and yield a real finite score, and
+        // −∞ is the "budget expired before the first evaluation" sentinel.
+        // What must never appear is NaN — the failure mode that used to
+        // panic candidate selection mid-training.
+        assert!(
+            !done_score.is_nan(),
+            "NaN training score poisoned candidate selection"
+        );
     }
 
     #[test]

@@ -10,28 +10,36 @@
 //! the loss-recovery behavior of whatever TCP sender they are added to"
 //! but make no window adjustment of their own on loss (§4.1).
 
+use crate::action::Action;
 use crate::memory::MemoryTracker;
-use crate::whisker::{Usage, WhiskerTree};
+use crate::whisker::{FlatTree, Usage, WhiskerTree};
 use netsim::cc::{AckInfo, CongestionControl, LossEvent};
 use netsim::time::Ns;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Initial congestion window before the first ACK arrives.
 pub const INITIAL_WINDOW: f64 = 2.0;
 
-/// Shared sink for whisker-usage statistics, filled in when the optimizer
-/// evaluates candidate tables.
-pub type UsageSink = Arc<Mutex<Usage>>;
+/// Sentinel for "no candidate override" (see [`RemyCc::with_candidate`]).
+const NO_OVERRIDE: usize = usize::MAX;
 
 /// A sender-side RemyCC executing a (typically Remy-designed) rule table.
 pub struct RemyCc {
     tree: Arc<WhiskerTree>,
+    /// Flattened lookup view shared by all senders running this table.
+    flat: Arc<FlatTree>,
+    /// Hill-climb candidate overlay: when the lookup lands on this leaf
+    /// slot, `override_action` applies instead of the stored action. This
+    /// lets the optimizer evaluate "base table + one changed rule" without
+    /// cloning the tree per candidate.
+    override_slot: usize,
+    override_action: Action,
     memory: MemoryTracker,
     window: f64,
     intersend: Ns,
-    /// Local usage accumulation, flushed to `sink` on drop.
+    /// Per-sender usage accumulation; the evaluator collects it after a
+    /// run via [`RemyCc::take_usage`].
     local: Usage,
-    sink: Option<UsageSink>,
     name: String,
     /// Ablation hook: axes set to `false` are zeroed before lookup,
     /// blinding the controller to that congestion signal (§4.1 discusses
@@ -44,21 +52,27 @@ impl RemyCc {
     /// Run the given rule table.
     pub fn new(tree: Arc<WhiskerTree>) -> RemyCc {
         let local = Usage::new(tree.id_bound());
+        let flat = tree.flat();
         RemyCc {
             tree,
+            flat,
+            override_slot: NO_OVERRIDE,
+            override_action: Action::DEFAULT,
             memory: MemoryTracker::new(),
             window: INITIAL_WINDOW,
             intersend: Ns::ZERO,
             local,
-            sink: None,
             name: "RemyCC".to_string(),
             signal_mask: [true; 3],
         }
     }
 
-    /// Attach a usage sink (the optimizer's statistics channel).
-    pub fn with_usage_sink(mut self, sink: UsageSink) -> RemyCc {
-        self.sink = Some(sink);
+    /// Evaluate a hill-climb candidate: behave exactly as if rule `rule`'s
+    /// action were `action`, without mutating or cloning the shared table.
+    /// A `rule` id not present in the table leaves behaviour unchanged.
+    pub fn with_candidate(mut self, rule: usize, action: Action) -> RemyCc {
+        self.override_slot = self.flat.slot_of(rule).unwrap_or(NO_OVERRIDE);
+        self.override_action = action;
         self
     }
 
@@ -79,13 +93,11 @@ impl RemyCc {
     pub fn tree(&self) -> &WhiskerTree {
         &self.tree
     }
-}
 
-impl Drop for RemyCc {
-    fn drop(&mut self) {
-        if let Some(sink) = &self.sink {
-            sink.lock().expect("usage sink poisoned").merge(&self.local);
-        }
+    /// Drain the whisker-usage statistics accumulated so far (the
+    /// evaluator's statistics channel; replaces the old shared-mutex sink).
+    pub fn take_usage(&mut self) -> Usage {
+        std::mem::replace(&mut self.local, Usage::new(self.tree.id_bound()))
     }
 }
 
@@ -110,10 +122,16 @@ impl CongestionControl for RemyCc {
                 *mem.axis_mut(i) = 0.0;
             }
         }
-        let whisker = self.tree.lookup(mem);
-        self.local.record(whisker.id, mem);
-        self.window = whisker.action.apply(self.window);
-        self.intersend = whisker.action.intersend();
+        let slot = self.flat.lookup_slot(mem);
+        let leaf = self.flat.leaf(slot);
+        let action = if slot == self.override_slot {
+            &self.override_action
+        } else {
+            &leaf.action
+        };
+        self.local.record(leaf.id, mem);
+        self.window = action.apply(self.window);
+        self.intersend = action.intersend();
     }
 
     fn on_loss(&mut self, _now: Ns, _event: LossEvent) {
@@ -130,6 +148,10 @@ impl CongestionControl for RemyCc {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
     }
 }
 
@@ -224,17 +246,66 @@ mod tests {
     }
 
     #[test]
-    fn usage_flows_to_sink_on_drop() {
-        let sink: UsageSink = Arc::new(Mutex::new(Usage::new(1)));
-        {
-            let mut cc = RemyCc::new(Arc::new(WhiskerTree::single_rule()))
-                .with_usage_sink(Arc::clone(&sink));
-            cc.on_flow_start(Ns::ZERO);
-            cc.on_ack(&ack(100, 100, 100));
-            cc.on_ack(&ack(110, 100, 100));
-            cc.on_ack(&ack(120, 100, 100));
-        } // drop flushes
-        assert_eq!(sink.lock().unwrap().count(0), 3);
+    fn usage_accumulates_and_drains() {
+        let mut cc = RemyCc::new(Arc::new(WhiskerTree::single_rule()));
+        cc.on_flow_start(Ns::ZERO);
+        cc.on_ack(&ack(100, 100, 100));
+        cc.on_ack(&ack(110, 100, 100));
+        cc.on_ack(&ack(120, 100, 100));
+        let usage = cc.take_usage();
+        assert_eq!(usage.count(0), 3);
+        assert_eq!(cc.take_usage().total(), 0, "take drains");
+    }
+
+    #[test]
+    fn candidate_overlay_changes_only_its_rule() {
+        let mut tree = WhiskerTree::single_rule();
+        tree.split(
+            0,
+            Memory {
+                ack_ewma_ms: 10.0,
+                send_ewma_ms: 10.0,
+                rtt_ratio: 2.0,
+            },
+        );
+        let high_ratio = Memory {
+            ack_ewma_ms: 0.0,
+            send_ewma_ms: 0.0,
+            rtt_ratio: 4.0,
+        };
+        let rule = tree.lookup(high_ratio).id;
+        let shared = Arc::new(tree);
+        let shrink = Action {
+            window_multiple: 0.5,
+            window_increment: 0.0,
+            intersend_ms: 5.0,
+        };
+        let mut cc = RemyCc::new(Arc::clone(&shared)).with_candidate(rule, shrink);
+        cc.on_flow_start(Ns::ZERO);
+        // High-ratio ACK hits the overridden rule: overlay action applies.
+        cc.on_ack(&ack(400, 400, 100));
+        assert_eq!(cc.cwnd(), 1.0, "overlay shrink applies: 0.5×2 clamped at 1");
+        assert_eq!(cc.pacing(), Ns::from_millis(5));
+        // Low-ratio ACK hits a different rule: base action applies.
+        cc.on_ack(&ack(500, 100, 100));
+        assert_eq!(cc.cwnd(), 2.0, "base default rule still applies elsewhere");
+        // Usage is recorded against the real whisker id either way.
+        assert_eq!(cc.take_usage().count(rule), 1);
+        // The shared base table itself is untouched.
+        assert_eq!(shared.lookup(high_ratio).action, Action::DEFAULT);
+    }
+
+    #[test]
+    fn candidate_overlay_with_retired_rule_is_inert() {
+        let tree = Arc::new(WhiskerTree::single_rule());
+        let mut cc = RemyCc::new(tree).with_candidate(999, Action {
+            window_multiple: 0.0,
+            window_increment: -64.0,
+            intersend_ms: 1000.0,
+        });
+        cc.on_flow_start(Ns::ZERO);
+        cc.on_ack(&ack(100, 100, 100));
+        assert_eq!(cc.cwnd(), 3.0, "unknown rule id leaves behaviour unchanged");
     }
 
     #[test]

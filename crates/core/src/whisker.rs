@@ -11,6 +11,7 @@
 use crate::action::Action;
 use crate::json::{self, Value};
 use crate::memory::{Memory, MEMORY_MAX};
+use std::sync::{Arc, OnceLock};
 
 /// A half-open axis-aligned box `[lo, hi)` in memory space.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -138,6 +139,9 @@ pub struct WhiskerTree {
     /// Free-form provenance (design ranges, δ, training budget) recorded
     /// by the optimizer for reports.
     pub provenance: String,
+    /// Lazily built flattened lookup view, shared by every RemyCC running
+    /// this table. Invalidated by action/structure mutations.
+    flat_cache: OnceLock<Arc<FlatTree>>,
 }
 
 impl WhiskerTree {
@@ -153,12 +157,23 @@ impl WhiskerTree {
             }),
             next_id: 1,
             provenance: String::new(),
+            flat_cache: OnceLock::new(),
         }
     }
 
     /// The rule covering the given memory point.
     pub fn lookup(&self, m: Memory) -> &Whisker {
         self.root.lookup(m.clamped())
+    }
+
+    /// The flattened lookup view of this table, built once and cached.
+    /// All per-ACK lookups (see [`crate::remycc::RemyCc`]) go through this
+    /// view rather than walking the boxed octree.
+    pub fn flat(&self) -> Arc<FlatTree> {
+        Arc::clone(
+            self.flat_cache
+                .get_or_init(|| Arc::new(FlatTree::build(&self.root))),
+        )
     }
 
     /// All rules, in tree order.
@@ -191,6 +206,7 @@ impl WhiskerTree {
             .find_mut(id)
             .unwrap_or_else(|| panic!("no whisker with id {id}"));
         w.action = action;
+        self.flat_cache = OnceLock::new();
     }
 
     /// Fetch a rule by id.
@@ -268,6 +284,7 @@ impl WhiskerTree {
             split,
             children,
         };
+        self.flat_cache = OnceLock::new();
         true
     }
 
@@ -318,6 +335,7 @@ impl WhiskerTree {
                 .and_then(Value::as_str)
                 .map_err(err)?
                 .to_string(),
+            flat_cache: OnceLock::new(),
         })
     }
 }
@@ -455,6 +473,142 @@ impl Node {
 }
 
 // ---------------------------------------------------------------------------
+// Flattened lookup view
+// ---------------------------------------------------------------------------
+
+/// Child references pack "leaf or branch" into one `u32`: the high bit
+/// selects the leaf array, the low 31 bits index into it.
+const LEAF_BIT: u32 = 1 << 31;
+
+#[derive(Debug)]
+struct FlatBranch {
+    /// Component-wise split point of this interior node.
+    split: [f64; 3],
+    /// Packed refs of the eight children, indexed by the 3-bit octant code.
+    children: [u32; 8],
+}
+
+/// One rule of a [`FlatTree`]: just what the per-ACK hot path needs.
+#[derive(Clone, Copy, Debug)]
+pub struct FlatLeaf {
+    /// The whisker id (usage-statistics key).
+    pub id: usize,
+    /// The action this rule maps to.
+    pub action: Action,
+}
+
+/// A flattened, allocation-dense view of a [`WhiskerTree`] built once per
+/// table: interior nodes live in one branch array, rules in one leaf
+/// array, and a lookup is a short loop over packed `u32` child refs
+/// instead of a recursive walk over boxed `Vec<Node>` octree nodes.
+#[derive(Debug)]
+pub struct FlatTree {
+    branches: Vec<FlatBranch>,
+    leaves: Vec<FlatLeaf>,
+    /// Packed ref of the root (a table can be a single leaf).
+    root: u32,
+    /// Whisker id → leaf slot (`u32::MAX` for ids not present).
+    slot_of_id: Vec<u32>,
+}
+
+impl FlatTree {
+    fn build(root: &Node) -> FlatTree {
+        let mut flat = FlatTree {
+            branches: Vec::new(),
+            leaves: Vec::new(),
+            root: 0,
+            slot_of_id: Vec::new(),
+        };
+        flat.root = flat.intern(root);
+        flat
+    }
+
+    fn intern(&mut self, node: &Node) -> u32 {
+        match node {
+            Node::Leaf(w) => {
+                let slot = self.leaves.len() as u32;
+                self.leaves.push(FlatLeaf {
+                    id: w.id,
+                    action: w.action,
+                });
+                if self.slot_of_id.len() <= w.id {
+                    self.slot_of_id.resize(w.id + 1, u32::MAX);
+                }
+                self.slot_of_id[w.id] = slot;
+                slot | LEAF_BIT
+            }
+            Node::Branch {
+                split, children, ..
+            } => {
+                let idx = self.branches.len();
+                self.branches.push(FlatBranch {
+                    split: [split.ack_ewma_ms, split.send_ewma_ms, split.rtt_ratio],
+                    children: [0; 8],
+                });
+                for (code, child) in children.iter().enumerate() {
+                    let packed = self.intern(child);
+                    self.branches[idx].children[code] = packed;
+                }
+                idx as u32
+            }
+        }
+    }
+
+    /// The leaf slot covering memory point `m` (clamped into the domain,
+    /// exactly as [`WhiskerTree::lookup`] clamps).
+    #[inline]
+    pub fn lookup_slot(&self, m: Memory) -> usize {
+        let m = m.clamped();
+        let mut r = self.root;
+        while r & LEAF_BIT == 0 {
+            let b = &self.branches[r as usize];
+            let mut code = 0usize;
+            if m.ack_ewma_ms >= b.split[0] {
+                code |= 1;
+            }
+            if m.send_ewma_ms >= b.split[1] {
+                code |= 2;
+            }
+            if m.rtt_ratio >= b.split[2] {
+                code |= 4;
+            }
+            r = b.children[code];
+        }
+        (r & !LEAF_BIT) as usize
+    }
+
+    /// The rule stored at a leaf slot.
+    #[inline]
+    pub fn leaf(&self, slot: usize) -> &FlatLeaf {
+        &self.leaves[slot]
+    }
+
+    /// The leaf covering memory point `m`.
+    #[inline]
+    pub fn lookup(&self, m: Memory) -> &FlatLeaf {
+        &self.leaves[self.lookup_slot(m)]
+    }
+
+    /// The leaf slot of whisker `id`, if present.
+    pub fn slot_of(&self, id: usize) -> Option<usize> {
+        match self.slot_of_id.get(id) {
+            Some(&s) if s != u32::MAX => Some(s as usize),
+            _ => None,
+        }
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// A flat tree always holds at least one rule.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Usage statistics
 // ---------------------------------------------------------------------------
 
@@ -527,7 +681,7 @@ impl Usage {
         let mut m = Memory::INITIAL;
         for i in 0..3 {
             let mut axis: Vec<f64> = s.iter().map(|x| x.axis(i)).collect();
-            axis.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            axis.sort_by(f64::total_cmp);
             *m.axis_mut(i) = axis[axis.len() / 2];
         }
         Some(m)
@@ -664,6 +818,65 @@ mod tests {
         assert_eq!(t.most_used_in_epoch(0, &u), Some(ids[5]));
         t.bump_epoch(ids[5]);
         assert_eq!(t.most_used_in_epoch(0, &u), None, "unused rules skipped");
+    }
+
+    #[test]
+    fn flat_view_matches_octree_lookup() {
+        let mut t = WhiskerTree::single_rule();
+        t.split(0, mem(10.0, 10.0, 1.5));
+        let ids: Vec<usize> = t.whiskers().iter().map(|w| w.id).collect();
+        t.split(ids[0], mem(5.0, 5.0, 1.2));
+        t.split(ids[7], mem(1000.0, 1000.0, 4.0));
+        let flat = t.flat();
+        assert_eq!(flat.len(), t.len());
+        for &a in &[0.0, 5.0, 9.0, 11.0, 500.0, 16_000.0, 1e18] {
+            for &s in &[0.0, 7.0, 20.0, 12_000.0] {
+                for &r in &[0.0, 1.3, 2.0, 10.0] {
+                    let m = mem(a, s, r);
+                    let slow = t.lookup(m);
+                    let fast = flat.lookup(m);
+                    assert_eq!(slow.id, fast.id);
+                    assert_eq!(slow.action, fast.action);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flat_view_slot_mapping_and_invalidation() {
+        let mut t = WhiskerTree::single_rule();
+        t.split(0, mem(10.0, 10.0, 1.5));
+        let flat = t.flat();
+        assert!(flat.slot_of(0).is_none(), "split rule ids are retired");
+        for w in t.whiskers() {
+            let slot = flat.slot_of(w.id).expect("live rule has a slot");
+            assert_eq!(flat.leaf(slot).id, w.id);
+            assert_eq!(flat.leaf(slot).action, w.action);
+        }
+        assert!(flat.slot_of(999).is_none());
+        // Mutating an action must invalidate the cached view.
+        let ids: Vec<usize> = t.whiskers().iter().map(|w| w.id).collect();
+        let act = Action {
+            window_multiple: 0.25,
+            window_increment: -1.0,
+            intersend_ms: 2.0,
+        };
+        t.set_action(ids[3], act);
+        let flat2 = t.flat();
+        let slot = flat2.slot_of(ids[3]).expect("slot");
+        assert_eq!(flat2.leaf(slot).action, act);
+    }
+
+    #[test]
+    fn flat_view_is_shared_until_mutation() {
+        let t = {
+            let mut t = WhiskerTree::single_rule();
+            t.split(0, mem(8.0, 8.0, 2.0));
+            t
+        };
+        let a = t.flat();
+        let b = t.flat();
+        assert!(Arc::ptr_eq(&a, &b), "cached view is reused");
     }
 
     #[test]

@@ -98,6 +98,13 @@ pub trait CongestionControl: Send {
 
     /// Human-readable scheme name for reports.
     fn name(&self) -> &str;
+
+    /// Downcast hook for harnesses that need concrete access to a scheme
+    /// after a run (Remy's evaluator drains whisker-usage statistics this
+    /// way). Implementations wanting to be reachable return `Some(self)`.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
 }
 
 /// A trivial fixed-window scheme, useful for tests and for measuring the

@@ -357,6 +357,11 @@ impl Queue for Codel {
 pub struct SfqCodel {
     buckets: Vec<VecDeque<Packet>>,
     laws: Vec<CodelLaw>,
+    /// Bytes held per bucket, maintained incrementally on enqueue /
+    /// dequeue / drop (the CoDel law consults its bucket's backlog on
+    /// every dequeue; recomputing it by summation made each dequeue
+    /// O(bucket length)).
+    bucket_bytes: Vec<u64>,
     /// Round-robin cursor: index of the next bucket to consider.
     cursor: usize,
     capacity: usize,
@@ -376,6 +381,7 @@ impl SfqCodel {
             laws: (0..n_buckets)
                 .map(|_| CodelLaw::new(CODEL_TARGET, CODEL_INTERVAL))
                 .collect(),
+            bucket_bytes: vec![0; n_buckets],
             cursor: 0,
             capacity,
             len: 0,
@@ -401,6 +407,7 @@ impl SfqCodel {
         if let Some(victim) = self.buckets[idx].pop_front() {
             self.len -= 1;
             self.bytes -= victim.size as u64;
+            self.bucket_bytes[idx] -= victim.size as u64;
             self.drops += 1;
         }
     }
@@ -418,6 +425,7 @@ impl Queue for SfqCodel {
         p.enqueued_at = now;
         self.len += 1;
         self.bytes += p.size as u64;
+        self.bucket_bytes[idx] += p.size as u64;
         self.buckets[idx].push_back(p);
         Enqueue::Queued
     }
@@ -434,10 +442,9 @@ impl Queue for SfqCodel {
             while let Some(p) = self.buckets[idx].pop_front() {
                 self.len -= 1;
                 self.bytes -= p.size as u64;
+                self.bucket_bytes[idx] -= p.size as u64;
                 let sojourn = now.saturating_sub(p.enqueued_at);
-                let bucket_bytes: u64 =
-                    self.buckets[idx].iter().map(|q| q.size as u64).sum();
-                if self.laws[idx].on_dequeue(now, sojourn, bucket_bytes, self.mss) {
+                if self.laws[idx].on_dequeue(now, sojourn, self.bucket_bytes[idx], self.mss) {
                     self.drops += 1;
                     continue;
                 }
@@ -545,8 +552,17 @@ impl Red {
         }
         self.count += 1;
         let p_b = self.max_p * (self.avg - self.min_th) / (self.max_th - self.min_th);
-        // Uniformize inter-drop gaps: p_a = p_b / (1 − count·p_b).
-        let p_a = (p_b / (1.0 - self.count as f64 * p_b)).clamp(0.0, 1.0);
+        // Uniformize inter-drop gaps: p_a = p_b / (1 − count·p_b). Once
+        // count·p_b ≥ 1 the uniformized law says the packet is dropped
+        // with certainty — the raw quotient goes negative there, and
+        // clamping it to 0 would make RED stop dropping entirely on long
+        // runs without a drop.
+        let denom = 1.0 - self.count as f64 * p_b;
+        let p_a = if denom <= 0.0 {
+            1.0
+        } else {
+            (p_b / denom).min(1.0)
+        };
         if p_b > 0.0 && self.rng.chance(p_a) {
             self.count = 0;
             true
@@ -998,6 +1014,62 @@ mod tests {
     }
 
     #[test]
+    fn red_uniformized_law_saturates_at_certain_drop() {
+        // Regression: when count·p_b ≥ 1 the uniformized probability
+        // p_b/(1 − count·p_b) goes negative; it used to be clamped to 0,
+        // so a long run without a drop made RED stop dropping entirely.
+        // The law says such a packet is dropped with probability 1.
+        let mut q = Red::new(10_000, 20, 100);
+        q.avg = 60.0; // p_b = 0.1·(60−20)/80 = 0.05
+        q.count = 25; // next arrival sees count = 26, count·p_b = 1.3 > 1
+        assert!(
+            q.early_action(),
+            "count·p_b ≥ 1 must drop with certainty, not probability 0"
+        );
+        assert_eq!(q.count, 0, "a forced drop restarts the inter-drop count");
+        // Exactly at the boundary (denominator 0) the same holds.
+        let mut q = Red::new(10_000, 20, 100);
+        q.avg = 60.0;
+        q.count = 19; // next arrival: count = 20, count·p_b = 1.0
+        assert!(q.early_action(), "denominator 0 is a certain drop");
+    }
+
+    #[test]
+    fn red_keeps_dropping_over_long_runs() {
+        // End-to-end version of the regression: hold the average between
+        // the thresholds for far longer than 1/p_b arrivals; a correct
+        // uniformized RED can never go quiet for a full 1/p_b + slack run.
+        let mut q = Red::new(10_000, 20, 100);
+        for i in 0..60 {
+            q.enqueue(Ns(i), pkt(0, i));
+        }
+        let mut arrivals_since_drop = 0u64;
+        let mut max_gap = 0u64;
+        for i in 0..50_000u64 {
+            // Serve only above 60 packets so the standing queue (and the
+            // average) holds near 60 however many arrivals get dropped.
+            if q.len() > 60 {
+                q.dequeue(Ns(1000 + i));
+            }
+            if q.enqueue(Ns(1000 + i), pkt(0, 100 + i)) == Enqueue::Dropped {
+                max_gap = max_gap.max(arrivals_since_drop);
+                arrivals_since_drop = 0;
+            } else {
+                arrivals_since_drop += 1;
+            }
+        }
+        max_gap = max_gap.max(arrivals_since_drop);
+        assert!(q.drops() > 100, "steady overload must keep dropping");
+        // With avg ≈ 40–60 between th 20/100, p_b ≥ ~0.02: the uniformized
+        // law guarantees a drop within 1/p_b ≈ 50 arrivals. Allow slack
+        // for the EWMA settling from below min_th.
+        assert!(
+            max_gap < 2_000,
+            "RED went quiet for {max_gap} arrivals — drop law collapsed"
+        );
+    }
+
+    #[test]
     fn red_force_drops_above_max_th() {
         let mut q = Red::new(10_000, 5, 20);
         // Slam 2000 arrivals with no departures: avg climbs past max_th
@@ -1103,6 +1175,35 @@ mod tests {
             }
         }
         assert!(admitted > 300 && admitted < 700, "admitted {admitted}");
+    }
+
+    #[test]
+    fn sfq_bucket_byte_counters_stay_exact() {
+        // The incremental per-bucket byte counters must always agree with
+        // a from-scratch sum, through enqueues, CoDel drops, overflow
+        // shedding, and dequeues.
+        let mut q = SfqCodel::new(50, 8);
+        let check = |q: &SfqCodel| {
+            let mut total = 0u64;
+            for (i, b) in q.buckets.iter().enumerate() {
+                let sum: u64 = b.iter().map(|p| p.size as u64).sum();
+                assert_eq!(q.bucket_bytes[i], sum, "bucket {i} counter drifted");
+                total += sum;
+            }
+            assert_eq!(q.bytes(), total);
+        };
+        for i in 0..200 {
+            q.enqueue(Ns(i), pkt(i as usize % 11, i));
+            check(&q);
+        }
+        // Dequeue with large sojourns so per-bucket CoDel drops fire too.
+        let mut t = Ns::from_millis(300);
+        while q.dequeue(t).is_some() {
+            check(&q);
+            t += Ns::from_millis(2);
+        }
+        check(&q);
+        assert_eq!(q.bytes(), 0);
     }
 
     #[test]

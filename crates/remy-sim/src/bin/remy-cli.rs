@@ -35,7 +35,9 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  remy-cli list\n  remy-cli inspect <table>\n  \
          remy-cli eval <table> [delta=1] [specimens=8] [secs=15]\n  \
-         remy-cli compare <tableA> <tableB> [runs=8] [secs=20]"
+         remy-cli compare <tableA> <tableB> [runs=8] [secs=20]\n\n\
+         options:\n  --jobs N   evaluation worker threads (default: REMY_JOBS or all cores);\n             \
+         results are identical at any thread count"
     );
     std::process::exit(2)
 }
@@ -99,7 +101,26 @@ fn cmd_compare(a_spec: &str, b_spec: &str, runs: usize, secs: u64) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = Vec::new();
+    let mut raw = std::env::args().skip(1);
+    while let Some(a) = raw.next() {
+        match a.as_str() {
+            "--jobs" => {
+                let n = raw
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--jobs needs a number"));
+                remy::evaluator::set_jobs(n);
+            }
+            s if s.starts_with("--jobs=") => {
+                let n = s["--jobs=".len()..]
+                    .parse()
+                    .unwrap_or_else(|_| die("--jobs needs a number"));
+                remy::evaluator::set_jobs(n);
+            }
+            _ => args.push(a),
+        }
+    }
     match args.first().map(String::as_str) {
         Some("list") => {
             for name in remy::assets::TABLE_NAMES {

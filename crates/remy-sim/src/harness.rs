@@ -194,20 +194,37 @@ pub fn evaluate(contender: &Contender, cfg: &Workload) -> Outcome {
 
 /// Run a contender over explicit scenarios (used by experiments with
 /// per-sender RTTs or other customizations).
+///
+/// Runs execute in parallel (see `remy::evaluator::set_jobs` /
+/// `REMY_JOBS`), but samples are pooled in run order from positionally
+/// collected results, so outcomes are identical at any thread count.
 pub fn evaluate_scenarios(contender: &Contender, scenarios: &[Scenario]) -> Outcome {
+    use rayon::prelude::*;
+    let per_run: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> = scenarios
+        .par_iter()
+        .map(|sc| {
+            let ccs: Vec<Box<dyn CongestionControl>> =
+                (0..sc.n()).map(|_| contender.build_cc()).collect();
+            let router = contender.router(&sc.link, sc.mss);
+            let results = Simulator::new(sc, ccs, router).run();
+            let mut tput = Vec::new();
+            let mut delay = Vec::new();
+            let mut rtt = Vec::new();
+            for f in results.active_flows() {
+                tput.push(f.throughput_mbps);
+                delay.push(f.mean_queue_delay_ms);
+                rtt.push(f.mean_rtt_ms);
+            }
+            (tput, delay, rtt)
+        })
+        .collect();
     let mut tput = Vec::new();
     let mut delay = Vec::new();
     let mut rtt = Vec::new();
-    for sc in scenarios {
-        let ccs: Vec<Box<dyn CongestionControl>> =
-            (0..sc.n()).map(|_| contender.build_cc()).collect();
-        let router = contender.router(&sc.link, sc.mss);
-        let results = Simulator::new(sc, ccs, router).run();
-        for f in results.active_flows() {
-            tput.push(f.throughput_mbps);
-            delay.push(f.mean_queue_delay_ms);
-            rtt.push(f.mean_rtt_ms);
-        }
+    for (t, d, r) in per_run {
+        tput.extend(t);
+        delay.extend(d);
+        rtt.extend(r);
     }
     Outcome::from_samples(contender.label(), tput, delay, rtt)
 }

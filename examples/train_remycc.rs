@@ -2,8 +2,14 @@
 //! write the resulting rule table to `crates/core/assets/<name>.json`.
 //!
 //! ```text
-//! cargo run --release -p remy-sim --example train_remycc -- <name> [wall_secs] [out_dir]
+//! cargo run --release -p remy-sim --example train_remycc -- <name> [wall_secs] [out_dir] \
+//!     [--jobs N] [--steps N] [--continue]
 //! ```
+//!
+//! `--jobs N` sets the evaluation worker count (default: `REMY_JOBS` or
+//! all cores). Trained tables are byte-identical at any `--jobs` value.
+//! `--steps N` replaces the wall-clock budget with a fixed number of
+//! improvement steps, which makes the output fully deterministic.
 //!
 //! `<name>` selects the design-range model and objective:
 //!
@@ -84,16 +90,48 @@ fn scaled_datacenter_model() -> NetworkModel {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let name = args.get(1).map(String::as_str).unwrap_or("delta1");
-    let wall_secs: f64 = args
-        .get(2)
+    let mut positional: Vec<String> = Vec::new();
+    let mut jobs: Option<usize> = None;
+    let mut steps: Option<usize> = None;
+    let mut warm_start = false;
+    let mut args = std::env::args().skip(1);
+    fn require_number(flag: &str, v: Option<String>) -> usize {
+        v.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            eprintln!("{flag} needs a number");
+            std::process::exit(2);
+        })
+    }
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--continue" => warm_start = true,
+            "--jobs" => jobs = Some(require_number("--jobs", args.next())),
+            s if s.starts_with("--jobs=") => {
+                jobs = Some(require_number("--jobs", Some(s["--jobs=".len()..].to_string())));
+            }
+            "--steps" => steps = Some(require_number("--steps", args.next())),
+            s if s.starts_with("--steps=") => {
+                steps = Some(require_number("--steps", Some(s["--steps=".len()..].to_string())));
+            }
+            s if s.starts_with("--") => {
+                eprintln!("unknown flag '{s}'");
+                std::process::exit(2);
+            }
+            _ => positional.push(a),
+        }
+    }
+    let name = positional.first().map(String::as_str).unwrap_or("delta1");
+    // With a fixed step budget the wall clock is only a safety net.
+    let wall_secs: f64 = positional
+        .get(1)
         .and_then(|v| v.parse().ok())
-        .unwrap_or(480.0);
-    let out_dir = args
-        .get(3)
+        .unwrap_or(if steps.is_some() { 1e9 } else { 480.0 });
+    let out_dir = positional
+        .get(2)
         .cloned()
         .unwrap_or_else(|| "crates/core/assets".to_string());
+    if let Some(n) = jobs {
+        remy::evaluator::set_jobs(n);
+    }
 
     let Some((model, objective, eval)) = setup(name) else {
         eprintln!(
@@ -106,10 +144,17 @@ fn main() {
     println!("table     : {name}");
     println!("model     : {}", model.describe());
     println!("objective : {}", objective.label());
-    println!(
-        "budget    : {wall_secs:.0} s wall clock, {} specimens x {} s sims",
-        eval.specimens, eval.sim_secs
-    );
+    match steps {
+        Some(n) => println!(
+            "budget    : {n} improvement steps, {} specimens x {} s sims",
+            eval.specimens, eval.sim_secs
+        ),
+        None => println!(
+            "budget    : {wall_secs:.0} s wall clock, {} specimens x {} s sims",
+            eval.specimens, eval.sim_secs
+        ),
+    }
+    println!("jobs      : {}", remy::evaluator::jobs());
 
     let remy = Remy::new(
         model,
@@ -117,7 +162,7 @@ fn main() {
         TrainConfig {
             eval,
             wall_secs,
-            max_steps: usize::MAX,
+            max_steps: steps.unwrap_or(usize::MAX),
             max_rules: 128,
             seed: 2013,
         },
@@ -125,7 +170,7 @@ fn main() {
 
     // Warm start: `--continue` resumes from the existing asset, so budget
     // can be added incrementally across sessions.
-    let initial = if args.iter().any(|a| a == "--continue") {
+    let initial = if warm_start {
         let path = format!("{out_dir}/{name}.json");
         match std::fs::read_to_string(&path)
             .ok()

@@ -2,7 +2,11 @@
 //! Everything the optimizer does relies on this (common random numbers).
 
 use remy_sim::prelude::*;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+/// Serializes the tests that sweep the process-global jobs knob, so each
+/// really runs at the thread counts it claims to cover.
+static JOBS_KNOB: Mutex<()> = Mutex::new(());
 
 fn fingerprint(r: &SimResults) -> (u64, u64, Vec<u64>) {
     (
@@ -126,4 +130,72 @@ fn training_with_step_budget_is_reproducible() {
     let t2 = Remy::new(NetworkModel::exact_link(), Objective::proportional(1.0), cfg)
         .design(|_| {});
     assert_eq!(t1.to_json(), t2.to_json());
+}
+
+#[test]
+fn training_is_thread_count_invariant() {
+    // The hard constraint of the parallel evaluation engine: the trained
+    // table is byte-identical at any worker count, because every parallel
+    // map collects positionally and reductions run in input order.
+    let _knob = JOBS_KNOB.lock().unwrap();
+    let cfg = TrainConfig {
+        eval: EvalConfig {
+            specimens: 3,
+            sim_secs: 3.0,
+        },
+        wall_secs: 600.0,
+        max_steps: 2,
+        max_rules: 16,
+        seed: 21,
+    };
+    let train = || {
+        Remy::new(NetworkModel::general(), Objective::proportional(1.0), cfg)
+            .design(|_| {})
+            .to_json()
+    };
+    let mut outputs = Vec::new();
+    for jobs in [1usize, 2, 4] {
+        remy::evaluator::set_jobs(jobs);
+        outputs.push((jobs, train()));
+    }
+    remy::evaluator::set_jobs(0); // restore automatic selection
+    let (_, reference) = &outputs[0];
+    for (jobs, json) in &outputs[1..] {
+        assert_eq!(
+            json, reference,
+            "table trained with --jobs {jobs} differs from --jobs 1"
+        );
+    }
+}
+
+#[test]
+fn evaluation_scores_are_thread_count_invariant() {
+    let _knob = JOBS_KNOB.lock().unwrap();
+    let evaluator = Evaluator::new(
+        NetworkModel::general(),
+        Objective::proportional(1.0),
+        EvalConfig {
+            specimens: 5,
+            sim_secs: 3.0,
+        },
+    );
+    let specimens = evaluator.specimens(3);
+    let table = remy::assets::delta1();
+    let mut scores = Vec::new();
+    let mut usages = Vec::new();
+    for jobs in [1usize, 2, 4] {
+        remy::evaluator::set_jobs(jobs);
+        let (score, usage) = evaluator.evaluate(&table, &specimens);
+        scores.push(score);
+        usages.push(usage.total());
+    }
+    remy::evaluator::set_jobs(0);
+    assert!(
+        scores.windows(2).all(|w| w[0] == w[1]),
+        "scores varied with thread count: {scores:?}"
+    );
+    assert!(
+        usages.windows(2).all(|w| w[0] == w[1]),
+        "usage totals varied with thread count: {usages:?}"
+    );
 }
