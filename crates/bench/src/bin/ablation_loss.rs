@@ -1,81 +1,9 @@
 //! Ablation: robustness to stochastic (non-congestive) packet loss.
 //!
-//! §4.1 argues that because a RemyCC's memory contains no loss signal,
-//! "avoiding packet loss as a congestion signal allows the protocol to
-//! robustly handle stochastic (non-congestive) packet losses without
-//! adversely reducing performance" — whereas loss-based TCP halves its
-//! window on every random drop. This harness sweeps a random-loss rate on
-//! the Fig. 4 dumbbell and reports each scheme's median throughput.
-//!
-//! Expected shape: NewReno/Cubic throughput collapses as loss grows;
-//! RemyCC (whose recovery still retransmits, but whose window policy
-//! ignores the losses) degrades far more slowly.
-
-use bench::*;
-use remy_sim::harness::{evaluate, Contender};
-use remy_sim::prelude::*;
-
-const LOSS_RATES: [f64; 5] = [0.0, 0.001, 0.005, 0.01, 0.03];
+//! Compatibility wrapper: the experiment itself lives in the named
+//! registry (`remy_sim::experiments`) and is equally drivable with
+//! `remy-cli run ablation_loss`.
 
 fn main() {
-    let budget = Budget::from_env();
-    let contenders = [
-        Contender::remy("RemyCC d=0.1", remy::assets::delta01()),
-        Contender::baseline(Scheme::NewReno),
-        Contender::baseline(Scheme::Cubic),
-    ];
-    println!(
-        "== Ablation — median per-sender tput (Mbps) vs stochastic loss, dumbbell n=8 ({} runs x {} s) ==",
-        budget.runs, budget.sim_secs
-    );
-    print!("{:<16}", "scheme");
-    for p in LOSS_RATES {
-        print!(" {:>9}", format!("{:.1}%", p * 100.0));
-    }
-    println!();
-    let mut rows = Vec::new();
-    for c in &contenders {
-        print!("{:<16}", c.label());
-        let mut cells = Vec::new();
-        for (i, &p) in LOSS_RATES.iter().enumerate() {
-            let mut cfg = dumbbell_workload(8, budget, 77_000 + i as u64);
-            // RemyCC and the loss-based schemes all run over DropTail in
-            // this experiment; the wrapper injects the random loss.
-            let out = {
-                let scenarios: Vec<_> = (0..cfg.runs)
-                    .map(|k| {
-                        let mut s = cfg.scenario(
-                            QueueSpec::LossyDropTail {
-                                capacity: 1000,
-                                drop_probability: p,
-                                seed: 900 + k as u64,
-                            },
-                            k,
-                        );
-                        s.seed = cfg.seed + k as u64;
-                        s
-                    })
-                    .collect();
-                remy_sim::harness::evaluate_scenarios(c, &scenarios)
-            };
-            print!(" {:>9.3}", out.median_throughput_mbps);
-            cells.push(format!("{}", out.median_throughput_mbps));
-            cfg.seed += 1;
-        }
-        println!();
-        rows.push(format!("{},{}", c.label(), cells.join(",")));
-    }
-    write_rows_csv(
-        "ablation_loss",
-        &format!(
-            "scheme,{}",
-            LOSS_RATES
-                .iter()
-                .map(|p| format!("loss_{p}"))
-                .collect::<Vec<_>>()
-                .join(",")
-        ),
-        &rows,
-    );
-    let _ = evaluate; // (suppress unused import when budgets shrink paths)
+    bench::run_main("ablation_loss");
 }

@@ -1,70 +1,9 @@
-//! Ablation: how much does each of the RemyCC's three congestion signals
-//! matter?
+//! Ablation: how much does each of the RemyCC's three congestion signals matter?
 //!
-//! §4.1 chose exactly three memory variables — ack_ewma, send_ewma, and
-//! rtt_ratio — after "examining and discarding" alternatives. This
-//! harness blinds a trained RemyCC to one signal at a time (the masked
-//! axis reads 0 at lookup time) and measures the objective on the Fig. 4
-//! dumbbell workload.
-//!
-//! Expected shape: masking signals the trained table actually splits on
-//! costs throughput and/or delay; a signal the table never learned to use
-//! costs nothing.
-
-use bench::*;
-use netsim::cc::CongestionControl;
-use remy_sim::prelude::*;
-use std::sync::Arc;
-
-fn run_masked(mask: [bool; 3], budget: Budget) -> (f64, f64) {
-    let table = remy::assets::delta1();
-    let mut tput = Vec::new();
-    let mut delay = Vec::new();
-    for k in 0..budget.runs {
-        let scenario = Scenario::dumbbell(
-            LinkSpec::constant(15.0),
-            QueueSpec::DropTail { capacity: 1000 },
-            8,
-            Ns::from_millis(150),
-            TrafficSpec::fig4(),
-            Ns::from_secs(budget.sim_secs),
-            88_000 + k as u64,
-        );
-        let ccs: Vec<Box<dyn CongestionControl>> = (0..8)
-            .map(|_| {
-                Box::new(
-                    RemyCc::new(Arc::clone(&table)).with_signal_mask(mask),
-                ) as Box<dyn CongestionControl>
-            })
-            .collect();
-        let r = Simulator::new(&scenario, ccs, None).run();
-        for f in r.active_flows() {
-            tput.push(f.throughput_mbps);
-            delay.push(f.mean_queue_delay_ms);
-        }
-    }
-    (netsim::stats::median(&tput), netsim::stats::median(&delay))
-}
+//! Compatibility wrapper: the experiment itself lives in the named
+//! registry (`remy_sim::experiments`) and is equally drivable with
+//! `remy-cli run ablation_signals`.
 
 fn main() {
-    let budget = Budget::from_env();
-    let variants: [(&str, [bool; 3]); 5] = [
-        ("all signals", [true, true, true]),
-        ("no ack_ewma", [false, true, true]),
-        ("no send_ewma", [true, false, true]),
-        ("no rtt_ratio", [true, true, false]),
-        ("blind", [false, false, false]),
-    ];
-    println!(
-        "== Ablation — RemyCC d=1 memory signals, dumbbell n=8 ({} runs x {} s) ==",
-        budget.runs, budget.sim_secs
-    );
-    println!("{:<14} {:>12} {:>12}", "variant", "tput Mbps", "qdelay ms");
-    let mut rows = Vec::new();
-    for (name, mask) in variants {
-        let (t, d) = run_masked(mask, budget);
-        println!("{name:<14} {t:>12.3} {d:>12.2}");
-        rows.push(format!("{name},{t},{d}"));
-    }
-    write_rows_csv("ablation_signals", "variant,median_tput,median_qdelay", &rows);
+    bench::run_main("ablation_signals");
 }

@@ -1,106 +1,9 @@
 //! Fig. 10: RTT unfairness on a shared bottleneck.
 //!
-//! Four senders with propagation RTTs of 50/100/150/200 ms share a
-//! 10 Mbps link, sending empirical-length flows with 0.2 s mean off time.
-//! The y-axis is each sender's *normalized throughput share*
-//! (throughput ÷ the best sender's throughput). Paper finding: RemyCCs
-//! are RTT-unfair, "but more modestly than Cubic-over-sfqCoDel".
-
-use bench::*;
-use remy_sim::harness::Contender;
-use remy_sim::prelude::*;
-
-const RTTS_MS: [u64; 4] = [50, 100, 150, 200];
-
-/// Per-RTT mean throughput (and standard error) for one contender.
-fn rtt_profile(c: &Contender, runs: usize, secs: u64, seed: u64) -> Vec<(f64, f64)> {
-    let mut per_rtt: Vec<Vec<f64>> = vec![Vec::new(); RTTS_MS.len()];
-    for k in 0..runs {
-        let scenario = Scenario {
-            link: LinkSpec::constant(10.0),
-            queue: c.queue_spec(1000),
-            senders: RTTS_MS
-                .iter()
-                .map(|&ms| SenderConfig {
-                    rtt: Ns::from_millis(ms),
-                    traffic: TrafficSpec {
-                        on: OnSpec::empirical(),
-                        off_mean: Ns::from_millis(200),
-                        start_on: false,
-                    },
-                })
-                .collect(),
-            mss: 1500,
-            duration: Ns::from_secs(secs),
-            seed: seed + k as u64,
-            record_deliveries: false,
-        };
-        let ccs = (0..RTTS_MS.len()).map(|_| c.build_cc()).collect();
-        let router = c.router(&scenario.link, scenario.mss);
-        let r = Simulator::new(&scenario, ccs, router).run();
-        for (i, f) in r.flows.iter().enumerate() {
-            if f.was_active() {
-                per_rtt[i].push(f.throughput_mbps);
-            }
-        }
-    }
-    per_rtt
-        .iter()
-        .map(|v| (netsim::stats::mean(v), netsim::stats::std_err(v)))
-        .collect()
-}
+//! Compatibility wrapper: the experiment itself lives in the named
+//! registry (`remy_sim::experiments`) and is equally drivable with
+//! `remy-cli run fig10`.
 
 fn main() {
-    let budget = Budget::from_env();
-    let contenders = [
-        Contender::baseline(Scheme::CubicSfqCodel),
-        Contender::remy("RemyCC d=0.1", remy::assets::delta01()),
-        Contender::remy("RemyCC d=1", remy::assets::delta1()),
-        Contender::remy("RemyCC d=10", remy::assets::delta10()),
-    ];
-    println!(
-        "== Fig. 10 — normalized throughput share vs RTT ({} runs x {} s) ==",
-        budget.runs, budget.sim_secs
-    );
-    println!(
-        "{:<16} {:>14} {:>14} {:>14} {:>14}",
-        "scheme", "50 ms", "100 ms", "150 ms", "200 ms"
-    );
-    let mut rows = Vec::new();
-    for c in &contenders {
-        let prof = rtt_profile(c, budget.runs, budget.sim_secs, 10_101);
-        let best = prof
-            .iter()
-            .map(|&(m, _)| m)
-            .fold(f64::MIN, f64::max)
-            .max(1e-9);
-        let cells: Vec<String> = prof
-            .iter()
-            .map(|&(m, se)| format!("{:.3}±{:.3}", m / best, se / best))
-            .collect();
-        println!(
-            "{:<16} {:>14} {:>14} {:>14} {:>14}",
-            c.label(),
-            cells[0],
-            cells[1],
-            cells[2],
-            cells[3]
-        );
-        rows.push(format!(
-            "{},{}",
-            c.label(),
-            prof.iter()
-                .map(|&(m, se)| format!("{},{}", m / best, se / best))
-                .collect::<Vec<_>>()
-                .join(",")
-        ));
-        // Unfairness summary: share of the slowest (200 ms) flow.
-        let worst_share = prof[3].0 / best;
-        println!("  -> 200 ms flow keeps {worst_share:.2} of the best share");
-    }
-    write_rows_csv(
-        "fig10_rtt_fairness",
-        "scheme,share50,se50,share100,se100,share150,se150,share200,se200",
-        &rows,
-    );
+    bench::run_main("fig10");
 }

@@ -1,84 +1,9 @@
 //! Fig. 11: how helpful is prior knowledge about the network?
 //!
-//! Two RemyCCs — "1×" (link speed known exactly: 15 Mbps) and "10×"
-//! (designed for 4.7–47 Mbps) — and Cubic-over-sfqCoDel run over links
-//! whose true speed sweeps across and beyond the design ranges, n = 2,
-//! RTT 150 ms. The metric is the paper's y-axis:
-//! `log(normalized throughput) − log(delay)` per sender, where normalized
-//! throughput is the sender's share of its fair rate (link/2) and delay
-//! is the average RTT divided by the minimum possible (150 ms).
-//!
-//! Paper finding: the 1× RemyCC is best exactly at 15 Mbps but falls off
-//! fast; the 10× RemyCC beats Cubic/sfqCoDel across its whole shaded
-//! design range; both deteriorate once assumptions are violated.
-
-use bench::*;
-use remy_sim::harness::Contender;
-use remy_sim::prelude::*;
-
-const SPEEDS: [f64; 9] = [2.5, 4.7, 7.0, 10.0, 15.0, 22.0, 33.0, 47.0, 70.0];
-
-fn score(c: &Contender, mbps: f64, budget: Budget, seed: u64) -> f64 {
-    let cfg = Workload {
-        link: LinkSpec::constant(mbps),
-        queue_capacity: 1000,
-        n_senders: 2,
-        rtt: Ns::from_millis(150),
-        traffic: TrafficSpec::design_default(),
-        duration: Ns::from_secs(budget.sim_secs),
-        runs: budget.runs,
-        seed,
-    };
-    let o = remy_sim::harness::evaluate(c, &cfg);
-    // Per-sender mean of log(norm tput) − log(norm delay).
-    let fair = mbps / 2.0;
-    let mut total = 0.0;
-    let mut count = 0;
-    for (t, r) in o.throughput_samples.iter().zip(&o.rtt_samples) {
-        total += (t / fair).max(1e-6).ln() - (r / 150.0).max(1e-6).ln();
-        count += 1;
-    }
-    total / count.max(1) as f64
-}
+//! Compatibility wrapper: the experiment itself lives in the named
+//! registry (`remy_sim::experiments`) and is equally drivable with
+//! `remy-cli run fig11`.
 
 fn main() {
-    let budget = Budget::from_env();
-    let contenders = [
-        Contender::remy("RemyCC 1x", remy::assets::onex()),
-        Contender::remy("RemyCC 10x", remy::assets::tenx()),
-        Contender::baseline(Scheme::CubicSfqCodel),
-    ];
-    println!(
-        "== Fig. 11 — log(norm tput) − log(norm delay) vs link speed ({} runs x {} s) ==",
-        budget.runs, budget.sim_secs
-    );
-    print!("{:<16}", "scheme");
-    for s in SPEEDS {
-        print!(" {s:>7}");
-    }
-    println!("  (Mbps; 10x design range is 4.7–47)");
-    let mut rows = Vec::new();
-    for c in &contenders {
-        print!("{:<16}", c.label());
-        let mut cells = Vec::new();
-        for (i, &mbps) in SPEEDS.iter().enumerate() {
-            let v = score(c, mbps, budget, 11_000 + i as u64 * 17);
-            print!(" {v:>7.2}");
-            cells.push(format!("{v}"));
-        }
-        println!();
-        rows.push(format!("{},{}", c.label(), cells.join(",")));
-    }
-    write_rows_csv(
-        "fig11_prior",
-        &format!(
-            "scheme,{}",
-            SPEEDS
-                .iter()
-                .map(|s| format!("mbps_{s}"))
-                .collect::<Vec<_>>()
-                .join(",")
-        ),
-        &rows,
-    );
+    bench::run_main("fig11");
 }

@@ -1,52 +1,9 @@
-//! Fig. 3: the empirical flow-length distribution.
+//! Fig. 3: the empirical flow-length distribution vs the shifted-Pareto fit.
 //!
-//! The paper fits the ICSI trace's flow-length CDF to a shifted Pareto —
-//! "Pareto(x+40) [Xm = 147, alpha = 0.5]" — implying the distribution has
-//! no finite mean. This harness samples our generator and prints the CDF
-//! alongside the closed form, plus the tail exponent check.
-
-use bench::*;
-use netsim::rng::SimRng;
-use netsim::traffic::{empirical_flow_bytes, PARETO_ALPHA, PARETO_SHIFT, PARETO_XM};
+//! Compatibility wrapper: the experiment itself lives in the named
+//! registry (`remy_sim::experiments`) and is equally drivable with
+//! `remy-cli run fig3`.
 
 fn main() {
-    let n: usize = remy_sim::harness::runs_from_env(200_000);
-    let mut rng = SimRng::new(333);
-    // Draw raw (pre-16 kB-load) lengths to compare with the paper's fit.
-    let mut raw: Vec<f64> = (0..n)
-        .map(|_| (rng.pareto(PARETO_XM, PARETO_ALPHA) - PARETO_SHIFT).max(1.0))
-        .collect();
-    raw.sort_by(|a, b| a.partial_cmp(b).unwrap());
-
-    println!("== Fig. 3 — flow length CDF vs Pareto(Xm=147, alpha=0.5) fit ==");
-    println!("{:>12} {:>12} {:>12}", "bytes", "empirical", "closed form");
-    let mut rows = Vec::new();
-    for exp in 0..=7 {
-        for mant in [1.0, 3.0] {
-            let x = mant * 10f64.powi(exp);
-            if !(100.0..=1e7).contains(&x) {
-                continue;
-            }
-            let idx = raw.partition_point(|&v| v <= x);
-            let emp = idx as f64 / raw.len() as f64;
-            // CDF of the shifted Pareto: P(X ≤ x) = 1 − (Xm/(x+40))^α.
-            let cf = if x + PARETO_SHIFT < PARETO_XM {
-                0.0
-            } else {
-                1.0 - (PARETO_XM / (x + PARETO_SHIFT)).powf(PARETO_ALPHA)
-            };
-            println!("{x:>12.0} {emp:>12.4} {cf:>12.4}");
-            rows.push(format!("{x},{emp},{cf}"));
-        }
-    }
-    write_rows_csv("fig3_flowcdf", "bytes,empirical_cdf,closed_form_cdf", &rows);
-
-    // Sanity: with the evaluation's +16 kB loading term, flows are at
-    // least 16 kB.
-    let min_loaded = (0..1000)
-        .map(|_| empirical_flow_bytes(&mut rng, u64::MAX))
-        .min()
-        .unwrap();
-    println!("\nminimum loaded flow (with +16 kB term): {min_loaded} bytes");
-    println!("paper: distribution \"suggest[s] that the underlying distribution does not have finite mean\"");
+    bench::run_main("fig3");
 }

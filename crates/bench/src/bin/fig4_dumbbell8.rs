@@ -1,27 +1,9 @@
 //! Fig. 4: throughput–delay for every scheme on the classic dumbbell.
 //!
-//! 15 Mbps bottleneck, 150 ms RTT, n = 8 senders, each alternating
-//! between exponentially-distributed 100 kB flows and exponentially-
-//! distributed 0.5 s off times. Paper finding: the three RemyCCs define
-//! the efficient frontier, tracing the throughput/delay compromise as δ
-//! varies; Cubic is the most throughput-hungry/bloated human scheme,
-//! Vegas the most delay-conscious.
-
-use bench::*;
+//! Compatibility wrapper: the experiment itself lives in the named
+//! registry (`remy_sim::experiments`) and is equally drivable with
+//! `remy-cli run fig4`.
 
 fn main() {
-    let budget = Budget::from_env();
-    let cfg = dumbbell_workload(8, budget, 4001);
-    let outcomes: Vec<_> = standard_contenders()
-        .iter()
-        .map(|c| remy_sim::harness::evaluate(c, &cfg))
-        .collect();
-    print_outcomes(
-        &format!(
-            "Fig. 4 — dumbbell 15 Mbps, RTT 150 ms, n=8 ({} runs x {} s)",
-            budget.runs, budget.sim_secs
-        ),
-        &outcomes,
-    );
-    write_outcomes_csv("fig4_dumbbell8", &outcomes);
+    bench::run_main("fig4");
 }

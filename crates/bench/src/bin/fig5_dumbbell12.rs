@@ -1,32 +1,9 @@
 //! Fig. 5: the dumbbell with n = 12 senders and heavy-tailed flows.
 //!
-//! Flow lengths are drawn from the empirical ICSI distribution of Fig. 3
-//! (shifted Pareto + 16 kB), off times exponential with mean 0.2 s.
-//! Paper finding: the RemyCCs again mark the efficient frontier, with
-//! larger variance than Fig. 4 because of the heavy-tailed sending
-//! distribution (the paper plots ½-σ ellipses here).
-
-use bench::*;
-use remy_sim::prelude::*;
+//! Compatibility wrapper: the experiment itself lives in the named
+//! registry (`remy_sim::experiments`) and is equally drivable with
+//! `remy-cli run fig5`.
 
 fn main() {
-    let budget = Budget::from_env();
-    let mut cfg = dumbbell_workload(12, budget, 5001);
-    cfg.traffic = TrafficSpec {
-        on: OnSpec::empirical(),
-        off_mean: Ns::from_millis(200),
-        start_on: false,
-    };
-    let outcomes: Vec<_> = standard_contenders()
-        .iter()
-        .map(|c| remy_sim::harness::evaluate(c, &cfg))
-        .collect();
-    print_outcomes(
-        &format!(
-            "Fig. 5 — dumbbell 15 Mbps, n=12, ICSI flow lengths ({} runs x {} s)",
-            budget.runs, budget.sim_secs
-        ),
-        &outcomes,
-    );
-    write_outcomes_csv("fig5_dumbbell12", &outcomes);
+    bench::run_main("fig5");
 }

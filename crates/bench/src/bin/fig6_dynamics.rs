@@ -1,97 +1,9 @@
-//! Fig. 6: sequence plot of a RemyCC flow reacting to departing cross
-//! traffic.
+//! Fig. 6: sequence plot of a RemyCC flow reacting to departing cross traffic.
 //!
-//! Two RemyCC flows share a 15 Mbps / 150 ms dumbbell. Flow 1 stops
-//! mid-run; the paper's finding is that flow 0 "responds quickly to the
-//! departure of a competing flow by doubling its sending rate" — about
-//! one RTT after the departure. This harness prints the delivered-
-//! sequence-vs-time series and measures the rate step.
-
-use bench::*;
-use remy_sim::prelude::*;
-use std::sync::Arc;
+//! Compatibility wrapper: the experiment itself lives in the named
+//! registry (`remy_sim::experiments`) and is equally drivable with
+//! `remy-cli run fig6`.
 
 fn main() {
-    let budget = Budget::from_env();
-    let secs = budget.sim_secs.max(20);
-    let depart_at = Ns::from_secs(secs / 2);
-    let table = remy::assets::delta1();
-
-    // Flow 0: saturating for the whole run. Flow 1: on exactly until the
-    // departure instant (a timed on-period of fixed length).
-    let scenario = Scenario {
-        link: LinkSpec::constant(15.0),
-        queue: QueueSpec::DropTail { capacity: 1000 },
-        senders: vec![
-            SenderConfig {
-                rtt: Ns::from_millis(150),
-                traffic: TrafficSpec::saturating(),
-            },
-            SenderConfig {
-                rtt: Ns::from_millis(150),
-                traffic: TrafficSpec::saturating(),
-            },
-        ],
-        mss: 1500,
-        duration: Ns::from_secs(secs),
-        seed: 6,
-        record_deliveries: true,
-    };
-    // Flow 1 is on for exactly the first half of the run, then leaves.
-    let mut scenario = scenario;
-    scenario.senders[1].traffic = TrafficSpec {
-        on: OnSpec::ByTimeFixed { duration: depart_at },
-        off_mean: Ns::from_secs(10_000), // never comes back
-        start_on: true,
-    };
-
-    let ccs: Vec<Box<dyn netsim::cc::CongestionControl>> = vec![
-        Box::new(RemyCc::new(Arc::clone(&table)).with_name("RemyCC-0")),
-        Box::new(RemyCc::new(Arc::clone(&table)).with_name("RemyCC-1")),
-    ];
-    let results = Simulator::new(&scenario, ccs, None).run();
-
-    // Flow 1's actual departure is random (exponential with mean
-    // depart_at); find the instant its deliveries stop.
-    let flow1_last = results
-        .deliveries
-        .iter()
-        .filter(|d| d.flow == 1)
-        .map(|d| d.at)
-        .max()
-        .unwrap_or(Ns::ZERO);
-
-    // Delivered-sequence series for flow 0, sampled every 250 ms.
-    println!("== Fig. 6 — sequence plot data (flow 0), competitor departs ~{flow1_last} ==");
-    println!("{:>8} {:>10}", "t (s)", "seq");
-    let mut rows = Vec::new();
-    let step = Ns::from_millis(250);
-    let mut t = Ns::ZERO;
-    let mut idx = 0;
-    let flow0: Vec<_> = results.deliveries.iter().filter(|d| d.flow == 0).collect();
-    while t <= scenario.duration {
-        while idx < flow0.len() && flow0[idx].at <= t {
-            idx += 1;
-        }
-        let seq = if idx == 0 { 0 } else { flow0[idx - 1].seq };
-        println!("{:>8.2} {:>10}", t.as_secs_f64(), seq);
-        rows.push(format!("{},{}", t.as_secs_f64(), seq));
-        t += step;
-    }
-    write_rows_csv("fig6_dynamics", "t_secs,delivered_seq", &rows);
-
-    // Rate before vs. after the departure (1.5 s windows, skipping one
-    // RTT of reaction time).
-    let rate_in = |from: Ns, to: Ns| {
-        flow0.iter().filter(|d| d.at >= from && d.at < to).count() as f64
-            / (to - from).as_secs_f64()
-    };
-    let win = Ns::from_millis(1500);
-    let before = rate_in(flow1_last.saturating_sub(win), flow1_last);
-    let react = flow1_last + Ns::from_millis(300); // two RTTs
-    let after = rate_in(react, react + win);
-    println!(
-        "\nflow 0 delivery rate: {before:.0} pkt/s before departure, {after:.0} pkt/s after"
-    );
-    println!("ratio: {:.2}x (paper: ~2x within about one RTT)", after / before.max(1.0));
+    bench::run_main("fig6");
 }

@@ -1,24 +1,9 @@
 //! Fig. 7: Verizon-like LTE downlink, n = 4.
 //!
-//! The cellular link's rate varies over ~0–50 Mbps — far outside the
-//! RemyCC design range. Paper finding: the RemyCCs still define the
-//! efficient frontier at this degree of multiplexing.
-
-use bench::*;
+//! Compatibility wrapper: the experiment itself lives in the named
+//! registry (`remy_sim::experiments`) and is equally drivable with
+//! `remy-cli run fig7`.
 
 fn main() {
-    let budget = Budget::from_env();
-    let cfg = cellular_workload(traces::verizon_schedule(), "verizon-like", 4, budget, 7001);
-    let outcomes: Vec<_> = standard_contenders()
-        .iter()
-        .map(|c| remy_sim::harness::evaluate(c, &cfg))
-        .collect();
-    print_outcomes(
-        &format!(
-            "Fig. 7 — Verizon-like LTE, n=4 ({} runs x {} s)",
-            budget.runs, budget.sim_secs
-        ),
-        &outcomes,
-    );
-    write_outcomes_csv("fig7_lte4", &outcomes);
+    bench::run_main("fig7");
 }

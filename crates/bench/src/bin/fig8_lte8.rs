@@ -1,24 +1,9 @@
 //! Fig. 8: Verizon-like LTE downlink, n = 8.
 //!
-//! Paper finding: "as the degree of multiplexing increases, the schemes
-//! move closer together in performance and router-assisted schemes begin
-//! to perform better"; two of the three RemyCCs remain on the frontier.
-
-use bench::*;
+//! Compatibility wrapper: the experiment itself lives in the named
+//! registry (`remy_sim::experiments`) and is equally drivable with
+//! `remy-cli run fig8`.
 
 fn main() {
-    let budget = Budget::from_env();
-    let cfg = cellular_workload(traces::verizon_schedule(), "verizon-like", 8, budget, 8001);
-    let outcomes: Vec<_> = standard_contenders()
-        .iter()
-        .map(|c| remy_sim::harness::evaluate(c, &cfg))
-        .collect();
-    print_outcomes(
-        &format!(
-            "Fig. 8 — Verizon-like LTE, n=8 ({} runs x {} s)",
-            budget.runs, budget.sim_secs
-        ),
-        &outcomes,
-    );
-    write_outcomes_csv("fig8_lte8", &outcomes);
+    bench::run_main("fig8");
 }

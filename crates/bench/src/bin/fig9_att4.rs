@@ -1,23 +1,9 @@
 //! Fig. 9: AT&T-like LTE downlink, n = 4.
 //!
-//! A slower, dippier cellular trace than Fig. 7's. Paper finding: two of
-//! the RemyCCs sit on the efficient frontier.
-
-use bench::*;
+//! Compatibility wrapper: the experiment itself lives in the named
+//! registry (`remy_sim::experiments`) and is equally drivable with
+//! `remy-cli run fig9`.
 
 fn main() {
-    let budget = Budget::from_env();
-    let cfg = cellular_workload(traces::att_schedule(), "att-like", 4, budget, 9001);
-    let outcomes: Vec<_> = standard_contenders()
-        .iter()
-        .map(|c| remy_sim::harness::evaluate(c, &cfg))
-        .collect();
-    print_outcomes(
-        &format!(
-            "Fig. 9 — AT&T-like LTE, n=4 ({} runs x {} s)",
-            budget.runs, budget.sim_secs
-        ),
-        &outcomes,
-    );
-    write_outcomes_csv("fig9_att4", &outcomes);
+    bench::run_main("fig9");
 }

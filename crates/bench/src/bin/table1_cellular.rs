@@ -1,38 +1,9 @@
-//! §1 headline table (cellular): median speedup and delay reduction of
-//! RemyCC (δ = 0.1) over each scheme on the Verizon-like LTE downlink
-//! with four contending senders.
+//! §1 headline table (cellular): RemyCC speedups on the Verizon-like LTE downlink.
 //!
-//! Paper values: Compound 1.3×/1.3×, NewReno 1.5×/1.2×, Cubic 1.2×/1.7×,
-//! Vegas 2.2×/0.44× (Vegas has *lower* delay), Cubic/sfqCoDel 1.3×/1.3×,
-//! XCP 1.7×/0.78×.
-
-use bench::*;
+//! Compatibility wrapper: the experiment itself lives in the named
+//! registry (`remy_sim::experiments`) and is equally drivable with
+//! `remy-cli run table1_cellular`.
 
 fn main() {
-    let budget = Budget::from_env();
-    let cfg = cellular_workload(traces::verizon_schedule(), "verizon-like", 4, budget, 4242);
-    let contenders = standard_contenders();
-    let outcomes: Vec<_> = contenders
-        .iter()
-        .map(|c| remy_sim::harness::evaluate(c, &cfg))
-        .collect();
-    let reference = outcomes
-        .iter()
-        .find(|o| o.label == "RemyCC d=0.1")
-        .expect("RemyCC d=0.1 present")
-        .clone();
-    print_outcomes(
-        &format!(
-            "Table §1-b — Verizon-like LTE, n=4 ({} runs x {} s)",
-            budget.runs, budget.sim_secs
-        ),
-        &outcomes,
-    );
-    let baselines: Vec<_> = outcomes
-        .iter()
-        .filter(|o| !o.label.starts_with("RemyCC"))
-        .cloned()
-        .collect();
-    print_speedup_table(&reference, &baselines);
-    write_outcomes_csv("table1_cellular", &outcomes);
+    bench::run_main("table1_cellular");
 }

@@ -1,37 +1,9 @@
-//! §1 headline table (dumbbell): median speedup and median queueing-delay
-//! reduction of the throughput-leaning RemyCC (δ = 0.1) over each
-//! human-designed scheme, on the 15 Mbps / 150 ms / n = 8 dumbbell.
+//! §1 headline table (dumbbell): RemyCC speedups over each human-designed scheme.
 //!
-//! Paper values: Compound 2.1×/2.7×, NewReno 2.6×/2.2×, Cubic 1.7×/3.4×,
-//! Vegas 3.1×/1.2×, Cubic/sfqCoDel 1.4×/7.8×, XCP 1.4×/4.3×.
-
-use bench::*;
+//! Compatibility wrapper: the experiment itself lives in the named
+//! registry (`remy_sim::experiments`) and is equally drivable with
+//! `remy-cli run table1_dumbbell`.
 
 fn main() {
-    let budget = Budget::from_env();
-    let cfg = dumbbell_workload(8, budget, 4001);
-    let contenders = standard_contenders();
-    let outcomes: Vec<_> = contenders
-        .iter()
-        .map(|c| remy_sim::harness::evaluate(c, &cfg))
-        .collect();
-    let reference = outcomes
-        .iter()
-        .find(|o| o.label == "RemyCC d=0.1")
-        .expect("RemyCC d=0.1 present")
-        .clone();
-    print_outcomes(
-        &format!(
-            "Table §1-a — dumbbell 15 Mbps, RTT 150 ms, n=8 ({} runs x {} s)",
-            budget.runs, budget.sim_secs
-        ),
-        &outcomes,
-    );
-    let baselines: Vec<_> = outcomes
-        .iter()
-        .filter(|o| !o.label.starts_with("RemyCC"))
-        .cloned()
-        .collect();
-    print_speedup_table(&reference, &baselines);
-    write_outcomes_csv("table1_dumbbell", &outcomes);
+    bench::run_main("table1_dumbbell");
 }

@@ -1,133 +1,9 @@
-//! §5.6 tables: incremental deployment — one RemyCC flow vs. one
-//! Compound or Cubic flow on a 15 Mbps DropTail bottleneck, RTT 150 ms.
+//! §5.6 tables: incremental deployment — RemyCC vs Compound/Cubic head-to-head.
 //!
-//! Paper values (RemyCC vs Compound, empirical flows, mean off time
-//! 200/100/10 ms): 2.12/1.79, 2.18/2.75, 2.28/3.9 Mbps. (RemyCC vs
-//! Cubic, 100 kB / 1 MB flows, 0.5 s off): 2.04/1.31, 2.09/1.28 Mbps.
-//! Shape: RemyCC wins at low duty cycle, buffer-fillers at high.
-
-use bench::*;
-use remy_sim::prelude::*;
-use std::sync::Arc;
-
-struct Cell {
-    remy_mean: f64,
-    remy_sd: f64,
-    rival_mean: f64,
-    rival_sd: f64,
-}
-
-fn head_to_head(rival: Scheme, traffic: TrafficSpec, runs: usize, secs: u64, seed: u64) -> Cell {
-    let table = remy::assets::coexist();
-    let mut remy_t = Vec::new();
-    let mut rival_t = Vec::new();
-    for k in 0..runs {
-        let scenario = Scenario {
-            link: LinkSpec::constant(15.0),
-            queue: QueueSpec::DropTail { capacity: 1000 },
-            senders: vec![
-                SenderConfig {
-                    rtt: Ns::from_millis(150),
-                    traffic: traffic.clone(),
-                },
-                SenderConfig {
-                    rtt: Ns::from_millis(150),
-                    traffic: traffic.clone(),
-                },
-            ],
-            mss: 1500,
-            duration: Ns::from_secs(secs),
-            seed: seed + k as u64,
-            record_deliveries: false,
-        };
-        let ccs: Vec<Box<dyn netsim::cc::CongestionControl>> = vec![
-            Box::new(RemyCc::new(Arc::clone(&table)).with_name("RemyCC")),
-            rival.build_cc(),
-        ];
-        let r = Simulator::new(&scenario, ccs, None).run();
-        if r.flows[0].was_active() {
-            remy_t.push(r.flows[0].throughput_mbps);
-        }
-        if r.flows[1].was_active() {
-            rival_t.push(r.flows[1].throughput_mbps);
-        }
-    }
-    Cell {
-        remy_mean: netsim::stats::mean(&remy_t),
-        remy_sd: netsim::stats::std_dev(&remy_t),
-        rival_mean: netsim::stats::mean(&rival_t),
-        rival_sd: netsim::stats::std_dev(&rival_t),
-    }
-}
+//! Compatibility wrapper: the experiment itself lives in the named
+//! registry (`remy_sim::experiments`) and is equally drivable with
+//! `remy-cli run table_competing`.
 
 fn main() {
-    let budget = Budget::from_env();
-    let runs = budget.runs;
-    let secs = budget.sim_secs.max(30);
-    let mut rows = Vec::new();
-
-    println!(
-        "== §5.6-a — RemyCC vs Compound, empirical flows, off-time sweep ({runs} runs x {secs} s) =="
-    );
-    println!(
-        "{:>12} {:>20} {:>20}",
-        "off time", "RemyCC tput (sd)", "Compound tput (sd)"
-    );
-    for off_ms in [200u64, 100, 10] {
-        let c = head_to_head(
-            Scheme::Compound,
-            TrafficSpec {
-                on: OnSpec::empirical(),
-                off_mean: Ns::from_millis(off_ms),
-                start_on: false,
-            },
-            runs,
-            secs,
-            56_100 + off_ms,
-        );
-        println!(
-            "{:>9} ms {:>13.2} ({:.2}) {:>13.2} ({:.2})",
-            off_ms, c.remy_mean, c.remy_sd, c.rival_mean, c.rival_sd
-        );
-        rows.push(format!(
-            "compound,{off_ms},{},{},{},{}",
-            c.remy_mean, c.remy_sd, c.rival_mean, c.rival_sd
-        ));
-    }
-
-    println!(
-        "\n== §5.6-b — RemyCC vs Cubic, exponential flows, size sweep ({runs} runs x {secs} s) =="
-    );
-    println!(
-        "{:>12} {:>20} {:>20}",
-        "mean size", "RemyCC tput (sd)", "Cubic tput (sd)"
-    );
-    for mean_kb in [100u64, 1000] {
-        let c = head_to_head(
-            Scheme::Cubic,
-            TrafficSpec {
-                on: OnSpec::ByBytes {
-                    mean_bytes: mean_kb as f64 * 1000.0,
-                },
-                off_mean: Ns::from_millis(500),
-                start_on: false,
-            },
-            runs,
-            secs,
-            56_200 + mean_kb,
-        );
-        println!(
-            "{:>9} kB {:>13.2} ({:.2}) {:>13.2} ({:.2})",
-            mean_kb, c.remy_mean, c.remy_sd, c.rival_mean, c.rival_sd
-        );
-        rows.push(format!(
-            "cubic,{mean_kb},{},{},{},{}",
-            c.remy_mean, c.remy_sd, c.rival_mean, c.rival_sd
-        ));
-    }
-    write_rows_csv(
-        "table_competing",
-        "rival,param,remy_mean,remy_sd,rival_mean,rival_sd",
-        &rows,
-    );
+    bench::run_main("table_competing");
 }

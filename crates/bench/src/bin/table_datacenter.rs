@@ -1,76 +1,9 @@
-//! §5.5 table: DCTCP (ECN/RED gateway) vs. a RemyCC designed for
-//! `−1/throughput` running over plain DropTail, on a datacenter fabric.
+//! §5.5 table: DCTCP (ECN/RED gateway) vs a RemyCC over plain DropTail.
 //!
-//! Paper values (10 Gbps, RTT 4 ms, n = 64, exp(20 MB) transfers,
-//! exp(0.1 s) off): DCTCP 179/144 Mbps mean/median tput, 7.5/6.4 ms RTT;
-//! RemyCC 175/158 Mbps, 34/39 ms RTT — comparable throughput at lower
-//! variance, higher latency (no AQM).
-//!
-//! DESIGN.md documents the default 500 Mbps scaling (same queue-vs-BDP
-//! geometry); `REMY_DC_MBPS=10000` runs at paper scale.
-
-use bench::*;
-use remy_sim::harness::Contender;
-use remy_sim::prelude::*;
+//! Compatibility wrapper: the experiment itself lives in the named
+//! registry (`remy_sim::experiments`) and is equally drivable with
+//! `remy-cli run table_datacenter`.
 
 fn main() {
-    let budget = Budget::from_env().scaled(2, 2);
-    let mbps: f64 = std::env::var("REMY_DC_MBPS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(500.0);
-    let scale = mbps / 10_000.0;
-    let n = 32;
-    let cfg = Workload {
-        link: LinkSpec::constant(mbps),
-        queue_capacity: 1000,
-        n_senders: n,
-        rtt: Ns::from_millis(4),
-        traffic: TrafficSpec {
-            on: OnSpec::ByBytes {
-                mean_bytes: 20e6 * scale,
-            },
-            off_mean: Ns::from_millis(100),
-            start_on: false,
-        },
-        duration: Ns::from_secs(budget.sim_secs),
-        runs: budget.runs,
-        seed: 5500,
-    };
-    let k = ((65.0 * scale).round() as usize).max(4);
-    let contenders = [
-        Contender::baseline(Scheme::Dctcp { mark_threshold: k }),
-        Contender::remy("RemyCC (DropTail)", remy::assets::datacenter()),
-    ];
-    println!(
-        "== §5.5 — datacenter, {mbps} Mbps, RTT 4 ms, n={n}, exp({:.1} MB) transfers ({} runs x {} s) ==",
-        20.0 * scale,
-        budget.runs,
-        budget.sim_secs
-    );
-    println!(
-        "{:<20} {:>12} {:>12} {:>10} {:>10} {:>10}",
-        "scheme", "tput mean", "tput median", "tput sd", "rtt mean", "rtt med"
-    );
-    let mut rows = Vec::new();
-    for c in &contenders {
-        let o = remy_sim::harness::evaluate(c, &cfg);
-        let mean_t = netsim::stats::mean(&o.throughput_samples);
-        let sd_t = netsim::stats::std_dev(&o.throughput_samples);
-        let mean_r = netsim::stats::mean(&o.rtt_samples);
-        println!(
-            "{:<20} {:>9.1} M {:>9.1} M {:>10.1} {:>8.2}ms {:>8.2}ms",
-            o.label, mean_t, o.median_throughput_mbps, sd_t, mean_r, o.median_rtt_ms
-        );
-        rows.push(format!(
-            "{},{},{},{},{},{}",
-            o.label, mean_t, o.median_throughput_mbps, sd_t, mean_r, o.median_rtt_ms
-        ));
-    }
-    write_rows_csv(
-        "table_datacenter",
-        "scheme,tput_mean_mbps,tput_median_mbps,tput_sd,rtt_mean_ms,rtt_median_ms",
-        &rows,
-    );
-    println!("\npaper shape: comparable throughput, RemyCC lower variance, higher RTT.");
+    bench::run_main("table_datacenter");
 }

@@ -1,197 +1,36 @@
 //! Shared plumbing for the figure/table reproduction binaries.
 //!
 //! Every binary in `src/bin/` regenerates one table or figure from the
-//! paper's evaluation (§1, §5): it builds the paper's workload, runs each
-//! scheme through `remy_sim::harness`, prints the same rows/series the
-//! paper reports, and writes a CSV under `target/experiments/` for
-//! plotting. Budgets scale with two environment variables:
+//! paper's evaluation (§1, §5). Since the declarative-experiment redesign
+//! each binary is a 3-line wrapper over the named registry in
+//! [`remy_sim::experiments`] — `remy-cli run <name>` drives the same code,
+//! so both entry points emit byte-identical reports and CSVs (written
+//! under `target/experiments/`). Budgets scale with two environment
+//! variables:
 //!
 //! * `REMY_RUNS` — independent seeded runs per scheme (paper: ≥128);
 //! * `REMY_SIM_SECS` — simulated seconds per run (paper: 100).
 //!
 //! Defaults are chosen so the full suite completes in minutes on one core;
 //! EXPERIMENTS.md records the settings used for the checked-in numbers.
+//!
+//! This crate re-exports the helpers that used to live here so the
+//! criterion benches and any out-of-tree users keep compiling.
 
-use remy_sim::harness::{Contender, Outcome};
-use remy_sim::prelude::*;
-use std::io::Write as _;
-use std::path::PathBuf;
-
-/// Default per-scheme run count (`REMY_RUNS` overrides).
-pub const DEFAULT_RUNS: usize = 16;
-/// Default simulated seconds per run (`REMY_SIM_SECS` overrides).
-pub const DEFAULT_SIM_SECS: u64 = 30;
-
-/// Experiment budget resolved from the environment.
-#[derive(Clone, Copy, Debug)]
-pub struct Budget {
-    /// Runs per scheme.
-    pub runs: usize,
-    /// Simulated seconds per run.
-    pub sim_secs: u64,
-}
-
-impl Budget {
-    /// Resolve from `REMY_RUNS` / `REMY_SIM_SECS`.
-    pub fn from_env() -> Budget {
-        Budget {
-            runs: remy_sim::harness::runs_from_env(DEFAULT_RUNS),
-            sim_secs: remy_sim::harness::sim_secs_from_env(DEFAULT_SIM_SECS),
-        }
-    }
-
-    /// Scale down (used by heavyweight experiments like the datacenter).
-    pub fn scaled(self, runs_div: usize, secs_div: u64) -> Budget {
-        Budget {
-            runs: (self.runs / runs_div).max(2),
-            sim_secs: (self.sim_secs / secs_div).max(3),
-        }
-    }
-}
-
-/// The three general-purpose RemyCCs of the evaluation.
-pub fn remy_contenders() -> Vec<Contender> {
-    vec![
-        Contender::remy("RemyCC d=0.1", remy::assets::delta01()),
-        Contender::remy("RemyCC d=1", remy::assets::delta1()),
-        Contender::remy("RemyCC d=10", remy::assets::delta10()),
-    ]
-}
-
-/// The full Figs. 4–9 line-up: three RemyCCs plus every baseline.
-pub fn standard_contenders() -> Vec<Contender> {
-    let mut v = remy_contenders();
-    v.extend(Scheme::standard_suite().into_iter().map(Contender::baseline));
-    v
-}
-
-/// Pretty-print one experiment's outcomes as a throughput/delay table,
-/// flagging each scheme's 1-σ ellipse.
-pub fn print_outcomes(title: &str, outcomes: &[Outcome]) {
-    println!("\n== {title} ==");
-    println!(
-        "{:<16} {:>10} {:>12} {:>10} {:>22}",
-        "scheme", "tput Mbps", "qdelay ms", "rtt ms", "1-sigma (sd_t, sd_d)"
-    );
-    for o in outcomes {
-        println!(
-            "{:<16} {:>10.3} {:>12.2} {:>10.1} {:>12.3} {:>9.2}",
-            o.label,
-            o.median_throughput_mbps,
-            o.median_queue_delay_ms,
-            o.median_rtt_ms,
-            o.ellipse.sd_y,
-            o.ellipse.sd_x,
-        );
-    }
-}
-
-/// Print the §1-style "median speedup / median delay reduction" rows of a
-/// reference contender against the rest.
-pub fn print_speedup_table(reference: &Outcome, others: &[Outcome]) {
-    println!(
-        "\n{:<16} {:>14} {:>22}",
-        "vs protocol", "median speedup", "median delay reduction"
-    );
-    for o in others {
-        if o.label == reference.label {
-            continue;
-        }
-        let speedup = reference.median_throughput_mbps / o.median_throughput_mbps.max(1e-9);
-        let delay_red = o.median_queue_delay_ms / reference.median_queue_delay_ms.max(1e-9);
-        println!("{:<16} {:>12.2}x {:>20.2}x", o.label, speedup, delay_red);
-    }
-}
-
-/// Where experiment CSVs land.
-pub fn experiments_dir() -> PathBuf {
-    let dir = PathBuf::from("target/experiments");
-    std::fs::create_dir_all(&dir).expect("create target/experiments");
-    dir
-}
-
-/// Write a CSV of outcome rows for plotting.
-pub fn write_outcomes_csv(name: &str, outcomes: &[Outcome]) {
-    let path = experiments_dir().join(format!("{name}.csv"));
-    let mut f = std::fs::File::create(&path).expect("create csv");
-    writeln!(
-        f,
-        "scheme,median_tput_mbps,median_qdelay_ms,median_rtt_ms,mean_tput,mean_qdelay,sd_tput,sd_qdelay,corr,samples"
-    )
-    .unwrap();
-    for o in outcomes {
-        writeln!(
-            f,
-            "{},{},{},{},{},{},{},{},{},{}",
-            o.label.replace(',', ";"),
-            o.median_throughput_mbps,
-            o.median_queue_delay_ms,
-            o.median_rtt_ms,
-            o.ellipse.mean_y,
-            o.ellipse.mean_x,
-            o.ellipse.sd_y,
-            o.ellipse.sd_x,
-            o.ellipse.corr,
-            o.throughput_samples.len(),
-        )
-        .unwrap();
-    }
-    println!("(csv: {})", path.display());
-}
-
-/// Write arbitrary rows to a named CSV.
-pub fn write_rows_csv(name: &str, header: &str, rows: &[String]) {
-    let path = experiments_dir().join(format!("{name}.csv"));
-    let mut f = std::fs::File::create(&path).expect("create csv");
-    writeln!(f, "{header}").unwrap();
-    for r in rows {
-        writeln!(f, "{r}").unwrap();
-    }
-    println!("(csv: {})", path.display());
-}
-
-/// The Fig. 4 dumbbell workload (15 Mbps, 150 ms, exp(100 kB)/exp(0.5 s)),
-/// parameterized by the sender count.
-pub fn dumbbell_workload(n: usize, budget: Budget, seed: u64) -> Workload {
-    Workload {
-        link: LinkSpec::constant(15.0),
-        queue_capacity: 1000,
-        n_senders: n,
-        rtt: Ns::from_millis(150),
-        traffic: TrafficSpec::fig4(),
-        duration: Ns::from_secs(budget.sim_secs),
-        runs: budget.runs,
-        seed,
-    }
-}
-
-/// A cellular workload over the given delivery schedule (§5.3: RTT 50 ms,
-/// same on/off traffic as Fig. 4).
-pub fn cellular_workload(
-    schedule: netsim::link::DeliverySchedule,
-    label: &str,
-    n: usize,
-    budget: Budget,
-    seed: u64,
-) -> Workload {
-    Workload {
-        link: LinkSpec::Trace {
-            schedule: std::sync::Arc::new(schedule),
-            name: label.to_string(),
-        },
-        queue_capacity: 1000,
-        n_senders: n,
-        rtt: Ns::from_millis(50),
-        traffic: TrafficSpec::fig4(),
-        duration: Ns::from_secs(budget.sim_secs),
-        runs: budget.runs,
-        seed,
-    }
-}
+pub use remy_sim::experiments::{
+    cellular_workload, dumbbell_workload, remy_contender_specs, remy_contenders, run_main,
+    standard_contender_specs, standard_contenders,
+};
+pub use remy_sim::report::{
+    experiments_dir, print_outcomes, print_speedup_table, write_outcomes_csv, write_rows_csv,
+};
+pub use remy_sim::spec::{Budget, DEFAULT_RUNS, DEFAULT_SIM_SECS};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use remy_sim::experiments;
+    use remy_sim::spec::ContenderSpec;
 
     #[test]
     fn budgets_resolve_and_scale() {
@@ -219,16 +58,39 @@ mod tests {
     }
 
     #[test]
+    fn every_binary_name_is_registered() {
+        // Each src/bin wrapper passes its registry name to run_main; keep
+        // the two lists in sync.
+        for name in [
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "table1_dumbbell",
+            "table1_cellular",
+            "table_competing",
+            "table_datacenter",
+            "ablation_signals",
+            "ablation_loss",
+        ] {
+            assert!(
+                experiments::by_name(name).is_some(),
+                "binary name '{name}' missing from the registry"
+            );
+        }
+    }
+
+    #[test]
     fn workload_builders() {
-        let b = Budget {
-            runs: 2,
-            sim_secs: 5,
-        };
-        let w = dumbbell_workload(8, b, 1);
-        assert_eq!(w.n_senders, 8);
-        assert_eq!(w.duration, Ns::from_secs(5));
-        let c = cellular_workload(traces::verizon_schedule(), "v", 4, b, 1);
-        assert_eq!(c.n_senders, 4);
-        assert_eq!(c.rtt, Ns::from_millis(50));
+        let w = dumbbell_workload(8);
+        assert_eq!(w.n(), 8);
+        let c = cellular_workload("verizon-like", 4);
+        assert_eq!(c.n(), 4);
+        assert!(ContenderSpec::new("remy:delta1").build().is_ok());
     }
 }

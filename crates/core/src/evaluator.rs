@@ -112,11 +112,8 @@ impl Evaluator {
             // Merge sender usages in sender order: deterministic.
             let mut usage = Usage::new(tree.id_bound());
             for cc in ccs.iter_mut() {
-                if let Some(rc) = cc
-                    .as_any_mut()
-                    .and_then(|a| a.downcast_mut::<RemyCc>())
-                {
-                    usage.merge(&rc.take_usage());
+                if let Some(u) = cc.take_usage() {
+                    usage.merge(&u);
                 }
             }
             usage

@@ -61,13 +61,14 @@ pub mod action;
 pub mod assets;
 pub mod evaluator;
 pub mod inspect;
-pub mod json;
 pub mod memory;
 pub mod model;
 pub mod objective;
 pub mod optimizer;
 pub mod remycc;
 pub mod whisker;
+
+pub use netsim::json;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {

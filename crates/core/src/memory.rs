@@ -15,64 +15,13 @@
 
 use netsim::time::Ns;
 
+// The `Memory` point type itself lives in `netsim::cc` so that the
+// `CongestionControl::take_usage` hook can report per-rule statistics in
+// terms of it; the tracking logic below is what makes it a RemyCC.
+pub use netsim::cc::{Memory, MEMORY_MAX};
+
 /// EWMA gain for new samples.
 pub const EWMA_GAIN: f64 = 1.0 / 8.0;
-/// Upper bound of every memory axis: "any values of the three state
-/// variables (between 0 and 16,384)" (§4.3). EWMAs are in milliseconds.
-pub const MEMORY_MAX: f64 = 16_384.0;
-
-/// A point in the three-dimensional RemyCC memory space.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
-pub struct Memory {
-    /// EWMA of ACK interarrival times, milliseconds.
-    pub ack_ewma_ms: f64,
-    /// EWMA of echoed send-timestamp spacings, milliseconds.
-    pub send_ewma_ms: f64,
-    /// Latest RTT divided by the connection's minimum RTT (≥ 1 once
-    /// samples exist; 0 in the initial state).
-    pub rtt_ratio: f64,
-}
-
-impl Memory {
-    /// The well-known all-zeroes initial state every flow starts in.
-    pub const INITIAL: Memory = Memory {
-        ack_ewma_ms: 0.0,
-        send_ewma_ms: 0.0,
-        rtt_ratio: 0.0,
-    };
-
-    /// Component access by axis index (0 = ack_ewma, 1 = send_ewma,
-    /// 2 = rtt_ratio); the whisker tree treats memory as a 3-vector.
-    #[inline]
-    pub fn axis(&self, i: usize) -> f64 {
-        match i {
-            0 => self.ack_ewma_ms,
-            1 => self.send_ewma_ms,
-            2 => self.rtt_ratio,
-            _ => panic!("memory has 3 axes, asked for {i}"),
-        }
-    }
-
-    /// Mutable component access by axis index.
-    #[inline]
-    pub fn axis_mut(&mut self, i: usize) -> &mut f64 {
-        match i {
-            0 => &mut self.ack_ewma_ms,
-            1 => &mut self.send_ewma_ms,
-            2 => &mut self.rtt_ratio,
-            _ => panic!("memory has 3 axes, asked for {i}"),
-        }
-    }
-
-    /// Clamp every axis into the valid domain `[0, MEMORY_MAX]`.
-    pub fn clamped(mut self) -> Memory {
-        for i in 0..3 {
-            let v = self.axis(i);
-            *self.axis_mut(i) = v.clamp(0.0, MEMORY_MAX);
-        }
-        self
-    }
-}
 
 /// Tracks the raw signals and folds ACKs into a [`Memory`].
 #[derive(Clone, Debug, Default)]

@@ -38,7 +38,7 @@ pub struct RemyCc {
     window: f64,
     intersend: Ns,
     /// Per-sender usage accumulation; the evaluator collects it after a
-    /// run via [`RemyCc::take_usage`].
+    /// run via [`CongestionControl::take_usage`].
     local: Usage,
     name: String,
     /// Ablation hook: axes set to `false` are zeroed before lookup,
@@ -93,12 +93,6 @@ impl RemyCc {
     pub fn tree(&self) -> &WhiskerTree {
         &self.tree
     }
-
-    /// Drain the whisker-usage statistics accumulated so far (the
-    /// evaluator's statistics channel; replaces the old shared-mutex sink).
-    pub fn take_usage(&mut self) -> Usage {
-        std::mem::replace(&mut self.local, Usage::new(self.tree.id_bound()))
-    }
 }
 
 impl CongestionControl for RemyCc {
@@ -150,8 +144,14 @@ impl CongestionControl for RemyCc {
         &self.name
     }
 
-    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
-        Some(self)
+    /// Drain the whisker-usage statistics accumulated so far (the
+    /// evaluator's statistics channel; replaces the old shared-mutex sink
+    /// and the `as_any_mut` downcast hack before it).
+    fn take_usage(&mut self) -> Option<Usage> {
+        Some(std::mem::replace(
+            &mut self.local,
+            Usage::new(self.tree.id_bound()),
+        ))
     }
 }
 
@@ -252,9 +252,9 @@ mod tests {
         cc.on_ack(&ack(100, 100, 100));
         cc.on_ack(&ack(110, 100, 100));
         cc.on_ack(&ack(120, 100, 100));
-        let usage = cc.take_usage();
+        let usage = cc.take_usage().expect("RemyCC reports usage");
         assert_eq!(usage.count(0), 3);
-        assert_eq!(cc.take_usage().total(), 0, "take drains");
+        assert_eq!(cc.take_usage().unwrap().total(), 0, "take drains");
     }
 
     #[test]
@@ -290,7 +290,7 @@ mod tests {
         cc.on_ack(&ack(500, 100, 100));
         assert_eq!(cc.cwnd(), 2.0, "base default rule still applies elsewhere");
         // Usage is recorded against the real whisker id either way.
-        assert_eq!(cc.take_usage().count(rule), 1);
+        assert_eq!(cc.take_usage().unwrap().count(rule), 1);
         // The shared base table itself is untouched.
         assert_eq!(shared.lookup(high_ratio).action, Action::DEFAULT);
     }

@@ -612,86 +612,10 @@ impl FlatTree {
 // Usage statistics
 // ---------------------------------------------------------------------------
 
-/// Maximum memory samples retained per whisker for median estimation.
-pub const MAX_SAMPLES: usize = 128;
-
-/// Per-whisker usage collected during evaluation simulations: hit counts
-/// (most-used selection) and memory samples (median split points).
-#[derive(Clone, Debug, Default)]
-pub struct Usage {
-    counts: Vec<u64>,
-    samples: Vec<Vec<Memory>>,
-}
-
-impl Usage {
-    /// Table sized for whisker ids `0..id_bound`.
-    pub fn new(id_bound: usize) -> Usage {
-        Usage {
-            counts: vec![0; id_bound],
-            samples: vec![Vec::new(); id_bound],
-        }
-    }
-
-    /// Record one rule hit at the given memory point.
-    pub fn record(&mut self, id: usize, m: Memory) {
-        if id >= self.counts.len() {
-            self.counts.resize(id + 1, 0);
-            self.samples.resize(id + 1, Vec::new());
-        }
-        self.counts[id] += 1;
-        let s = &mut self.samples[id];
-        if s.len() < MAX_SAMPLES {
-            s.push(m);
-        } else {
-            // Reservoir-style thinning keyed on the count keeps samples
-            // spread across the whole run, deterministically.
-            let k = (self.counts[id] as usize) % MAX_SAMPLES;
-            if self.counts[id].is_multiple_of(7) {
-                s[k] = m;
-            }
-        }
-    }
-
-    /// Hits for a rule.
-    pub fn count(&self, id: usize) -> u64 {
-        self.counts.get(id).copied().unwrap_or(0)
-    }
-
-    /// Fold another usage table into this one.
-    pub fn merge(&mut self, other: &Usage) {
-        if other.counts.len() > self.counts.len() {
-            self.counts.resize(other.counts.len(), 0);
-            self.samples.resize(other.counts.len(), Vec::new());
-        }
-        for (i, &c) in other.counts.iter().enumerate() {
-            self.counts[i] += c;
-            let room = MAX_SAMPLES.saturating_sub(self.samples[i].len());
-            self.samples[i]
-                .extend(other.samples[i].iter().take(room).copied());
-        }
-    }
-
-    /// Component-wise median of the memory values that hit rule `id`
-    /// (the split point of §4.3 step 5). `None` if the rule was never hit.
-    pub fn median_memory(&self, id: usize) -> Option<Memory> {
-        let s = self.samples.get(id)?;
-        if s.is_empty() {
-            return None;
-        }
-        let mut m = Memory::INITIAL;
-        for i in 0..3 {
-            let mut axis: Vec<f64> = s.iter().map(|x| x.axis(i)).collect();
-            axis.sort_by(f64::total_cmp);
-            *m.axis_mut(i) = axis[axis.len() / 2];
-        }
-        Some(m)
-    }
-
-    /// Total hits across all rules.
-    pub fn total(&self) -> u64 {
-        self.counts.iter().sum()
-    }
-}
+// `Usage` lives next to the `CongestionControl` trait so that its
+// `take_usage` hook can return it without a downcast; the optimizer-side
+// consumers (most-used rule selection, median split points) stay here.
+pub use netsim::cc::{Usage, MAX_SAMPLES};
 
 #[cfg(test)]
 mod tests {

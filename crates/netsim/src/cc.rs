@@ -16,6 +16,156 @@
 use crate::packet::XcpHeader;
 use crate::time::Ns;
 
+// ---------------------------------------------------------------------------
+// Table-driven-scheme signal state and usage statistics
+// ---------------------------------------------------------------------------
+
+/// Upper bound of every memory axis: "any values of the three state
+/// variables (between 0 and 16,384)" (§4.3 of the paper).
+pub const MEMORY_MAX: f64 = 16_384.0;
+
+/// A point in the three-dimensional congestion-signal space a table-driven
+/// scheme (the RemyCC) tracks: ACK-interarrival EWMA, echoed-send-spacing
+/// EWMA, and the RTT over the connection minimum (§4.1 of the paper).
+///
+/// It lives here, next to [`CongestionControl`], because the trait's
+/// [`CongestionControl::take_usage`] hook reports per-rule statistics in
+/// terms of these points; the tracking logic that *produces* them stays in
+/// the `remy` crate (`remy::memory::MemoryTracker`).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Memory {
+    /// EWMA of ACK interarrival times, milliseconds.
+    pub ack_ewma_ms: f64,
+    /// EWMA of echoed send-timestamp spacings, milliseconds.
+    pub send_ewma_ms: f64,
+    /// Latest RTT divided by the connection's minimum RTT (≥ 1 once
+    /// samples exist; 0 in the initial state).
+    pub rtt_ratio: f64,
+}
+
+impl Memory {
+    /// The well-known all-zeroes initial state every flow starts in.
+    pub const INITIAL: Memory = Memory {
+        ack_ewma_ms: 0.0,
+        send_ewma_ms: 0.0,
+        rtt_ratio: 0.0,
+    };
+
+    /// Component access by axis index (0 = ack_ewma, 1 = send_ewma,
+    /// 2 = rtt_ratio); the whisker tree treats memory as a 3-vector.
+    #[inline]
+    pub fn axis(&self, i: usize) -> f64 {
+        match i {
+            0 => self.ack_ewma_ms,
+            1 => self.send_ewma_ms,
+            2 => self.rtt_ratio,
+            _ => panic!("memory has 3 axes, asked for {i}"),
+        }
+    }
+
+    /// Mutable component access by axis index.
+    #[inline]
+    pub fn axis_mut(&mut self, i: usize) -> &mut f64 {
+        match i {
+            0 => &mut self.ack_ewma_ms,
+            1 => &mut self.send_ewma_ms,
+            2 => &mut self.rtt_ratio,
+            _ => panic!("memory has 3 axes, asked for {i}"),
+        }
+    }
+
+    /// Clamp every axis into the valid domain `[0, MEMORY_MAX]`.
+    pub fn clamped(mut self) -> Memory {
+        for i in 0..3 {
+            let v = self.axis(i);
+            *self.axis_mut(i) = v.clamp(0.0, MEMORY_MAX);
+        }
+        self
+    }
+}
+
+/// Maximum memory samples retained per rule for median estimation.
+pub const MAX_SAMPLES: usize = 128;
+
+/// Per-rule usage collected during evaluation simulations: hit counts
+/// (most-used selection) and memory samples (median split points). Drained
+/// from a scheme after a run via [`CongestionControl::take_usage`].
+#[derive(Clone, Debug, Default)]
+pub struct Usage {
+    counts: Vec<u64>,
+    samples: Vec<Vec<Memory>>,
+}
+
+impl Usage {
+    /// Table sized for rule ids `0..id_bound`.
+    pub fn new(id_bound: usize) -> Usage {
+        Usage {
+            counts: vec![0; id_bound],
+            samples: vec![Vec::new(); id_bound],
+        }
+    }
+
+    /// Record one rule hit at the given memory point.
+    pub fn record(&mut self, id: usize, m: Memory) {
+        if id >= self.counts.len() {
+            self.counts.resize(id + 1, 0);
+            self.samples.resize(id + 1, Vec::new());
+        }
+        self.counts[id] += 1;
+        let s = &mut self.samples[id];
+        if s.len() < MAX_SAMPLES {
+            s.push(m);
+        } else {
+            // Reservoir-style thinning keyed on the count keeps samples
+            // spread across the whole run, deterministically.
+            let k = (self.counts[id] as usize) % MAX_SAMPLES;
+            if self.counts[id].is_multiple_of(7) {
+                s[k] = m;
+            }
+        }
+    }
+
+    /// Hits for a rule.
+    pub fn count(&self, id: usize) -> u64 {
+        self.counts.get(id).copied().unwrap_or(0)
+    }
+
+    /// Fold another usage table into this one.
+    pub fn merge(&mut self, other: &Usage) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+            self.samples.resize(other.counts.len(), Vec::new());
+        }
+        for (i, &c) in other.counts.iter().enumerate() {
+            self.counts[i] += c;
+            let room = MAX_SAMPLES.saturating_sub(self.samples[i].len());
+            self.samples[i]
+                .extend(other.samples[i].iter().take(room).copied());
+        }
+    }
+
+    /// Component-wise median of the memory values that hit rule `id`
+    /// (the split point of §4.3 step 5). `None` if the rule was never hit.
+    pub fn median_memory(&self, id: usize) -> Option<Memory> {
+        let s = self.samples.get(id)?;
+        if s.is_empty() {
+            return None;
+        }
+        let mut m = Memory::INITIAL;
+        for i in 0..3 {
+            let mut axis: Vec<f64> = s.iter().map(|x| x.axis(i)).collect();
+            axis.sort_by(f64::total_cmp);
+            *m.axis_mut(i) = axis[axis.len() / 2];
+        }
+        Some(m)
+    }
+
+    /// Total hits across all rules.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
 /// Everything a congestion-control module may consult when an ACK arrives.
 #[derive(Clone, Copy, Debug)]
 pub struct AckInfo {
@@ -99,10 +249,11 @@ pub trait CongestionControl: Send {
     /// Human-readable scheme name for reports.
     fn name(&self) -> &str;
 
-    /// Downcast hook for harnesses that need concrete access to a scheme
-    /// after a run (Remy's evaluator drains whisker-usage statistics this
-    /// way). Implementations wanting to be reachable return `Some(self)`.
-    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+    /// Drain the per-rule usage statistics accumulated during the run, if
+    /// this scheme collects any (Remy's evaluator reads whisker usage this
+    /// way after a simulation). Table-driven schemes return `Some` and
+    /// reset their accumulator; everything else keeps the default `None`.
+    fn take_usage(&mut self) -> Option<Usage> {
         None
     }
 }
@@ -180,6 +331,36 @@ mod tests {
         assert_eq!(cc.pacing(), Ns::from_millis(2));
         assert!(cc.xcp_header().is_none());
         assert!(!cc.ecn_capable());
+    }
+
+    #[test]
+    fn default_take_usage_is_none() {
+        let mut cc = FixedWindow::new(10.0);
+        assert!(cc.take_usage().is_none(), "non-table schemes report no usage");
+    }
+
+    #[test]
+    fn usage_records_merges_and_medians() {
+        let mut a = Usage::new(2);
+        a.record(0, Memory { ack_ewma_ms: 1.0, send_ewma_ms: 2.0, rtt_ratio: 1.5 });
+        a.record(0, Memory { ack_ewma_ms: 3.0, send_ewma_ms: 4.0, rtt_ratio: 2.5 });
+        let mut b = Usage::new(2);
+        b.record(1, Memory::INITIAL);
+        a.merge(&b);
+        assert_eq!(a.count(0), 2);
+        assert_eq!(a.count(1), 1);
+        assert_eq!(a.total(), 3);
+        let m = a.median_memory(0).expect("rule 0 was hit");
+        assert_eq!(m.ack_ewma_ms, 3.0, "upper median of two samples");
+        assert!(a.median_memory(5).is_none());
+    }
+
+    #[test]
+    fn memory_clamps_into_domain() {
+        let m = Memory { ack_ewma_ms: -1.0, send_ewma_ms: 1e9, rtt_ratio: 2.0 }.clamped();
+        assert_eq!(m.ack_ewma_ms, 0.0);
+        assert_eq!(m.send_ewma_ms, MEMORY_MAX);
+        assert_eq!(m.rtt_ratio, 2.0);
     }
 
     #[test]

@@ -1,12 +1,19 @@
 //! A small self-contained JSON value tree, parser, and pretty-printer.
 //!
-//! The rule-table asset format ([`crate::whisker::WhiskerTree::to_json`])
+//! The rule-table asset format (`remy::whisker::WhiskerTree::to_json`)
 //! originally rode on `serde_json`; the build environment for this
 //! reproduction has no registry access, so the handful of JSON features
 //! the format needs live here instead. Numbers are formatted with Rust's
 //! shortest-round-trip `Display`, so `f64` values survive a round trip
 //! bit-for-bit.
+//!
+//! The module also serves the declarative experiment layer: scenarios
+//! ([`crate::scenario::Scenario`]) and experiment specifications
+//! (`remy_sim::spec::ExperimentSpec`) serialize through the same value
+//! tree, using the [`u64_value`]/[`ns_value`] helpers for fields — seeds,
+//! nanosecond clocks — whose full integer range a JSON `f64` cannot carry.
 
+use crate::time::Ns;
 use std::fmt::Write as _;
 
 /// One JSON value.
@@ -48,13 +55,28 @@ impl Value {
         }
     }
 
-    /// This value as u64 (must be a non-negative integer-valued number).
+    /// This value as u64. Accepts an integer-valued number small enough
+    /// (≤ 2^53) for an `f64` to represent it exactly, or a decimal string
+    /// (how [`u64_value`] encodes the values that are not).
     pub fn as_u64(&self) -> Result<u64, String> {
+        if let Value::Str(s) = self {
+            return s
+                .parse::<u64>()
+                .map_err(|_| format!("expected unsigned integer, found '{s}'"));
+        }
         let n = self.as_f64()?;
-        if n < 0.0 || n.fract() != 0.0 || n > u64::MAX as f64 {
-            return Err(format!("expected unsigned integer, found {n}"));
+        if n < 0.0 || n.fract() != 0.0 || n > MAX_EXACT_F64_INT {
+            return Err(format!("expected exact unsigned integer, found {n}"));
         }
         Ok(n as u64)
+    }
+
+    /// This value as bool.
+    pub fn as_bool(&self) -> Result<bool, String> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, found {}", other.kind())),
+        }
     }
 
     /// This value as usize.
@@ -76,6 +98,21 @@ impl Value {
             Value::Arr(v) => Ok(v),
             other => Err(format!("expected array, found {}", other.kind())),
         }
+    }
+
+    /// Shorthand object constructor, preserving field order.
+    pub fn obj(fields: Vec<(&str, Value)>) -> Value {
+        Value::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Shorthand string constructor.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Shorthand number constructor.
+    pub fn num(n: f64) -> Value {
+        Value::Num(n)
     }
 
     fn kind(&self) -> &'static str {
@@ -179,6 +216,39 @@ fn write_string(out: &mut String, s: &str) {
         }
     }
     out.push('"');
+}
+
+/// Largest integer an `f64` represents exactly (2^53). Above this, JSON
+/// numbers silently lose low bits, so [`u64_value`] switches to strings.
+const MAX_EXACT_F64_INT: f64 = 9_007_199_254_740_992.0;
+
+/// Encode a `u64` losslessly: a JSON number when an `f64` holds it
+/// exactly, a decimal string otherwise (full-range seeds). [`Value::as_u64`]
+/// decodes both forms.
+pub fn u64_value(x: u64) -> Value {
+    if (x as f64) <= MAX_EXACT_F64_INT && x as f64 as u64 == x {
+        Value::Num(x as f64)
+    } else {
+        Value::Str(x.to_string())
+    }
+}
+
+/// Encode a nanosecond clock losslessly. [`Ns::MAX`] — the simulator's
+/// "infinitely far" sentinel — becomes `null`.
+pub fn ns_value(t: Ns) -> Value {
+    if t == Ns::MAX {
+        Value::Null
+    } else {
+        u64_value(t.0)
+    }
+}
+
+/// Decode a nanosecond clock written by [`ns_value`].
+pub fn ns_from(v: &Value) -> Result<Ns, String> {
+    match v {
+        Value::Null => Ok(Ns::MAX),
+        other => Ok(Ns(other.as_u64()?)),
+    }
 }
 
 /// Maximum container nesting the parser accepts (matches serde_json's
@@ -481,6 +551,40 @@ mod tests {
         assert_eq!(v.as_str().unwrap(), "δ=0.1 → π≈3.14159 ✓");
         let back = parse(&v.pretty()).expect("reparse");
         assert_eq!(v, back);
+    }
+
+    #[test]
+    fn u64_round_trips_full_range() {
+        for x in [0u64, 1, 16_384, 1u64 << 53, (1u64 << 53) + 1, u64::MAX] {
+            let v = u64_value(x);
+            let back = parse(&v.pretty()).expect("parse");
+            assert_eq!(back.as_u64().unwrap(), x, "{x}");
+        }
+        // Values beyond 2^53 must not silently ride a lossy f64.
+        assert!(matches!(u64_value(u64::MAX), Value::Str(_)));
+        assert!(Value::Num(9.1e15).as_u64().is_err());
+    }
+
+    #[test]
+    fn ns_round_trips_including_max_sentinel() {
+        for t in [Ns::ZERO, Ns::from_millis(150), Ns::from_secs(100), Ns::MAX] {
+            let v = ns_value(t);
+            assert_eq!(ns_from(&parse(&v.pretty()).unwrap()).unwrap(), t);
+        }
+        assert_eq!(ns_value(Ns::MAX), Value::Null);
+    }
+
+    #[test]
+    fn bool_and_builders() {
+        let v = Value::obj(vec![
+            ("on", Value::Bool(true)),
+            ("name", Value::str("x")),
+            ("n", Value::num(3.0)),
+        ]);
+        assert!(v.field("on").unwrap().as_bool().unwrap());
+        assert!(v.field("name").unwrap().as_bool().is_err());
+        assert_eq!(v.field("name").unwrap().as_str().unwrap(), "x");
+        assert_eq!(v.field("n").unwrap().as_f64().unwrap(), 3.0);
     }
 
     #[test]

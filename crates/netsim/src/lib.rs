@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod cc;
+pub mod json;
 pub mod link;
 pub mod metrics;
 pub mod packet;

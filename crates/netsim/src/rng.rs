@@ -46,6 +46,20 @@ impl SimRng {
         SimRng::new(base ^ stream.wrapping_mul(0xA24B_AED4_963E_E407))
     }
 
+    /// Derive an independent 64-bit seed for stream `stream` of base seed
+    /// `base`, through the same fork/split mechanism simulations use.
+    ///
+    /// Experiment harnesses derive per-run scenario seeds with this
+    /// instead of `base + k`: additive derivation made adjacent
+    /// experiments with nearby base seeds share traffic randomness
+    /// (`base = 4001` run 1 equals `base = 4002` run 0), and could
+    /// overflow. Here `base` passes through splitmix64 before mixing, so
+    /// nearby bases yield unrelated streams and no arithmetic can wrap.
+    pub fn split_seed(base: u64, stream: u64) -> u64 {
+        let mut parent = SimRng::new(base);
+        parent.fork(stream).next_u64()
+    }
+
     /// Next raw 64 random bits.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
@@ -213,6 +227,37 @@ mod tests {
         let _ = b.fork(99); // stream id must not affect the parent's state
         for _ in 0..100 {
             assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn split_seed_is_deterministic_and_stream_separated() {
+        assert_eq!(SimRng::split_seed(7, 3), SimRng::split_seed(7, 3));
+        let seeds: Vec<u64> = (0..64).map(|k| SimRng::split_seed(7, k)).collect();
+        for i in 0..seeds.len() {
+            for j in (i + 1)..seeds.len() {
+                assert_ne!(seeds[i], seeds[j], "streams {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn split_seed_unrelates_nearby_bases() {
+        // The failure mode of `seed + k`: experiment A at base 4001, run 1
+        // must not reuse experiment B at base 4002, run 0 — nor any other
+        // nearby (base, run) pair.
+        for base in [1u64, 4001, 4002, u64::MAX - 1, u64::MAX] {
+            for other in [base.wrapping_add(1), base.wrapping_add(2)] {
+                for k in 0..16u64 {
+                    for j in 0..16u64 {
+                        assert_ne!(
+                            SimRng::split_seed(base, k),
+                            SimRng::split_seed(other, j),
+                            "base {base} run {k} collides with base {other} run {j}"
+                        );
+                    }
+                }
+            }
         }
     }
 

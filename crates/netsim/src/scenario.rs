@@ -6,18 +6,37 @@
 //! construct scenarios, attach congestion-control factories, and run them
 //! through [`crate::sim::Simulator`].
 
+use crate::json::{self, Value};
 use crate::link::LinkSpec;
 use crate::queue::QueueSpec;
 use crate::time::Ns;
 use crate::traffic::TrafficSpec;
 
 /// Configuration of one sender/receiver pair.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SenderConfig {
     /// Two-way propagation delay to this sender's receiver (no queueing).
     pub rtt: Ns,
     /// The sender's offered-load process.
     pub traffic: TrafficSpec,
+}
+
+impl SenderConfig {
+    /// Serialize to a JSON value.
+    pub fn to_json_value(&self) -> Value {
+        Value::obj(vec![
+            ("rtt_ns", json::ns_value(self.rtt)),
+            ("traffic", self.traffic.to_json_value()),
+        ])
+    }
+
+    /// Deserialize a value written by [`SenderConfig::to_json_value`].
+    pub fn from_json_value(v: &Value) -> Result<SenderConfig, String> {
+        Ok(SenderConfig {
+            rtt: json::ns_from(v.field("rtt_ns")?)?,
+            traffic: TrafficSpec::from_json_value(v.field("traffic")?)?,
+        })
+    }
 }
 
 /// One complete dumbbell experiment configuration.
@@ -86,6 +105,56 @@ impl Scenario {
         self.record_deliveries = true;
         self
     }
+
+    /// Serialize to a JSON value. Everything that affects the simulation —
+    /// including the seed and any trace link's full delivery schedule — is
+    /// captured, so a serialized scenario pins a reproducible run.
+    pub fn to_json_value(&self) -> Value {
+        Value::obj(vec![
+            ("link", self.link.to_json_value()),
+            ("queue", self.queue.to_json_value()),
+            (
+                "senders",
+                Value::Arr(self.senders.iter().map(SenderConfig::to_json_value).collect()),
+            ),
+            ("mss", Value::num(self.mss as f64)),
+            ("duration_ns", json::ns_value(self.duration)),
+            ("seed", json::u64_value(self.seed)),
+            ("record_deliveries", Value::Bool(self.record_deliveries)),
+        ])
+    }
+
+    /// Deserialize a value written by [`Scenario::to_json_value`].
+    pub fn from_json_value(v: &Value) -> Result<Scenario, String> {
+        let senders = v
+            .field("senders")?
+            .as_arr()?
+            .iter()
+            .map(SenderConfig::from_json_value)
+            .collect::<Result<Vec<SenderConfig>, String>>()?;
+        if senders.is_empty() {
+            return Err("scenario needs at least one sender".to_string());
+        }
+        Ok(Scenario {
+            link: LinkSpec::from_json_value(v.field("link")?)?,
+            queue: QueueSpec::from_json_value(v.field("queue")?)?,
+            senders,
+            mss: v.field("mss")?.as_u64()? as u32,
+            duration: json::ns_from(v.field("duration_ns")?)?,
+            seed: v.field("seed")?.as_u64()?,
+            record_deliveries: v.field("record_deliveries")?.as_bool()?,
+        })
+    }
+
+    /// Serialize to pretty-printed JSON text.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().pretty()
+    }
+
+    /// Parse a scenario from JSON text.
+    pub fn from_json(text: &str) -> Result<Scenario, String> {
+        Scenario::from_json_value(&json::parse(text)?)
+    }
 }
 
 #[cfg(test)]
@@ -109,5 +178,162 @@ mod tests {
         let s2 = s.with_seed(9).with_delivery_log();
         assert_eq!(s2.seed, 9);
         assert!(s2.record_deliveries);
+    }
+
+    use crate::link::DeliverySchedule;
+    use crate::traffic::OnSpec;
+
+    fn every_queue_spec() -> Vec<QueueSpec> {
+        vec![
+            QueueSpec::DropTail { capacity: 1000 },
+            QueueSpec::Unlimited,
+            QueueSpec::Ecn {
+                capacity: 500,
+                mark_threshold: 20,
+            },
+            QueueSpec::Codel { capacity: 300 },
+            QueueSpec::SfqCodel {
+                capacity: 1000,
+                buckets: 64,
+            },
+            QueueSpec::Red {
+                capacity: 1000,
+                min_th: 5,
+                max_th: 15,
+            },
+            QueueSpec::RedEcn {
+                capacity: 1000,
+                min_th: 5,
+                max_th: 15,
+            },
+            QueueSpec::LossyDropTail {
+                capacity: 1000,
+                drop_probability: 0.013,
+                seed: u64::MAX - 3,
+            },
+        ]
+    }
+
+    fn every_traffic_spec() -> Vec<TrafficSpec> {
+        vec![
+            TrafficSpec::design_default(),
+            TrafficSpec::fig4(),
+            TrafficSpec::saturating(),
+            TrafficSpec {
+                on: OnSpec::ByTimeFixed {
+                    duration: Ns::from_secs(3),
+                },
+                off_mean: Ns::from_millis(200),
+                start_on: true,
+            },
+            TrafficSpec {
+                on: OnSpec::empirical(),
+                off_mean: Ns::from_millis(10),
+                start_on: false,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_queue_spec_round_trips() {
+        for q in every_queue_spec() {
+            let v = q.to_json_value();
+            let back =
+                QueueSpec::from_json_value(&crate::json::parse(&v.pretty()).unwrap()).unwrap();
+            assert_eq!(q, back, "{q:?}");
+        }
+    }
+
+    #[test]
+    fn every_traffic_spec_round_trips() {
+        for t in every_traffic_spec() {
+            let v = t.to_json_value();
+            let back =
+                TrafficSpec::from_json_value(&crate::json::parse(&v.pretty()).unwrap()).unwrap();
+            assert_eq!(t, back, "{t:?}");
+        }
+    }
+
+    #[test]
+    fn trace_link_round_trips_schedule_exactly() {
+        let l = LinkSpec::trace(
+            "verizon-like",
+            DeliverySchedule::new(
+                vec![Ns(400_000), Ns(900_000), Ns(1_400_000)],
+                Ns(100_000),
+            ),
+        );
+        let v = l.to_json_value();
+        let back = LinkSpec::from_json_value(&crate::json::parse(&v.pretty()).unwrap()).unwrap();
+        match (&l, &back) {
+            (
+                LinkSpec::Trace { schedule: a, name: an },
+                LinkSpec::Trace { schedule: b, name: bn },
+            ) => {
+                assert_eq!(an, bn);
+                assert_eq!(a.instants(), b.instants());
+                assert_eq!(a.tail_gap(), b.tail_gap());
+            }
+            _ => panic!("trace expected"),
+        }
+    }
+
+    #[test]
+    fn scenario_round_trips_through_text_json() {
+        for (qi, q) in every_queue_spec().into_iter().enumerate() {
+            let t = every_traffic_spec()[qi % 5].clone();
+            let mut s = Scenario::dumbbell(
+                LinkSpec::constant(15.0),
+                q,
+                3,
+                Ns::from_millis(150),
+                t,
+                Ns::from_secs(30),
+                // Full-range seeds must survive (split-derived seeds use
+                // all 64 bits).
+                u64::MAX - qi as u64,
+            );
+            s.senders[1].rtt = Ns::from_millis(50); // heterogeneous RTTs
+            if qi == 0 {
+                s = s.with_delivery_log();
+            }
+            let text = s.to_json();
+            let back = Scenario::from_json(&text).expect("parse");
+            assert_eq!(back.to_json(), text, "second round trip is identity");
+            assert_eq!(s.seed, back.seed);
+            assert_eq!(s.queue, back.queue);
+            assert_eq!(s.senders.len(), back.senders.len());
+            assert_eq!(s.senders[1].rtt, back.senders[1].rtt);
+            assert_eq!(s.senders[0].traffic, back.senders[0].traffic);
+            assert_eq!(s.duration, back.duration);
+            assert_eq!(s.record_deliveries, back.record_deliveries);
+        }
+    }
+
+    #[test]
+    fn scenario_json_rejects_corruption() {
+        let s = Scenario::dumbbell(
+            LinkSpec::constant(15.0),
+            QueueSpec::DropTail { capacity: 10 },
+            1,
+            Ns::from_millis(150),
+            TrafficSpec::fig4(),
+            Ns::from_secs(1),
+            1,
+        );
+        let text = s.to_json();
+        assert!(Scenario::from_json(&text.replace("drop_tail", "nonsense")).is_err());
+        assert!(Scenario::from_json(&text.replace("\"seed\"", "\"sead\"")).is_err());
+        assert!(Scenario::from_json("{}").is_err());
+        // Empty sender lists are rejected, not silently accepted.
+        let mut v = crate::json::parse(&text).unwrap();
+        if let Value::Obj(fields) = &mut v {
+            for (k, val) in fields.iter_mut() {
+                if k == "senders" {
+                    *val = Value::Arr(vec![]);
+                }
+            }
+        }
+        assert!(Scenario::from_json_value(&v).is_err());
     }
 }

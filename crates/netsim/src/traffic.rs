@@ -12,6 +12,7 @@
 //!   Fig. 3, which matches a shifted Pareto: `len = Pareto(Xm=147, α=0.5) −
 //!   40` bytes, plus 16 kB added "to ensure that the network is loaded".
 
+use crate::json::Value;
 use crate::rng::SimRng;
 use crate::time::Ns;
 
@@ -49,6 +50,50 @@ impl OnSpec {
     pub fn empirical() -> OnSpec {
         OnSpec::Empirical {
             cap_bytes: 3_300_000_000,
+        }
+    }
+
+    /// Serialize to a JSON value. A `ByTime` mean of [`Ns::MAX`] (the
+    /// always-on saturating source) round-trips as `null`.
+    pub fn to_json_value(&self) -> Value {
+        use crate::json::{ns_value, u64_value};
+        match *self {
+            OnSpec::ByTime { mean } => Value::obj(vec![
+                ("kind", Value::str("by_time")),
+                ("mean_ns", ns_value(mean)),
+            ]),
+            OnSpec::ByTimeFixed { duration } => Value::obj(vec![
+                ("kind", Value::str("by_time_fixed")),
+                ("duration_ns", ns_value(duration)),
+            ]),
+            OnSpec::ByBytes { mean_bytes } => Value::obj(vec![
+                ("kind", Value::str("by_bytes")),
+                ("mean_bytes", Value::num(mean_bytes)),
+            ]),
+            OnSpec::Empirical { cap_bytes } => Value::obj(vec![
+                ("kind", Value::str("empirical")),
+                ("cap_bytes", u64_value(cap_bytes)),
+            ]),
+        }
+    }
+
+    /// Deserialize a value written by [`OnSpec::to_json_value`].
+    pub fn from_json_value(v: &Value) -> Result<OnSpec, String> {
+        use crate::json::ns_from;
+        match v.field("kind")?.as_str()? {
+            "by_time" => Ok(OnSpec::ByTime {
+                mean: ns_from(v.field("mean_ns")?)?,
+            }),
+            "by_time_fixed" => Ok(OnSpec::ByTimeFixed {
+                duration: ns_from(v.field("duration_ns")?)?,
+            }),
+            "by_bytes" => Ok(OnSpec::ByBytes {
+                mean_bytes: v.field("mean_bytes")?.as_f64()?,
+            }),
+            "empirical" => Ok(OnSpec::Empirical {
+                cap_bytes: v.field("cap_bytes")?.as_u64()?,
+            }),
+            other => Err(format!("unknown on-period kind '{other}'")),
         }
     }
 }
@@ -114,6 +159,24 @@ impl TrafficSpec {
             off_mean: Ns::ZERO,
             start_on: true,
         }
+    }
+
+    /// Serialize to a JSON value.
+    pub fn to_json_value(&self) -> Value {
+        Value::obj(vec![
+            ("on", self.on.to_json_value()),
+            ("off_mean_ns", crate::json::ns_value(self.off_mean)),
+            ("start_on", Value::Bool(self.start_on)),
+        ])
+    }
+
+    /// Deserialize a value written by [`TrafficSpec::to_json_value`].
+    pub fn from_json_value(v: &Value) -> Result<TrafficSpec, String> {
+        Ok(TrafficSpec {
+            on: OnSpec::from_json_value(v.field("on")?)?,
+            off_mean: crate::json::ns_from(v.field("off_mean_ns")?)?,
+            start_on: v.field("start_on")?.as_bool()?,
+        })
     }
 }
 

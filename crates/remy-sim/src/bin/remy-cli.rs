@@ -1,16 +1,29 @@
-//! `remy-cli` — inspect, evaluate, and compare RemyCC rule tables.
+//! `remy-cli` — run experiments and inspect, evaluate, and compare RemyCC
+//! rule tables.
 //!
 //! ```text
-//! remy-cli inspect <table>                        # annotated rule dump
+//! remy-cli run <name|spec.json> [--runs N] [--secs S] [--out csv]
+//! remy-cli list-experiments               # the named experiment registry
+//! remy-cli spec <name> [--runs N] [--secs S]   # dump an experiment's JSON spec
+//! remy-cli inspect <table>                # annotated rule dump
 //! remy-cli eval <table> [delta] [specimens] [secs]  # score on the general model
 //! remy-cli compare <tableA> <tableB> [runs] [secs]  # head-to-head on Fig. 4
-//! remy-cli list                                   # shipped tables
+//! remy-cli list                           # shipped tables
 //! ```
 //!
 //! `<table>` is either a shipped asset name (`delta01`, `delta1`,
 //! `delta10`, `onex`, `tenx`, `datacenter`, `coexist`) or a path to a
 //! JSON rule table produced by `Remy::design` / `train_remycc`.
+//!
+//! `run` accepts a registry name (`remy-cli list-experiments`) or a path
+//! to a user-authored `ExperimentSpec` JSON file; `--runs`/`--secs`
+//! override the budget (default: `REMY_RUNS`/`REMY_SIM_SECS`, then the
+//! experiment's own default), and `--out csv` prints the CSV to stdout
+//! instead of the report + CSV file. `spec` prints at the fixed default
+//! budget (16 runs × 30 s) so its output is stable for golden diffs.
 
+use remy_sim::experiment::Experiment;
+use remy_sim::experiments;
 use remy_sim::prelude::*;
 use std::sync::Arc;
 
@@ -33,7 +46,10 @@ fn die(msg: &str) -> ! {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  remy-cli list\n  remy-cli inspect <table>\n  \
+        "usage:\n  remy-cli run <name|spec.json> [--runs N] [--secs S] [--out csv]\n  \
+         remy-cli list-experiments\n  \
+         remy-cli spec <name> [--runs N] [--secs S]\n  \
+         remy-cli list\n  remy-cli inspect <table>\n  \
          remy-cli eval <table> [delta=1] [specimens=8] [secs=15]\n  \
          remy-cli compare <tableA> <tableB> [runs=8] [secs=20]\n\n\
          options:\n  --jobs N   evaluation worker threads (default: REMY_JOBS or all cores);\n             \
@@ -81,44 +97,128 @@ fn cmd_eval(table_spec: &str, delta: f64, specimens: usize, secs: f64) {
 }
 
 fn cmd_compare(a_spec: &str, b_spec: &str, runs: usize, secs: u64) {
-    let cfg = Workload {
-        link: LinkSpec::constant(15.0),
-        queue_capacity: 1000,
-        n_senders: 8,
-        rtt: Ns::from_millis(150),
-        traffic: TrafficSpec::fig4(),
-        duration: Ns::from_secs(secs),
-        runs,
-        seed: 12,
-    };
+    let spec = ExperimentSpec::new(
+        "compare",
+        "Fig. 4 dumbbell head-to-head",
+        experiments::dumbbell_workload(8),
+        vec![],
+        Budget { runs, sim_secs: secs },
+        12,
+    );
     println!(
         "Fig. 4 dumbbell (15 Mbps, 150 ms, n=8), {runs} runs x {secs} s:"
     );
-    for (name, spec) in [(a_spec, a_spec), (b_spec, b_spec)] {
-        let c = Contender::remy(name.to_string(), load(spec));
-        println!("{}", evaluate(&c, &cfg).row());
+    let point = &spec.points()[0];
+    for table in [a_spec, b_spec] {
+        let c = Contender::remy(table.to_string(), load(table));
+        let scenarios = spec
+            .scenarios_at(0, point, &c)
+            .unwrap_or_else(|e| die(&e));
+        println!("{}", evaluate_scenarios(&c, &scenarios).row());
+    }
+}
+
+fn cmd_list_experiments() {
+    println!("{:<18} {:<22} description", "name", "csv");
+    for e in experiments::all() {
+        println!("{:<18} {:<22} {}", e.name, e.csv, e.about);
+    }
+    println!("\nrun one with:   remy-cli run <name> [--runs N] [--secs S]");
+    println!("dump its spec:  remy-cli spec <name>");
+}
+
+fn cmd_spec(name: &str, runs: Option<usize>, secs: Option<u64>) {
+    let entry = experiments::by_name(name)
+        .unwrap_or_else(|| die(&format!("unknown experiment '{name}'")));
+    let mut budget = Budget::default_fixed();
+    if let Some(r) = runs {
+        budget.runs = r;
+    }
+    if let Some(s) = secs {
+        budget.sim_secs = s;
+    }
+    print!("{}", entry.spec(budget).to_json());
+}
+
+fn cmd_run(target: &str, runs: Option<usize>, secs: Option<u64>, out_csv: bool) {
+    let report = if let Some(entry) = experiments::by_name(target) {
+        let mut budget = entry.default_budget();
+        if let Some(r) = runs {
+            budget.runs = r;
+        }
+        if let Some(s) = secs {
+            budget.sim_secs = s;
+        }
+        entry
+            .run(&entry.spec(budget))
+            .unwrap_or_else(|e| die(&format!("{target}: {e}")))
+    } else if std::path::Path::new(target).exists() {
+        let text = std::fs::read_to_string(target)
+            .unwrap_or_else(|e| die(&format!("cannot read '{target}': {e}")));
+        let mut spec = ExperimentSpec::from_json(&text)
+            .unwrap_or_else(|e| die(&format!("cannot parse '{target}': {e}")));
+        if let Some(r) = runs {
+            spec.budget.runs = r;
+        }
+        if let Some(s) = secs {
+            spec.budget.sim_secs = s;
+        }
+        // A spec dumped from the registry keeps its custom presentation
+        // (Fig. 3's CDF, Fig. 6's sequence plot, …) by dispatching through
+        // its registry entry; unknown names run the generic engine.
+        match experiments::by_name(&spec.name) {
+            Some(entry) => entry
+                .run(&spec)
+                .unwrap_or_else(|e| die(&format!("{target}: {e}"))),
+            None => Experiment::new(spec)
+                .run()
+                .unwrap_or_else(|e| die(&format!("{target}: {e}")))
+                .report(),
+        }
+    } else {
+        die(&format!(
+            "'{target}' is neither a registered experiment nor a spec file \
+             (see `remy-cli list-experiments`)"
+        ));
+    };
+    if out_csv {
+        report.print_csv();
+    } else {
+        report.print();
+        report.write_csv();
     }
 }
 
 fn main() {
     let mut args: Vec<String> = Vec::new();
+    let mut runs: Option<usize> = None;
+    let mut secs: Option<u64> = None;
+    let mut out_csv = false;
     let mut raw = std::env::args().skip(1);
     while let Some(a) = raw.next() {
-        match a.as_str() {
-            "--jobs" => {
-                let n = raw
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| die("--jobs needs a number"));
-                remy::evaluator::set_jobs(n);
+        let mut flag = |name: &str| -> Option<String> {
+            if a == name {
+                Some(raw.next().unwrap_or_else(|| {
+                    die(&format!("{name} needs a value"))
+                }))
+            } else {
+                a.strip_prefix(&format!("{name}=")).map(str::to_string)
             }
-            s if s.starts_with("--jobs=") => {
-                let n = s["--jobs=".len()..]
-                    .parse()
-                    .unwrap_or_else(|_| die("--jobs needs a number"));
-                remy::evaluator::set_jobs(n);
+        };
+        if let Some(v) = flag("--jobs") {
+            let n = v.parse().unwrap_or_else(|_| die("--jobs needs a number"));
+            remy::evaluator::set_jobs(n);
+        } else if let Some(v) = flag("--runs") {
+            runs = Some(v.parse().unwrap_or_else(|_| die("--runs needs a number")));
+        } else if let Some(v) = flag("--secs") {
+            secs = Some(v.parse().unwrap_or_else(|_| die("--secs needs a number")));
+        } else if let Some(v) = flag("--out") {
+            match v.as_str() {
+                "csv" => out_csv = true,
+                other => die(&format!("unknown output format '{other}'")),
             }
-            _ => args.push(a),
+        } else {
+            args.push(a);
         }
     }
     match args.first().map(String::as_str) {
@@ -127,6 +227,15 @@ fn main() {
                 let t = remy::assets::by_name(name).expect("shipped");
                 println!("{name:<12} {:>4} rules  {}", t.len(), t.provenance);
             }
+        }
+        Some("list-experiments") => cmd_list_experiments(),
+        Some("spec") => {
+            let n = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            cmd_spec(n, runs, secs);
+        }
+        Some("run") => {
+            let t = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            cmd_run(t, runs, secs, out_csv);
         }
         Some("inspect") => {
             let t = args.get(1).map(String::as_str).unwrap_or_else(|| usage());

@@ -1,0 +1,1228 @@
+//! The named experiment registry: every figure and table reproduction of
+//! the paper's evaluation as a declarative [`ExperimentSpec`] plus (where
+//! the paper's presentation needs it) a custom report renderer.
+//!
+//! `by_name("fig4")` returns the entry; [`run_named`] expands and executes
+//! it; `remy-cli run <name>` and the 3-line `bench` binaries both go
+//! through exactly this path, so their output is byte-identical. See
+//! EXPERIMENTS.md for the catalogue and the budgets used for checked-in
+//! numbers.
+
+use crate::experiment::Experiment;
+use crate::harness::{runs_from_env, sim_secs_from_env, Contender};
+use crate::report::ExperimentReport;
+use crate::spec::{
+    Budget, ContenderSpec, ExperimentSpec, LinkRef, SweepAxis, WorkloadSpec, DEFAULT_SIM_SECS,
+};
+use netsim::rng::SimRng;
+use netsim::scenario::SenderConfig;
+use netsim::sim::Simulator;
+use netsim::stats::{mean, std_dev, std_err};
+use netsim::time::Ns;
+use netsim::traffic::{empirical_flow_bytes, OnSpec, TrafficSpec};
+use netsim::traffic::{PARETO_ALPHA, PARETO_SHIFT, PARETO_XM};
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------------
+// Contender line-ups and workload templates
+// ---------------------------------------------------------------------------
+
+/// The three general-purpose RemyCCs of the evaluation, as specs.
+pub fn remy_contender_specs() -> Vec<ContenderSpec> {
+    vec![
+        ContenderSpec::new("remy:delta01"),
+        ContenderSpec::new("remy:delta1"),
+        ContenderSpec::new("remy:delta10"),
+    ]
+}
+
+/// The full Figs. 4–9 line-up: three RemyCCs plus every baseline.
+pub fn standard_contender_specs() -> Vec<ContenderSpec> {
+    let mut v = remy_contender_specs();
+    for name in ["newreno", "vegas", "cubic", "compound", "cubic+sfqcodel", "xcp"] {
+        v.push(ContenderSpec::new(name));
+    }
+    v
+}
+
+/// The three general-purpose RemyCCs, built (legacy helper).
+pub fn remy_contenders() -> Vec<Contender> {
+    remy_contender_specs()
+        .iter()
+        .map(|c| c.build().expect("shipped tables"))
+        .collect()
+}
+
+/// The full Figs. 4–9 line-up, built (legacy helper).
+pub fn standard_contenders() -> Vec<Contender> {
+    standard_contender_specs()
+        .iter()
+        .map(|c| c.build().expect("shipped tables"))
+        .collect()
+}
+
+/// The Fig. 4 dumbbell workload (15 Mbps, 150 ms, exp(100 kB)/exp(0.5 s)),
+/// parameterized by the sender count.
+pub fn dumbbell_workload(n: usize) -> WorkloadSpec {
+    WorkloadSpec::uniform(
+        LinkRef::constant(15.0),
+        1000,
+        n,
+        Ns::from_millis(150),
+        TrafficSpec::fig4(),
+    )
+}
+
+/// A cellular workload over a named trace (§5.3: RTT 50 ms, same on/off
+/// traffic as Fig. 4).
+pub fn cellular_workload(trace: &str, n: usize) -> WorkloadSpec {
+    WorkloadSpec::uniform(
+        LinkRef::named_trace(trace),
+        1000,
+        n,
+        Ns::from_millis(50),
+        TrafficSpec::fig4(),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Registry plumbing
+// ---------------------------------------------------------------------------
+
+enum Runner {
+    /// Run the spec through [`Experiment`] and render the generic report.
+    Generic,
+    /// Bespoke presentation (sequence plots, RTT profiles, score sweeps).
+    Custom(fn(&ExperimentSpec) -> Result<ExperimentReport, String>),
+}
+
+/// One registered figure/table reproduction.
+pub struct NamedExperiment {
+    /// Registry key (`remy-cli run <name>`).
+    pub name: &'static str,
+    /// CSV file stem under `target/experiments/` (kept from the original
+    /// standalone binaries, so plotting scripts keep working).
+    pub csv: &'static str,
+    /// One-line description for `remy-cli list-experiments`.
+    pub about: &'static str,
+    default_budget: fn() -> Budget,
+    spec_fn: fn(Budget) -> ExperimentSpec,
+    runner: Runner,
+}
+
+impl NamedExperiment {
+    /// The budget this experiment runs at when none is given: the
+    /// `REMY_RUNS`/`REMY_SIM_SECS` environment plus per-experiment
+    /// adjustments (the datacenter scales down, Fig. 6 needs ≥ 20 s,
+    /// Fig. 3 samples 200 000 flows).
+    pub fn default_budget(&self) -> Budget {
+        (self.default_budget)()
+    }
+
+    /// The experiment's declarative spec at a given budget.
+    pub fn spec(&self, budget: Budget) -> ExperimentSpec {
+        (self.spec_fn)(budget)
+    }
+
+    /// Execute a spec (normally one produced by [`NamedExperiment::spec`],
+    /// possibly with an adjusted budget) and render the report.
+    pub fn run(&self, spec: &ExperimentSpec) -> Result<ExperimentReport, String> {
+        let mut rep = match self.runner {
+            Runner::Generic => Experiment::new(spec.clone()).run()?.report(),
+            Runner::Custom(f) => f(spec)?,
+        };
+        rep.csv_name = self.csv.to_string();
+        Ok(rep)
+    }
+}
+
+/// Every registered experiment, in catalogue order.
+pub fn all() -> &'static [NamedExperiment] {
+    &REGISTRY
+}
+
+/// Look an experiment up by registry name.
+pub fn by_name(name: &str) -> Option<&'static NamedExperiment> {
+    REGISTRY.iter().find(|e| e.name == name)
+}
+
+/// Expand and run a named experiment at the given budget.
+pub fn run_named(name: &str, budget: Budget) -> Result<ExperimentReport, String> {
+    let entry = by_name(name).ok_or_else(|| {
+        format!(
+            "unknown experiment '{name}' (see `remy-cli list-experiments`)"
+        )
+    })?;
+    entry.run(&entry.spec(budget))
+}
+
+/// Entry point for the 3-line figure binaries: resolve the budget from the
+/// environment, run, print the report, write the CSV.
+pub fn run_main(name: &str) {
+    let entry = by_name(name).unwrap_or_else(|| {
+        eprintln!("unknown experiment '{name}'");
+        std::process::exit(2);
+    });
+    match entry.run(&entry.spec(entry.default_budget())) {
+        Ok(rep) => {
+            rep.print();
+            rep.write_csv();
+        }
+        Err(e) => {
+            eprintln!("{name}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn env_budget() -> Budget {
+    Budget::from_env()
+}
+
+// ---------------------------------------------------------------------------
+// The catalogue
+// ---------------------------------------------------------------------------
+
+static REGISTRY: [NamedExperiment; 15] = [
+    NamedExperiment {
+        name: "fig3",
+        csv: "fig3_flowcdf",
+        about: "empirical flow-length CDF vs the shifted-Pareto fit",
+        default_budget: || Budget {
+            runs: runs_from_env(200_000),
+            sim_secs: sim_secs_from_env(DEFAULT_SIM_SECS),
+        },
+        spec_fn: spec_fig3,
+        runner: Runner::Custom(run_fig3),
+    },
+    NamedExperiment {
+        name: "fig4",
+        csv: "fig4_dumbbell8",
+        about: "throughput-delay, dumbbell 15 Mbps / 150 ms / n=8",
+        default_budget: env_budget,
+        spec_fn: spec_fig4,
+        runner: Runner::Generic,
+    },
+    NamedExperiment {
+        name: "fig5",
+        csv: "fig5_dumbbell12",
+        about: "dumbbell n=12 with ICSI heavy-tailed flow lengths",
+        default_budget: env_budget,
+        spec_fn: spec_fig5,
+        runner: Runner::Generic,
+    },
+    NamedExperiment {
+        name: "fig6",
+        csv: "fig6_dynamics",
+        about: "sequence plot: RemyCC reacting to a departing competitor (single run)",
+        default_budget: || {
+            let b = Budget::from_env();
+            // One scenario is the whole experiment; the default duration
+            // leaves room for the half-time departure and the reaction
+            // windows. An explicit --secs is honored as-is.
+            Budget {
+                runs: 1,
+                sim_secs: b.sim_secs.max(20),
+            }
+        },
+        spec_fn: spec_fig6,
+        runner: Runner::Custom(run_fig6),
+    },
+    NamedExperiment {
+        name: "fig7",
+        csv: "fig7_lte4",
+        about: "Verizon-like LTE downlink, n=4",
+        default_budget: env_budget,
+        spec_fn: spec_fig7,
+        runner: Runner::Generic,
+    },
+    NamedExperiment {
+        name: "fig8",
+        csv: "fig8_lte8",
+        about: "Verizon-like LTE downlink, n=8",
+        default_budget: env_budget,
+        spec_fn: spec_fig8,
+        runner: Runner::Generic,
+    },
+    NamedExperiment {
+        name: "fig9",
+        csv: "fig9_att4",
+        about: "AT&T-like LTE downlink, n=4",
+        default_budget: env_budget,
+        spec_fn: spec_fig9,
+        runner: Runner::Generic,
+    },
+    NamedExperiment {
+        name: "fig10",
+        csv: "fig10_rtt_fairness",
+        about: "RTT fairness: normalized share at 50/100/150/200 ms",
+        default_budget: env_budget,
+        spec_fn: spec_fig10,
+        runner: Runner::Custom(run_fig10),
+    },
+    NamedExperiment {
+        name: "fig11",
+        csv: "fig11_prior",
+        about: "value of prior knowledge: 1x/10x RemyCCs across link speeds",
+        default_budget: env_budget,
+        spec_fn: spec_fig11,
+        runner: Runner::Custom(run_fig11),
+    },
+    NamedExperiment {
+        name: "table1_dumbbell",
+        csv: "table1_dumbbell",
+        about: "§1 headline speedups on the dumbbell",
+        default_budget: env_budget,
+        spec_fn: spec_table1_dumbbell,
+        runner: Runner::Generic,
+    },
+    NamedExperiment {
+        name: "table1_cellular",
+        csv: "table1_cellular",
+        about: "§1 headline speedups on the Verizon-like LTE link",
+        default_budget: env_budget,
+        spec_fn: spec_table1_cellular,
+        runner: Runner::Generic,
+    },
+    NamedExperiment {
+        name: "table_competing",
+        csv: "table_competing",
+        about: "§5.6 incremental deployment: RemyCC vs Compound/Cubic head-to-head",
+        default_budget: || {
+            let b = Budget::from_env();
+            Budget {
+                runs: b.runs,
+                sim_secs: b.sim_secs.max(30),
+            }
+        },
+        spec_fn: spec_table_competing,
+        runner: Runner::Custom(run_table_competing),
+    },
+    NamedExperiment {
+        name: "table_datacenter",
+        csv: "table_datacenter",
+        about: "§5.5 datacenter: DCTCP+ECN vs RemyCC over DropTail",
+        default_budget: || Budget::from_env().scaled(2, 2),
+        spec_fn: spec_table_datacenter,
+        runner: Runner::Custom(run_table_datacenter),
+    },
+    NamedExperiment {
+        name: "ablation_signals",
+        csv: "ablation_signals",
+        about: "mask each RemyCC congestion signal and measure the cost",
+        default_budget: env_budget,
+        spec_fn: spec_ablation_signals,
+        runner: Runner::Custom(run_ablation_signals),
+    },
+    NamedExperiment {
+        name: "ablation_loss",
+        csv: "ablation_loss",
+        about: "robustness to stochastic non-congestive loss",
+        default_budget: env_budget,
+        spec_fn: spec_ablation_loss,
+        runner: Runner::Custom(run_ablation_loss),
+    },
+];
+
+// ---------------------------------------------------------------------------
+// Specs
+// ---------------------------------------------------------------------------
+
+fn spec_fig3(budget: Budget) -> ExperimentSpec {
+    // The spec's workload documents the traffic model whose flow-length
+    // distribution Fig. 3 samples (the Fig. 5 senders); the budget's
+    // `runs` is the sample count.
+    ExperimentSpec::new(
+        "fig3",
+        "Fig. 3 — flow length CDF vs Pareto(Xm=147, alpha=0.5) fit",
+        WorkloadSpec::uniform(
+            LinkRef::constant(15.0),
+            1000,
+            1,
+            Ns::from_millis(150),
+            TrafficSpec {
+                on: OnSpec::empirical(),
+                off_mean: Ns::from_millis(200),
+                start_on: false,
+            },
+        ),
+        vec![ContenderSpec::new("newreno")],
+        budget,
+        333,
+    )
+}
+
+fn spec_fig4(budget: Budget) -> ExperimentSpec {
+    ExperimentSpec::new(
+        "fig4",
+        "Fig. 4 — dumbbell 15 Mbps, RTT 150 ms, n=8",
+        dumbbell_workload(8),
+        standard_contender_specs(),
+        budget,
+        4001,
+    )
+}
+
+fn spec_fig5(budget: Budget) -> ExperimentSpec {
+    let mut wl = dumbbell_workload(12);
+    for s in &mut wl.senders {
+        s.traffic = TrafficSpec {
+            on: OnSpec::empirical(),
+            off_mean: Ns::from_millis(200),
+            start_on: false,
+        };
+    }
+    ExperimentSpec::new(
+        "fig5",
+        "Fig. 5 — dumbbell 15 Mbps, n=12, ICSI flow lengths",
+        wl,
+        standard_contender_specs(),
+        budget,
+        5001,
+    )
+}
+
+fn spec_fig6(budget: Budget) -> ExperimentSpec {
+    let secs = budget.sim_secs;
+    let depart_at = Ns::from_secs(secs / 2);
+    let mut wl = WorkloadSpec::uniform(
+        LinkRef::constant(15.0),
+        1000,
+        2,
+        Ns::from_millis(150),
+        TrafficSpec::saturating(),
+    );
+    // Flow 1 is on for exactly the first half of the run, then leaves.
+    wl.senders[1].traffic = TrafficSpec {
+        on: OnSpec::ByTimeFixed { duration: depart_at },
+        off_mean: Ns::from_secs(10_000), // never comes back
+        start_on: true,
+    };
+    wl.record_deliveries = true;
+    ExperimentSpec::new(
+        "fig6",
+        "Fig. 6 — sequence plot data (flow 0)",
+        wl,
+        vec![ContenderSpec::new("remy:delta1")],
+        Budget {
+            runs: 1,
+            sim_secs: secs,
+        },
+        6,
+    )
+}
+
+fn spec_fig7(budget: Budget) -> ExperimentSpec {
+    ExperimentSpec::new(
+        "fig7",
+        "Fig. 7 — Verizon-like LTE, n=4",
+        cellular_workload("verizon-like", 4),
+        standard_contender_specs(),
+        budget,
+        7001,
+    )
+}
+
+fn spec_fig8(budget: Budget) -> ExperimentSpec {
+    ExperimentSpec::new(
+        "fig8",
+        "Fig. 8 — Verizon-like LTE, n=8",
+        cellular_workload("verizon-like", 8),
+        standard_contender_specs(),
+        budget,
+        8001,
+    )
+}
+
+fn spec_fig9(budget: Budget) -> ExperimentSpec {
+    ExperimentSpec::new(
+        "fig9",
+        "Fig. 9 — AT&T-like LTE, n=4",
+        cellular_workload("att-like", 4),
+        standard_contender_specs(),
+        budget,
+        9001,
+    )
+}
+
+/// The four propagation RTTs of the Fig. 10 grid, milliseconds.
+const FIG10_RTTS_MS: [u64; 4] = [50, 100, 150, 200];
+
+fn spec_fig10(budget: Budget) -> ExperimentSpec {
+    let wl = WorkloadSpec {
+        link: LinkRef::constant(10.0),
+        queue_capacity: 1000,
+        senders: FIG10_RTTS_MS
+            .iter()
+            .map(|&ms| SenderConfig {
+                rtt: Ns::from_millis(ms),
+                traffic: TrafficSpec {
+                    on: OnSpec::empirical(),
+                    off_mean: Ns::from_millis(200),
+                    start_on: false,
+                },
+            })
+            .collect(),
+        record_deliveries: false,
+    };
+    ExperimentSpec::new(
+        "fig10",
+        "Fig. 10 — normalized throughput share vs RTT",
+        wl,
+        vec![
+            ContenderSpec::new("cubic+sfqcodel"),
+            ContenderSpec::new("remy:delta01"),
+            ContenderSpec::new("remy:delta1"),
+            ContenderSpec::new("remy:delta10"),
+        ],
+        budget,
+        10_101,
+    )
+}
+
+/// The Fig. 11 link-speed grid, Mbps (10× design range is 4.7–47).
+const FIG11_SPEEDS: [f64; 9] = [2.5, 4.7, 7.0, 10.0, 15.0, 22.0, 33.0, 47.0, 70.0];
+
+fn spec_fig11(budget: Budget) -> ExperimentSpec {
+    ExperimentSpec::new(
+        "fig11",
+        "Fig. 11 — log(norm tput) - log(norm delay) vs link speed",
+        WorkloadSpec::uniform(
+            LinkRef::constant(15.0),
+            1000,
+            2,
+            Ns::from_millis(150),
+            TrafficSpec::design_default(),
+        ),
+        vec![
+            ContenderSpec::new("remy:onex"),
+            ContenderSpec::new("remy:tenx"),
+            ContenderSpec::new("cubic+sfqcodel"),
+        ],
+        budget,
+        11_000,
+    )
+    .with_sweep(SweepAxis::LinkMbps(FIG11_SPEEDS.to_vec()))
+}
+
+fn spec_table1_dumbbell(budget: Budget) -> ExperimentSpec {
+    let mut spec = spec_fig4(budget);
+    spec.name = "table1_dumbbell".to_string();
+    spec.title = "Table §1-a — dumbbell 15 Mbps, RTT 150 ms, n=8".to_string();
+    spec.with_speedup_reference("RemyCC d=0.1")
+}
+
+fn spec_table1_cellular(budget: Budget) -> ExperimentSpec {
+    ExperimentSpec::new(
+        "table1_cellular",
+        "Table §1-b — Verizon-like LTE, n=4",
+        cellular_workload("verizon-like", 4),
+        standard_contender_specs(),
+        budget,
+        4242,
+    )
+    .with_speedup_reference("RemyCC d=0.1")
+}
+
+fn spec_table_competing(budget: Budget) -> ExperimentSpec {
+    ExperimentSpec::new(
+        "table_competing",
+        "§5.6 — RemyCC head-to-head against buffer-filling schemes",
+        WorkloadSpec::uniform(
+            LinkRef::constant(15.0),
+            1000,
+            2,
+            Ns::from_millis(150),
+            TrafficSpec {
+                on: OnSpec::empirical(),
+                off_mean: Ns::from_millis(200),
+                start_on: false,
+            },
+        ),
+        vec![
+            ContenderSpec::new("remy:coexist"),
+            ContenderSpec::new("compound"),
+            ContenderSpec::new("cubic"),
+        ],
+        budget,
+        56_100,
+    )
+    .with_sweep(SweepAxis::OffMeanMs(vec![200, 100, 10]))
+}
+
+fn spec_table_datacenter(budget: Budget) -> ExperimentSpec {
+    let mbps: f64 = std::env::var("REMY_DC_MBPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(500.0);
+    let scale = mbps / 10_000.0;
+    let n = 32;
+    let k = ((65.0 * scale).round() as usize).max(4);
+    ExperimentSpec::new(
+        "table_datacenter",
+        format!(
+            "§5.5 — datacenter, {mbps} Mbps, RTT 4 ms, n={n}, exp({:.1} MB) transfers",
+            20.0 * scale
+        ),
+        WorkloadSpec::uniform(
+            LinkRef::constant(mbps),
+            1000,
+            n,
+            Ns::from_millis(4),
+            TrafficSpec {
+                on: OnSpec::ByBytes {
+                    mean_bytes: 20e6 * scale,
+                },
+                off_mean: Ns::from_millis(100),
+                start_on: false,
+            },
+        ),
+        vec![
+            ContenderSpec::new(format!("dctcp:{k}")),
+            ContenderSpec::labeled("remy:datacenter", "RemyCC (DropTail)"),
+        ],
+        budget,
+        5500,
+    )
+}
+
+fn spec_ablation_signals(budget: Budget) -> ExperimentSpec {
+    ExperimentSpec::new(
+        "ablation_signals",
+        "Ablation — RemyCC d=1 memory signals, dumbbell n=8",
+        dumbbell_workload(8),
+        vec![
+            ContenderSpec::labeled("remy:delta1:mask=111", "all signals"),
+            ContenderSpec::labeled("remy:delta1:mask=011", "no ack_ewma"),
+            ContenderSpec::labeled("remy:delta1:mask=101", "no send_ewma"),
+            ContenderSpec::labeled("remy:delta1:mask=110", "no rtt_ratio"),
+            ContenderSpec::labeled("remy:delta1:mask=000", "blind"),
+        ],
+        budget,
+        88_000,
+    )
+}
+
+/// The stochastic-loss grid of the loss ablation.
+const LOSS_RATES: [f64; 5] = [0.0, 0.001, 0.005, 0.01, 0.03];
+
+fn spec_ablation_loss(budget: Budget) -> ExperimentSpec {
+    ExperimentSpec::new(
+        "ablation_loss",
+        "Ablation — median per-sender tput (Mbps) vs stochastic loss, dumbbell n=8",
+        dumbbell_workload(8),
+        vec![
+            ContenderSpec::new("remy:delta01"),
+            ContenderSpec::new("newreno"),
+            ContenderSpec::new("cubic"),
+        ],
+        budget,
+        77_000,
+    )
+    .with_sweep(SweepAxis::LossRate(LOSS_RATES.to_vec()))
+}
+
+// ---------------------------------------------------------------------------
+// Custom runners
+// ---------------------------------------------------------------------------
+
+fn run_fig3(spec: &ExperimentSpec) -> Result<ExperimentReport, String> {
+    let n = spec.budget.runs;
+    let mut rng = SimRng::new(spec.seed);
+    // Draw raw (pre-16 kB-load) lengths to compare with the paper's fit.
+    let mut raw: Vec<f64> = (0..n)
+        .map(|_| (rng.pareto(PARETO_XM, PARETO_ALPHA) - PARETO_SHIFT).max(1.0))
+        .collect();
+    raw.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+    let mut text = String::new();
+    let _ = writeln!(text, "== {} ==", spec.title);
+    let _ = writeln!(text, "{:>12} {:>12} {:>12}", "bytes", "empirical", "closed form");
+    let mut rows = Vec::new();
+    for exp in 0..=7 {
+        for mant in [1.0, 3.0] {
+            let x = mant * 10f64.powi(exp);
+            if !(100.0..=1e7).contains(&x) {
+                continue;
+            }
+            let idx = raw.partition_point(|&v| v <= x);
+            let emp = idx as f64 / raw.len() as f64;
+            // CDF of the shifted Pareto: P(X ≤ x) = 1 − (Xm/(x+40))^α.
+            let cf = if x + PARETO_SHIFT < PARETO_XM {
+                0.0
+            } else {
+                1.0 - (PARETO_XM / (x + PARETO_SHIFT)).powf(PARETO_ALPHA)
+            };
+            let _ = writeln!(text, "{x:>12.0} {emp:>12.4} {cf:>12.4}");
+            rows.push(format!("{x},{emp},{cf}"));
+        }
+    }
+    // Sanity: with the evaluation's +16 kB loading term, flows are at
+    // least 16 kB.
+    let min_loaded = (0..1000)
+        .map(|_| empirical_flow_bytes(&mut rng, u64::MAX))
+        .min()
+        .unwrap();
+    let _ = writeln!(text, "\nminimum loaded flow (with +16 kB term): {min_loaded} bytes");
+    let _ = writeln!(
+        text,
+        "paper: distribution \"suggest[s] that the underlying distribution does not have finite mean\""
+    );
+    Ok(ExperimentReport {
+        csv_name: spec.name.clone(),
+        csv_header: "bytes,empirical_cdf,closed_form_cdf".to_string(),
+        csv_rows: rows,
+        text,
+    })
+}
+
+fn run_fig6(spec: &ExperimentSpec) -> Result<ExperimentReport, String> {
+    let cells = spec.expand()?;
+    let cell = &cells[0];
+    let scenario = &cell.scenarios[0];
+    let ccs: Vec<Box<dyn netsim::cc::CongestionControl>> =
+        (0..scenario.n()).map(|_| cell.contender.build_cc()).collect();
+    let results = Simulator::new(scenario, ccs, None).run();
+
+    // Find the instant flow 1's deliveries stop (its actual departure).
+    let flow1_last = results
+        .deliveries
+        .iter()
+        .filter(|d| d.flow == 1)
+        .map(|d| d.at)
+        .max()
+        .unwrap_or(Ns::ZERO);
+
+    // Delivered-sequence series for flow 0, sampled every 250 ms.
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "== {}, competitor departs ~{flow1_last} ==",
+        spec.title
+    );
+    let _ = writeln!(text, "{:>8} {:>10}", "t (s)", "seq");
+    let mut rows = Vec::new();
+    let step = Ns::from_millis(250);
+    let mut t = Ns::ZERO;
+    let mut idx = 0;
+    let flow0: Vec<_> = results.deliveries.iter().filter(|d| d.flow == 0).collect();
+    while t <= scenario.duration {
+        while idx < flow0.len() && flow0[idx].at <= t {
+            idx += 1;
+        }
+        let seq = if idx == 0 { 0 } else { flow0[idx - 1].seq };
+        let _ = writeln!(text, "{:>8.2} {:>10}", t.as_secs_f64(), seq);
+        rows.push(format!("{},{}", t.as_secs_f64(), seq));
+        t += step;
+    }
+
+    // Rate before vs. after the departure (1.5 s windows, skipping two
+    // RTTs of reaction time).
+    let rate_in = |from: Ns, to: Ns| {
+        flow0.iter().filter(|d| d.at >= from && d.at < to).count() as f64
+            / (to - from).as_secs_f64()
+    };
+    let win = Ns::from_millis(1500);
+    let before = rate_in(flow1_last.saturating_sub(win), flow1_last);
+    let react = flow1_last + Ns::from_millis(300);
+    let after = rate_in(react, react + win);
+    let _ = writeln!(
+        text,
+        "\nflow 0 delivery rate: {before:.0} pkt/s before departure, {after:.0} pkt/s after"
+    );
+    let _ = writeln!(
+        text,
+        "ratio: {:.2}x (paper: ~2x within about one RTT)",
+        after / before.max(1.0)
+    );
+    Ok(ExperimentReport {
+        csv_name: spec.name.clone(),
+        csv_header: "t_secs,delivered_seq".to_string(),
+        csv_rows: rows,
+        text,
+    })
+}
+
+fn run_fig10(spec: &ExperimentSpec) -> Result<ExperimentReport, String> {
+    let results = Experiment::new(spec.clone()).run()?;
+    let rtt_ms: Vec<u64> = spec
+        .workload
+        .senders
+        .iter()
+        .map(|s| s.rtt.0 / 1_000_000)
+        .collect();
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "== {} ({} runs x {} s) ==",
+        spec.title, spec.budget.runs, spec.budget.sim_secs
+    );
+    let _ = write!(text, "{:<16}", "scheme");
+    for ms in &rtt_ms {
+        let _ = write!(text, " {:>14}", format!("{ms} ms"));
+    }
+    let _ = writeln!(text);
+    let mut rows = Vec::new();
+    for cell in &results.cells {
+        // Per-sender (= per-RTT) mean throughput and standard error.
+        let prof: Vec<(f64, f64)> = (0..rtt_ms.len())
+            .map(|i| {
+                let samples: Vec<f64> = cell
+                    .runs
+                    .iter()
+                    .filter(|run| run[i].was_active())
+                    .map(|run| run[i].throughput_mbps)
+                    .collect();
+                (mean(&samples), std_err(&samples))
+            })
+            .collect();
+        let best = prof
+            .iter()
+            .map(|&(m, _)| m)
+            .fold(f64::MIN, f64::max)
+            .max(1e-9);
+        let _ = write!(text, "{:<16}", cell.label);
+        for &(m, se) in &prof {
+            let _ = write!(text, " {:>14}", format!("{:.3}±{:.3}", m / best, se / best));
+        }
+        let _ = writeln!(text);
+        let worst_share = prof[rtt_ms.len() - 1].0 / best;
+        let _ = writeln!(
+            text,
+            "  -> {} ms flow keeps {worst_share:.2} of the best share",
+            rtt_ms[rtt_ms.len() - 1]
+        );
+        rows.push(format!(
+            "{},{}",
+            cell.label,
+            prof.iter()
+                .map(|&(m, se)| format!("{},{}", m / best, se / best))
+                .collect::<Vec<_>>()
+                .join(",")
+        ));
+    }
+    let header = format!(
+        "scheme,{}",
+        rtt_ms
+            .iter()
+            .map(|ms| format!("share{ms},se{ms}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    Ok(ExperimentReport {
+        csv_name: spec.name.clone(),
+        csv_header: header,
+        csv_rows: rows,
+        text,
+    })
+}
+
+fn run_fig11(spec: &ExperimentSpec) -> Result<ExperimentReport, String> {
+    let results = Experiment::new(spec.clone()).run()?;
+    let speeds: Vec<f64> = match spec.sweeps.first() {
+        Some(SweepAxis::LinkMbps(v)) => v.clone(),
+        _ => return Err("fig11 spec needs a link_mbps sweep".to_string()),
+    };
+    // Contender labels in spec order, from the already-run cells.
+    let labels: Vec<String> = results
+        .cells
+        .iter()
+        .filter(|c| c.point_index == 0)
+        .map(|c| c.label.clone())
+        .collect();
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "== {} ({} runs x {} s) ==",
+        spec.title, spec.budget.runs, spec.budget.sim_secs
+    );
+    let _ = write!(text, "{:<16}", "scheme");
+    for s in &speeds {
+        let _ = write!(text, " {s:>7}");
+    }
+    let _ = writeln!(text, "  (Mbps; 10x design range is 4.7-47)");
+    let mut rows = Vec::new();
+    for label in &labels {
+        let _ = write!(text, "{label:<16}");
+        let mut cells_csv = Vec::new();
+        for (pi, &mbps) in speeds.iter().enumerate() {
+            let cell = results
+                .cell(pi, label)
+                .ok_or_else(|| format!("missing cell {label}@{mbps}"))?;
+            // Per-sender mean of log(norm tput) − log(norm delay), with
+            // normalized throughput = share of the fair rate (link/2) and
+            // delay = mean RTT over the 150 ms propagation floor.
+            let fair = mbps / 2.0;
+            let o = &cell.outcome;
+            let mut total = 0.0;
+            let mut count = 0usize;
+            for (t, r) in o.throughput_samples.iter().zip(&o.rtt_samples) {
+                total += (t / fair).max(1e-6).ln() - (r / 150.0).max(1e-6).ln();
+                count += 1;
+            }
+            let v = total / count.max(1) as f64;
+            let _ = write!(text, " {v:>7.2}");
+            cells_csv.push(format!("{v}"));
+        }
+        let _ = writeln!(text);
+        rows.push(format!("{},{}", label, cells_csv.join(",")));
+    }
+    let header = format!(
+        "scheme,{}",
+        speeds
+            .iter()
+            .map(|s| format!("mbps_{s}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    Ok(ExperimentReport {
+        csv_name: spec.name.clone(),
+        csv_header: header,
+        csv_rows: rows,
+        text,
+    })
+}
+
+struct HeadToHead {
+    remy_mean: f64,
+    remy_sd: f64,
+    rival_mean: f64,
+    rival_sd: f64,
+}
+
+/// One §5.6 head-to-head: the coexistence RemyCC and a rival scheme share
+/// one dumbbell. `point_stream` seeds the run set (common random numbers
+/// across rivals at the same stream).
+fn head_to_head(
+    spec: &ExperimentSpec,
+    rival: &Contender,
+    traffic: &TrafficSpec,
+    point_stream: u64,
+) -> Result<HeadToHead, String> {
+    let remy = spec.contenders[0].build()?;
+    let mut wl = spec.workload.clone();
+    for s in &mut wl.senders {
+        s.traffic = traffic.clone();
+    }
+    let point_seed = SimRng::split_seed(spec.seed, point_stream);
+    let mut remy_t = Vec::new();
+    let mut rival_t = Vec::new();
+    for k in 0..spec.budget.runs {
+        let run_seed = SimRng::split_seed(point_seed, k as u64);
+        let scenario = wl.scenario(
+            netsim::queue::QueueSpec::DropTail {
+                capacity: wl.queue_capacity,
+            },
+            spec.budget.duration(),
+            run_seed,
+        )?;
+        let ccs = vec![remy.build_cc(), rival.build_cc()];
+        let r = Simulator::new(&scenario, ccs, None).run();
+        if r.flows[0].was_active() {
+            remy_t.push(r.flows[0].throughput_mbps);
+        }
+        if r.flows[1].was_active() {
+            rival_t.push(r.flows[1].throughput_mbps);
+        }
+    }
+    Ok(HeadToHead {
+        remy_mean: mean(&remy_t),
+        remy_sd: std_dev(&remy_t),
+        rival_mean: mean(&rival_t),
+        rival_sd: std_dev(&rival_t),
+    })
+}
+
+fn run_table_competing(spec: &ExperimentSpec) -> Result<ExperimentReport, String> {
+    let compound = spec.contenders[1].build()?;
+    let cubic = spec.contenders[2].build()?;
+    let (runs, secs) = (spec.budget.runs, spec.budget.sim_secs);
+    let mut text = String::new();
+    let mut rows = Vec::new();
+
+    let off_sweep: Vec<u64> = match spec.sweeps.first() {
+        Some(SweepAxis::OffMeanMs(v)) => v.clone(),
+        _ => return Err("table_competing spec needs an off_mean_ms sweep".to_string()),
+    };
+    let _ = writeln!(
+        text,
+        "== §5.6-a — RemyCC vs Compound, empirical flows, off-time sweep ({runs} runs x {secs} s) =="
+    );
+    let _ = writeln!(
+        text,
+        "{:>12} {:>20} {:>20}",
+        "off time", "RemyCC tput (sd)", "Compound tput (sd)"
+    );
+    for (pi, &off_ms) in off_sweep.iter().enumerate() {
+        let traffic = TrafficSpec {
+            on: OnSpec::empirical(),
+            off_mean: Ns::from_millis(off_ms),
+            start_on: false,
+        };
+        let c = head_to_head(spec, &compound, &traffic, pi as u64)?;
+        let _ = writeln!(
+            text,
+            "{:>9} ms {:>13.2} ({:.2}) {:>13.2} ({:.2})",
+            off_ms, c.remy_mean, c.remy_sd, c.rival_mean, c.rival_sd
+        );
+        rows.push(format!(
+            "compound,{off_ms},{},{},{},{}",
+            c.remy_mean, c.remy_sd, c.rival_mean, c.rival_sd
+        ));
+    }
+
+    let _ = writeln!(
+        text,
+        "\n== §5.6-b — RemyCC vs Cubic, exponential flows, size sweep ({runs} runs x {secs} s) =="
+    );
+    let _ = writeln!(
+        text,
+        "{:>12} {:>20} {:>20}",
+        "mean size", "RemyCC tput (sd)", "Cubic tput (sd)"
+    );
+    for (j, mean_kb) in [100u64, 1000].into_iter().enumerate() {
+        let traffic = TrafficSpec {
+            on: OnSpec::ByBytes {
+                mean_bytes: mean_kb as f64 * 1000.0,
+            },
+            off_mean: Ns::from_millis(500),
+            start_on: false,
+        };
+        // Streams beyond the off-time grid keep part b independent.
+        let c = head_to_head(spec, &cubic, &traffic, 1000 + j as u64)?;
+        let _ = writeln!(
+            text,
+            "{:>9} kB {:>13.2} ({:.2}) {:>13.2} ({:.2})",
+            mean_kb, c.remy_mean, c.remy_sd, c.rival_mean, c.rival_sd
+        );
+        rows.push(format!(
+            "cubic,{mean_kb},{},{},{},{}",
+            c.remy_mean, c.remy_sd, c.rival_mean, c.rival_sd
+        ));
+    }
+    Ok(ExperimentReport {
+        csv_name: spec.name.clone(),
+        csv_header: "rival,param,remy_mean,remy_sd,rival_mean,rival_sd".to_string(),
+        csv_rows: rows,
+        text,
+    })
+}
+
+fn run_table_datacenter(spec: &ExperimentSpec) -> Result<ExperimentReport, String> {
+    let results = Experiment::new(spec.clone()).run()?;
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "== {} ({} runs x {} s) ==",
+        spec.title, spec.budget.runs, spec.budget.sim_secs
+    );
+    let _ = writeln!(
+        text,
+        "{:<20} {:>12} {:>12} {:>10} {:>10} {:>10}",
+        "scheme", "tput mean", "tput median", "tput sd", "rtt mean", "rtt med"
+    );
+    let mut rows = Vec::new();
+    for cell in &results.cells {
+        let o = &cell.outcome;
+        let mean_t = mean(&o.throughput_samples);
+        let sd_t = std_dev(&o.throughput_samples);
+        let mean_r = mean(&o.rtt_samples);
+        let _ = writeln!(
+            text,
+            "{:<20} {:>9.1} M {:>9.1} M {:>10.1} {:>8.2}ms {:>8.2}ms",
+            o.label, mean_t, o.median_throughput_mbps, sd_t, mean_r, o.median_rtt_ms
+        );
+        rows.push(format!(
+            "{},{},{},{},{},{}",
+            o.label, mean_t, o.median_throughput_mbps, sd_t, mean_r, o.median_rtt_ms
+        ));
+    }
+    let _ = writeln!(
+        text,
+        "\npaper shape: comparable throughput, RemyCC lower variance, higher RTT."
+    );
+    Ok(ExperimentReport {
+        csv_name: spec.name.clone(),
+        csv_header: "scheme,tput_mean_mbps,tput_median_mbps,tput_sd,rtt_mean_ms,rtt_median_ms"
+            .to_string(),
+        csv_rows: rows,
+        text,
+    })
+}
+
+fn run_ablation_signals(spec: &ExperimentSpec) -> Result<ExperimentReport, String> {
+    let results = Experiment::new(spec.clone()).run()?;
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "== {} ({} runs x {} s) ==",
+        spec.title, spec.budget.runs, spec.budget.sim_secs
+    );
+    let _ = writeln!(text, "{:<14} {:>12} {:>12}", "variant", "tput Mbps", "qdelay ms");
+    let mut rows = Vec::new();
+    for cell in &results.cells {
+        let t = cell.outcome.median_throughput_mbps;
+        let d = cell.outcome.median_queue_delay_ms;
+        let _ = writeln!(text, "{:<14} {t:>12.3} {d:>12.2}", cell.label);
+        rows.push(format!("{},{t},{d}", cell.label));
+    }
+    Ok(ExperimentReport {
+        csv_name: spec.name.clone(),
+        csv_header: "variant,median_tput,median_qdelay".to_string(),
+        csv_rows: rows,
+        text,
+    })
+}
+
+fn run_ablation_loss(spec: &ExperimentSpec) -> Result<ExperimentReport, String> {
+    let results = Experiment::new(spec.clone()).run()?;
+    let loss_rates: Vec<f64> = match spec.sweeps.first() {
+        Some(SweepAxis::LossRate(v)) => v.clone(),
+        _ => return Err("ablation_loss spec needs a loss_rate sweep".to_string()),
+    };
+    // Contender labels in spec order, from the already-run cells.
+    let labels: Vec<String> = results
+        .cells
+        .iter()
+        .filter(|c| c.point_index == 0)
+        .map(|c| c.label.clone())
+        .collect();
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "== {} ({} runs x {} s) ==",
+        spec.title, spec.budget.runs, spec.budget.sim_secs
+    );
+    let _ = write!(text, "{:<16}", "scheme");
+    for p in &loss_rates {
+        let _ = write!(text, " {:>9}", format!("{:.1}%", p * 100.0));
+    }
+    let _ = writeln!(text);
+    let mut rows = Vec::new();
+    for label in &labels {
+        let _ = write!(text, "{label:<16}");
+        let mut cells_csv = Vec::new();
+        for pi in 0..loss_rates.len() {
+            let cell = results
+                .cell(pi, label)
+                .ok_or_else(|| format!("missing cell {label}@{pi}"))?;
+            let v = cell.outcome.median_throughput_mbps;
+            let _ = write!(text, " {v:>9.3}");
+            cells_csv.push(format!("{v}"));
+        }
+        let _ = writeln!(text);
+        rows.push(format!("{},{}", label, cells_csv.join(",")));
+    }
+    let header = format!(
+        "scheme,{}",
+        loss_rates
+            .iter()
+            .map(|p| format!("loss_{p}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    Ok(ExperimentReport {
+        csv_name: spec.name.clone(),
+        csv_header: header,
+        csv_rows: rows,
+        text,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_all_fifteen_reproductions() {
+        assert_eq!(all().len(), 15);
+        let mut names: Vec<&str> = all().iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        let mut expected = vec![
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "table1_dumbbell",
+            "table1_cellular",
+            "table_competing",
+            "table_datacenter",
+            "ablation_signals",
+            "ablation_loss",
+        ];
+        expected.sort_unstable();
+        assert_eq!(names, expected);
+        assert!(by_name("fig4").is_some());
+        assert!(by_name("fig99").is_none());
+    }
+
+    #[test]
+    fn every_named_experiment_expands_to_nonempty_scenarios() {
+        let tiny = Budget {
+            runs: 2,
+            sim_secs: 3,
+        };
+        for entry in all() {
+            let spec = entry.spec(tiny);
+            assert_eq!(spec.name, entry.name);
+            let cells = spec.expand().unwrap_or_else(|e| {
+                panic!("{} failed to expand: {e}", entry.name);
+            });
+            assert!(!cells.is_empty(), "{} expands to no cells", entry.name);
+            for cell in &cells {
+                assert!(
+                    !cell.scenarios.is_empty(),
+                    "{} cell has no scenarios",
+                    entry.name
+                );
+                for sc in &cell.scenarios {
+                    assert!(sc.n() > 0);
+                    assert!(sc.duration > Ns::ZERO);
+                }
+            }
+            // The spec itself round-trips.
+            let back = ExperimentSpec::from_json(&spec.to_json())
+                .unwrap_or_else(|e| panic!("{} spec does not re-parse: {e}", entry.name));
+            assert_eq!(back, spec, "{} spec round trip", entry.name);
+        }
+    }
+
+    #[test]
+    fn contender_lineups() {
+        assert_eq!(remy_contenders().len(), 3);
+        let all_c = standard_contenders();
+        assert_eq!(all_c.len(), 9);
+        let labels: Vec<String> = all_c.iter().map(|c| c.label()).collect();
+        assert!(labels.iter().any(|l| l.contains("Cubic/sfqCoDel")));
+        assert!(labels.iter().any(|l| l.contains("RemyCC")));
+    }
+
+    #[test]
+    fn workload_builders() {
+        let w = dumbbell_workload(8);
+        assert_eq!(w.n(), 8);
+        let c = cellular_workload("verizon-like", 4);
+        assert_eq!(c.n(), 4);
+        assert_eq!(c.senders[0].rtt, Ns::from_millis(50));
+    }
+
+    #[test]
+    fn smallest_generic_experiment_runs_through_registry() {
+        let rep = run_named(
+            "fig6",
+            Budget {
+                runs: 1,
+                sim_secs: 4,
+            },
+        )
+        .expect("fig6 runs");
+        assert_eq!(rep.csv_name, "fig6_dynamics");
+        assert!(rep.text.contains("flow 0 delivery rate"));
+        assert!(!rep.csv_rows.is_empty());
+    }
+}

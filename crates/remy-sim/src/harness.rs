@@ -1,20 +1,21 @@
-//! The experiment harness shared by every figure/table reproduction.
+//! The contender/outcome substrate shared by every experiment.
 //!
 //! The paper's evaluation methodology (§5.1): run each scenario for 100
 //! simulated seconds, at least 128 times with different random draws,
 //! measure each sender's throughput (`Σsi/Σti`) and average queueing
-//! delay, and report per-scheme medians plus 1-σ ellipses. [`evaluate`]
-//! implements exactly that loop for one [`Contender`] on one [`Workload`].
+//! delay, and report per-scheme medians plus 1-σ ellipses.
+//! [`evaluate_scenarios`] implements exactly that loop for one
+//! [`Contender`] over explicit scenarios; experiment *descriptions* live
+//! one layer up, in [`crate::spec::ExperimentSpec`], and are fanned
+//! through the parallel engine by [`crate::experiment::Experiment`].
 
 use congestion::Scheme;
 use netsim::cc::CongestionControl;
 use netsim::link::LinkSpec;
 use netsim::queue::QueueSpec;
-use netsim::scenario::{Scenario, SenderConfig};
+use netsim::scenario::Scenario;
 use netsim::sim::Simulator;
 use netsim::stats::{ellipse, median, Ellipse};
-use netsim::time::Ns;
-use netsim::traffic::TrafficSpec;
 use remy::remycc::RemyCc;
 use remy::whisker::WhiskerTree;
 use std::sync::Arc;
@@ -22,7 +23,7 @@ use std::sync::Arc;
 /// One congestion-control configuration under test: either a baseline
 /// scheme (which brings its own queue discipline and, for XCP, a router)
 /// or a RemyCC rule table (always end-to-end over DropTail).
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub enum Contender {
     /// A human-designed baseline.
     Baseline(Scheme),
@@ -32,6 +33,9 @@ pub enum Contender {
         label: String,
         /// The rule table.
         table: Arc<WhiskerTree>,
+        /// Ablation hook: `[ack_ewma, send_ewma, rtt_ratio]`, `false`
+        /// blinds the controller to that signal. All-true normally.
+        signal_mask: [bool; 3],
     },
 }
 
@@ -43,9 +47,20 @@ impl Contender {
 
     /// Wrap a RemyCC rule table.
     pub fn remy(label: impl Into<String>, table: Arc<WhiskerTree>) -> Contender {
+        Contender::remy_masked(label, table, [true; 3])
+    }
+
+    /// Wrap a RemyCC blinded to the masked-off congestion signals
+    /// (ablation studies; see `RemyCc::with_signal_mask`).
+    pub fn remy_masked(
+        label: impl Into<String>,
+        table: Arc<WhiskerTree>,
+        signal_mask: [bool; 3],
+    ) -> Contender {
         Contender::Remy {
             label: label.into(),
             table,
+            signal_mask,
         }
     }
 
@@ -69,8 +84,14 @@ impl Contender {
     pub fn build_cc(&self) -> Box<dyn CongestionControl> {
         match self {
             Contender::Baseline(s) => s.build_cc(),
-            Contender::Remy { label, table } => Box::new(
-                RemyCc::new(Arc::clone(table)).with_name(label.clone()),
+            Contender::Remy {
+                label,
+                table,
+                signal_mask,
+            } => Box::new(
+                RemyCc::new(Arc::clone(table))
+                    .with_name(label.clone())
+                    .with_signal_mask(*signal_mask),
             ),
         }
     }
@@ -84,47 +105,6 @@ impl Contender {
         match self {
             Contender::Baseline(s) => s.router(link, mss),
             Contender::Remy { .. } => None,
-        }
-    }
-}
-
-/// One experiment configuration: the dumbbell everyone contends on.
-#[derive(Clone)]
-pub struct Workload {
-    /// Bottleneck link.
-    pub link: LinkSpec,
-    /// Queue capacity in packets (the discipline comes from the scheme).
-    pub queue_capacity: usize,
-    /// Degree of multiplexing.
-    pub n_senders: usize,
-    /// Propagation RTT shared by all senders.
-    pub rtt: Ns,
-    /// Offered-load process per sender.
-    pub traffic: TrafficSpec,
-    /// Duration of each run.
-    pub duration: Ns,
-    /// Number of independent runs (different seeds).
-    pub runs: usize,
-    /// Base seed; run `k` uses `seed + k`.
-    pub seed: u64,
-}
-
-impl Workload {
-    /// Materialize the scenario for run `k` under a given queue spec.
-    pub fn scenario(&self, queue: QueueSpec, k: usize) -> Scenario {
-        Scenario {
-            link: self.link.clone(),
-            queue,
-            senders: (0..self.n_senders)
-                .map(|_| SenderConfig {
-                    rtt: self.rtt,
-                    traffic: self.traffic.clone(),
-                })
-                .collect(),
-            mss: 1500,
-            duration: self.duration,
-            seed: self.seed + k as u64,
-            record_deliveries: false,
         }
     }
 }
@@ -151,7 +131,9 @@ pub struct Outcome {
 }
 
 impl Outcome {
-    fn from_samples(
+    /// Pool aligned per-sender sample vectors (throughput Mbps, queueing
+    /// delay ms, mean RTT ms) into medians plus the 1-σ ellipse.
+    pub fn from_samples(
         label: String,
         tput: Vec<f64>,
         delay: Vec<f64>,
@@ -183,17 +165,8 @@ impl Outcome {
     }
 }
 
-/// Run a contender over every seed of a workload and pool per-sender
-/// samples, per the paper's methodology.
-pub fn evaluate(contender: &Contender, cfg: &Workload) -> Outcome {
-    let scenarios: Vec<Scenario> = (0..cfg.runs)
-        .map(|k| cfg.scenario(contender.queue_spec(cfg.queue_capacity), k))
-        .collect();
-    evaluate_scenarios(contender, &scenarios)
-}
-
-/// Run a contender over explicit scenarios (used by experiments with
-/// per-sender RTTs or other customizations).
+/// Run a contender over explicit scenarios and pool per-sender samples,
+/// per the paper's methodology.
 ///
 /// Runs execute in parallel (see `remy::evaluator::set_jobs` /
 /// `REMY_JOBS`), but samples are pooled in run order from positionally
@@ -249,23 +222,40 @@ pub fn sim_secs_from_env(default: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::{Budget, ContenderSpec, ExperimentSpec, LinkRef, WorkloadSpec};
+    use netsim::time::Ns;
+    use netsim::traffic::TrafficSpec;
 
-    fn small_workload() -> Workload {
-        Workload {
-            link: LinkSpec::constant(15.0),
-            queue_capacity: 1000,
-            n_senders: 2,
-            rtt: Ns::from_millis(150),
-            traffic: TrafficSpec::fig4(),
-            duration: Ns::from_secs(10),
-            runs: 2,
-            seed: 11,
-        }
+    fn small_spec() -> ExperimentSpec {
+        ExperimentSpec::new(
+            "small",
+            "small dumbbell",
+            WorkloadSpec::uniform(
+                LinkRef::constant(15.0),
+                1000,
+                2,
+                Ns::from_millis(150),
+                TrafficSpec::fig4(),
+            ),
+            vec![ContenderSpec::new("newreno")],
+            Budget {
+                runs: 2,
+                sim_secs: 10,
+            },
+            11,
+        )
+    }
+
+    fn scenarios_for(c: &Contender) -> Vec<Scenario> {
+        let spec = small_spec();
+        let point = &spec.points()[0];
+        spec.scenarios_at(0, point, c).expect("expand")
     }
 
     #[test]
     fn baseline_outcome_has_samples() {
-        let out = evaluate(&Contender::baseline(Scheme::NewReno), &small_workload());
+        let c = Contender::baseline(Scheme::NewReno);
+        let out = evaluate_scenarios(&c, &scenarios_for(&c));
         assert_eq!(out.label, "NewReno");
         assert!(!out.throughput_samples.is_empty());
         assert_eq!(out.throughput_samples.len(), out.delay_samples.len());
@@ -276,7 +266,8 @@ mod tests {
     #[test]
     fn remy_contender_runs_end_to_end() {
         let table = Arc::new(WhiskerTree::single_rule());
-        let out = evaluate(&Contender::remy("RemyCC test", table), &small_workload());
+        let c = Contender::remy("RemyCC test", table);
+        let out = evaluate_scenarios(&c, &scenarios_for(&c));
         assert_eq!(out.label, "RemyCC test");
         assert!(out.median_throughput_mbps > 0.0);
     }
@@ -298,11 +289,23 @@ mod tests {
     }
 
     #[test]
+    fn masked_contender_builds_blinded_cc() {
+        let c = Contender::remy_masked(
+            "blind",
+            Arc::new(WhiskerTree::single_rule()),
+            [false, false, false],
+        );
+        assert_eq!(c.label(), "blind");
+        let out = evaluate_scenarios(&c, &scenarios_for(&c));
+        assert!(out.median_throughput_mbps > 0.0, "blind RemyCC still runs");
+    }
+
+    #[test]
     fn deterministic_across_calls() {
         let c = Contender::baseline(Scheme::Vegas);
-        let w = small_workload();
-        let a = evaluate(&c, &w);
-        let b = evaluate(&c, &w);
+        let scenarios = scenarios_for(&c);
+        let a = evaluate_scenarios(&c, &scenarios);
+        let b = evaluate_scenarios(&c, &scenarios);
         assert_eq!(a.median_throughput_mbps, b.median_throughput_mbps);
         assert_eq!(a.delay_samples, b.delay_samples);
     }

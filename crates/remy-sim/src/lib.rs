@@ -2,27 +2,41 @@
 //!
 //! Re-exports the simulator substrate (`netsim`), the baseline schemes
 //! (`congestion`), the synthetic cellular traces (`traces`), and Remy
-//! itself (`remy`), plus the [`harness`] used by every experiment binary,
-//! example, and integration test in this repository.
+//! itself (`remy`), plus the declarative experiment layer every binary,
+//! example, and integration test in this repository runs on:
+//!
+//! * [`spec`] — serializable [`spec::ExperimentSpec`] descriptions
+//!   (workload, contenders by name, sweep grids, budget);
+//! * [`experiment`] — the [`experiment::Experiment`] runner that expands
+//!   a spec through the deterministic parallel engine;
+//! * [`experiments`] — the named registry of every figure/table
+//!   reproduction (`experiments::by_name("fig4")`);
+//! * [`harness`] — contenders, outcomes, and the scenario-level
+//!   evaluation loop;
+//! * [`report`] — tables and CSV output.
 //!
 //! ```
 //! use remy_sim::prelude::*;
 //!
-//! // Compare NewReno with a (trivial, untrained) RemyCC on Fig. 4's
-//! // dumbbell workload, 2 runs of 10 seconds each.
-//! let cfg = Workload {
-//!     link: LinkSpec::constant(15.0),
-//!     queue_capacity: 1000,
-//!     n_senders: 4,
-//!     rtt: Ns::from_millis(150),
-//!     traffic: TrafficSpec::fig4(),
-//!     duration: Ns::from_secs(10),
-//!     runs: 2,
-//!     seed: 1,
-//! };
-//! let newreno = Contender::baseline(Scheme::NewReno);
-//! let out = evaluate(&newreno, &cfg);
-//! assert!(out.median_throughput_mbps > 0.0);
+//! // Compare NewReno with a shipped RemyCC on Fig. 4's dumbbell
+//! // workload, 2 runs of 10 seconds each — as a declarative spec.
+//! let spec = ExperimentSpec::new(
+//!     "demo",
+//!     "Fig. 4 demo",
+//!     WorkloadSpec::uniform(
+//!         LinkRef::constant(15.0),
+//!         1000,
+//!         4,
+//!         Ns::from_millis(150),
+//!         TrafficSpec::fig4(),
+//!     ),
+//!     vec![ContenderSpec::new("newreno"), ContenderSpec::new("remy:delta1")],
+//!     Budget { runs: 2, sim_secs: 10 },
+//!     1,
+//! );
+//! assert_eq!(spec, ExperimentSpec::from_json(&spec.to_json()).unwrap());
+//! let results = Experiment::new(spec).run().unwrap();
+//! assert!(results.cell(0, "NewReno").unwrap().outcome.median_throughput_mbps > 0.0);
 //! ```
 
 #![warn(missing_docs)]
@@ -32,11 +46,23 @@ pub use netsim;
 pub use remy;
 pub use traces;
 
+pub mod experiment;
+pub mod experiments;
 pub mod harness;
+pub mod report;
+pub mod spec;
 
 /// The most commonly used items across all four crates.
 pub mod prelude {
-    pub use crate::harness::{evaluate, evaluate_scenarios, Contender, Outcome, Workload};
+    pub use crate::experiment::{CellResult, Experiment, ExperimentCell, ExperimentResults};
+    pub use crate::harness::{evaluate_scenarios, Contender, Outcome};
+    pub use crate::report::{
+        print_outcomes, print_speedup_table, write_outcomes_csv, write_rows_csv,
+        ExperimentReport,
+    };
+    pub use crate::spec::{
+        Budget, ContenderSpec, ExperimentSpec, LinkRef, SweepAxis, SweepPoint, WorkloadSpec,
+    };
     pub use congestion::{Compound, Cubic, Dctcp, NewReno, Scheme, Vegas, Xcp, XcpRouter};
     pub use netsim::prelude::*;
     pub use remy::prelude::*;

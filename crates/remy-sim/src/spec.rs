@@ -1,0 +1,998 @@
+//! Declarative, serializable experiment specifications.
+//!
+//! An [`ExperimentSpec`] is plain data: a workload (bottleneck link, queue
+//! capacity, senders with RTTs and traffic processes), a contender list by
+//! name (`newreno`, `cubic`, `remy:delta1`, `remy:<path.json>`, …), sweep
+//! axes that are Cartesian-expanded into runs, and a budget. Specs
+//! round-trip through `remy::json` losslessly, so every figure, table, and
+//! user-authored workload is a value you can enumerate, diff, check in,
+//! and hand to [`crate::experiment::Experiment`] or `remy-cli run`.
+//!
+//! Seeds: run `k` of sweep point `p` simulates with
+//! `split_seed(split_seed(spec.seed, p), k)` (see
+//! [`netsim::rng::SimRng::split_seed`]) — per-run streams are forked, not
+//! `seed + k`, so experiments with nearby base seeds never share traffic
+//! randomness, and the same point seed is reused across contenders
+//! (common random numbers, as in the paper's methodology).
+
+use crate::harness::{runs_from_env, sim_secs_from_env, Contender};
+use congestion::Scheme;
+use netsim::json::{self, Value};
+use netsim::link::LinkSpec;
+use netsim::queue::QueueSpec;
+use netsim::rng::SimRng;
+use netsim::scenario::{Scenario, SenderConfig};
+use netsim::time::Ns;
+use netsim::traffic::TrafficSpec;
+use remy::whisker::WhiskerTree;
+use std::sync::Arc;
+
+/// Default per-scheme run count (`REMY_RUNS` overrides).
+pub const DEFAULT_RUNS: usize = 16;
+/// Default simulated seconds per run (`REMY_SIM_SECS` overrides).
+pub const DEFAULT_SIM_SECS: u64 = 30;
+
+/// Experiment budget: how many seeded runs, how long each simulates.
+/// The paper uses ≥128 runs of 100 s; the defaults here complete the full
+/// suite in minutes on one core.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Budget {
+    /// Independent seeded runs per (sweep point, contender).
+    pub runs: usize,
+    /// Simulated seconds per run.
+    pub sim_secs: u64,
+}
+
+impl Budget {
+    /// Resolve from `REMY_RUNS` / `REMY_SIM_SECS`, falling back to the
+    /// repository defaults.
+    pub fn from_env() -> Budget {
+        Budget {
+            runs: runs_from_env(DEFAULT_RUNS),
+            sim_secs: sim_secs_from_env(DEFAULT_SIM_SECS),
+        }
+    }
+
+    /// The repository defaults, ignoring the environment (stable golden
+    /// spec output).
+    pub fn default_fixed() -> Budget {
+        Budget {
+            runs: DEFAULT_RUNS,
+            sim_secs: DEFAULT_SIM_SECS,
+        }
+    }
+
+    /// Scale down (used by heavyweight experiments like the datacenter).
+    pub fn scaled(self, runs_div: usize, secs_div: u64) -> Budget {
+        Budget {
+            runs: (self.runs / runs_div).max(2),
+            sim_secs: (self.sim_secs / secs_div).max(3),
+        }
+    }
+
+    /// Per-run simulated duration.
+    pub fn duration(&self) -> Ns {
+        Ns::from_secs(self.sim_secs)
+    }
+
+    /// Serialize to a JSON value.
+    pub fn to_json_value(&self) -> Value {
+        Value::obj(vec![
+            ("runs", json::u64_value(self.runs as u64)),
+            ("sim_secs", json::u64_value(self.sim_secs)),
+        ])
+    }
+
+    /// Deserialize a value written by [`Budget::to_json_value`].
+    pub fn from_json_value(v: &Value) -> Result<Budget, String> {
+        Ok(Budget {
+            runs: v.field("runs")?.as_usize()?,
+            sim_secs: v.field("sim_secs")?.as_u64()?,
+        })
+    }
+}
+
+/// A bottleneck link, by value or by name.
+///
+/// Unlike [`LinkSpec`], whose trace variant inlines a full delivery
+/// schedule, a spec references the repository's synthetic cellular traces
+/// by name — experiment JSON stays small and the schedule is regenerated
+/// deterministically by the `traces` crate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LinkRef {
+    /// Fixed-rate link.
+    Constant {
+        /// Rate in megabits per second.
+        rate_mbps: f64,
+    },
+    /// A named trace: `verizon-like` (Figs. 7–8) or `att-like` (Fig. 9).
+    NamedTrace {
+        /// Trace name.
+        name: String,
+    },
+}
+
+impl LinkRef {
+    /// A fixed-rate link reference.
+    pub fn constant(rate_mbps: f64) -> LinkRef {
+        LinkRef::Constant { rate_mbps }
+    }
+
+    /// A named-trace link reference.
+    pub fn named_trace(name: impl Into<String>) -> LinkRef {
+        LinkRef::NamedTrace { name: name.into() }
+    }
+
+    /// Materialize the link model.
+    pub fn resolve(&self) -> Result<LinkSpec, String> {
+        match self {
+            LinkRef::Constant { rate_mbps } => {
+                if !rate_mbps.is_finite() || *rate_mbps <= 0.0 {
+                    return Err(format!("link rate must be positive, got {rate_mbps}"));
+                }
+                Ok(LinkSpec::Constant {
+                    rate_mbps: *rate_mbps,
+                })
+            }
+            LinkRef::NamedTrace { name } => {
+                let schedule = match name.as_str() {
+                    "verizon-like" => traces::verizon_schedule(),
+                    "att-like" => traces::att_schedule(),
+                    other => {
+                        return Err(format!(
+                            "unknown trace '{other}' (known: verizon-like, att-like)"
+                        ))
+                    }
+                };
+                Ok(LinkSpec::Trace {
+                    schedule: Arc::new(schedule),
+                    name: name.clone(),
+                })
+            }
+        }
+    }
+
+    /// Serialize to a JSON value.
+    pub fn to_json_value(&self) -> Value {
+        match self {
+            LinkRef::Constant { rate_mbps } => Value::obj(vec![
+                ("kind", Value::str("constant")),
+                ("rate_mbps", Value::num(*rate_mbps)),
+            ]),
+            LinkRef::NamedTrace { name } => Value::obj(vec![
+                ("kind", Value::str("named_trace")),
+                ("name", Value::str(name.clone())),
+            ]),
+        }
+    }
+
+    /// Deserialize a value written by [`LinkRef::to_json_value`].
+    pub fn from_json_value(v: &Value) -> Result<LinkRef, String> {
+        match v.field("kind")?.as_str()? {
+            "constant" => Ok(LinkRef::Constant {
+                rate_mbps: v.field("rate_mbps")?.as_f64()?,
+            }),
+            "named_trace" => Ok(LinkRef::NamedTrace {
+                name: v.field("name")?.as_str()?.to_string(),
+            }),
+            other => Err(format!("unknown link kind '{other}'")),
+        }
+    }
+}
+
+/// The dumbbell everyone contends on: link, queue capacity, and per-sender
+/// configuration. The queue *discipline* is not part of the workload —
+/// each contender brings its own (`Cubic/sfqCoDel` runs over sfqCoDel,
+/// everything else over DropTail of this capacity), exactly as in the
+/// paper's router configurations.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadSpec {
+    /// Bottleneck link.
+    pub link: LinkRef,
+    /// Queue capacity in packets (the discipline comes from the scheme).
+    pub queue_capacity: usize,
+    /// Per-sender configuration; the length is the degree of multiplexing.
+    pub senders: Vec<SenderConfig>,
+    /// Record every delivery (sequence plots, Fig. 6).
+    pub record_deliveries: bool,
+}
+
+impl WorkloadSpec {
+    /// A dumbbell with `n` identical senders.
+    pub fn uniform(
+        link: LinkRef,
+        queue_capacity: usize,
+        n: usize,
+        rtt: Ns,
+        traffic: TrafficSpec,
+    ) -> WorkloadSpec {
+        WorkloadSpec {
+            link,
+            queue_capacity,
+            senders: (0..n)
+                .map(|_| SenderConfig {
+                    rtt,
+                    traffic: traffic.clone(),
+                })
+                .collect(),
+            record_deliveries: false,
+        }
+    }
+
+    /// Number of senders.
+    pub fn n(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Materialize the scenario for one run under a given queue spec.
+    pub fn scenario(&self, queue: QueueSpec, duration: Ns, seed: u64) -> Result<Scenario, String> {
+        if self.senders.is_empty() {
+            return Err("workload has no senders".to_string());
+        }
+        Ok(Scenario {
+            link: self.link.resolve()?,
+            queue,
+            senders: self.senders.clone(),
+            mss: 1500,
+            duration,
+            seed,
+            record_deliveries: self.record_deliveries,
+        })
+    }
+
+    fn senders_uniform(&self) -> bool {
+        self.senders
+            .windows(2)
+            .all(|w| w[0].rtt == w[1].rtt && w[0].traffic == w[1].traffic)
+    }
+
+    /// Serialize to a JSON value. Identical senders compress to a
+    /// `{"n", "rtt_ns", "traffic"}` object; heterogeneous ones (the
+    /// RTT-fairness grid, Fig. 6's departing competitor) serialize as an
+    /// array. Both forms parse back.
+    pub fn to_json_value(&self) -> Value {
+        let senders = if !self.senders.is_empty() && self.senders_uniform() {
+            Value::obj(vec![
+                ("n", json::u64_value(self.senders.len() as u64)),
+                ("rtt_ns", json::ns_value(self.senders[0].rtt)),
+                ("traffic", self.senders[0].traffic.to_json_value()),
+            ])
+        } else {
+            Value::Arr(
+                self.senders
+                    .iter()
+                    .map(SenderConfig::to_json_value)
+                    .collect(),
+            )
+        };
+        Value::obj(vec![
+            ("link", self.link.to_json_value()),
+            ("queue_capacity", json::u64_value(self.queue_capacity as u64)),
+            ("senders", senders),
+            ("record_deliveries", Value::Bool(self.record_deliveries)),
+        ])
+    }
+
+    /// Deserialize a value written by [`WorkloadSpec::to_json_value`].
+    pub fn from_json_value(v: &Value) -> Result<WorkloadSpec, String> {
+        let senders_v = v.field("senders")?;
+        let senders = match senders_v {
+            Value::Arr(items) => items
+                .iter()
+                .map(SenderConfig::from_json_value)
+                .collect::<Result<Vec<SenderConfig>, String>>()?,
+            obj @ Value::Obj(_) => {
+                let n = obj.field("n")?.as_usize()?;
+                let rtt = json::ns_from(obj.field("rtt_ns")?)?;
+                let traffic = TrafficSpec::from_json_value(obj.field("traffic")?)?;
+                (0..n)
+                    .map(|_| SenderConfig {
+                        rtt,
+                        traffic: traffic.clone(),
+                    })
+                    .collect()
+            }
+            other => {
+                return Err(format!(
+                    "senders must be an array or a uniform object, found {}",
+                    other.pretty()
+                ))
+            }
+        };
+        if senders.is_empty() {
+            return Err("workload needs at least one sender".to_string());
+        }
+        Ok(WorkloadSpec {
+            link: LinkRef::from_json_value(v.field("link")?)?,
+            queue_capacity: v.field("queue_capacity")?.as_usize()?,
+            senders,
+            record_deliveries: v.field("record_deliveries")?.as_bool()?,
+        })
+    }
+}
+
+/// One contender, by name, with an optional display-label override.
+///
+/// Recognized names: `newreno`, `vegas`, `cubic`, `compound`,
+/// `cubic+sfqcodel`, `xcp`, `dctcp` / `dctcp:<K>` (ECN mark threshold in
+/// packets), and `remy:<table>` where `<table>` is a shipped asset name
+/// (`delta01`, `delta1`, `delta10`, `onex`, `tenx`, `datacenter`,
+/// `coexist`) or a path to a rule-table JSON file. A RemyCC name may
+/// carry a `:mask=XYZ` suffix (three `0`/`1` digits for ack_ewma,
+/// send_ewma, rtt_ratio) to blind the controller to signals — the
+/// ablation studies in spec form.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ContenderSpec {
+    /// Scheme name, as above.
+    pub scheme: String,
+    /// Display-label override (RemyCC contenders only).
+    pub label: Option<String>,
+}
+
+impl ContenderSpec {
+    /// A contender by name with the default label.
+    pub fn new(scheme: impl Into<String>) -> ContenderSpec {
+        ContenderSpec {
+            scheme: scheme.into(),
+            label: None,
+        }
+    }
+
+    /// A contender by name with an explicit display label.
+    pub fn labeled(scheme: impl Into<String>, label: impl Into<String>) -> ContenderSpec {
+        ContenderSpec {
+            scheme: scheme.into(),
+            label: Some(label.into()),
+        }
+    }
+
+    /// Build the runnable contender.
+    pub fn build(&self) -> Result<Contender, String> {
+        let baseline = |s: Scheme| -> Result<Contender, String> {
+            if self.label.is_some() {
+                return Err(format!(
+                    "baseline '{}' uses its scheme label; remove the override",
+                    self.scheme
+                ));
+            }
+            Ok(Contender::baseline(s))
+        };
+        match self.scheme.as_str() {
+            "newreno" => baseline(Scheme::NewReno),
+            "vegas" => baseline(Scheme::Vegas),
+            "cubic" => baseline(Scheme::Cubic),
+            "compound" => baseline(Scheme::Compound),
+            "cubic+sfqcodel" | "cubic/sfqcodel" => baseline(Scheme::CubicSfqCodel),
+            "xcp" => baseline(Scheme::Xcp),
+            "dctcp" => baseline(Scheme::Dctcp { mark_threshold: 20 }),
+            s if s.starts_with("dctcp:") => {
+                let k = s["dctcp:".len()..]
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad DCTCP threshold in '{s}'"))?;
+                baseline(Scheme::Dctcp { mark_threshold: k })
+            }
+            s if s.starts_with("remy:") => {
+                let rest = &s["remy:".len()..];
+                let (table_name, mask) = match rest.split_once(":mask=") {
+                    Some((t, m)) => (t, Some(parse_mask(m)?)),
+                    None => (rest, None),
+                };
+                let table = load_table(table_name)?;
+                let label = self
+                    .label
+                    .clone()
+                    .unwrap_or_else(|| default_remy_label(table_name));
+                Ok(match mask {
+                    Some(m) => Contender::remy_masked(label, table, m),
+                    None => Contender::remy(label, table),
+                })
+            }
+            other => Err(format!("unknown contender '{other}'")),
+        }
+    }
+
+    /// Serialize to a JSON value: a plain string when no label override.
+    pub fn to_json_value(&self) -> Value {
+        match &self.label {
+            None => Value::str(self.scheme.clone()),
+            Some(l) => Value::obj(vec![
+                ("scheme", Value::str(self.scheme.clone())),
+                ("label", Value::str(l.clone())),
+            ]),
+        }
+    }
+
+    /// Deserialize a value written by [`ContenderSpec::to_json_value`].
+    pub fn from_json_value(v: &Value) -> Result<ContenderSpec, String> {
+        match v {
+            Value::Str(s) => Ok(ContenderSpec::new(s.clone())),
+            obj @ Value::Obj(_) => Ok(ContenderSpec {
+                scheme: obj.field("scheme")?.as_str()?.to_string(),
+                label: match obj.get("label") {
+                    None | Some(Value::Null) => None,
+                    Some(l) => Some(l.as_str()?.to_string()),
+                },
+            }),
+            other => Err(format!("contender must be a string or object: {}", other.pretty())),
+        }
+    }
+}
+
+fn parse_mask(m: &str) -> Result<[bool; 3], String> {
+    let bits: Vec<bool> = m
+        .chars()
+        .map(|c| match c {
+            '1' => Ok(true),
+            '0' => Ok(false),
+            other => Err(format!("mask digit must be 0 or 1, found '{other}'")),
+        })
+        .collect::<Result<Vec<bool>, String>>()?;
+    bits.try_into()
+        .map_err(|_| format!("mask needs exactly 3 digits, found '{m}'"))
+}
+
+fn load_table(name: &str) -> Result<Arc<WhiskerTree>, String> {
+    if let Some(t) = remy::assets::by_name(name) {
+        return Ok(t);
+    }
+    let text = std::fs::read_to_string(name)
+        .map_err(|e| format!("cannot read rule table '{name}': {e}"))?;
+    WhiskerTree::from_json(&text)
+        .map(Arc::new)
+        .map_err(|e| format!("cannot parse rule table '{name}': {e}"))
+}
+
+fn default_remy_label(table: &str) -> String {
+    match table {
+        "delta01" => "RemyCC d=0.1".to_string(),
+        "delta1" => "RemyCC d=1".to_string(),
+        "delta10" => "RemyCC d=10".to_string(),
+        "onex" => "RemyCC 1x".to_string(),
+        "tenx" => "RemyCC 10x".to_string(),
+        "datacenter" => "RemyCC datacenter".to_string(),
+        "coexist" => "RemyCC".to_string(),
+        path => {
+            let stem = std::path::Path::new(path)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or(path);
+            format!("RemyCC {stem}")
+        }
+    }
+}
+
+/// One sweep axis: a grid of values for one workload parameter. Multiple
+/// axes Cartesian-expand into sweep points, in declaration order with the
+/// last axis varying fastest.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SweepAxis {
+    /// Bottleneck link speeds, Mbps (replaces the workload link).
+    LinkMbps(Vec<f64>),
+    /// Shared propagation RTTs, milliseconds (applied to every sender).
+    RttMs(Vec<u64>),
+    /// Degrees of multiplexing (senders resized by cloning the first).
+    Senders(Vec<usize>),
+    /// Mean off-periods, milliseconds (duty-cycle sweep, every sender).
+    OffMeanMs(Vec<u64>),
+    /// Stochastic non-congestive loss rates: every contender runs over a
+    /// lossy DropTail queue with this drop probability.
+    LossRate(Vec<f64>),
+}
+
+impl SweepAxis {
+    /// The axis key used in sweep-point coordinates and JSON.
+    pub fn key(&self) -> &'static str {
+        match self {
+            SweepAxis::LinkMbps(_) => "link_mbps",
+            SweepAxis::RttMs(_) => "rtt_ms",
+            SweepAxis::Senders(_) => "n_senders",
+            SweepAxis::OffMeanMs(_) => "off_mean_ms",
+            SweepAxis::LossRate(_) => "loss_rate",
+        }
+    }
+
+    /// Number of grid values.
+    pub fn len(&self) -> usize {
+        match self {
+            SweepAxis::LinkMbps(v) => v.len(),
+            SweepAxis::RttMs(v) => v.len(),
+            SweepAxis::Senders(v) => v.len(),
+            SweepAxis::OffMeanMs(v) => v.len(),
+            SweepAxis::LossRate(v) => v.len(),
+        }
+    }
+
+    /// True when the axis has no values (an empty axis expands to zero
+    /// sweep points, i.e. an empty experiment).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn value(&self, i: usize) -> f64 {
+        match self {
+            SweepAxis::LinkMbps(v) => v[i],
+            SweepAxis::RttMs(v) => v[i] as f64,
+            SweepAxis::Senders(v) => v[i] as f64,
+            SweepAxis::OffMeanMs(v) => v[i] as f64,
+            SweepAxis::LossRate(v) => v[i],
+        }
+    }
+
+    /// Serialize to a JSON value.
+    pub fn to_json_value(&self) -> Value {
+        let values = match self {
+            SweepAxis::LinkMbps(v) | SweepAxis::LossRate(v) => {
+                Value::Arr(v.iter().map(|&x| Value::num(x)).collect())
+            }
+            SweepAxis::RttMs(v) | SweepAxis::OffMeanMs(v) => {
+                Value::Arr(v.iter().map(|&x| json::u64_value(x)).collect())
+            }
+            SweepAxis::Senders(v) => {
+                Value::Arr(v.iter().map(|&x| json::u64_value(x as u64)).collect())
+            }
+        };
+        Value::obj(vec![("axis", Value::str(self.key())), ("values", values)])
+    }
+
+    /// Deserialize a value written by [`SweepAxis::to_json_value`].
+    pub fn from_json_value(v: &Value) -> Result<SweepAxis, String> {
+        let values = v.field("values")?.as_arr()?;
+        let f64s = || -> Result<Vec<f64>, String> {
+            values.iter().map(Value::as_f64).collect()
+        };
+        let u64s = || -> Result<Vec<u64>, String> {
+            values.iter().map(Value::as_u64).collect()
+        };
+        match v.field("axis")?.as_str()? {
+            "link_mbps" => Ok(SweepAxis::LinkMbps(f64s()?)),
+            "rtt_ms" => Ok(SweepAxis::RttMs(u64s()?)),
+            "n_senders" => Ok(SweepAxis::Senders(
+                u64s()?.into_iter().map(|x| x as usize).collect(),
+            )),
+            "off_mean_ms" => Ok(SweepAxis::OffMeanMs(u64s()?)),
+            "loss_rate" => Ok(SweepAxis::LossRate(f64s()?)),
+            other => Err(format!("unknown sweep axis '{other}'")),
+        }
+    }
+}
+
+/// One point of the Cartesian sweep grid: `(axis key, value)` coordinates
+/// in axis order. Experiments without sweeps have a single point with no
+/// coordinates.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SweepPoint {
+    /// `(axis key, value)` pairs.
+    pub coords: Vec<(String, f64)>,
+}
+
+impl SweepPoint {
+    /// Coordinate lookup by axis key.
+    pub fn get(&self, key: &str) -> Option<f64> {
+        self.coords
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|&(_, v)| v)
+    }
+
+    /// A short "key=value, key=value" label; empty for the trivial point.
+    pub fn label(&self) -> String {
+        self.coords
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+/// A complete, serializable experiment description. See the module docs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExperimentSpec {
+    /// Machine name (registry key, CSV file stem).
+    pub name: String,
+    /// Human title printed above result tables.
+    pub title: String,
+    /// The dumbbell workload.
+    pub workload: WorkloadSpec,
+    /// Who contends (each runs the full grid).
+    pub contenders: Vec<ContenderSpec>,
+    /// Sweep axes, Cartesian-expanded.
+    pub sweeps: Vec<SweepAxis>,
+    /// Runs × seconds.
+    pub budget: Budget,
+    /// Base seed; see the module docs for the derivation.
+    pub seed: u64,
+    /// When set, the report appends the §1-style "median speedup / median
+    /// delay reduction" table of this contender label over each
+    /// human-designed scheme.
+    pub speedup_reference: Option<String>,
+}
+
+impl ExperimentSpec {
+    /// A spec with no sweeps and no speedup table (the common case).
+    pub fn new(
+        name: impl Into<String>,
+        title: impl Into<String>,
+        workload: WorkloadSpec,
+        contenders: Vec<ContenderSpec>,
+        budget: Budget,
+        seed: u64,
+    ) -> ExperimentSpec {
+        ExperimentSpec {
+            name: name.into(),
+            title: title.into(),
+            workload,
+            contenders,
+            sweeps: Vec::new(),
+            budget,
+            seed,
+            speedup_reference: None,
+        }
+    }
+
+    /// Builder-style: add a sweep axis.
+    pub fn with_sweep(mut self, axis: SweepAxis) -> ExperimentSpec {
+        self.sweeps.push(axis);
+        self
+    }
+
+    /// Builder-style: request the speedup table against this label.
+    pub fn with_speedup_reference(mut self, label: impl Into<String>) -> ExperimentSpec {
+        self.speedup_reference = Some(label.into());
+        self
+    }
+
+    /// The Cartesian sweep grid, in axis order (last axis fastest).
+    /// Always at least one point when there are no sweep axes.
+    pub fn points(&self) -> Vec<SweepPoint> {
+        let mut points = vec![SweepPoint::default()];
+        for axis in &self.sweeps {
+            let mut next = Vec::with_capacity(points.len() * axis.len());
+            for p in &points {
+                for i in 0..axis.len() {
+                    let mut q = p.clone();
+                    q.coords.push((axis.key().to_string(), axis.value(i)));
+                    next.push(q);
+                }
+            }
+            points = next;
+        }
+        points
+    }
+
+    /// The workload at one sweep point, plus the loss rate to inject (if
+    /// the grid has a `loss_rate` axis).
+    pub fn workload_at(&self, point: &SweepPoint) -> Result<(WorkloadSpec, Option<f64>), String> {
+        let mut wl = self.workload.clone();
+        let mut loss = None;
+        for (key, value) in &point.coords {
+            match key.as_str() {
+                "link_mbps" => wl.link = LinkRef::constant(*value),
+                "rtt_ms" => {
+                    let rtt = Ns::from_millis_f64(*value);
+                    for s in &mut wl.senders {
+                        s.rtt = rtt;
+                    }
+                }
+                "n_senders" => {
+                    let n = *value as usize;
+                    if n == 0 {
+                        return Err("n_senders sweep value must be positive".to_string());
+                    }
+                    let template = wl
+                        .senders
+                        .first()
+                        .ok_or("workload needs at least one sender to resize")?
+                        .clone();
+                    wl.senders.resize(n, template);
+                }
+                "off_mean_ms" => {
+                    let off = Ns::from_millis(*value as u64);
+                    for s in &mut wl.senders {
+                        s.traffic.off_mean = off;
+                    }
+                }
+                "loss_rate" => loss = Some(*value),
+                other => return Err(format!("unknown sweep coordinate '{other}'")),
+            }
+        }
+        Ok((wl, loss))
+    }
+
+    /// The common-random-numbers seed of sweep point `point_index`
+    /// (shared by every contender at that point).
+    pub fn point_seed(&self, point_index: usize) -> u64 {
+        SimRng::split_seed(self.seed, point_index as u64)
+    }
+
+    /// The scenarios one contender runs at one sweep point: `budget.runs`
+    /// fork-derived seeds over the contender's own queue discipline (or
+    /// the lossy queue when the point carries a loss rate).
+    pub fn scenarios_at(
+        &self,
+        point_index: usize,
+        point: &SweepPoint,
+        contender: &Contender,
+    ) -> Result<Vec<Scenario>, String> {
+        let (wl, loss) = self.workload_at(point)?;
+        let point_seed = self.point_seed(point_index);
+        (0..self.budget.runs)
+            .map(|k| {
+                let run_seed = SimRng::split_seed(point_seed, k as u64);
+                let queue = match loss {
+                    Some(p) => QueueSpec::LossyDropTail {
+                        capacity: wl.queue_capacity,
+                        drop_probability: p,
+                        // An independent stream for the loss process.
+                        seed: SimRng::split_seed(run_seed, u64::from(u32::MAX)),
+                    },
+                    None => contender.queue_spec(wl.queue_capacity),
+                };
+                wl.scenario(queue, self.budget.duration(), run_seed)
+            })
+            .collect()
+    }
+
+    /// Serialize to a JSON value.
+    pub fn to_json_value(&self) -> Value {
+        Value::obj(vec![
+            ("name", Value::str(self.name.clone())),
+            ("title", Value::str(self.title.clone())),
+            ("seed", json::u64_value(self.seed)),
+            ("budget", self.budget.to_json_value()),
+            ("workload", self.workload.to_json_value()),
+            (
+                "contenders",
+                Value::Arr(
+                    self.contenders
+                        .iter()
+                        .map(ContenderSpec::to_json_value)
+                        .collect(),
+                ),
+            ),
+            (
+                "sweeps",
+                Value::Arr(self.sweeps.iter().map(SweepAxis::to_json_value).collect()),
+            ),
+            (
+                "speedup_reference",
+                match &self.speedup_reference {
+                    Some(l) => Value::str(l.clone()),
+                    None => Value::Null,
+                },
+            ),
+        ])
+    }
+
+    /// Deserialize a value written by [`ExperimentSpec::to_json_value`].
+    /// `sweeps` and `speedup_reference` may be omitted in hand-written
+    /// specs.
+    pub fn from_json_value(v: &Value) -> Result<ExperimentSpec, String> {
+        let sweeps = match v.get("sweeps") {
+            None | Some(Value::Null) => Vec::new(),
+            Some(s) => s
+                .as_arr()?
+                .iter()
+                .map(SweepAxis::from_json_value)
+                .collect::<Result<Vec<SweepAxis>, String>>()?,
+        };
+        let speedup_reference = match v.get("speedup_reference") {
+            None | Some(Value::Null) => None,
+            Some(l) => Some(l.as_str()?.to_string()),
+        };
+        Ok(ExperimentSpec {
+            name: v.field("name")?.as_str()?.to_string(),
+            title: v.field("title")?.as_str()?.to_string(),
+            workload: WorkloadSpec::from_json_value(v.field("workload")?)?,
+            contenders: v
+                .field("contenders")?
+                .as_arr()?
+                .iter()
+                .map(ContenderSpec::from_json_value)
+                .collect::<Result<Vec<ContenderSpec>, String>>()?,
+            sweeps,
+            budget: Budget::from_json_value(v.field("budget")?)?,
+            seed: v.field("seed")?.as_u64()?,
+            speedup_reference,
+        })
+    }
+
+    /// Serialize to pretty-printed JSON text (trailing newline included,
+    /// so specs diff cleanly as checked-in files).
+    pub fn to_json(&self) -> String {
+        let mut s = self.to_json_value().pretty();
+        s.push('\n');
+        s
+    }
+
+    /// Parse a spec from JSON text.
+    pub fn from_json(text: &str) -> Result<ExperimentSpec, String> {
+        ExperimentSpec::from_json_value(&json::parse(text)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig4ish_spec() -> ExperimentSpec {
+        ExperimentSpec::new(
+            "test4",
+            "test dumbbell",
+            WorkloadSpec::uniform(
+                LinkRef::constant(15.0),
+                1000,
+                8,
+                Ns::from_millis(150),
+                TrafficSpec::fig4(),
+            ),
+            vec![
+                ContenderSpec::new("remy:delta1"),
+                ContenderSpec::new("newreno"),
+            ],
+            Budget {
+                runs: 4,
+                sim_secs: 10,
+            },
+            4001,
+        )
+    }
+
+    #[test]
+    fn spec_round_trips_losslessly() {
+        let mut spec = fig4ish_spec()
+            .with_sweep(SweepAxis::LinkMbps(vec![4.7, 15.0, 47.0]))
+            .with_sweep(SweepAxis::RttMs(vec![50, 150]))
+            .with_speedup_reference("RemyCC d=1");
+        spec.seed = u64::MAX - 17; // full-range seeds survive
+        let text = spec.to_json();
+        let back = ExperimentSpec::from_json(&text).expect("parse");
+        assert_eq!(spec, back);
+        assert_eq!(back.to_json(), text, "serialization is stable");
+    }
+
+    #[test]
+    fn heterogeneous_senders_round_trip_as_array() {
+        let mut spec = fig4ish_spec();
+        spec.workload.senders[3].rtt = Ns::from_millis(50);
+        let back = ExperimentSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(spec, back);
+        assert_eq!(back.workload.senders[3].rtt, Ns::from_millis(50));
+    }
+
+    #[test]
+    fn omitted_optional_fields_default() {
+        let text = r#"{
+            "name": "mini", "title": "mini", "seed": 1,
+            "budget": {"runs": 2, "sim_secs": 3},
+            "workload": {
+                "link": {"kind": "constant", "rate_mbps": 10},
+                "queue_capacity": 100,
+                "senders": {"n": 2, "rtt_ns": 150000000,
+                            "traffic": {"on": {"kind": "by_bytes", "mean_bytes": 1e5},
+                                        "off_mean_ns": 500000000, "start_on": false}},
+                "record_deliveries": false
+            },
+            "contenders": ["newreno"]
+        }"#;
+        let spec = ExperimentSpec::from_json(text).expect("parse");
+        assert!(spec.sweeps.is_empty());
+        assert!(spec.speedup_reference.is_none());
+        assert_eq!(spec.points().len(), 1);
+    }
+
+    #[test]
+    fn cartesian_expansion_orders_last_axis_fastest() {
+        let spec = fig4ish_spec()
+            .with_sweep(SweepAxis::LinkMbps(vec![10.0, 20.0]))
+            .with_sweep(SweepAxis::Senders(vec![2, 4, 8]));
+        let points = spec.points();
+        assert_eq!(points.len(), 6);
+        assert_eq!(points[0].get("link_mbps"), Some(10.0));
+        assert_eq!(points[0].get("n_senders"), Some(2.0));
+        assert_eq!(points[1].get("n_senders"), Some(4.0));
+        assert_eq!(points[3].get("link_mbps"), Some(20.0));
+        assert_eq!(points[5].label(), "link_mbps=20, n_senders=8");
+    }
+
+    #[test]
+    fn sweep_coordinates_reshape_the_workload() {
+        let spec = fig4ish_spec()
+            .with_sweep(SweepAxis::Senders(vec![12]))
+            .with_sweep(SweepAxis::RttMs(vec![50]))
+            .with_sweep(SweepAxis::OffMeanMs(vec![10]))
+            .with_sweep(SweepAxis::LossRate(vec![0.01]));
+        let points = spec.points();
+        let (wl, loss) = spec.workload_at(&points[0]).unwrap();
+        assert_eq!(wl.n(), 12);
+        assert!(wl.senders.iter().all(|s| s.rtt == Ns::from_millis(50)));
+        assert!(wl
+            .senders
+            .iter()
+            .all(|s| s.traffic.off_mean == Ns::from_millis(10)));
+        assert_eq!(loss, Some(0.01));
+    }
+
+    #[test]
+    fn scenarios_use_forked_seeds_and_common_random_numbers() {
+        let spec = fig4ish_spec();
+        let point = &spec.points()[0];
+        let remy = spec.contenders[0].build().unwrap();
+        let reno = spec.contenders[1].build().unwrap();
+        let a = spec.scenarios_at(0, point, &remy).unwrap();
+        let b = spec.scenarios_at(0, point, &reno).unwrap();
+        assert_eq!(a.len(), spec.budget.runs);
+        // Common random numbers: same seeds across contenders.
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.seed, y.seed);
+        }
+        // Forked derivation: never base + k.
+        for (k, sc) in a.iter().enumerate() {
+            assert_ne!(sc.seed, spec.seed + k as u64);
+        }
+        // A nearby base seed shares no stream.
+        let mut shifted = spec.clone();
+        shifted.seed += 1;
+        let c = shifted.scenarios_at(0, point, &reno).unwrap();
+        for x in &a {
+            for y in &c {
+                assert_ne!(x.seed, y.seed, "adjacent base seeds must not collide");
+            }
+        }
+    }
+
+    #[test]
+    fn contender_names_build() {
+        for name in [
+            "newreno",
+            "vegas",
+            "cubic",
+            "compound",
+            "cubic+sfqcodel",
+            "xcp",
+            "dctcp",
+            "dctcp:65",
+            "remy:delta01",
+            "remy:delta1:mask=011",
+        ] {
+            let c = ContenderSpec::new(name).build();
+            assert!(c.is_ok(), "{name}: {c:?}");
+        }
+        assert_eq!(
+            ContenderSpec::new("remy:delta01").build().unwrap().label(),
+            "RemyCC d=0.1"
+        );
+        assert_eq!(
+            ContenderSpec::labeled("remy:datacenter", "RemyCC (DropTail)")
+                .build()
+                .unwrap()
+                .label(),
+            "RemyCC (DropTail)"
+        );
+        assert!(ContenderSpec::new("bbr").build().is_err());
+        assert!(ContenderSpec::new("remy:no_such_table_or_file").build().is_err());
+        assert!(ContenderSpec::new("remy:delta1:mask=01").build().is_err());
+        assert!(ContenderSpec::labeled("cubic", "nope").build().is_err());
+    }
+
+    #[test]
+    fn named_traces_resolve() {
+        assert!(LinkRef::named_trace("verizon-like").resolve().is_ok());
+        assert!(LinkRef::named_trace("att-like").resolve().is_ok());
+        assert!(LinkRef::named_trace("tmobile").resolve().is_err());
+        assert!(LinkRef::constant(0.0).resolve().is_err());
+    }
+
+    #[test]
+    fn budget_scales_with_floors() {
+        let b = Budget {
+            runs: 16,
+            sim_secs: 30,
+        };
+        let s = b.scaled(4, 3);
+        assert_eq!(s.runs, 4);
+        assert_eq!(s.sim_secs, 10);
+        let tiny = b.scaled(100, 100);
+        assert_eq!(tiny.runs, 2);
+        assert_eq!(tiny.sim_secs, 3);
+    }
+}

@@ -17,36 +17,39 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(4);
 
-    let link = LinkSpec::Trace {
-        schedule: std::sync::Arc::new(verizon_schedule()),
-        name: "verizon-like LTE".to_string(),
-    };
-    println!(
-        "Verizon-like LTE downlink (synthetic, avg {:.1} Mbps), n = {n}, RTT 50 ms",
-        link.average_rate_mbps(1500)
+    let avg = LinkRef::named_trace("verizon-like")
+        .resolve()
+        .expect("shipped trace")
+        .average_rate_mbps(1500);
+    println!("Verizon-like LTE downlink (synthetic, avg {avg:.1} Mbps), n = {n}, RTT 50 ms");
+
+    let spec = ExperimentSpec::new(
+        "cellular",
+        "Verizon-like LTE",
+        WorkloadSpec::uniform(
+            LinkRef::named_trace("verizon-like"),
+            1000,
+            n,
+            Ns::from_millis(50),
+            TrafficSpec::fig4(),
+        ),
+        vec![
+            ContenderSpec::new("remy:delta01"),
+            ContenderSpec::new("remy:delta1"),
+            ContenderSpec::new("newreno"),
+            ContenderSpec::new("cubic"),
+            ContenderSpec::new("cubic+sfqcodel"),
+            ContenderSpec::new("vegas"),
+        ],
+        Budget {
+            runs: 6,
+            sim_secs: 30,
+        },
+        7,
     );
-
-    let cfg = Workload {
-        link,
-        queue_capacity: 1000,
-        n_senders: n,
-        rtt: Ns::from_millis(50),
-        traffic: TrafficSpec::fig4(),
-        duration: Ns::from_secs(30),
-        runs: 6,
-        seed: 7,
-    };
-
-    let contenders = [
-        Contender::remy("RemyCC d=0.1", remy::assets::delta01()),
-        Contender::remy("RemyCC d=1", remy::assets::delta1()),
-        Contender::baseline(Scheme::NewReno),
-        Contender::baseline(Scheme::Cubic),
-        Contender::baseline(Scheme::CubicSfqCodel),
-        Contender::baseline(Scheme::Vegas),
-    ];
-    for c in &contenders {
-        println!("{}", evaluate(c, &cfg).row());
+    let results = Experiment::new(spec).run().expect("spec is well-formed");
+    for cell in &results.cells {
+        println!("{}", cell.outcome.row());
     }
     println!("\nPaper finding: for n <= 4, RemyCCs stay on the efficient frontier even");
     println!("though the cellular link violates their design assumptions (Fig. 7).");

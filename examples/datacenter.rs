@@ -25,33 +25,38 @@ fn main() {
         transfer_bytes / 1e6
     );
 
-    let traffic = TrafficSpec {
-        on: OnSpec::ByBytes {
-            mean_bytes: transfer_bytes,
-        },
-        off_mean: Ns::from_millis(100),
-        start_on: false,
-    };
-    let cfg = Workload {
-        link: LinkSpec::constant(mbps),
-        queue_capacity: 1000,
-        n_senders: n,
-        rtt: Ns::from_millis(4),
-        traffic,
-        duration: Ns::from_secs(10),
-        runs: 4,
-        seed: 99,
-    };
-
     // DCTCP's gateway marks at K packets; the paper's guidance is
     // K ≈ C·RTT/7 ≈ 0.6 BDP; use 65 (the common 10 GbE setting), scaled.
     let k = ((65.0 * scale).round() as usize).max(4);
-    let contenders = [
-        Contender::baseline(Scheme::Dctcp { mark_threshold: k }),
-        Contender::remy("RemyCC (DropTail)", remy::assets::datacenter()),
-    ];
-    for c in &contenders {
-        let out = evaluate(c, &cfg);
+    let spec = ExperimentSpec::new(
+        "datacenter",
+        "Datacenter fabric",
+        WorkloadSpec::uniform(
+            LinkRef::constant(mbps),
+            1000,
+            n,
+            Ns::from_millis(4),
+            TrafficSpec {
+                on: OnSpec::ByBytes {
+                    mean_bytes: transfer_bytes,
+                },
+                off_mean: Ns::from_millis(100),
+                start_on: false,
+            },
+        ),
+        vec![
+            ContenderSpec::new(format!("dctcp:{k}")),
+            ContenderSpec::labeled("remy:datacenter", "RemyCC (DropTail)"),
+        ],
+        Budget {
+            runs: 4,
+            sim_secs: 10,
+        },
+        99,
+    );
+    let results = Experiment::new(spec).run().expect("spec is well-formed");
+    for cell in &results.cells {
+        let out = &cell.outcome;
         println!(
             "{:<20} tput mean {:>8.2} med {:>8.2} Mbps   rtt mean {:>6.2} med {:>6.2} ms",
             out.label,

@@ -6,6 +6,10 @@
 //! senders flipping between 100 kB transfers and half-second pauses — and
 //! prints per-sender median throughput and queueing delay.
 //!
+//! Experiments are declarative values: the spec below serializes to JSON
+//! (`spec.to_json()`), and the same comparison is drivable as
+//! `remy-cli run <spec.json>`.
+//!
 //! ```text
 //! cargo run --release -p remy-sim --example quickstart
 //! ```
@@ -13,28 +17,37 @@
 use remy_sim::prelude::*;
 
 fn main() {
-    let cfg = Workload {
-        link: LinkSpec::constant(15.0),
-        queue_capacity: 1000,
-        n_senders: 8,
-        rtt: Ns::from_millis(150),
-        traffic: TrafficSpec::fig4(),
-        duration: Ns::from_secs(30),
-        runs: 8,
-        seed: 42,
-    };
+    let spec = ExperimentSpec::new(
+        "quickstart",
+        "Fig. 4 dumbbell",
+        WorkloadSpec::uniform(
+            LinkRef::constant(15.0),
+            1000,
+            8,
+            Ns::from_millis(150),
+            TrafficSpec::fig4(),
+        ),
+        vec![
+            ContenderSpec::new("remy:delta1"),
+            ContenderSpec::new("newreno"),
+            ContenderSpec::new("cubic"),
+        ],
+        Budget {
+            runs: 8,
+            sim_secs: 30,
+        },
+        42,
+    );
 
     println!("Dumbbell: 15 Mbps, RTT 150 ms, n = 8, exp(100 kB) transfers / exp(0.5 s) off");
-    println!("{} runs x {}s per scheme\n", cfg.runs, cfg.duration.as_secs_f64());
+    println!(
+        "{} runs x {}s per scheme\n",
+        spec.budget.runs, spec.budget.sim_secs
+    );
 
-    let contenders = [
-        Contender::remy("RemyCC d=1", remy::assets::delta1()),
-        Contender::baseline(Scheme::NewReno),
-        Contender::baseline(Scheme::Cubic),
-    ];
-    for c in &contenders {
-        let out = evaluate(c, &cfg);
-        println!("{}", out.row());
+    let results = Experiment::new(spec).run().expect("spec is well-formed");
+    for cell in &results.cells {
+        println!("{}", cell.outcome.row());
     }
     println!("\nHigher throughput at lower queueing delay wins (paper Fig. 4).");
 }

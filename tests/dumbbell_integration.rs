@@ -119,17 +119,25 @@ fn sfqcodel_isolates_a_light_flow_from_a_buffer_filler() {
 
 #[test]
 fn harness_medians_are_sane_for_fig4_workload() {
-    let cfg = Workload {
-        link: LinkSpec::constant(15.0),
-        queue_capacity: 1000,
-        n_senders: 8,
-        rtt: Ns::from_millis(150),
-        traffic: TrafficSpec::fig4(),
-        duration: Ns::from_secs(15),
-        runs: 3,
-        seed: 21,
-    };
-    let out = evaluate(&Contender::baseline(Scheme::NewReno), &cfg);
+    let spec = ExperimentSpec::new(
+        "fig4_sanity",
+        "Fig. 4 sanity",
+        WorkloadSpec::uniform(
+            LinkRef::constant(15.0),
+            1000,
+            8,
+            Ns::from_millis(150),
+            TrafficSpec::fig4(),
+        ),
+        vec![ContenderSpec::new("newreno")],
+        Budget {
+            runs: 3,
+            sim_secs: 15,
+        },
+        21,
+    );
+    let results = Experiment::new(spec).run().expect("well-formed spec");
+    let out = &results.cells[0].outcome;
     // 8 senders with ~17% duty cycle on 15 Mbps: per-sender throughput
     // must land between "starved" and "whole link".
     assert!(

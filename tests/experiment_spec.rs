@@ -1,0 +1,209 @@
+//! Integration: the declarative experiment layer — golden JSON round
+//! trips, the named registry, and the `remy-cli run` entry point.
+
+use remy_sim::experiments;
+use remy_sim::prelude::*;
+use std::process::Command;
+
+/// The checked-in golden spec for Fig. 4. `remy-cli spec fig4` must keep
+/// producing exactly this document — spec-format drift fails the build
+/// (CI additionally diffs the regenerated file against the repo copy).
+const FIG4_GOLDEN: &str = include_str!("../specs/fig4.json");
+
+#[test]
+fn fig4_spec_matches_checked_in_golden() {
+    let spec = experiments::by_name("fig4")
+        .expect("fig4 registered")
+        .spec(Budget::default_fixed());
+    assert_eq!(
+        spec.to_json(),
+        FIG4_GOLDEN,
+        "specs/fig4.json is stale — regenerate with `remy-cli spec fig4`"
+    );
+}
+
+#[test]
+fn golden_spec_parses_and_round_trips() {
+    let spec = ExperimentSpec::from_json(FIG4_GOLDEN).expect("golden parses");
+    assert_eq!(spec.name, "fig4");
+    assert_eq!(spec.workload.n(), 8);
+    assert_eq!(spec.contenders.len(), 9);
+    assert_eq!(spec.to_json(), FIG4_GOLDEN, "parse ∘ print is identity");
+}
+
+#[test]
+fn every_registered_spec_round_trips_through_json() {
+    let tiny = Budget {
+        runs: 2,
+        sim_secs: 3,
+    };
+    for entry in experiments::all() {
+        let spec = entry.spec(tiny);
+        let text = spec.to_json();
+        let back = ExperimentSpec::from_json(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+        assert_eq!(back, spec, "{} round trip", entry.name);
+        assert_eq!(back.to_json(), text, "{} stable serialization", entry.name);
+    }
+}
+
+#[test]
+fn scenario_round_trips_every_queue_and_traffic_variant() {
+    // Scenario-level serialization is covered variant-by-variant in
+    // netsim's unit tests; here, cross-crate: a scenario produced by an
+    // expanded spec (trace link included) survives text JSON.
+    let spec = experiments::by_name("fig7")
+        .expect("fig7 registered")
+        .spec(Budget {
+            runs: 1,
+            sim_secs: 3,
+        });
+    let cells = spec.expand().expect("expand");
+    for cell in &cells {
+        let sc = &cell.scenarios[0];
+        let back = Scenario::from_json(&sc.to_json()).expect("parse");
+        assert_eq!(back.to_json(), sc.to_json());
+        assert_eq!(back.seed, sc.seed);
+        assert_eq!(back.queue, sc.queue);
+    }
+}
+
+#[test]
+fn user_authored_spec_executes_end_to_end() {
+    // Hand-written JSON (different field order, no optional fields, human
+    // number formats) must parse, round-trip, and run.
+    let text = r#"{
+        "name": "user_demo",
+        "title": "user-authored dumbbell",
+        "seed": 7,
+        "budget": {"runs": 2, "sim_secs": 4},
+        "workload": {
+            "link": {"kind": "constant", "rate_mbps": 12},
+            "queue_capacity": 500,
+            "senders": {"n": 3, "rtt_ns": 100000000,
+                        "traffic": {"on": {"kind": "by_bytes", "mean_bytes": 5e4},
+                                    "off_mean_ns": 250000000, "start_on": false}},
+            "record_deliveries": false
+        },
+        "contenders": ["newreno", "remy:delta1"],
+        "sweeps": [{"axis": "n_senders", "values": [2, 4]}]
+    }"#;
+    let spec = ExperimentSpec::from_json(text).expect("parse");
+    let reparsed = ExperimentSpec::from_json(&spec.to_json()).expect("reparse");
+    assert_eq!(reparsed, spec, "from_json ∘ to_json is lossless");
+    let results = Experiment::new(spec).run().expect("runs");
+    assert_eq!(results.cells.len(), 4, "2 sweep points x 2 contenders");
+    for cell in &results.cells {
+        assert!(
+            cell.outcome.median_throughput_mbps > 0.0,
+            "{} produced no throughput",
+            cell.label
+        );
+    }
+}
+
+#[test]
+fn remy_cli_runs_fig4_at_tiny_budget() {
+    let out = Command::new(env!("CARGO_BIN_EXE_remy-cli"))
+        .args(["run", "fig4", "--runs", "1", "--secs", "3"])
+        .output()
+        .expect("spawn remy-cli");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "remy-cli run fig4 failed: {stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("Fig. 4"), "report printed: {stdout}");
+    assert!(stdout.contains("RemyCC d=1"), "contender rows: {stdout}");
+    assert!(stdout.contains("(csv:"), "CSV written: {stdout}");
+}
+
+#[test]
+fn remy_cli_lists_experiments_and_dumps_specs() {
+    let list = Command::new(env!("CARGO_BIN_EXE_remy-cli"))
+        .arg("list-experiments")
+        .output()
+        .expect("spawn");
+    assert!(list.status.success());
+    let text = String::from_utf8_lossy(&list.stdout);
+    for entry in experiments::all() {
+        assert!(text.contains(entry.name), "{} listed", entry.name);
+    }
+
+    let spec = Command::new(env!("CARGO_BIN_EXE_remy-cli"))
+        .args(["spec", "fig4"])
+        .env_remove("REMY_RUNS")
+        .env_remove("REMY_SIM_SECS")
+        .output()
+        .expect("spawn");
+    assert!(spec.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&spec.stdout),
+        FIG4_GOLDEN,
+        "`remy-cli spec fig4` reproduces the checked-in golden"
+    );
+}
+
+#[test]
+fn spec_file_run_keeps_custom_presentation() {
+    // A dumped registry spec must dispatch back through its entry's
+    // custom runner: running fig3's spec produces the flow-length CDF,
+    // not a generic throughput table from the documentation workload.
+    let dir = std::env::temp_dir().join("remy_spec_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("fig3.json");
+    let spec = experiments::by_name("fig3").unwrap().spec(Budget {
+        runs: 5000,
+        sim_secs: 3,
+    });
+    std::fs::write(&path, spec.to_json()).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_remy-cli"))
+        .args(["run", path.to_str().unwrap(), "--out", "csv"])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.starts_with("bytes,empirical_cdf,closed_form_cdf"),
+        "fig3 spec file must produce the CDF, got: {stdout}"
+    );
+}
+
+#[test]
+fn remy_cli_runs_a_spec_file() {
+    let dir = std::env::temp_dir().join("remy_spec_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("mini.json");
+    let mut spec = ExperimentSpec::from_json(FIG4_GOLDEN).unwrap();
+    spec.contenders.truncate(2); // keep the smoke run quick
+    std::fs::write(&path, spec.to_json()).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_remy-cli"))
+        .args([
+            "run",
+            path.to_str().unwrap(),
+            "--runs",
+            "1",
+            "--secs",
+            "3",
+            "--out",
+            "csv",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.starts_with("scheme,median_tput_mbps"),
+        "--out csv prints CSV: {stdout}"
+    );
+    assert_eq!(stdout.lines().count(), 3, "header + 2 contender rows");
+}

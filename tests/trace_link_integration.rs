@@ -49,33 +49,40 @@ fn delivery_rate_never_exceeds_trace_budget() {
 
 #[test]
 fn all_schemes_survive_the_cellular_link() {
-    let cfg = Workload {
-        link: LinkSpec::Trace {
-            schedule: Arc::new(verizon_schedule()),
-            name: "verizon-like".into(),
+    let spec = ExperimentSpec::new(
+        "cellular_survival",
+        "Verizon-like LTE survival",
+        WorkloadSpec::uniform(
+            LinkRef::named_trace("verizon-like"),
+            1000,
+            4,
+            Ns::from_millis(50),
+            TrafficSpec::fig4(),
+        ),
+        vec![
+            ContenderSpec::new("newreno"),
+            ContenderSpec::new("vegas"),
+            ContenderSpec::new("cubic"),
+            ContenderSpec::new("compound"),
+            ContenderSpec::new("cubic+sfqcodel"),
+            ContenderSpec::new("xcp"),
+            ContenderSpec::new("remy:delta1"),
+        ],
+        Budget {
+            runs: 1,
+            sim_secs: 15,
         },
-        queue_capacity: 1000,
-        n_senders: 4,
-        rtt: Ns::from_millis(50),
-        traffic: TrafficSpec::fig4(),
-        duration: Ns::from_secs(15),
-        runs: 1,
-        seed: 31,
-    };
-    for scheme in Scheme::standard_suite() {
-        let out = evaluate(&Contender::baseline(scheme), &cfg);
+        31,
+    );
+    let results = Experiment::new(spec).run().expect("well-formed spec");
+    for cell in &results.cells {
         assert!(
-            out.median_throughput_mbps > 0.01,
+            cell.outcome.median_throughput_mbps > 0.01,
             "{} starved on the trace link: {}",
-            scheme.label(),
-            out.median_throughput_mbps
+            cell.label,
+            cell.outcome.median_throughput_mbps
         );
     }
-    let remy_out = evaluate(
-        &Contender::remy("RemyCC d=1", remy::assets::delta1()),
-        &cfg,
-    );
-    assert!(remy_out.median_throughput_mbps > 0.01);
 }
 
 #[test]
