@@ -23,7 +23,11 @@ fn bench_training(c: &mut Criterion) {
     let base = Arc::new(WhiskerTree::single_rule());
     // A small slice of the real neighbourhood keeps one iteration ~tens
     // of milliseconds while exercising the same candidate machinery.
-    let actions: Vec<Action> = Action::DEFAULT.neighbourhood().into_iter().take(8).collect();
+    let actions: Vec<Action> = Action::DEFAULT
+        .neighbourhood()
+        .into_iter()
+        .take(8)
+        .collect();
 
     g.bench_function("score_candidates_8x2", |b| {
         b.iter(|| {

@@ -108,8 +108,7 @@ impl CongestionControl for Cubic {
         let rtt = info.srtt.as_secs_f64().max(1e-6);
         // TCP-friendly region: Reno-equivalent AIMD with Cubic's β
         // (RFC 8312 §4.2): slope 3(1−β)/(1+β) per RTT.
-        self.w_est += 3.0 * (1.0 - BETA) / (1.0 + BETA) * info.newly_acked as f64
-            / self.cwnd;
+        self.w_est += 3.0 * (1.0 - BETA) / (1.0 + BETA) * info.newly_acked as f64 / self.cwnd;
         let target = self.w_cubic(t + rtt);
         if self.w_cubic(t) < self.w_est {
             // Cubic slower than Reno would be: follow Reno.
@@ -201,8 +200,8 @@ mod tests {
         cc.ssthresh = 50.0; // out of slow start
         cc.on_loss(Ns::from_secs(1), LossEvent::FastRetransmit);
         let after_loss = cc.cwnd(); // 70
-        // Feed ACKs over several seconds; window should recover toward
-        // W_max = 100 but not wildly overshoot early.
+                                    // Feed ACKs over several seconds; window should recover toward
+                                    // W_max = 100 but not wildly overshoot early.
         let mut t_ms = 1000;
         for _ in 0..2_000 {
             t_ms += 10;

@@ -148,7 +148,7 @@ mod tests {
     fn alpha_converges_to_full_marking() {
         let mut cc = Dctcp::new();
         cc.ssthresh = 2.0; // skip slow start
-        // Every window fully marked → α → 1.
+                           // Every window fully marked → α → 1.
         for w in 0..200 {
             cc.on_ack(&ack_at(w * 10, 4, true));
         }
@@ -192,11 +192,7 @@ mod tests {
         cc.alpha = 1.0;
         cc.cwnd = 100.0;
         cc.on_ack(&ack_at(0, 1, true));
-        assert!(
-            cc.cwnd() < 55.0,
-            "alpha=1 should halve, got {}",
-            cc.cwnd()
-        );
+        assert!(cc.cwnd() < 55.0, "alpha=1 should halve, got {}", cc.cwnd());
     }
 
     #[test]

@@ -125,10 +125,7 @@ impl Scheme {
     /// must know the link's average rate).
     pub fn router(&self, link: &LinkSpec, mss: u32) -> Option<Box<dyn RouterHook>> {
         match self {
-            Scheme::Xcp => Some(Box::new(XcpRouter::new(
-                link.average_rate_mbps(mss),
-                mss,
-            ))),
+            Scheme::Xcp => Some(Box::new(XcpRouter::new(link.average_rate_mbps(mss), mss))),
             _ => None,
         }
     }
@@ -158,6 +155,7 @@ mod closed_loop_tests {
             duration: Ns::from_secs(secs),
             seed,
             record_deliveries: false,
+            topology: None,
         };
         let ccs = (0..n).map(|_| scheme.build_cc()).collect();
         let router = scheme.router(&link, 1500);
@@ -202,10 +200,16 @@ mod closed_loop_tests {
         let v = run_scheme(Scheme::Vegas, 2, 60, 3);
         let c = run_scheme(Scheme::Cubic, 2, 60, 3);
         let vd = netsim::stats::mean(
-            &v.flows.iter().map(|f| f.mean_queue_delay_ms).collect::<Vec<_>>(),
+            &v.flows
+                .iter()
+                .map(|f| f.mean_queue_delay_ms)
+                .collect::<Vec<_>>(),
         );
         let cd = netsim::stats::mean(
-            &c.flows.iter().map(|f| f.mean_queue_delay_ms).collect::<Vec<_>>(),
+            &c.flows
+                .iter()
+                .map(|f| f.mean_queue_delay_ms)
+                .collect::<Vec<_>>(),
         );
         assert!(
             vd < cd / 2.0,
@@ -224,7 +228,10 @@ mod closed_loop_tests {
         let r = run_scheme(Scheme::Dctcp { mark_threshold: 20 }, 2, 60, 1);
         assert!(r.utilization(15.0) > 0.8, "util {}", r.utilization(15.0));
         let d = netsim::stats::mean(
-            &r.flows.iter().map(|f| f.mean_queue_delay_ms).collect::<Vec<_>>(),
+            &r.flows
+                .iter()
+                .map(|f| f.mean_queue_delay_ms)
+                .collect::<Vec<_>>(),
         );
         assert!(d < 60.0, "ECN keeps the queue shallow, got {d} ms");
     }
@@ -238,7 +245,10 @@ mod closed_loop_tests {
             r.utilization(15.0)
         );
         let d = netsim::stats::mean(
-            &r.flows.iter().map(|f| f.mean_queue_delay_ms).collect::<Vec<_>>(),
+            &r.flows
+                .iter()
+                .map(|f| f.mean_queue_delay_ms)
+                .collect::<Vec<_>>(),
         );
         assert!(d < 100.0, "XCP queue delay {d} ms");
     }
@@ -248,10 +258,17 @@ mod closed_loop_tests {
         let plain = run_scheme(Scheme::Cubic, 2, 60, 5);
         let aqm = run_scheme(Scheme::CubicSfqCodel, 2, 60, 5);
         let pd = netsim::stats::mean(
-            &plain.flows.iter().map(|f| f.mean_queue_delay_ms).collect::<Vec<_>>(),
+            &plain
+                .flows
+                .iter()
+                .map(|f| f.mean_queue_delay_ms)
+                .collect::<Vec<_>>(),
         );
         let ad = netsim::stats::mean(
-            &aqm.flows.iter().map(|f| f.mean_queue_delay_ms).collect::<Vec<_>>(),
+            &aqm.flows
+                .iter()
+                .map(|f| f.mean_queue_delay_ms)
+                .collect::<Vec<_>>(),
         );
         assert!(
             ad < pd / 2.0,

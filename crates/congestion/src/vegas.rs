@@ -151,7 +151,10 @@ mod tests {
         // 66.7 pkt/s, diff = 33.3 pkt/s × 0.1 s = 3.33 packets queued.
         let d = Vegas::diff(10.0, Ns::from_millis(100), Ns::from_millis(150));
         assert!((d - 10.0 / 3.0).abs() < 1e-9);
-        assert_eq!(Vegas::diff(10.0, Ns::from_millis(100), Ns::from_millis(100)), 0.0);
+        assert_eq!(
+            Vegas::diff(10.0, Ns::from_millis(100), Ns::from_millis(100)),
+            0.0
+        );
     }
 
     #[test]

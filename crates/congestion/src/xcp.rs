@@ -159,7 +159,6 @@ impl XcpRouter {
     pub fn last_phi(&self) -> f64 {
         self.last_phi
     }
-
 }
 
 impl RouterHook for XcpRouter {

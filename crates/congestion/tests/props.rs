@@ -8,16 +8,30 @@ use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Event {
-    Ack { newly: u64, rtt_ms: u64, marked: bool, xcp: Option<i32> },
+    Ack {
+        newly: u64,
+        rtt_ms: u64,
+        marked: bool,
+        xcp: Option<i32>,
+    },
     Loss(bool), // true = timeout
     Restart,
 }
 
 fn arb_event() -> impl Strategy<Value = Event> {
     prop_oneof![
-        (0u64..4, 50u64..500, any::<bool>(), prop::option::of(-20i32..20)).prop_map(
-            |(newly, rtt_ms, marked, xcp)| Event::Ack { newly, rtt_ms, marked, xcp }
-        ),
+        (
+            0u64..4,
+            50u64..500,
+            any::<bool>(),
+            prop::option::of(-20i32..20)
+        )
+            .prop_map(|(newly, rtt_ms, marked, xcp)| Event::Ack {
+                newly,
+                rtt_ms,
+                marked,
+                xcp
+            }),
         any::<bool>().prop_map(Event::Loss),
         Just(Event::Restart),
     ]

@@ -17,7 +17,13 @@ use std::sync::Arc;
 
 /// Names of the shipped tables.
 pub const TABLE_NAMES: [&str; 7] = [
-    "delta01", "delta1", "delta10", "onex", "tenx", "datacenter", "coexist",
+    "delta01",
+    "delta1",
+    "delta10",
+    "onex",
+    "tenx",
+    "datacenter",
+    "coexist",
 ];
 
 fn parse(name: &str, json: &str) -> Arc<WhiskerTree> {

@@ -212,7 +212,8 @@ impl Evaluator {
         specimens: &[Scenario],
     ) -> Vec<f64> {
         self.score_matrix(actions.len(), specimens, |ai, sc| {
-            self.simulate_cell(base, Some((rule, actions[ai])), sc, false).0
+            self.simulate_cell(base, Some((rule, actions[ai])), sc, false)
+                .0
         })
     }
 }
@@ -340,10 +341,7 @@ mod tests {
         let e = tiny_eval();
         let t = Arc::new(WhiskerTree::single_rule());
         assert_eq!(e.score_candidates(&[Arc::clone(&t)], &[]), vec![0.0]);
-        assert_eq!(
-            e.score_overlays(&t, 0, &[Action::DEFAULT], &[]),
-            vec![0.0]
-        );
+        assert_eq!(e.score_overlays(&t, 0, &[Action::DEFAULT], &[]), vec![0.0]);
     }
 
     #[test]

@@ -93,10 +93,7 @@ mod tests {
         let r = report(&t, None);
         assert!(r.contains("8 rules"));
         assert!(r.contains("test-table"));
-        assert_eq!(
-            r.lines().filter(|l| l.starts_with("rule ")).count(),
-            8
-        );
+        assert_eq!(r.lines().filter(|l| l.starts_with("rule ")).count(), 8);
         assert!(r.contains("summary:"));
     }
 

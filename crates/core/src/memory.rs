@@ -114,14 +114,23 @@ mod tests {
                 Ns::from_millis(100),
             );
         }
-        assert!((m.ack_ewma_ms - 10.0).abs() < 0.01, "ack_ewma {}", m.ack_ewma_ms);
+        assert!(
+            (m.ack_ewma_ms - 10.0).abs() < 0.01,
+            "ack_ewma {}",
+            m.ack_ewma_ms
+        );
         assert!((m.send_ewma_ms - 10.0).abs() < 0.01);
     }
 
     #[test]
     fn ewma_weight_is_one_eighth() {
         let mut t = MemoryTracker::new();
-        t.on_ack(Ns::from_millis(0), Ns::ZERO, Ns::from_millis(100), Ns::from_millis(100));
+        t.on_ack(
+            Ns::from_millis(0),
+            Ns::ZERO,
+            Ns::from_millis(100),
+            Ns::from_millis(100),
+        );
         // Second ack 8 ms later: ewma = 0 + (8 − 0)/8 = 1.0.
         let m = t.on_ack(
             Ns::from_millis(8),
@@ -147,8 +156,18 @@ mod tests {
     #[test]
     fn reset_forgets_everything() {
         let mut t = MemoryTracker::new();
-        t.on_ack(Ns::from_millis(100), Ns::ZERO, Ns::from_millis(100), Ns::from_millis(100));
-        t.on_ack(Ns::from_millis(120), Ns::from_millis(10), Ns::from_millis(110), Ns::from_millis(100));
+        t.on_ack(
+            Ns::from_millis(100),
+            Ns::ZERO,
+            Ns::from_millis(100),
+            Ns::from_millis(100),
+        );
+        t.on_ack(
+            Ns::from_millis(120),
+            Ns::from_millis(10),
+            Ns::from_millis(110),
+            Ns::from_millis(100),
+        );
         t.reset();
         assert_eq!(t.memory(), Memory::INITIAL);
     }

@@ -82,9 +82,7 @@ impl NetworkModel {
             link_mbps: (10_000.0, 10_000.0),
             rtt_ms: (4.0, 4.0),
             traffic: TrafficSpec {
-                on: OnSpec::ByBytes {
-                    mean_bytes: 20e6,
-                },
+                on: OnSpec::ByBytes { mean_bytes: 20e6 },
                 off_mean: Ns::from_millis(100),
                 start_on: false,
             },
@@ -124,6 +122,7 @@ impl NetworkModel {
             duration,
             seed,
             record_deliveries: false,
+            topology: None,
         }
     }
 
@@ -176,8 +175,9 @@ mod tests {
     fn samples_are_diverse() {
         let m = NetworkModel::general();
         let mut rng = SimRng::new(2);
-        let ns: std::collections::HashSet<usize> =
-            (0..100).map(|_| m.sample(&mut rng, Ns::SECOND).n()).collect();
+        let ns: std::collections::HashSet<usize> = (0..100)
+            .map(|_| m.sample(&mut rng, Ns::SECOND).n())
+            .collect();
         assert!(ns.len() > 8, "n should vary across specimens: {ns:?}");
     }
 

@@ -99,7 +99,10 @@ impl Objective {
         if self.alpha == 2.0 && self.delta == 0.0 {
             "alpha=2 (min potential delay)".to_string()
         } else {
-            format!("alpha={} beta={} delta={}", self.alpha, self.beta, self.delta)
+            format!(
+                "alpha={} beta={} delta={}",
+                self.alpha, self.beta, self.delta
+            )
         }
     }
 }
@@ -171,11 +174,11 @@ mod tests {
         // finite score under every objective in use, so candidate
         // selection never sees NaN.
         let cases = [
-            flow(0.0, 0.0),                   // never delivered, no RTT sample
-            flow(f64::NAN, f64::NAN),         // poisoned summary
-            flow(f64::INFINITY, 0.0),         // degenerate interval
+            flow(0.0, 0.0),           // never delivered, no RTT sample
+            flow(f64::NAN, f64::NAN), // poisoned summary
+            flow(f64::INFINITY, 0.0), // degenerate interval
             flow(0.0, f64::INFINITY),
-            flow(-1.0, -5.0),                 // nonsense negatives
+            flow(-1.0, -5.0), // nonsense negatives
         ];
         for obj in [
             Objective::proportional(0.1),

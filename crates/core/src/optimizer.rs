@@ -150,11 +150,7 @@ impl Remy {
         mut progress: impl FnMut(TrainEvent),
     ) -> WhiskerTree {
         let started = Instant::now();
-        let evaluator = Evaluator::new(
-            self.model.clone(),
-            self.objective,
-            self.config.eval,
-        );
+        let evaluator = Evaluator::new(self.model.clone(), self.objective, self.config.eval);
         let mut global_epoch = 0u64;
         let mut draw_seed = self.config.seed;
         let mut steps = 0usize;
@@ -211,8 +207,7 @@ impl Remy {
                         .copied()
                         .filter(|c| !memo.contains_key(&action_key(c)))
                         .collect();
-                    let fresh_scores =
-                        evaluator.score_overlays(&shared, rule, &fresh, &specimens);
+                    let fresh_scores = evaluator.score_overlays(&shared, rule, &fresh, &specimens);
                     for (a, s) in fresh.iter().zip(&fresh_scores) {
                         memo.insert(action_key(a), *s);
                     }
@@ -256,9 +251,7 @@ impl Remy {
                 if let Some(rule) = tree.most_used(&usage) {
                     let split_at = usage
                         .median_memory(rule)
-                        .unwrap_or_else(|| {
-                            tree.get(rule).expect("rule exists").domain.midpoint()
-                        });
+                        .unwrap_or_else(|| tree.get(rule).expect("rule exists").domain.midpoint());
                     if tree.split(rule, split_at) {
                         progress(TrainEvent::Split {
                             rule,

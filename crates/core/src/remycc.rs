@@ -105,12 +105,9 @@ impl CongestionControl for RemyCc {
     }
 
     fn on_ack(&mut self, info: &AckInfo) {
-        let mut mem = self.memory.on_ack(
-            info.now,
-            info.echo_ts,
-            info.rtt_sample,
-            info.min_rtt,
-        );
+        let mut mem = self
+            .memory
+            .on_ack(info.now, info.echo_ts, info.rtt_sample, info.min_rtt);
         for i in 0..3 {
             if !self.signal_mask[i] {
                 *mem.axis_mut(i) = 0.0;
@@ -298,11 +295,14 @@ mod tests {
     #[test]
     fn candidate_overlay_with_retired_rule_is_inert() {
         let tree = Arc::new(WhiskerTree::single_rule());
-        let mut cc = RemyCc::new(tree).with_candidate(999, Action {
-            window_multiple: 0.0,
-            window_increment: -64.0,
-            intersend_ms: 1000.0,
-        });
+        let mut cc = RemyCc::new(tree).with_candidate(
+            999,
+            Action {
+                window_multiple: 0.0,
+                window_increment: -64.0,
+                intersend_ms: 1000.0,
+            },
+        );
         cc.on_flow_start(Ns::ZERO);
         cc.on_ack(&ack(100, 100, 100));
         assert_eq!(cc.cwnd(), 3.0, "unknown rule id leaves behaviour unchanged");
@@ -338,7 +338,7 @@ mod tests {
         let mut cc = RemyCc::new(Arc::new(tree)).with_signal_mask([true, true, false]);
         cc.on_flow_start(Ns::ZERO);
         cc.on_ack(&ack(400, 400, 100)); // true ratio 4, masked to 0
-        // The default rule (m=1, b=1) fires instead of the shrink rule.
+                                        // The default rule (m=1, b=1) fires instead of the shrink rule.
         assert_eq!(cc.cwnd(), 3.0);
         assert_eq!(cc.pacing(), Ns::from_micros(10));
     }

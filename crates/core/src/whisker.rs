@@ -86,7 +86,9 @@ impl Node {
     fn lookup(&self, m: Memory) -> &Whisker {
         match self {
             Node::Leaf(w) => w,
-            Node::Branch { split, children, .. } => {
+            Node::Branch {
+                split, children, ..
+            } => {
                 let mut idx = 0usize;
                 for i in 0..3 {
                     if m.axis(i) >= split.axis(i) {
@@ -101,9 +103,7 @@ impl Node {
     fn find_mut(&mut self, id: usize) -> Option<&mut Whisker> {
         match self {
             Node::Leaf(w) => (w.id == id).then_some(w),
-            Node::Branch { children, .. } => {
-                children.iter_mut().find_map(|c| c.find_mut(id))
-            }
+            Node::Branch { children, .. } => children.iter_mut().find_map(|c| c.find_mut(id)),
         }
     }
 
@@ -275,10 +275,7 @@ impl WhiskerTree {
         }
         self.next_id += 8;
         // Replace the leaf in place.
-        let target = self
-            .root
-            .find_node_mut(id)
-            .expect("leaf located above");
+        let target = self.root.find_node_mut(id).expect("leaf located above");
         *target = Node::Branch {
             domain,
             split,
@@ -326,10 +323,7 @@ impl WhiskerTree {
         let v = json::parse(s).map_err(err)?;
         Ok(WhiskerTree {
             root: Node::from_value(v.field("root").map_err(err)?).map_err(err)?,
-            next_id: v
-                .field("next_id")
-                .and_then(Value::as_usize)
-                .map_err(err)?,
+            next_id: v.field("next_id").and_then(Value::as_usize).map_err(err)?,
             provenance: v
                 .field("provenance")
                 .and_then(Value::as_str)
@@ -465,9 +459,7 @@ impl Node {
         match self {
             Node::Leaf(w) if w.id == id => Some(self),
             Node::Leaf(_) => None,
-            Node::Branch { children, .. } => {
-                children.iter_mut().find_map(|c| c.find_node_mut(id))
-            }
+            Node::Branch { children, .. } => children.iter_mut().find_map(|c| c.find_node_mut(id)),
         }
     }
 }

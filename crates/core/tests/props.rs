@@ -6,16 +6,11 @@ use remy::memory::{Memory, MEMORY_MAX};
 use remy::whisker::{Usage, WhiskerTree};
 
 fn arb_memory() -> impl Strategy<Value = Memory> {
-    (
-        0.0..MEMORY_MAX,
-        0.0..MEMORY_MAX,
-        0.0..MEMORY_MAX,
-    )
-        .prop_map(|(a, s, r)| Memory {
-            ack_ewma_ms: a,
-            send_ewma_ms: s,
-            rtt_ratio: r,
-        })
+    (0.0..MEMORY_MAX, 0.0..MEMORY_MAX, 0.0..MEMORY_MAX).prop_map(|(a, s, r)| Memory {
+        ack_ewma_ms: a,
+        send_ewma_ms: s,
+        rtt_ratio: r,
+    })
 }
 
 proptest! {

@@ -139,8 +139,7 @@ impl Usage {
         for (i, &c) in other.counts.iter().enumerate() {
             self.counts[i] += c;
             let room = MAX_SAMPLES.saturating_sub(self.samples[i].len());
-            self.samples[i]
-                .extend(other.samples[i].iter().take(room).copied());
+            self.samples[i].extend(other.samples[i].iter().take(room).copied());
         }
     }
 
@@ -336,14 +335,31 @@ mod tests {
     #[test]
     fn default_take_usage_is_none() {
         let mut cc = FixedWindow::new(10.0);
-        assert!(cc.take_usage().is_none(), "non-table schemes report no usage");
+        assert!(
+            cc.take_usage().is_none(),
+            "non-table schemes report no usage"
+        );
     }
 
     #[test]
     fn usage_records_merges_and_medians() {
         let mut a = Usage::new(2);
-        a.record(0, Memory { ack_ewma_ms: 1.0, send_ewma_ms: 2.0, rtt_ratio: 1.5 });
-        a.record(0, Memory { ack_ewma_ms: 3.0, send_ewma_ms: 4.0, rtt_ratio: 2.5 });
+        a.record(
+            0,
+            Memory {
+                ack_ewma_ms: 1.0,
+                send_ewma_ms: 2.0,
+                rtt_ratio: 1.5,
+            },
+        );
+        a.record(
+            0,
+            Memory {
+                ack_ewma_ms: 3.0,
+                send_ewma_ms: 4.0,
+                rtt_ratio: 2.5,
+            },
+        );
         let mut b = Usage::new(2);
         b.record(1, Memory::INITIAL);
         a.merge(&b);
@@ -357,7 +373,12 @@ mod tests {
 
     #[test]
     fn memory_clamps_into_domain() {
-        let m = Memory { ack_ewma_ms: -1.0, send_ewma_ms: 1e9, rtt_ratio: 2.0 }.clamped();
+        let m = Memory {
+            ack_ewma_ms: -1.0,
+            send_ewma_ms: 1e9,
+            rtt_ratio: 2.0,
+        }
+        .clamped();
         assert_eq!(m.ack_ewma_ms, 0.0);
         assert_eq!(m.send_ewma_ms, MEMORY_MAX);
         assert_eq!(m.rtt_ratio, 2.0);

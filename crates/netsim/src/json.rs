@@ -44,7 +44,8 @@ impl Value {
 
     /// Required object field, with a path-flavored error.
     pub fn field(&self, key: &str) -> Result<&Value, String> {
-        self.get(key).ok_or_else(|| format!("missing field '{key}'"))
+        self.get(key)
+            .ok_or_else(|| format!("missing field '{key}'"))
     }
 
     /// This value as f64.
@@ -102,7 +103,12 @@ impl Value {
 
     /// Shorthand object constructor, preserving field order.
     pub fn obj(fields: Vec<(&str, Value)>) -> Value {
-        Value::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        Value::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
     }
 
     /// Shorthand string constructor.
@@ -357,9 +363,8 @@ impl Parser<'_> {
                             if self.pos + 4 > self.bytes.len() {
                                 return Err("truncated \\u escape".to_string());
                             }
-                            let hex =
-                                std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
-                                    .map_err(|_| "bad \\u escape".to_string())?;
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| "bad \\u escape".to_string())?;
                             let code = u32::from_str_radix(hex, 16)
                                 .map_err(|_| "bad \\u escape".to_string())?;
                             self.pos += 4;
@@ -367,9 +372,7 @@ impl Parser<'_> {
                             // map lone surrogates to the replacement char.
                             out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
                         }
-                        other => {
-                            return Err(format!("bad escape '\\{}'", other as char))
-                        }
+                        other => return Err(format!("bad escape '\\{}'", other as char)),
                     }
                 }
                 b if b < 0x80 => out.push(b as char),
@@ -482,7 +485,9 @@ fn char_at(bytes: &[u8]) -> Result<char, String> {
         }
         Err(_) => return Err("invalid UTF-8 in string".to_string()),
     };
-    s.chars().next().ok_or_else(|| "empty string slice".to_string())
+    s.chars()
+        .next()
+        .ok_or_else(|| "empty string slice".to_string())
 }
 
 #[cfg(test)]

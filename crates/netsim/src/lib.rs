@@ -18,6 +18,8 @@
 //!   [`cc::CongestionControl`] implementation;
 //! * [`metrics`] / [`stats`] — the paper's measurement definitions
 //!   (throughput `Σsᵢ/Σtᵢ`, queueing delay, medians and 1-σ ellipses);
+//! * [`topology`] — multi-hop topologies (parking-lot chains, incast
+//!   fan-in, congested ACK paths) routed through the same event loop;
 //! * [`router`] — the hook XCP uses to run code at the bottleneck;
 //! * [`rng`] — deterministic, forkable randomness (common random numbers
 //!   are load-bearing for Remy's optimizer).
@@ -49,12 +51,13 @@ pub mod link;
 pub mod metrics;
 pub mod packet;
 pub mod queue;
-pub mod router;
 pub mod rng;
+pub mod router;
 pub mod scenario;
 pub mod sim;
 pub mod stats;
 pub mod time;
+pub mod topology;
 pub mod traffic;
 pub mod transport;
 
@@ -65,11 +68,12 @@ pub mod prelude {
     pub use crate::metrics::{FlowSummary, SimResults};
     pub use crate::packet::{Ack, FlowId, Packet};
     pub use crate::queue::QueueSpec;
-    pub use crate::router::{NoopRouter, RouterHook};
     pub use crate::rng::SimRng;
+    pub use crate::router::{NoopRouter, RouterHook};
     pub use crate::scenario::{Scenario, SenderConfig};
     pub use crate::sim::{run_scenario, Simulator};
     pub use crate::time::Ns;
+    pub use crate::topology::{FlowPath, HopSpec, Topology};
     pub use crate::traffic::{OnSpec, TrafficSpec};
     pub use crate::transport::Transport;
 }

@@ -288,7 +288,7 @@ mod tests {
     #[test]
     fn schedule_unrolls_many_cycles() {
         let s = DeliverySchedule::new(vec![Ns(1), Ns(3)], Ns(1)); // period 4
-        // Cycle k delivers at 4k+1, 4k+3.
+                                                                  // Cycle k delivers at 4k+1, 4k+3.
         assert_eq!(s.next_after(Ns(100)), Ns(101));
         assert_eq!(s.next_after(Ns(101)), Ns(103));
         assert_eq!(s.next_after(Ns(103)), Ns(105));

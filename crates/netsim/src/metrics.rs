@@ -149,7 +149,11 @@ pub struct FlowSummary {
     pub packets_delivered: u64,
     /// Duplicate deliveries seen at the receiver.
     pub duplicate_deliveries: u64,
-    /// Mean time spent in the bottleneck queue, milliseconds.
+    /// Mean per-packet queueing delay, milliseconds: each data packet's
+    /// waits are summed over every queue on its forward path (the single
+    /// bottleneck queue on the legacy dumbbell) and recorded once, at its
+    /// final hop. ACK queueing on a congested return path is not included
+    /// here — it shows up in `mean_rtt_ms`.
     pub mean_queue_delay_ms: f64,
     /// Mean sender-observed RTT, milliseconds.
     pub mean_rtt_ms: f64,
@@ -181,9 +185,17 @@ pub struct DeliveryRecord {
 pub struct SimResults {
     /// Per-sender summaries, indexed by flow id.
     pub flows: Vec<FlowSummary>,
-    /// Packets dropped at the bottleneck.
+    /// Packets dropped by queues, summed across every hop. On a topology
+    /// with queued ACK paths this includes dropped ACK packets (queues do
+    /// not distinguish them); the legacy dumbbell has one hop and
+    /// delay-only ACKs, so there it is exactly data lost at the
+    /// bottleneck.
     pub queue_drops: u64,
-    /// Total packets the bottleneck served.
+    /// Data packets that cleared the last queue of their forward path —
+    /// i.e. were forwarded toward a receiver. Intermediate-hop traversals
+    /// and ACK packets are not counted, so
+    /// `packets_forwarded − Σ delivered` still bounds in-flight + lost
+    /// data on any topology.
     pub packets_forwarded: u64,
     /// Simulated duration.
     pub duration: Ns,

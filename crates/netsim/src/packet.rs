@@ -49,7 +49,23 @@ pub struct Packet {
     /// Stamped by the bottleneck queue on arrival; used to measure
     /// per-packet queueing delay.
     pub enqueued_at: Ns,
+    /// When `Some`, this packet is an acknowledgment in flight on a queued
+    /// ACK path (multi-hop topologies only; see [`crate::topology`]). Like
+    /// any packet it can be queued, delayed, or dropped — ACK loss is
+    /// recovered by later cumulative ACKs or the RTO.
+    pub ack: Option<Ack>,
+    /// Position along the owning flow's path (index into
+    /// [`crate::topology::FlowPath::fwd`], or `ack` for ACK packets).
+    /// Maintained by the engine; always 0 on the legacy dumbbell.
+    pub path_pos: usize,
+    /// Total time this packet has waited in queues so far, accumulated
+    /// hop by hop; the flow's queueing-delay metric records the sum once,
+    /// at the final data hop (end-to-end queueing, not a per-hop average).
+    pub queue_wait: Ns,
 }
+
+/// Wire size of an acknowledgment, bytes (TCP/IP header without payload).
+pub const ACK_BYTES: u32 = 40;
 
 impl Packet {
     /// A fresh data segment with no router state attached.
@@ -64,6 +80,28 @@ impl Packet {
             ecn_marked: false,
             xcp: None,
             enqueued_at: Ns::ZERO,
+            ack: None,
+            path_pos: 0,
+            queue_wait: Ns::ZERO,
+        }
+    }
+
+    /// An acknowledgment wrapped as a queueable packet for topologies with
+    /// a congested ACK return path.
+    pub fn carrying_ack(ack: Ack, sent_at: Ns) -> Packet {
+        Packet {
+            flow: ack.flow,
+            seq: ack.seq,
+            size: ACK_BYTES,
+            sent_at,
+            retransmit: false,
+            ecn_capable: false,
+            ecn_marked: false,
+            xcp: None,
+            enqueued_at: Ns::ZERO,
+            ack: Some(ack),
+            path_pos: 0,
+            queue_wait: Ns::ZERO,
         }
     }
 }
@@ -108,5 +146,26 @@ mod tests {
         assert!(!p.retransmit);
         assert!(!p.ecn_capable && !p.ecn_marked);
         assert!(p.xcp.is_none());
+        assert!(p.ack.is_none());
+        assert_eq!(p.path_pos, 0);
+    }
+
+    #[test]
+    fn ack_packet_wraps_the_acknowledgment() {
+        let ack = Ack {
+            flow: 2,
+            cum_ack: 9,
+            seq: 8,
+            echo_ts: Ns::from_millis(1),
+            received_at: Ns::from_millis(3),
+            ecn_echo: false,
+            xcp_feedback: None,
+            new_data: true,
+        };
+        let p = Packet::carrying_ack(ack, Ns::from_millis(3));
+        assert_eq!(p.flow, 2);
+        assert_eq!(p.seq, 8);
+        assert_eq!(p.size, ACK_BYTES);
+        assert_eq!(p.ack.as_ref().map(|a| a.cum_ack), Some(9));
     }
 }

@@ -255,8 +255,7 @@ impl CodelLaw {
             self.dropping = true;
             // If we dropped recently, resume from a higher count so the
             // drop rate re-converges quickly (the "count - 2" heuristic).
-            self.count = if self.count > 2 && now.saturating_sub(self.drop_next) < self.interval
-            {
+            self.count = if self.count > 2 && now.saturating_sub(self.drop_next) < self.interval {
                 self.count - 2
             } else {
                 1
@@ -745,6 +744,42 @@ pub enum QueueSpec {
 }
 
 impl QueueSpec {
+    /// The same discipline with a different packet capacity. Multi-hop
+    /// topologies use this to apply one contender's queue discipline to
+    /// hops of differing depth ([`Unlimited`](QueueSpec::Unlimited) has no
+    /// capacity and is returned unchanged).
+    pub fn with_capacity(self, capacity: usize) -> QueueSpec {
+        match self {
+            QueueSpec::DropTail { .. } => QueueSpec::DropTail { capacity },
+            QueueSpec::Unlimited => QueueSpec::Unlimited,
+            QueueSpec::Ecn { mark_threshold, .. } => QueueSpec::Ecn {
+                capacity,
+                mark_threshold,
+            },
+            QueueSpec::Codel { .. } => QueueSpec::Codel { capacity },
+            QueueSpec::SfqCodel { buckets, .. } => QueueSpec::SfqCodel { capacity, buckets },
+            QueueSpec::Red { min_th, max_th, .. } => QueueSpec::Red {
+                capacity,
+                min_th,
+                max_th,
+            },
+            QueueSpec::RedEcn { min_th, max_th, .. } => QueueSpec::RedEcn {
+                capacity,
+                min_th,
+                max_th,
+            },
+            QueueSpec::LossyDropTail {
+                drop_probability,
+                seed,
+                ..
+            } => QueueSpec::LossyDropTail {
+                capacity,
+                drop_probability,
+                seed,
+            },
+        }
+    }
+
     /// Serialize to a JSON value (kind tag plus the variant's fields).
     pub fn to_json_value(&self) -> Value {
         use crate::json::u64_value;
@@ -849,9 +884,7 @@ impl QueueSpec {
                 mark_threshold,
             } => Box::new(EcnThreshold::new(capacity, mark_threshold)),
             QueueSpec::Codel { capacity } => Box::new(Codel::new(capacity)),
-            QueueSpec::SfqCodel { capacity, buckets } => {
-                Box::new(SfqCodel::new(capacity, buckets))
-            }
+            QueueSpec::SfqCodel { capacity, buckets } => Box::new(SfqCodel::new(capacity, buckets)),
             QueueSpec::Red {
                 capacity,
                 min_th,
@@ -907,7 +940,10 @@ mod tests {
     fn droptail_stamps_enqueue_time() {
         let mut q = DropTail::new(10);
         q.enqueue(Ns::from_millis(7), pkt(0, 0));
-        assert_eq!(q.dequeue(Ns::from_millis(9)).unwrap().enqueued_at, Ns::from_millis(7));
+        assert_eq!(
+            q.dequeue(Ns::from_millis(9)).unwrap().enqueued_at,
+            Ns::from_millis(7)
+        );
     }
 
     #[test]
@@ -984,7 +1020,10 @@ mod tests {
             }
             t += Ns::from_millis(1);
         }
-        assert!(drops_at.len() >= 4, "expected several drops, got {drops_at:?}");
+        assert!(
+            drops_at.len() >= 4,
+            "expected several drops, got {drops_at:?}"
+        );
         let first_gap = drops_at[1] - drops_at[0];
         let last_gap = drops_at[drops_at.len() - 1] - drops_at[drops_at.len() - 2];
         assert!(
@@ -1306,6 +1345,58 @@ mod tests {
         let q = SfqCodel::new(10, 7);
         for f in 0..1000 {
             assert!(q.bucket_index(f) < 7);
+        }
+    }
+
+    #[test]
+    fn with_capacity_resizes_every_discipline() {
+        let specs = [
+            QueueSpec::DropTail { capacity: 1000 },
+            QueueSpec::Unlimited,
+            QueueSpec::Ecn {
+                capacity: 500,
+                mark_threshold: 20,
+            },
+            QueueSpec::Codel { capacity: 300 },
+            QueueSpec::SfqCodel {
+                capacity: 1000,
+                buckets: 64,
+            },
+            QueueSpec::Red {
+                capacity: 1000,
+                min_th: 5,
+                max_th: 15,
+            },
+            QueueSpec::RedEcn {
+                capacity: 1000,
+                min_th: 5,
+                max_th: 15,
+            },
+            QueueSpec::LossyDropTail {
+                capacity: 1000,
+                drop_probability: 0.013,
+                seed: 9,
+            },
+        ];
+        for spec in specs {
+            let resized = spec.clone().with_capacity(64);
+            match resized {
+                QueueSpec::Unlimited => assert_eq!(spec, QueueSpec::Unlimited),
+                QueueSpec::DropTail { capacity }
+                | QueueSpec::Ecn { capacity, .. }
+                | QueueSpec::Codel { capacity }
+                | QueueSpec::SfqCodel { capacity, .. }
+                | QueueSpec::Red { capacity, .. }
+                | QueueSpec::RedEcn { capacity, .. }
+                | QueueSpec::LossyDropTail { capacity, .. } => assert_eq!(capacity, 64),
+            }
+            // Non-capacity parameters survive the resize.
+            if let QueueSpec::Ecn { mark_threshold, .. } = spec.clone().with_capacity(64) {
+                assert_eq!(mark_threshold, 20);
+            }
+            if let QueueSpec::LossyDropTail { seed, .. } = spec.with_capacity(64) {
+                assert_eq!(seed, 9);
+            }
         }
     }
 }

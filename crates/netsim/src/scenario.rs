@@ -10,6 +10,7 @@ use crate::json::{self, Value};
 use crate::link::LinkSpec;
 use crate::queue::QueueSpec;
 use crate::time::Ns;
+use crate::topology::Topology;
 use crate::traffic::TrafficSpec;
 
 /// Configuration of one sender/receiver pair.
@@ -59,6 +60,12 @@ pub struct Scenario {
     /// Record every delivery (sequence plots, Fig. 6). Off by default —
     /// the log grows with every packet.
     pub record_deliveries: bool,
+    /// Multi-hop topology (parking-lot chains, incast fan-in, congested
+    /// ACK paths). `None` — the default, and the paper's world — is the
+    /// single-bottleneck dumbbell built from `link` + `queue`; when `Some`,
+    /// `link`/`queue` mirror hop 0 and the engine routes every flow along
+    /// its [`crate::topology::FlowPath`].
+    pub topology: Option<Topology>,
 }
 
 impl Scenario {
@@ -85,6 +92,7 @@ impl Scenario {
             duration,
             seed,
             record_deliveries: false,
+            topology: None,
         }
     }
 
@@ -106,22 +114,47 @@ impl Scenario {
         self
     }
 
+    /// Builder-style: route flows through a multi-hop topology. `link` and
+    /// `queue` are reset to mirror hop 0 so single-hop inspection code
+    /// keeps working. Panics on a topology that does not validate against
+    /// this scenario's sender count.
+    pub fn with_topology(mut self, topology: Topology) -> Scenario {
+        topology
+            .validate(self.senders.len())
+            .expect("topology matches scenario");
+        self.link = topology.hops[0].link.clone();
+        self.queue = topology.hops[0].queue.clone();
+        self.topology = Some(topology);
+        self
+    }
+
     /// Serialize to a JSON value. Everything that affects the simulation —
     /// including the seed and any trace link's full delivery schedule — is
     /// captured, so a serialized scenario pins a reproducible run.
     pub fn to_json_value(&self) -> Value {
-        Value::obj(vec![
+        let mut fields = vec![
             ("link", self.link.to_json_value()),
             ("queue", self.queue.to_json_value()),
             (
                 "senders",
-                Value::Arr(self.senders.iter().map(SenderConfig::to_json_value).collect()),
+                Value::Arr(
+                    self.senders
+                        .iter()
+                        .map(SenderConfig::to_json_value)
+                        .collect(),
+                ),
             ),
             ("mss", Value::num(self.mss as f64)),
             ("duration_ns", json::ns_value(self.duration)),
             ("seed", json::u64_value(self.seed)),
             ("record_deliveries", Value::Bool(self.record_deliveries)),
-        ])
+        ];
+        // Omitted entirely for the legacy dumbbell, so pre-topology
+        // scenario documents stay byte-identical.
+        if let Some(t) = &self.topology {
+            fields.push(("topology", t.to_json_value()));
+        }
+        Value::obj(fields)
     }
 
     /// Deserialize a value written by [`Scenario::to_json_value`].
@@ -135,6 +168,14 @@ impl Scenario {
         if senders.is_empty() {
             return Err("scenario needs at least one sender".to_string());
         }
+        let topology = match v.get("topology") {
+            None | Some(Value::Null) => None,
+            Some(t) => {
+                let topo = Topology::from_json_value(t)?;
+                topo.validate(senders.len())?;
+                Some(topo)
+            }
+        };
         Ok(Scenario {
             link: LinkSpec::from_json_value(v.field("link")?)?,
             queue: QueueSpec::from_json_value(v.field("queue")?)?,
@@ -143,6 +184,7 @@ impl Scenario {
             duration: json::ns_from(v.field("duration_ns")?)?,
             seed: v.field("seed")?.as_u64()?,
             record_deliveries: v.field("record_deliveries")?.as_bool()?,
+            topology,
         })
     }
 
@@ -258,17 +300,20 @@ mod tests {
     fn trace_link_round_trips_schedule_exactly() {
         let l = LinkSpec::trace(
             "verizon-like",
-            DeliverySchedule::new(
-                vec![Ns(400_000), Ns(900_000), Ns(1_400_000)],
-                Ns(100_000),
-            ),
+            DeliverySchedule::new(vec![Ns(400_000), Ns(900_000), Ns(1_400_000)], Ns(100_000)),
         );
         let v = l.to_json_value();
         let back = LinkSpec::from_json_value(&crate::json::parse(&v.pretty()).unwrap()).unwrap();
         match (&l, &back) {
             (
-                LinkSpec::Trace { schedule: a, name: an },
-                LinkSpec::Trace { schedule: b, name: bn },
+                LinkSpec::Trace {
+                    schedule: a,
+                    name: an,
+                },
+                LinkSpec::Trace {
+                    schedule: b,
+                    name: bn,
+                },
             ) => {
                 assert_eq!(an, bn);
                 assert_eq!(a.instants(), b.instants());
@@ -308,6 +353,55 @@ mod tests {
             assert_eq!(s.duration, back.duration);
             assert_eq!(s.record_deliveries, back.record_deliveries);
         }
+    }
+
+    #[test]
+    fn topology_scenarios_round_trip_and_validate() {
+        use crate::topology::{FlowPath, HopSpec, Topology};
+        let base = Scenario::dumbbell(
+            LinkSpec::constant(15.0),
+            QueueSpec::DropTail { capacity: 1000 },
+            2,
+            Ns::from_millis(100),
+            TrafficSpec::saturating(),
+            Ns::from_secs(10),
+            5,
+        );
+        let topo = Topology {
+            hops: vec![
+                HopSpec::new(
+                    LinkSpec::constant(10.0),
+                    QueueSpec::DropTail { capacity: 500 },
+                )
+                .with_prop_delay(Ns::from_millis(5)),
+                HopSpec::new(
+                    LinkSpec::constant(10.0),
+                    QueueSpec::DropTail { capacity: 500 },
+                ),
+            ],
+            paths: vec![
+                FlowPath::through(vec![0, 1]),
+                FlowPath::through(vec![1]).with_ack_path(vec![0]),
+            ],
+        };
+        let s = base.clone().with_topology(topo.clone());
+        // link/queue mirror hop 0.
+        assert!(matches!(s.link, LinkSpec::Constant { rate_mbps } if rate_mbps == 10.0));
+        assert_eq!(s.queue, QueueSpec::DropTail { capacity: 500 });
+        let text = s.to_json();
+        assert!(text.contains("\"topology\""));
+        let back = Scenario::from_json(&text).expect("parse");
+        assert_eq!(back.to_json(), text, "round trip is identity");
+        assert_eq!(back.topology.as_ref().unwrap().paths, topo.paths);
+        // Legacy scenarios serialize with no topology key at all.
+        assert!(!base.to_json().contains("topology"));
+        // A path set sized for the wrong sender count is rejected.
+        let wrong = Topology::single_bottleneck(LinkSpec::constant(1.0), QueueSpec::Unlimited, 3);
+        let mut v = crate::json::parse(&base.to_json()).unwrap();
+        if let Value::Obj(fields) = &mut v {
+            fields.push(("topology".to_string(), wrong.to_json_value()));
+        }
+        assert!(Scenario::from_json_value(&v).is_err());
     }
 
     #[test]

@@ -1,10 +1,21 @@
 //! The discrete-event simulation engine.
 //!
-//! One [`Simulator`] runs one dumbbell scenario: `n` senders share a
-//! bottleneck queue and link; data packets experience queueing plus a
-//! per-flow forward propagation delay; receivers acknowledge every packet
-//! and ACKs return after the flow's reverse propagation delay, uncongested
-//! (the paper's dumbbell has no reverse-path bottleneck).
+//! One [`Simulator`] runs one scenario. The default world is the paper's
+//! dumbbell: `n` senders share a bottleneck queue and link; data packets
+//! experience queueing plus a per-flow forward propagation delay;
+//! receivers acknowledge every packet and ACKs return after the flow's
+//! reverse propagation delay, uncongested (the paper's dumbbell has no
+//! reverse-path bottleneck).
+//!
+//! Scenarios with a [`crate::topology::Topology`] generalize that world to
+//! a chain/graph of hops: each packet walks its flow's
+//! [`crate::topology::FlowPath`] hop by hop (queue → link service →
+//! propagation to the next hop), and flows whose path declares ACK hops
+//! send their acknowledgments through queues too — parking-lot chains,
+//! incast fan-in, and reverse-path congestion all run through this one
+//! event loop. A 1-hop topology is byte-identical to the legacy dumbbell
+//! engine: the event sequence (times *and* tie-breaking insertion ids) is
+//! the same.
 //!
 //! The engine is strictly deterministic: all randomness flows from the
 //! scenario seed, and simultaneous events tie-break on insertion order.
@@ -14,8 +25,8 @@ use crate::link::LinkState;
 use crate::metrics::{DeliveryRecord, FlowMetrics, SimResults};
 use crate::packet::{Ack, Packet};
 use crate::queue::{Enqueue, Queue};
-use crate::router::RouterHook;
 use crate::rng::SimRng;
+use crate::router::RouterHook;
 use crate::scenario::Scenario;
 use crate::time::Ns;
 use crate::traffic::TrafficProcess;
@@ -29,18 +40,21 @@ enum Ev {
     Toggle(usize),
     /// A pacing timer expired for a flow.
     Pacer(usize),
-    /// The constant-rate link finished serving a packet.
-    LinkReady,
-    /// A trace-driven delivery opportunity.
-    TraceSlot,
+    /// A hop's constant-rate link finished serving a packet.
+    LinkReady(usize),
+    /// A trace-driven delivery opportunity at a hop.
+    TraceSlot(usize),
+    /// A packet propagates to the next hop on its path (`path_pos`
+    /// already advanced).
+    HopArrive(Packet),
     /// A packet reaches its receiver.
     Deliver(Packet),
     /// An ACK reaches its sender.
     AckArrive(Ack),
     /// A retransmission timer (flow, generation).
     Rto(usize, u64),
-    /// Periodic router control computation (XCP).
-    RouterTick,
+    /// Periodic router control computation (XCP) at a hop.
+    RouterTick(usize),
 }
 
 struct Entry {
@@ -64,10 +78,7 @@ impl Ord for Entry {
     fn cmp(&self, other: &Entry) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want earliest-first, with
         // insertion order breaking ties for determinism.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.id.cmp(&self.id))
+        other.at.cmp(&self.at).then_with(|| other.id.cmp(&self.id))
     }
 }
 
@@ -101,26 +112,39 @@ struct Flow {
     traffic: TrafficProcess,
     receiver: Receiver,
     metrics: FlowMetrics,
-    /// Bottleneck → receiver propagation.
+    /// Final data hop → receiver propagation.
     fwd_delay: Ns,
-    /// Receiver → sender propagation.
+    /// Receiver → sender propagation (after the final ACK hop, if any).
     back_delay: Ns,
+    /// Hops this flow's data packets cross, in order.
+    fwd_hops: Vec<usize>,
+    /// Hops this flow's ACKs cross; empty = pure-delay return path.
+    ack_hops: Vec<usize>,
     /// A pacer event is already scheduled at this time (dedup guard).
     pacer_scheduled: Option<Ns>,
     /// Latest RTO generation we have scheduled an event for.
     rto_scheduled_gen: u64,
 }
 
-/// The dumbbell simulator.
+/// Runtime state of one hop: the queue feeding a link, plus an optional
+/// router hook running at that hop.
+struct Hop {
+    queue: Box<dyn Queue>,
+    link: LinkState,
+    busy: bool,
+    router: Option<Box<dyn RouterHook>>,
+    /// Propagation toward the next hop on a path.
+    prop_delay_out: Ns,
+}
+
+/// The network simulator (dumbbell by default, multi-hop with a
+/// [`crate::topology::Topology`]).
 pub struct Simulator {
     now: Ns,
     end: Ns,
     heap: BinaryHeap<Entry>,
     next_id: u64,
-    queue: Box<dyn Queue>,
-    link: LinkState,
-    link_busy: bool,
-    router: Option<Box<dyn RouterHook>>,
+    hops: Vec<Hop>,
     flows: Vec<Flow>,
     mss: u32,
     packets_forwarded: u64,
@@ -130,22 +154,51 @@ pub struct Simulator {
 
 impl Simulator {
     /// Build a simulator: one congestion-control instance per sender
-    /// (must match `scenario.n()`), plus an optional router hook (XCP).
+    /// (must match `scenario.n()`), plus an optional router hook (XCP)
+    /// attached to hop 0 — the bottleneck of the legacy dumbbell. Use
+    /// [`Simulator::with_routers`] to attach hooks to other hops of a
+    /// multi-hop topology.
     pub fn new(
         scenario: &Scenario,
         ccs: Vec<Box<dyn CongestionControl>>,
         router: Option<Box<dyn RouterHook>>,
+    ) -> Simulator {
+        // Validate before indexing routers[0]: a hop-less topology must
+        // fail with its diagnostic, not an index panic.
+        if let Some(t) = &scenario.topology {
+            t.validate(scenario.n()).expect("topology matches scenario");
+        }
+        let n_hops = scenario.topology.as_ref().map_or(1, |t| t.n_hops());
+        let mut routers: Vec<Option<Box<dyn RouterHook>>> = (0..n_hops).map(|_| None).collect();
+        routers[0] = router;
+        Simulator::with_routers(scenario, ccs, routers)
+    }
+
+    /// Build a simulator with an explicit per-hop router-hook list
+    /// (`routers.len()` must equal the hop count; the legacy dumbbell has
+    /// exactly one hop).
+    pub fn with_routers(
+        scenario: &Scenario,
+        ccs: Vec<Box<dyn CongestionControl>>,
+        routers: Vec<Option<Box<dyn RouterHook>>>,
     ) -> Simulator {
         assert_eq!(
             ccs.len(),
             scenario.n(),
             "need exactly one congestion controller per sender"
         );
+        if let Some(t) = &scenario.topology {
+            t.validate(scenario.n()).expect("topology matches scenario");
+        }
         let mut root = SimRng::new(scenario.seed);
         let mut flows = Vec::with_capacity(scenario.n());
         for (i, (cfg, cc)) in scenario.senders.iter().zip(ccs).enumerate() {
             let rng = root.fork(i as u64 + 1);
             let half = Ns(cfg.rtt.0 / 2);
+            let (fwd_hops, ack_hops) = match &scenario.topology {
+                None => (vec![0], Vec::new()),
+                Some(t) => (t.paths[i].fwd.clone(), t.paths[i].ack.clone()),
+            };
             flows.push(Flow {
                 transport: Transport::new(cc),
                 traffic: TrafficProcess::new(cfg.traffic.clone(), scenario.mss, rng),
@@ -153,19 +206,49 @@ impl Simulator {
                 metrics: FlowMetrics::default(),
                 fwd_delay: half,
                 back_delay: cfg.rtt - half,
+                fwd_hops,
+                ack_hops,
                 pacer_scheduled: None,
                 rto_scheduled_gen: 0,
             });
         }
+        let mut router_slots = routers;
+        let hops: Vec<Hop> = match &scenario.topology {
+            None => {
+                assert_eq!(router_slots.len(), 1, "legacy dumbbell has one hop");
+                vec![Hop {
+                    queue: scenario.queue.build(),
+                    link: LinkState::from_spec(&scenario.link),
+                    busy: false,
+                    router: router_slots.pop().expect("one slot"),
+                    prop_delay_out: Ns::ZERO,
+                }]
+            }
+            Some(t) => {
+                assert_eq!(
+                    router_slots.len(),
+                    t.n_hops(),
+                    "need one router slot per hop"
+                );
+                t.hops
+                    .iter()
+                    .zip(router_slots.drain(..))
+                    .map(|(h, router)| Hop {
+                        queue: h.queue.build(),
+                        link: LinkState::from_spec(&h.link),
+                        busy: false,
+                        router,
+                        prop_delay_out: h.prop_delay_out,
+                    })
+                    .collect()
+            }
+        };
         let mut sim = Simulator {
             now: Ns::ZERO,
             end: scenario.duration,
             heap: BinaryHeap::new(),
             next_id: 0,
-            queue: scenario.queue.build(),
-            link: LinkState::from_spec(&scenario.link),
-            link_busy: false,
-            router,
+            hops,
             flows,
             mss: scenario.mss,
             packets_forwarded: 0,
@@ -178,15 +261,19 @@ impl Simulator {
                 sim.schedule(at, Ev::Toggle(i));
             }
         }
-        // …the first trace slot for trace-driven links…
-        if let LinkState::Trace { schedule } = &sim.link {
-            let first = schedule.next_after(Ns::ZERO);
-            sim.schedule(first, Ev::TraceSlot);
+        // …the first trace slot of every trace-driven hop…
+        for h in 0..sim.hops.len() {
+            if let LinkState::Trace { schedule } = &sim.hops[h].link {
+                let first = schedule.next_after(Ns::ZERO);
+                sim.schedule(first, Ev::TraceSlot(h));
+            }
         }
-        // …and the router's control clock.
-        if let Some(r) = &sim.router {
-            if let Some(period) = r.tick_interval() {
-                sim.schedule(period, Ev::RouterTick);
+        // …and each hop router's control clock.
+        for h in 0..sim.hops.len() {
+            if let Some(r) = &sim.hops[h].router {
+                if let Some(period) = r.tick_interval() {
+                    sim.schedule(period, Ev::RouterTick(h));
+                }
             }
         }
         sim
@@ -224,15 +311,16 @@ impl Simulator {
                     self.flows[i].pacer_scheduled = None;
                     self.try_send(i);
                 }
-                Ev::LinkReady => {
-                    self.link_busy = false;
-                    self.start_service_if_possible();
+                Ev::LinkReady(h) => {
+                    self.hops[h].busy = false;
+                    self.start_service_if_possible(h);
                 }
-                Ev::TraceSlot => self.on_trace_slot(),
+                Ev::TraceSlot(h) => self.on_trace_slot(h),
+                Ev::HopArrive(p) => self.on_hop_arrive(p),
                 Ev::Deliver(p) => self.on_deliver(p),
                 Ev::AckArrive(a) => self.on_ack_arrive(a),
                 Ev::Rto(i, generation) => self.on_rto(i, generation),
-                Ev::RouterTick => self.on_router_tick(),
+                Ev::RouterTick(h) => self.on_router_tick(h),
             }
         }
         self.now = self.end;
@@ -248,7 +336,7 @@ impl Simulator {
         let end = self.end;
         let mut flows = Vec::with_capacity(self.flows.len());
         let mut ccs = Vec::with_capacity(self.flows.len());
-        let queue_drops = self.queue.drops();
+        let queue_drops = self.hops.iter().map(|h| h.queue.drops()).sum();
         for f in self.flows {
             flows.push(f.metrics.summarize(end));
             ccs.push(f.transport.into_cc());
@@ -304,17 +392,22 @@ impl Simulator {
                         p.ecn_capable = cc.ecn_capable();
                         p.xcp = cc.xcp_header();
                     }
-                    if let Some(r) = self.router.as_mut() {
-                        r.on_arrival(now, &mut p, self.queue.len());
-                    }
-                    let admitted = self.queue.enqueue(now, p) == Enqueue::Queued;
+                    let entry_hop = self.flows[i].fwd_hops[0];
+                    let admitted = {
+                        let hop = &mut self.hops[entry_hop];
+                        let queue_pkts = hop.queue.len();
+                        if let Some(r) = hop.router.as_mut() {
+                            r.on_arrival(now, &mut p, queue_pkts);
+                        }
+                        hop.queue.enqueue(now, p) == Enqueue::Queued
+                    };
                     self.flows[i].transport.on_sent(now, seq, retransmit);
                     if !retransmit {
                         self.flows[i].traffic.consume_packet();
                     }
                     self.sync_rto(i);
                     if admitted {
-                        self.start_service_if_possible();
+                        self.start_service_if_possible(entry_hop);
                     }
                 }
                 SendPoll::Paced { until } => {
@@ -333,53 +426,113 @@ impl Simulator {
         }
     }
 
-    /// For constant-rate links: begin serving the head packet if the link
-    /// is idle. Trace links ignore this (deliveries happen on trace slots).
-    fn start_service_if_possible(&mut self) {
-        let LinkState::Constant { rate_mbps } = self.link else {
+    /// For constant-rate links: begin serving hop `h`'s head packet if its
+    /// link is idle. Trace links ignore this (deliveries happen on trace
+    /// slots).
+    fn start_service_if_possible(&mut self, h: usize) {
+        let LinkState::Constant { rate_mbps } = self.hops[h].link else {
             return;
         };
-        if self.link_busy {
+        if self.hops[h].busy {
             return;
         }
         let now = self.now;
-        let Some(mut p) = self.queue.dequeue(now) else {
+        let Some(mut p) = self.hops[h].queue.dequeue(now) else {
             return;
         };
-        self.link_busy = true;
+        self.hops[h].busy = true;
         let service = crate::time::service_time(p.size, rate_mbps);
-        let flow = p.flow;
-        // Queueing delay: time spent waiting before service began.
-        let wait = now.saturating_sub(p.enqueued_at);
-        self.flows[flow].metrics.record_queue_delay(wait);
-        if let Some(r) = self.router.as_mut() {
-            r.on_departure(now, &mut p, self.queue.len());
-        }
-        self.packets_forwarded += 1;
-        let deliver_at = now + service + self.flows[flow].fwd_delay;
-        self.schedule(now + service, Ev::LinkReady);
-        self.schedule(deliver_at, Ev::Deliver(p));
+        self.account_departure(h, &mut p, now);
+        self.schedule(now + service, Ev::LinkReady(h));
+        self.forward(h, p, now + service);
     }
 
-    fn on_trace_slot(&mut self) {
+    fn on_trace_slot(&mut self, h: usize) {
         let now = self.now;
         // Chain the next opportunity first.
-        if let LinkState::Trace { schedule } = &self.link {
+        if let LinkState::Trace { schedule } = &self.hops[h].link {
             let next = schedule.next_after(now);
-            self.schedule(next, Ev::TraceSlot);
+            self.schedule(next, Ev::TraceSlot(h));
         }
-        let Some(mut p) = self.queue.dequeue(now) else {
+        let Some(mut p) = self.hops[h].queue.dequeue(now) else {
             return;
         };
+        self.account_departure(h, &mut p, now);
+        self.forward(h, p, now);
+    }
+
+    /// Shared metrics/router bookkeeping when a packet leaves a hop's
+    /// queue: accumulate its queueing wait (data packets record the
+    /// end-to-end sum once, at the final hop of their forward path — on
+    /// the legacy dumbbell that is the only hop, so the sample is exactly
+    /// the bottleneck wait), run the router's departure hook, and count
+    /// it as forwarded when it is data completing its queue path. ACKs on
+    /// a queued return path are not data: their waits surface in the RTT
+    /// the sender measures, not in the flow's queueing-delay metric.
+    fn account_departure(&mut self, h: usize, p: &mut Packet, now: Ns) {
         let flow = p.flow;
         let wait = now.saturating_sub(p.enqueued_at);
-        self.flows[flow].metrics.record_queue_delay(wait);
-        if let Some(r) = self.router.as_mut() {
-            r.on_departure(now, &mut p, self.queue.len());
+        p.queue_wait += wait;
+        let last_data_hop = p.ack.is_none() && p.path_pos + 1 == self.flows[flow].fwd_hops.len();
+        if last_data_hop {
+            self.flows[flow].metrics.record_queue_delay(p.queue_wait);
+            self.packets_forwarded += 1;
         }
-        self.packets_forwarded += 1;
-        let deliver_at = now + self.flows[flow].fwd_delay;
-        self.schedule(deliver_at, Ev::Deliver(p));
+        let hop = &mut self.hops[h];
+        let queue_pkts = hop.queue.len();
+        if let Some(r) = hop.router.as_mut() {
+            r.on_departure(now, p, queue_pkts);
+        }
+    }
+
+    /// Route a packet leaving hop `h` at time `depart`: to the next hop on
+    /// its path, or — past the final hop — to its receiver (data) or
+    /// sender (ACK) after the flow's propagation delay.
+    fn forward(&mut self, h: usize, mut p: Packet, depart: Ns) {
+        let flow = p.flow;
+        let path_len = if p.ack.is_some() {
+            self.flows[flow].ack_hops.len()
+        } else {
+            self.flows[flow].fwd_hops.len()
+        };
+        if p.path_pos + 1 < path_len {
+            p.path_pos += 1;
+            let at = depart + self.hops[h].prop_delay_out;
+            self.schedule(at, Ev::HopArrive(p));
+        } else if let Some(ack) = p.ack.take() {
+            let at = depart + self.flows[flow].back_delay;
+            self.schedule(at, Ev::AckArrive(ack));
+        } else {
+            let at = depart + self.flows[flow].fwd_delay;
+            self.schedule(at, Ev::Deliver(p));
+        }
+    }
+
+    /// A packet arrives at the hop its `path_pos` points to: run the hop's
+    /// router hook, enqueue, and start service if the link is idle.
+    fn on_hop_arrive(&mut self, p: Packet) {
+        let flow = p.flow;
+        let h = if p.ack.is_some() {
+            self.flows[flow].ack_hops[p.path_pos]
+        } else {
+            self.flows[flow].fwd_hops[p.path_pos]
+        };
+        self.admit(h, p);
+    }
+
+    fn admit(&mut self, h: usize, mut p: Packet) {
+        let now = self.now;
+        let admitted = {
+            let hop = &mut self.hops[h];
+            let queue_pkts = hop.queue.len();
+            if let Some(r) = hop.router.as_mut() {
+                r.on_arrival(now, &mut p, queue_pkts);
+            }
+            hop.queue.enqueue(now, p) == Enqueue::Queued
+        };
+        if admitted {
+            self.start_service_if_possible(h);
+        }
     }
 
     fn on_deliver(&mut self, p: Packet) {
@@ -409,8 +562,17 @@ impl Simulator {
             xcp_feedback: p.xcp.map(|h| h.feedback),
             new_data,
         };
-        let at = now + self.flows[i].back_delay;
-        self.schedule(at, Ev::AckArrive(ack));
+        if self.flows[i].ack_hops.is_empty() {
+            // Legacy pure-delay return path: never queued, never dropped.
+            let at = now + self.flows[i].back_delay;
+            self.schedule(at, Ev::AckArrive(ack));
+        } else {
+            // Queued return path: the ACK becomes a 40-byte packet and
+            // takes its chances in the reverse-direction hops.
+            let entry_hop = self.flows[i].ack_hops[0];
+            let p = Packet::carrying_ack(ack, now);
+            self.admit(entry_hop, p);
+        }
     }
 
     fn on_ack_arrive(&mut self, ack: Ack) {
@@ -438,13 +600,21 @@ impl Simulator {
         self.sync_rto(i);
     }
 
-    fn on_router_tick(&mut self) {
+    fn on_router_tick(&mut self, h: usize) {
         let now = self.now;
-        if let Some(r) = self.router.as_mut() {
-            r.on_tick(now, self.queue.len());
-            if let Some(period) = r.tick_interval() {
-                self.schedule(now + period, Ev::RouterTick);
+        let next = {
+            let hop = &mut self.hops[h];
+            let queue_pkts = hop.queue.len();
+            match hop.router.as_mut() {
+                Some(r) => {
+                    r.on_tick(now, queue_pkts);
+                    r.tick_interval()
+                }
+                None => None,
             }
+        };
+        if let Some(period) = next {
+            self.schedule(now + period, Ev::RouterTick(h));
         }
     }
 
@@ -513,10 +683,7 @@ mod tests {
         let s = saturating_scenario(1, 10.0, 100);
         let r = run_scenario(&s, &|_| Box::new(FixedWindow::new(1.0)));
         let got = r.flows[0].throughput_mbps;
-        assert!(
-            (got - 0.12).abs() < 0.012,
-            "expected ~0.12 Mbps, got {got}"
-        );
+        assert!((got - 0.12).abs() < 0.012, "expected ~0.12 Mbps, got {got}");
         // And the queue never builds.
         assert!(r.flows[0].mean_queue_delay_ms < 1.5);
     }
@@ -672,5 +839,166 @@ mod tests {
     fn wrong_cc_count_panics() {
         let s = saturating_scenario(2, 10.0, 100);
         let _ = Simulator::new(&s, vec![Box::new(FixedWindow::new(1.0))], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "no hops")]
+    fn hopless_topology_panics_with_a_diagnostic() {
+        use crate::topology::Topology;
+        let mut s = saturating_scenario(1, 10.0, 100);
+        s.topology = Some(Topology {
+            hops: vec![],
+            paths: vec![],
+        });
+        let _ = Simulator::new(&s, vec![Box::new(FixedWindow::new(1.0))], None);
+    }
+
+    // --- multi-hop topologies ------------------------------------------
+
+    use crate::topology::{FlowPath, HopSpec, Topology};
+
+    fn droptail_hop(rate_mbps: f64, capacity: usize) -> HopSpec {
+        HopSpec::new(
+            LinkSpec::constant(rate_mbps),
+            QueueSpec::DropTail { capacity },
+        )
+    }
+
+    #[test]
+    fn one_hop_topology_is_identical_to_legacy() {
+        let legacy = Scenario::dumbbell(
+            LinkSpec::constant(15.0),
+            QueueSpec::DropTail { capacity: 1000 },
+            4,
+            Ns::from_millis(150),
+            TrafficSpec::fig4(),
+            Ns::from_secs(30),
+            42,
+        );
+        let topo = legacy.clone().with_topology(Topology::single_bottleneck(
+            LinkSpec::constant(15.0),
+            QueueSpec::DropTail { capacity: 1000 },
+            4,
+        ));
+        let a = run_scenario(&legacy, &|_| Box::new(FixedWindow::new(50.0)));
+        let b = run_scenario(&topo, &|_| Box::new(FixedWindow::new(50.0)));
+        assert_eq!(a.queue_drops, b.queue_drops);
+        assert_eq!(a.packets_forwarded, b.packets_forwarded);
+        for (fa, fb) in a.flows.iter().zip(&b.flows) {
+            assert_eq!(fa.bytes, fb.bytes);
+            assert_eq!(fa.packets_delivered, fb.packets_delivered);
+            assert_eq!(fa.throughput_mbps.to_bits(), fb.throughput_mbps.to_bits());
+            assert_eq!(
+                fa.mean_queue_delay_ms.to_bits(),
+                fb.mean_queue_delay_ms.to_bits()
+            );
+            assert_eq!(fa.mean_rtt_ms.to_bits(), fb.mean_rtt_ms.to_bits());
+        }
+    }
+
+    #[test]
+    fn chain_throughput_limited_by_slowest_hop() {
+        let topo = Topology {
+            hops: vec![
+                droptail_hop(10.0, 1000),
+                droptail_hop(2.0, 1000),
+                droptail_hop(5.0, 1000),
+            ],
+            paths: vec![FlowPath::through(vec![0, 1, 2])],
+        };
+        let s = saturating_scenario(1, 10.0, 100).with_topology(topo);
+        let r = run_scenario(&s, &|_| Box::new(FixedWindow::new(200.0)));
+        let got = r.flows[0].throughput_mbps;
+        assert!(
+            (got - 2.0).abs() < 0.2,
+            "the 2 Mbps middle hop bottlenecks the chain, got {got}"
+        );
+        // Queueing delay is the per-packet sum over the whole path, not a
+        // per-hop average: a 200-packet window over a 2 Mbps bottleneck
+        // (6 ms/packet service) stands ~1.1 s deep. A per-hop average
+        // diluted by the two idle hops would report a third of that.
+        let qd = r.flows[0].mean_queue_delay_ms;
+        assert!(qd > 800.0, "end-to-end queueing, undiluted: {qd} ms");
+    }
+
+    #[test]
+    fn parking_lot_cross_traffic_contends_on_the_shared_hop() {
+        // Flow 0 crosses hops 0 and 1; flow 1 loads hop 1 only. They split
+        // hop 1's 10 Mbps while hop 0 stays uncongested.
+        let topo = Topology {
+            hops: vec![droptail_hop(10.0, 1000), droptail_hop(10.0, 1000)],
+            paths: vec![FlowPath::through(vec![0, 1]), FlowPath::through(vec![1])],
+        };
+        let s = saturating_scenario(2, 10.0, 100).with_topology(topo);
+        let r = run_scenario(&s, &|_| Box::new(FixedWindow::new(100.0)));
+        let t0 = r.flows[0].throughput_mbps;
+        let t1 = r.flows[1].throughput_mbps;
+        assert!(t0 + t1 > 9.5, "shared hop filled: {t0} + {t1}");
+        assert!(
+            (t0 - t1).abs() / (t0 + t1) < 0.1,
+            "even split on the shared hop: {t0} vs {t1}"
+        );
+    }
+
+    #[test]
+    fn reverse_path_ack_queueing_inflates_rtt() {
+        // Hop 0 is the eastbound direction, hop 1 the westbound. Flow 0 is
+        // a small window-limited flow east; flow 1 fills the westbound
+        // queue with data. With a queued ACK path, flow 0's ACKs wait
+        // behind flow 1's standing queue; with the legacy pure-delay
+        // return they do not.
+        let build = |queued_acks: bool| {
+            let flow0_ack = if queued_acks { vec![1] } else { vec![] };
+            let topo = Topology {
+                hops: vec![droptail_hop(10.0, 1000), droptail_hop(10.0, 1000)],
+                paths: vec![
+                    FlowPath::through(vec![0]).with_ack_path(flow0_ack),
+                    FlowPath::through(vec![1]),
+                ],
+            };
+            saturating_scenario(2, 10.0, 100).with_topology(topo)
+        };
+        let run = |s: &Scenario| {
+            run_scenario(s, &|i| {
+                Box::new(FixedWindow::new(if i == 0 { 5.0 } else { 400.0 }))
+            })
+        };
+        let contended = run(&build(true));
+        let clean = run(&build(false));
+        let rtt_contended = contended.flows[0].mean_rtt_ms;
+        let rtt_clean = clean.flows[0].mean_rtt_ms;
+        assert!(
+            rtt_clean < 110.0,
+            "pure-delay ACK path stays near propagation: {rtt_clean}"
+        );
+        assert!(
+            rtt_contended > rtt_clean + 100.0,
+            "ACKs queue behind reverse data: {rtt_contended} vs {rtt_clean}"
+        );
+        // And the window-limited flow's throughput collapses with its RTT.
+        assert!(contended.flows[0].throughput_mbps < clean.flows[0].throughput_mbps / 2.0);
+    }
+
+    #[test]
+    fn incast_fan_in_overflows_the_shallow_aggregation_queue() {
+        let n = 4;
+        let mut hops: Vec<HopSpec> = (0..n).map(|_| droptail_hop(100.0, 1000)).collect();
+        hops.push(droptail_hop(10.0, 20)); // shallow aggregation buffer
+        let topo = Topology {
+            hops,
+            paths: (0..n).map(|i| FlowPath::through(vec![i, n])).collect(),
+        };
+        let s = saturating_scenario(n, 10.0, 50).with_topology(topo);
+        let r = run_scenario(&s, &|_| Box::new(FixedWindow::new(100.0)));
+        assert!(
+            r.queue_drops > 0,
+            "4x100-pkt windows overflow a 20-pkt buffer"
+        );
+        let total: f64 = r.flows.iter().map(|f| f.throughput_mbps).sum();
+        assert!(
+            total > 8.5 && total <= 10.0,
+            "aggregate goodput tracks the fan-in link, minus loss-recovery \
+             overhead: {total}"
+        );
     }
 }

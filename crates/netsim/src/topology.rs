@@ -1,0 +1,302 @@
+//! Multi-hop network topologies.
+//!
+//! The paper evaluates congestion control only on single-bottleneck
+//! dumbbells and cellular traces; a [`Topology`] generalizes the simulator
+//! to a small directed graph of [`HopSpec`]s (each hop is one link plus the
+//! queue feeding it) with an explicit per-flow [`FlowPath`]. That unlocks
+//! the multi-bottleneck scenarios the paper leaves open:
+//!
+//! * **parking lot** — long flows traverse a chain of hops while
+//!   cross-traffic loads each hop individually;
+//! * **incast** — N senders fan in through per-sender access hops onto one
+//!   shared aggregation hop;
+//! * **reverse-path congestion** — the two directions of a link are two
+//!   hops, and one flow's ACKs queue behind another flow's data.
+//!
+//! A scenario without a topology (the default) is the legacy dumbbell: one
+//! hop built from [`crate::scenario::Scenario::link`]/`queue`, every flow's
+//! data crossing it, ACKs returning on a pure-delay path. A 1-hop topology
+//! whose paths all read `fwd: [0], ack: []` is byte-identical to that
+//! legacy engine (the equivalence suite in `tests/` pins this).
+
+use crate::json::{self, Value};
+use crate::link::LinkSpec;
+use crate::queue::QueueSpec;
+use crate::time::Ns;
+
+/// One directed hop: a queue draining into a link. Packets entering the
+/// hop are enqueued; the link serves the queue head (constant-rate) or
+/// releases packets at trace instants (trace-driven).
+#[derive(Clone, Debug)]
+pub struct HopSpec {
+    /// The link serving this hop's queue.
+    pub link: LinkSpec,
+    /// The queue discipline feeding the link.
+    pub queue: QueueSpec,
+    /// Propagation delay from this hop to the *next* hop on a path.
+    /// (The delay after a path's final hop is the flow's own half-RTT,
+    /// exactly as in the legacy dumbbell.)
+    pub prop_delay_out: Ns,
+}
+
+impl HopSpec {
+    /// A hop with no outbound propagation delay.
+    pub fn new(link: LinkSpec, queue: QueueSpec) -> HopSpec {
+        HopSpec {
+            link,
+            queue,
+            prop_delay_out: Ns::ZERO,
+        }
+    }
+
+    /// Builder-style: set the outbound propagation delay.
+    pub fn with_prop_delay(mut self, delay: Ns) -> HopSpec {
+        self.prop_delay_out = delay;
+        self
+    }
+
+    /// Serialize to a JSON value.
+    pub fn to_json_value(&self) -> Value {
+        Value::obj(vec![
+            ("link", self.link.to_json_value()),
+            ("queue", self.queue.to_json_value()),
+            ("prop_delay_out_ns", json::ns_value(self.prop_delay_out)),
+        ])
+    }
+
+    /// Deserialize a value written by [`HopSpec::to_json_value`].
+    pub fn from_json_value(v: &Value) -> Result<HopSpec, String> {
+        Ok(HopSpec {
+            link: LinkSpec::from_json_value(v.field("link")?)?,
+            queue: QueueSpec::from_json_value(v.field("queue")?)?,
+            prop_delay_out: json::ns_from(v.field("prop_delay_out_ns")?)?,
+        })
+    }
+}
+
+/// The hops one flow's packets traverse, in order.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct FlowPath {
+    /// Hops the flow's data packets cross, sender → receiver. Must be
+    /// non-empty.
+    pub fwd: Vec<usize>,
+    /// Hops the flow's ACKs cross, receiver → sender. Empty means the
+    /// legacy pure-delay return path (ACKs are never queued or dropped).
+    pub ack: Vec<usize>,
+}
+
+impl FlowPath {
+    /// A data path through the given hops with a pure-delay ACK return.
+    pub fn through(fwd: Vec<usize>) -> FlowPath {
+        FlowPath {
+            fwd,
+            ack: Vec::new(),
+        }
+    }
+
+    /// A data path plus a queued ACK return path.
+    pub fn with_ack_path(mut self, ack: Vec<usize>) -> FlowPath {
+        self.ack = ack;
+        self
+    }
+
+    /// Serialize to a JSON value.
+    pub fn to_json_value(&self) -> Value {
+        let hops = |p: &[usize]| Value::Arr(p.iter().map(|&h| json::u64_value(h as u64)).collect());
+        Value::obj(vec![("fwd", hops(&self.fwd)), ("ack", hops(&self.ack))])
+    }
+
+    /// Deserialize a value written by [`FlowPath::to_json_value`].
+    pub fn from_json_value(v: &Value) -> Result<FlowPath, String> {
+        let hops = |v: &Value| -> Result<Vec<usize>, String> {
+            v.as_arr()?.iter().map(Value::as_usize).collect()
+        };
+        Ok(FlowPath {
+            fwd: hops(v.field("fwd")?)?,
+            ack: hops(v.field("ack")?)?,
+        })
+    }
+}
+
+/// A complete multi-hop topology: the hop set plus one [`FlowPath`] per
+/// sender (index-aligned with [`crate::scenario::Scenario::senders`]).
+#[derive(Clone, Debug)]
+pub struct Topology {
+    /// Every hop in the network, indexed by position.
+    pub hops: Vec<HopSpec>,
+    /// `paths[i]` is sender `i`'s route.
+    pub paths: Vec<FlowPath>,
+}
+
+impl Topology {
+    /// The 1-hop topology equivalent to the legacy dumbbell: every one of
+    /// `n` flows forwards through the single hop, ACKs return un-queued.
+    pub fn single_bottleneck(link: LinkSpec, queue: QueueSpec, n: usize) -> Topology {
+        Topology {
+            hops: vec![HopSpec::new(link, queue)],
+            paths: (0..n).map(|_| FlowPath::through(vec![0])).collect(),
+        }
+    }
+
+    /// Number of hops.
+    pub fn n_hops(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Check structural invariants against a sender count: at least one
+    /// hop, one path per sender, non-empty forward paths, in-range hop
+    /// indices, and no hop repeated within a single path (loops would make
+    /// a packet's position on its path ambiguous).
+    pub fn validate(&self, n_flows: usize) -> Result<(), String> {
+        if self.hops.is_empty() {
+            return Err("topology has no hops".to_string());
+        }
+        if self.paths.len() != n_flows {
+            return Err(format!(
+                "topology has {} paths but the scenario has {} senders",
+                self.paths.len(),
+                n_flows
+            ));
+        }
+        for (i, p) in self.paths.iter().enumerate() {
+            if p.fwd.is_empty() {
+                return Err(format!("flow {i} has an empty forward path"));
+            }
+            for (what, path) in [("fwd", &p.fwd), ("ack", &p.ack)] {
+                let mut seen = vec![false; self.hops.len()];
+                for &h in path {
+                    if h >= self.hops.len() {
+                        return Err(format!(
+                            "flow {i} {what} path references hop {h}, but only {} exist",
+                            self.hops.len()
+                        ));
+                    }
+                    if seen[h] {
+                        return Err(format!("flow {i} {what} path visits hop {h} twice"));
+                    }
+                    seen[h] = true;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialize to a JSON value.
+    pub fn to_json_value(&self) -> Value {
+        Value::obj(vec![
+            (
+                "hops",
+                Value::Arr(self.hops.iter().map(HopSpec::to_json_value).collect()),
+            ),
+            (
+                "paths",
+                Value::Arr(self.paths.iter().map(FlowPath::to_json_value).collect()),
+            ),
+        ])
+    }
+
+    /// Deserialize a value written by [`Topology::to_json_value`].
+    pub fn from_json_value(v: &Value) -> Result<Topology, String> {
+        let topo = Topology {
+            hops: v
+                .field("hops")?
+                .as_arr()?
+                .iter()
+                .map(HopSpec::from_json_value)
+                .collect::<Result<Vec<HopSpec>, String>>()?,
+            paths: v
+                .field("paths")?
+                .as_arr()?
+                .iter()
+                .map(FlowPath::from_json_value)
+                .collect::<Result<Vec<FlowPath>, String>>()?,
+        };
+        topo.validate(topo.paths.len())?;
+        Ok(topo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_hop_chain() -> Topology {
+        Topology {
+            hops: (0..3)
+                .map(|_| {
+                    HopSpec::new(
+                        LinkSpec::constant(10.0),
+                        QueueSpec::DropTail { capacity: 100 },
+                    )
+                    .with_prop_delay(Ns::from_millis(10))
+                })
+                .collect(),
+            paths: vec![
+                FlowPath::through(vec![0, 1, 2]),
+                FlowPath::through(vec![0]),
+                FlowPath::through(vec![1]),
+                FlowPath::through(vec![2]),
+            ],
+        }
+    }
+
+    #[test]
+    fn single_bottleneck_matches_legacy_shape() {
+        let t = Topology::single_bottleneck(
+            LinkSpec::constant(15.0),
+            QueueSpec::DropTail { capacity: 1000 },
+            4,
+        );
+        assert_eq!(t.n_hops(), 1);
+        assert_eq!(t.paths.len(), 4);
+        assert!(t.paths.iter().all(|p| p.fwd == vec![0] && p.ack.is_empty()));
+        assert!(t.validate(4).is_ok());
+        assert!(t.validate(3).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_paths() {
+        let mut t = three_hop_chain();
+        assert!(t.validate(4).is_ok());
+        t.paths[0].fwd = vec![0, 7];
+        assert!(t.validate(4).unwrap_err().contains("hop 7"));
+        t.paths[0].fwd = vec![];
+        assert!(t.validate(4).unwrap_err().contains("empty forward path"));
+        t.paths[0].fwd = vec![1, 1];
+        assert!(t.validate(4).unwrap_err().contains("twice"));
+        t.paths[0].fwd = vec![0];
+        t.paths[0].ack = vec![2, 2];
+        assert!(t.validate(4).unwrap_err().contains("ack path"));
+        t.paths[0].ack = vec![];
+        t.hops.clear();
+        assert!(t.validate(4).unwrap_err().contains("no hops"));
+    }
+
+    #[test]
+    fn topology_round_trips_through_json() {
+        let mut t = three_hop_chain();
+        t.paths[0].ack = vec![2, 0];
+        let text = t.to_json_value().pretty();
+        let back = Topology::from_json_value(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.to_json_value().pretty(), text);
+        assert_eq!(back.paths, t.paths);
+        assert_eq!(back.hops.len(), 3);
+        assert_eq!(back.hops[1].prop_delay_out, Ns::from_millis(10));
+        assert_eq!(back.hops[2].queue, t.hops[2].queue);
+    }
+
+    #[test]
+    fn corrupt_topology_json_is_rejected() {
+        let t = three_hop_chain();
+        let text = t.to_json_value().pretty();
+        assert!(Topology::from_json_value(
+            &json::parse(&text.replace("\"fwd\"", "\"fwdd\"")).unwrap()
+        )
+        .is_err());
+        // Out-of-range hop indices fail at parse time, not at run time.
+        let mut bad = t.clone();
+        bad.paths[1].fwd = vec![9];
+        let v = json::parse(&bad.to_json_value().pretty()).unwrap();
+        assert!(Topology::from_json_value(&v).unwrap_err().contains("hop 9"));
+    }
+}

@@ -290,9 +290,7 @@ impl TrafficProcess {
 
     fn begin_off(&mut self, now: Ns) {
         self.current_on_started = None;
-        let off = Ns::from_secs_f64(
-            self.rng.exponential(self.spec.off_mean.as_secs_f64()),
-        );
+        let off = Ns::from_secs_f64(self.rng.exponential(self.spec.off_mean.as_secs_f64()));
         self.state = OnState::Off {
             until: now.saturating_add(off),
         };
@@ -364,7 +362,9 @@ mod tests {
     #[test]
     fn starts_off_then_turns_on() {
         let mut p = proc_with(
-            OnSpec::ByBytes { mean_bytes: 10_000.0 },
+            OnSpec::ByBytes {
+                mean_bytes: 10_000.0,
+            },
             Ns::from_millis(500),
             1,
         );

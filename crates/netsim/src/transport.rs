@@ -256,8 +256,7 @@ impl Transport {
         // During fast recovery every transmission additionally needs an
         // ACK-clock credit, which prevents hole-retransmission bursts from
         // re-overflowing the bottleneck queue.
-        let window_open =
-            pipe < window && (!self.in_recovery || self.recovery_quota >= 1.0);
+        let window_open = pipe < window && (!self.in_recovery || self.recovery_quota >= 1.0);
 
         // Fast-recovery retransmissions take priority over new data.
         let hole = if window_open { self.next_hole() } else { None };
@@ -265,9 +264,7 @@ impl Transport {
         // Post-timeout go-back-N resends: skip sequences the receiver is
         // known to have, then resend the rest without fresh traffic budget.
         if hole.is_none() {
-            while self.next_seq < self.rewound_through
-                && self.scoreboard.contains(&self.next_seq)
-            {
+            while self.next_seq < self.rewound_through && self.scoreboard.contains(&self.next_seq) {
                 self.next_seq += 1;
             }
         }
@@ -549,7 +546,10 @@ mod tests {
         assert_eq!(t.stats.fast_retransmits, 1);
         // The retransmission of seq 0 must be offered.
         match t.poll_send(Ns::from_millis(110), false) {
-            SendPoll::Send { seq: 0, retransmit: true } => {}
+            SendPoll::Send {
+                seq: 0,
+                retransmit: true,
+            } => {}
             other => panic!("expected rtx of 0, got {other:?}"),
         }
     }
@@ -568,7 +568,10 @@ mod tests {
         let mut holes = Vec::new();
         for k in 0..3 {
             match t.poll_send(Ns::from_millis(110 + k), false) {
-                SendPoll::Send { seq, retransmit: true } => {
+                SendPoll::Send {
+                    seq,
+                    retransmit: true,
+                } => {
                     holes.push(seq);
                     t.on_sent(Ns::from_millis(110 + k), seq, true);
                 }
@@ -588,7 +591,11 @@ mod tests {
         for k in 1..=5 {
             t.on_ack(Ns::from_millis(100 + k), &ack(0, k, Ns(k)));
         }
-        if let SendPoll::Send { seq: 0, retransmit: true } = t.poll_send(Ns::from_millis(110), false) {
+        if let SendPoll::Send {
+            seq: 0,
+            retransmit: true,
+        } = t.poll_send(Ns::from_millis(110), false)
+        {
             t.on_sent(Ns::from_millis(110), 0, true);
         } else {
             panic!("expected rtx");
@@ -610,13 +617,20 @@ mod tests {
             t.on_ack(Ns::from_millis(100 + seq), &ack(0, seq, Ns(seq)));
         }
         // Retransmit hole 0; hole 3 is next.
-        if let SendPoll::Send { seq: 0, retransmit: true } = t.poll_send(Ns::from_millis(110), false) {
+        if let SendPoll::Send {
+            seq: 0,
+            retransmit: true,
+        } = t.poll_send(Ns::from_millis(110), false)
+        {
             t.on_sent(Ns::from_millis(110), 0, true);
         } else {
             panic!("expected rtx of 0");
         }
         match t.poll_send(Ns::from_millis(111), false) {
-            SendPoll::Send { seq: 3, retransmit: true } => {
+            SendPoll::Send {
+                seq: 3,
+                retransmit: true,
+            } => {
                 t.on_sent(Ns::from_millis(111), 3, true);
             }
             other => panic!("expected rtx of 3, got {other:?}"),
@@ -757,14 +771,21 @@ mod tests {
             t.on_ack(Ns::from_millis(k), &ack(0, k, Ns(k)));
         }
         // pipe = 4 − 3 sacked = 1 < 4: hole 0 goes first…
-        if let SendPoll::Send { seq: 0, retransmit: true } = t.poll_send(Ns::from_millis(10), true) {
+        if let SendPoll::Send {
+            seq: 0,
+            retransmit: true,
+        } = t.poll_send(Ns::from_millis(10), true)
+        {
             t.on_sent(Ns::from_millis(10), 0, true);
         } else {
             panic!();
         }
         // …then pipe = 2 < 4 admits new data.
         match t.poll_send(Ns::from_millis(12), true) {
-            SendPoll::Send { seq: 4, retransmit: false } => {}
+            SendPoll::Send {
+                seq: 4,
+                retransmit: false,
+            } => {}
             other => panic!("expected new data during recovery, got {other:?}"),
         }
     }

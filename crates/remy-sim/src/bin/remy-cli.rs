@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! remy-cli run <name|spec.json> [--runs N] [--secs S] [--out csv]
-//! remy-cli list-experiments               # the named experiment registry
+//! remy-cli list-experiments [--names]     # the named experiment registry
 //! remy-cli spec <name> [--runs N] [--secs S]   # dump an experiment's JSON spec
 //! remy-cli inspect <table>                # annotated rule dump
 //! remy-cli eval <table> [delta] [specimens] [secs]  # score on the general model
@@ -47,7 +47,7 @@ fn die(msg: &str) -> ! {
 fn usage() -> ! {
     eprintln!(
         "usage:\n  remy-cli run <name|spec.json> [--runs N] [--secs S] [--out csv]\n  \
-         remy-cli list-experiments\n  \
+         remy-cli list-experiments [--names]\n  \
          remy-cli spec <name> [--runs N] [--secs S]\n  \
          remy-cli list\n  remy-cli inspect <table>\n  \
          remy-cli eval <table> [delta=1] [specimens=8] [secs=15]\n  \
@@ -91,9 +91,7 @@ fn cmd_eval(table_spec: &str, delta: f64, specimens: usize, secs: f64) {
         "table {table_spec}: {} rules, objective log(tput) - {delta} log(delay)",
         table.len()
     );
-    println!(
-        "score over {specimens} general-model specimens x {secs:.0}s: {score:.3}"
-    );
+    println!("score over {specimens} general-model specimens x {secs:.0}s: {score:.3}");
 }
 
 fn cmd_compare(a_spec: &str, b_spec: &str, runs: usize, secs: u64) {
@@ -102,23 +100,30 @@ fn cmd_compare(a_spec: &str, b_spec: &str, runs: usize, secs: u64) {
         "Fig. 4 dumbbell head-to-head",
         experiments::dumbbell_workload(8),
         vec![],
-        Budget { runs, sim_secs: secs },
+        Budget {
+            runs,
+            sim_secs: secs,
+        },
         12,
     );
-    println!(
-        "Fig. 4 dumbbell (15 Mbps, 150 ms, n=8), {runs} runs x {secs} s:"
-    );
+    println!("Fig. 4 dumbbell (15 Mbps, 150 ms, n=8), {runs} runs x {secs} s:");
     let point = &spec.points()[0];
     for table in [a_spec, b_spec] {
         let c = Contender::remy(table.to_string(), load(table));
-        let scenarios = spec
-            .scenarios_at(0, point, &c)
-            .unwrap_or_else(|e| die(&e));
+        let scenarios = spec.scenarios_at(0, point, &c).unwrap_or_else(|e| die(&e));
         println!("{}", evaluate_scenarios(&c, &scenarios).row());
     }
 }
 
-fn cmd_list_experiments() {
+fn cmd_list_experiments(names_only: bool) {
+    if names_only {
+        // Machine-readable: one registry name per line (CI loops over
+        // this to regenerate and diff every golden spec).
+        for e in experiments::all() {
+            println!("{}", e.name);
+        }
+        return;
+    }
     println!("{:<18} {:<22} description", "name", "csv");
     for e in experiments::all() {
         println!("{:<18} {:<22} {}", e.name, e.csv, e.about);
@@ -128,8 +133,8 @@ fn cmd_list_experiments() {
 }
 
 fn cmd_spec(name: &str, runs: Option<usize>, secs: Option<u64>) {
-    let entry = experiments::by_name(name)
-        .unwrap_or_else(|| die(&format!("unknown experiment '{name}'")));
+    let entry =
+        experiments::by_name(name).unwrap_or_else(|| die(&format!("unknown experiment '{name}'")));
     let mut budget = Budget::default_fixed();
     if let Some(r) = runs {
         budget.runs = r;
@@ -176,10 +181,14 @@ fn cmd_run(target: &str, runs: Option<usize>, secs: Option<u64>, out_csv: bool) 
                 .report(),
         }
     } else {
-        die(&format!(
-            "'{target}' is neither a registered experiment nor a spec file \
-             (see `remy-cli list-experiments`)"
-        ));
+        // An unknown name must fail loudly and helpfully: nonzero exit,
+        // candidate list on stderr (scripts rely on the exit code).
+        eprintln!("remy-cli: '{target}' is neither a registered experiment nor a spec file");
+        eprintln!("known experiments:");
+        for e in experiments::all() {
+            eprintln!("  {}", e.name);
+        }
+        std::process::exit(2);
     };
     if out_csv {
         report.print_csv();
@@ -198,9 +207,10 @@ fn main() {
     while let Some(a) = raw.next() {
         let mut flag = |name: &str| -> Option<String> {
             if a == name {
-                Some(raw.next().unwrap_or_else(|| {
-                    die(&format!("{name} needs a value"))
-                }))
+                Some(
+                    raw.next()
+                        .unwrap_or_else(|| die(&format!("{name} needs a value"))),
+                )
             } else {
                 a.strip_prefix(&format!("{name}=")).map(str::to_string)
             }
@@ -228,7 +238,9 @@ fn main() {
                 println!("{name:<12} {:>4} rules  {}", t.len(), t.provenance);
             }
         }
-        Some("list-experiments") => cmd_list_experiments(),
+        Some("list-experiments") => {
+            cmd_list_experiments(args.get(1).map(String::as_str) == Some("--names"))
+        }
         Some("spec") => {
             let n = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
             cmd_spec(n, runs, secs);

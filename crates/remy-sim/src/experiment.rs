@@ -44,6 +44,18 @@ impl ExperimentSpec {
         let mut cells = Vec::with_capacity(points.len() * self.contenders.len());
         for (pi, point) in points.iter().enumerate() {
             for cs in &self.contenders {
+                if self.workload.topology.is_some() && cs.scheme == "xcp" {
+                    // The harness attaches a contender's router hook to hop
+                    // 0 only; on a multi-hop topology XCP would silently run
+                    // at the wrong hop with the wrong rate. Refuse instead
+                    // (per-hop hooks exist via `Simulator::with_routers` for
+                    // hand-built scenarios).
+                    return Err(format!(
+                        "spec '{}': contender 'xcp' is not supported on a \
+                         topology workload",
+                        self.name
+                    ));
+                }
                 let contender = cs.build()?;
                 let scenarios = self.scenarios_at(pi, point, &contender)?;
                 cells.push(ExperimentCell {
@@ -183,8 +195,7 @@ impl ExperimentResults {
         let mut text = String::new();
         let mut csv_rows = Vec::new();
         for pi in 0..n_points {
-            let outcomes: Vec<Outcome> =
-                self.point_outcomes(pi).into_iter().cloned().collect();
+            let outcomes: Vec<Outcome> = self.point_outcomes(pi).into_iter().cloned().collect();
             let point = self
                 .cells
                 .iter()
@@ -207,9 +218,7 @@ impl ExperimentResults {
             };
             text.push_str(&outcomes_table(&title, &outcomes));
             if let Some(reference_label) = &self.spec.speedup_reference {
-                if let Some(reference) =
-                    outcomes.iter().find(|o| &o.label == reference_label)
-                {
+                if let Some(reference) = outcomes.iter().find(|o| &o.label == reference_label) {
                     // The paper's table compares against the human-designed
                     // schemes only.
                     let baselines: Vec<Outcome> = outcomes
@@ -264,10 +273,7 @@ mod tests {
                 Ns::from_millis(150),
                 TrafficSpec::fig4(),
             ),
-            vec![
-                ContenderSpec::new("newreno"),
-                ContenderSpec::new("vegas"),
-            ],
+            vec![ContenderSpec::new("newreno"), ContenderSpec::new("vegas")],
             Budget {
                 runs: 2,
                 sim_secs: 5,
@@ -329,5 +335,25 @@ mod tests {
         let mut spec = tiny_spec();
         spec.contenders.push(ContenderSpec::new("bbr"));
         assert!(Experiment::new(spec).run().is_err());
+    }
+
+    #[test]
+    fn xcp_on_a_topology_workload_is_rejected() {
+        use crate::spec::{HopRef, TopologySpec};
+        use netsim::topology::FlowPath;
+        let mut spec = tiny_spec();
+        spec.workload = spec.workload.clone().with_topology(TopologySpec {
+            hops: vec![HopRef::new(LinkRef::constant(15.0), 1000)],
+            paths: (0..2).map(|_| FlowPath::through(vec![0])).collect(),
+        });
+        spec.contenders.push(ContenderSpec::new("xcp"));
+        let err = match spec.expand() {
+            Ok(_) => panic!("xcp on a topology must be rejected"),
+            Err(e) => e,
+        };
+        assert!(err.contains("xcp"), "{err}");
+        // Without XCP the same topology spec expands fine.
+        spec.contenders.pop();
+        assert!(spec.expand().is_ok());
     }
 }

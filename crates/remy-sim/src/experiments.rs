@@ -12,13 +12,15 @@ use crate::experiment::Experiment;
 use crate::harness::{runs_from_env, sim_secs_from_env, Contender};
 use crate::report::ExperimentReport;
 use crate::spec::{
-    Budget, ContenderSpec, ExperimentSpec, LinkRef, SweepAxis, WorkloadSpec, DEFAULT_SIM_SECS,
+    Budget, ContenderSpec, ExperimentSpec, HopRef, LinkRef, SweepAxis, TopologySpec, WorkloadSpec,
+    DEFAULT_SIM_SECS,
 };
 use netsim::rng::SimRng;
 use netsim::scenario::SenderConfig;
 use netsim::sim::Simulator;
-use netsim::stats::{mean, std_dev, std_err};
+use netsim::stats::{mean, median, std_dev, std_err};
 use netsim::time::Ns;
+use netsim::topology::FlowPath;
 use netsim::traffic::{empirical_flow_bytes, OnSpec, TrafficSpec};
 use netsim::traffic::{PARETO_ALPHA, PARETO_SHIFT, PARETO_XM};
 use std::fmt::Write as _;
@@ -39,7 +41,14 @@ pub fn remy_contender_specs() -> Vec<ContenderSpec> {
 /// The full Figs. 4–9 line-up: three RemyCCs plus every baseline.
 pub fn standard_contender_specs() -> Vec<ContenderSpec> {
     let mut v = remy_contender_specs();
-    for name in ["newreno", "vegas", "cubic", "compound", "cubic+sfqcodel", "xcp"] {
+    for name in [
+        "newreno",
+        "vegas",
+        "cubic",
+        "compound",
+        "cubic+sfqcodel",
+        "xcp",
+    ] {
         v.push(ContenderSpec::new(name));
     }
     v
@@ -83,6 +92,86 @@ pub fn cellular_workload(trace: &str, n: usize) -> WorkloadSpec {
         Ns::from_millis(50),
         TrafficSpec::fig4(),
     )
+}
+
+/// The parking-lot chain (§ open problems): `hops` 10 Mbps hops in
+/// series, 10 ms apart. Senders 0 and 1 cross the whole chain; one cross
+/// sender loads each hop individually.
+pub fn parking_lot_workload(hops: usize) -> WorkloadSpec {
+    let n_long = 2;
+    let topo = TopologySpec {
+        hops: (0..hops)
+            .map(|_| {
+                HopRef::new(LinkRef::constant(10.0), 1000).with_prop_delay(Ns::from_millis(10))
+            })
+            .collect(),
+        paths: (0..n_long)
+            .map(|_| FlowPath::through((0..hops).collect()))
+            .chain((0..hops).map(|h| FlowPath::through(vec![h])))
+            .collect(),
+    };
+    let mut wl = WorkloadSpec::uniform(
+        LinkRef::constant(10.0),
+        1000,
+        n_long + hops,
+        Ns::from_millis(150),
+        TrafficSpec::fig4(),
+    );
+    for s in &mut wl.senders[n_long..] {
+        s.rtt = Ns::from_millis(100);
+    }
+    wl.with_topology(topo)
+}
+
+/// The `n`-to-1 incast fan-in: per-sender 1 Gbps access hops feed one
+/// 100 Mbps aggregation hop with a shallow (64-packet) buffer; senders
+/// push 1 MB transfers with short pauses, datacenter-style 4 ms RTTs.
+pub fn incast_workload(n: usize) -> WorkloadSpec {
+    let mut hops: Vec<HopRef> = (0..n)
+        .map(|_| HopRef::new(LinkRef::constant(1000.0), 1000))
+        .collect();
+    hops.push(HopRef::new(LinkRef::constant(100.0), 64));
+    let topo = TopologySpec {
+        hops,
+        paths: (0..n).map(|i| FlowPath::through(vec![i, n])).collect(),
+    };
+    WorkloadSpec::uniform(
+        LinkRef::constant(100.0),
+        64,
+        n,
+        Ns::from_millis(4),
+        TrafficSpec {
+            on: OnSpec::ByBytes { mean_bytes: 1e6 },
+            off_mean: Ns::from_millis(100),
+            start_on: false,
+        },
+    )
+    .with_topology(topo)
+}
+
+/// Reverse-path congestion: the two directions of one 10 Mbps link are
+/// two hops. Flow 0 sends data east (hop 0) with ACKs returning west
+/// (hop 1); flow 1 sends data west with ACKs returning east — each flow's
+/// ACKs queue behind the other's data.
+pub fn reverse_path_workload() -> WorkloadSpec {
+    let topo = TopologySpec {
+        hops: vec![
+            HopRef::new(LinkRef::constant(10.0), 1000),
+            HopRef::new(LinkRef::constant(10.0), 1000),
+        ],
+        paths: vec![
+            FlowPath::through(vec![0]).with_ack_path(vec![1]),
+            FlowPath::through(vec![1]).with_ack_path(vec![0]),
+        ],
+    };
+    WorkloadSpec::uniform(
+        LinkRef::constant(10.0),
+        1000,
+        2,
+        Ns::from_millis(100),
+        TrafficSpec::saturating(),
+    )
+    .with_topology(topo)
 }
 
 // ---------------------------------------------------------------------------
@@ -148,11 +237,8 @@ pub fn by_name(name: &str) -> Option<&'static NamedExperiment> {
 
 /// Expand and run a named experiment at the given budget.
 pub fn run_named(name: &str, budget: Budget) -> Result<ExperimentReport, String> {
-    let entry = by_name(name).ok_or_else(|| {
-        format!(
-            "unknown experiment '{name}' (see `remy-cli list-experiments`)"
-        )
-    })?;
+    let entry = by_name(name)
+        .ok_or_else(|| format!("unknown experiment '{name}' (see `remy-cli list-experiments`)"))?;
     entry.run(&entry.spec(budget))
 }
 
@@ -183,7 +269,7 @@ fn env_budget() -> Budget {
 // The catalogue
 // ---------------------------------------------------------------------------
 
-static REGISTRY: [NamedExperiment; 15] = [
+static REGISTRY: [NamedExperiment; 18] = [
     NamedExperiment {
         name: "fig3",
         csv: "fig3_flowcdf",
@@ -322,6 +408,38 @@ static REGISTRY: [NamedExperiment; 15] = [
         spec_fn: spec_ablation_loss,
         runner: Runner::Custom(run_ablation_loss),
     },
+    NamedExperiment {
+        name: "parking_lot3",
+        csv: "parking_lot3",
+        about: "3-hop parking lot: end-to-end flows vs per-hop cross traffic",
+        default_budget: env_budget,
+        spec_fn: spec_parking_lot3,
+        runner: Runner::Custom(run_parking_lot3),
+    },
+    NamedExperiment {
+        name: "incast16",
+        csv: "incast16",
+        about: "16-to-1 datacenter incast through a shallow aggregation buffer",
+        default_budget: || Budget::from_env().scaled(2, 2),
+        spec_fn: spec_incast16,
+        runner: Runner::Custom(run_incast16),
+    },
+    NamedExperiment {
+        name: "reverse_path",
+        csv: "reverse_path",
+        about: "data and ACKs contending on opposite directions of one link",
+        default_budget: || {
+            let b = Budget::from_env();
+            // Saturating senders draw no randomness, so extra seeded runs
+            // repeat the same trajectory; two runs double-check that.
+            Budget {
+                runs: b.runs.min(2),
+                sim_secs: b.sim_secs,
+            }
+        },
+        spec_fn: spec_reverse_path,
+        runner: Runner::Custom(run_reverse_path),
+    },
 ];
 
 // ---------------------------------------------------------------------------
@@ -394,7 +512,9 @@ fn spec_fig6(budget: Budget) -> ExperimentSpec {
     );
     // Flow 1 is on for exactly the first half of the run, then leaves.
     wl.senders[1].traffic = TrafficSpec {
-        on: OnSpec::ByTimeFixed { duration: depart_at },
+        on: OnSpec::ByTimeFixed {
+            duration: depart_at,
+        },
         off_mean: Ns::from_secs(10_000), // never comes back
         start_on: true,
     };
@@ -464,6 +584,7 @@ fn spec_fig10(budget: Budget) -> ExperimentSpec {
             })
             .collect(),
         record_deliveries: false,
+        topology: None,
     };
     ExperimentSpec::new(
         "fig10",
@@ -622,6 +743,51 @@ fn spec_ablation_loss(budget: Budget) -> ExperimentSpec {
     .with_sweep(SweepAxis::LossRate(LOSS_RATES.to_vec()))
 }
 
+fn spec_parking_lot3(budget: Budget) -> ExperimentSpec {
+    ExperimentSpec::new(
+        "parking_lot3",
+        "Parking lot — 3 x 10 Mbps hops, 2 end-to-end flows + 1 cross flow per hop",
+        parking_lot_workload(3),
+        vec![
+            ContenderSpec::new("remy:delta1"),
+            ContenderSpec::new("newreno"),
+            ContenderSpec::new("cubic"),
+        ],
+        budget,
+        31_001,
+    )
+}
+
+fn spec_incast16(budget: Budget) -> ExperimentSpec {
+    ExperimentSpec::new(
+        "incast16",
+        "Incast — 16-to-1 fan-in, 100 Mbps aggregation, 64-packet buffer, RTT 4 ms",
+        incast_workload(16),
+        vec![
+            ContenderSpec::labeled("remy:datacenter", "RemyCC (DropTail)"),
+            ContenderSpec::new("dctcp:8"),
+            ContenderSpec::new("newreno"),
+        ],
+        budget,
+        16_001,
+    )
+}
+
+fn spec_reverse_path(budget: Budget) -> ExperimentSpec {
+    ExperimentSpec::new(
+        "reverse_path",
+        "Reverse path — data and ACKs contending on opposite directions of a 10 Mbps link",
+        reverse_path_workload(),
+        vec![
+            ContenderSpec::new("remy:delta1"),
+            ContenderSpec::new("newreno"),
+            ContenderSpec::new("cubic"),
+        ],
+        budget,
+        27_001,
+    )
+}
+
 // ---------------------------------------------------------------------------
 // Custom runners
 // ---------------------------------------------------------------------------
@@ -637,7 +803,11 @@ fn run_fig3(spec: &ExperimentSpec) -> Result<ExperimentReport, String> {
 
     let mut text = String::new();
     let _ = writeln!(text, "== {} ==", spec.title);
-    let _ = writeln!(text, "{:>12} {:>12} {:>12}", "bytes", "empirical", "closed form");
+    let _ = writeln!(
+        text,
+        "{:>12} {:>12} {:>12}",
+        "bytes", "empirical", "closed form"
+    );
     let mut rows = Vec::new();
     for exp in 0..=7 {
         for mant in [1.0, 3.0] {
@@ -663,7 +833,10 @@ fn run_fig3(spec: &ExperimentSpec) -> Result<ExperimentReport, String> {
         .map(|_| empirical_flow_bytes(&mut rng, u64::MAX))
         .min()
         .unwrap();
-    let _ = writeln!(text, "\nminimum loaded flow (with +16 kB term): {min_loaded} bytes");
+    let _ = writeln!(
+        text,
+        "\nminimum loaded flow (with +16 kB term): {min_loaded} bytes"
+    );
     let _ = writeln!(
         text,
         "paper: distribution \"suggest[s] that the underlying distribution does not have finite mean\""
@@ -680,8 +853,9 @@ fn run_fig6(spec: &ExperimentSpec) -> Result<ExperimentReport, String> {
     let cells = spec.expand()?;
     let cell = &cells[0];
     let scenario = &cell.scenarios[0];
-    let ccs: Vec<Box<dyn netsim::cc::CongestionControl>> =
-        (0..scenario.n()).map(|_| cell.contender.build_cc()).collect();
+    let ccs: Vec<Box<dyn netsim::cc::CongestionControl>> = (0..scenario.n())
+        .map(|_| cell.contender.build_cc())
+        .collect();
     let results = Simulator::new(scenario, ccs, None).run();
 
     // Find the instant flow 1's deliveries stop (its actual departure).
@@ -1058,7 +1232,11 @@ fn run_ablation_signals(spec: &ExperimentSpec) -> Result<ExperimentReport, Strin
         "== {} ({} runs x {} s) ==",
         spec.title, spec.budget.runs, spec.budget.sim_secs
     );
-    let _ = writeln!(text, "{:<14} {:>12} {:>12}", "variant", "tput Mbps", "qdelay ms");
+    let _ = writeln!(
+        text,
+        "{:<14} {:>12} {:>12}",
+        "variant", "tput Mbps", "qdelay ms"
+    );
     let mut rows = Vec::new();
     for cell in &results.cells {
         let t = cell.outcome.median_throughput_mbps;
@@ -1129,13 +1307,172 @@ fn run_ablation_loss(spec: &ExperimentSpec) -> Result<ExperimentReport, String> 
     })
 }
 
+/// Pool one statistic over a subset of senders across all of a cell's
+/// runs (active senders only, as in the paper's per-sender statistics).
+fn pooled(
+    runs: &[Vec<netsim::metrics::FlowSummary>],
+    senders: std::ops::Range<usize>,
+    stat: impl Fn(&netsim::metrics::FlowSummary) -> f64,
+) -> Vec<f64> {
+    runs.iter()
+        .flat_map(|run| run[senders.clone()].iter())
+        .filter(|f| f.was_active())
+        .map(stat)
+        .collect()
+}
+
+fn run_parking_lot3(spec: &ExperimentSpec) -> Result<ExperimentReport, String> {
+    let results = Experiment::new(spec.clone()).run()?;
+    let n_hops = spec
+        .workload
+        .topology
+        .as_ref()
+        .ok_or("parking_lot3 spec needs a topology")?
+        .hops
+        .len();
+    let n_long = spec.workload.n() - n_hops;
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "== {} ({} runs x {} s) ==",
+        spec.title, spec.budget.runs, spec.budget.sim_secs
+    );
+    let _ = writeln!(
+        text,
+        "{:<16} {:>14} {:>14} {:>14} {:>14}",
+        "scheme", "e2e tput Mbps", "cross tput", "e2e qdelay ms", "cross qdelay"
+    );
+    let mut rows = Vec::new();
+    for cell in &results.cells {
+        let long_t = pooled(&cell.runs, 0..n_long, |f| f.throughput_mbps);
+        let cross_t = pooled(&cell.runs, n_long..spec.workload.n(), |f| f.throughput_mbps);
+        let long_d = pooled(&cell.runs, 0..n_long, |f| f.mean_queue_delay_ms);
+        let cross_d = pooled(&cell.runs, n_long..spec.workload.n(), |f| {
+            f.mean_queue_delay_ms
+        });
+        let (lt, ct, ld, cd) = (
+            median(&long_t),
+            median(&cross_t),
+            median(&long_d),
+            median(&cross_d),
+        );
+        let _ = writeln!(
+            text,
+            "{:<16} {lt:>14.3} {ct:>14.3} {ld:>14.2} {cd:>14.2}",
+            cell.label
+        );
+        rows.push(format!("{},{lt},{ct},{ld},{cd}", cell.label));
+    }
+    let _ = writeln!(
+        text,
+        "\nend-to-end flows cross {n_hops} queues and pay queueing at each; \
+         proportionally-fair schemes still grant them a non-zero share"
+    );
+    Ok(ExperimentReport {
+        csv_name: spec.name.clone(),
+        csv_header: "scheme,e2e_median_tput_mbps,cross_median_tput_mbps,\
+                     e2e_median_qdelay_ms,cross_median_qdelay_ms"
+            .to_string(),
+        csv_rows: rows,
+        text,
+    })
+}
+
+fn run_incast16(spec: &ExperimentSpec) -> Result<ExperimentReport, String> {
+    let results = Experiment::new(spec.clone()).run()?;
+    let n = spec.workload.n();
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "== {} ({} runs x {} s) ==",
+        spec.title, spec.budget.runs, spec.budget.sim_secs
+    );
+    let _ = writeln!(
+        text,
+        "{:<18} {:>14} {:>14} {:>12}",
+        "scheme", "agg tput Mbps", "per-flow med", "rtt med ms"
+    );
+    let mut rows = Vec::new();
+    let wall_secs = spec.budget.sim_secs as f64;
+    for cell in &results.cells {
+        // Aggregate goodput over the wall clock (per-flow `throughput_mbps`
+        // normalizes by each sender's on-time, so summing those would
+        // overshoot the link rate whenever flows take turns).
+        let agg: Vec<f64> = cell
+            .runs
+            .iter()
+            .map(|run| run.iter().map(|f| f.bytes as f64 * 8.0).sum::<f64>() / wall_secs / 1e6)
+            .collect();
+        let per_flow = pooled(&cell.runs, 0..n, |f| f.throughput_mbps);
+        let rtts = pooled(&cell.runs, 0..n, |f| f.mean_rtt_ms);
+        let (a, p, r) = (mean(&agg), median(&per_flow), median(&rtts));
+        let _ = writeln!(text, "{:<18} {a:>14.2} {p:>14.3} {r:>12.2}", cell.label);
+        rows.push(format!("{},{a},{p},{r}", cell.label));
+    }
+    let _ = writeln!(
+        text,
+        "\nthe shallow 64-packet aggregation buffer punishes synchronized \
+         window bursts; ECN (DCTCP) and delay-aware control avoid collapse"
+    );
+    Ok(ExperimentReport {
+        csv_name: spec.name.clone(),
+        csv_header: "scheme,agg_mean_tput_mbps,per_flow_median_tput_mbps,median_rtt_ms".to_string(),
+        csv_rows: rows,
+        text,
+    })
+}
+
+fn run_reverse_path(spec: &ExperimentSpec) -> Result<ExperimentReport, String> {
+    let results = Experiment::new(spec.clone()).run()?;
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "== {} ({} runs x {} s) ==",
+        spec.title, spec.budget.runs, spec.budget.sim_secs
+    );
+    let _ = writeln!(
+        text,
+        "{:<16} {:>12} {:>12} {:>12} {:>12}",
+        "scheme", "east tput", "west tput", "east rtt ms", "west rtt ms"
+    );
+    let mut rows = Vec::new();
+    for cell in &results.cells {
+        let east_t = median(&pooled(&cell.runs, 0..1, |f| f.throughput_mbps));
+        let west_t = median(&pooled(&cell.runs, 1..2, |f| f.throughput_mbps));
+        let east_r = median(&pooled(&cell.runs, 0..1, |f| f.mean_rtt_ms));
+        let west_r = median(&pooled(&cell.runs, 1..2, |f| f.mean_rtt_ms));
+        let _ = writeln!(
+            text,
+            "{:<16} {east_t:>12.3} {west_t:>12.3} {east_r:>12.1} {west_r:>12.1}",
+            cell.label
+        );
+        rows.push(format!(
+            "{},{east_t},{west_t},{east_r},{west_r}",
+            cell.label
+        ));
+    }
+    let _ = writeln!(
+        text,
+        "\nRTTs include ACK queueing behind the opposing direction's data — \
+         the reverse-path congestion the paper's dumbbell rules out"
+    );
+    Ok(ExperimentReport {
+        csv_name: spec.name.clone(),
+        csv_header: "scheme,east_median_tput_mbps,west_median_tput_mbps,\
+                     east_median_rtt_ms,west_median_rtt_ms"
+            .to_string(),
+        csv_rows: rows,
+        text,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_all_fifteen_reproductions() {
-        assert_eq!(all().len(), 15);
+    fn registry_has_all_eighteen_experiments() {
+        assert_eq!(all().len(), 18);
         let mut names: Vec<&str> = all().iter().map(|e| e.name).collect();
         names.sort_unstable();
         let mut expected = vec![
@@ -1154,11 +1491,69 @@ mod tests {
             "table_datacenter",
             "ablation_signals",
             "ablation_loss",
+            "parking_lot3",
+            "incast16",
+            "reverse_path",
         ];
         expected.sort_unstable();
         assert_eq!(names, expected);
         assert!(by_name("fig4").is_some());
+        assert!(by_name("parking_lot3").is_some());
         assert!(by_name("fig99").is_none());
+    }
+
+    #[test]
+    fn topology_experiments_run_at_smoke_budget() {
+        let tiny = Budget {
+            runs: 2,
+            sim_secs: 3,
+        };
+        for name in ["parking_lot3", "incast16", "reverse_path"] {
+            let rep = run_named(name, tiny).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(!rep.csv_rows.is_empty(), "{name} produced CSV rows");
+            assert_eq!(rep.csv_rows.len(), 3, "{name}: one row per contender");
+            assert!(rep.text.contains("=="), "{name} printed a table");
+        }
+    }
+
+    #[test]
+    fn parking_lot_cross_traffic_outpaces_end_to_end_flows() {
+        // End-to-end flows pay three queues; per-hop cross traffic pays
+        // one. Any loss-based scheme should show the gap.
+        let spec = spec_parking_lot3(Budget {
+            runs: 2,
+            sim_secs: 10,
+        });
+        let results = Experiment::new(spec).run().expect("runs");
+        let reno = results
+            .cells
+            .iter()
+            .find(|c| c.label == "NewReno")
+            .expect("newreno cell");
+        let e2e = median(&pooled(&reno.runs, 0..2, |f| f.throughput_mbps));
+        let cross = median(&pooled(&reno.runs, 2..5, |f| f.throughput_mbps));
+        assert!(e2e > 0.0 && cross > 0.0);
+        assert!(
+            cross > e2e,
+            "cross traffic crosses fewer bottlenecks: cross={cross} e2e={e2e}"
+        );
+    }
+
+    #[test]
+    fn reverse_path_rtt_exceeds_propagation_floor() {
+        let spec = spec_reverse_path(Budget {
+            runs: 1,
+            sim_secs: 10,
+        });
+        let results = Experiment::new(spec).run().expect("runs");
+        for cell in &results.cells {
+            let rtt = median(&pooled(&cell.runs, 0..1, |f| f.mean_rtt_ms));
+            assert!(
+                rtt > 100.0,
+                "{}: ACK queueing keeps RTT above the 100 ms floor, got {rtt}",
+                cell.label
+            );
+        }
     }
 
     #[test]

@@ -97,11 +97,7 @@ impl Contender {
     }
 
     /// Router hook, if the scheme needs one.
-    pub fn router(
-        &self,
-        link: &LinkSpec,
-        mss: u32,
-    ) -> Option<Box<dyn netsim::router::RouterHook>> {
+    pub fn router(&self, link: &LinkSpec, mss: u32) -> Option<Box<dyn netsim::router::RouterHook>> {
         match self {
             Contender::Baseline(s) => s.router(link, mss),
             Contender::Remy { .. } => None,
@@ -133,12 +129,7 @@ pub struct Outcome {
 impl Outcome {
     /// Pool aligned per-sender sample vectors (throughput Mbps, queueing
     /// delay ms, mean RTT ms) into medians plus the 1-σ ellipse.
-    pub fn from_samples(
-        label: String,
-        tput: Vec<f64>,
-        delay: Vec<f64>,
-        rtt: Vec<f64>,
-    ) -> Outcome {
+    pub fn from_samples(label: String, tput: Vec<f64>, delay: Vec<f64>, rtt: Vec<f64>) -> Outcome {
         let e = ellipse(&delay, &tput);
         Outcome {
             label,
@@ -285,7 +276,10 @@ mod tests {
         let sfq = Contender::baseline(Scheme::CubicSfqCodel).queue_spec(1000);
         assert!(matches!(sfq, QueueSpec::SfqCodel { .. }));
         let remy = Contender::remy("r", Arc::new(WhiskerTree::single_rule()));
-        assert!(matches!(remy.queue_spec(5), QueueSpec::DropTail { capacity: 5 }));
+        assert!(matches!(
+            remy.queue_spec(5),
+            QueueSpec::DropTail { capacity: 5 }
+        ));
     }
 
     #[test]

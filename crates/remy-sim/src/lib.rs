@@ -57,11 +57,11 @@ pub mod prelude {
     pub use crate::experiment::{CellResult, Experiment, ExperimentCell, ExperimentResults};
     pub use crate::harness::{evaluate_scenarios, Contender, Outcome};
     pub use crate::report::{
-        print_outcomes, print_speedup_table, write_outcomes_csv, write_rows_csv,
-        ExperimentReport,
+        print_outcomes, print_speedup_table, write_outcomes_csv, write_rows_csv, ExperimentReport,
     };
     pub use crate::spec::{
-        Budget, ContenderSpec, ExperimentSpec, LinkRef, SweepAxis, SweepPoint, WorkloadSpec,
+        Budget, ContenderSpec, ExperimentSpec, HopRef, LinkRef, SweepAxis, SweepPoint,
+        TopologySpec, WorkloadSpec,
     };
     pub use congestion::{Compound, Cubic, Dctcp, NewReno, Scheme, Vegas, Xcp, XcpRouter};
     pub use netsim::prelude::*;

@@ -157,7 +157,10 @@ mod tests {
 
     #[test]
     fn tables_render_rows() {
-        let o = vec![outcome("RemyCC d=1", 1.8, 80.0), outcome("Cubic", 1.3, 400.0)];
+        let o = vec![
+            outcome("RemyCC d=1", 1.8, 80.0),
+            outcome("Cubic", 1.3, 400.0),
+        ];
         let t = outcomes_table("Fig. X (2 runs x 5 s)", &o);
         assert!(t.contains("== Fig. X (2 runs x 5 s) =="));
         assert!(t.contains("RemyCC d=1"));

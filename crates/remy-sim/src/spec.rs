@@ -23,6 +23,7 @@ use netsim::queue::QueueSpec;
 use netsim::rng::SimRng;
 use netsim::scenario::{Scenario, SenderConfig};
 use netsim::time::Ns;
+use netsim::topology::{FlowPath, Topology};
 use netsim::traffic::TrafficSpec;
 use remy::whisker::WhiskerTree;
 use std::sync::Arc;
@@ -180,6 +181,136 @@ impl LinkRef {
     }
 }
 
+/// One hop of a [`TopologySpec`]: a link reference plus the hop's queue
+/// depth and outbound propagation delay. As with the single-bottleneck
+/// workload, the queue *discipline* is not part of the workload — each
+/// contender's discipline is applied to every hop at that hop's capacity.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HopRef {
+    /// The hop's link.
+    pub link: LinkRef,
+    /// Queue depth in packets (the discipline comes from the scheme).
+    pub queue_capacity: usize,
+    /// Propagation delay toward the next hop on a path.
+    pub prop_delay: Ns,
+}
+
+impl HopRef {
+    /// A hop with no outbound propagation delay.
+    pub fn new(link: LinkRef, queue_capacity: usize) -> HopRef {
+        HopRef {
+            link,
+            queue_capacity,
+            prop_delay: Ns::ZERO,
+        }
+    }
+
+    /// Builder-style: set the outbound propagation delay.
+    pub fn with_prop_delay(mut self, delay: Ns) -> HopRef {
+        self.prop_delay = delay;
+        self
+    }
+
+    /// Serialize to a JSON value.
+    pub fn to_json_value(&self) -> Value {
+        Value::obj(vec![
+            ("link", self.link.to_json_value()),
+            (
+                "queue_capacity",
+                json::u64_value(self.queue_capacity as u64),
+            ),
+            ("prop_delay_ns", json::ns_value(self.prop_delay)),
+        ])
+    }
+
+    /// Deserialize a value written by [`HopRef::to_json_value`].
+    pub fn from_json_value(v: &Value) -> Result<HopRef, String> {
+        Ok(HopRef {
+            link: LinkRef::from_json_value(v.field("link")?)?,
+            queue_capacity: v.field("queue_capacity")?.as_usize()?,
+            prop_delay: json::ns_from(v.field("prop_delay_ns")?)?,
+        })
+    }
+}
+
+/// A serializable multi-hop topology: hops by reference plus one
+/// [`FlowPath`] per sender. `None` on a workload means the legacy
+/// single-bottleneck dumbbell — every existing spec document is a valid
+/// topology-era spec unchanged.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TopologySpec {
+    /// Every hop, indexed by position.
+    pub hops: Vec<HopRef>,
+    /// `paths[i]` routes sender `i` (index-aligned with the workload's
+    /// sender list).
+    pub paths: Vec<FlowPath>,
+}
+
+impl TopologySpec {
+    /// Materialize a runnable [`Topology`], applying `discipline` (a
+    /// contender's queue spec) to every hop at that hop's capacity. A
+    /// stochastic-loss discipline gets a fork-derived seed per hop —
+    /// otherwise every hop would replay the identical drop stream and the
+    /// "independent" loss processes would be perfectly correlated.
+    pub fn resolve(&self, discipline: &QueueSpec) -> Result<Topology, String> {
+        Ok(Topology {
+            hops: self
+                .hops
+                .iter()
+                .enumerate()
+                .map(|(i, h)| {
+                    let mut queue = discipline.clone().with_capacity(h.queue_capacity);
+                    // Hop 0 keeps the caller's seed (1-hop topologies stay
+                    // byte-identical to the legacy engine); later hops fork.
+                    if i > 0 {
+                        if let QueueSpec::LossyDropTail { seed, .. } = &mut queue {
+                            *seed = SimRng::split_seed(*seed, i as u64);
+                        }
+                    }
+                    Ok(netsim::topology::HopSpec {
+                        link: h.link.resolve()?,
+                        queue,
+                        prop_delay_out: h.prop_delay,
+                    })
+                })
+                .collect::<Result<Vec<netsim::topology::HopSpec>, String>>()?,
+            paths: self.paths.clone(),
+        })
+    }
+
+    /// Serialize to a JSON value.
+    pub fn to_json_value(&self) -> Value {
+        Value::obj(vec![
+            (
+                "hops",
+                Value::Arr(self.hops.iter().map(HopRef::to_json_value).collect()),
+            ),
+            (
+                "paths",
+                Value::Arr(self.paths.iter().map(FlowPath::to_json_value).collect()),
+            ),
+        ])
+    }
+
+    /// Deserialize a value written by [`TopologySpec::to_json_value`].
+    pub fn from_json_value(v: &Value) -> Result<TopologySpec, String> {
+        Ok(TopologySpec {
+            hops: v
+                .field("hops")?
+                .as_arr()?
+                .iter()
+                .map(HopRef::from_json_value)
+                .collect::<Result<Vec<HopRef>, String>>()?,
+            paths: v
+                .field("paths")?
+                .as_arr()?
+                .iter()
+                .map(FlowPath::from_json_value)
+                .collect::<Result<Vec<FlowPath>, String>>()?,
+        })
+    }
+}
+
 /// The dumbbell everyone contends on: link, queue capacity, and per-sender
 /// configuration. The queue *discipline* is not part of the workload —
 /// each contender brings its own (`Cubic/sfqCoDel` runs over sfqCoDel,
@@ -187,7 +318,8 @@ impl LinkRef {
 /// paper's router configurations.
 #[derive(Clone, Debug, PartialEq)]
 pub struct WorkloadSpec {
-    /// Bottleneck link.
+    /// Bottleneck link (ignored when `topology` is set; hop 0 then plays
+    /// that role in reports).
     pub link: LinkRef,
     /// Queue capacity in packets (the discipline comes from the scheme).
     pub queue_capacity: usize,
@@ -195,6 +327,9 @@ pub struct WorkloadSpec {
     pub senders: Vec<SenderConfig>,
     /// Record every delivery (sequence plots, Fig. 6).
     pub record_deliveries: bool,
+    /// Multi-hop topology; `None` is the legacy single-bottleneck
+    /// dumbbell.
+    pub topology: Option<TopologySpec>,
 }
 
 impl WorkloadSpec {
@@ -216,7 +351,14 @@ impl WorkloadSpec {
                 })
                 .collect(),
             record_deliveries: false,
+            topology: None,
         }
+    }
+
+    /// Builder-style: route the senders through a multi-hop topology.
+    pub fn with_topology(mut self, topology: TopologySpec) -> WorkloadSpec {
+        self.topology = Some(topology);
+        self
     }
 
     /// Number of senders.
@@ -224,19 +366,37 @@ impl WorkloadSpec {
         self.senders.len()
     }
 
-    /// Materialize the scenario for one run under a given queue spec.
+    /// Materialize the scenario for one run under a given queue spec (the
+    /// contender's discipline at the workload's capacity; topology
+    /// workloads re-apply the discipline per hop at each hop's own
+    /// capacity).
     pub fn scenario(&self, queue: QueueSpec, duration: Ns, seed: u64) -> Result<Scenario, String> {
         if self.senders.is_empty() {
             return Err("workload has no senders".to_string());
         }
+        let (link, queue, topology) = match &self.topology {
+            None => (self.link.resolve()?, queue, None),
+            Some(t) => {
+                let topo = t.resolve(&queue)?;
+                topo.validate(self.senders.len())?;
+                // link/queue mirror hop 0 (single-hop inspection code and
+                // XCP's rate configuration read them).
+                (
+                    topo.hops[0].link.clone(),
+                    topo.hops[0].queue.clone(),
+                    Some(topo),
+                )
+            }
+        };
         Ok(Scenario {
-            link: self.link.resolve()?,
+            link,
             queue,
             senders: self.senders.clone(),
             mss: 1500,
             duration,
             seed,
             record_deliveries: self.record_deliveries,
+            topology,
         })
     }
 
@@ -265,12 +425,21 @@ impl WorkloadSpec {
                     .collect(),
             )
         };
-        Value::obj(vec![
+        let mut fields = vec![
             ("link", self.link.to_json_value()),
-            ("queue_capacity", json::u64_value(self.queue_capacity as u64)),
+            (
+                "queue_capacity",
+                json::u64_value(self.queue_capacity as u64),
+            ),
             ("senders", senders),
             ("record_deliveries", Value::Bool(self.record_deliveries)),
-        ])
+        ];
+        // Omitted for the legacy dumbbell so pre-topology golden specs
+        // stay byte-identical.
+        if let Some(t) = &self.topology {
+            fields.push(("topology", t.to_json_value()));
+        }
+        Value::obj(fields)
     }
 
     /// Deserialize a value written by [`WorkloadSpec::to_json_value`].
@@ -302,11 +471,16 @@ impl WorkloadSpec {
         if senders.is_empty() {
             return Err("workload needs at least one sender".to_string());
         }
+        let topology = match v.get("topology") {
+            None | Some(Value::Null) => None,
+            Some(t) => Some(TopologySpec::from_json_value(t)?),
+        };
         Ok(WorkloadSpec {
             link: LinkRef::from_json_value(v.field("link")?)?,
             queue_capacity: v.field("queue_capacity")?.as_usize()?,
             senders,
             record_deliveries: v.field("record_deliveries")?.as_bool()?,
+            topology,
         })
     }
 }
@@ -413,7 +587,10 @@ impl ContenderSpec {
                     Some(l) => Some(l.as_str()?.to_string()),
                 },
             }),
-            other => Err(format!("contender must be a string or object: {}", other.pretty())),
+            other => Err(format!(
+                "contender must be a string or object: {}",
+                other.pretty()
+            )),
         }
     }
 }
@@ -537,12 +714,8 @@ impl SweepAxis {
     /// Deserialize a value written by [`SweepAxis::to_json_value`].
     pub fn from_json_value(v: &Value) -> Result<SweepAxis, String> {
         let values = v.field("values")?.as_arr()?;
-        let f64s = || -> Result<Vec<f64>, String> {
-            values.iter().map(Value::as_f64).collect()
-        };
-        let u64s = || -> Result<Vec<u64>, String> {
-            values.iter().map(Value::as_u64).collect()
-        };
+        let f64s = || -> Result<Vec<f64>, String> { values.iter().map(Value::as_f64).collect() };
+        let u64s = || -> Result<Vec<u64>, String> { values.iter().map(Value::as_u64).collect() };
         match v.field("axis")?.as_str()? {
             "link_mbps" => Ok(SweepAxis::LinkMbps(f64s()?)),
             "rtt_ms" => Ok(SweepAxis::RttMs(u64s()?)),
@@ -568,10 +741,7 @@ pub struct SweepPoint {
 impl SweepPoint {
     /// Coordinate lookup by axis key.
     pub fn get(&self, key: &str) -> Option<f64> {
-        self.coords
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|&(_, v)| v)
+        self.coords.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
     }
 
     /// A short "key=value, key=value" label; empty for the trivial point.
@@ -665,6 +835,14 @@ impl ExperimentSpec {
         let mut wl = self.workload.clone();
         let mut loss = None;
         for (key, value) in &point.coords {
+            // Axes that reshape the single bottleneck or the sender count
+            // have no meaning on an explicit topology (paths are
+            // index-aligned with senders).
+            if wl.topology.is_some() && matches!(key.as_str(), "link_mbps" | "n_senders") {
+                return Err(format!(
+                    "sweep axis '{key}' is not supported on a topology workload"
+                ));
+            }
             match key.as_str() {
                 "link_mbps" => wl.link = LinkRef::constant(*value),
                 "rtt_ms" => {
@@ -969,7 +1147,9 @@ mod tests {
             "RemyCC (DropTail)"
         );
         assert!(ContenderSpec::new("bbr").build().is_err());
-        assert!(ContenderSpec::new("remy:no_such_table_or_file").build().is_err());
+        assert!(ContenderSpec::new("remy:no_such_table_or_file")
+            .build()
+            .is_err());
         assert!(ContenderSpec::new("remy:delta1:mask=01").build().is_err());
         assert!(ContenderSpec::labeled("cubic", "nope").build().is_err());
     }
@@ -980,6 +1160,159 @@ mod tests {
         assert!(LinkRef::named_trace("att-like").resolve().is_ok());
         assert!(LinkRef::named_trace("tmobile").resolve().is_err());
         assert!(LinkRef::constant(0.0).resolve().is_err());
+    }
+
+    /// Golden document for the topology-spec JSON format: field names and
+    /// shapes here are a compatibility contract (checked-in experiment
+    /// specs embed them).
+    const TOPOLOGY_GOLDEN: &str = r#"{
+        "hops": [
+            {"link": {"kind": "constant", "rate_mbps": 10}, "queue_capacity": 1000,
+             "prop_delay_ns": 10000000},
+            {"link": {"kind": "constant", "rate_mbps": 5}, "queue_capacity": 64,
+             "prop_delay_ns": 0}
+        ],
+        "paths": [
+            {"fwd": [0, 1], "ack": []},
+            {"fwd": [1], "ack": [0]}
+        ]
+    }"#;
+
+    fn two_hop_topology() -> TopologySpec {
+        TopologySpec {
+            hops: vec![
+                HopRef::new(LinkRef::constant(10.0), 1000).with_prop_delay(Ns::from_millis(10)),
+                HopRef::new(LinkRef::constant(5.0), 64),
+            ],
+            paths: vec![
+                FlowPath::through(vec![0, 1]),
+                FlowPath::through(vec![1]).with_ack_path(vec![0]),
+            ],
+        }
+    }
+
+    #[test]
+    fn topology_spec_parses_the_golden_document() {
+        let v = json::parse(TOPOLOGY_GOLDEN).expect("golden parses");
+        let t = TopologySpec::from_json_value(&v).expect("golden deserializes");
+        assert_eq!(t, two_hop_topology());
+        // And the writer reproduces a parseable, identical document.
+        let back =
+            TopologySpec::from_json_value(&json::parse(&t.to_json_value().pretty()).unwrap())
+                .unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn topology_workload_round_trips_inside_a_spec() {
+        let mut spec = fig4ish_spec();
+        spec.workload.senders.truncate(2);
+        spec.workload = spec.workload.clone().with_topology(two_hop_topology());
+        let text = spec.to_json();
+        assert!(text.contains("\"topology\""));
+        let back = ExperimentSpec::from_json(&text).expect("parse");
+        assert_eq!(back, spec);
+        assert_eq!(back.to_json(), text, "stable serialization");
+        // Legacy specs keep serializing without the key.
+        assert!(!fig4ish_spec().to_json().contains("topology"));
+    }
+
+    #[test]
+    fn topology_resolves_with_the_contender_discipline_per_hop() {
+        let topo = two_hop_topology();
+        let resolved = topo
+            .resolve(&QueueSpec::SfqCodel {
+                capacity: 1000,
+                buckets: 64,
+            })
+            .expect("resolve");
+        assert_eq!(resolved.hops.len(), 2);
+        assert_eq!(
+            resolved.hops[0].queue,
+            QueueSpec::SfqCodel {
+                capacity: 1000,
+                buckets: 64
+            }
+        );
+        assert_eq!(
+            resolved.hops[1].queue,
+            QueueSpec::SfqCodel {
+                capacity: 64,
+                buckets: 64
+            },
+            "discipline applied at the hop's own capacity"
+        );
+        assert_eq!(resolved.paths, topo.paths);
+    }
+
+    #[test]
+    fn lossy_disciplines_get_independent_streams_per_hop() {
+        let mut topo = two_hop_topology();
+        topo.hops.push(HopRef::new(LinkRef::constant(5.0), 64));
+        topo.paths[0].fwd = vec![0, 1, 2];
+        let resolved = topo
+            .resolve(&QueueSpec::LossyDropTail {
+                capacity: 1000,
+                drop_probability: 0.01,
+                seed: 77,
+            })
+            .expect("resolve");
+        let seeds: Vec<u64> = resolved
+            .hops
+            .iter()
+            .map(|h| match h.queue {
+                QueueSpec::LossyDropTail { seed, .. } => seed,
+                ref other => panic!("expected lossy queue, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(seeds[0], 77, "hop 0 keeps the caller's stream");
+        assert_ne!(seeds[1], seeds[0], "hops must not replay one stream");
+        assert_ne!(seeds[2], seeds[0]);
+        assert_ne!(seeds[2], seeds[1]);
+    }
+
+    #[test]
+    fn topology_workload_materializes_scenarios() {
+        let mut wl = WorkloadSpec::uniform(
+            LinkRef::constant(10.0),
+            1000,
+            2,
+            Ns::from_millis(100),
+            TrafficSpec::fig4(),
+        );
+        wl = wl.with_topology(two_hop_topology());
+        let sc = wl
+            .scenario(QueueSpec::DropTail { capacity: 1000 }, Ns::from_secs(5), 9)
+            .expect("scenario");
+        let topo = sc.topology.as_ref().expect("topology attached");
+        assert_eq!(topo.n_hops(), 2);
+        // Scenario link/queue mirror hop 0.
+        assert_eq!(sc.queue, QueueSpec::DropTail { capacity: 1000 });
+        assert!(
+            matches!(sc.link, netsim::link::LinkSpec::Constant { rate_mbps } if rate_mbps == 10.0)
+        );
+        // Mismatched path count fails cleanly, not with a panic.
+        let mut bad = wl.clone();
+        bad.senders.push(bad.senders[0].clone());
+        assert!(bad
+            .scenario(QueueSpec::DropTail { capacity: 1000 }, Ns::from_secs(5), 9)
+            .is_err());
+    }
+
+    #[test]
+    fn topology_workloads_reject_structural_sweeps() {
+        let mut spec = fig4ish_spec();
+        spec.workload.senders.truncate(2);
+        spec.workload = spec.workload.clone().with_topology(two_hop_topology());
+        for axis in [SweepAxis::LinkMbps(vec![5.0]), SweepAxis::Senders(vec![4])] {
+            let swept = spec.clone().with_sweep(axis);
+            let err = swept.workload_at(&swept.points()[0]).unwrap_err();
+            assert!(err.contains("not supported"), "{err}");
+        }
+        // Per-sender axes remain legal.
+        let swept = spec.clone().with_sweep(SweepAxis::RttMs(vec![50]));
+        let (wl, _) = swept.workload_at(&swept.points()[0]).expect("rtt sweep ok");
+        assert!(wl.senders.iter().all(|s| s.rtt == Ns::from_millis(50)));
     }
 
     #[test]

@@ -20,23 +20,39 @@ const TARGET_SAMPLE: Duration = Duration::from_millis(50);
 pub struct Criterion {
     test_mode: bool,
     filter: Option<String>,
+    /// `--save-json <path>`: merge mean ns/iter per benchmark into a flat
+    /// JSON object at this path when the driver is dropped.
+    save_json: Option<std::path::PathBuf>,
+    results: Vec<(String, f64)>,
 }
 
 impl Criterion {
     /// Construct from process arguments (`--test` = single-iteration mode;
-    /// a bare positional argument filters benchmark names).
+    /// `--save-json <path>` or `--save-json=<path>` saves machine-readable
+    /// results; a bare positional argument filters benchmark names).
     pub fn from_args() -> Criterion {
         let mut test_mode = false;
         let mut filter = None;
-        for a in std::env::args().skip(1) {
+        let mut save_json = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
             match a.as_str() {
                 "--test" => test_mode = true,
                 "--bench" => {}
+                "--save-json" => save_json = args.next().map(Into::into),
+                s if s.starts_with("--save-json=") => {
+                    save_json = Some(s["--save-json=".len()..].to_string().into());
+                }
                 s if !s.starts_with('-') => filter = Some(s.to_string()),
                 _ => {}
             }
         }
-        Criterion { test_mode, filter }
+        Criterion {
+            test_mode,
+            filter,
+            save_json,
+            results: Vec::new(),
+        }
     }
 
     /// Open a named benchmark group.
@@ -109,7 +125,8 @@ impl Bencher {
         let start = Instant::now();
         black_box(f());
         let once = start.elapsed().max(Duration::from_nanos(1));
-        let iters_per_sample = (TARGET_SAMPLE.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let iters_per_sample =
+            (TARGET_SAMPLE.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
         let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
         let mut total = 0u64;
         for _ in 0..self.samples {
@@ -142,7 +159,7 @@ fn fmt_ns(ns: f64) -> String {
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(
-    c: &Criterion,
+    c: &mut Criterion,
     group: Option<&str>,
     name: &str,
     samples: usize,
@@ -166,14 +183,65 @@ fn run_one<F: FnMut(&mut Bencher)>(
     f(&mut b);
     match b.result {
         Some(_) if c.test_mode => println!("test {full} ... ok (1 iteration)"),
-        Some((mean, min, max)) => println!(
-            "{full:<40} time: [{} {} {}]  ({} iters)",
-            fmt_ns(min),
-            fmt_ns(mean),
-            fmt_ns(max),
-            b.total_iters
-        ),
+        Some((mean, min, max)) => {
+            println!(
+                "{full:<40} time: [{} {} {}]  ({} iters)",
+                fmt_ns(min),
+                fmt_ns(mean),
+                fmt_ns(max),
+                b.total_iters
+            );
+            c.results.push((full, mean));
+        }
         None => println!("{full:<40} (no measurement: Bencher::iter not called)"),
+    }
+}
+
+/// Parse the flat `{"name": mean_ns, ...}` document this shim writes.
+/// Deliberately minimal: it only needs to read its own output (bench names
+/// never contain quotes).
+fn parse_results_json(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        let Some((name, value)) = rest.split_once("\": ") else {
+            continue;
+        };
+        if let Ok(mean) = value.trim().parse::<f64>() {
+            out.push((name.to_string(), mean));
+        }
+    }
+    out
+}
+
+impl Drop for Criterion {
+    /// Flush `--save-json` results, merging with any existing file so the
+    /// bench binaries `cargo bench` runs in sequence accumulate into one
+    /// document.
+    fn drop(&mut self) {
+        let Some(path) = &self.save_json else {
+            return;
+        };
+        let mut merged: std::collections::BTreeMap<String, f64> = std::fs::read_to_string(path)
+            .map(|t| parse_results_json(&t).into_iter().collect())
+            .unwrap_or_default();
+        merged.extend(self.results.iter().cloned());
+        let mut doc = String::from("{\n");
+        let n = merged.len();
+        for (i, (name, mean)) in merged.iter().enumerate() {
+            doc.push_str(&format!("  \"{name}\": {mean:.1}"));
+            doc.push_str(if i + 1 < n { ",\n" } else { "\n" });
+        }
+        doc.push_str("}\n");
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("criterion shim: cannot write {}: {e}", path.display());
+        }
     }
 }
 

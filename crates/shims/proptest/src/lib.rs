@@ -237,7 +237,10 @@ pub struct Union<T> {
 impl<T> Union<T> {
     /// Build from the alternatives.
     pub fn new(alts: Vec<BoxedStrategy<T>>) -> Union<T> {
-        assert!(!alts.is_empty(), "prop_oneof! needs at least one alternative");
+        assert!(
+            !alts.is_empty(),
+            "prop_oneof! needs at least one alternative"
+        );
         Union { alts }
     }
 }

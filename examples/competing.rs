@@ -41,6 +41,7 @@ fn head_to_head(
             duration: Ns::from_secs(secs),
             seed: 1000 + k as u64,
             record_deliveries: false,
+            topology: None,
         };
         let ccs: Vec<Box<dyn netsim::cc::CongestionControl>> = vec![
             Box::new(RemyCc::new(Arc::clone(&table)).with_name("RemyCC")),
@@ -55,8 +56,14 @@ fn head_to_head(
         }
     }
     (
-        (netsim::stats::mean(&remy_t), netsim::stats::std_dev(&remy_t)),
-        (netsim::stats::mean(&rival_t), netsim::stats::std_dev(&rival_t)),
+        (
+            netsim::stats::mean(&remy_t),
+            netsim::stats::std_dev(&remy_t),
+        ),
+        (
+            netsim::stats::mean(&rival_t),
+            netsim::stats::std_dev(&rival_t),
+        ),
     )
 }
 

@@ -36,11 +36,31 @@ fn setup(name: &str) -> Option<(NetworkModel, Objective, EvalConfig)> {
         sim_secs: 8.0,
     };
     Some(match name {
-        "delta01" => (NetworkModel::general(), Objective::proportional(0.1), std_eval),
-        "delta1" => (NetworkModel::general(), Objective::proportional(1.0), std_eval),
-        "delta10" => (NetworkModel::general(), Objective::proportional(10.0), std_eval),
-        "onex" => (NetworkModel::exact_link(), Objective::proportional(1.0), std_eval),
-        "tenx" => (NetworkModel::tenx_link(), Objective::proportional(1.0), std_eval),
+        "delta01" => (
+            NetworkModel::general(),
+            Objective::proportional(0.1),
+            std_eval,
+        ),
+        "delta1" => (
+            NetworkModel::general(),
+            Objective::proportional(1.0),
+            std_eval,
+        ),
+        "delta10" => (
+            NetworkModel::general(),
+            Objective::proportional(10.0),
+            std_eval,
+        ),
+        "onex" => (
+            NetworkModel::exact_link(),
+            Objective::proportional(1.0),
+            std_eval,
+        ),
+        "tenx" => (
+            NetworkModel::tenx_link(),
+            Objective::proportional(1.0),
+            std_eval,
+        ),
         "datacenter" => (
             // Scaled datacenter model (DESIGN.md): the paper's 10 Gbps / 4 ms
             // fabric is simulated at 500 Mbps with proportionally smaller
@@ -106,11 +126,17 @@ fn main() {
             "--continue" => warm_start = true,
             "--jobs" => jobs = Some(require_number("--jobs", args.next())),
             s if s.starts_with("--jobs=") => {
-                jobs = Some(require_number("--jobs", Some(s["--jobs=".len()..].to_string())));
+                jobs = Some(require_number(
+                    "--jobs",
+                    Some(s["--jobs=".len()..].to_string()),
+                ));
             }
             "--steps" => steps = Some(require_number("--steps", args.next())),
             s if s.starts_with("--steps=") => {
-                steps = Some(require_number("--steps", Some(s["--steps=".len()..].to_string())));
+                steps = Some(require_number(
+                    "--steps",
+                    Some(s["--steps=".len()..].to_string()),
+                ));
             }
             s if s.starts_with("--") => {
                 eprintln!("unknown flag '{s}'");
@@ -188,7 +214,11 @@ fn main() {
 
     let started = std::time::Instant::now();
     let table = remy.design_from(initial, |event| match event {
-        TrainEvent::Epoch { epoch, rules, score } => {
+        TrainEvent::Epoch {
+            epoch,
+            rules,
+            score,
+        } => {
             println!(
                 "[{:7.1}s] epoch {epoch}: {rules} rules, score {score:.3}",
                 started.elapsed().as_secs_f64()
@@ -206,7 +236,11 @@ fn main() {
                 started.elapsed().as_secs_f64()
             );
         }
-        TrainEvent::Done { rules, score, steps } => {
+        TrainEvent::Done {
+            rules,
+            score,
+            steps,
+        } => {
             println!(
                 "[{:7.1}s] done: {rules} rules, score {score:.3}, {steps} improvement steps",
                 started.elapsed().as_secs_f64()

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Golden-spec drift gate: regenerate the JSON spec of *every* registry
+# experiment with `remy-cli spec <name>` and diff it against the committed
+# copy under specs/. Any drift (format change, new default, renamed field)
+# fails the build until the golden is intentionally regenerated:
+#
+#     remy-cli spec <name> > specs/<name>.json
+#
+# usage: scripts/spec_gate.sh
+#   REMY_CLI  override the remy-cli invocation (default: the release
+#             binary via cargo run)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLI=${REMY_CLI:-"cargo run --release -q -p remy-sim --bin remy-cli --"}
+
+fail=0
+names=$($CLI list-experiments --names)
+[ -n "$names" ] || { echo "spec_gate: no experiments listed" >&2; exit 2; }
+for name in $names; do
+    if [ ! -f "specs/$name.json" ]; then
+        echo "spec_gate: specs/$name.json is missing (remy-cli spec $name > specs/$name.json)"
+        fail=1
+        continue
+    fi
+    if ! $CLI spec "$name" | diff -u "specs/$name.json" - > /tmp/spec_gate_diff.$$ 2>&1; then
+        echo "spec_gate: specs/$name.json drifted:"
+        cat /tmp/spec_gate_diff.$$
+        fail=1
+    fi
+done
+rm -f /tmp/spec_gate_diff.$$
+
+if [ "$fail" -ne 0 ]; then
+    echo "spec_gate: FAIL - golden specs out of date"
+    exit 1
+fi
+echo "spec_gate: OK - all $(echo "$names" | wc -w) golden specs match the registry"

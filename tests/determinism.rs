@@ -33,6 +33,7 @@ fn identical_runs_for_every_scheme() {
             duration: Ns::from_secs(12),
             seed: 1234,
             record_deliveries: false,
+            topology: None,
         };
         let go = || {
             let ccs = (0..3).map(|_| scheme.build_cc()).collect();
@@ -63,11 +64,7 @@ fn identical_runs_for_remycc_on_trace_links() {
         Ns::from_secs(12),
         77,
     );
-    let go = || {
-        run_scenario(&scenario, &|_| {
-            Box::new(RemyCc::new(Arc::clone(&table)))
-        })
-    };
+    let go = || run_scenario(&scenario, &|_| Box::new(RemyCc::new(Arc::clone(&table))));
     assert_eq!(fingerprint(&go()), fingerprint(&go()));
 }
 
@@ -125,10 +122,18 @@ fn training_with_step_budget_is_reproducible() {
         max_rules: 8,
         seed: 9,
     };
-    let t1 = Remy::new(NetworkModel::exact_link(), Objective::proportional(1.0), cfg)
-        .design(|_| {});
-    let t2 = Remy::new(NetworkModel::exact_link(), Objective::proportional(1.0), cfg)
-        .design(|_| {});
+    let t1 = Remy::new(
+        NetworkModel::exact_link(),
+        Objective::proportional(1.0),
+        cfg,
+    )
+    .design(|_| {});
+    let t2 = Remy::new(
+        NetworkModel::exact_link(),
+        Objective::proportional(1.0),
+        cfg,
+    )
+    .design(|_| {});
     assert_eq!(t1.to_json(), t2.to_json());
 }
 

@@ -18,6 +18,7 @@ fn saturating(n: usize, secs: u64, scheme: Scheme, seed: u64) -> SimResults {
         duration: Ns::from_secs(secs),
         seed,
         record_deliveries: false,
+        topology: None,
     };
     let ccs = (0..n).map(|_| scheme.build_cc()).collect();
     let router = scheme.router(&link, 1500);
@@ -96,6 +97,7 @@ fn sfqcodel_isolates_a_light_flow_from_a_buffer_filler() {
             duration: Ns::from_secs(40),
             seed,
             record_deliveries: false,
+            topology: None,
         };
         let ccs: Vec<Box<dyn netsim::cc::CongestionControl>> =
             vec![Box::new(Cubic::new()), Box::new(Cubic::new())];
@@ -145,7 +147,10 @@ fn harness_medians_are_sane_for_fig4_workload() {
         "median {}",
         out.median_throughput_mbps
     );
-    assert!(out.throughput_samples.len() >= 8, "pooled per-sender samples");
+    assert!(
+        out.throughput_samples.len() >= 8,
+        "pooled per-sender samples"
+    );
 }
 
 #[test]

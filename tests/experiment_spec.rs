@@ -40,8 +40,8 @@ fn every_registered_spec_round_trips_through_json() {
     for entry in experiments::all() {
         let spec = entry.spec(tiny);
         let text = spec.to_json();
-        let back = ExperimentSpec::from_json(&text)
-            .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+        let back =
+            ExperimentSpec::from_json(&text).unwrap_or_else(|e| panic!("{}: {e}", entry.name));
         assert_eq!(back, spec, "{} round trip", entry.name);
         assert_eq!(back.to_json(), text, "{} stable serialization", entry.name);
     }
@@ -172,6 +172,92 @@ fn spec_file_run_keeps_custom_presentation() {
         stdout.starts_with("bytes,empirical_cdf,closed_form_cdf"),
         "fig3 spec file must produce the CDF, got: {stdout}"
     );
+}
+
+#[test]
+fn remy_cli_rejects_unknown_experiment_with_candidates_on_stderr() {
+    let out = Command::new(env!("CARGO_BIN_EXE_remy-cli"))
+        .args(["run", "no_such_experiment_xyz"])
+        .output()
+        .expect("spawn remy-cli");
+    assert!(
+        !out.status.success(),
+        "unknown experiment names must exit nonzero"
+    );
+    assert_eq!(out.status.code(), Some(2), "conventional usage-error code");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("no_such_experiment_xyz"),
+        "names the offender: {stderr}"
+    );
+    assert!(
+        stderr.contains("known experiments"),
+        "offers candidates: {stderr}"
+    );
+    for name in ["fig4", "parking_lot3", "incast16", "reverse_path"] {
+        assert!(stderr.contains(name), "candidate list has {name}: {stderr}");
+    }
+    assert!(
+        out.stdout.is_empty(),
+        "the candidate list belongs on stderr, not stdout"
+    );
+}
+
+#[test]
+fn remy_cli_lists_bare_names_for_scripts() {
+    let out = Command::new(env!("CARGO_BIN_EXE_remy-cli"))
+        .args(["list-experiments", "--names"])
+        .output()
+        .expect("spawn remy-cli");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let names: Vec<&str> = stdout.lines().collect();
+    assert_eq!(names.len(), experiments::all().len());
+    for (line, entry) in names.iter().zip(experiments::all()) {
+        assert_eq!(*line, entry.name, "bare names, registry order");
+    }
+}
+
+#[test]
+fn every_registry_entry_has_a_committed_golden_spec() {
+    // The CI spec gate regenerates and diffs these; here we pin that the
+    // files exist and parse back to the registry's own spec.
+    let repo_specs = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../specs");
+    for entry in experiments::all() {
+        let path = repo_specs.join(format!("{}.json", entry.name));
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{} has no committed golden spec ({}): {e}",
+                entry.name,
+                path.display()
+            )
+        });
+        let golden = ExperimentSpec::from_json(&text)
+            .unwrap_or_else(|e| panic!("{}: golden does not parse: {e}", entry.name));
+        let fresh = entry.spec(Budget::default_fixed());
+        assert_eq!(
+            golden, fresh,
+            "{}: golden spec drifted — regenerate with `remy-cli spec {}`",
+            entry.name, entry.name
+        );
+        assert_eq!(fresh.to_json(), text, "{}: byte-stable golden", entry.name);
+    }
+}
+
+#[test]
+fn remy_cli_runs_a_topology_experiment_end_to_end() {
+    let out = Command::new(env!("CARGO_BIN_EXE_remy-cli"))
+        .args(["run", "reverse_path", "--runs", "1", "--secs", "3"])
+        .output()
+        .expect("spawn remy-cli");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Reverse path"), "report printed: {stdout}");
+    assert!(stdout.contains("east tput"), "direction table: {stdout}");
 }
 
 #[test]

@@ -120,11 +120,7 @@ fn remycc_converges_quickly_after_competitor_departs() {
     let rate = |from_s: u64, to_s: u64| {
         r.deliveries
             .iter()
-            .filter(|d| {
-                d.flow == 0
-                    && d.at >= Ns::from_secs(from_s)
-                    && d.at < Ns::from_secs(to_s)
-            })
+            .filter(|d| d.flow == 0 && d.at >= Ns::from_secs(from_s) && d.at < Ns::from_secs(to_s))
             .count() as f64
             / (to_s - from_s) as f64
     };

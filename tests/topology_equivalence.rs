@@ -1,0 +1,173 @@
+//! Equivalence suite: a 1-hop `Topology` must reproduce the legacy
+//! single-bottleneck engine *byte-identically* — same seeds in, same
+//! `SimResults` out, bit-for-bit on every float — across queue disciplines
+//! and congestion-control schemes. This pins the topology engine's
+//! single-hop fast path to the behavior every figure of the paper was
+//! validated against.
+
+use remy_sim::prelude::*;
+
+/// Exact, bitwise comparison of two simulation results.
+fn assert_results_identical(a: &SimResults, b: &SimResults, what: &str) {
+    assert_eq!(a.queue_drops, b.queue_drops, "{what}: drops");
+    assert_eq!(
+        a.packets_forwarded, b.packets_forwarded,
+        "{what}: forwarded"
+    );
+    assert_eq!(a.flows.len(), b.flows.len(), "{what}: flow count");
+    for (i, (fa, fb)) in a.flows.iter().zip(&b.flows).enumerate() {
+        assert_eq!(fa.bytes, fb.bytes, "{what}: flow {i} bytes");
+        assert_eq!(
+            fa.packets_delivered, fb.packets_delivered,
+            "{what}: flow {i} packets"
+        );
+        assert_eq!(
+            fa.duplicate_deliveries, fb.duplicate_deliveries,
+            "{what}: flow {i} duplicates"
+        );
+        assert_eq!(fa.n_intervals, fb.n_intervals, "{what}: flow {i} intervals");
+        for (field, va, vb) in [
+            ("throughput", fa.throughput_mbps, fb.throughput_mbps),
+            ("on_secs", fa.on_secs, fb.on_secs),
+            (
+                "queue_delay",
+                fa.mean_queue_delay_ms,
+                fb.mean_queue_delay_ms,
+            ),
+            ("rtt", fa.mean_rtt_ms, fb.mean_rtt_ms),
+        ] {
+            assert_eq!(
+                va.to_bits(),
+                vb.to_bits(),
+                "{what}: flow {i} {field} ({va} vs {vb})"
+            );
+        }
+    }
+}
+
+fn legacy_scenario(queue: QueueSpec, seed: u64) -> Scenario {
+    Scenario::dumbbell(
+        LinkSpec::constant(15.0),
+        queue,
+        4,
+        Ns::from_millis(150),
+        TrafficSpec::fig4(),
+        Ns::from_secs(15),
+        seed,
+    )
+}
+
+fn run_with(contender: &Contender, scenario: &Scenario) -> SimResults {
+    let ccs: Vec<Box<dyn CongestionControl>> =
+        (0..scenario.n()).map(|_| contender.build_cc()).collect();
+    let router = contender.router(&scenario.link, scenario.mss);
+    Simulator::new(scenario, ccs, router).run()
+}
+
+#[test]
+fn one_hop_topology_reproduces_the_legacy_engine_bit_for_bit() {
+    let queues = [
+        QueueSpec::DropTail { capacity: 1000 },
+        QueueSpec::Codel { capacity: 300 },
+        QueueSpec::SfqCodel {
+            capacity: 1000,
+            buckets: 64,
+        },
+    ];
+    let contenders = ["newreno", "cubic", "remy:delta1"];
+    for (qi, queue) in queues.iter().enumerate() {
+        for name in contenders {
+            let contender = ContenderSpec::new(name).build().expect("contender");
+            let legacy = legacy_scenario(queue.clone(), 7_000 + qi as u64);
+            let topo = legacy.clone().with_topology(Topology::single_bottleneck(
+                legacy.link.clone(),
+                legacy.queue.clone(),
+                legacy.n(),
+            ));
+            assert!(topo.topology.is_some());
+            let a = run_with(&contender, &legacy);
+            let b = run_with(&contender, &topo);
+            assert!(
+                a.flows.iter().any(|f| f.bytes > 0),
+                "{name}/{queue:?}: the comparison must exercise real traffic"
+            );
+            assert_results_identical(&a, &b, &format!("{name} over {queue:?}"));
+        }
+    }
+}
+
+#[test]
+fn one_hop_topology_survives_json_and_still_matches() {
+    // Serialize the topology scenario to JSON, parse it back, and the
+    // parsed copy must still match the legacy engine exactly.
+    let contender = ContenderSpec::new("newreno").build().unwrap();
+    let legacy = legacy_scenario(QueueSpec::DropTail { capacity: 1000 }, 99);
+    let topo = legacy.clone().with_topology(Topology::single_bottleneck(
+        legacy.link.clone(),
+        legacy.queue.clone(),
+        legacy.n(),
+    ));
+    let reparsed = Scenario::from_json(&topo.to_json()).expect("parse");
+    let a = run_with(&contender, &legacy);
+    let b = run_with(&contender, &reparsed);
+    assert_results_identical(&a, &b, "newreno via JSON round trip");
+}
+
+#[test]
+fn one_hop_topology_through_the_spec_layer_matches_legacy_cells() {
+    // The same equivalence, end to end through ExperimentSpec: a workload
+    // with an explicit 1-hop TopologySpec produces the same outcomes as
+    // the plain dumbbell workload.
+    let plain = ExperimentSpec::new(
+        "equiv_plain",
+        "equivalence",
+        WorkloadSpec::uniform(
+            LinkRef::constant(15.0),
+            1000,
+            3,
+            Ns::from_millis(150),
+            TrafficSpec::fig4(),
+        ),
+        vec![ContenderSpec::new("newreno"), ContenderSpec::new("cubic")],
+        Budget {
+            runs: 2,
+            sim_secs: 8,
+        },
+        4141,
+    );
+    let mut topo = plain.clone();
+    topo.workload = topo.workload.clone().with_topology(TopologySpec {
+        hops: vec![HopRef::new(LinkRef::constant(15.0), 1000)],
+        paths: (0..3).map(|_| FlowPath::through(vec![0])).collect(),
+    });
+    let a = Experiment::new(plain).run().expect("plain runs");
+    let b = Experiment::new(topo).run().expect("topology runs");
+    assert_eq!(a.cells.len(), b.cells.len());
+    for (ca, cb) in a.cells.iter().zip(&b.cells) {
+        assert_eq!(ca.label, cb.label);
+        assert_eq!(
+            ca.outcome.throughput_samples, cb.outcome.throughput_samples,
+            "{}: throughput samples identical",
+            ca.label
+        );
+        assert_eq!(ca.outcome.delay_samples, cb.outcome.delay_samples);
+        assert_eq!(ca.outcome.rtt_samples, cb.outcome.rtt_samples);
+    }
+}
+
+#[test]
+fn multi_hop_results_are_deterministic_across_runs() {
+    // The topology engine keeps the engine-wide determinism contract.
+    let spec = remy_sim::experiments::by_name("parking_lot3")
+        .expect("registered")
+        .spec(Budget {
+            runs: 2,
+            sim_secs: 5,
+        });
+    let a = Experiment::new(spec.clone()).run().expect("first run");
+    let b = Experiment::new(spec).run().expect("second run");
+    for (ca, cb) in a.cells.iter().zip(&b.cells) {
+        assert_eq!(ca.outcome.throughput_samples, cb.outcome.throughput_samples);
+        assert_eq!(ca.outcome.delay_samples, cb.outcome.delay_samples);
+    }
+}
