@@ -1,23 +1,29 @@
 //! Criterion micro-benchmarks of the queue disciplines at the bottleneck
-//! (enqueue + dequeue of a standing load).
+//! (enqueue + dequeue of a standing load), driven through the packet
+//! arena exactly as the simulator drives them.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use netsim::packet::Packet;
+use netsim::packet::{Packet, PacketArena};
 use netsim::queue::{Codel, DropTail, Queue, SfqCodel};
 use netsim::time::Ns;
 use std::hint::black_box;
 
-fn churn<Q: Queue>(q: &mut Q, packets: usize) -> u64 {
+fn churn<Q: Queue>(q: &mut Q, arena: &mut PacketArena, packets: usize) -> u64 {
     let mut t = Ns::ZERO;
     let mut out = 0u64;
     for i in 0..packets {
         t += Ns::from_micros(50);
-        q.enqueue(t, Packet::data(i % 8, i as u64, 1500, t));
-        if i % 2 == 1 && q.dequeue(t + Ns::from_micros(25)).is_some() {
-            out += 1;
+        let id = arena.alloc(Packet::data(i % 8, i as u64, 1500, t));
+        q.enqueue(t, id, arena);
+        if i % 2 == 1 {
+            if let Some(id) = q.dequeue(t + Ns::from_micros(25), arena) {
+                arena.free(id);
+                out += 1;
+            }
         }
     }
-    while q.dequeue(t + Ns::from_millis(1)).is_some() {
+    while let Some(id) = q.dequeue(t + Ns::from_millis(1), arena) {
+        arena.free(id);
         out += 1;
     }
     out
@@ -29,22 +35,25 @@ fn bench_queues(c: &mut Criterion) {
 
     g.bench_function("droptail_churn_10k", |b| {
         b.iter(|| {
+            let mut arena = PacketArena::new();
             let mut q = DropTail::new(1000);
-            black_box(churn(&mut q, N))
+            black_box(churn(&mut q, &mut arena, N))
         });
     });
 
     g.bench_function("codel_churn_10k", |b| {
         b.iter(|| {
+            let mut arena = PacketArena::new();
             let mut q = Codel::new(1000);
-            black_box(churn(&mut q, N))
+            black_box(churn(&mut q, &mut arena, N))
         });
     });
 
     g.bench_function("sfqcodel_churn_10k", |b| {
         b.iter(|| {
+            let mut arena = PacketArena::new();
             let mut q = SfqCodel::new(1000, 64);
-            black_box(churn(&mut q, N))
+            black_box(churn(&mut q, &mut arena, N))
         });
     });
 

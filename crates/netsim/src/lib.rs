@@ -54,6 +54,7 @@ pub mod queue;
 pub mod rng;
 pub mod router;
 pub mod scenario;
+pub mod sched;
 pub mod sim;
 pub mod stats;
 pub mod time;
@@ -66,11 +67,12 @@ pub mod prelude {
     pub use crate::cc::{factory, AckInfo, CcFactory, CongestionControl, FixedWindow, LossEvent};
     pub use crate::link::{DeliverySchedule, LinkSpec};
     pub use crate::metrics::{FlowSummary, SimResults};
-    pub use crate::packet::{Ack, FlowId, Packet};
+    pub use crate::packet::{Ack, FlowId, Packet, PacketArena, PacketId};
     pub use crate::queue::QueueSpec;
     pub use crate::rng::SimRng;
     pub use crate::router::{NoopRouter, RouterHook};
     pub use crate::scenario::{Scenario, SenderConfig};
+    pub use crate::sched::SchedulerKind;
     pub use crate::sim::{run_scenario, Simulator};
     pub use crate::time::Ns;
     pub use crate::topology::{FlowPath, HopSpec, Topology};

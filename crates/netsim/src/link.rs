@@ -68,6 +68,22 @@ impl LinkSpec {
         }
     }
 
+    /// Capacity this link actually offers over `(0, window]`, in bits,
+    /// assuming `mss`-byte packets. For a constant link this is
+    /// `rate × window`; for a trace it is the number of delivery
+    /// opportunities the schedule presents in that window times the packet
+    /// size — the correct utilization denominator for trace-driven links,
+    /// whose instantaneous rate bears little relation to the long-term
+    /// average.
+    pub fn delivered_capacity_bits(&self, mss: u32, window: Ns) -> f64 {
+        match self {
+            LinkSpec::Constant { rate_mbps } => rate_mbps * 1e6 * window.as_secs_f64(),
+            LinkSpec::Trace { schedule, .. } => {
+                schedule.opportunities_through(window) as f64 * mss as f64 * 8.0
+            }
+        }
+    }
+
     /// Short label for reports.
     pub fn label(&self) -> String {
         match self {
@@ -125,6 +141,9 @@ impl LinkSpec {
                 if instants.is_empty() {
                     return Err("trace link needs at least one instant".to_string());
                 }
+                if instants[0] == Ns::ZERO {
+                    return Err("trace instants must be strictly positive".to_string());
+                }
                 for w in instants.windows(2) {
                     if w[0] >= w[1] {
                         return Err("trace instants must strictly increase".to_string());
@@ -155,6 +174,13 @@ impl DeliverySchedule {
     /// reasonable choice is the mean inter-delivery gap.
     pub fn new(instants: Vec<Ns>, tail_gap: Ns) -> DeliverySchedule {
         assert!(!instants.is_empty(), "empty delivery schedule");
+        // A t=0 instant would be unreachable (the engine takes the first
+        // slot strictly after time 0) and would break the opportunity
+        // count and the cached cursor's periodic unrolling.
+        assert!(
+            instants[0] > Ns::ZERO,
+            "delivery instants must be strictly positive"
+        );
         for w in instants.windows(2) {
             assert!(w[0] < w[1], "delivery instants must strictly increase");
         }
@@ -186,14 +212,76 @@ impl DeliverySchedule {
         self.instants.is_empty()
     }
 
+    /// Number of delivery opportunities in `(0, window]`, unrolling the
+    /// schedule periodically — exactly the opportunities a simulation of
+    /// duration `window` presents to the queue (the engine processes trace
+    /// slots up to and including the horizon). This is the denominator of
+    /// trace-link utilization: the capacity the schedule actually
+    /// delivered over the measured window, as opposed to a nominal
+    /// constant rate.
+    pub fn opportunities_through(&self, window: Ns) -> u64 {
+        let period = self.period().0;
+        debug_assert!(period > 0);
+        let full_cycles = window.0 / period;
+        let rem = Ns(window.0 % period);
+        // Instants are strictly positive within a cycle, so a full cycle
+        // contributes every instant; the partial tail contributes those
+        // at or before the remainder offset.
+        let in_tail = self.instants.partition_point(|t| *t <= rem) as u64;
+        full_cycles * self.instants.len() as u64 + in_tail
+    }
+
     /// The first delivery opportunity strictly after `now`, unrolling the
     /// schedule periodically.
     pub fn next_after(&self, now: Ns) -> Ns {
+        let (cycle, idx) = self.locate_after(now);
+        self.at(cycle, idx)
+    }
+
+    /// Like [`DeliverySchedule::next_after`], but O(1) when the queries
+    /// are sequential — the common case in the simulator, where each trace
+    /// slot asks for the opportunity after itself. The cursor caches the
+    /// last answer; any non-sequential query falls back to the binary
+    /// search and re-syncs, so results are identical by construction.
+    pub fn next_after_cached(&self, cursor: &mut TraceCursor, now: Ns) -> Ns {
+        if cursor.valid && cursor.last == now {
+            let (cycle, idx) = if cursor.idx + 1 < self.instants.len() {
+                (cursor.cycle, cursor.idx + 1)
+            } else {
+                (cursor.cycle + 1, 0)
+            };
+            let at = self.at(cycle, idx);
+            *cursor = TraceCursor {
+                last: at,
+                cycle,
+                idx,
+                valid: true,
+            };
+            return at;
+        }
+        let (cycle, idx) = self.locate_after(now);
+        let at = self.at(cycle, idx);
+        *cursor = TraceCursor {
+            last: at,
+            cycle,
+            idx,
+            valid: true,
+        };
+        at
+    }
+
+    /// Absolute time of instant `idx` in repetition `cycle`.
+    #[inline]
+    fn at(&self, cycle: u64, idx: usize) -> Ns {
+        Ns(cycle * self.period().0 + self.instants[idx].0)
+    }
+
+    /// (cycle, index) of the first opportunity strictly after `now`.
+    fn locate_after(&self, now: Ns) -> (u64, usize) {
         let period = self.period();
         debug_assert!(period.0 > 0);
         let cycle = now.0 / period.0;
         let offset = Ns(now.0 % period.0);
-        let base = Ns(cycle * period.0);
         // Find the first instant strictly greater than `offset`.
         match self.instants.binary_search_by(|t| {
             if *t <= offset {
@@ -205,14 +293,26 @@ impl DeliverySchedule {
             Ok(_) => unreachable!("comparator never returns Equal"),
             Err(idx) => {
                 if idx < self.instants.len() {
-                    base + self.instants[idx]
+                    (cycle, idx)
                 } else {
                     // Wrap into the next cycle.
-                    Ns(base.0 + period.0) + self.instants[0]
+                    (cycle + 1, 0)
                 }
             }
         }
     }
+}
+
+/// Sequential-query cache for [`DeliverySchedule::next_after_cached`]:
+/// remembers the (cycle, index) of the last answer so the chained
+/// slot-after-slot queries of the event loop cost O(1) instead of a
+/// binary search over the whole trace.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TraceCursor {
+    last: Ns,
+    cycle: u64,
+    idx: usize,
+    valid: bool,
 }
 
 /// Runtime state of the bottleneck link inside the simulator.
@@ -310,6 +410,64 @@ mod tests {
     #[should_panic(expected = "strictly increase")]
     fn schedule_rejects_unsorted() {
         let _ = DeliverySchedule::new(vec![Ns(5), Ns(5)], Ns(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn schedule_rejects_a_zero_first_instant() {
+        // A t=0 slot is unreachable (next_after is strictly-after) and
+        // would make opportunities_through over-count by one per cycle.
+        let _ = DeliverySchedule::new(vec![Ns(0), Ns(10)], Ns(5));
+    }
+
+    #[test]
+    fn opportunities_count_unrolls_periodically() {
+        let s = DeliverySchedule::new(vec![Ns(10), Ns(20), Ns(35)], Ns(5)); // period 40
+        assert_eq!(s.opportunities_through(Ns(0)), 0);
+        assert_eq!(s.opportunities_through(Ns(9)), 0);
+        assert_eq!(s.opportunities_through(Ns(10)), 1, "boundary inclusive");
+        assert_eq!(s.opportunities_through(Ns(35)), 3);
+        assert_eq!(s.opportunities_through(Ns(39)), 3);
+        assert_eq!(
+            s.opportunities_through(Ns(40)),
+            3,
+            "tail gap holds no slots"
+        );
+        assert_eq!(s.opportunities_through(Ns(50)), 4);
+        assert_eq!(s.opportunities_through(Ns(400)), 30, "10 full periods");
+    }
+
+    #[test]
+    fn delivered_capacity_constant_vs_trace() {
+        let c = LinkSpec::constant(12.0);
+        // 12 Mbps × 1 s = 12 Mbit.
+        assert!((c.delivered_capacity_bits(1500, Ns::SECOND) - 12e6).abs() < 1.0);
+        // 3 opportunities per 40 ns period → over 400 ns: 30 × 1500 B.
+        let t = LinkSpec::trace(
+            "t",
+            DeliverySchedule::new(vec![Ns(10), Ns(20), Ns(35)], Ns(5)),
+        );
+        assert_eq!(
+            t.delivered_capacity_bits(1500, Ns(400)),
+            30.0 * 1500.0 * 8.0
+        );
+    }
+
+    #[test]
+    fn cached_next_after_matches_binary_search() {
+        let s = DeliverySchedule::new(vec![Ns(7), Ns(19), Ns(23)], Ns(4)); // period 27
+        let mut cursor = TraceCursor::default();
+        // Sequential chain (the simulator's access pattern).
+        let mut t = Ns::ZERO;
+        for _ in 0..200 {
+            let expect = s.next_after(t);
+            assert_eq!(s.next_after_cached(&mut cursor, t), expect);
+            t = expect;
+        }
+        // Non-sequential queries resync through the slow path.
+        for probe in [Ns(0), Ns(100), Ns(26), Ns(1_000_003), Ns(12)] {
+            assert_eq!(s.next_after_cached(&mut cursor, probe), s.next_after(probe));
+        }
     }
 
     #[test]

@@ -206,10 +206,26 @@ pub struct SimResults {
 
 impl SimResults {
     /// Aggregate link utilization: delivered payload bits / (rate × time).
-    /// Only meaningful for constant-rate links; harnesses pass the rate.
+    /// Only meaningful for constant-rate links — a trace link's nominal
+    /// average rate says little about what the schedule offered during
+    /// this particular window; use [`SimResults::utilization_of`] there.
     pub fn utilization(&self, rate_mbps: f64) -> f64 {
         let bits: f64 = self.flows.iter().map(|f| f.bytes as f64 * 8.0).sum();
         bits / (rate_mbps * 1e6 * self.duration.as_secs_f64())
+    }
+
+    /// Aggregate utilization against the capacity `link` actually offered
+    /// over this run's duration: for constant links identical to
+    /// [`SimResults::utilization`], for trace-driven links the delivered
+    /// bits divided by (delivery opportunities in the window × `mss`).
+    /// Returns 0 when the link offered no capacity.
+    pub fn utilization_of(&self, link: &crate::link::LinkSpec, mss: u32) -> f64 {
+        let capacity = link.delivered_capacity_bits(mss, self.duration);
+        if capacity <= 0.0 {
+            return 0.0;
+        }
+        let bits: f64 = self.flows.iter().map(|f| f.bytes as f64 * 8.0).sum();
+        bits / capacity
     }
 
     /// Summaries of senders that were active at least once.
@@ -285,6 +301,32 @@ mod tests {
         let s = m.summarize(Ns::from_secs(10));
         assert!(!s.was_active());
         assert_eq!(s.throughput_mbps, 0.0);
+    }
+
+    #[test]
+    fn trace_utilization_uses_delivered_capacity() {
+        use crate::link::{DeliverySchedule, LinkSpec};
+        // A bursty trace: 100 opportunities in the first half of a 10 s
+        // period, none after. Nominal average rate would say the link
+        // offered 1.2 Mbit over 10 s; the schedule actually offered
+        // 100 × 1500 B = 1.2 Mbit too — but measure over 5 s and the
+        // nominal rate is off by 2x while the delivered capacity is not.
+        let instants: Vec<Ns> = (1..=100).map(|i| Ns::from_millis(i * 50)).collect();
+        let schedule = DeliverySchedule::new(instants, Ns::from_secs(5));
+        let link = LinkSpec::trace("bursty", schedule);
+        let mut m = FlowMetrics::default();
+        m.start_interval(Ns::ZERO);
+        m.credit_bytes(75_000); // half the offered 150 000 B delivered
+        let r = SimResults {
+            flows: vec![m.summarize(Ns::from_secs(5))],
+            duration: Ns::from_secs(5),
+            ..SimResults::default()
+        };
+        let util = r.utilization_of(&link, 1500);
+        assert!((util - 0.5).abs() < 1e-9, "got {util}");
+        // Constant links: identical to the nominal-rate utilization.
+        let c = LinkSpec::constant(15.0);
+        assert!((r.utilization_of(&c, 1500) - r.utilization(15.0)).abs() < 1e-12);
     }
 
     #[test]

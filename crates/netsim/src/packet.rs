@@ -1,4 +1,4 @@
-//! Packets and acknowledgments.
+//! Packets, acknowledgments, and the packet arena.
 //!
 //! Every data segment in the simulator is one [`Packet`] of `mss` bytes
 //! (1500 by default, matching the paper's ns-2 setup). Receivers acknowledge
@@ -6,6 +6,12 @@
 //! acknowledgment, the echoed sender timestamp (the signal behind a
 //! RemyCC's `send_ewma`), an ECN echo for DCTCP, and the XCP feedback field
 //! for XCP senders.
+//!
+//! In-flight packets live in a [`PacketArena`]: a slab of reusable slots
+//! addressed by generational [`PacketId`] handles. The hot path (queues,
+//! the event loop) moves 8-byte ids instead of ~140-byte packet structs,
+//! and a freed slot's generation counter is bumped so a stale handle can
+//! never silently alias the packet that later reuses the slot.
 
 use crate::time::Ns;
 
@@ -26,17 +32,34 @@ pub struct XcpHeader {
 }
 
 /// One data segment traversing the dumbbell.
+///
+/// Laid out `repr(C)` with the queue-hot fields (`flow`, `seq`, `size`,
+/// timestamps) first, so the enqueue/dequeue path of an arena slot touches
+/// one cache line; the cold tail (`xcp`, `ack`) is only read at routers
+/// and endpoints.
 #[derive(Clone, Debug)]
+#[repr(C)]
 pub struct Packet {
     /// Owning flow.
     pub flow: FlowId,
     /// Sequence number, counted in whole packets (not bytes).
     pub seq: u64,
-    /// Size on the wire, in bytes.
-    pub size: u32,
     /// Sender clock when this copy of the segment was transmitted. Echoed
     /// back by the receiver; drives RTT samples and `send_ewma`.
     pub sent_at: Ns,
+    /// Stamped by the bottleneck queue on arrival; used to measure
+    /// per-packet queueing delay.
+    pub enqueued_at: Ns,
+    /// Total time this packet has waited in queues so far, accumulated
+    /// hop by hop; the flow's queueing-delay metric records the sum once,
+    /// at the final data hop (end-to-end queueing, not a per-hop average).
+    pub queue_wait: Ns,
+    /// Position along the owning flow's path (index into
+    /// [`crate::topology::FlowPath::fwd`], or `ack` for ACK packets).
+    /// Maintained by the engine; always 0 on the legacy dumbbell.
+    pub path_pos: usize,
+    /// Size on the wire, in bytes.
+    pub size: u32,
     /// True if this is a retransmission (excluded from goodput accounting
     /// only when the receiver has already seen the data).
     pub retransmit: bool,
@@ -46,22 +69,11 @@ pub struct Packet {
     pub ecn_marked: bool,
     /// XCP congestion header, when the sender runs XCP.
     pub xcp: Option<XcpHeader>,
-    /// Stamped by the bottleneck queue on arrival; used to measure
-    /// per-packet queueing delay.
-    pub enqueued_at: Ns,
     /// When `Some`, this packet is an acknowledgment in flight on a queued
     /// ACK path (multi-hop topologies only; see [`crate::topology`]). Like
     /// any packet it can be queued, delayed, or dropped — ACK loss is
     /// recovered by later cumulative ACKs or the RTO.
     pub ack: Option<Ack>,
-    /// Position along the owning flow's path (index into
-    /// [`crate::topology::FlowPath::fwd`], or `ack` for ACK packets).
-    /// Maintained by the engine; always 0 on the legacy dumbbell.
-    pub path_pos: usize,
-    /// Total time this packet has waited in queues so far, accumulated
-    /// hop by hop; the flow's queueing-delay metric records the sum once,
-    /// at the final data hop (end-to-end queueing, not a per-hop average).
-    pub queue_wait: Ns,
 }
 
 /// Wire size of an acknowledgment, bytes (TCP/IP header without payload).
@@ -132,6 +144,146 @@ pub struct Ack {
     pub new_data: bool,
 }
 
+/// Generational handle to a packet stored in a [`PacketArena`].
+///
+/// An id is 8 bytes: the slot index plus the slot's generation at
+/// allocation time. Freeing a slot bumps its generation, so any handle
+/// kept past the packet's lifetime fails the generation check instead of
+/// reading whichever packet recycled the slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PacketId {
+    index: u32,
+    generation: u32,
+}
+
+impl PacketId {
+    /// Slot index (diagnostics only; identity requires the generation).
+    pub fn index(self) -> u32 {
+        self.index
+    }
+
+    /// Allocation-time generation of the slot.
+    pub fn generation(self) -> u32 {
+        self.generation
+    }
+}
+
+#[repr(C)]
+struct Slot {
+    /// Current generation. Even = free, odd = live: allocation and free
+    /// each bump the counter once, so a live handle's generation is odd
+    /// and can never equal the generation of any other lifetime of the
+    /// same slot. First in the slot so the generation check and the
+    /// packet's hot fields share a cache line.
+    generation: u32,
+    packet: Packet,
+}
+
+/// A slab arena of in-flight packets.
+///
+/// Allocation reuses the most recently freed slot (LIFO free list) so the
+/// working set stays compact and cache-warm under steady-state traffic.
+/// All access is checked against the handle's generation; see [`PacketId`].
+#[derive(Default)]
+pub struct PacketArena {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl PacketArena {
+    /// An empty arena.
+    pub fn new() -> PacketArena {
+        PacketArena::default()
+    }
+
+    /// An empty arena with room for `capacity` packets before regrowing.
+    pub fn with_capacity(capacity: usize) -> PacketArena {
+        PacketArena {
+            slots: Vec::with_capacity(capacity),
+            free: Vec::with_capacity(capacity),
+            live: 0,
+        }
+    }
+
+    /// Store a packet, returning its handle.
+    #[inline]
+    pub fn alloc(&mut self, packet: Packet) -> PacketId {
+        self.live += 1;
+        if let Some(index) = self.free.pop() {
+            let slot = &mut self.slots[index as usize];
+            slot.generation = slot.generation.wrapping_add(1);
+            slot.packet = packet;
+            PacketId {
+                index,
+                generation: slot.generation,
+            }
+        } else {
+            let index = u32::try_from(self.slots.len()).expect("more than u32::MAX live packets");
+            self.slots.push(Slot {
+                generation: 1,
+                packet,
+            });
+            PacketId {
+                index,
+                generation: 1,
+            }
+        }
+    }
+
+    /// Release a handle's slot for reuse. Panics on a stale handle (the
+    /// slot was already freed): a double free is always an engine bug.
+    #[inline]
+    pub fn free(&mut self, id: PacketId) {
+        let slot = &mut self.slots[id.index as usize];
+        assert_eq!(
+            slot.generation, id.generation,
+            "freeing a stale PacketId (double free?)"
+        );
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free.push(id.index);
+        self.live -= 1;
+    }
+
+    /// True if the handle still addresses a live packet.
+    #[inline]
+    pub fn contains(&self, id: PacketId) -> bool {
+        self.slots
+            .get(id.index as usize)
+            .is_some_and(|s| s.generation == id.generation)
+    }
+
+    /// Packets currently live.
+    #[inline]
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Total slots ever allocated (live + reusable).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+impl std::ops::Index<PacketId> for PacketArena {
+    type Output = Packet;
+    #[inline]
+    fn index(&self, id: PacketId) -> &Packet {
+        let slot = &self.slots[id.index as usize];
+        assert_eq!(slot.generation, id.generation, "stale PacketId");
+        &slot.packet
+    }
+}
+
+impl std::ops::IndexMut<PacketId> for PacketArena {
+    #[inline]
+    fn index_mut(&mut self, id: PacketId) -> &mut Packet {
+        let slot = &mut self.slots[id.index as usize];
+        assert_eq!(slot.generation, id.generation, "stale PacketId");
+        &mut slot.packet
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,5 +319,45 @@ mod tests {
         assert_eq!(p.seq, 8);
         assert_eq!(p.size, ACK_BYTES);
         assert_eq!(p.ack.as_ref().map(|a| a.cum_ack), Some(9));
+    }
+
+    #[test]
+    fn arena_alloc_free_reuses_slots_with_new_generations() {
+        let mut a = PacketArena::new();
+        let id0 = a.alloc(Packet::data(0, 0, 1500, Ns::ZERO));
+        let id1 = a.alloc(Packet::data(1, 1, 1500, Ns::ZERO));
+        assert_eq!(a.live(), 2);
+        assert_eq!(a[id0].seq, 0);
+        assert_eq!(a[id1].flow, 1);
+        a.free(id1);
+        assert_eq!(a.live(), 1);
+        assert!(!a.contains(id1));
+        // The freed slot is reused, but under a fresh generation: the old
+        // handle stays dead.
+        let id2 = a.alloc(Packet::data(2, 7, 1500, Ns::ZERO));
+        assert_eq!(id2.index(), id1.index(), "LIFO slot reuse");
+        assert_ne!(id2.generation(), id1.generation());
+        assert!(a.contains(id2) && !a.contains(id1));
+        assert_eq!(a[id2].seq, 7);
+        assert_eq!(a.capacity(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale PacketId")]
+    fn arena_rejects_stale_reads() {
+        let mut a = PacketArena::new();
+        let id = a.alloc(Packet::data(0, 0, 1500, Ns::ZERO));
+        a.free(id);
+        let _ = a.alloc(Packet::data(1, 1, 1500, Ns::ZERO));
+        let _ = &a[id]; // the recycled slot must not alias through the old id
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn arena_rejects_double_free() {
+        let mut a = PacketArena::new();
+        let id = a.alloc(Packet::data(0, 0, 1500, Ns::ZERO));
+        a.free(id);
+        a.free(id);
     }
 }

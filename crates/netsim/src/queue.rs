@@ -15,9 +15,16 @@
 //! * **sfqCoDel** — stochastic fair queueing (flows hashed into buckets,
 //!   round-robin service) with an independent CoDel instance per bucket;
 //!   this is the strongest router-assisted baseline in the paper.
+//!
+//! Queues hold [`PacketId`] handles, not packets: the packets themselves
+//! live in the simulation's [`PacketArena`], which every `enqueue`/
+//! `dequeue` receives. A discipline that drops a packet — at the tail, by
+//! the CoDel law, by RED, or by the stochastic-loss wrapper — frees its
+//! slot back to the arena; a handle returned by `dequeue` transfers
+//! ownership to the caller.
 
 use crate::json::Value;
-use crate::packet::Packet;
+use crate::packet::{PacketArena, PacketId};
 use crate::time::Ns;
 use std::collections::VecDeque;
 
@@ -26,24 +33,25 @@ use std::collections::VecDeque;
 pub enum Enqueue {
     /// Accepted (possibly ECN-marked; inspect the packet on delivery).
     Queued,
-    /// Dropped at the tail — the sender will discover this via dup-ACKs
-    /// or a timeout.
+    /// Dropped at the tail — the handle was freed back to the arena, and
+    /// the sender will discover the loss via dup-ACKs or a timeout.
     Dropped,
 }
 
 /// A bottleneck queue discipline.
 ///
-/// The simulator stamps no state of its own into the queue; disciplines own
-/// their packets between `enqueue` and `dequeue` and are free to drop or
-/// mark. `dequeue` is called when the outgoing link is ready to serve the
-/// next packet.
+/// Disciplines own their packet handles between `enqueue` and `dequeue`
+/// and are free to drop (freeing the arena slot) or mark. `dequeue` is
+/// called when the outgoing link is ready to serve the next packet.
 pub trait Queue: Send {
-    /// Offer a packet at time `now`.
-    fn enqueue(&mut self, now: Ns, p: Packet) -> Enqueue;
+    /// Offer the packet behind `id` at time `now`. On [`Enqueue::Dropped`]
+    /// the id has been freed and must not be used again.
+    fn enqueue(&mut self, now: Ns, id: PacketId, arena: &mut PacketArena) -> Enqueue;
 
     /// Pull the next packet to transmit at time `now` (AQMs may drop
-    /// packets internally while selecting it).
-    fn dequeue(&mut self, now: Ns) -> Option<Packet>;
+    /// packets internally while selecting it). Ownership of the returned
+    /// handle passes to the caller.
+    fn dequeue(&mut self, now: Ns, arena: &mut PacketArena) -> Option<PacketId>;
 
     /// Packets currently held.
     fn len(&self) -> usize;
@@ -61,12 +69,52 @@ pub trait Queue: Send {
 }
 
 // ---------------------------------------------------------------------------
+// Queue entries
+// ---------------------------------------------------------------------------
+
+/// What a discipline keeps per queued packet: the handle plus the two
+/// fields every dequeue decision needs (`size` for byte accounting, the
+/// arrival time for sojourn). Caching them here means the dequeue/drop
+/// paths never touch the (usually cache-cold) arena slot; the arrival
+/// time is stamped into the packet only when it is actually yielded to
+/// the caller (`yield_entry`), which reads identically to stamping on
+/// enqueue — the field is unobservable in between.
+#[derive(Clone, Copy)]
+struct QEntry {
+    id: PacketId,
+    size: u32,
+    enqueued_at: Ns,
+}
+
+impl QEntry {
+    /// Capture a packet entering a queue at `now` (the arena slot is hot
+    /// here: the packet was just written by the sender or previous hop).
+    #[inline]
+    fn capture(now: Ns, id: PacketId, arena: &PacketArena) -> QEntry {
+        QEntry {
+            id,
+            size: arena[id].size,
+            enqueued_at: now,
+        }
+    }
+
+    /// Hand the packet to the caller: stamp its arrival time (the caller
+    /// reads it right after, so the write warms the slot) and return the
+    /// handle.
+    #[inline]
+    fn yield_entry(self, arena: &mut PacketArena) -> PacketId {
+        arena[self.id].enqueued_at = self.enqueued_at;
+        self.id
+    }
+}
+
+// ---------------------------------------------------------------------------
 // DropTail
 // ---------------------------------------------------------------------------
 
 /// A plain FIFO with a packet-count capacity.
 pub struct DropTail {
-    q: VecDeque<Packet>,
+    q: VecDeque<QEntry>,
     capacity: usize,
     bytes: u64,
     drops: u64,
@@ -91,31 +139,37 @@ impl DropTail {
 }
 
 impl Queue for DropTail {
-    fn enqueue(&mut self, now: Ns, mut p: Packet) -> Enqueue {
+    #[inline]
+    fn enqueue(&mut self, now: Ns, id: PacketId, arena: &mut PacketArena) -> Enqueue {
         if self.q.len() >= self.capacity {
             self.drops += 1;
+            arena.free(id);
             return Enqueue::Dropped;
         }
-        p.enqueued_at = now;
-        self.bytes += p.size as u64;
-        self.q.push_back(p);
+        let e = QEntry::capture(now, id, arena);
+        self.bytes += e.size as u64;
+        self.q.push_back(e);
         Enqueue::Queued
     }
 
-    fn dequeue(&mut self, _now: Ns) -> Option<Packet> {
-        let p = self.q.pop_front()?;
-        self.bytes -= p.size as u64;
-        Some(p)
+    #[inline]
+    fn dequeue(&mut self, _now: Ns, arena: &mut PacketArena) -> Option<PacketId> {
+        let e = self.q.pop_front()?;
+        self.bytes -= e.size as u64;
+        Some(e.yield_entry(arena))
     }
 
+    #[inline]
     fn len(&self) -> usize {
         self.q.len()
     }
 
+    #[inline]
     fn bytes(&self) -> u64 {
         self.bytes
     }
 
+    #[inline]
     fn drops(&self) -> u64 {
         self.drops
     }
@@ -154,26 +208,32 @@ impl EcnThreshold {
 }
 
 impl Queue for EcnThreshold {
-    fn enqueue(&mut self, now: Ns, mut p: Packet) -> Enqueue {
+    #[inline]
+    fn enqueue(&mut self, now: Ns, id: PacketId, arena: &mut PacketArena) -> Enqueue {
+        let p = &mut arena[id];
         if p.ecn_capable && self.inner.len() >= self.mark_threshold {
             p.ecn_marked = true;
             self.marks += 1;
         }
-        self.inner.enqueue(now, p)
+        self.inner.enqueue(now, id, arena)
     }
 
-    fn dequeue(&mut self, now: Ns) -> Option<Packet> {
-        self.inner.dequeue(now)
+    #[inline]
+    fn dequeue(&mut self, now: Ns, arena: &mut PacketArena) -> Option<PacketId> {
+        self.inner.dequeue(now, arena)
     }
 
+    #[inline]
     fn len(&self) -> usize {
         self.inner.len()
     }
 
+    #[inline]
     fn bytes(&self) -> u64 {
         self.inner.bytes()
     }
 
+    #[inline]
     fn drops(&self) -> u64 {
         self.inner.drops()
     }
@@ -276,7 +336,7 @@ pub const CODEL_INTERVAL: Ns = Ns(100_000_000);
 
 /// A single-queue CoDel AQM over a FIFO with packet-count capacity.
 pub struct Codel {
-    q: VecDeque<Packet>,
+    q: VecDeque<QEntry>,
     capacity: usize,
     bytes: u64,
     drops: u64,
@@ -305,38 +365,45 @@ impl Codel {
 }
 
 impl Queue for Codel {
-    fn enqueue(&mut self, now: Ns, mut p: Packet) -> Enqueue {
+    #[inline]
+    fn enqueue(&mut self, now: Ns, id: PacketId, arena: &mut PacketArena) -> Enqueue {
         if self.q.len() >= self.capacity {
             self.drops += 1;
+            arena.free(id);
             return Enqueue::Dropped;
         }
-        p.enqueued_at = now;
-        self.bytes += p.size as u64;
-        self.q.push_back(p);
+        let e = QEntry::capture(now, id, arena);
+        self.bytes += e.size as u64;
+        self.q.push_back(e);
         Enqueue::Queued
     }
 
-    fn dequeue(&mut self, now: Ns) -> Option<Packet> {
+    #[inline]
+    fn dequeue(&mut self, now: Ns, arena: &mut PacketArena) -> Option<PacketId> {
         loop {
-            let p = self.q.pop_front()?;
-            self.bytes -= p.size as u64;
-            let sojourn = now.saturating_sub(p.enqueued_at);
+            let e = self.q.pop_front()?;
+            self.bytes -= e.size as u64;
+            let sojourn = now.saturating_sub(e.enqueued_at);
             if self.law.on_dequeue(now, sojourn, self.bytes, self.mss) {
                 self.drops += 1;
+                arena.free(e.id);
                 continue;
             }
-            return Some(p);
+            return Some(e.yield_entry(arena));
         }
     }
 
+    #[inline]
     fn len(&self) -> usize {
         self.q.len()
     }
 
+    #[inline]
     fn bytes(&self) -> u64 {
         self.bytes
     }
 
+    #[inline]
     fn drops(&self) -> u64 {
         self.drops
     }
@@ -353,15 +420,22 @@ impl Queue for Codel {
 /// packet-granularity round-robin equals byte-granularity DRR). Each bucket
 /// runs its own CoDel law. On overflow the packet at the head of the
 /// longest bucket is dropped to make room, as in Nichols's published
-/// `sfqcodel` implementation.
+/// `sfqcodel` implementation. An occupancy bitmap makes the round-robin
+/// scan skip empty buckets in O(1) instead of probing each in turn.
 pub struct SfqCodel {
-    buckets: Vec<VecDeque<Packet>>,
+    buckets: Vec<VecDeque<QEntry>>,
     laws: Vec<CodelLaw>,
     /// Bytes held per bucket, maintained incrementally on enqueue /
     /// dequeue / drop (the CoDel law consults its bucket's backlog on
     /// every dequeue; recomputing it by summation made each dequeue
     /// O(bucket length)).
     bucket_bytes: Vec<u64>,
+    /// Packets held per bucket, kept in one compact array so the
+    /// overflow shed's longest-bucket scan reads a few cache lines
+    /// instead of probing every `VecDeque` header.
+    bucket_lens: Vec<u32>,
+    /// One bit per non-empty bucket, in 64-bucket words.
+    occupied: Vec<u64>,
     /// Round-robin cursor: index of the next bucket to consider.
     cursor: usize,
     capacity: usize,
@@ -382,6 +456,8 @@ impl SfqCodel {
                 .map(|_| CodelLaw::new(CODEL_TARGET, CODEL_INTERVAL))
                 .collect(),
             bucket_bytes: vec![0; n_buckets],
+            bucket_lens: vec![0; n_buckets],
+            occupied: vec![0; n_buckets.div_ceil(64)],
             cursor: 0,
             capacity,
             len: 0,
@@ -392,77 +468,147 @@ impl SfqCodel {
     }
 
     /// Fibonacci hashing so adjacent flow ids land in scattered buckets.
+    /// For power-of-two bucket counts (the standard 64) the modulo
+    /// strength-reduces to a mask — same value, no hardware divide on the
+    /// per-packet path.
+    #[inline]
     fn bucket_index(&self, flow: usize) -> usize {
         let h = (flow as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        (h >> 32) as usize % self.buckets.len()
+        let n = self.buckets.len();
+        if n.is_power_of_two() {
+            (h >> 32) as usize & (n - 1)
+        } else {
+            (h >> 32) as usize % n
+        }
     }
 
-    fn drop_from_longest(&mut self) {
-        let (idx, _) = self
-            .buckets
+    fn mark_occupied(&mut self, idx: usize) {
+        self.occupied[idx / 64] |= 1u64 << (idx % 64);
+    }
+
+    fn mark_if_empty(&mut self, idx: usize) {
+        if self.buckets[idx].is_empty() {
+            self.occupied[idx / 64] &= !(1u64 << (idx % 64));
+        }
+    }
+
+    /// First occupied bucket index in `[from, to)`, if any.
+    fn scan_occupied(&self, from: usize, to: usize) -> Option<usize> {
+        if from >= to {
+            return None;
+        }
+        let last_w = (to - 1) / 64;
+        let mut w = from / 64;
+        let mut word = self.occupied[w] & (!0u64 << (from % 64));
+        loop {
+            if word != 0 {
+                let idx = w * 64 + word.trailing_zeros() as usize;
+                return (idx < to).then_some(idx);
+            }
+            if w == last_w {
+                return None;
+            }
+            w += 1;
+            word = self.occupied[w];
+        }
+    }
+
+    /// First occupied bucket in cyclic order starting at `start`.
+    fn next_occupied(&self, start: usize) -> Option<usize> {
+        self.scan_occupied(start, self.buckets.len())
+            .or_else(|| self.scan_occupied(0, start))
+    }
+
+    fn drop_from_longest(&mut self, arena: &mut PacketArena) {
+        // Last-max semantics match the previous `max_by_key` over the
+        // bucket deques (ties pick the highest index). Two passes over
+        // the compact length array keep both loops free of sequential
+        // dependencies, so they vectorize.
+        let max = *self.bucket_lens.iter().max().expect("non-empty bucket set");
+        let idx = self
+            .bucket_lens
             .iter()
-            .enumerate()
-            .max_by_key(|(_, b)| b.len())
-            .expect("non-empty bucket set");
+            .rposition(|&l| l == max)
+            .expect("max exists");
         if let Some(victim) = self.buckets[idx].pop_front() {
+            arena.free(victim.id);
             self.len -= 1;
             self.bytes -= victim.size as u64;
             self.bucket_bytes[idx] -= victim.size as u64;
+            self.bucket_lens[idx] -= 1;
             self.drops += 1;
+            self.mark_if_empty(idx);
         }
     }
 }
 
 impl Queue for SfqCodel {
-    fn enqueue(&mut self, now: Ns, mut p: Packet) -> Enqueue {
-        let idx = self.bucket_index(p.flow);
+    #[inline]
+    fn enqueue(&mut self, now: Ns, id: PacketId, arena: &mut PacketArena) -> Enqueue {
+        let idx = self.bucket_index(arena[id].flow);
         if self.len >= self.capacity {
             // Make room by shedding from the most backlogged flow; the
             // arriving packet is then admitted. If the longest bucket is
             // the arriving flow's own, this is equivalent to head drop.
-            self.drop_from_longest();
+            self.drop_from_longest(arena);
         }
-        p.enqueued_at = now;
+        let e = QEntry::capture(now, id, arena);
+        let size = e.size as u64;
         self.len += 1;
-        self.bytes += p.size as u64;
-        self.bucket_bytes[idx] += p.size as u64;
-        self.buckets[idx].push_back(p);
+        self.bytes += size;
+        self.bucket_bytes[idx] += size;
+        self.bucket_lens[idx] += 1;
+        self.buckets[idx].push_back(e);
+        self.mark_occupied(idx);
         Enqueue::Queued
     }
 
-    fn dequeue(&mut self, now: Ns) -> Option<Packet> {
+    #[inline]
+    fn dequeue(&mut self, now: Ns, arena: &mut PacketArena) -> Option<PacketId> {
         if self.len == 0 {
             return None;
         }
         let n = self.buckets.len();
-        // Visit buckets round-robin; within a bucket, run CoDel until it
-        // yields a packet or empties.
-        for step in 0..n {
-            let idx = (self.cursor + step) % n;
-            while let Some(p) = self.buckets[idx].pop_front() {
+        debug_assert!(self.cursor < n);
+        // Wrap-around successor without the hardware divide a `% n` with
+        // a runtime modulus costs on every dequeue.
+        let next = |i: usize| if i + 1 == n { 0 } else { i + 1 };
+        // Visit non-empty buckets round-robin; within a bucket, run CoDel
+        // until it yields a packet or empties.
+        let mut idx = self.next_occupied(self.cursor)?;
+        loop {
+            while let Some(e) = self.buckets[idx].pop_front() {
                 self.len -= 1;
-                self.bytes -= p.size as u64;
-                self.bucket_bytes[idx] -= p.size as u64;
-                let sojourn = now.saturating_sub(p.enqueued_at);
+                self.bytes -= e.size as u64;
+                self.bucket_bytes[idx] -= e.size as u64;
+                self.bucket_lens[idx] -= 1;
+                self.mark_if_empty(idx);
+                let sojourn = now.saturating_sub(e.enqueued_at);
                 if self.laws[idx].on_dequeue(now, sojourn, self.bucket_bytes[idx], self.mss) {
                     self.drops += 1;
+                    arena.free(e.id);
                     continue;
                 }
-                self.cursor = (idx + 1) % n;
-                return Some(p);
+                self.cursor = next(idx);
+                return Some(e.yield_entry(arena));
             }
+            // Bucket drained by CoDel drops: move to the next non-empty
+            // one. Buckets only shrink here, so this terminates.
+            idx = self.next_occupied(next(idx))?;
         }
-        None
     }
 
+    #[inline]
     fn len(&self) -> usize {
         self.len
     }
 
+    #[inline]
     fn bytes(&self) -> u64 {
         self.bytes
     }
 
+    #[inline]
     fn drops(&self) -> u64 {
         self.drops
     }
@@ -482,7 +628,7 @@ impl Queue for SfqCodel {
 /// instantaneous averaging — provided directly by [`EcnThreshold`]; this
 /// full implementation covers classic AQM configurations.
 pub struct Red {
-    q: VecDeque<Packet>,
+    q: VecDeque<QEntry>,
     capacity: usize,
     bytes: u64,
     drops: u64,
@@ -573,44 +719,52 @@ impl Red {
 }
 
 impl Queue for Red {
-    fn enqueue(&mut self, now: Ns, mut p: Packet) -> Enqueue {
+    #[inline]
+    fn enqueue(&mut self, now: Ns, id: PacketId, arena: &mut PacketArena) -> Enqueue {
         // Update the average on every arrival (idle-time correction
         // omitted: the simulator's bottleneck rarely idles under load,
         // and the EWMA recovers in a few arrivals).
         self.avg = (1.0 - self.w_q) * self.avg + self.w_q * self.q.len() as f64;
         if self.q.len() >= self.capacity {
             self.drops += 1;
+            arena.free(id);
             return Enqueue::Dropped;
         }
         if self.early_action() {
+            let p = &mut arena[id];
             if self.ecn_mode && p.ecn_capable {
                 p.ecn_marked = true;
                 self.marks += 1;
             } else {
                 self.drops += 1;
+                arena.free(id);
                 return Enqueue::Dropped;
             }
         }
-        p.enqueued_at = now;
-        self.bytes += p.size as u64;
-        self.q.push_back(p);
+        let e = QEntry::capture(now, id, arena);
+        self.bytes += e.size as u64;
+        self.q.push_back(e);
         Enqueue::Queued
     }
 
-    fn dequeue(&mut self, _now: Ns) -> Option<Packet> {
-        let p = self.q.pop_front()?;
-        self.bytes -= p.size as u64;
-        Some(p)
+    #[inline]
+    fn dequeue(&mut self, _now: Ns, arena: &mut PacketArena) -> Option<PacketId> {
+        let e = self.q.pop_front()?;
+        self.bytes -= e.size as u64;
+        Some(e.yield_entry(arena))
     }
 
+    #[inline]
     fn len(&self) -> usize {
         self.q.len()
     }
 
+    #[inline]
     fn bytes(&self) -> u64 {
         self.bytes
     }
 
+    #[inline]
     fn drops(&self) -> u64 {
         self.drops
     }
@@ -654,26 +808,32 @@ impl<Q: Queue> Lossy<Q> {
 }
 
 impl<Q: Queue> Queue for Lossy<Q> {
-    fn enqueue(&mut self, now: Ns, p: Packet) -> Enqueue {
+    #[inline]
+    fn enqueue(&mut self, now: Ns, id: PacketId, arena: &mut PacketArena) -> Enqueue {
         if self.drop_probability > 0.0 && self.rng.chance(self.drop_probability) {
             self.stochastic_drops += 1;
+            arena.free(id);
             return Enqueue::Dropped;
         }
-        self.inner.enqueue(now, p)
+        self.inner.enqueue(now, id, arena)
     }
 
-    fn dequeue(&mut self, now: Ns) -> Option<Packet> {
-        self.inner.dequeue(now)
+    #[inline]
+    fn dequeue(&mut self, now: Ns, arena: &mut PacketArena) -> Option<PacketId> {
+        self.inner.dequeue(now, arena)
     }
 
+    #[inline]
     fn len(&self) -> usize {
         self.inner.len()
     }
 
+    #[inline]
     fn bytes(&self) -> u64 {
         self.inner.bytes()
     }
 
+    #[inline]
     fn drops(&self) -> u64 {
         self.inner.drops() + self.stochastic_drops
     }
@@ -913,56 +1073,78 @@ mod tests {
         Packet::data(flow, seq, 1500, Ns::ZERO)
     }
 
+    /// Alloc-and-enqueue helper for the arena-handle API.
+    fn push(q: &mut dyn Queue, a: &mut PacketArena, now: Ns, p: Packet) -> Enqueue {
+        let id = a.alloc(p);
+        q.enqueue(now, id, a)
+    }
+
+    /// Dequeue, returning a copy of the packet (slot freed).
+    fn pull(q: &mut dyn Queue, a: &mut PacketArena, now: Ns) -> Option<Packet> {
+        let id = q.dequeue(now, a)?;
+        let p = a[id].clone();
+        a.free(id);
+        Some(p)
+    }
+
     #[test]
     fn droptail_fifo_order() {
+        let mut a = PacketArena::new();
         let mut q = DropTail::new(10);
         for i in 0..5 {
-            assert_eq!(q.enqueue(Ns(i), pkt(0, i)), Enqueue::Queued);
+            assert_eq!(push(&mut q, &mut a, Ns(i), pkt(0, i)), Enqueue::Queued);
         }
         for i in 0..5 {
-            assert_eq!(q.dequeue(Ns(100)).unwrap().seq, i);
+            assert_eq!(pull(&mut q, &mut a, Ns(100)).unwrap().seq, i);
         }
-        assert!(q.dequeue(Ns(100)).is_none());
+        assert!(pull(&mut q, &mut a, Ns(100)).is_none());
+        assert_eq!(a.live(), 0, "every slot back in the arena");
     }
 
     #[test]
     fn droptail_drops_at_capacity() {
+        let mut a = PacketArena::new();
         let mut q = DropTail::new(2);
-        assert_eq!(q.enqueue(Ns::ZERO, pkt(0, 0)), Enqueue::Queued);
-        assert_eq!(q.enqueue(Ns::ZERO, pkt(0, 1)), Enqueue::Queued);
-        assert_eq!(q.enqueue(Ns::ZERO, pkt(0, 2)), Enqueue::Dropped);
+        assert_eq!(push(&mut q, &mut a, Ns::ZERO, pkt(0, 0)), Enqueue::Queued);
+        assert_eq!(push(&mut q, &mut a, Ns::ZERO, pkt(0, 1)), Enqueue::Queued);
+        assert_eq!(push(&mut q, &mut a, Ns::ZERO, pkt(0, 2)), Enqueue::Dropped);
         assert_eq!(q.drops(), 1);
         assert_eq!(q.len(), 2);
         assert_eq!(q.bytes(), 3000);
+        assert_eq!(a.live(), 2, "the dropped packet's slot was freed");
     }
 
     #[test]
     fn droptail_stamps_enqueue_time() {
+        let mut a = PacketArena::new();
         let mut q = DropTail::new(10);
-        q.enqueue(Ns::from_millis(7), pkt(0, 0));
+        push(&mut q, &mut a, Ns::from_millis(7), pkt(0, 0));
         assert_eq!(
-            q.dequeue(Ns::from_millis(9)).unwrap().enqueued_at,
+            pull(&mut q, &mut a, Ns::from_millis(9))
+                .unwrap()
+                .enqueued_at,
             Ns::from_millis(7)
         );
     }
 
     #[test]
     fn ecn_marks_above_threshold_only_capable_packets() {
+        let mut a = PacketArena::new();
         let mut q = EcnThreshold::new(100, 2);
         let mut capable = pkt(0, 0);
         capable.ecn_capable = true;
         // Queue below threshold: no mark.
-        q.enqueue(Ns::ZERO, capable.clone());
-        q.enqueue(Ns::ZERO, capable.clone());
+        push(&mut q, &mut a, Ns::ZERO, capable.clone());
+        push(&mut q, &mut a, Ns::ZERO, capable.clone());
         // Now occupancy == 2 == K: mark.
-        q.enqueue(Ns::ZERO, capable.clone());
+        push(&mut q, &mut a, Ns::ZERO, capable.clone());
         // Non-capable packet at same occupancy: not marked.
-        q.enqueue(Ns::ZERO, pkt(0, 3));
-        let a = q.dequeue(Ns::ZERO).unwrap();
-        let b = q.dequeue(Ns::ZERO).unwrap();
-        let c = q.dequeue(Ns::ZERO).unwrap();
-        let d = q.dequeue(Ns::ZERO).unwrap();
-        assert!(!a.ecn_marked && !b.ecn_marked);
+        push(&mut q, &mut a, Ns::ZERO, pkt(0, 3));
+        let a_ = pull(&mut q, &mut a, Ns::ZERO).unwrap();
+        let b = pull(&mut q, &mut a, Ns::ZERO).unwrap();
+        let c = pull(&mut q, &mut a, Ns::ZERO).unwrap();
+        let d = pull(&mut q, &mut a, Ns::ZERO).unwrap();
+        assert!(!a_.ecn_marked && !b.ecn_marked);
         assert!(c.ecn_marked);
         assert!(!d.ecn_marked);
         assert_eq!(q.marks(), 1);
@@ -970,50 +1152,58 @@ mod tests {
 
     #[test]
     fn codel_passes_short_sojourns() {
+        let mut a = PacketArena::new();
         let mut q = Codel::new(100);
         for i in 0..10 {
-            q.enqueue(Ns::from_millis(i), pkt(0, i));
+            push(&mut q, &mut a, Ns::from_millis(i), pkt(0, i));
         }
         // Dequeue immediately: sojourn ~ 0, nothing dropped.
         for _ in 0..10 {
-            assert!(q.dequeue(Ns::from_millis(10)).is_some());
+            assert!(pull(&mut q, &mut a, Ns::from_millis(10)).is_some());
         }
         assert_eq!(q.drops(), 0);
     }
 
     #[test]
     fn codel_drops_under_persistent_delay() {
+        let mut a = PacketArena::new();
         let mut q = Codel::new(10_000);
         // Build a standing queue: packets enqueued at t=0, dequeued much
         // later, so every sojourn is far above the 5 ms target.
         for i in 0..2_000 {
-            q.enqueue(Ns::ZERO, pkt(0, i));
+            push(&mut q, &mut a, Ns::ZERO, pkt(0, i));
         }
         let mut delivered = 0;
         let mut t = Ns::from_millis(50);
         for _ in 0..1_500 {
-            if q.dequeue(t).is_some() {
+            if pull(&mut q, &mut a, t).is_some() {
                 delivered += 1;
             }
             t += Ns::from_millis(1);
         }
         assert!(q.drops() > 0, "CoDel should drop under persistent queue");
         assert!(delivered > 0, "CoDel must still deliver packets");
+        assert_eq!(
+            a.live() as u64,
+            2_000 - delivered - q.drops(),
+            "only queued packets keep arena slots"
+        );
     }
 
     #[test]
     fn codel_drop_rate_increases() {
         // With a persistent standing queue, inter-drop gaps shrink like
         // interval/sqrt(count): verify drops accelerate over time.
+        let mut a = PacketArena::new();
         let mut q = Codel::new(100_000);
         for i in 0..50_000 {
-            q.enqueue(Ns::ZERO, pkt(0, i));
+            push(&mut q, &mut a, Ns::ZERO, pkt(0, i));
         }
         let mut drops_at = Vec::new();
         let mut t = Ns::from_millis(200);
         let mut last_drops = 0;
         for step in 0..3_000 {
-            q.dequeue(t);
+            pull(&mut q, &mut a, t);
             if q.drops() > last_drops {
                 last_drops = q.drops();
                 drops_at.push(step);
@@ -1034,19 +1224,20 @@ mod tests {
 
     #[test]
     fn sfq_isolates_flows_round_robin() {
+        let mut a = PacketArena::new();
         let mut q = SfqCodel::new(1000, 64);
         // Flow 0 floods; flow 1 sends a little.
         for i in 0..100 {
-            q.enqueue(Ns::ZERO, pkt(0, i));
+            push(&mut q, &mut a, Ns::ZERO, pkt(0, i));
         }
         for i in 0..3 {
-            q.enqueue(Ns::ZERO, pkt(1, i));
+            push(&mut q, &mut a, Ns::ZERO, pkt(1, i));
         }
         // In the first 6 dequeues, flow 1's packets must appear
         // interleaved, not starved behind flow 0's backlog.
         let mut flow1_seen = 0;
         for _ in 0..6 {
-            let p = q.dequeue(Ns::from_micros(10)).unwrap();
+            let p = pull(&mut q, &mut a, Ns::from_micros(10)).unwrap();
             if p.flow == 1 {
                 flow1_seen += 1;
             }
@@ -1056,16 +1247,17 @@ mod tests {
 
     #[test]
     fn sfq_overflow_sheds_from_longest_flow() {
+        let mut a = PacketArena::new();
         let mut q = SfqCodel::new(10, 64);
         for i in 0..10 {
-            q.enqueue(Ns::ZERO, pkt(0, i));
+            push(&mut q, &mut a, Ns::ZERO, pkt(0, i));
         }
         // Queue full; a packet from flow 1 should displace one of flow 0's.
-        assert_eq!(q.enqueue(Ns::ZERO, pkt(1, 0)), Enqueue::Queued);
+        assert_eq!(push(&mut q, &mut a, Ns::ZERO, pkt(1, 0)), Enqueue::Queued);
         assert_eq!(q.len(), 10);
         assert_eq!(q.drops(), 1);
         let mut flows: Vec<usize> = Vec::new();
-        while let Some(p) = q.dequeue(Ns::from_micros(1)) {
+        while let Some(p) = pull(&mut q, &mut a, Ns::from_micros(1)) {
             flows.push(p.flow);
         }
         assert!(flows.contains(&1), "new flow's packet survived");
@@ -1074,19 +1266,21 @@ mod tests {
 
     #[test]
     fn sfq_conserves_packets_without_pressure() {
+        let mut a = PacketArena::new();
         let mut q = SfqCodel::new(1000, 16);
         for f in 0..5 {
             for i in 0..7 {
-                q.enqueue(Ns::ZERO, pkt(f, i));
+                push(&mut q, &mut a, Ns::ZERO, pkt(f, i));
             }
         }
         let mut out = 0;
-        while q.dequeue(Ns::from_micros(5)).is_some() {
+        while pull(&mut q, &mut a, Ns::from_micros(5)).is_some() {
             out += 1;
         }
         assert_eq!(out, 35);
         assert_eq!(q.drops(), 0);
         assert_eq!(q.bytes(), 0);
+        assert_eq!(a.live(), 0);
     }
 
     #[test]
@@ -1105,38 +1299,41 @@ mod tests {
             },
         ];
         for spec in &specs {
+            let mut a = PacketArena::new();
             let mut q = spec.build();
-            assert_eq!(q.enqueue(Ns::ZERO, pkt(0, 0)), Enqueue::Queued);
+            assert_eq!(push(&mut *q, &mut a, Ns::ZERO, pkt(0, 0)), Enqueue::Queued);
             assert_eq!(q.len(), 1);
-            assert!(q.dequeue(Ns(1)).is_some());
+            assert!(pull(&mut *q, &mut a, Ns(1)).is_some());
             assert!(q.is_empty());
         }
     }
 
     #[test]
     fn red_passes_everything_below_min_th() {
+        let mut a = PacketArena::new();
         let mut q = Red::new(1000, 50, 150);
         // Light load: queue never builds, avg stays ~0.
         for i in 0..500 {
-            assert_eq!(q.enqueue(Ns(i), pkt(0, i)), Enqueue::Queued);
-            assert!(q.dequeue(Ns(i + 1)).is_some());
+            assert_eq!(push(&mut q, &mut a, Ns(i), pkt(0, i)), Enqueue::Queued);
+            assert!(pull(&mut q, &mut a, Ns(i + 1)).is_some());
         }
         assert_eq!(q.drops(), 0);
     }
 
     #[test]
     fn red_drops_probabilistically_between_thresholds() {
+        let mut a = PacketArena::new();
         let mut q = Red::new(10_000, 20, 100);
         // Build a standing queue of ~60 so avg converges between the
         // thresholds, then offer many more arrivals.
         for i in 0..60 {
-            q.enqueue(Ns(i), pkt(0, i));
+            push(&mut q, &mut a, Ns(i), pkt(0, i));
         }
         let mut early_drops = 0;
         for i in 0..5_000 {
             // Keep occupancy steady: one out, one (maybe) in.
-            q.dequeue(Ns(1000 + i));
-            if q.enqueue(Ns(1000 + i), pkt(0, 100 + i)) == Enqueue::Dropped {
+            pull(&mut q, &mut a, Ns(1000 + i));
+            if push(&mut q, &mut a, Ns(1000 + i), pkt(0, 100 + i)) == Enqueue::Dropped {
                 early_drops += 1;
             }
         }
@@ -1173,9 +1370,10 @@ mod tests {
         // End-to-end version of the regression: hold the average between
         // the thresholds for far longer than 1/p_b arrivals; a correct
         // uniformized RED can never go quiet for a full 1/p_b + slack run.
+        let mut a = PacketArena::new();
         let mut q = Red::new(10_000, 20, 100);
         for i in 0..60 {
-            q.enqueue(Ns(i), pkt(0, i));
+            push(&mut q, &mut a, Ns(i), pkt(0, i));
         }
         let mut arrivals_since_drop = 0u64;
         let mut max_gap = 0u64;
@@ -1183,9 +1381,9 @@ mod tests {
             // Serve only above 60 packets so the standing queue (and the
             // average) holds near 60 however many arrivals get dropped.
             if q.len() > 60 {
-                q.dequeue(Ns(1000 + i));
+                pull(&mut q, &mut a, Ns(1000 + i));
             }
-            if q.enqueue(Ns(1000 + i), pkt(0, 100 + i)) == Enqueue::Dropped {
+            if push(&mut q, &mut a, Ns(1000 + i), pkt(0, 100 + i)) == Enqueue::Dropped {
                 max_gap = max_gap.max(arrivals_since_drop);
                 arrivals_since_drop = 0;
             } else {
@@ -1205,34 +1403,37 @@ mod tests {
 
     #[test]
     fn red_force_drops_above_max_th() {
+        let mut a = PacketArena::new();
         let mut q = Red::new(10_000, 5, 20);
         // Slam 2000 arrivals with no departures: avg climbs past max_th
         // and RED begins dropping every arrival.
         let mut admitted = 0;
         for i in 0..2_000 {
-            if q.enqueue(Ns(i), pkt(0, i)) == Enqueue::Queued {
+            if push(&mut q, &mut a, Ns(i), pkt(0, i)) == Enqueue::Queued {
                 admitted += 1;
             }
         }
         assert!(admitted < 2_000, "forced region must drop");
         assert!(q.avg() > 20.0, "avg {} should exceed max_th", q.avg());
+        assert_eq!(a.live(), admitted, "dropped arrivals were freed");
     }
 
     #[test]
     fn red_ecn_marks_instead_of_dropping() {
+        let mut a = PacketArena::new();
         let mut q = Red::ecn(10_000, 5, 50);
         for i in 0..200 {
             let mut p = pkt(0, i);
             p.ecn_capable = true;
-            q.enqueue(Ns(i), p);
+            push(&mut q, &mut a, Ns(i), p);
         }
         // Standing queue of 200 → marking regime on further arrivals.
         let mut marked = 0;
         for i in 0..500 {
-            q.dequeue(Ns(1000 + i));
+            pull(&mut q, &mut a, Ns(1000 + i));
             let mut p = pkt(0, 1000 + i);
             p.ecn_capable = true;
-            if q.enqueue(Ns(1000 + i), p) == Enqueue::Queued {
+            if push(&mut q, &mut a, Ns(1000 + i), p) == Enqueue::Queued {
                 // fine either way; marks counted below
             }
         }
@@ -1255,47 +1456,52 @@ mod tests {
                 max_th: 50,
             },
         ] {
+            let mut a = PacketArena::new();
             let mut q = spec.build();
-            assert_eq!(q.enqueue(Ns::ZERO, pkt(0, 0)), Enqueue::Queued);
-            assert!(q.dequeue(Ns(1)).is_some());
+            assert_eq!(push(&mut *q, &mut a, Ns::ZERO, pkt(0, 0)), Enqueue::Queued);
+            assert!(pull(&mut *q, &mut a, Ns(1)).is_some());
         }
     }
 
     #[test]
     fn lossy_wrapper_drops_at_configured_rate() {
+        let mut a = PacketArena::new();
         let mut q = Lossy::new(DropTail::new(usize::MAX), 0.3, 7);
         let n = 20_000;
         for i in 0..n {
-            q.enqueue(Ns::ZERO, pkt(0, i));
+            push(&mut q, &mut a, Ns::ZERO, pkt(0, i));
         }
         let rate = q.stochastic_drops() as f64 / n as f64;
         assert!((rate - 0.3).abs() < 0.02, "loss rate {rate}");
         assert_eq!(q.drops(), q.stochastic_drops());
         // Survivors dequeue in order.
         let mut prev = None;
-        while let Some(p) = q.dequeue(Ns(1)) {
+        while let Some(p) = pull(&mut q, &mut a, Ns(1)) {
             if let Some(prev) = prev {
                 assert!(p.seq > prev);
             }
             prev = Some(p.seq);
         }
+        assert_eq!(a.live(), 0);
     }
 
     #[test]
     fn lossy_wrapper_with_zero_probability_is_transparent() {
+        let mut a = PacketArena::new();
         let mut q = Lossy::new(DropTail::new(10), 0.0, 1);
         for i in 0..10 {
-            assert_eq!(q.enqueue(Ns::ZERO, pkt(0, i)), Enqueue::Queued);
+            assert_eq!(push(&mut q, &mut a, Ns::ZERO, pkt(0, i)), Enqueue::Queued);
         }
         assert_eq!(q.stochastic_drops(), 0);
         assert_eq!(q.len(), 10);
         // Inner tail-drop still applies.
-        assert_eq!(q.enqueue(Ns::ZERO, pkt(0, 10)), Enqueue::Dropped);
+        assert_eq!(push(&mut q, &mut a, Ns::ZERO, pkt(0, 10)), Enqueue::Dropped);
         assert_eq!(q.drops(), 1);
     }
 
     #[test]
     fn lossy_spec_builds() {
+        let mut a = PacketArena::new();
         let mut q = QueueSpec::LossyDropTail {
             capacity: 100_000,
             drop_probability: 0.5,
@@ -1304,7 +1510,7 @@ mod tests {
         .build();
         let mut admitted = 0;
         for i in 0..1000 {
-            if q.enqueue(Ns::ZERO, pkt(0, i)) == Enqueue::Queued {
+            if push(&mut *q, &mut a, Ns::ZERO, pkt(0, i)) == Enqueue::Queued {
                 admitted += 1;
             }
         }
@@ -1313,31 +1519,36 @@ mod tests {
 
     #[test]
     fn sfq_bucket_byte_counters_stay_exact() {
-        // The incremental per-bucket byte counters must always agree with
-        // a from-scratch sum, through enqueues, CoDel drops, overflow
-        // shedding, and dequeues.
+        // The incremental per-bucket byte counters (and the occupancy
+        // bitmap) must always agree with a from-scratch scan, through
+        // enqueues, CoDel drops, overflow shedding, and dequeues.
+        let mut a = PacketArena::new();
         let mut q = SfqCodel::new(50, 8);
-        let check = |q: &SfqCodel| {
+        let check = |q: &SfqCodel, _a: &PacketArena| {
             let mut total = 0u64;
             for (i, b) in q.buckets.iter().enumerate() {
-                let sum: u64 = b.iter().map(|p| p.size as u64).sum();
+                let sum: u64 = b.iter().map(|e| e.size as u64).sum();
                 assert_eq!(q.bucket_bytes[i], sum, "bucket {i} counter drifted");
+                assert_eq!(q.bucket_lens[i] as usize, b.len(), "bucket {i} len drifted");
+                let bit = q.occupied[i / 64] >> (i % 64) & 1 == 1;
+                assert_eq!(bit, !b.is_empty(), "bucket {i} occupancy bit drifted");
                 total += sum;
             }
             assert_eq!(q.bytes(), total);
         };
         for i in 0..200 {
-            q.enqueue(Ns(i), pkt(i as usize % 11, i));
-            check(&q);
+            push(&mut q, &mut a, Ns(i), pkt(i as usize % 11, i));
+            check(&q, &a);
         }
         // Dequeue with large sojourns so per-bucket CoDel drops fire too.
         let mut t = Ns::from_millis(300);
-        while q.dequeue(t).is_some() {
-            check(&q);
+        while pull(&mut q, &mut a, t).is_some() {
+            check(&q, &a);
             t += Ns::from_millis(2);
         }
-        check(&q);
+        check(&q, &a);
         assert_eq!(q.bytes(), 0);
+        assert_eq!(a.live(), 0);
     }
 
     #[test]
@@ -1346,6 +1557,22 @@ mod tests {
         for f in 0..1000 {
             assert!(q.bucket_index(f) < 7);
         }
+    }
+
+    #[test]
+    fn sfq_bitmap_scan_wraps_the_cursor() {
+        // Force the round-robin cursor past the only occupied bucket so
+        // the cyclic scan has to wrap.
+        let mut a = PacketArena::new();
+        let mut q = SfqCodel::new(100, 70); // two bitmap words
+        let flow = (0..usize::MAX)
+            .find(|&f| q.bucket_index(f) == 1)
+            .expect("some flow hashes to bucket 1");
+        push(&mut q, &mut a, Ns::ZERO, pkt(flow, 0));
+        q.cursor = 65; // beyond the occupied bucket, in the second word
+        let p = pull(&mut q, &mut a, Ns(1)).expect("wrapped scan finds it");
+        assert_eq!(p.flow, flow);
+        assert!(pull(&mut q, &mut a, Ns(2)).is_none());
     }
 
     #[test]

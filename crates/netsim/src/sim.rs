@@ -17,24 +17,39 @@
 //! engine: the event sequence (times *and* tie-breaking insertion ids) is
 //! the same.
 //!
+//! ## Hot-path layout
+//!
+//! The engine allocates nothing per packet on the steady-state path:
+//! packets live in a [`PacketArena`] slab and flow through queues and
+//! events as 8-byte generational [`PacketId`] handles (a delivered data
+//! packet's slot is even reused in place for its returning ACK). Pending
+//! events go through a [`crate::sched::EventQueue`] — a hierarchical
+//! timing wheel by default, the original binary heap on request — and
+//! per-hop transmit durations for the two wire sizes (MSS data, 40-byte
+//! ACKs) are precomputed at construction instead of being re-derived from
+//! the link rate per packet. Both schedulers obey one ordering contract
+//! (time, then insertion id), so results are bit-for-bit identical under
+//! either; the equivalence suite in `tests/` pins this.
+//!
 //! The engine is strictly deterministic: all randomness flows from the
 //! scenario seed, and simultaneous events tie-break on insertion order.
 
 use crate::cc::CongestionControl;
 use crate::link::LinkState;
 use crate::metrics::{DeliveryRecord, FlowMetrics, SimResults};
-use crate::packet::{Ack, Packet};
+use crate::packet::{Ack, Packet, PacketArena, PacketId, ACK_BYTES};
 use crate::queue::{Enqueue, Queue};
 use crate::rng::SimRng;
 use crate::router::RouterHook;
 use crate::scenario::Scenario;
-use crate::time::Ns;
+use crate::sched::{EventQueue, SchedulerKind};
+use crate::time::{service_time, Ns};
 use crate::traffic::TrafficProcess;
 use crate::transport::{SendPoll, Transport};
-use std::cmp::Ordering;
-use std::collections::{BTreeSet, BinaryHeap};
+use std::collections::BTreeSet;
 
-/// Events the engine processes.
+/// Events the engine processes. Packet-carrying events hold arena handles,
+/// not packets, so every variant stays pointer-sized.
 enum Ev {
     /// A traffic-process timer (off→on or timed on→off) for a flow.
     Toggle(usize),
@@ -46,40 +61,18 @@ enum Ev {
     TraceSlot(usize),
     /// A packet propagates to the next hop on its path (`path_pos`
     /// already advanced).
-    HopArrive(Packet),
+    HopArrive(PacketId),
     /// A packet reaches its receiver.
-    Deliver(Packet),
-    /// An ACK reaches its sender.
-    AckArrive(Ack),
-    /// A retransmission timer (flow, generation).
-    Rto(usize, u64),
+    Deliver(PacketId),
+    /// An ACK (riding in its packet's recycled slot) reaches its sender.
+    AckArrive(PacketId),
+    /// The flow's retransmission timer. Lazily managed: at most one
+    /// tracked event per flow; a fire before the live deadline re-arms
+    /// itself instead of the engine scheduling one event per RTO
+    /// generation (which used to keep hundreds of dead timers queued).
+    Rto(usize),
     /// Periodic router control computation (XCP) at a hop.
     RouterTick(usize),
-}
-
-struct Entry {
-    at: Ns,
-    id: u64,
-    ev: Ev,
-}
-
-impl PartialEq for Entry {
-    fn eq(&self, other: &Entry) -> bool {
-        self.at == other.at && self.id == other.id
-    }
-}
-impl Eq for Entry {}
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Entry) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Entry {
-    fn cmp(&self, other: &Entry) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want earliest-first, with
-        // insertion order breaking ties for determinism.
-        other.at.cmp(&self.at).then_with(|| other.id.cmp(&self.id))
-    }
 }
 
 /// Receiver-side reassembly state for one flow.
@@ -122,8 +115,9 @@ struct Flow {
     ack_hops: Vec<usize>,
     /// A pacer event is already scheduled at this time (dedup guard).
     pacer_scheduled: Option<Ns>,
-    /// Latest RTO generation we have scheduled an event for.
-    rto_scheduled_gen: u64,
+    /// Earliest pending [`Ev::Rto`] event for this flow, if any (dedup
+    /// guard for the lazy RTO timer).
+    rto_event_at: Option<Ns>,
 }
 
 /// Runtime state of one hop: the queue feeding a link, plus an optional
@@ -135,6 +129,41 @@ struct Hop {
     router: Option<Box<dyn RouterHook>>,
     /// Propagation toward the next hop on a path.
     prop_delay_out: Ns,
+    /// Precomputed transmit duration of an MSS-sized data packet on a
+    /// constant-rate link (unused for trace links).
+    svc_data: Ns,
+    /// Precomputed transmit duration of a 40-byte ACK packet.
+    svc_ack: Ns,
+    /// Sequential-query cache for trace-driven links.
+    trace_cursor: crate::link::TraceCursor,
+}
+
+impl Hop {
+    fn new(
+        link: LinkState,
+        queue: Box<dyn Queue>,
+        router: Option<Box<dyn RouterHook>>,
+        prop_delay_out: Ns,
+        mss: u32,
+    ) -> Hop {
+        let (svc_data, svc_ack) = match &link {
+            LinkState::Constant { rate_mbps } => (
+                service_time(mss, *rate_mbps),
+                service_time(ACK_BYTES, *rate_mbps),
+            ),
+            LinkState::Trace { .. } => (Ns::ZERO, Ns::ZERO),
+        };
+        Hop {
+            queue,
+            link,
+            busy: false,
+            router,
+            prop_delay_out,
+            svc_data,
+            svc_ack,
+            trace_cursor: crate::link::TraceCursor::default(),
+        }
+    }
 }
 
 /// The network simulator (dumbbell by default, multi-hop with a
@@ -142,8 +171,8 @@ struct Hop {
 pub struct Simulator {
     now: Ns,
     end: Ns,
-    heap: BinaryHeap<Entry>,
-    next_id: u64,
+    events: EventQueue<Ev>,
+    arena: PacketArena,
     hops: Vec<Hop>,
     flows: Vec<Flow>,
     mss: u32,
@@ -157,7 +186,10 @@ impl Simulator {
     /// (must match `scenario.n()`), plus an optional router hook (XCP)
     /// attached to hop 0 — the bottleneck of the legacy dumbbell. Use
     /// [`Simulator::with_routers`] to attach hooks to other hops of a
-    /// multi-hop topology.
+    /// multi-hop topology. The event scheduler is the timing wheel unless
+    /// `NETSIM_SCHEDULER=heap` is set (see
+    /// [`crate::sched::SchedulerKind::from_env`]); results are identical
+    /// either way.
     pub fn new(
         scenario: &Scenario,
         ccs: Vec<Box<dyn CongestionControl>>,
@@ -176,11 +208,24 @@ impl Simulator {
 
     /// Build a simulator with an explicit per-hop router-hook list
     /// (`routers.len()` must equal the hop count; the legacy dumbbell has
-    /// exactly one hop).
+    /// exactly one hop). The scheduler comes from the environment, as in
+    /// [`Simulator::new`].
     pub fn with_routers(
         scenario: &Scenario,
         ccs: Vec<Box<dyn CongestionControl>>,
         routers: Vec<Option<Box<dyn RouterHook>>>,
+    ) -> Simulator {
+        Simulator::with_scheduler(scenario, ccs, routers, SchedulerKind::from_env())
+    }
+
+    /// Build a simulator with an explicit event scheduler (the equivalence
+    /// suite runs every scenario under both kinds and asserts bit-for-bit
+    /// identical results).
+    pub fn with_scheduler(
+        scenario: &Scenario,
+        ccs: Vec<Box<dyn CongestionControl>>,
+        routers: Vec<Option<Box<dyn RouterHook>>>,
+        scheduler: SchedulerKind,
     ) -> Simulator {
         assert_eq!(
             ccs.len(),
@@ -209,20 +254,20 @@ impl Simulator {
                 fwd_hops,
                 ack_hops,
                 pacer_scheduled: None,
-                rto_scheduled_gen: 0,
+                rto_event_at: None,
             });
         }
         let mut router_slots = routers;
         let hops: Vec<Hop> = match &scenario.topology {
             None => {
                 assert_eq!(router_slots.len(), 1, "legacy dumbbell has one hop");
-                vec![Hop {
-                    queue: scenario.queue.build(),
-                    link: LinkState::from_spec(&scenario.link),
-                    busy: false,
-                    router: router_slots.pop().expect("one slot"),
-                    prop_delay_out: Ns::ZERO,
-                }]
+                vec![Hop::new(
+                    LinkState::from_spec(&scenario.link),
+                    scenario.queue.build(),
+                    router_slots.pop().expect("one slot"),
+                    Ns::ZERO,
+                    scenario.mss,
+                )]
             }
             Some(t) => {
                 assert_eq!(
@@ -233,12 +278,14 @@ impl Simulator {
                 t.hops
                     .iter()
                     .zip(router_slots.drain(..))
-                    .map(|(h, router)| Hop {
-                        queue: h.queue.build(),
-                        link: LinkState::from_spec(&h.link),
-                        busy: false,
-                        router,
-                        prop_delay_out: h.prop_delay_out,
+                    .map(|(h, router)| {
+                        Hop::new(
+                            LinkState::from_spec(&h.link),
+                            h.queue.build(),
+                            router,
+                            h.prop_delay_out,
+                            scenario.mss,
+                        )
                     })
                     .collect()
             }
@@ -246,8 +293,8 @@ impl Simulator {
         let mut sim = Simulator {
             now: Ns::ZERO,
             end: scenario.duration,
-            heap: BinaryHeap::new(),
-            next_id: 0,
+            events: EventQueue::new(scheduler),
+            arena: PacketArena::with_capacity(256),
             hops,
             flows,
             mss: scenario.mss,
@@ -263,8 +310,9 @@ impl Simulator {
         }
         // …the first trace slot of every trace-driven hop…
         for h in 0..sim.hops.len() {
-            if let LinkState::Trace { schedule } = &sim.hops[h].link {
-                let first = schedule.next_after(Ns::ZERO);
+            let hop = &mut sim.hops[h];
+            if let LinkState::Trace { schedule } = &hop.link {
+                let first = schedule.next_after_cached(&mut hop.trace_cursor, Ns::ZERO);
                 sim.schedule(first, Ev::TraceSlot(h));
             }
         }
@@ -280,9 +328,12 @@ impl Simulator {
     }
 
     fn schedule(&mut self, at: Ns, ev: Ev) {
-        let id = self.next_id;
-        self.next_id += 1;
-        self.heap.push(Entry { at, id, ev });
+        self.events.push(at, ev);
+    }
+
+    /// The event scheduler this simulator runs on.
+    pub fn scheduler(&self) -> SchedulerKind {
+        self.events.kind()
     }
 
     /// Run to completion and summarize.
@@ -299,13 +350,13 @@ impl Simulator {
     }
 
     fn drive(&mut self) {
-        while let Some(entry) = self.heap.pop() {
-            if entry.at > self.end {
+        while let Some((at, _id, ev)) = self.events.pop() {
+            if at > self.end {
                 break;
             }
-            debug_assert!(entry.at >= self.now, "time went backwards");
-            self.now = entry.at;
-            match entry.ev {
+            debug_assert!(at >= self.now, "time went backwards");
+            self.now = at;
+            match ev {
                 Ev::Toggle(i) => self.on_toggle(i),
                 Ev::Pacer(i) => {
                     self.flows[i].pacer_scheduled = None;
@@ -318,8 +369,8 @@ impl Simulator {
                 Ev::TraceSlot(h) => self.on_trace_slot(h),
                 Ev::HopArrive(p) => self.on_hop_arrive(p),
                 Ev::Deliver(p) => self.on_deliver(p),
-                Ev::AckArrive(a) => self.on_ack_arrive(a),
-                Ev::Rto(i, generation) => self.on_rto(i, generation),
+                Ev::AckArrive(p) => self.on_ack_arrive(p),
+                Ev::Rto(i) => self.on_rto(i),
                 Ev::RouterTick(h) => self.on_router_tick(h),
             }
         }
@@ -393,13 +444,14 @@ impl Simulator {
                         p.xcp = cc.xcp_header();
                     }
                     let entry_hop = self.flows[i].fwd_hops[0];
+                    let id = self.arena.alloc(p);
                     let admitted = {
                         let hop = &mut self.hops[entry_hop];
                         let queue_pkts = hop.queue.len();
                         if let Some(r) = hop.router.as_mut() {
-                            r.on_arrival(now, &mut p, queue_pkts);
+                            r.on_arrival(now, &mut self.arena[id], queue_pkts);
                         }
-                        hop.queue.enqueue(now, p) == Enqueue::Queued
+                        hop.queue.enqueue(now, id, &mut self.arena) == Enqueue::Queued
                     };
                     self.flows[i].transport.on_sent(now, seq, retransmit);
                     if !retransmit {
@@ -426,39 +478,58 @@ impl Simulator {
         }
     }
 
+    /// The precomputed transmit duration of the packet behind `id` on hop
+    /// `h`'s constant-rate link (data and ACK sizes are cached; any other
+    /// size falls back to the exact same arithmetic).
+    fn service_for(&self, h: usize, size: u32) -> Ns {
+        let hop = &self.hops[h];
+        if size == self.mss {
+            hop.svc_data
+        } else if size == ACK_BYTES {
+            hop.svc_ack
+        } else if let LinkState::Constant { rate_mbps } = hop.link {
+            service_time(size, rate_mbps)
+        } else {
+            Ns::ZERO
+        }
+    }
+
     /// For constant-rate links: begin serving hop `h`'s head packet if its
     /// link is idle. Trace links ignore this (deliveries happen on trace
     /// slots).
     fn start_service_if_possible(&mut self, h: usize) {
-        let LinkState::Constant { rate_mbps } = self.hops[h].link else {
+        let LinkState::Constant { .. } = self.hops[h].link else {
             return;
         };
         if self.hops[h].busy {
             return;
         }
         let now = self.now;
-        let Some(mut p) = self.hops[h].queue.dequeue(now) else {
+        let Some(id) = self.hops[h].queue.dequeue(now, &mut self.arena) else {
             return;
         };
         self.hops[h].busy = true;
-        let service = crate::time::service_time(p.size, rate_mbps);
-        self.account_departure(h, &mut p, now);
+        let service = self.service_for(h, self.arena[id].size);
+        self.account_departure(h, id, now);
         self.schedule(now + service, Ev::LinkReady(h));
-        self.forward(h, p, now + service);
+        self.forward(h, id, now + service);
     }
 
     fn on_trace_slot(&mut self, h: usize) {
         let now = self.now;
-        // Chain the next opportunity first.
-        if let LinkState::Trace { schedule } = &self.hops[h].link {
-            let next = schedule.next_after(now);
+        // Chain the next opportunity first. Queries here are sequential
+        // (each slot asks for the one after itself), so the cursor makes
+        // this O(1) instead of a binary search over the whole trace.
+        let hop = &mut self.hops[h];
+        if let LinkState::Trace { schedule } = &hop.link {
+            let next = schedule.next_after_cached(&mut hop.trace_cursor, now);
             self.schedule(next, Ev::TraceSlot(h));
         }
-        let Some(mut p) = self.hops[h].queue.dequeue(now) else {
+        let Some(id) = self.hops[h].queue.dequeue(now, &mut self.arena) else {
             return;
         };
-        self.account_departure(h, &mut p, now);
-        self.forward(h, p, now);
+        self.account_departure(h, id, now);
+        self.forward(h, id, now);
     }
 
     /// Shared metrics/router bookkeeping when a packet leaves a hop's
@@ -469,84 +540,103 @@ impl Simulator {
     /// it as forwarded when it is data completing its queue path. ACKs on
     /// a queued return path are not data: their waits surface in the RTT
     /// the sender measures, not in the flow's queueing-delay metric.
-    fn account_departure(&mut self, h: usize, p: &mut Packet, now: Ns) {
-        let flow = p.flow;
-        let wait = now.saturating_sub(p.enqueued_at);
-        p.queue_wait += wait;
-        let last_data_hop = p.ack.is_none() && p.path_pos + 1 == self.flows[flow].fwd_hops.len();
+    fn account_departure(&mut self, h: usize, id: PacketId, now: Ns) {
+        let (flow, is_data, path_pos, queue_wait) = {
+            let p = &mut self.arena[id];
+            let wait = now.saturating_sub(p.enqueued_at);
+            p.queue_wait += wait;
+            (p.flow, p.ack.is_none(), p.path_pos, p.queue_wait)
+        };
+        let last_data_hop = is_data && path_pos + 1 == self.flows[flow].fwd_hops.len();
         if last_data_hop {
-            self.flows[flow].metrics.record_queue_delay(p.queue_wait);
+            self.flows[flow].metrics.record_queue_delay(queue_wait);
             self.packets_forwarded += 1;
         }
         let hop = &mut self.hops[h];
         let queue_pkts = hop.queue.len();
         if let Some(r) = hop.router.as_mut() {
-            r.on_departure(now, p, queue_pkts);
+            r.on_departure(now, &mut self.arena[id], queue_pkts);
         }
     }
 
     /// Route a packet leaving hop `h` at time `depart`: to the next hop on
     /// its path, or — past the final hop — to its receiver (data) or
     /// sender (ACK) after the flow's propagation delay.
-    fn forward(&mut self, h: usize, mut p: Packet, depart: Ns) {
-        let flow = p.flow;
-        let path_len = if p.ack.is_some() {
+    fn forward(&mut self, h: usize, id: PacketId, depart: Ns) {
+        let (flow, is_ack, path_pos) = {
+            let p = &self.arena[id];
+            (p.flow, p.ack.is_some(), p.path_pos)
+        };
+        let path_len = if is_ack {
             self.flows[flow].ack_hops.len()
         } else {
             self.flows[flow].fwd_hops.len()
         };
-        if p.path_pos + 1 < path_len {
-            p.path_pos += 1;
+        if path_pos + 1 < path_len {
+            self.arena[id].path_pos += 1;
             let at = depart + self.hops[h].prop_delay_out;
-            self.schedule(at, Ev::HopArrive(p));
-        } else if let Some(ack) = p.ack.take() {
+            self.schedule(at, Ev::HopArrive(id));
+        } else if is_ack {
             let at = depart + self.flows[flow].back_delay;
-            self.schedule(at, Ev::AckArrive(ack));
+            self.schedule(at, Ev::AckArrive(id));
         } else {
             let at = depart + self.flows[flow].fwd_delay;
-            self.schedule(at, Ev::Deliver(p));
+            self.schedule(at, Ev::Deliver(id));
         }
     }
 
     /// A packet arrives at the hop its `path_pos` points to: run the hop's
     /// router hook, enqueue, and start service if the link is idle.
-    fn on_hop_arrive(&mut self, p: Packet) {
-        let flow = p.flow;
-        let h = if p.ack.is_some() {
-            self.flows[flow].ack_hops[p.path_pos]
-        } else {
-            self.flows[flow].fwd_hops[p.path_pos]
+    fn on_hop_arrive(&mut self, id: PacketId) {
+        let (flow, is_ack, path_pos) = {
+            let p = &self.arena[id];
+            (p.flow, p.ack.is_some(), p.path_pos)
         };
-        self.admit(h, p);
+        let h = if is_ack {
+            self.flows[flow].ack_hops[path_pos]
+        } else {
+            self.flows[flow].fwd_hops[path_pos]
+        };
+        self.admit(h, id);
     }
 
-    fn admit(&mut self, h: usize, mut p: Packet) {
+    fn admit(&mut self, h: usize, id: PacketId) {
         let now = self.now;
         let admitted = {
             let hop = &mut self.hops[h];
             let queue_pkts = hop.queue.len();
             if let Some(r) = hop.router.as_mut() {
-                r.on_arrival(now, &mut p, queue_pkts);
+                r.on_arrival(now, &mut self.arena[id], queue_pkts);
             }
-            hop.queue.enqueue(now, p) == Enqueue::Queued
+            hop.queue.enqueue(now, id, &mut self.arena) == Enqueue::Queued
         };
         if admitted {
             self.start_service_if_possible(h);
         }
     }
 
-    fn on_deliver(&mut self, p: Packet) {
+    fn on_deliver(&mut self, id: PacketId) {
         let now = self.now;
-        let i = p.flow;
-        let new_data = self.flows[i].receiver.on_packet(p.seq);
+        let (i, seq, size, sent_at, ecn_marked, xcp_feedback) = {
+            let p = &self.arena[id];
+            (
+                p.flow,
+                p.seq,
+                p.size,
+                p.sent_at,
+                p.ecn_marked,
+                p.xcp.map(|h| h.feedback),
+            )
+        };
+        let new_data = self.flows[i].receiver.on_packet(seq);
         if new_data {
             self.flows[i].metrics.packets_delivered += 1;
-            self.flows[i].metrics.credit_bytes(p.size as u64);
+            self.flows[i].metrics.credit_bytes(size as u64);
             if self.record_deliveries {
                 self.deliveries.push(DeliveryRecord {
                     at: now,
                     flow: i,
-                    seq: p.seq,
+                    seq,
                 });
             }
         } else {
@@ -555,27 +645,33 @@ impl Simulator {
         let ack = Ack {
             flow: i,
             cum_ack: self.flows[i].receiver.expected,
-            seq: p.seq,
-            echo_ts: p.sent_at,
+            seq,
+            echo_ts: sent_at,
             received_at: now,
-            ecn_echo: p.ecn_marked,
-            xcp_feedback: p.xcp.map(|h| h.feedback),
+            ecn_echo: ecn_marked,
+            xcp_feedback,
             new_data,
         };
         if self.flows[i].ack_hops.is_empty() {
             // Legacy pure-delay return path: never queued, never dropped.
+            // The delivered packet's slot is recycled in place to carry
+            // the ACK home — no allocation on the ACK path.
             let at = now + self.flows[i].back_delay;
-            self.schedule(at, Ev::AckArrive(ack));
+            self.arena[id].ack = Some(ack);
+            self.schedule(at, Ev::AckArrive(id));
         } else {
-            // Queued return path: the ACK becomes a 40-byte packet and
-            // takes its chances in the reverse-direction hops.
+            // Queued return path: the ACK becomes a 40-byte packet (in the
+            // same slot) and takes its chances in the reverse-direction
+            // hops.
             let entry_hop = self.flows[i].ack_hops[0];
-            let p = Packet::carrying_ack(ack, now);
-            self.admit(entry_hop, p);
+            self.arena[id] = Packet::carrying_ack(ack, now);
+            self.admit(entry_hop, id);
         }
     }
 
-    fn on_ack_arrive(&mut self, ack: Ack) {
+    fn on_ack_arrive(&mut self, id: PacketId) {
+        let ack = self.arena[id].ack.take().expect("AckArrive carries an ack");
+        self.arena.free(id);
         let now = self.now;
         let i = ack.flow;
         let outcome = self.flows[i].transport.on_ack(now, &ack);
@@ -592,12 +688,31 @@ impl Simulator {
         self.try_send(i);
     }
 
-    fn on_rto(&mut self, i: usize, generation: u64) {
+    fn on_rto(&mut self, i: usize) {
         let now = self.now;
-        if self.flows[i].transport.on_rto_fire(now, generation) {
-            self.try_send(i);
+        // Release the dedup guard only if *this* is the tracked timer; a
+        // stale leftover (scheduled before the tracked one superseded it)
+        // must not clear the guard, or sync_rto would re-enqueue a
+        // duplicate for an event that is already pending.
+        if self.flows[i].rto_event_at == Some(now) {
+            self.flows[i].rto_event_at = None;
         }
-        self.sync_rto(i);
+        match self.flows[i].transport.rto_deadline() {
+            Some((deadline, generation)) if deadline <= now => {
+                // The live deadline has arrived: take the timeout.
+                if self.flows[i].transport.on_rto_fire(now, generation) {
+                    self.try_send(i);
+                }
+                self.sync_rto(i);
+            }
+            Some(_) => {
+                // The transport re-armed since this timer was scheduled
+                // (ACK progress pushed the deadline out): chain a timer at
+                // the live deadline instead.
+                self.sync_rto(i);
+            }
+            None => {} // disarmed: nothing outstanding
+        }
     }
 
     fn on_router_tick(&mut self, h: usize) {
@@ -618,12 +733,19 @@ impl Simulator {
         }
     }
 
-    /// Make sure an event exists for the transport's current RTO deadline.
+    /// Make sure a timer event covers the transport's current RTO
+    /// deadline: one no later than the deadline must be pending. A timer
+    /// that fires before the live deadline re-arms itself in
+    /// [`Simulator::on_rto`], so ACK progress (which re-arms the transport
+    /// on every advance) does not enqueue an event per generation.
     fn sync_rto(&mut self, i: usize) {
-        if let Some((deadline, generation)) = self.flows[i].transport.rto_deadline() {
-            if generation != self.flows[i].rto_scheduled_gen {
-                self.flows[i].rto_scheduled_gen = generation;
-                self.schedule(deadline, Ev::Rto(i, generation));
+        if let Some((deadline, _)) = self.flows[i].transport.rto_deadline() {
+            match self.flows[i].rto_event_at {
+                Some(at) if at <= deadline => {}
+                _ => {
+                    self.flows[i].rto_event_at = Some(deadline);
+                    self.schedule(deadline, Ev::Rto(i));
+                }
             }
         }
     }
@@ -779,6 +901,49 @@ mod tests {
     }
 
     #[test]
+    fn heap_and_wheel_schedulers_agree_bit_for_bit() {
+        // The tentpole contract in miniature: the same scenario under both
+        // event schedulers yields identical results — including the
+        // delivery log, i.e. identical event times.
+        let mut s = Scenario::dumbbell(
+            LinkSpec::constant(15.0),
+            QueueSpec::DropTail { capacity: 40 },
+            4,
+            Ns::from_millis(150),
+            TrafficSpec::fig4(),
+            Ns::from_secs(20),
+            42,
+        );
+        s.record_deliveries = true;
+        let run = |kind: SchedulerKind| {
+            let ccs: Vec<Box<dyn CongestionControl>> = (0..s.n())
+                .map(|_| Box::new(FixedWindow::new(60.0)) as _)
+                .collect();
+            let routers = vec![None];
+            let sim = Simulator::with_scheduler(&s, ccs, routers, kind);
+            assert_eq!(sim.scheduler(), kind);
+            sim.run()
+        };
+        let a = run(SchedulerKind::Heap);
+        let b = run(SchedulerKind::Wheel);
+        assert_eq!(a.queue_drops, b.queue_drops);
+        assert_eq!(a.packets_forwarded, b.packets_forwarded);
+        assert_eq!(a.deliveries.len(), b.deliveries.len());
+        for (da, db) in a.deliveries.iter().zip(&b.deliveries) {
+            assert_eq!((da.at, da.flow, da.seq), (db.at, db.flow, db.seq));
+        }
+        for (fa, fb) in a.flows.iter().zip(&b.flows) {
+            assert_eq!(fa.bytes, fb.bytes);
+            assert_eq!(fa.throughput_mbps.to_bits(), fb.throughput_mbps.to_bits());
+            assert_eq!(
+                fa.mean_queue_delay_ms.to_bits(),
+                fb.mean_queue_delay_ms.to_bits()
+            );
+            assert_eq!(fa.mean_rtt_ms.to_bits(), fb.mean_rtt_ms.to_bits());
+        }
+    }
+
+    #[test]
     fn different_seeds_differ() {
         let s = Scenario::dumbbell(
             LinkSpec::constant(15.0),
@@ -832,6 +997,30 @@ mod tests {
         for w in r.deliveries.windows(2) {
             assert!(w[0].seq < w[1].seq);
         }
+    }
+
+    #[test]
+    fn arena_slots_are_recycled_not_grown() {
+        // A long saturating run keeps a bounded in-flight population:
+        // the arena must stabilize at that population, not grow with the
+        // total packet count.
+        let s = saturating_scenario(1, 10.0, 100);
+        let ccs: Vec<Box<dyn CongestionControl>> = vec![Box::new(FixedWindow::new(200.0))];
+        let mut sim = Simulator::with_scheduler(&s, ccs, vec![None], SchedulerKind::Wheel);
+        sim.drive();
+        let live = sim.arena.live();
+        let capacity = sim.arena.capacity();
+        let (r, _) = sim.finish();
+        assert!(r.packets_forwarded > 10_000, "a real run completed");
+        assert!(
+            capacity < 1000,
+            "arena capacity {capacity} must track the in-flight window, \
+             not the {} packets forwarded",
+            r.packets_forwarded
+        );
+        // Whatever was in flight at the horizon is still live; it is
+        // bounded by the window plus queued packets.
+        assert!(live <= capacity);
     }
 
     #[test]

@@ -30,12 +30,18 @@ pub fn std_err(xs: &[f64]) -> f64 {
 }
 
 /// Quantile via linear interpolation of the sorted samples; `q` in [0, 1].
+///
+/// Non-finite samples (NaN, ±∞) are filtered out before sorting,
+/// consistent with `Objective::score_flow`'s sanitization — a single
+/// degenerate flow summary must not abort a whole experiment. (This used
+/// to `expect("no NaN in samples")` inside the sort comparator, which
+/// panicked on the first NaN.) Returns 0.0 when no finite samples remain.
 pub fn quantile(xs: &[f64], q: f64) -> f64 {
-    if xs.is_empty() {
+    let mut v: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite()).collect();
+    if v.is_empty() {
         return 0.0;
     }
-    let mut v: Vec<f64> = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+    v.sort_unstable_by(f64::total_cmp);
     let pos = q.clamp(0.0, 1.0) * (v.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -69,8 +75,19 @@ pub struct Ellipse {
 }
 
 /// Fit the maximum-likelihood 2-D Gaussian to paired samples.
+///
+/// Pairs with a non-finite coordinate are dropped (both coordinates go:
+/// the fit is over *pairs*), mirroring [`quantile`]'s sanitization, so a
+/// NaN in one run's summary cannot poison a whole ellipse.
 pub fn ellipse(xs: &[f64], ys: &[f64]) -> Ellipse {
     assert_eq!(xs.len(), ys.len(), "paired samples required");
+    let (xs, ys): (Vec<f64>, Vec<f64>) = xs
+        .iter()
+        .zip(ys)
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .map(|(x, y)| (*x, *y))
+        .unzip();
+    let (xs, ys) = (&xs[..], &ys[..]);
     if xs.is_empty() {
         return Ellipse::default();
     }
@@ -141,6 +158,35 @@ mod tests {
         assert!((e.corr - 1.0).abs() < 1e-9, "perfect correlation");
         assert!((e.mean_x - 49.5).abs() < 1e-9);
         assert!((e.mean_y - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nan_samples_are_filtered_not_fatal() {
+        // Regression: one non-finite flow summary used to abort the whole
+        // experiment via `partial_cmp().expect("no NaN in samples")`.
+        let with_nan = [3.0, f64::NAN, 1.0, 2.0];
+        assert_eq!(median(&with_nan), 2.0, "median over the finite samples");
+        assert_eq!(quantile(&with_nan, 0.0), 1.0);
+        assert_eq!(quantile(&with_nan, 1.0), 3.0);
+        let with_inf = [f64::INFINITY, 5.0, f64::NEG_INFINITY];
+        assert_eq!(median(&with_inf), 5.0, "infinities are filtered too");
+        assert_eq!(median(&[f64::NAN]), 0.0, "nothing finite left: 0.0");
+    }
+
+    #[test]
+    fn ellipse_drops_non_finite_pairs() {
+        // The NaN pair must vanish entirely — including its finite
+        // coordinate — leaving the fit over the remaining pairs.
+        let xs = [1.0, f64::NAN, 3.0, 5.0];
+        let ys = [2.0, 100.0, 6.0, f64::INFINITY];
+        let e = ellipse(&xs, &ys);
+        let clean = ellipse(&[1.0, 3.0], &[2.0, 6.0]);
+        assert_eq!(e.mean_x.to_bits(), clean.mean_x.to_bits());
+        assert_eq!(e.mean_y.to_bits(), clean.mean_y.to_bits());
+        assert_eq!(e.corr.to_bits(), clean.corr.to_bits());
+        // All pairs non-finite: the default (zero) ellipse, not a panic.
+        let d = ellipse(&[f64::NAN], &[1.0]);
+        assert_eq!(d.mean_x, 0.0);
     }
 
     #[test]

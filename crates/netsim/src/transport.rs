@@ -706,6 +706,73 @@ mod tests {
     }
 
     #[test]
+    fn consecutive_timeouts_back_off_exponentially_to_the_cap() {
+        // Audit of the RTO backoff law: each timeout doubles the RTO
+        // (deadline gaps 2 s, 4 s, 8 s from the 1 s initial value), the
+        // doubling caps at MAX_RTO, and a fresh RTT sample resets the
+        // timer to the RFC 6298 estimate.
+        let mut t = transport(4.0);
+        t.on_sent(Ns::ZERO, 0, false);
+        let (d0, g0) = t.rto_deadline().expect("armed on first send");
+        assert_eq!(d0, Ns::SECOND, "initial RTO is 1 s before any sample");
+
+        // Each episode: the timer fires, the engine's try_send resends the
+        // rewound packet (which is then lost again), and the next deadline
+        // must sit one doubled RTO after the fire.
+        let fire_and_resend = |t: &mut Transport, deadline: Ns, generation: u64| -> Ns {
+            assert!(t.on_rto_fire(deadline, generation), "timeout taken");
+            match t.poll_send(deadline + Ns(1), false) {
+                SendPoll::Send {
+                    seq: 0,
+                    retransmit: true,
+                } => t.on_sent(deadline + Ns(1), 0, true),
+                other => panic!("expected go-back-N resend, got {other:?}"),
+            }
+            let (d, _) = t.rto_deadline().expect("re-armed");
+            d
+        };
+
+        // Three consecutive timeouts: deadlines at +2 s, +4 s, +8 s.
+        let d1 = fire_and_resend(&mut t, d0, g0);
+        assert_eq!(d1 - d0, Ns::from_secs(2), "first backoff doubles to 2 s");
+        let g1 = t.rto_deadline().unwrap().1;
+        let d2 = fire_and_resend(&mut t, d1, g1);
+        assert_eq!(d2 - d1, Ns::from_secs(4), "second backoff doubles to 4 s");
+        let g2 = t.rto_deadline().unwrap().1;
+        let d3 = fire_and_resend(&mut t, d2, g2);
+        assert_eq!(d3 - d2, Ns::from_secs(8), "third backoff doubles to 8 s");
+        assert_eq!(t.stats.timeouts, 3);
+
+        // Keep timing out: the armed gap saturates at MAX_RTO, never past.
+        let mut prev = d3;
+        for _ in 0..6 {
+            let gen = t.rto_deadline().unwrap().1;
+            let d = fire_and_resend(&mut t, prev, gen);
+            assert!(d - prev <= MAX_RTO, "RTO capped at MAX_RTO");
+            prev = d;
+        }
+        let before_cap = prev;
+        let gen = t.rto_deadline().unwrap().1;
+        let d = fire_and_resend(&mut t, prev, gen);
+        assert_eq!(d - before_cap, MAX_RTO, "backoff pinned at the cap");
+
+        // Recovery: the last resend (sent at before_cap + 1 ns) finally
+        // gets through and is ACKed with a 100 ms RTT sample; the next
+        // armed deadline must use the sample-driven RTO
+        // (srtt + 4·rttvar = 300 ms), not the backed-off 60 s.
+        let resend_at = before_cap + Ns(1);
+        let ack_at = resend_at + Ns::from_millis(100);
+        t.on_ack(ack_at, &ack(1, 0, resend_at));
+        t.on_sent(ack_at + Ns(1), 1, false);
+        let (d_new, _) = t.rto_deadline().expect("armed for new data");
+        assert_eq!(
+            d_new - (ack_at + Ns(1)),
+            Ns::from_millis(300),
+            "a new RTT sample resets the backed-off RTO"
+        );
+    }
+
+    #[test]
     fn stale_rto_generation_is_ignored() {
         let mut t = transport(4.0);
         t.on_sent(Ns::ZERO, 0, false);

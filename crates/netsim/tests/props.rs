@@ -1,15 +1,28 @@
 //! Property-based tests of netsim's core invariants.
 
 use netsim::link::DeliverySchedule;
-use netsim::packet::Packet;
+use netsim::packet::{Packet, PacketArena, PacketId};
 use netsim::queue::{Codel, DropTail, Enqueue, Queue, SfqCodel};
 use netsim::rng::SimRng;
+use netsim::sched::{EventQueue, SchedulerKind};
 use netsim::stats;
 use netsim::time::Ns;
 use proptest::prelude::*;
 
 fn pkt(flow: usize, seq: u64) -> Packet {
     Packet::data(flow, seq, 1500, Ns::ZERO)
+}
+
+fn push(q: &mut dyn Queue, a: &mut PacketArena, now: Ns, p: Packet) -> Enqueue {
+    let id = a.alloc(p);
+    q.enqueue(now, id, a)
+}
+
+fn pull(q: &mut dyn Queue, a: &mut PacketArena, now: Ns) -> Option<Packet> {
+    let id = q.dequeue(now, a)?;
+    let p = a[id].clone();
+    a.free(id);
+    Some(p)
 }
 
 proptest! {
@@ -30,9 +43,10 @@ proptest! {
     }
 
     /// DropTail conserves packets: everything enqueued is either dropped
-    /// (counted) or eventually dequeued, in FIFO order.
+    /// (counted, slot freed) or eventually dequeued, in FIFO order.
     #[test]
     fn droptail_conserves(cap in 1usize..64, ops in prop::collection::vec(0u8..3, 1..200)) {
+        let mut arena = PacketArena::new();
         let mut q = DropTail::new(cap);
         let mut inserted = 0u64;
         let mut removed = 0u64;
@@ -40,54 +54,133 @@ proptest! {
         let mut expected_head = 0u64;
         for op in ops {
             if op < 2 {
-                match q.enqueue(Ns(inserted), pkt(0, next_seq)) {
+                match push(&mut q, &mut arena, Ns(inserted), pkt(0, next_seq)) {
                     Enqueue::Queued => { inserted += 1; next_seq += 1; }
                     Enqueue::Dropped => { next_seq += 1; }
                 }
-            } else if let Some(p) = q.dequeue(Ns(1000)) {
+            } else if let Some(p) = pull(&mut q, &mut arena, Ns(1000)) {
                 prop_assert!(p.seq >= expected_head, "FIFO order");
                 expected_head = p.seq + 1;
                 removed += 1;
             }
         }
-        while q.dequeue(Ns(2000)).is_some() { removed += 1; }
+        while pull(&mut q, &mut arena, Ns(2000)).is_some() { removed += 1; }
         prop_assert_eq!(inserted, removed);
         prop_assert_eq!(q.bytes(), 0);
+        prop_assert_eq!(arena.live(), 0);
     }
 
     /// CoDel never loses packets silently: enqueued = dequeued + drops.
     #[test]
     fn codel_accounts_for_everything(n in 1usize..300, delay_ms in 0u64..200) {
+        let mut arena = PacketArena::new();
         let mut q = Codel::new(1000);
         for i in 0..n {
-            q.enqueue(Ns::ZERO, pkt(0, i as u64));
+            push(&mut q, &mut arena, Ns::ZERO, pkt(0, i as u64));
         }
         let mut out = 0u64;
         let mut t = Ns::from_millis(delay_ms);
         for _ in 0..(2 * n) {
-            if q.dequeue(t).is_some() { out += 1; }
+            if pull(&mut q, &mut arena, t).is_some() { out += 1; }
             t += Ns::from_millis(1);
             if q.is_empty() { break; }
         }
         prop_assert_eq!(out + q.drops() + q.len() as u64, n as u64);
+        prop_assert_eq!(arena.live(), q.len(), "arena tracks exactly the queued packets");
     }
 
     /// sfqCoDel with ample capacity conserves packets across flows.
     #[test]
     fn sfq_conserves(flows in 1usize..10, per_flow in 1usize..20) {
+        let mut arena = PacketArena::new();
         let mut q = SfqCodel::new(100_000, 32);
         for f in 0..flows {
             for s in 0..per_flow {
-                q.enqueue(Ns::ZERO, pkt(f, s as u64));
+                push(&mut q, &mut arena, Ns::ZERO, pkt(f, s as u64));
             }
         }
         let mut got = vec![0usize; flows];
-        while let Some(p) = q.dequeue(Ns::from_micros(1)) {
+        while let Some(p) = pull(&mut q, &mut arena, Ns::from_micros(1)) {
             got[p.flow] += 1;
         }
         for &count in &got {
             prop_assert_eq!(count, per_flow);
         }
+        prop_assert_eq!(arena.live(), 0);
+    }
+
+    /// The timing wheel and the binary heap dequeue any randomized event
+    /// workload in the identical (time, insertion-id) order — including
+    /// same-timestamp bursts, zero-delay self-schedules, and far-future
+    /// RTO-style deadlines — under arbitrary push/pop interleavings.
+    #[test]
+    fn wheel_matches_heap_on_random_workloads(
+        ops in prop::collection::vec((0u8..4, 0u32..8, any::<u64>()), 1..300),
+    ) {
+        let mut heap = EventQueue::new(SchedulerKind::Heap);
+        let mut wheel = EventQueue::new(SchedulerKind::Wheel);
+        let mut now = Ns::ZERO; // time of the last pop: pushes never precede it
+        let mut payload = 0u64;
+        for (op, burst, raw) in ops {
+            if op < 3 {
+                // Push a burst of events at one instant. Offsets mix the
+                // engine's regimes: same-instant (0), sub-granule jitter,
+                // typical RTT-scale delays, and far-future RTO deadlines.
+                let offset = match op {
+                    0 => 0,
+                    1 => raw % 1_000,                       // within one wheel granule
+                    _ => raw % (120 * 1_000_000_000),       // up to two minutes out
+                };
+                let at = now.saturating_add(Ns(offset));
+                for _ in 0..=burst {
+                    heap.push(at, payload);
+                    wheel.push(at, payload);
+                    payload += 1;
+                }
+            } else {
+                let (a, b) = (heap.pop(), wheel.pop());
+                prop_assert_eq!(a, b, "pop order diverged");
+                if let Some((at, _, _)) = a { now = at; }
+            }
+            prop_assert_eq!(heap.len(), wheel.len());
+        }
+        // Drain: the tails must agree element-for-element too.
+        loop {
+            let (a, b) = (heap.pop(), wheel.pop());
+            prop_assert_eq!(a, b, "drain order diverged");
+            if a.is_none() { break; }
+        }
+    }
+
+    /// Recycled arena slots never alias: after any alloc/free interleaving,
+    /// every freed handle is dead and every live handle still reads its
+    /// own packet.
+    #[test]
+    fn arena_generations_never_alias(ops in prop::collection::vec((any::<bool>(), any::<u32>()), 1..200)) {
+        let mut arena = PacketArena::new();
+        let mut live: Vec<(PacketId, u64)> = Vec::new();
+        let mut dead: Vec<PacketId> = Vec::new();
+        let mut stamp = 0u64;
+        for (do_alloc, pick) in ops {
+            if do_alloc || live.is_empty() {
+                let id = arena.alloc(pkt(7, stamp));
+                live.push((id, stamp));
+                stamp += 1;
+            } else {
+                let idx = pick as usize % live.len();
+                let (id, _) = live.swap_remove(idx);
+                arena.free(id);
+                dead.push(id);
+            }
+            for (id, seq) in &live {
+                prop_assert!(arena.contains(*id));
+                prop_assert_eq!(arena[*id].seq, *seq, "live handle reads its own packet");
+            }
+            for id in &dead {
+                prop_assert!(!arena.contains(*id), "freed handle stays dead forever");
+            }
+        }
+        prop_assert_eq!(arena.live(), live.len());
     }
 
     /// Delivery schedules: next_after is strictly increasing and respects
@@ -107,6 +200,27 @@ proptest! {
             prop_assert!(next > prev);
             prev = next;
         }
+    }
+
+    /// Counting delivery opportunities matches brute-force enumeration via
+    /// next_after over the same window.
+    #[test]
+    fn schedule_opportunity_count_matches_enumeration(
+        gaps in prop::collection::vec(1u64..1_000, 1..12),
+        tail in 1u64..1_000,
+        window in 0u64..20_000,
+    ) {
+        let mut t = 0u64;
+        let instants: Vec<Ns> = gaps.iter().map(|g| { t += g; Ns(t) }).collect();
+        let s = DeliverySchedule::new(instants, Ns(tail));
+        let mut brute = 0u64;
+        let mut at = Ns::ZERO;
+        loop {
+            at = s.next_after(at);
+            if at > Ns(window) { break; }
+            brute += 1;
+        }
+        prop_assert_eq!(s.opportunities_through(Ns(window)), brute);
     }
 
     /// Quantiles are monotone in q and bounded by the sample range.

@@ -3,7 +3,11 @@
 //!
 //! The build environment has no access to crates.io, so the real criterion
 //! cannot be vendored. This shim keeps the bench sources unchanged and
-//! reports mean/min/max wall-clock time per iteration. Passing `--test`
+//! reports min/median/max wall-clock time per iteration. The *median* of
+//! the sample batches is the tracked statistic (`--save-json`): on a
+//! shared container a single scheduler-noise spike inflates a 10-sample
+//! mean by tens of percent, while the median stays put — and the bench
+//! gate compares these numbers at a 30 % tolerance. Passing `--test`
 //! (as `cargo test` does for criterion benches) runs each benchmark body
 //! once, for a fast smoke check.
 
@@ -107,7 +111,7 @@ impl BenchmarkGroup<'_> {
 pub struct Bencher {
     test_mode: bool,
     samples: usize,
-    /// (mean, min, max) nanoseconds per iteration, filled by `iter`.
+    /// (median, min, max) nanoseconds per iteration, filled by `iter`.
     result: Option<(f64, f64, f64)>,
     total_iters: u64,
 }
@@ -138,10 +142,18 @@ impl Bencher {
             per_iter.push(ns);
             total += iters_per_sample;
         }
-        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
         let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = per_iter.iter().cloned().fold(0.0f64, f64::max);
-        self.result = Some((mean, min, max));
+        // Median of the batches: robust against scheduler-noise spikes
+        // that would dominate a mean of this few samples.
+        per_iter.sort_unstable_by(f64::total_cmp);
+        let mid = per_iter.len() / 2;
+        let median = if per_iter.len() % 2 == 1 {
+            per_iter[mid]
+        } else {
+            (per_iter[mid - 1] + per_iter[mid]) / 2.0
+        };
+        self.result = Some((median, min, max));
         self.total_iters = total;
     }
 }
@@ -183,15 +195,15 @@ fn run_one<F: FnMut(&mut Bencher)>(
     f(&mut b);
     match b.result {
         Some(_) if c.test_mode => println!("test {full} ... ok (1 iteration)"),
-        Some((mean, min, max)) => {
+        Some((median, min, max)) => {
             println!(
-                "{full:<40} time: [{} {} {}]  ({} iters)",
+                "{full:<40} time: [{} {} {}]  ({} iters, tracked: median)",
                 fmt_ns(min),
-                fmt_ns(mean),
+                fmt_ns(median),
                 fmt_ns(max),
                 b.total_iters
             );
-            c.results.push((full, mean));
+            c.results.push((full, median));
         }
         None => println!("{full:<40} (no measurement: Bencher::iter not called)"),
     }

@@ -1,10 +1,19 @@
-//! Equivalence suite: a 1-hop `Topology` must reproduce the legacy
-//! single-bottleneck engine *byte-identically* — same seeds in, same
-//! `SimResults` out, bit-for-bit on every float — across queue disciplines
-//! and congestion-control schemes. This pins the topology engine's
-//! single-hop fast path to the behavior every figure of the paper was
-//! validated against.
+//! Equivalence suite, pinning two engine contracts bit-for-bit:
+//!
+//! 1. **Topology**: a 1-hop `Topology` must reproduce the legacy
+//!    single-bottleneck engine *byte-identically* — same seeds in, same
+//!    `SimResults` out, bit-for-bit on every float — across queue
+//!    disciplines and congestion-control schemes. This pins the topology
+//!    engine's single-hop fast path to the behavior every figure of the
+//!    paper was validated against.
+//! 2. **Scheduler**: the timing-wheel and binary-heap event queues must
+//!    produce identical `SimResults` *and identical per-event delivery
+//!    logs* (event times) for every cell of the same suite and for the
+//!    multi-hop topology experiments — the engines share one
+//!    `(time, insertion id)` ordering contract, so swapping the scheduler
+//!    must not move a single event.
 
+use netsim::sched::SchedulerKind;
 use remy_sim::prelude::*;
 
 /// Exact, bitwise comparison of two simulation results.
@@ -15,6 +24,18 @@ fn assert_results_identical(a: &SimResults, b: &SimResults, what: &str) {
         "{what}: forwarded"
     );
     assert_eq!(a.flows.len(), b.flows.len(), "{what}: flow count");
+    assert_eq!(
+        a.deliveries.len(),
+        b.deliveries.len(),
+        "{what}: delivery count"
+    );
+    for (i, (da, db)) in a.deliveries.iter().zip(&b.deliveries).enumerate() {
+        assert_eq!(
+            (da.at, da.flow, da.seq),
+            (db.at, db.flow, db.seq),
+            "{what}: delivery {i}"
+        );
+    }
     for (i, (fa, fb)) in a.flows.iter().zip(&b.flows).enumerate() {
         assert_eq!(fa.bytes, fb.bytes, "{what}: flow {i} bytes");
         assert_eq!(
@@ -57,15 +78,19 @@ fn legacy_scenario(queue: QueueSpec, seed: u64) -> Scenario {
     )
 }
 
-fn run_with(contender: &Contender, scenario: &Scenario) -> SimResults {
+fn run_with(contender: &Contender, scenario: &Scenario, kind: SchedulerKind) -> SimResults {
     let ccs: Vec<Box<dyn CongestionControl>> =
         (0..scenario.n()).map(|_| contender.build_cc()).collect();
     let router = contender.router(&scenario.link, scenario.mss);
-    Simulator::new(scenario, ccs, router).run()
+    let n_hops = scenario.topology.as_ref().map_or(1, |t| t.n_hops());
+    let mut routers: Vec<Option<Box<dyn netsim::router::RouterHook>>> =
+        (0..n_hops).map(|_| None).collect();
+    routers[0] = router;
+    Simulator::with_scheduler(scenario, ccs, routers, kind).run()
 }
 
-#[test]
-fn one_hop_topology_reproduces_the_legacy_engine_bit_for_bit() {
+/// The paper's discipline × scheme matrix, as (queue, contender) cells.
+fn matrix() -> Vec<(QueueSpec, &'static str)> {
     let queues = [
         QueueSpec::DropTail { capacity: 1000 },
         QueueSpec::Codel { capacity: 300 },
@@ -75,23 +100,86 @@ fn one_hop_topology_reproduces_the_legacy_engine_bit_for_bit() {
         },
     ];
     let contenders = ["newreno", "cubic", "remy:delta1"];
-    for (qi, queue) in queues.iter().enumerate() {
-        for name in contenders {
-            let contender = ContenderSpec::new(name).build().expect("contender");
-            let legacy = legacy_scenario(queue.clone(), 7_000 + qi as u64);
-            let topo = legacy.clone().with_topology(Topology::single_bottleneck(
-                legacy.link.clone(),
-                legacy.queue.clone(),
-                legacy.n(),
-            ));
-            assert!(topo.topology.is_some());
-            let a = run_with(&contender, &legacy);
-            let b = run_with(&contender, &topo);
-            assert!(
-                a.flows.iter().any(|f| f.bytes > 0),
-                "{name}/{queue:?}: the comparison must exercise real traffic"
-            );
-            assert_results_identical(&a, &b, &format!("{name} over {queue:?}"));
+    let mut cells = Vec::new();
+    for q in &queues {
+        for c in contenders {
+            cells.push((q.clone(), c));
+        }
+    }
+    cells
+}
+
+#[test]
+fn one_hop_topology_reproduces_the_legacy_engine_bit_for_bit() {
+    for (qi, (queue, name)) in matrix().into_iter().enumerate() {
+        let contender = ContenderSpec::new(name).build().expect("contender");
+        let legacy = legacy_scenario(queue.clone(), 7_000 + qi as u64);
+        let topo = legacy.clone().with_topology(Topology::single_bottleneck(
+            legacy.link.clone(),
+            legacy.queue.clone(),
+            legacy.n(),
+        ));
+        assert!(topo.topology.is_some());
+        let a = run_with(&contender, &legacy, SchedulerKind::Wheel);
+        let b = run_with(&contender, &topo, SchedulerKind::Wheel);
+        assert!(
+            a.flows.iter().any(|f| f.bytes > 0),
+            "{name}/{queue:?}: the comparison must exercise real traffic"
+        );
+        assert_results_identical(&a, &b, &format!("{name} over {queue:?}"));
+    }
+}
+
+#[test]
+fn wheel_and_heap_schedulers_agree_across_the_full_matrix() {
+    // Every discipline × scheme cell, with the delivery log on so the
+    // comparison covers per-event times, not just summaries. The engine
+    // assigns tie-break ids in insertion order identically under both
+    // schedulers (pinned directly by the scheduler property suite in
+    // `crates/netsim/tests/props.rs`); identical delivery logs here are
+    // the end-to-end corollary.
+    for (qi, (queue, name)) in matrix().into_iter().enumerate() {
+        let contender = ContenderSpec::new(name).build().expect("contender");
+        let mut scenario = legacy_scenario(queue.clone(), 9_100 + qi as u64);
+        scenario.record_deliveries = true;
+        let heap = run_with(&contender, &scenario, SchedulerKind::Heap);
+        let wheel = run_with(&contender, &scenario, SchedulerKind::Wheel);
+        assert!(
+            !wheel.deliveries.is_empty(),
+            "{name}/{queue:?}: the comparison must see deliveries"
+        );
+        assert_results_identical(
+            &heap,
+            &wheel,
+            &format!("heap vs wheel: {name} over {queue:?}"),
+        );
+    }
+}
+
+#[test]
+fn wheel_and_heap_schedulers_agree_on_topology_experiments() {
+    // The three registered multi-hop experiments (parking lot, incast,
+    // reverse path), cell by cell, scheduler vs scheduler.
+    for exp in ["parking_lot3", "incast16", "reverse_path"] {
+        let spec = remy_sim::experiments::by_name(exp)
+            .expect("registered")
+            .spec(Budget {
+                runs: 1,
+                sim_secs: 4,
+            });
+        let cells = spec.expand().expect("expands");
+        for cell in &cells {
+            for (si, scenario) in cell.scenarios.iter().enumerate() {
+                let mut scenario = scenario.clone();
+                scenario.record_deliveries = true;
+                let heap = run_with(&cell.contender, &scenario, SchedulerKind::Heap);
+                let wheel = run_with(&cell.contender, &scenario, SchedulerKind::Wheel);
+                assert_results_identical(
+                    &heap,
+                    &wheel,
+                    &format!("{exp}: {} run {si}", cell.contender.label()),
+                );
+            }
         }
     }
 }
@@ -108,8 +196,8 @@ fn one_hop_topology_survives_json_and_still_matches() {
         legacy.n(),
     ));
     let reparsed = Scenario::from_json(&topo.to_json()).expect("parse");
-    let a = run_with(&contender, &legacy);
-    let b = run_with(&contender, &reparsed);
+    let a = run_with(&contender, &legacy, SchedulerKind::Wheel);
+    let b = run_with(&contender, &reparsed, SchedulerKind::Wheel);
     assert_results_identical(&a, &b, "newreno via JSON round trip");
 }
 
