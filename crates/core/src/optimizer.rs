@@ -20,11 +20,14 @@ use crate::evaluator::{EvalConfig, Evaluator};
 use crate::model::NetworkModel;
 use crate::objective::Objective;
 use crate::whisker::WhiskerTree;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
+// lint:allow(d2-wallclock-rng): wall-clock here bounds the *training*
+// budget (`TrainConfig::wall_secs`); it decides when to stop, never what
+// any simulation computes — results are a function of steps and seeds.
 use std::time::Instant;
 
-/// Hashable fingerprint of an action (exact f64 bits — memoization must
+/// Ordered fingerprint of an action (exact f64 bits — memoization must
 /// only ever hit for bit-identical candidates).
 type ActionKey = [u64; 3];
 
@@ -149,6 +152,8 @@ impl Remy {
         mut tree: WhiskerTree,
         mut progress: impl FnMut(TrainEvent),
     ) -> WhiskerTree {
+        // lint:allow(d2-wallclock-rng): the anytime-training stop clock;
+        // see the allow on the import — budget only, never observable.
         let started = Instant::now();
         let evaluator = Evaluator::new(self.model.clone(), self.objective, self.config.eval);
         let mut global_epoch = 0u64;
@@ -156,7 +161,7 @@ impl Remy {
         let mut steps = 0usize;
         let mut last_score = f64::NEG_INFINITY;
 
-        let out_of_budget = |started: &Instant, steps: usize, cfg: &TrainConfig| {
+        let out_of_budget = |steps: usize, cfg: &TrainConfig| {
             started.elapsed().as_secs_f64() >= cfg.wall_secs || steps >= cfg.max_steps
         };
 
@@ -171,7 +176,7 @@ impl Remy {
 
             // Step 2/3: repeatedly improve the most-used rule of the epoch.
             loop {
-                if out_of_budget(&started, steps, &self.config) {
+                if out_of_budget(steps, &self.config) {
                     break 'outer;
                 }
                 draw_seed = draw_seed.wrapping_add(1);
@@ -190,13 +195,13 @@ impl Remy {
                 // revisited by overlapping neighbourhoods is never
                 // re-simulated within this improve step.
                 let start_action = tree.get(rule).expect("rule exists").action;
-                let mut memo: HashMap<ActionKey, f64> = HashMap::new();
+                let mut memo: BTreeMap<ActionKey, f64> = BTreeMap::new();
                 memo.insert(action_key(&start_action), base_score);
                 let mut current_action = start_action;
                 let mut current = base_score;
                 let mut budget_hit = false;
                 loop {
-                    if out_of_budget(&started, steps, &self.config) {
+                    if out_of_budget(steps, &self.config) {
                         budget_hit = true;
                         break;
                     }
@@ -260,7 +265,7 @@ impl Remy {
                     }
                 }
             }
-            if out_of_budget(&started, steps, &self.config) {
+            if out_of_budget(steps, &self.config) {
                 break;
             }
         }

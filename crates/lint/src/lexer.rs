@@ -1,0 +1,394 @@
+//! A hand-rolled token scanner for Rust source.
+//!
+//! `remy-lint` has no access to crates.io (so no `syn`); in the spirit of
+//! the workspace's hand-rolled `netsim::json`, this module lexes Rust
+//! source just finely enough for the rule set: identifiers, punctuation,
+//! string/char/number literals, and comments, each tagged with a 1-based
+//! line number. Strings and comments are isolated as their own token
+//! kinds so a rule matching the identifier `HashMap` can never fire on
+//! prose or test strings mentioning it.
+//!
+//! The scanner understands the Rust constructs that would otherwise
+//! desynchronize a naive splitter: nested block comments, raw strings
+//! with arbitrary `#` fences, byte strings, and the `'a` lifetime vs
+//! `'a'` char-literal ambiguity.
+
+/// What a token is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `unsafe`, `fn`, ...).
+    Ident,
+    /// A single punctuation character (`.`, `:`, `#`, `{`, ...).
+    Punct,
+    /// String literal, including raw and byte strings. `text` is the
+    /// *unquoted* content (escapes left as written).
+    Str,
+    /// Character literal (`'x'`). `text` is the quoted form.
+    Char,
+    /// Numeric literal (loosely lexed; no rule inspects the value).
+    Num,
+    /// Line or block comment, doc comments included. `text` is the full
+    /// comment including its delimiters.
+    Comment,
+}
+
+/// One token with its source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Kind of token.
+    pub kind: TokKind,
+    /// Token text; see [`TokKind`] for what each kind stores.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True for an identifier token spelling exactly `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True for a punctuation token spelling exactly `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// Lex `src` into a token stream. Never fails: unterminated constructs
+/// consume to end of input (the linter's job is scanning, not parsing
+/// diagnostics — rustc reports malformed source).
+pub fn lex(src: &str) -> Vec<Tok> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    // Count newlines in chars[from..to] into `line`.
+    fn bump_lines(chars: &[char], from: usize, to: usize, line: &mut u32) {
+        *line += chars[from..to].iter().filter(|&&c| c == '\n').count() as u32;
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let start_line = line;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                let start = i;
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Comment,
+                    text: chars[start..i].iter().collect(),
+                    line: start_line,
+                });
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                let start = i;
+                let mut depth = 1usize;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if chars[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Comment,
+                    text: chars[start..i].iter().collect(),
+                    line: start_line,
+                });
+            }
+            '"' => {
+                let (text, next) = lex_string(&chars, i + 1);
+                bump_lines(&chars, i, next, &mut line);
+                i = next;
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line: start_line,
+                });
+            }
+            'r' | 'b' if is_string_prefix(&chars, i) => {
+                let (text, next) = lex_prefixed_string(&chars, i);
+                bump_lines(&chars, i, next, &mut line);
+                i = next;
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line: start_line,
+                });
+            }
+            '\'' => {
+                // Char literal or lifetime. `'\...'` and `'x'` are chars;
+                // `'static`, `'_` (no closing quote) are lifetimes.
+                let is_char = match chars.get(i + 1) {
+                    Some('\\') => true,
+                    Some(&n) if n != '\'' => chars.get(i + 2) == Some(&'\''),
+                    _ => false,
+                };
+                if is_char {
+                    let start = i;
+                    i += 1; // opening quote
+                    if chars.get(i) == Some(&'\\') {
+                        i += 2; // escape + escaped char
+                        while i < chars.len() && chars[i] != '\'' {
+                            i += 1; // \u{...} etc.
+                        }
+                    } else {
+                        i += 1;
+                    }
+                    i += 1; // closing quote (or EOF)
+                    let end = i.min(chars.len());
+                    toks.push(Tok {
+                        kind: TokKind::Char,
+                        text: chars[start..end].iter().collect(),
+                        line: start_line,
+                    });
+                } else {
+                    // Lifetime: skip the quote and the identifier.
+                    i += 1;
+                    while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: chars[start..i].iter().collect(),
+                    line: start_line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                // Decimal part — but never swallow `..` (range syntax) or
+                // a method call on a literal (`10f64.powi`).
+                if chars.get(i) == Some(&'.')
+                    && chars.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+                {
+                    i += 1;
+                    while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Num,
+                    text: chars[start..i].iter().collect(),
+                    line: start_line,
+                });
+            }
+            c => {
+                i += 1;
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: c.to_string(),
+                    line: start_line,
+                });
+            }
+        }
+    }
+    toks
+}
+
+/// True if the `r`/`b` at `chars[i]` starts a raw/byte string rather than
+/// an identifier (`r"`, `r#"`, `b"`, `br"`, `b'`-like forms excluded).
+fn is_string_prefix(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) == Some(&'r') {
+        j += 1;
+        while chars.get(j) == Some(&'#') {
+            j += 1;
+        }
+    }
+    j > i && chars.get(j) == Some(&'"')
+}
+
+/// Lex a plain (escaped) string body starting after the opening quote;
+/// returns (content, index past the closing quote).
+fn lex_string(chars: &[char], mut i: usize) -> (String, usize) {
+    let start = i;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '"' => {
+                return (chars[start..i].iter().collect(), i + 1);
+            }
+            _ => i += 1,
+        }
+    }
+    (chars[start..i].iter().collect(), i)
+}
+
+/// Lex a raw/byte string starting at its `r`/`b` prefix; returns
+/// (content, index past the closing delimiter).
+fn lex_prefixed_string(chars: &[char], mut i: usize) -> (String, usize) {
+    if chars.get(i) == Some(&'b') {
+        i += 1;
+    }
+    let raw = chars.get(i) == Some(&'r');
+    if raw {
+        i += 1;
+    }
+    let mut fence = 0usize;
+    while chars.get(i) == Some(&'#') {
+        fence += 1;
+        i += 1;
+    }
+    i += 1; // opening quote
+    let start = i;
+    if raw {
+        while i < chars.len() {
+            if chars[i] == '"'
+                && chars[i + 1..]
+                    .iter()
+                    .take(fence)
+                    .filter(|&&c| c == '#')
+                    .count()
+                    == fence
+            {
+                let content: String = chars[start..i].iter().collect();
+                return (content, i + 1 + fence);
+            }
+            i += 1;
+        }
+        (chars[start..i].iter().collect(), i)
+    } else {
+        let (s, next) = lex_string(chars, start);
+        (s, next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_lines() {
+        let toks = lex("fn main() {\n    let x = foo();\n}\n");
+        let main = toks.iter().find(|t| t.is_ident("main")).unwrap();
+        assert_eq!(main.line, 1);
+        let foo = toks.iter().find(|t| t.is_ident("foo")).unwrap();
+        assert_eq!(foo.line, 2);
+    }
+
+    #[test]
+    fn strings_do_not_leak_identifiers() {
+        let src = r#"let s = "HashMap inside a string"; let h = HashMap::new();"#;
+        let ids = idents(src);
+        assert_eq!(ids.iter().filter(|s| *s == "HashMap").count(), 1);
+        let strs: Vec<_> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].text, "HashMap inside a string");
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let src = "let a = r#\"raw \"quoted\" HashMap\"#; let b = br\"bytes\"; let c = b\"x\";";
+        let strs: Vec<_> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(strs, vec!["raw \"quoted\" HashMap", "bytes", "x"]);
+        assert!(idents(src).iter().all(|s| s != "HashMap"));
+    }
+
+    #[test]
+    fn comments_are_isolated() {
+        let src = "// HashMap in a comment\n/* block\nHashMap */ let x = 1;";
+        assert!(idents(src).iter().all(|s| s != "HashMap"));
+        let comments: Vec<_> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Comment)
+            .collect();
+        assert_eq!(comments.len(), 2);
+        assert_eq!(comments[0].line, 1);
+        assert_eq!(comments[1].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ fn f() {}";
+        let toks = lex(src);
+        assert!(toks[0].kind == TokKind::Comment);
+        assert!(toks.iter().any(|t| t.is_ident("fn")));
+        assert!(idents(src).iter().all(|s| s != "inner"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let toks = lex(src);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Char && t.text == "'x'"));
+        // The lifetime's `a` must not surface as a stray identifier that a
+        // rule could mistake for code.
+        assert_eq!(idents(src).iter().filter(|s| *s == "a").count(), 0);
+    }
+
+    #[test]
+    fn escaped_chars_and_strings() {
+        let src = r#"let a = '\n'; let b = '\''; let s = "esc \" quote";"#;
+        let toks = lex(src);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 2);
+        let s = toks.iter().find(|t| t.kind == TokKind::Str).unwrap();
+        assert_eq!(s.text, r#"esc \" quote"#);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_method_calls() {
+        let src = "for i in 0..=7 { let x = 10f64.powi(i); let y = 1.5e3; }";
+        let toks = lex(src);
+        assert!(toks.iter().any(|t| t.is_ident("powi")));
+        // `..=` survives as punctuation.
+        assert!(toks.iter().filter(|t| t.is_punct('.')).count() >= 2);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Num && t.text == "1.5e3"));
+    }
+
+    #[test]
+    fn multiline_string_keeps_line_numbers() {
+        let src = "let s = \"line\nbreak\";\nlet t = after();";
+        let toks = lex(src);
+        let after = toks.iter().find(|t| t.is_ident("after")).unwrap();
+        assert_eq!(after.line, 3);
+    }
+}

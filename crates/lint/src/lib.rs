@@ -1,0 +1,549 @@
+//! # remy-lint — workspace determinism & safety analyzer
+//!
+//! Every headline number in this reproduction rests on one invariant:
+//! simulations and training are **bit-identical** across `--jobs` counts,
+//! scheduler backends, and spec round-trips. The runtime equivalence
+//! suites check that invariant after the fact; `remy-lint` rejects the
+//! *sources* of nondeterminism at commit time, as deny-by-default
+//! diagnostics with `file:line` spans.
+//!
+//! The rule set (one module per rule, see [`rules`]):
+//!
+//! | id | rule |
+//! |----|------|
+//! | `d1-unordered-collections` | no `HashMap`/`HashSet` in sim/training library code (iteration order is nondeterministic — use `BTreeMap`/`BTreeSet` or a sorted drain) |
+//! | `d2-wallclock-rng` | no `Instant`/`SystemTime`/`thread_rng`/raw `rand` in library code — all time comes from the event loop, all randomness from `SimRng::split_seed` |
+//! | `d3-float-partial-sort` | no `.partial_cmp` on the result path — NaN makes `sort_by(partial_cmp)` panic or reorder; use `f64::total_cmp` |
+//! | `d4-unsafe-safety-comment` | every `unsafe` must be preceded by a `// SAFETY:` comment |
+//! | `d5-shared-state-sim-path` | no `Mutex`/`RwLock`/atomics in per-event sim code — the PDES design wants message passing at zone boundaries, not shared locks |
+//! | `d6-wallclock-serialization` | no date/timestamp-like field names in serialized results — goldens must be byte-stable across runs |
+//!
+//! A justified escape hatch exists per finding:
+//!
+//! ```text
+//! // lint:allow(d2-wallclock-rng): wall-clock here bounds the training
+//! // budget; it is never observable by any simulation.
+//! let started = Instant::now();
+//! ```
+//!
+//! The justification after `):` is mandatory; a bare `lint:allow` is
+//! itself a diagnostic. The scanner is a hand-rolled lexer
+//! ([`lexer`]) — no `syn`, no crates.io — that skips `#[cfg(test)]`
+//! items and `tests/`/`benches/`/`examples/` trees for all rules except
+//! `d4` (unsafe needs a SAFETY comment even in tests).
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod lexer;
+pub mod rules;
+
+use lexer::{lex, Tok, TokKind};
+use std::path::Path;
+
+/// One finding, anchored to a file and 1-based line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule id (`d1-unordered-collections`, ... or `lint-allow` for a
+    /// malformed allow directive).
+    pub rule: &'static str,
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Everything a rule sees about one file.
+pub struct FileCtx {
+    /// Workspace-relative path, `/`-separated (scoping key).
+    pub path: String,
+    /// Token stream of the file.
+    pub toks: Vec<Tok>,
+    /// `test_mask[i]` is true when `toks[i]` sits inside a
+    /// `#[cfg(test)]` item (or the whole file is test code).
+    pub test_mask: Vec<bool>,
+}
+
+impl FileCtx {
+    /// Code tokens (not comments) outside test regions, with indices.
+    pub fn code_tokens(&self) -> impl Iterator<Item = (usize, &Tok)> {
+        self.toks
+            .iter()
+            .enumerate()
+            .filter(|(i, t)| !self.test_mask[*i] && t.kind != TokKind::Comment)
+    }
+}
+
+/// A single lint rule.
+pub struct Rule {
+    /// Stable id, used in reports and `lint:allow(<id>)`.
+    pub id: &'static str,
+    /// One-line summary for `--list-rules` and docs.
+    pub summary: &'static str,
+    /// Path-scoping predicate over workspace-relative paths.
+    pub applies: fn(&str) -> bool,
+    /// The check itself: (line, message) findings.
+    pub check: fn(&FileCtx) -> Vec<(u32, String)>,
+}
+
+/// Scan one file's text as if it lived at workspace-relative `rel_path`.
+///
+/// This is the engine under both the binary and the fixture tests (which
+/// scan seeded-bad sources under a virtual in-scope path). Returned
+/// diagnostics are filtered through `lint:allow` directives and sorted by
+/// `(line, rule)`.
+pub fn scan_source(rel_path: &str, text: &str) -> Vec<Diagnostic> {
+    let toks = lex(text);
+    let test_mask = test_region_mask(&toks, rel_path);
+    let ctx = FileCtx {
+        path: rel_path.to_string(),
+        toks,
+        test_mask,
+    };
+    let allows = parse_allows(&ctx);
+    let mut out: Vec<Diagnostic> = Vec::new();
+
+    // Malformed allow directives are diagnostics in their own right: an
+    // unjustified suppression is exactly what the gate must not accept.
+    for a in &allows {
+        if !a.justified {
+            out.push(Diagnostic {
+                rule: "lint-allow",
+                file: ctx.path.clone(),
+                line: a.line,
+                message: format!(
+                    "lint:allow({}) without a justification — write \
+                     `// lint:allow({}): <why this is sound>`",
+                    a.rule, a.rule
+                ),
+            });
+        }
+    }
+
+    for rule in rules::all() {
+        if !(rule.applies)(rel_path) {
+            continue;
+        }
+        for (line, message) in (rule.check)(&ctx) {
+            let allowed = allows
+                .iter()
+                .any(|a| a.justified && a.rule == rule.id && a.covers.contains(&line));
+            if !allowed {
+                out.push(Diagnostic {
+                    rule: rule.id,
+                    file: ctx.path.clone(),
+                    line,
+                    message,
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// Walk the workspace at `root` and scan every Rust source file.
+///
+/// Skips `target/`, `.git/`, and `fixtures/` directories (the seeded-bad
+/// lint fixtures must not fail the gate for the tree that tests them).
+/// Diagnostics come back sorted by `(file, line, rule)` so output — and
+/// the `--json` document — is deterministic.
+pub fn scan_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut out = Vec::new();
+    for rel in files {
+        let text =
+            std::fs::read_to_string(root.join(&rel)).map_err(|e| format!("reading {rel}: {e}"))?;
+        out.extend(scan_source(&rel, &text));
+    }
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(out)
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("walking {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if matches!(
+                name.as_str(),
+                "target" | ".git" | "fixtures" | "node_modules"
+            ) {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|e| format!("relativizing {}: {e}", path.display()))?
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Render diagnostics as the machine-readable `--json` document: an
+/// object with a `count` and a `diagnostics` array, each entry carrying
+/// `rule`, `file`, `line`, and `message`.
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"count\": {},\n", diags.len()));
+    s.push_str("  \"diagnostics\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            json_escape(d.rule),
+            json_escape(&d.file),
+            d.line,
+            json_escape(&d.message)
+        ));
+    }
+    if !diags.is_empty() {
+        s.push('\n');
+        s.push_str("  ");
+    }
+    s.push_str("]\n}\n");
+    s
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render diagnostics for humans, one `file:line: [rule] message` per
+/// finding plus a summary line.
+pub fn render_human(diags: &[Diagnostic]) -> String {
+    let mut s = String::new();
+    for d in diags {
+        s.push_str(&format!(
+            "{}:{}: [{}] {}\n",
+            d.file, d.line, d.rule, d.message
+        ));
+    }
+    if diags.is_empty() {
+        s.push_str("remy-lint: clean\n");
+    } else {
+        s.push_str(&format!("remy-lint: {} diagnostic(s)\n", diags.len()));
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Test-region detection
+// ---------------------------------------------------------------------------
+
+/// Paths whose whole content is test/bench/example code: every rule but
+/// `d4-unsafe-safety-comment` skips these.
+pub fn is_test_path(rel_path: &str) -> bool {
+    rel_path
+        .split('/')
+        .any(|seg| matches!(seg, "tests" | "benches" | "examples"))
+}
+
+/// Mark tokens inside `#[cfg(test)]` items. Handles the conventional
+/// shapes: `#[cfg(test)] mod tests { ... }`, possibly with further
+/// attributes between the cfg and the item, and `#[cfg(test)]` on
+/// brace-less items (skips to the `;`).
+fn test_region_mask(toks: &[Tok], rel_path: &str) -> Vec<bool> {
+    let mut mask = vec![is_test_path(rel_path); toks.len()];
+    if mask.first().copied().unwrap_or(false) {
+        return mask; // whole file is test code
+    }
+    let code: Vec<usize> = toks
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.kind != TokKind::Comment)
+        .map(|(i, _)| i)
+        .collect();
+    let mut k = 0usize;
+    while k < code.len() {
+        if is_cfg_test_attr(toks, &code, k) {
+            // Skip the attr itself, then any further attrs, then mark the
+            // following item.
+            let mut j = skip_attr(toks, &code, k);
+            while j < code.len() && toks[code[j]].is_punct('#') {
+                j = skip_attr(toks, &code, j);
+            }
+            // Find the item's opening `{` (or terminating `;`).
+            let mut depth = 0i32;
+            let item_start = j;
+            while j < code.len() {
+                let t = &toks[code[j]];
+                if depth == 0 && t.is_punct(';') {
+                    j += 1;
+                    break;
+                }
+                if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 && toks[code[j]].is_punct('}') {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            for &ti in &code[item_start..j.min(code.len())] {
+                mask[ti] = true;
+            }
+            // Mask the attribute tokens too.
+            for &ti in &code[k..item_start.min(code.len())] {
+                mask[ti] = true;
+            }
+            k = j;
+        } else {
+            k += 1;
+        }
+    }
+    mask
+}
+
+/// Is `code[k]` the `#` of an attribute containing `cfg ( test`?
+fn is_cfg_test_attr(toks: &[Tok], code: &[usize], k: usize) -> bool {
+    if !toks[code[k]].is_punct('#') {
+        return false;
+    }
+    let end = skip_attr(toks, code, k);
+    let mut saw_cfg = false;
+    for &ti in &code[k..end] {
+        let t = &toks[ti];
+        if t.is_ident("cfg") {
+            saw_cfg = true;
+        } else if saw_cfg && t.is_ident("test") {
+            return true;
+        }
+    }
+    false
+}
+
+/// Given `code[k]` at a `#`, return the code-index just past the
+/// attribute's closing `]`.
+fn skip_attr(toks: &[Tok], code: &[usize], k: usize) -> usize {
+    let mut j = k + 1;
+    // Optional inner-attr `!`.
+    if j < code.len() && toks[code[j]].is_punct('!') {
+        j += 1;
+    }
+    if j >= code.len() || !toks[code[j]].is_punct('[') {
+        return k + 1;
+    }
+    let mut depth = 0i32;
+    while j < code.len() {
+        let t = &toks[code[j]];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    code.len()
+}
+
+// ---------------------------------------------------------------------------
+// lint:allow directives
+// ---------------------------------------------------------------------------
+
+struct Allow {
+    rule: String,
+    line: u32,
+    /// Lines this directive suppresses: its own line (trailing-comment
+    /// form) and the first code line after the comment block it opens.
+    covers: Vec<u32>,
+    justified: bool,
+}
+
+/// Extract `lint:allow(<rule>): <justification>` directives from
+/// comments. A directive suppresses matching diagnostics on its own line
+/// (trailing-comment form) or on the first code line following its
+/// comment block — the justification may continue across further comment
+/// lines in between. What is mandatory is non-empty text (≥ 8 chars)
+/// after the `):` on the directive line itself.
+fn parse_allows(ctx: &FileCtx) -> Vec<Allow> {
+    let mut out = Vec::new();
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if t.kind != TokKind::Comment {
+            continue;
+        }
+        // A directive must *start* the comment's content (after the
+        // `//`/`//!`/`///` marker); backticked mid-sentence mentions in
+        // prose are not directives.
+        let content = t.text.trim_start_matches(['/', '!', '*', ' ', '\t']);
+        let Some(rest) = content.strip_prefix("lint:allow(") else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            out.push(Allow {
+                rule: String::from("?"),
+                line: t.line,
+                covers: Vec::new(),
+                justified: false,
+            });
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let after = &rest[close + 1..];
+        let justified = after
+            .strip_prefix(':')
+            .map(|j| j.trim().len() >= 8)
+            .unwrap_or(false);
+        let mut covers = vec![t.line];
+        // First code token after this comment (skipping the rest of the
+        // justification block): the guarded line.
+        if let Some(next) = ctx.toks[i + 1..]
+            .iter()
+            .find(|n| n.kind != TokKind::Comment)
+        {
+            covers.push(next.line);
+        }
+        out.push(Allow {
+            rule,
+            line: t.line,
+            covers,
+            justified,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_path_detection() {
+        assert!(is_test_path("crates/netsim/tests/props.rs"));
+        assert!(is_test_path("tests/lint_gate.rs"));
+        assert!(is_test_path("examples/quickstart.rs"));
+        assert!(is_test_path("crates/bench/benches/queues.rs"));
+        assert!(!is_test_path("crates/netsim/src/sim.rs"));
+    }
+
+    #[test]
+    fn cfg_test_mod_is_masked() {
+        let src = "\
+use std::collections::HashMap;
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    #[test]
+    fn t() { let _ = HashMap::<u32, u32>::new(); }
+}
+";
+        let d = scan_source("crates/netsim/src/x.rs", src);
+        // Only the non-test use on line 1 fires.
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 1);
+        assert_eq!(d[0].rule, "d1-unordered-collections");
+    }
+
+    #[test]
+    fn cfg_test_fn_without_braces_in_signature_is_masked() {
+        let src = "\
+#[cfg(test)]
+fn helper() -> std::collections::HashMap<u32, u32> {
+    std::collections::HashMap::new()
+}
+fn live() {}
+";
+        let d = scan_source("crates/netsim/src/x.rs", src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn allow_with_justification_suppresses_next_line() {
+        let src = "\
+// lint:allow(d1-unordered-collections): keys are drained in sorted order
+use std::collections::HashMap;
+";
+        assert!(scan_source("crates/netsim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_trailing_comment_suppresses_same_line() {
+        let src = "use std::collections::HashMap; // lint:allow(d1-unordered-collections): lookup-only memo table\n";
+        assert!(scan_source("crates/netsim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_justification_may_span_multiple_comment_lines() {
+        let src = "\
+// lint:allow(d1-unordered-collections): this map is lookup-only; the
+// iteration order is never observed by anything downstream.
+use std::collections::HashMap;
+";
+        assert!(scan_source("crates/netsim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_without_justification_is_a_diagnostic() {
+        let src = "\
+// lint:allow(d1-unordered-collections)
+use std::collections::HashMap;
+";
+        let d = scan_source("crates/netsim/src/x.rs", src);
+        assert!(d.iter().any(|d| d.rule == "lint-allow"), "{d:?}");
+        assert!(
+            d.iter().any(|d| d.rule == "d1-unordered-collections"),
+            "an unjustified allow must not suppress: {d:?}"
+        );
+    }
+
+    #[test]
+    fn allow_for_a_different_rule_does_not_suppress() {
+        let src = "\
+// lint:allow(d2-wallclock-rng): wrong rule named here on purpose
+use std::collections::HashMap;
+";
+        let d = scan_source("crates/netsim/src/x.rs", src);
+        assert!(d.iter().any(|d| d.rule == "d1-unordered-collections"));
+    }
+
+    #[test]
+    fn json_document_shape() {
+        let diags = vec![Diagnostic {
+            rule: "d1-unordered-collections",
+            file: "crates/x.rs".into(),
+            line: 3,
+            message: "say \"no\"".into(),
+        }];
+        let j = to_json(&diags);
+        assert!(j.contains("\"count\": 1"));
+        assert!(j.contains("\\\"no\\\""));
+        assert!(j.contains("\"line\": 3"));
+        let empty = to_json(&[]);
+        assert!(empty.contains("\"count\": 0"));
+        assert!(empty.contains("\"diagnostics\": []"));
+    }
+
+    #[test]
+    fn out_of_scope_paths_are_clean() {
+        let src = "use std::collections::HashMap;\n";
+        assert!(scan_source("crates/bench/src/lib.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,102 @@
+//! **d3-float-partial-sort** — no `.partial_cmp` on the result path.
+//!
+//! `sort_by(|a, b| a.partial_cmp(b).unwrap())` panics on the first NaN,
+//! and the `unwrap_or(Equal)` variant silently produces an
+//! implementation-defined order — both burned this project before (the
+//! PR-2/PR-5 NaN lessons in `Objective::score_flow` and
+//! `stats::quantile`). Library code in the sim crates must compare
+//! floats with `f64::total_cmp`, which is a total order over every bit
+//! pattern, NaN included.
+//!
+//! The rule flags *method calls* (`.partial_cmp`); implementing the
+//! `PartialOrd` trait (`fn partial_cmp`) is of course fine.
+
+use crate::{FileCtx, Rule};
+
+pub(crate) fn rule() -> Rule {
+    Rule {
+        id: "d3-float-partial-sort",
+        summary: ".partial_cmp on floats panics or reorders on NaN — \
+                  compare with f64::total_cmp",
+        applies: super::sim_crate_src,
+        check,
+    }
+}
+
+fn check(ctx: &FileCtx) -> Vec<(u32, String)> {
+    let code: Vec<_> = ctx.code_tokens().collect();
+    let mut out = Vec::new();
+    for (k, (_, t)) in code.iter().enumerate() {
+        if t.is_ident("partial_cmp") && k > 0 && code[k - 1].1.is_punct('.') {
+            out.push((
+                t.line,
+                "`.partial_cmp` is not a total order (NaN): sort/select with \
+                 `f64::total_cmp` instead"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rules::testutil::{lines_of, scan};
+
+    #[test]
+    fn flags_sort_by_partial_cmp() {
+        let src = "\
+fn f(mut xs: Vec<f64>) -> Vec<f64> {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs
+}
+";
+        let d = scan(src);
+        assert_eq!(lines_of(&d, "d3-float-partial-sort"), vec![2]);
+    }
+
+    #[test]
+    fn flags_max_by_partial_cmp() {
+        let src = "fn f(xs: &[f64]) -> Option<&f64> {\n    xs.iter().max_by(|a, b| a.partial_cmp(b).expect(\"no NaN\"))\n}\n";
+        let d = scan(src);
+        assert_eq!(lines_of(&d, "d3-float-partial-sort"), vec![2]);
+    }
+
+    #[test]
+    fn total_cmp_is_clean() {
+        let src = "fn f(mut xs: Vec<f64>) { xs.sort_by(f64::total_cmp); }\n";
+        assert!(scan(src).is_empty());
+    }
+
+    #[test]
+    fn implementing_partial_ord_is_clean() {
+        let src = "\
+use std::cmp::Ordering;
+struct E(u64);
+impl PartialOrd for E {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.0.cmp(&other.0))
+    }
+}
+impl PartialEq for E {
+    fn eq(&self, other: &Self) -> bool { self.0 == other.0 }
+}
+";
+        assert!(scan(src).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let mut xs = vec![1.0f64];
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    }
+}
+";
+        assert!(scan(src).is_empty());
+    }
+}

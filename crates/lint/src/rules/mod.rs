@@ -1,0 +1,88 @@
+//! The rule set, one module per rule.
+//!
+//! Each rule declares a path scope (`applies`) over workspace-relative
+//! paths and a token-level check. Scopes are deliberately conservative:
+//! deny-by-default inside the crates where determinism is load-bearing,
+//! silent elsewhere (`crates/bench` measures wall-clock on purpose; the
+//! shims reimplement threaded libraries and own their synchronization).
+//!
+//! All rules except [`d4`] skip test code — `#[cfg(test)]` items and
+//! anything under a `tests/`, `benches/`, or `examples/` directory —
+//! because tests legitimately use wall-clock-free shortcuts the library
+//! must not.
+
+pub mod d1;
+pub mod d2;
+pub mod d3;
+pub mod d4;
+pub mod d5;
+pub mod d6;
+
+use crate::Rule;
+
+/// Every rule, in id order.
+pub fn all() -> Vec<Rule> {
+    vec![
+        d1::rule(),
+        d2::rule(),
+        d3::rule(),
+        d4::rule(),
+        d5::rule(),
+        d6::rule(),
+    ]
+}
+
+/// True when `rel_path` is library/binary source of one of the crates
+/// where simulation determinism is load-bearing.
+pub(crate) fn sim_crate_src(rel_path: &str) -> bool {
+    !crate::is_test_path(rel_path)
+        && [
+            "crates/netsim/src/",
+            "crates/congestion/src/",
+            "crates/core/src/",
+            "crates/remy-sim/src/",
+            "crates/traces/src/",
+        ]
+        .iter()
+        .any(|p| rel_path.starts_with(p))
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use crate::{scan_source, Diagnostic};
+
+    /// Scan `src` as library code of `netsim` (in scope for every rule).
+    pub fn scan(src: &str) -> Vec<Diagnostic> {
+        scan_source("crates/netsim/src/under_test.rs", src)
+    }
+
+    /// Lines on which `rule` fired.
+    pub fn lines_of(diags: &[Diagnostic], rule: &str) -> Vec<u32> {
+        diags
+            .iter()
+            .filter(|d| d.rule == rule)
+            .map(|d| d.line)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn rule_ids_are_unique_and_kebab() {
+        let rules = super::all();
+        for (i, r) in rules.iter().enumerate() {
+            assert!(
+                r.id.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+                "{} not kebab-case",
+                r.id
+            );
+            assert!(!r.summary.is_empty());
+            for other in &rules[i + 1..] {
+                assert_ne!(r.id, other.id);
+            }
+        }
+        assert_eq!(rules.len(), 6);
+    }
+}

@@ -1,0 +1,127 @@
+//! Seeded-violation fixture suite: every rule (D1–D6) must fire on its
+//! fixture with the right `file:line` spans, the justified-allow fixture
+//! must scan clean, and the bare-allow fixture must produce both the
+//! `lint-allow` diagnostic and the unsuppressed finding.
+//!
+//! Fixtures live in `tests/fixtures/` (not compile targets; the
+//! workspace walker skips `fixtures/` directories) and are scanned under
+//! a virtual `crates/netsim/src/` path so every rule's scope applies —
+//! the same mapping `remy-lint --scope-as` uses in `scripts/lint_gate.sh`
+//! to prove the gate still rejects bad code.
+
+use remy_lint::{scan_source, Diagnostic};
+
+fn scan_fixture(name: &str) -> Vec<Diagnostic> {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+    scan_source(&format!("crates/netsim/src/{name}"), &text)
+}
+
+fn lines(diags: &[Diagnostic], rule: &str) -> Vec<u32> {
+    diags
+        .iter()
+        .filter(|d| d.rule == rule)
+        .map(|d| d.line)
+        .collect()
+}
+
+#[test]
+fn d1_fires_on_hash_collections_with_spans() {
+    let d = scan_fixture("bad_d1.rs");
+    assert_eq!(
+        lines(&d, "d1-unordered-collections"),
+        vec![3, 4, 7, 7, 16],
+        "{d:#?}"
+    );
+    assert!(d.iter().all(|x| x.file == "crates/netsim/src/bad_d1.rs"));
+}
+
+#[test]
+fn d2_fires_on_wallclock_and_rng_with_spans() {
+    let d = scan_fixture("bad_d2.rs");
+    assert_eq!(
+        lines(&d, "d2-wallclock-rng"),
+        vec![3, 4, 8, 9, 10, 10],
+        "{d:#?}"
+    );
+}
+
+#[test]
+fn d3_fires_on_partial_cmp_sorts_with_spans() {
+    let d = scan_fixture("bad_d3.rs");
+    assert_eq!(lines(&d, "d3-float-partial-sort"), vec![6, 13], "{d:#?}");
+}
+
+#[test]
+fn d4_fires_on_undocumented_unsafe_only() {
+    let d = scan_fixture("bad_d4.rs");
+    // Line 6: undocumented block; line 14: undocumented unsafe fn. The
+    // `unsafe impl Send` on line 12 carries a SAFETY comment and passes.
+    assert_eq!(lines(&d, "d4-unsafe-safety-comment"), vec![6, 14], "{d:#?}");
+}
+
+#[test]
+fn d5_fires_on_locks_and_atomics_with_spans() {
+    let d = scan_fixture("bad_d5.rs");
+    assert_eq!(
+        lines(&d, "d5-shared-state-sim-path"),
+        vec![3, 4, 9, 10],
+        "{d:#?}"
+    );
+}
+
+#[test]
+fn d6_fires_on_wallclock_fields_with_spans() {
+    let d = scan_fixture("bad_d6.rs");
+    assert_eq!(
+        lines(&d, "d6-wallclock-serialization"),
+        vec![10, 12],
+        "{d:#?}"
+    );
+}
+
+#[test]
+fn every_rule_fires_somewhere_in_the_fixture_set() {
+    let all: Vec<Diagnostic> = [
+        "bad_d1.rs",
+        "bad_d2.rs",
+        "bad_d3.rs",
+        "bad_d4.rs",
+        "bad_d5.rs",
+        "bad_d6.rs",
+    ]
+    .iter()
+    .flat_map(|f| scan_fixture(f))
+    .collect();
+    for rule in remy_lint::rules::all() {
+        assert!(
+            all.iter().any(|d| d.rule == rule.id),
+            "rule {} never fired on the fixture set",
+            rule.id
+        );
+    }
+}
+
+#[test]
+fn justified_allows_scan_clean() {
+    let d = scan_fixture("allowed_ok.rs");
+    assert!(d.is_empty(), "justified allows must suppress: {d:#?}");
+}
+
+#[test]
+fn bare_allow_is_flagged_and_does_not_suppress() {
+    let d = scan_fixture("allow_missing_justification.rs");
+    assert_eq!(lines(&d, "lint-allow"), vec![4], "{d:#?}");
+    assert_eq!(lines(&d, "d1-unordered-collections"), vec![5, 7], "{d:#?}");
+}
+
+#[test]
+fn json_mode_round_trips_the_findings() {
+    let d = scan_fixture("bad_d3.rs");
+    let j = remy_lint::to_json(&d);
+    assert!(j.contains("\"count\": 2"), "{j}");
+    assert!(j.contains("\"rule\": \"d3-float-partial-sort\""));
+    assert!(j.contains("\"line\": 6"));
+    assert!(j.contains("\"line\": 13"));
+    assert!(j.contains("\"file\": \"crates/netsim/src/bad_d3.rs\""));
+}

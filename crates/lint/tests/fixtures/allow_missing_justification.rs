@@ -1,0 +1,9 @@
+// Fixture: a bare lint:allow is itself a diagnostic AND fails to
+// suppress the finding it names. Not a compile target.
+
+// lint:allow(d1-unordered-collections)
+use std::collections::HashMap;
+
+pub fn f(m: &HashMap<u64, u64>) -> usize {
+    m.len()
+}

@@ -1,0 +1,20 @@
+// Fixture: every violation here carries a justified lint:allow, so the
+// file must scan clean. Not a compile target.
+
+// lint:allow(d1-unordered-collections): lookup-only memo keyed by exact
+// bit patterns; nothing ever iterates it, so order cannot be observed.
+use std::collections::HashMap;
+
+// lint:allow(d2-wallclock-rng): bounds an offline training budget only;
+// never observable by any simulation result.
+use std::time::Instant;
+
+// lint:allow(d1-unordered-collections): len() observes no order.
+pub fn memo_len(m: &HashMap<u64, f64>) -> usize {
+    m.len()
+}
+
+// lint:allow(d2-wallclock-rng): stop-clock comparison, budget only.
+pub fn budget_expired(t0: Instant, secs: f64) -> bool {
+    t0.elapsed().as_secs_f64() >= secs
+}

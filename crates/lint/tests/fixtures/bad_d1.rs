@@ -1,0 +1,18 @@
+// Seeded-bad fixture for d1-unordered-collections. Not a compile target:
+// scanned by tests/fixtures.rs under a virtual crates/netsim/src/ path.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn merge_usage(cells: &[(u64, f64)]) -> Vec<(u64, f64)> {
+    let mut by_rule: HashMap<u64, f64> = HashMap::new();
+    for (rule, uses) in cells {
+        *by_rule.entry(*rule).or_insert(0.0) += uses;
+    }
+    // The hazard: draining a hash map — iteration order differs run to run.
+    by_rule.into_iter().collect()
+}
+
+pub fn seen_flows(ids: &[u64]) -> usize {
+    let set: HashSet<u64> = ids.iter().copied().collect();
+    set.len()
+}

@@ -1,0 +1,13 @@
+// Seeded-bad fixture for d2-wallclock-rng. Not a compile target: scanned
+// by tests/fixtures.rs under a virtual crates/netsim/src/ path.
+use std::time::Instant;
+use std::time::SystemTime;
+
+pub fn jitter_seed() -> u64 {
+    // The hazard: ambient entropy — results now depend on the host.
+    let t = SystemTime::now();
+    let _ = Instant::now();
+    let r = rand::thread_rng();
+    let _ = (t, r);
+    0
+}

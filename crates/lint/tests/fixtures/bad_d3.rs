@@ -1,0 +1,14 @@
+// Seeded-bad fixture for d3-float-partial-sort. Not a compile target:
+// scanned by tests/fixtures.rs under a virtual crates/netsim/src/ path.
+
+pub fn median(mut xs: Vec<f64>) -> f64 {
+    // The hazard: one NaN sample and this panics mid-experiment.
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+pub fn best(xs: &[f64]) -> Option<f64> {
+    xs.iter()
+        .copied()
+        .max_by(|a, b| a.partial_cmp(b).expect("no NaN"))
+}

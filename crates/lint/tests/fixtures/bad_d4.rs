@@ -1,0 +1,16 @@
+// Seeded-bad fixture for d4-unsafe-safety-comment. Not a compile target:
+// scanned by tests/fixtures.rs under a virtual crates/netsim/src/ path.
+
+pub fn read_slot(base: *const u8, off: usize) -> u8 {
+    // The hazard: an undocumented unsafe block in the arena hot path.
+    unsafe { *base.add(off) }
+}
+
+pub struct RawHandle(*mut u8);
+
+// SAFETY: the handle owns its allocation; no aliases exist by contract.
+unsafe impl Send for RawHandle {}
+
+unsafe fn unchecked(base: *const u8) -> u8 {
+    *base
+}

@@ -1,0 +1,17 @@
+// Seeded-bad fixture for d5-shared-state-sim-path. Not a compile target:
+// scanned by tests/fixtures.rs under a virtual crates/netsim/src/ path.
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub struct ZoneStats {
+    // The hazard: zone workers merging through a shared lock — merge
+    // order becomes a scheduler artifact.
+    delivered: Mutex<Vec<u64>>,
+    drops: AtomicU64,
+}
+
+impl ZoneStats {
+    pub fn record_drop(&self) {
+        self.drops.fetch_add(1, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,14 @@
+// Seeded-bad fixture for d6-wallclock-serialization. Not a compile
+// target: scanned by tests/fixtures.rs under a virtual
+// crates/netsim/src/ path.
+
+pub fn results_to_json(tput: f64, secs: u64) -> String {
+    let mut s = String::from("{");
+    s.push_str("\"mean_throughput_mbps\": ");
+    s.push_str(&tput.to_string());
+    // The hazard: a run-time field — every golden churns on every run.
+    s.push_str(", \"generated_at\": ");
+    s.push_str(&secs.to_string());
+    s.push_str(", \"timestamp\": 0}");
+    s
+}

@@ -212,6 +212,15 @@ impl PacketArena {
         self.live += 1;
         if let Some(index) = self.free.pop() {
             let slot = &mut self.slots[index as usize];
+            // Strict lane: a slot coming off the free list must be in a
+            // free (even-generation) lifetime; an odd generation here
+            // means the free list aliased a live packet.
+            #[cfg(feature = "strict-invariants")]
+            assert_eq!(
+                slot.generation % 2,
+                0,
+                "strict-invariants: free list handed out a live slot {index}"
+            );
             slot.generation = slot.generation.wrapping_add(1);
             slot.packet = packet;
             PacketId {
@@ -235,6 +244,22 @@ impl PacketArena {
     /// slot was already freed): a double free is always an engine bug.
     #[inline]
     pub fn free(&mut self, id: PacketId) {
+        // Strict lane: a handle being freed must come from a live
+        // (odd-generation) lifetime, and the bookkeeping identity
+        // `live + free == slots` must hold on entry.
+        #[cfg(feature = "strict-invariants")]
+        {
+            assert_eq!(
+                id.generation % 2,
+                1,
+                "strict-invariants: freeing a handle minted in a free lifetime"
+            );
+            assert_eq!(
+                self.live + self.free.len(),
+                self.slots.len(),
+                "strict-invariants: arena live/free accounting diverged"
+            );
+        }
         let slot = &mut self.slots[id.index as usize];
         assert_eq!(
             slot.generation, id.generation,
@@ -350,6 +375,40 @@ mod tests {
         a.free(id);
         let _ = a.alloc(Packet::data(1, 1, 1500, Ns::ZERO));
         let _ = &a[id]; // the recycled slot must not alias through the old id
+    }
+
+    /// LCG-driven alloc/free churn. With `--features strict-invariants`
+    /// every alloc and free along the way is audited for generation
+    /// parity and live/free accounting; in the default lane the test
+    /// still exercises the same interleavings and checks the external
+    /// counters, so both CI lanes compile and run it.
+    #[test]
+    fn arena_strict_invariants_hold_under_churn() {
+        let mut a = PacketArena::new();
+        let mut live: Vec<PacketId> = Vec::new();
+        let mut rng: u64 = 0x2545_f491_4f6c_dd1d;
+        for round in 0..500u64 {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if live.is_empty() || !rng.is_multiple_of(3) {
+                let id = a.alloc(Packet::data(0, round, 1500, Ns::ZERO));
+                assert_eq!(id.generation() % 2, 1, "live handles have odd generations");
+                live.push(id);
+            } else {
+                let pick = (rng >> 33) as usize % live.len();
+                let id = live.swap_remove(pick);
+                assert!(a.contains(id));
+                a.free(id);
+                assert!(!a.contains(id));
+            }
+            assert_eq!(a.live(), live.len());
+            assert!(a.capacity() >= a.live());
+        }
+        for id in live.drain(..) {
+            a.free(id);
+        }
+        assert_eq!(a.live(), 0);
     }
 
     #[test]

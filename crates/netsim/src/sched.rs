@@ -63,6 +63,10 @@ impl SchedulerKind {
 pub struct EventQueue<T> {
     next_id: u64,
     inner: Inner<T>,
+    /// Strict-lane shadow: a reference key-heap every push/pop is checked
+    /// against. Compiled out unless the `strict-invariants` feature is on.
+    #[cfg(feature = "strict-invariants")]
+    strict: strict::Shadow,
 }
 
 enum Inner<T> {
@@ -104,6 +108,8 @@ impl<T> EventQueue<T> {
                 SchedulerKind::Heap => Inner::Heap(BinaryHeap::new()),
                 SchedulerKind::Wheel => Inner::Wheel(Box::new(TimingWheel::new())),
             },
+            #[cfg(feature = "strict-invariants")]
+            strict: strict::Shadow::default(),
         }
     }
 
@@ -121,6 +127,8 @@ impl<T> EventQueue<T> {
     pub fn push(&mut self, at: Ns, ev: T) {
         let id = self.next_id;
         self.next_id += 1;
+        #[cfg(feature = "strict-invariants")]
+        self.strict.on_push(at, id);
         match &mut self.inner {
             Inner::Heap(h) => h.push(HeapEntry { at, id, ev }),
             Inner::Wheel(w) => w.push(at, id, ev),
@@ -129,10 +137,14 @@ impl<T> EventQueue<T> {
 
     /// Pop the earliest entry (ties broken by insertion id).
     pub fn pop(&mut self) -> Option<(Ns, u64, T)> {
-        match &mut self.inner {
+        let popped = match &mut self.inner {
             Inner::Heap(h) => h.pop().map(|e| (e.at, e.id, e.ev)),
             Inner::Wheel(w) => w.pop(),
-        }
+        };
+        #[cfg(feature = "strict-invariants")]
+        self.strict
+            .on_pop(popped.as_ref().map(|(at, id, _)| (*at, *id)));
+        popped
     }
 
     /// Entries currently pending.
@@ -146,6 +158,60 @@ impl<T> EventQueue<T> {
     /// True when nothing is pending.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strict-invariant shadow checker (the dynamic-analysis lane)
+// ---------------------------------------------------------------------------
+
+/// The `strict-invariants` reference model: a key-only `BinaryHeap`
+/// mirrors every push, and each pop is asserted to (a) agree with the
+/// reference heap's `(time, id)` order — so a wheel bucketing/cascade bug
+/// surfaces as a panic at the exact divergent event, not as a silently
+/// different result — and (b) advance strictly in `(time, id)`, the
+/// contract the whole engine rests on. Pushes are asserted to never
+/// schedule into the past, the precondition the wheel's cursor relies on.
+#[cfg(feature = "strict-invariants")]
+mod strict {
+    use crate::time::Ns;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    #[derive(Default)]
+    pub(super) struct Shadow {
+        keys: BinaryHeap<Reverse<(Ns, u64)>>,
+        last_pop: Option<(Ns, u64)>,
+    }
+
+    impl Shadow {
+        pub(super) fn on_push(&mut self, at: Ns, id: u64) {
+            if let Some((t, _)) = self.last_pop {
+                assert!(
+                    at >= t,
+                    "strict-invariants: scheduled into the past (at {at:?} < last popped {t:?})"
+                );
+            }
+            self.keys.push(Reverse((at, id)));
+        }
+
+        pub(super) fn on_pop(&mut self, popped: Option<(Ns, u64)>) {
+            let expected = self.keys.pop().map(|Reverse(k)| k);
+            assert_eq!(
+                popped, expected,
+                "strict-invariants: pop sequence diverged from the reference heap"
+            );
+            if let Some(key) = popped {
+                if let Some(prev) = self.last_pop {
+                    assert!(
+                        key > prev,
+                        "strict-invariants: pops not strictly increasing in (time, id): \
+                         {prev:?} then {key:?}"
+                    );
+                }
+                self.last_pop = Some(key);
+            }
+        }
     }
 }
 
@@ -269,6 +335,22 @@ impl<T> TimingWheel<T> {
                 std::mem::swap(&mut self.ready, &mut self.slots[slot]);
                 self.ready
                     .sort_unstable_by_key(|e| std::cmp::Reverse((e.0, e.1)));
+                // Strict lane: the drained granule must be exactly the
+                // cursor's granule, strictly ordered (keys are unique:
+                // ids are), with no entry filed into the wrong slot.
+                #[cfg(feature = "strict-invariants")]
+                {
+                    assert!(
+                        self.ready.iter().all(|e| e.0 .0 >> G0_BITS == self.cur_g),
+                        "strict-invariants: drained slot holds an event outside its granule"
+                    );
+                    assert!(
+                        self.ready
+                            .windows(2)
+                            .all(|w| (w[0].0, w[0].1) > (w[1].0, w[1].1)),
+                        "strict-invariants: drained granule not strictly ordered"
+                    );
+                }
             } else {
                 // Cascade the slot one or more levels down, through the
                 // reusable scratch buffer (no allocation churn).
@@ -350,6 +432,52 @@ mod tests {
         q.push(Ns::from_secs(3600), 3);
         let order: Vec<u32> = drain(&mut q).iter().map(|e| e.2).collect();
         assert_eq!(order, vec![1, 3, 2, 0]);
+    }
+
+    /// Strict-lane behaviour: normal interleavings sail through the
+    /// shadow checker; scheduling into the past is caught at the push.
+    #[cfg(feature = "strict-invariants")]
+    mod strict_lane {
+        use super::*;
+
+        #[test]
+        fn normal_interleavings_pass_the_shadow_checker() {
+            for kind in [SchedulerKind::Heap, SchedulerKind::Wheel] {
+                let mut q = EventQueue::new(kind);
+                // Deterministic scatter across granules and levels,
+                // including same-instant bursts and reentrant pushes.
+                // Like the simulator, only ever schedule at or after the
+                // current (last-popped) time.
+                let mut t = 17u64;
+                let mut now = Ns::ZERO;
+                for i in 0..2_000u32 {
+                    t = t
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    q.push(Ns(now.0 + (t >> 20) % 50_000_000), i);
+                    if i % 3 == 0 {
+                        if let Some((at, _, _)) = q.pop() {
+                            now = at;
+                            q.push(at, i); // same-instant reentry
+                        }
+                    }
+                }
+                let mut last = None;
+                while let Some((at, id, _)) = q.pop() {
+                    assert!(last < Some((at, id)));
+                    last = Some((at, id));
+                }
+            }
+        }
+
+        #[test]
+        #[should_panic(expected = "scheduled into the past")]
+        fn scheduling_into_the_past_panics() {
+            let mut q = EventQueue::new(SchedulerKind::Wheel);
+            q.push(Ns::from_millis(10), 0u32);
+            let _ = q.pop();
+            q.push(Ns::from_millis(1), 1u32);
+        }
     }
 
     #[test]

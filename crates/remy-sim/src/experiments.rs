@@ -799,7 +799,7 @@ fn run_fig3(spec: &ExperimentSpec) -> Result<ExperimentReport, String> {
     let mut raw: Vec<f64> = (0..n)
         .map(|_| (rng.pareto(PARETO_XM, PARETO_ALPHA) - PARETO_SHIFT).max(1.0))
         .collect();
-    raw.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    raw.sort_by(f64::total_cmp);
 
     let mut text = String::new();
     let _ = writeln!(text, "== {} ==", spec.title);

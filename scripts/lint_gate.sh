@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Determinism & safety gate: the whole workspace must scan clean under
+# remy-lint (rules D1-D6, CONTRIBUTING.md "Determinism rules"), the gate
+# itself must still *reject* bad code (the seeded fixtures), and the
+# strict-invariants dynamic lane (shadow-heap scheduler checker + arena
+# generation audit) must pass. The pinned toolchain is stable, so
+# -Zsanitizer / Miri are unavailable; the cfg-gated strict lane is the
+# substitute and runs here.
+#
+# usage: scripts/lint_gate.sh
+#   REMY_LINT  override the remy-lint invocation (default: the release
+#              binary, built here via cargo)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ -z "${REMY_LINT:-}" ]; then
+    cargo build --release -q -p remy-lint
+    REMY_LINT=target/release/remy-lint
+fi
+
+echo "lint_gate: scanning workspace..."
+if ! $REMY_LINT --json > /tmp/lint_gate_out.$$ 2>&1; then
+    echo "lint_gate: FAIL - remy-lint reported diagnostics:"
+    cat /tmp/lint_gate_out.$$
+    rm -f /tmp/lint_gate_out.$$
+    exit 1
+fi
+rm -f /tmp/lint_gate_out.$$
+echo "lint_gate: workspace is clean"
+
+# Negative control: the seeded-violation fixtures, scanned under a
+# virtual in-scope path, must still FAIL. A gate that stops rejecting
+# bad code is worse than no gate.
+echo "lint_gate: negative control (seeded fixtures must fail)..."
+fixtures=$(ls crates/lint/tests/fixtures/bad_*.rs)
+if $REMY_LINT --scope-as crates/netsim/src $fixtures > /dev/null 2>&1; then
+    echo "lint_gate: FAIL - seeded-violation fixtures scanned clean;"
+    echo "           the analyzer is no longer rejecting bad code"
+    exit 1
+fi
+echo "lint_gate: fixtures still rejected"
+
+# Dynamic lane: every EventQueue pop checked against a shadow reference
+# heap, every arena alloc/free audited for generation parity. Stable
+# toolchain => no AddressSanitizer/ThreadSanitizer/Miri; this cfg-gated
+# checker is the strict lane instead.
+echo "lint_gate: strict-invariants lane (sanitizers unavailable on stable)..."
+cargo test -q -p netsim --features strict-invariants
+cargo test -q -p remy-sim --features netsim/strict-invariants
+
+echo "lint_gate: OK"

@@ -1,0 +1,44 @@
+//! Workspace self-cleanliness gate: `remy-lint` must report zero
+//! diagnostics on the tree this test ships with.
+//!
+//! This is the in-process twin of `scripts/lint_gate.sh` — running the
+//! analyzer as a library call means `cargo test` alone (no shell, no
+//! built binary) already refuses a tree that reintroduces a HashMap in
+//! the sim path, an undocumented `unsafe`, or a bare `lint:allow`
+//! without justification. The seeded-violation coverage (each rule
+//! firing with the right spans) lives in `crates/lint/tests/fixtures.rs`.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let diags = remy_lint::scan_workspace(&root).expect("workspace scan succeeds");
+    assert!(
+        diags.is_empty(),
+        "remy-lint found {} diagnostic(s) in the workspace:\n{}",
+        diags.len(),
+        remy_lint::render_human(&diags)
+    );
+}
+
+#[test]
+fn every_allow_directive_in_tree_is_justified() {
+    // `scan_workspace` already folds bare allows into the diagnostic
+    // stream (rule `lint-allow`), but assert the property by name so a
+    // regression in that folding is caught even if the tree is otherwise
+    // clean.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let diags = remy_lint::scan_workspace(&root).expect("workspace scan succeeds");
+    let bare: Vec<_> = diags.iter().filter(|d| d.rule == "lint-allow").collect();
+    assert!(
+        bare.is_empty(),
+        "unjustified lint:allow directives: {bare:#?}"
+    );
+}
