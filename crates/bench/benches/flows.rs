@@ -1,0 +1,81 @@
+//! Criterion benchmarks of massive-flow churn: Poisson arrivals of
+//! bounded-Pareto transfers through the struct-of-arrays flow table, at
+//! populations of 1k, 10k, and 100k flows per run. Besides the per-iter
+//! wall time the gate tracks, each bench prints sim-seconds/sec — the
+//! figure that bounds how much churn evaluation a training run can afford.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netsim::prelude::*;
+use std::hint::black_box;
+
+/// λ = 10 000 flows/s; the duration picks the population size.
+const ARRIVALS_PER_SEC: f64 = 10_000.0;
+
+fn churn_scenario(duration: Ns, seed: u64) -> Scenario {
+    Scenario::dumbbell(
+        LinkSpec::constant(500.0),
+        QueueSpec::DropTail { capacity: 1000 },
+        2,
+        Ns::from_millis(50),
+        TrafficSpec::saturating(),
+        duration,
+        seed,
+    )
+    .with_churn(ChurnSpec {
+        arrivals_per_sec: ARRIVALS_PER_SEC,
+        size: OnSpec::BoundedPareto {
+            xm: 2000.0,
+            alpha: 1.2,
+            cap_bytes: 10_000.0,
+        },
+        rtt: Ns::from_millis(20),
+    })
+}
+
+fn run_churn(s: &Scenario) -> u64 {
+    let ccs: Vec<Box<dyn CongestionControl>> = (0..s.n())
+        .map(|_| Box::new(FixedWindow::new(50.0)) as _)
+        .collect();
+    let r = Simulator::new(s, ccs, None)
+        .with_churn_cc(Box::new(|_| Box::new(FixedWindow::new(10.0))))
+        .run();
+    let p = r.population.expect("churn run has population stats");
+    p.spawned
+}
+
+fn bench_flows(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flows");
+    g.sample_size(10);
+
+    // (name, duration, expected population at λ=10k/s)
+    let cases: [(&str, Ns, u64, usize); 3] = [
+        ("churn_1k", Ns::from_millis(100), 1_000, 10),
+        ("churn_10k", Ns::from_secs(1), 10_000, 10),
+        ("churn_100k", Ns::from_secs(10), 100_000, 3),
+    ];
+    for (name, duration, expected, samples) in cases {
+        let s = churn_scenario(duration, 7);
+        // One timed run up front: sanity-check the population and report
+        // the throughput figure the ROADMAP quotes.
+        let t0 = std::time::Instant::now();
+        let spawned = run_churn(&s);
+        let wall = t0.elapsed().as_secs_f64();
+        assert!(
+            spawned as f64 > 0.8 * expected as f64,
+            "{name}: expected ~{expected} arrivals, got {spawned}"
+        );
+        println!(
+            "flows/{name}: {spawned} flows, {:.2} sim-seconds/sec",
+            duration.as_secs_f64() / wall
+        );
+        g.sample_size(samples);
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(run_churn(&s)));
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_flows);
+criterion_main!(benches);

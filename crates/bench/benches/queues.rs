@@ -3,7 +3,7 @@
 //! arena exactly as the simulator drives them.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use netsim::packet::{Packet, PacketArena};
+use netsim::packet::{FlowId, Packet, PacketArena};
 use netsim::queue::{Codel, DropTail, Queue, SfqCodel};
 use netsim::time::Ns;
 use std::hint::black_box;
@@ -13,7 +13,7 @@ fn churn<Q: Queue>(q: &mut Q, arena: &mut PacketArena, packets: usize) -> u64 {
     let mut out = 0u64;
     for i in 0..packets {
         t += Ns::from_micros(50);
-        let id = arena.alloc(Packet::data(i % 8, i as u64, 1500, t));
+        let id = arena.alloc(Packet::data(FlowId::first(i % 8), i as u64, 1500, t));
         q.enqueue(t, id, arena);
         if i % 2 == 1 {
             if let Some(id) = q.dequeue(t + Ns::from_micros(25), arena) {

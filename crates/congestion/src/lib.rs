@@ -156,6 +156,7 @@ mod closed_loop_tests {
             seed,
             record_deliveries: false,
             topology: None,
+            churn: None,
         };
         let ccs = (0..n).map(|_| scheme.build_cc()).collect();
         let router = scheme.router(&link, 1500);

@@ -231,6 +231,7 @@ impl RouterHook for XcpRouter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use netsim::packet::FlowId;
 
     fn ack_with_feedback(fb: f64) -> AckInfo {
         AckInfo {
@@ -275,7 +276,7 @@ mod tests {
         // interval receive positive feedback.
         let mut r = XcpRouter::new(15.0, 1500);
         // First interval: one probe packet so the accumulators are sane.
-        let mut p = Packet::data(0, 0, 1500, Ns::ZERO);
+        let mut p = Packet::data(FlowId::first(0), 0, 1500, Ns::ZERO);
         p.xcp = Some(XcpHeader {
             cwnd_pkts: 2.0,
             rtt: Ns::from_millis(100),
@@ -285,7 +286,7 @@ mod tests {
         r.on_tick(Ns::from_millis(100), 0);
         assert!(r.last_phi() > 0.0, "idle link yields positive feedback");
         // Second interval: a packet should receive positive feedback.
-        let mut p2 = Packet::data(0, 1, 1500, Ns::ZERO);
+        let mut p2 = Packet::data(FlowId::first(0), 1, 1500, Ns::ZERO);
         p2.xcp = Some(XcpHeader {
             cwnd_pkts: 2.0,
             rtt: Ns::from_millis(100),
@@ -301,7 +302,7 @@ mod tests {
         // Saturate: 1250 pkt/s × 0.1 s interval = 125 packets arriving,
         // with a persistent queue of 200 packets.
         for i in 0..125 {
-            let mut p = Packet::data(0, i, 1500, Ns::ZERO);
+            let mut p = Packet::data(FlowId::first(0), i, 1500, Ns::ZERO);
             p.xcp = Some(XcpHeader {
                 cwnd_pkts: 100.0,
                 rtt: Ns::from_millis(100),
@@ -316,7 +317,7 @@ mod tests {
             r.last_phi()
         );
         // Next packet gets net-negative feedback.
-        let mut p = Packet::data(0, 999, 1500, Ns::ZERO);
+        let mut p = Packet::data(FlowId::first(0), 999, 1500, Ns::ZERO);
         p.xcp = Some(XcpHeader {
             cwnd_pkts: 100.0,
             rtt: Ns::from_millis(100),
@@ -329,7 +330,7 @@ mod tests {
     #[test]
     fn demand_caps_positive_feedback() {
         let mut r = XcpRouter::new(100.0, 1500);
-        let mut probe = Packet::data(0, 0, 1500, Ns::ZERO);
+        let mut probe = Packet::data(FlowId::first(0), 0, 1500, Ns::ZERO);
         probe.xcp = Some(XcpHeader {
             cwnd_pkts: 1.0,
             rtt: Ns::from_millis(100),
@@ -337,7 +338,7 @@ mod tests {
         });
         r.on_arrival(Ns::ZERO, &mut probe, 0);
         r.on_tick(Ns::from_millis(100), 0);
-        let mut p = Packet::data(0, 1, 1500, Ns::ZERO);
+        let mut p = Packet::data(FlowId::first(0), 1, 1500, Ns::ZERO);
         p.xcp = Some(XcpHeader {
             cwnd_pkts: 1.0,
             rtt: Ns::from_millis(100),
@@ -350,7 +351,7 @@ mod tests {
     #[test]
     fn non_xcp_packets_pass_untouched() {
         let mut r = XcpRouter::new(15.0, 1500);
-        let mut p = Packet::data(0, 0, 1500, Ns::ZERO);
+        let mut p = Packet::data(FlowId::first(0), 0, 1500, Ns::ZERO);
         r.on_arrival(Ns::ZERO, &mut p, 5);
         assert!(p.xcp.is_none());
     }

@@ -123,6 +123,7 @@ impl NetworkModel {
             seed,
             record_deliveries: false,
             topology: None,
+            churn: None,
         }
     }
 

@@ -303,16 +303,14 @@ impl CongestionControl for FixedWindow {
 /// Factory for congestion-control instances: one simulation needs one
 /// instance per flow, and experiment harnesses need to construct many
 /// simulations, so schemes are passed around as factories.
-pub type CcFactory = Box<dyn Fn(FlowId) -> Box<dyn CongestionControl> + Send + Sync>;
-
-use crate::packet::FlowId;
+pub type CcFactory = Box<dyn Fn(usize) -> Box<dyn CongestionControl> + Send + Sync>;
 
 /// Convenience: build a [`CcFactory`] from a closure returning a concrete
 /// scheme.
 pub fn factory<C, F>(f: F) -> CcFactory
 where
     C: CongestionControl + 'static,
-    F: Fn(FlowId) -> C + Send + Sync + 'static,
+    F: Fn(usize) -> C + Send + Sync + 'static,
 {
     Box::new(move |id| Box::new(f(id)))
 }

@@ -47,6 +47,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod cc;
+pub mod flow;
 pub mod json;
 pub mod link;
 pub mod metrics;
@@ -66,13 +67,14 @@ pub mod transport;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use crate::cc::{factory, AckInfo, CcFactory, CongestionControl, FixedWindow, LossEvent};
+    pub use crate::flow::{FlowCold, FlowHot, FlowId, FlowTable};
     pub use crate::link::{DeliverySchedule, LinkSpec};
-    pub use crate::metrics::{FlowSummary, SimResults};
-    pub use crate::packet::{Ack, FlowId, Packet, PacketArena, PacketId};
+    pub use crate::metrics::{FlowSummary, PopulationSummary, SimResults};
+    pub use crate::packet::{Ack, Packet, PacketArena, PacketId};
     pub use crate::queue::QueueSpec;
     pub use crate::rng::SimRng;
     pub use crate::router::{NoopRouter, RouterHook};
-    pub use crate::scenario::{Scenario, SenderConfig};
+    pub use crate::scenario::{ChurnSpec, Scenario, SenderConfig};
     pub use crate::sched::SchedulerKind;
     pub use crate::sim::{run_scenario, Simulator};
     pub use crate::time::Ns;

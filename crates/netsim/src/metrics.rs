@@ -67,12 +67,30 @@ impl FlowMetrics {
 
     /// Credit delivered bytes: to the open interval if one exists,
     /// otherwise to the most recent one (late deliveries while draining).
+    ///
+    /// The sender only transmits while on, so at least one interval must
+    /// exist by the time anything is delivered; crediting into the void
+    /// would silently discard the bytes from throughput accounting.
     pub fn credit_bytes(&mut self, bytes: u64) {
+        debug_assert!(
+            !self.intervals.is_empty(),
+            "bytes delivered before the first on-interval"
+        );
         if let Some(i) = self.intervals.last_mut() {
             i.bytes += bytes;
         }
-        // Bytes delivered before the first on-interval cannot happen: the
-        // sender only transmits while on.
+    }
+
+    /// Reset for a new flow lifetime in the same slot (churn respawn),
+    /// keeping the interval vector's allocation.
+    pub fn reset(&mut self) {
+        self.intervals.clear();
+        self.packets_delivered = 0;
+        self.duplicate_deliveries = 0;
+        self.queue_delay_sum_s = 0.0;
+        self.queue_delay_count = 0;
+        self.rtt_sum_s = 0.0;
+        self.rtt_count = 0;
     }
 
     /// Record one packet's bottleneck queueing delay.
@@ -180,6 +198,30 @@ pub struct DeliveryRecord {
     pub seq: u64,
 }
 
+/// Population-level statistics for dynamically arriving (churn) flows.
+///
+/// Individual churn flows do not get a [`FlowSummary`] each — at 100k
+/// flows per run that would be the dominant allocation — they stream into
+/// fixed-size aggregates ([`crate::stats::P2Quantile`] markers inside
+/// [`crate::stats::StreamingSummary`], plus one bounded reservoir of
+/// flow-completion times for exact-quantile reporting).
+#[derive(Clone, Debug)]
+pub struct PopulationSummary {
+    /// Flows that arrived during the run.
+    pub spawned: u64,
+    /// Flows that delivered every byte and tore down.
+    pub completed: u64,
+    /// Churn flows still live when the horizon hit.
+    pub live_at_end: u64,
+    /// Flow-completion times of completed flows, seconds.
+    pub fct_secs: crate::stats::StreamingSummary,
+    /// Delivered bytes per completed flow.
+    pub flow_bytes: crate::stats::StreamingSummary,
+    /// Uniform subsample of completion times (seconds) for exact
+    /// quantiles and distribution plots.
+    pub fct_sample_secs: Vec<f64>,
+}
+
 /// Complete results of one simulation run.
 #[derive(Clone, Debug, Default)]
 pub struct SimResults {
@@ -200,8 +242,15 @@ pub struct SimResults {
     /// Simulated duration.
     pub duration: Ns,
     /// Optional per-delivery log (enabled via
-    /// [`crate::scenario::Scenario::record_deliveries`]).
+    /// [`crate::scenario::Scenario::record_deliveries`]). Capped by the
+    /// engine; see `deliveries_dropped`.
     pub deliveries: Vec<DeliveryRecord>,
+    /// Deliveries *not* logged because the log hit its cap. Zero unless
+    /// `record_deliveries` was on and the run outgrew the limit.
+    pub deliveries_dropped: u64,
+    /// Aggregate statistics over dynamically arriving flows; `None` for
+    /// scenarios without churn.
+    pub population: Option<PopulationSummary>,
 }
 
 impl SimResults {
@@ -281,6 +330,51 @@ mod tests {
         m.end_interval(Ns::from_secs(1));
         m.credit_bytes(1000); // drain delivery after off
         assert_eq!(m.bytes(), 1000);
+    }
+
+    /// Regression: a one-shot flow whose last packets land *after* its
+    /// interval closed (late deliveries while draining) must still have
+    /// every byte attributed to the closed interval, not dropped.
+    #[test]
+    fn draining_deliveries_after_close_are_not_discarded() {
+        let mut m = FlowMetrics::default();
+        m.start_interval(Ns::ZERO);
+        m.credit_bytes(3000);
+        m.end_interval(Ns::from_secs(1));
+        m.credit_bytes(1500);
+        m.credit_bytes(1500);
+        let s = m.summarize(Ns::from_secs(10));
+        assert_eq!(s.bytes, 6000, "late drain bytes kept");
+        assert_eq!(s.n_intervals, 1);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "before the first on-interval")]
+    fn crediting_with_no_interval_is_a_bug() {
+        let mut m = FlowMetrics::default();
+        m.credit_bytes(1000);
+    }
+
+    #[test]
+    fn reset_clears_everything_for_slot_reuse() {
+        let mut m = FlowMetrics::default();
+        m.start_interval(Ns::ZERO);
+        m.credit_bytes(5000);
+        m.packets_delivered = 4;
+        m.duplicate_deliveries = 1;
+        m.record_queue_delay(Ns::from_millis(3));
+        m.record_rtt(Ns::from_millis(80));
+        m.end_interval(Ns::SECOND);
+        m.reset();
+        let s = m.summarize(Ns::from_secs(10));
+        assert!(!s.was_active());
+        assert_eq!(
+            (s.bytes, s.packets_delivered, s.duplicate_deliveries),
+            (0, 0, 0)
+        );
+        assert_eq!((s.mean_queue_delay_ms, s.mean_rtt_ms), (0.0, 0.0));
+        assert_eq!(m.intervals().len(), 0);
     }
 
     #[test]

@@ -15,8 +15,7 @@
 
 use crate::time::Ns;
 
-/// Identifies one sender/receiver pair within a simulation.
-pub type FlowId = usize;
+pub use crate::flow::FlowId;
 
 /// The fields an XCP-capable sender stamps into each packet and an XCP
 /// router rewrites in flight (§2, Katabi et al. 2002).
@@ -315,8 +314,8 @@ mod tests {
 
     #[test]
     fn data_constructor_defaults() {
-        let p = Packet::data(3, 17, 1500, Ns::from_millis(5));
-        assert_eq!(p.flow, 3);
+        let p = Packet::data(FlowId::first(3), 17, 1500, Ns::from_millis(5));
+        assert_eq!(p.flow, FlowId::first(3));
         assert_eq!(p.seq, 17);
         assert_eq!(p.size, 1500);
         assert_eq!(p.sent_at, Ns::from_millis(5));
@@ -330,7 +329,7 @@ mod tests {
     #[test]
     fn ack_packet_wraps_the_acknowledgment() {
         let ack = Ack {
-            flow: 2,
+            flow: FlowId::first(2),
             cum_ack: 9,
             seq: 8,
             echo_ts: Ns::from_millis(1),
@@ -340,7 +339,7 @@ mod tests {
             new_data: true,
         };
         let p = Packet::carrying_ack(ack, Ns::from_millis(3));
-        assert_eq!(p.flow, 2);
+        assert_eq!(p.flow, FlowId::first(2));
         assert_eq!(p.seq, 8);
         assert_eq!(p.size, ACK_BYTES);
         assert_eq!(p.ack.as_ref().map(|a| a.cum_ack), Some(9));
@@ -349,17 +348,17 @@ mod tests {
     #[test]
     fn arena_alloc_free_reuses_slots_with_new_generations() {
         let mut a = PacketArena::new();
-        let id0 = a.alloc(Packet::data(0, 0, 1500, Ns::ZERO));
-        let id1 = a.alloc(Packet::data(1, 1, 1500, Ns::ZERO));
+        let id0 = a.alloc(Packet::data(FlowId::first(0), 0, 1500, Ns::ZERO));
+        let id1 = a.alloc(Packet::data(FlowId::first(1), 1, 1500, Ns::ZERO));
         assert_eq!(a.live(), 2);
         assert_eq!(a[id0].seq, 0);
-        assert_eq!(a[id1].flow, 1);
+        assert_eq!(a[id1].flow, FlowId::first(1));
         a.free(id1);
         assert_eq!(a.live(), 1);
         assert!(!a.contains(id1));
         // The freed slot is reused, but under a fresh generation: the old
         // handle stays dead.
-        let id2 = a.alloc(Packet::data(2, 7, 1500, Ns::ZERO));
+        let id2 = a.alloc(Packet::data(FlowId::first(2), 7, 1500, Ns::ZERO));
         assert_eq!(id2.index(), id1.index(), "LIFO slot reuse");
         assert_ne!(id2.generation(), id1.generation());
         assert!(a.contains(id2) && !a.contains(id1));
@@ -371,9 +370,9 @@ mod tests {
     #[should_panic(expected = "stale PacketId")]
     fn arena_rejects_stale_reads() {
         let mut a = PacketArena::new();
-        let id = a.alloc(Packet::data(0, 0, 1500, Ns::ZERO));
+        let id = a.alloc(Packet::data(FlowId::first(0), 0, 1500, Ns::ZERO));
         a.free(id);
-        let _ = a.alloc(Packet::data(1, 1, 1500, Ns::ZERO));
+        let _ = a.alloc(Packet::data(FlowId::first(1), 1, 1500, Ns::ZERO));
         let _ = &a[id]; // the recycled slot must not alias through the old id
     }
 
@@ -392,7 +391,7 @@ mod tests {
                 .wrapping_mul(6364136223846793005)
                 .wrapping_add(1442695040888963407);
             if live.is_empty() || !rng.is_multiple_of(3) {
-                let id = a.alloc(Packet::data(0, round, 1500, Ns::ZERO));
+                let id = a.alloc(Packet::data(FlowId::first(0), round, 1500, Ns::ZERO));
                 assert_eq!(id.generation() % 2, 1, "live handles have odd generations");
                 live.push(id);
             } else {
@@ -415,7 +414,7 @@ mod tests {
     #[should_panic(expected = "double free")]
     fn arena_rejects_double_free() {
         let mut a = PacketArena::new();
-        let id = a.alloc(Packet::data(0, 0, 1500, Ns::ZERO));
+        let id = a.alloc(Packet::data(FlowId::first(0), 0, 1500, Ns::ZERO));
         a.free(id);
         a.free(id);
     }

@@ -545,7 +545,7 @@ impl SfqCodel {
 impl Queue for SfqCodel {
     #[inline]
     fn enqueue(&mut self, now: Ns, id: PacketId, arena: &mut PacketArena) -> Enqueue {
-        let idx = self.bucket_index(arena[id].flow);
+        let idx = self.bucket_index(arena[id].flow.index() as usize);
         if self.len >= self.capacity {
             // Make room by shedding from the most backlogged flow; the
             // arriving packet is then admitted. If the longest bucket is
@@ -1067,10 +1067,10 @@ impl QueueSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::Packet;
+    use crate::packet::{FlowId, Packet};
 
     fn pkt(flow: usize, seq: u64) -> Packet {
-        Packet::data(flow, seq, 1500, Ns::ZERO)
+        Packet::data(FlowId::first(flow), seq, 1500, Ns::ZERO)
     }
 
     /// Alloc-and-enqueue helper for the arena-handle API.
@@ -1238,7 +1238,7 @@ mod tests {
         let mut flow1_seen = 0;
         for _ in 0..6 {
             let p = pull(&mut q, &mut a, Ns::from_micros(10)).unwrap();
-            if p.flow == 1 {
+            if p.flow.index() == 1 {
                 flow1_seen += 1;
             }
         }
@@ -1258,7 +1258,7 @@ mod tests {
         assert_eq!(q.drops(), 1);
         let mut flows: Vec<usize> = Vec::new();
         while let Some(p) = pull(&mut q, &mut a, Ns::from_micros(1)) {
-            flows.push(p.flow);
+            flows.push(p.flow.index() as usize);
         }
         assert!(flows.contains(&1), "new flow's packet survived");
         assert_eq!(flows.iter().filter(|&&f| f == 0).count(), 9);
@@ -1571,7 +1571,7 @@ mod tests {
         push(&mut q, &mut a, Ns::ZERO, pkt(flow, 0));
         q.cursor = 65; // beyond the occupied bucket, in the second word
         let p = pull(&mut q, &mut a, Ns(1)).expect("wrapped scan finds it");
-        assert_eq!(p.flow, flow);
+        assert_eq!(p.flow.index() as usize, flow);
         assert!(pull(&mut q, &mut a, Ns(2)).is_none());
     }
 

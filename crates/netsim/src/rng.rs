@@ -144,6 +144,36 @@ impl SimRng {
         let u2 = self.f64();
         (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
     }
+
+    /// Poisson-distributed count with the given mean (Knuth's counting
+    /// method: multiply uniforms until the running product drops below
+    /// `e^-mean`). Exact and deterministic; cost is O(mean) draws, fine
+    /// for the small per-interval means churn scheduling uses.
+    #[inline]
+    pub fn poisson(&mut self, mean: f64) -> u64 {
+        debug_assert!((0.0..=700.0).contains(&mean), "e^-mean must not underflow");
+        let l = (-mean).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= self.f64();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    }
+
+    /// Bounded-Pareto draw on `[xm, cap)` (inverse-CDF). Heavy-tailed like
+    /// [`SimRng::pareto`] but hard-truncated at `cap`, so churn workloads
+    /// get finite-mean flow sizes without per-sample rejection or clamping
+    /// mass piling up at the cap.
+    #[inline]
+    pub fn bounded_pareto(&mut self, xm: f64, alpha: f64, cap: f64) -> f64 {
+        debug_assert!(xm > 0.0 && alpha > 0.0 && cap > xm);
+        let ratio = (xm / cap).powf(alpha);
+        xm / (1.0 - self.f64() * (1.0 - ratio)).powf(1.0 / alpha)
+    }
 }
 
 #[cfg(test)]
@@ -327,6 +357,104 @@ mod tests {
         let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var - 1.0).abs() < 0.03, "variance {var}");
+    }
+
+    #[test]
+    fn golden_poisson_sequence_is_pinned() {
+        // Churn workloads must stay byte-reproducible across refactors:
+        // any change to the sampling algorithm (or to the draws it makes
+        // from the underlying stream) shows up here before it silently
+        // re-randomizes every published experiment.
+        let mut rng = SimRng::new(2013);
+        let got: Vec<u64> = (0..8).map(|_| rng.poisson(4.0)).collect();
+        assert_eq!(got, vec![3, 4, 5, 8, 2, 5, 6, 3]);
+    }
+
+    #[test]
+    fn golden_bounded_pareto_sequence_is_pinned() {
+        // Bit-exact (to_bits) so even a last-ulp reordering of the
+        // arithmetic is caught.
+        let mut rng = SimRng::new(2013);
+        let got: Vec<u64> = (0..8)
+            .map(|_| rng.bounded_pareto(4500.0, 1.2, 1_500_000.0).to_bits())
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                4663075734545062712,
+                4662108998785531930,
+                4669823096803161369,
+                4667403658916744987,
+                4663579354317236037,
+                4664364161710099148,
+                4664576641482345108,
+                4667865902534004907,
+            ]
+        );
+    }
+
+    #[test]
+    fn golden_exponential_sequence_is_pinned() {
+        // Poisson *arrivals* are scheduled via exponential inter-arrival
+        // gaps; pin that sequence too (mean 0.0005 s = 2000 flows/s).
+        let mut rng = SimRng::new(2013);
+        let got: Vec<u64> = (0..4).map(|_| rng.exponential(0.0005).to_bits()).collect();
+        assert_eq!(
+            got,
+            vec![
+                4549674260933105591,
+                4542662281040816230,
+                4560047817983094961,
+                4558212661579810341,
+            ]
+        );
+    }
+
+    #[test]
+    fn poisson_mean_and_zero() {
+        let mut rng = SimRng::new(31);
+        let n = 100_000;
+        let sum: u64 = (0..n).map(|_| rng.poisson(4.0)).sum();
+        let est = sum as f64 / n as f64;
+        assert!((est - 4.0).abs() < 0.05, "sample mean {est} too far from 4");
+        // Degenerate mean: always zero, still consumes exactly one draw.
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        assert_eq!(a.poisson(0.0), 0);
+        let _ = b.f64();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn bounded_pareto_respects_both_bounds() {
+        let mut rng = SimRng::new(37);
+        let (xm, alpha, cap) = (147.0, 0.5, 10_000.0);
+        let mut saw_tail = false;
+        for _ in 0..100_000 {
+            let x = rng.bounded_pareto(xm, alpha, cap);
+            assert!(x >= xm && x < cap, "sample {x} out of [{xm}, {cap})");
+            saw_tail |= x > cap / 2.0;
+        }
+        assert!(saw_tail, "truncated tail mass should still be reachable");
+    }
+
+    #[test]
+    fn bounded_pareto_median_matches_closed_form() {
+        // Median solves F(x) = 1/2 for the truncated CDF:
+        // x = xm / (1 - 0.5 (1 - (xm/cap)^a))^(1/a).
+        let (xm, alpha, cap) = (4500.0, 1.2, 1_500_000.0_f64);
+        let ratio = (xm / cap).powf(alpha);
+        let expect = xm / (1.0 - 0.5 * (1.0 - ratio)).powf(1.0 / alpha);
+        let mut rng = SimRng::new(41);
+        let mut samples: Vec<f64> = (0..100_001)
+            .map(|_| rng.bounded_pareto(xm, alpha, cap))
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        assert!(
+            (median - expect).abs() / expect < 0.02,
+            "median {median} should be near {expect}"
+        );
     }
 
     #[test]

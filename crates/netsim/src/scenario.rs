@@ -11,7 +11,7 @@ use crate::link::LinkSpec;
 use crate::queue::QueueSpec;
 use crate::time::Ns;
 use crate::topology::Topology;
-use crate::traffic::TrafficSpec;
+use crate::traffic::{OnSpec, TrafficSpec};
 
 /// Configuration of one sender/receiver pair.
 #[derive(Clone, Debug, PartialEq)]
@@ -37,6 +37,66 @@ impl SenderConfig {
             rtt: json::ns_from(v.field("rtt_ns")?)?,
             traffic: TrafficSpec::from_json_value(v.field("traffic")?)?,
         })
+    }
+}
+
+/// A dynamic flow-churn process: flows arrive by a Poisson process, each
+/// transfers one sampled flow length through the bottleneck, and departs.
+///
+/// Churn rides alongside the scenario's persistent `senders` — the paper's
+/// Fig. 2 world plus a population of short web-style transfers contending
+/// for the same queue. Requires the legacy dumbbell (no `topology`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChurnSpec {
+    /// Poisson arrival rate, flows per second (λ).
+    pub arrivals_per_sec: f64,
+    /// Flow-length distribution; must be byte-based
+    /// ([`OnSpec::is_byte_based`]) — an arriving flow is one transfer.
+    pub size: OnSpec,
+    /// Two-way propagation delay of every churn flow.
+    pub rtt: Ns,
+}
+
+impl ChurnSpec {
+    /// Serialize to a JSON value.
+    pub fn to_json_value(&self) -> Value {
+        Value::obj(vec![
+            ("arrivals_per_sec", Value::num(self.arrivals_per_sec)),
+            ("size", self.size.to_json_value()),
+            ("rtt_ns", json::ns_value(self.rtt)),
+        ])
+    }
+
+    /// Deserialize a value written by [`ChurnSpec::to_json_value`].
+    pub fn from_json_value(v: &Value) -> Result<ChurnSpec, String> {
+        let spec = ChurnSpec {
+            arrivals_per_sec: v.field("arrivals_per_sec")?.as_f64()?,
+            size: OnSpec::from_json_value(v.field("size")?)?,
+            rtt: json::ns_from(v.field("rtt_ns")?)?,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Check the spec is runnable: positive arrival rate and RTT, and a
+    /// byte-based flow-length distribution.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.arrivals_per_sec > 0.0 && self.arrivals_per_sec.is_finite()) {
+            return Err(format!(
+                "churn arrival rate must be positive and finite, got {}",
+                self.arrivals_per_sec
+            ));
+        }
+        if !self.size.is_byte_based() {
+            return Err(
+                "churn flow sizes must be byte-based (an arriving flow is one transfer)"
+                    .to_string(),
+            );
+        }
+        if self.rtt.is_zero() {
+            return Err("churn flows need a nonzero RTT".to_string());
+        }
+        Ok(())
     }
 }
 
@@ -66,6 +126,10 @@ pub struct Scenario {
     /// `link`/`queue` mirror hop 0 and the engine routes every flow along
     /// its [`crate::topology::FlowPath`].
     pub topology: Option<Topology>,
+    /// Dynamic flow churn riding alongside the persistent senders. `None`
+    /// — the default, and the paper's world — runs only the configured
+    /// senders; `Some` adds Poisson arrivals of one-shot transfers.
+    pub churn: Option<ChurnSpec>,
 }
 
 impl Scenario {
@@ -93,6 +157,7 @@ impl Scenario {
             seed,
             record_deliveries: false,
             topology: None,
+            churn: None,
         }
     }
 
@@ -128,6 +193,19 @@ impl Scenario {
         self
     }
 
+    /// Builder-style: add dynamic flow churn. Panics on an invalid spec or
+    /// if a multi-hop topology is attached (churn runs on the legacy
+    /// dumbbell only).
+    pub fn with_churn(mut self, churn: ChurnSpec) -> Scenario {
+        churn.validate().expect("valid churn spec");
+        assert!(
+            self.topology.is_none(),
+            "churn is not supported on a topology scenario"
+        );
+        self.churn = Some(churn);
+        self
+    }
+
     /// Serialize to a JSON value. Everything that affects the simulation —
     /// including the seed and any trace link's full delivery schedule — is
     /// captured, so a serialized scenario pins a reproducible run.
@@ -154,6 +232,11 @@ impl Scenario {
         if let Some(t) = &self.topology {
             fields.push(("topology", t.to_json_value()));
         }
+        // Same omission rule: churn-free scenarios stay byte-identical to
+        // documents written before the field existed.
+        if let Some(c) = &self.churn {
+            fields.push(("churn", c.to_json_value()));
+        }
         Value::obj(fields)
     }
 
@@ -176,6 +259,13 @@ impl Scenario {
                 Some(topo)
             }
         };
+        let churn = match v.get("churn") {
+            None | Some(Value::Null) => None,
+            Some(c) => Some(ChurnSpec::from_json_value(c)?),
+        };
+        if churn.is_some() && topology.is_some() {
+            return Err("churn is not supported on a topology scenario".to_string());
+        }
         Ok(Scenario {
             link: LinkSpec::from_json_value(v.field("link")?)?,
             queue: QueueSpec::from_json_value(v.field("queue")?)?,
@@ -185,6 +275,7 @@ impl Scenario {
             seed: v.field("seed")?.as_u64()?,
             record_deliveries: v.field("record_deliveries")?.as_bool()?,
             topology,
+            churn,
         })
     }
 
@@ -402,6 +493,88 @@ mod tests {
             fields.push(("topology".to_string(), wrong.to_json_value()));
         }
         assert!(Scenario::from_json_value(&v).is_err());
+    }
+
+    #[test]
+    fn churn_scenarios_round_trip_and_validate() {
+        let base = Scenario::dumbbell(
+            LinkSpec::constant(100.0),
+            QueueSpec::DropTail { capacity: 1000 },
+            2,
+            Ns::from_millis(100),
+            TrafficSpec::saturating(),
+            Ns::from_secs(10),
+            5,
+        );
+        // Churn-free scenarios serialize with no churn key at all, so
+        // pre-churn documents (and goldens) stay byte-identical.
+        assert!(!base.to_json().contains("churn"));
+        let churn = ChurnSpec {
+            arrivals_per_sec: 2000.0,
+            size: OnSpec::BoundedPareto {
+                xm: 4500.0,
+                alpha: 1.2,
+                cap_bytes: 1_500_000.0,
+            },
+            rtt: Ns::from_millis(20),
+        };
+        let s = base.clone().with_churn(churn.clone());
+        let text = s.to_json();
+        assert!(text.contains("\"churn\""));
+        let back = Scenario::from_json(&text).expect("parse");
+        assert_eq!(back.to_json(), text, "round trip is identity");
+        assert_eq!(back.churn, Some(churn.clone()));
+        // Time-based churn sizes are rejected: an arriving flow is one
+        // transfer, not a timed on-period.
+        let bad = ChurnSpec {
+            size: OnSpec::ByTime { mean: Ns::SECOND },
+            ..churn.clone()
+        };
+        assert!(bad.validate().is_err());
+        assert!(ChurnSpec {
+            arrivals_per_sec: 0.0,
+            ..churn.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(ChurnSpec {
+            rtt: Ns::ZERO,
+            ..churn.clone()
+        }
+        .validate()
+        .is_err());
+        // Churn + topology is rejected at parse time.
+        let mut v = crate::json::parse(&text).unwrap();
+        if let Value::Obj(fields) = &mut v {
+            let topo = Topology::single_bottleneck(
+                LinkSpec::constant(100.0),
+                QueueSpec::DropTail { capacity: 1000 },
+                2,
+            );
+            fields.push(("topology".to_string(), topo.to_json_value()));
+        }
+        assert!(Scenario::from_json_value(&v).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "byte-based")]
+    fn with_churn_rejects_time_based_sizes() {
+        let base = Scenario::dumbbell(
+            LinkSpec::constant(100.0),
+            QueueSpec::DropTail { capacity: 1000 },
+            1,
+            Ns::from_millis(100),
+            TrafficSpec::saturating(),
+            Ns::from_secs(10),
+            5,
+        );
+        let _ = base.with_churn(ChurnSpec {
+            arrivals_per_sec: 10.0,
+            size: OnSpec::ByTimeFixed {
+                duration: Ns::SECOND,
+            },
+            rtt: Ns::from_millis(20),
+        });
     }
 
     #[test]

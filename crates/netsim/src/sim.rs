@@ -35,26 +35,29 @@
 //! scenario seed, and simultaneous events tie-break on insertion order.
 
 use crate::cc::CongestionControl;
+use crate::flow::{FlowCold, FlowHot, FlowId, FlowTable, Receiver};
 use crate::link::LinkState;
-use crate::metrics::{DeliveryRecord, FlowMetrics, SimResults};
+use crate::metrics::{DeliveryRecord, FlowMetrics, PopulationSummary, SimResults};
 use crate::packet::{Ack, Packet, PacketArena, PacketId, ACK_BYTES};
 use crate::queue::{Enqueue, Queue};
 use crate::rng::SimRng;
 use crate::router::RouterHook;
-use crate::scenario::Scenario;
+use crate::scenario::{ChurnSpec, Scenario};
 use crate::sched::{EventQueue, SchedulerKind};
+use crate::stats::{Reservoir, StreamingSummary};
 use crate::time::{service_time, Ns};
 use crate::traffic::TrafficProcess;
 use crate::transport::{SendPoll, Transport};
-use std::collections::BTreeSet;
 
 /// Events the engine processes. Packet-carrying events hold arena handles,
-/// not packets, so every variant stays pointer-sized.
+/// not packets, and flow-timer events hold generational [`FlowId`]s, so
+/// every variant stays pointer-sized and a timer that outlives its flow
+/// resolves to "stale" instead of firing on the slot's next occupant.
 enum Ev {
     /// A traffic-process timer (off→on or timed on→off) for a flow.
-    Toggle(usize),
+    Toggle(FlowId),
     /// A pacing timer expired for a flow.
-    Pacer(usize),
+    Pacer(FlowId),
     /// A hop's constant-rate link finished serving a packet.
     LinkReady(usize),
     /// A trace-driven delivery opportunity at a hop.
@@ -70,54 +73,43 @@ enum Ev {
     /// tracked event per flow; a fire before the live deadline re-arms
     /// itself instead of the engine scheduling one event per RTO
     /// generation (which used to keep hundreds of dead timers queued).
-    Rto(usize),
+    Rto(FlowId),
     /// Periodic router control computation (XCP) at a hop.
     RouterTick(usize),
+    /// The next Poisson flow arrival (churn scenarios only).
+    Spawn,
 }
 
-/// Receiver-side reassembly state for one flow.
-#[derive(Default)]
-struct Receiver {
-    expected: u64,
-    out_of_order: BTreeSet<u64>,
-}
+/// Capacity of the flow-completion-time reservoir kept for churn runs:
+/// enough for stable tail quantiles, fixed regardless of population size.
+const FCT_RESERVOIR_CAP: usize = 4096;
 
-impl Receiver {
-    /// Process a delivery; returns `true` if the packet carried new data.
-    fn on_packet(&mut self, seq: u64) -> bool {
-        if seq < self.expected || self.out_of_order.contains(&seq) {
-            return false;
-        }
-        if seq == self.expected {
-            self.expected += 1;
-            while self.out_of_order.remove(&self.expected) {
-                self.expected += 1;
-            }
-        } else {
-            self.out_of_order.insert(seq);
-        }
-        true
-    }
-}
+/// Hard cap on the opt-in per-delivery log. Under 100k-flow churn an
+/// uncapped log would dominate memory; past the cap the engine counts
+/// drops ([`SimResults::deliveries_dropped`]) instead of growing.
+const DELIVERY_LOG_CAP: usize = 1 << 20;
 
-struct Flow {
-    transport: Transport,
-    traffic: TrafficProcess,
-    receiver: Receiver,
-    metrics: FlowMetrics,
-    /// Final data hop → receiver propagation.
-    fwd_delay: Ns,
-    /// Receiver → sender propagation (after the final ACK hop, if any).
-    back_delay: Ns,
-    /// Hops this flow's data packets cross, in order.
-    fwd_hops: Vec<usize>,
-    /// Hops this flow's ACKs cross; empty = pure-delay return path.
-    ack_hops: Vec<usize>,
-    /// A pacer event is already scheduled at this time (dedup guard).
-    pacer_scheduled: Option<Ns>,
-    /// Earliest pending [`Ev::Rto`] event for this flow, if any (dedup
-    /// guard for the lazy RTO timer).
-    rto_event_at: Option<Ns>,
+/// Builds a congestion controller for the `k`-th arriving churn flow
+/// (1-based arrival sequence number). See [`Simulator::with_churn_cc`].
+pub type ChurnCcFactory = Box<dyn Fn(u64) -> Box<dyn CongestionControl>>;
+
+/// Engine-side state of a churn scenario's arrival process and streaming
+/// population statistics.
+struct ChurnState {
+    spec: ChurnSpec,
+    /// Arrival gaps and flow sizes (one stream keeps the draw sequence
+    /// independent of completion order).
+    arrivals: SimRng,
+    /// Drives reservoir replacement decisions.
+    reservoir_rng: SimRng,
+    /// Builds a congestion controller for the `k`-th arriving flow when no
+    /// freed slot is available to respawn into.
+    factory: Option<ChurnCcFactory>,
+    spawned: u64,
+    completed: u64,
+    fct_secs: StreamingSummary,
+    flow_bytes: StreamingSummary,
+    fct_reservoir: Reservoir,
 }
 
 /// Runtime state of one hop: the queue feeding a link, plus an optional
@@ -168,17 +160,28 @@ impl Hop {
 
 /// The network simulator (dumbbell by default, multi-hop with a
 /// [`crate::topology::Topology`]).
+///
+/// Per-flow state lives in a struct-of-arrays [`FlowTable`]: the
+/// scenario's persistent senders occupy slots `0..n` for the whole run,
+/// and churn scenarios spawn/tear down dynamic flows in the slots above —
+/// allocation-free in steady state, since teardown recycles slots (and
+/// their cold state's heap blocks) for the next arrival.
 pub struct Simulator {
     now: Ns,
     end: Ns,
     events: EventQueue<Ev>,
     arena: PacketArena,
     hops: Vec<Hop>,
-    flows: Vec<Flow>,
+    flows: FlowTable,
+    /// Scenario senders (slots `0..n_persistent`, never torn down).
+    n_persistent: usize,
+    churn: Option<ChurnState>,
     mss: u32,
     packets_forwarded: u64,
     deliveries: Vec<DeliveryRecord>,
+    deliveries_dropped: u64,
     record_deliveries: bool,
+    delivery_log_cap: usize,
 }
 
 impl Simulator {
@@ -236,7 +239,7 @@ impl Simulator {
             t.validate(scenario.n()).expect("topology matches scenario");
         }
         let mut root = SimRng::new(scenario.seed);
-        let mut flows = Vec::with_capacity(scenario.n());
+        let mut flows = FlowTable::with_capacity(scenario.n());
         for (i, (cfg, cc)) in scenario.senders.iter().zip(ccs).enumerate() {
             let rng = root.fork(i as u64 + 1);
             let half = Ns(cfg.rtt.0 / 2);
@@ -244,19 +247,47 @@ impl Simulator {
                 None => (vec![0], Vec::new()),
                 Some(t) => (t.paths[i].fwd.clone(), t.paths[i].ack.clone()),
             };
-            flows.push(Flow {
-                transport: Transport::new(cc),
-                traffic: TrafficProcess::new(cfg.traffic.clone(), scenario.mss, rng),
-                receiver: Receiver::default(),
-                metrics: FlowMetrics::default(),
+            let hot = FlowHot {
                 fwd_delay: half,
                 back_delay: cfg.rtt - half,
-                fwd_hops,
-                ack_hops,
-                pacer_scheduled: None,
-                rto_event_at: None,
-            });
+                entry_hop: fwd_hops[0] as u32,
+                fwd_len: fwd_hops.len() as u32,
+                ack_len: ack_hops.len() as u32,
+                ..FlowHot::default()
+            };
+            flows.insert(
+                hot,
+                FlowCold {
+                    transport: Transport::new(cc),
+                    traffic: TrafficProcess::new(cfg.traffic.clone(), scenario.mss, rng),
+                    receiver: Receiver::default(),
+                    metrics: FlowMetrics::default(),
+                    fwd_hops,
+                    ack_hops,
+                },
+            );
         }
+        // Churn streams fork *after* every per-sender stream, and only
+        // when churn is configured — churn-free scenarios draw exactly
+        // the same sequences they always did.
+        let churn = scenario.churn.as_ref().map(|spec| {
+            spec.validate().expect("valid churn spec");
+            assert!(
+                scenario.topology.is_none(),
+                "churn is not supported on a topology scenario"
+            );
+            ChurnState {
+                spec: spec.clone(),
+                arrivals: root.fork(scenario.n() as u64 + 1),
+                reservoir_rng: root.fork(scenario.n() as u64 + 2),
+                factory: None,
+                spawned: 0,
+                completed: 0,
+                fct_secs: StreamingSummary::new(),
+                flow_bytes: StreamingSummary::new(),
+                fct_reservoir: Reservoir::new(FCT_RESERVOIR_CAP),
+            }
+        });
         let mut router_slots = routers;
         let hops: Vec<Hop> = match &scenario.topology {
             None => {
@@ -290,6 +321,7 @@ impl Simulator {
                     .collect()
             }
         };
+        let n_persistent = flows.live();
         let mut sim = Simulator {
             now: Ns::ZERO,
             end: scenario.duration,
@@ -297,15 +329,20 @@ impl Simulator {
             arena: PacketArena::with_capacity(256),
             hops,
             flows,
+            n_persistent,
+            churn,
             mss: scenario.mss,
             packets_forwarded: 0,
             deliveries: Vec::new(),
+            deliveries_dropped: 0,
             record_deliveries: scenario.record_deliveries,
+            delivery_log_cap: DELIVERY_LOG_CAP,
         };
         // Seed initial events: each flow's first traffic toggle…
-        for i in 0..sim.flows.len() {
-            if let Some(at) = sim.flows[i].traffic.next_wakeup() {
-                sim.schedule(at, Ev::Toggle(i));
+        for i in 0..sim.n_persistent {
+            if let Some(at) = sim.flows.cold(i).traffic.next_wakeup() {
+                let id = sim.flows.id_at(i);
+                sim.schedule(at, Ev::Toggle(id));
             }
         }
         // …the first trace slot of every trace-driven hop…
@@ -324,7 +361,28 @@ impl Simulator {
                 }
             }
         }
+        // …and, for churn scenarios, the first Poisson arrival.
+        if let Some(c) = sim.churn.as_mut() {
+            let gap = c.arrivals.exponential(1.0 / c.spec.arrivals_per_sec);
+            let at = Ns::from_secs_f64(gap);
+            sim.schedule(at, Ev::Spawn);
+        }
         sim
+    }
+
+    /// Builder-style: attach the congestion-control factory churn flows
+    /// are built with (`k` is the arrival's 1-based sequence number).
+    /// Required before running a scenario whose `churn` is `Some`; the
+    /// factory is only invoked when the live churn population outgrows
+    /// every previously freed slot — steady-state arrivals reuse the CC
+    /// box already sitting in a recycled slot.
+    pub fn with_churn_cc(mut self, factory: ChurnCcFactory) -> Simulator {
+        let churn = self
+            .churn
+            .as_mut()
+            .expect("with_churn_cc needs a scenario with churn");
+        churn.factory = Some(factory);
+        self
     }
 
     fn schedule(&mut self, at: Ns, ev: Ev) {
@@ -350,6 +408,12 @@ impl Simulator {
     }
 
     fn drive(&mut self) {
+        if let Some(c) = &self.churn {
+            assert!(
+                c.factory.is_some(),
+                "churn scenario needs Simulator::with_churn_cc"
+            );
+        }
         while let Some((at, _id, ev)) = self.events.pop() {
             if at > self.end {
                 break;
@@ -357,9 +421,12 @@ impl Simulator {
             debug_assert!(at >= self.now, "time went backwards");
             self.now = at;
             match ev {
-                Ev::Toggle(i) => self.on_toggle(i),
-                Ev::Pacer(i) => {
-                    self.flows[i].pacer_scheduled = None;
+                Ev::Toggle(f) => self.on_toggle(f),
+                Ev::Pacer(f) => {
+                    let Some(i) = self.flows.index_of(f) else {
+                        continue; // the flow tore down before its pacer fired
+                    };
+                    self.flows.hot_mut(i).pacer_scheduled = None;
                     self.try_send(i);
                 }
                 Ev::LinkReady(h) => {
@@ -370,25 +437,46 @@ impl Simulator {
                 Ev::HopArrive(p) => self.on_hop_arrive(p),
                 Ev::Deliver(p) => self.on_deliver(p),
                 Ev::AckArrive(p) => self.on_ack_arrive(p),
-                Ev::Rto(i) => self.on_rto(i),
+                Ev::Rto(f) => self.on_rto(f),
                 Ev::RouterTick(h) => self.on_router_tick(h),
+                Ev::Spawn => self.on_spawn(),
             }
         }
         self.now = self.end;
         // Close any open on-intervals at the simulation horizon.
-        for f in &mut self.flows {
-            if f.traffic.is_on() {
-                f.metrics.end_interval(self.end);
+        let end = self.end;
+        let live: Vec<usize> = self.flows.live_indices().collect();
+        for i in live {
+            let cold = self.flows.cold_mut(i);
+            if cold.traffic.is_on() {
+                cold.metrics.end_interval(end);
             }
         }
+        #[cfg(feature = "strict-invariants")]
+        assert!(
+            self.flows.audit_accounting(),
+            "strict-invariants: flow table live/free accounting diverged at the horizon"
+        );
     }
 
     fn finish(self) -> (SimResults, Vec<Box<dyn CongestionControl>>) {
         let end = self.end;
-        let mut flows = Vec::with_capacity(self.flows.len());
-        let mut ccs = Vec::with_capacity(self.flows.len());
+        let n = self.n_persistent;
         let queue_drops = self.hops.iter().map(|h| h.queue.drops()).sum();
-        for f in self.flows {
+        let live_at_end = (self.flows.live() - n) as u64;
+        let population = self.churn.map(|c| PopulationSummary {
+            spawned: c.spawned,
+            completed: c.completed,
+            live_at_end,
+            fct_secs: c.fct_secs,
+            flow_bytes: c.flow_bytes,
+            fct_sample_secs: c.fct_reservoir.samples().to_vec(),
+        });
+        // Only the persistent senders get positional per-flow summaries;
+        // churn flows streamed into `population` as they completed.
+        let mut flows = Vec::with_capacity(n);
+        let mut ccs = Vec::with_capacity(n);
+        for f in self.flows.into_cold().into_iter().take(n) {
             flows.push(f.metrics.summarize(end));
             ccs.push(f.transport.into_cc());
         }
@@ -399,6 +487,8 @@ impl Simulator {
                 packets_forwarded: self.packets_forwarded,
                 duration: end,
                 deliveries: self.deliveries,
+                deliveries_dropped: self.deliveries_dropped,
+                population,
             },
             ccs,
         )
@@ -406,44 +496,52 @@ impl Simulator {
 
     // --- event handlers -------------------------------------------------
 
-    fn on_toggle(&mut self, i: usize) {
+    fn on_toggle(&mut self, f: FlowId) {
+        let Some(i) = self.flows.index_of(f) else {
+            return; // the flow tore down before its timer fired
+        };
         let now = self.now;
-        let was_on = self.flows[i].traffic.is_on();
-        let changed = self.flows[i].traffic.on_wakeup(now);
+        let traffic = &mut self.flows.cold_mut(i).traffic;
+        let was_on = traffic.is_on();
+        let changed = traffic.on_wakeup(now);
         if changed {
-            let is_on = self.flows[i].traffic.is_on();
+            let cold = self.flows.cold_mut(i);
+            let is_on = cold.traffic.is_on();
             if is_on && !was_on {
                 // New connection begins.
-                self.flows[i].transport.start_connection(now);
-                self.flows[i].metrics.start_interval(now);
+                cold.transport.start_connection(now);
+                cold.metrics.start_interval(now);
+                self.sync_flow(i);
                 self.try_send(i);
             } else if !is_on && was_on {
                 // Timed on-period expired.
-                self.flows[i].metrics.end_interval(now);
+                cold.metrics.end_interval(now);
             }
         }
         // Chain the next timer for this flow, if any.
-        if let Some(at) = self.flows[i].traffic.next_wakeup() {
+        if let Some(at) = self.flows.cold(i).traffic.next_wakeup() {
             if at > now {
-                self.schedule(at, Ev::Toggle(i));
+                self.schedule(at, Ev::Toggle(f));
             }
         }
     }
 
     fn try_send(&mut self, i: usize) {
+        let f = self.flows.id_at(i);
         loop {
             let now = self.now;
-            let may_new = self.flows[i].traffic.may_send_new(now);
-            match self.flows[i].transport.poll_send(now, may_new) {
+            let cold = self.flows.cold_mut(i);
+            let may_new = cold.traffic.may_send_new(now);
+            match cold.transport.poll_send(now, may_new) {
                 SendPoll::Send { seq, retransmit } => {
-                    let mut p = Packet::data(i, seq, self.mss, now);
+                    let mut p = Packet::data(f, seq, self.mss, now);
                     p.retransmit = retransmit;
                     {
-                        let cc = self.flows[i].transport.cc();
+                        let cc = cold.transport.cc();
                         p.ecn_capable = cc.ecn_capable();
                         p.xcp = cc.xcp_header();
                     }
-                    let entry_hop = self.flows[i].fwd_hops[0];
+                    let entry_hop = self.flows.hot(i).entry_hop as usize;
                     let id = self.arena.alloc(p);
                     let admitted = {
                         let hop = &mut self.hops[entry_hop];
@@ -453,23 +551,25 @@ impl Simulator {
                         }
                         hop.queue.enqueue(now, id, &mut self.arena) == Enqueue::Queued
                     };
-                    self.flows[i].transport.on_sent(now, seq, retransmit);
+                    let cold = self.flows.cold_mut(i);
+                    cold.transport.on_sent(now, seq, retransmit);
                     if !retransmit {
-                        self.flows[i].traffic.consume_packet();
+                        cold.traffic.consume_packet();
                     }
-                    self.sync_rto(i);
+                    self.sync_flow(i);
                     if admitted {
                         self.start_service_if_possible(entry_hop);
                     }
                 }
                 SendPoll::Paced { until } => {
-                    let need = match self.flows[i].pacer_scheduled {
+                    let hot = self.flows.hot_mut(i);
+                    let need = match hot.pacer_scheduled {
                         Some(at) => at > until,
                         None => true,
                     };
                     if need {
-                        self.flows[i].pacer_scheduled = Some(until);
-                        self.schedule(until, Ev::Pacer(i));
+                        hot.pacer_scheduled = Some(until);
+                        self.schedule(until, Ev::Pacer(f));
                     }
                     break;
                 }
@@ -547,10 +647,18 @@ impl Simulator {
             p.queue_wait += wait;
             (p.flow, p.ack.is_none(), p.path_pos, p.queue_wait)
         };
-        let last_data_hop = is_data && path_pos + 1 == self.flows[flow].fwd_hops.len();
-        if last_data_hop {
-            self.flows[flow].metrics.record_queue_delay(queue_wait);
-            self.packets_forwarded += 1;
+        // A packet whose flow tore down mid-flight (churn) still occupies
+        // the queue and must run the router hook, but credits no metrics.
+        if is_data {
+            if let Some(fi) = self.flows.index_of(flow) {
+                if path_pos + 1 == self.flows.hot(fi).fwd_len as usize {
+                    self.flows
+                        .cold_mut(fi)
+                        .metrics
+                        .record_queue_delay(queue_wait);
+                    self.packets_forwarded += 1;
+                }
+            }
         }
         let hop = &mut self.hops[h];
         let queue_pkts = hop.queue.len();
@@ -567,20 +675,26 @@ impl Simulator {
             let p = &self.arena[id];
             (p.flow, p.ack.is_some(), p.path_pos)
         };
+        let Some(fi) = self.flows.index_of(flow) else {
+            // Connection closed while the packet was in flight: drop it.
+            self.arena.free(id);
+            return;
+        };
+        let hot = self.flows.hot(fi);
         let path_len = if is_ack {
-            self.flows[flow].ack_hops.len()
+            hot.ack_len as usize
         } else {
-            self.flows[flow].fwd_hops.len()
+            hot.fwd_len as usize
         };
         if path_pos + 1 < path_len {
             self.arena[id].path_pos += 1;
             let at = depart + self.hops[h].prop_delay_out;
             self.schedule(at, Ev::HopArrive(id));
         } else if is_ack {
-            let at = depart + self.flows[flow].back_delay;
+            let at = depart + hot.back_delay;
             self.schedule(at, Ev::AckArrive(id));
         } else {
-            let at = depart + self.flows[flow].fwd_delay;
+            let at = depart + hot.fwd_delay;
             self.schedule(at, Ev::Deliver(id));
         }
     }
@@ -592,10 +706,15 @@ impl Simulator {
             let p = &self.arena[id];
             (p.flow, p.ack.is_some(), p.path_pos)
         };
+        let Some(fi) = self.flows.index_of(flow) else {
+            self.arena.free(id);
+            return;
+        };
+        let cold = self.flows.cold(fi);
         let h = if is_ack {
-            self.flows[flow].ack_hops[path_pos]
+            cold.ack_hops[path_pos]
         } else {
-            self.flows[flow].fwd_hops[path_pos]
+            cold.fwd_hops[path_pos]
         };
         self.admit(h, id);
     }
@@ -617,7 +736,7 @@ impl Simulator {
 
     fn on_deliver(&mut self, id: PacketId) {
         let now = self.now;
-        let (i, seq, size, sent_at, ecn_marked, xcp_feedback) = {
+        let (flow, seq, size, sent_at, ecn_marked, xcp_feedback) = {
             let p = &self.arena[id];
             (
                 p.flow,
@@ -628,23 +747,32 @@ impl Simulator {
                 p.xcp.map(|h| h.feedback),
             )
         };
-        let new_data = self.flows[i].receiver.on_packet(seq);
+        let Some(i) = self.flows.index_of(flow) else {
+            self.arena.free(id);
+            return;
+        };
+        let (hot, cold) = self.flows.pair_mut(i);
+        let new_data = cold.receiver.on_packet(seq);
         if new_data {
-            self.flows[i].metrics.packets_delivered += 1;
-            self.flows[i].metrics.credit_bytes(size as u64);
+            cold.metrics.packets_delivered += 1;
+            cold.metrics.credit_bytes(size as u64);
             if self.record_deliveries {
-                self.deliveries.push(DeliveryRecord {
-                    at: now,
-                    flow: i,
-                    seq,
-                });
+                if self.deliveries.len() < self.delivery_log_cap {
+                    self.deliveries.push(DeliveryRecord {
+                        at: now,
+                        flow: i,
+                        seq,
+                    });
+                } else {
+                    self.deliveries_dropped += 1;
+                }
             }
         } else {
-            self.flows[i].metrics.duplicate_deliveries += 1;
+            cold.metrics.duplicate_deliveries += 1;
         }
         let ack = Ack {
-            flow: i,
-            cum_ack: self.flows[i].receiver.expected,
+            flow,
+            cum_ack: cold.receiver.expected,
             seq,
             echo_ts: sent_at,
             received_at: now,
@@ -652,18 +780,18 @@ impl Simulator {
             xcp_feedback,
             new_data,
         };
-        if self.flows[i].ack_hops.is_empty() {
+        if hot.ack_len == 0 {
             // Legacy pure-delay return path: never queued, never dropped.
             // The delivered packet's slot is recycled in place to carry
             // the ACK home — no allocation on the ACK path.
-            let at = now + self.flows[i].back_delay;
+            let at = now + hot.back_delay;
             self.arena[id].ack = Some(ack);
             self.schedule(at, Ev::AckArrive(id));
         } else {
             // Queued return path: the ACK becomes a 40-byte packet (in the
             // same slot) and takes its chances in the reverse-direction
             // hops.
-            let entry_hop = self.flows[i].ack_hops[0];
+            let entry_hop = cold.ack_hops[0];
             self.arena[id] = Packet::carrying_ack(ack, now);
             self.admit(entry_hop, id);
         }
@@ -673,43 +801,79 @@ impl Simulator {
         let ack = self.arena[id].ack.take().expect("AckArrive carries an ack");
         self.arena.free(id);
         let now = self.now;
-        let i = ack.flow;
-        let outcome = self.flows[i].transport.on_ack(now, &ack);
-        self.flows[i].metrics.record_rtt(outcome.rtt_sample);
-        self.sync_rto(i);
+        let Some(i) = self.flows.index_of(ack.flow) else {
+            return; // ACK for a connection that already closed
+        };
+        let cold = self.flows.cold_mut(i);
+        let outcome = cold.transport.on_ack(now, &ack);
+        cold.metrics.record_rtt(outcome.rtt_sample);
+        self.sync_flow(i);
         // Transfer completion: fixed-size flow fully delivered.
-        if self.flows[i].traffic.draining() && self.flows[i].transport.all_acked() {
-            self.flows[i].traffic.on_transfer_complete(now);
-            self.flows[i].metrics.end_interval(now);
-            if let Some(at) = self.flows[i].traffic.next_wakeup() {
-                self.schedule(at.max(now), Ev::Toggle(i));
+        let cold = self.flows.cold_mut(i);
+        if cold.traffic.draining() && cold.transport.all_acked() {
+            if self.flows.hot(i).churn {
+                // A churn flow is one transfer: record its completion time
+                // in the population stats and retire the slot. Packets
+                // still in flight (none for data — all acked — but a
+                // duplicate ACK may straggle) resolve to a stale FlowId
+                // and are dropped on arrival.
+                let spawned_at = self.flows.hot(i).spawned_at;
+                let fct = now.saturating_sub(spawned_at).as_secs_f64();
+                let cold = self.flows.cold_mut(i);
+                let bytes = cold.metrics.bytes() as f64;
+                cold.metrics.end_interval(now);
+                let c = self
+                    .churn
+                    .as_mut()
+                    .expect("churn flow exists without churn state");
+                c.completed += 1;
+                c.fct_secs.observe(fct);
+                c.flow_bytes.observe(bytes);
+                c.fct_reservoir.observe(fct, &mut c.reservoir_rng);
+                self.flows.free(ack.flow);
+                return;
+            }
+            let cold = self.flows.cold_mut(i);
+            cold.traffic.on_transfer_complete(now);
+            cold.metrics.end_interval(now);
+            if let Some(at) = cold.traffic.next_wakeup() {
+                self.schedule(at.max(now), Ev::Toggle(ack.flow));
             }
         }
         self.try_send(i);
     }
 
-    fn on_rto(&mut self, i: usize) {
+    fn on_rto(&mut self, f: FlowId) {
         let now = self.now;
+        let Some(i) = self.flows.index_of(f) else {
+            return; // the flow tore down; its pending timer is moot
+        };
         // Release the dedup guard only if *this* is the tracked timer; a
         // stale leftover (scheduled before the tracked one superseded it)
-        // must not clear the guard, or sync_rto would re-enqueue a
+        // must not clear the guard, or sync_flow would re-enqueue a
         // duplicate for an event that is already pending.
-        if self.flows[i].rto_event_at == Some(now) {
-            self.flows[i].rto_event_at = None;
+        let hot = self.flows.hot_mut(i);
+        if hot.rto_event_at == Some(now) {
+            hot.rto_event_at = None;
         }
-        match self.flows[i].transport.rto_deadline() {
+        match self.flows.cold(i).transport.rto_deadline() {
             Some((deadline, generation)) if deadline <= now => {
                 // The live deadline has arrived: take the timeout.
-                if self.flows[i].transport.on_rto_fire(now, generation) {
+                if self
+                    .flows
+                    .cold_mut(i)
+                    .transport
+                    .on_rto_fire(now, generation)
+                {
                     self.try_send(i);
                 }
-                self.sync_rto(i);
+                self.sync_flow(i);
             }
             Some(_) => {
                 // The transport re-armed since this timer was scheduled
                 // (ACK progress pushed the deadline out): chain a timer at
                 // the live deadline instead.
-                self.sync_rto(i);
+                self.sync_flow(i);
             }
             None => {} // disarmed: nothing outstanding
         }
@@ -733,21 +897,118 @@ impl Simulator {
         }
     }
 
-    /// Make sure a timer event covers the transport's current RTO
-    /// deadline: one no later than the deadline must be pending. A timer
-    /// that fires before the live deadline re-arms itself in
-    /// [`Simulator::on_rto`], so ACK progress (which re-arms the transport
-    /// on every advance) does not enqueue an event per generation.
-    fn sync_rto(&mut self, i: usize) {
-        if let Some((deadline, _)) = self.flows[i].transport.rto_deadline() {
-            match self.flows[i].rto_event_at {
-                Some(at) if at <= deadline => {}
+    /// Refresh flow `i`'s hot mirrors from its cold state and make sure a
+    /// timer event covers the transport's current RTO deadline: one no
+    /// later than the deadline must be pending. A timer that fires before
+    /// the live deadline re-arms itself in [`Simulator::on_rto`], so ACK
+    /// progress (which re-arms the transport on every advance) does not
+    /// enqueue an event per generation.
+    fn sync_flow(&mut self, i: usize) {
+        let id = self.flows.id_at(i);
+        let (hot, cold) = self.flows.pair_mut(i);
+        hot.cwnd_pkts = cold.transport.cc().cwnd();
+        hot.inflight_pkts = cold.transport.in_flight();
+        hot.next_seq = cold.transport.next_seq();
+        let deadline = cold.transport.rto_deadline();
+        hot.rto_deadline = deadline;
+        #[cfg(feature = "strict-invariants")]
+        {
+            assert_eq!(
+                hot.fwd_len as usize,
+                cold.fwd_hops.len(),
+                "strict-invariants: hot fwd path length diverged from cold"
+            );
+            assert_eq!(
+                hot.ack_len as usize,
+                cold.ack_hops.len(),
+                "strict-invariants: hot ack path length diverged from cold"
+            );
+            assert_eq!(
+                hot.entry_hop as usize, cold.fwd_hops[0],
+                "strict-invariants: hot entry hop diverged from cold"
+            );
+        }
+        let mut need = None;
+        if let Some((d, _)) = deadline {
+            match hot.rto_event_at {
+                Some(at) if at <= d => {}
                 _ => {
-                    self.flows[i].rto_event_at = Some(deadline);
-                    self.schedule(deadline, Ev::Rto(i));
+                    hot.rto_event_at = Some(d);
+                    need = Some(d);
                 }
             }
         }
+        if let Some(at) = need {
+            self.schedule(at, Ev::Rto(id));
+        }
+    }
+
+    /// A churn arrival: draw the next inter-arrival gap, then stand up a
+    /// flow for this one — recycling a free table slot (and its cold-side
+    /// heap blocks) when one exists, growing the table only while the live
+    /// population is at its high-water mark.
+    fn on_spawn(&mut self) {
+        let now = self.now;
+        let (gap, bytes, rtt, spawn_seq) = {
+            let c = self.churn.as_mut().expect("Spawn event without churn");
+            let gap = c.arrivals.exponential(1.0 / c.spec.arrivals_per_sec);
+            let bytes = c
+                .spec
+                .size
+                .sample_bytes(&mut c.arrivals)
+                .expect("churn sizes are byte-based");
+            c.spawned += 1;
+            (gap, bytes, c.spec.rtt, c.spawned)
+        };
+        self.schedule(now + Ns::from_secs_f64(gap), Ev::Spawn);
+        let half = Ns(rtt.0 / 2);
+        let hot = FlowHot {
+            fwd_delay: half,
+            back_delay: rtt.saturating_sub(half),
+            entry_hop: 0,
+            fwd_len: 1,
+            ack_len: 0,
+            spawned_at: now,
+            churn: true,
+            ..FlowHot::default()
+        };
+        let id = match self.flows.respawn(|h, cold| {
+            // Freed slots are always churn slots (persistent flows never
+            // tear down), so the path vectors are already `[0]` / `[]`.
+            cold.transport.start_connection(now);
+            cold.receiver.reset(cold.transport.next_seq());
+            cold.metrics.reset();
+            cold.metrics.start_interval(now);
+            cold.traffic.reset_one_shot(bytes, now);
+            *h = hot;
+        }) {
+            Some(id) => id,
+            None => {
+                let cc = self
+                    .churn
+                    .as_ref()
+                    .expect("Spawn event without churn")
+                    .factory
+                    .as_ref()
+                    .expect("churn scenario needs Simulator::with_churn_cc")(
+                    spawn_seq
+                );
+                let mut cold = FlowCold {
+                    transport: Transport::new(cc),
+                    traffic: TrafficProcess::one_shot(bytes, self.mss, now),
+                    receiver: Receiver::default(),
+                    metrics: FlowMetrics::default(),
+                    fwd_hops: vec![0],
+                    ack_hops: Vec::new(),
+                };
+                cold.transport.start_connection(now);
+                cold.metrics.start_interval(now);
+                self.flows.insert(hot, cold)
+            }
+        };
+        let i = self.flows.index_of(id).expect("freshly spawned flow");
+        self.sync_flow(i);
+        self.try_send(i);
     }
 
     /// Current simulated time (tests).
@@ -1021,6 +1282,154 @@ mod tests {
         // Whatever was in flight at the horizon is still live; it is
         // bounded by the window plus queued packets.
         assert!(live <= capacity);
+    }
+
+    // --- flow churn ----------------------------------------------------
+
+    use crate::scenario::ChurnSpec;
+    use crate::traffic::OnSpec;
+
+    /// Two persistent saturating senders plus Poisson arrivals of
+    /// bounded-Pareto transfers on the same bottleneck.
+    fn churn_scenario(arrivals_per_sec: f64, secs: u64, seed: u64) -> Scenario {
+        Scenario::dumbbell(
+            LinkSpec::constant(50.0),
+            QueueSpec::DropTail { capacity: 1000 },
+            2,
+            Ns::from_millis(100),
+            TrafficSpec::saturating(),
+            Ns::from_secs(secs),
+            seed,
+        )
+        .with_churn(ChurnSpec {
+            arrivals_per_sec,
+            size: OnSpec::BoundedPareto {
+                xm: 3000.0,
+                alpha: 1.2,
+                cap_bytes: 150_000.0,
+            },
+            rtt: Ns::from_millis(20),
+        })
+    }
+
+    fn churn_sim(s: &Scenario, kind: SchedulerKind) -> Simulator {
+        let ccs: Vec<Box<dyn CongestionControl>> = (0..s.n())
+            .map(|_| Box::new(FixedWindow::new(60.0)) as _)
+            .collect();
+        Simulator::with_scheduler(s, ccs, vec![None], kind)
+            .with_churn_cc(Box::new(|_| Box::new(FixedWindow::new(10.0))))
+    }
+
+    #[test]
+    fn churn_flows_complete_and_stream_population_stats() {
+        let s = churn_scenario(200.0, 10, 7);
+        let r = churn_sim(&s, SchedulerKind::Wheel).run();
+        // Positional summaries cover the persistent senders only.
+        assert_eq!(r.flows.len(), 2);
+        let p = r.population.expect("churn run has population stats");
+        assert!(
+            p.spawned > 1500,
+            "λ=200/s over 10 s: expected ~2000 arrivals, got {}",
+            p.spawned
+        );
+        assert!(
+            p.completed + p.live_at_end == p.spawned,
+            "every arrival either completed or was live at the horizon: \
+             {} + {} != {}",
+            p.completed,
+            p.live_at_end,
+            p.spawned
+        );
+        assert!(
+            p.completed as f64 > 0.9 * p.spawned as f64,
+            "short transfers on a fast link mostly complete: {}/{}",
+            p.completed,
+            p.spawned
+        );
+        assert_eq!(p.fct_secs.count(), p.completed);
+        assert!(p.fct_secs.min() > 0.0, "a transfer takes at least one RTT");
+        assert!(p.fct_secs.p50() >= p.fct_secs.min());
+        assert!(p.fct_secs.p99() <= p.fct_secs.max());
+        // Sizes come from BoundedPareto[3000, 150000); metrics credit
+        // whole MSS packets, so completed-flow byte counts can round up
+        // to the next packet.
+        assert!(p.flow_bytes.min() >= 3000.0);
+        assert!(p.flow_bytes.max() < 152_000.0);
+        assert!(!p.fct_sample_secs.is_empty());
+        assert!(p.fct_sample_secs.len() as u64 <= p.completed);
+    }
+
+    #[test]
+    fn flow_slots_are_recycled_not_grown() {
+        // The churn analogue of `arena_slots_are_recycled_not_grown`: the
+        // flow table must stabilize at the peak *concurrent* population,
+        // not grow with the total number of arrivals.
+        let s = churn_scenario(500.0, 10, 11);
+        let mut sim = churn_sim(&s, SchedulerKind::Wheel);
+        sim.drive();
+        let capacity = sim.flows.capacity();
+        let live = sim.flows.live();
+        let (r, _) = sim.finish();
+        let p = r.population.expect("population stats");
+        assert!(p.spawned > 4000, "a real churn run: {} spawned", p.spawned);
+        assert!(
+            capacity < 500,
+            "flow-table capacity {capacity} must track peak concurrency, \
+             not the {} flows spawned",
+            p.spawned
+        );
+        assert!(live <= capacity);
+    }
+
+    #[test]
+    fn churn_runs_agree_across_schedulers_bit_for_bit() {
+        let s = churn_scenario(300.0, 5, 13);
+        let a = churn_sim(&s, SchedulerKind::Heap).run();
+        let b = churn_sim(&s, SchedulerKind::Wheel).run();
+        assert_eq!(a.queue_drops, b.queue_drops);
+        assert_eq!(a.packets_forwarded, b.packets_forwarded);
+        let (pa, pb) = (a.population.unwrap(), b.population.unwrap());
+        assert_eq!(pa.spawned, pb.spawned);
+        assert_eq!(pa.completed, pb.completed);
+        assert_eq!(pa.live_at_end, pb.live_at_end);
+        assert_eq!(pa.fct_secs.sum().to_bits(), pb.fct_secs.sum().to_bits());
+        assert_eq!(pa.fct_secs.p99().to_bits(), pb.fct_secs.p99().to_bits());
+        assert_eq!(pa.flow_bytes.sum().to_bits(), pb.flow_bytes.sum().to_bits());
+        assert_eq!(pa.fct_sample_secs, pb.fct_sample_secs);
+        for (fa, fb) in a.flows.iter().zip(&b.flows) {
+            assert_eq!(fa.bytes, fb.bytes);
+            assert_eq!(fa.throughput_mbps.to_bits(), fb.throughput_mbps.to_bits());
+        }
+    }
+
+    #[test]
+    fn churn_free_scenarios_are_unchanged_by_the_churn_engine() {
+        // Guard the golden contract: adding the churn machinery must not
+        // perturb a single draw of a legacy scenario. fig4 traffic
+        // exercises the per-flow rng streams whose fork order churn
+        // extends.
+        let s = Scenario::dumbbell(
+            LinkSpec::constant(15.0),
+            QueueSpec::DropTail { capacity: 40 },
+            4,
+            Ns::from_millis(150),
+            TrafficSpec::fig4(),
+            Ns::from_secs(20),
+            42,
+        );
+        let r = run_scenario(&s, &|_| Box::new(FixedWindow::new(60.0)));
+        assert!(r.population.is_none(), "no churn, no population stats");
+        assert_eq!(r.deliveries_dropped, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs Simulator::with_churn_cc")]
+    fn churn_without_factory_panics() {
+        let s = churn_scenario(100.0, 2, 1);
+        let ccs: Vec<Box<dyn CongestionControl>> = (0..s.n())
+            .map(|_| Box::new(FixedWindow::new(60.0)) as _)
+            .collect();
+        let _ = Simulator::with_scheduler(&s, ccs, vec![None], SchedulerKind::Wheel).run();
     }
 
     #[test]

@@ -43,6 +43,19 @@ pub enum OnSpec {
         /// experiment quotes 3.3 GB as the observed max).
         cap_bytes: u64,
     },
+    /// Transfer a flow drawn from a bounded Pareto distribution — the
+    /// standard heavy-tailed web-workload model, used by churn scenarios
+    /// where flows arrive by a Poisson process and each transfers one
+    /// sampled flow length.
+    BoundedPareto {
+        /// Scale (minimum flow size), bytes.
+        xm: f64,
+        /// Shape; smaller is heavier-tailed.
+        alpha: f64,
+        /// Upper truncation, bytes (keeps the mean finite for α ≤ 1 and
+        /// a single flow from dominating a run).
+        cap_bytes: f64,
+    },
 }
 
 impl OnSpec {
@@ -74,6 +87,16 @@ impl OnSpec {
                 ("kind", Value::str("empirical")),
                 ("cap_bytes", u64_value(cap_bytes)),
             ]),
+            OnSpec::BoundedPareto {
+                xm,
+                alpha,
+                cap_bytes,
+            } => Value::obj(vec![
+                ("kind", Value::str("bounded_pareto")),
+                ("xm", Value::num(xm)),
+                ("alpha", Value::num(alpha)),
+                ("cap_bytes", Value::num(cap_bytes)),
+            ]),
         }
     }
 
@@ -93,8 +116,35 @@ impl OnSpec {
             "empirical" => Ok(OnSpec::Empirical {
                 cap_bytes: v.field("cap_bytes")?.as_u64()?,
             }),
+            "bounded_pareto" => Ok(OnSpec::BoundedPareto {
+                xm: v.field("xm")?.as_f64()?,
+                alpha: v.field("alpha")?.as_f64()?,
+                cap_bytes: v.field("cap_bytes")?.as_f64()?,
+            }),
             other => Err(format!("unknown on-period kind '{other}'")),
         }
+    }
+
+    /// Draw one flow length, in bytes, for byte-based on-periods; `None`
+    /// for the time-based variants (whose on-periods have durations, not
+    /// sizes). Churn scenarios require a `Some` spec — an arriving flow
+    /// *is* one transfer.
+    pub fn sample_bytes(&self, rng: &mut SimRng) -> Option<u64> {
+        match *self {
+            OnSpec::ByTime { .. } | OnSpec::ByTimeFixed { .. } => None,
+            OnSpec::ByBytes { mean_bytes } => Some(rng.exponential(mean_bytes).max(1.0) as u64),
+            OnSpec::Empirical { cap_bytes } => Some(empirical_flow_bytes(rng, cap_bytes)),
+            OnSpec::BoundedPareto {
+                xm,
+                alpha,
+                cap_bytes,
+            } => Some(rng.bounded_pareto(xm, alpha, cap_bytes) as u64),
+        }
+    }
+
+    /// True if on-periods are sized in bytes (one flow = one transfer).
+    pub fn is_byte_based(&self) -> bool {
+        !matches!(self, OnSpec::ByTime { .. } | OnSpec::ByTimeFixed { .. })
     }
 }
 
@@ -230,6 +280,37 @@ impl TrafficProcess {
         }
     }
 
+    /// A process for one dynamically arriving (churn) flow: immediately
+    /// on, transferring exactly `bytes`, never to turn on again — the
+    /// engine tears the flow down when the transfer completes instead of
+    /// drawing an off-period.
+    pub fn one_shot(bytes: u64, mss: u32, now: Ns) -> TrafficProcess {
+        let mut p = TrafficProcess {
+            spec: TrafficSpec {
+                on: OnSpec::ByBytes {
+                    mean_bytes: bytes as f64,
+                },
+                off_mean: Ns::ZERO,
+                start_on: true,
+            },
+            state: OnState::Off { until: Ns::ZERO },
+            rng: SimRng::new(0),
+            mss,
+            current_on_started: None,
+        };
+        p.reset_one_shot(bytes, now);
+        p
+    }
+
+    /// Re-arm this process for a new one-shot lifetime in the same slot
+    /// (churn respawn): on at `now`, transferring exactly `bytes`.
+    pub fn reset_one_shot(&mut self, bytes: u64, now: Ns) {
+        self.current_on_started = Some(now);
+        self.state = OnState::OnBytes {
+            remaining_pkts: bytes.div_ceil(self.mss as u64).max(1),
+        };
+    }
+
     /// The time of the next scheduled state change the simulator must wake
     /// us for, if any. (`OnBytes` completes via ACKs instead of a timer.)
     pub fn next_wakeup(&self) -> Option<Ns> {
@@ -273,14 +354,10 @@ impl TrafficProcess {
             OnSpec::ByTimeFixed { duration } => OnState::OnTime {
                 until: now.saturating_add(duration),
             },
-            OnSpec::ByBytes { mean_bytes } => {
-                let bytes = self.rng.exponential(mean_bytes).max(1.0) as u64;
-                OnState::OnBytes {
-                    remaining_pkts: bytes.div_ceil(self.mss as u64).max(1),
-                }
-            }
-            OnSpec::Empirical { cap_bytes } => {
-                let bytes = empirical_flow_bytes(&mut self.rng, cap_bytes);
+            ref on => {
+                let bytes = on
+                    .sample_bytes(&mut self.rng)
+                    .expect("byte-based on-period");
                 OnState::OnBytes {
                     remaining_pkts: bytes.div_ceil(self.mss as u64).max(1),
                 }
@@ -493,6 +570,45 @@ mod tests {
             (mean - 0.2).abs() < 0.01,
             "mean off draw {mean} should be ~0.2 s"
         );
+    }
+
+    #[test]
+    fn bounded_pareto_round_trips_and_samples_in_range() {
+        let spec = OnSpec::BoundedPareto {
+            xm: 4500.0,
+            alpha: 1.2,
+            cap_bytes: 1_500_000.0,
+        };
+        let back = OnSpec::from_json_value(&spec.to_json_value()).expect("round trip");
+        assert_eq!(back, spec);
+        assert!(spec.is_byte_based());
+        let mut rng = SimRng::new(11);
+        for _ in 0..10_000 {
+            let b = spec.sample_bytes(&mut rng).expect("byte based");
+            assert!((4500..1_500_000).contains(&b), "sample {b} out of range");
+        }
+        assert!(OnSpec::ByTime { mean: Ns::SECOND }
+            .sample_bytes(&mut rng)
+            .is_none());
+    }
+
+    #[test]
+    fn one_shot_transfers_exactly_once() {
+        let mut p = TrafficProcess::one_shot(4000, 1500, Ns::from_secs(2));
+        assert!(p.is_on());
+        assert_eq!(p.on_started(), Some(Ns::from_secs(2)));
+        assert_eq!(p.next_wakeup(), None, "one-shots complete via ACKs");
+        let OnState::OnBytes { remaining_pkts } = *p.state() else {
+            panic!("expected OnBytes");
+        };
+        assert_eq!(remaining_pkts, 3, "ceil(4000 / 1500)");
+        for _ in 0..3 {
+            p.consume_packet();
+        }
+        assert!(p.draining());
+        p.reset_one_shot(100, Ns::from_secs(5));
+        assert!(p.may_send_new(Ns::from_secs(5)), "respawned in place");
+        assert_eq!(p.on_started(), Some(Ns::from_secs(5)));
     }
 
     #[test]

@@ -454,11 +454,11 @@ impl Transport {
 mod tests {
     use super::*;
     use crate::cc::FixedWindow;
-    use crate::packet::Ack;
+    use crate::packet::{Ack, FlowId};
 
     fn ack(cum: u64, seq: u64, echo: Ns) -> Ack {
         Ack {
-            flow: 0,
+            flow: FlowId::first(0),
             cum_ack: cum,
             seq,
             echo_ts: echo,

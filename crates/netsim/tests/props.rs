@@ -1,16 +1,32 @@
 //! Property-based tests of netsim's core invariants.
 
+use netsim::cc::FixedWindow;
+use netsim::flow::{FlowCold, FlowHot, FlowTable, Receiver};
 use netsim::link::DeliverySchedule;
-use netsim::packet::{Packet, PacketArena, PacketId};
+use netsim::metrics::FlowMetrics;
+use netsim::packet::{FlowId, Packet, PacketArena, PacketId};
 use netsim::queue::{Codel, DropTail, Enqueue, Queue, SfqCodel};
 use netsim::rng::SimRng;
 use netsim::sched::{EventQueue, SchedulerKind};
 use netsim::stats;
 use netsim::time::Ns;
+use netsim::traffic::TrafficProcess;
+use netsim::transport::Transport;
 use proptest::prelude::*;
 
 fn pkt(flow: usize, seq: u64) -> Packet {
-    Packet::data(flow, seq, 1500, Ns::ZERO)
+    Packet::data(FlowId::first(flow), seq, 1500, Ns::ZERO)
+}
+
+fn cold_flow(bytes: u64) -> FlowCold {
+    FlowCold {
+        transport: Transport::new(Box::new(FixedWindow::new(10.0))),
+        traffic: TrafficProcess::one_shot(bytes, 1500, Ns::ZERO),
+        receiver: Receiver::default(),
+        metrics: FlowMetrics::default(),
+        fwd_hops: vec![0],
+        ack_hops: Vec::new(),
+    }
 }
 
 fn push(q: &mut dyn Queue, a: &mut PacketArena, now: Ns, p: Packet) -> Enqueue {
@@ -101,7 +117,7 @@ proptest! {
         }
         let mut got = vec![0usize; flows];
         while let Some(p) = pull(&mut q, &mut arena, Ns::from_micros(1)) {
-            got[p.flow] += 1;
+            got[p.flow.index() as usize] += 1;
         }
         for &count in &got {
             prop_assert_eq!(count, per_flow);
@@ -181,6 +197,53 @@ proptest! {
             }
         }
         prop_assert_eq!(arena.live(), live.len());
+    }
+
+    /// The flow table mirrors the arena's guarantee: after any
+    /// spawn/teardown interleaving (respawning into freed slots whenever
+    /// one exists, exactly as churn does), every freed `FlowId` is dead
+    /// forever and every live one still reads its own flow's state.
+    #[test]
+    fn flow_table_generations_never_alias(ops in prop::collection::vec((any::<bool>(), any::<u32>()), 1..200)) {
+        let mut table = FlowTable::new();
+        let mut live: Vec<(FlowId, u64)> = Vec::new();
+        let mut dead: Vec<FlowId> = Vec::new();
+        let mut stamp = 1u64;
+        for (do_spawn, pick) in ops {
+            if do_spawn || live.is_empty() {
+                let s = stamp;
+                let id = match table.respawn(|hot, cold| {
+                    hot.next_seq = s;
+                    cold.traffic.reset_one_shot(s, Ns::ZERO);
+                }) {
+                    Some(id) => id,
+                    None => table.insert(
+                        FlowHot { next_seq: s, ..FlowHot::default() },
+                        cold_flow(s),
+                    ),
+                };
+                live.push((id, s));
+                stamp += 1;
+            } else {
+                let idx = pick as usize % live.len();
+                let (id, _) = live.swap_remove(idx);
+                table.free(id);
+                dead.push(id);
+            }
+            for (id, s) in &live {
+                prop_assert!(table.contains(*id));
+                let i = table.index_of(*id).expect("live handle resolves");
+                prop_assert_eq!(table.hot(i).next_seq, *s, "live handle reads its own flow");
+            }
+            for id in &dead {
+                prop_assert!(!table.contains(*id), "freed handle stays dead forever");
+                prop_assert!(table.index_of(*id).is_none());
+            }
+            prop_assert!(table.audit_accounting());
+        }
+        prop_assert_eq!(table.live(), live.len());
+        // Slots, not allocations: capacity is bounded by peak concurrency.
+        prop_assert!(table.capacity() <= stamp as usize);
     }
 
     /// Delivery schedules: next_after is strictly increasing and respects

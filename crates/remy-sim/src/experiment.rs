@@ -14,7 +14,7 @@ use crate::report::{
 };
 use crate::spec::{ExperimentSpec, SweepPoint};
 use netsim::cc::CongestionControl;
-use netsim::metrics::FlowSummary;
+use netsim::metrics::{FlowSummary, PopulationSummary, SimResults};
 use netsim::scenario::Scenario;
 use netsim::sim::Simulator;
 use rayon::prelude::*;
@@ -44,6 +44,16 @@ impl ExperimentSpec {
         let mut cells = Vec::with_capacity(points.len() * self.contenders.len());
         for (pi, point) in points.iter().enumerate() {
             for cs in &self.contenders {
+                if self.workload.churn.is_some() && cs.scheme == "xcp" {
+                    // XCP's efficiency controller is provisioned for the
+                    // persistent population; a churning flow count would
+                    // silently mis-estimate spare capacity.
+                    return Err(format!(
+                        "spec '{}': contender 'xcp' is not supported on a \
+                         churn workload",
+                        self.name
+                    ));
+                }
                 if self.workload.topology.is_some() && cs.scheme == "xcp" {
                     // The harness attaches a contender's router hook to hop
                     // 0 only; on a multi-hop topology XCP would silently run
@@ -82,6 +92,9 @@ pub struct CellResult {
     pub label: String,
     /// `runs[k][i]` is sender `i`'s summary in run `k`.
     pub runs: Vec<Vec<FlowSummary>>,
+    /// `populations[k]` is run `k`'s churn-population summary (`None` on
+    /// churn-free workloads).
+    pub populations: Vec<Option<PopulationSummary>>,
     /// Samples of all active senders pooled across runs, in run order.
     pub outcome: Outcome,
 }
@@ -107,7 +120,7 @@ impl Experiment {
             .enumerate()
             .flat_map(|(ci, c)| (0..c.scenarios.len()).map(move |si| (ci, si)))
             .collect();
-        let per_run: Vec<Vec<FlowSummary>> = jobs
+        let per_run: Vec<SimResults> = jobs
             .par_iter()
             .map(|&(ci, si)| {
                 let cell = &cells[ci];
@@ -115,7 +128,12 @@ impl Experiment {
                 let ccs: Vec<Box<dyn CongestionControl>> =
                     (0..sc.n()).map(|_| cell.contender.build_cc()).collect();
                 let router = cell.contender.router(&sc.link, sc.mss);
-                Simulator::new(sc, ccs, router).run().flows
+                let mut sim = Simulator::new(sc, ccs, router);
+                if sc.churn.is_some() {
+                    let contender = cell.contender.clone();
+                    sim = sim.with_churn_cc(Box::new(move |_| contender.build_cc()));
+                }
+                sim.run()
             })
             .collect();
         // Regroup positionally into cells.
@@ -123,7 +141,14 @@ impl Experiment {
         let mut cursor = 0;
         for cell in &cells {
             let n_runs = cell.scenarios.len();
-            let runs: Vec<Vec<FlowSummary>> = per_run[cursor..cursor + n_runs].to_vec();
+            let runs: Vec<Vec<FlowSummary>> = per_run[cursor..cursor + n_runs]
+                .iter()
+                .map(|r| r.flows.clone())
+                .collect();
+            let populations: Vec<Option<PopulationSummary>> = per_run[cursor..cursor + n_runs]
+                .iter()
+                .map(|r| r.population.clone())
+                .collect();
             cursor += n_runs;
             let mut tput = Vec::new();
             let mut delay = Vec::new();
@@ -140,6 +165,7 @@ impl Experiment {
                 point: cell.point.clone(),
                 label: cell.contender.label(),
                 runs,
+                populations,
                 outcome: Outcome::from_samples(cell.contender.label(), tput, delay, rtt),
             });
         }
@@ -335,6 +361,78 @@ mod tests {
         let mut spec = tiny_spec();
         spec.contenders.push(ContenderSpec::new("bbr"));
         assert!(Experiment::new(spec).run().is_err());
+    }
+
+    #[test]
+    fn churn_workloads_run_and_carry_population_stats() {
+        use netsim::scenario::ChurnSpec;
+        use netsim::traffic::OnSpec;
+        let mut spec = tiny_spec();
+        spec.workload = spec.workload.clone().with_churn(ChurnSpec {
+            arrivals_per_sec: 100.0,
+            size: OnSpec::BoundedPareto {
+                xm: 3000.0,
+                alpha: 1.2,
+                cap_bytes: 150_000.0,
+            },
+            rtt: Ns::from_millis(20),
+        });
+        let r = Experiment::new(spec).run().expect("run");
+        for cell in &r.cells {
+            assert_eq!(cell.populations.len(), cell.runs.len());
+            for p in &cell.populations {
+                let p = p.as_ref().expect("churn run has population stats");
+                assert!(p.spawned > 100, "λ=100/s for 5 s: {} spawned", p.spawned);
+                assert_eq!(p.completed + p.live_at_end, p.spawned);
+            }
+        }
+        // Determinism holds through the churn path too.
+        let spec2 = {
+            let mut s = tiny_spec();
+            s.workload = s.workload.clone().with_churn(ChurnSpec {
+                arrivals_per_sec: 100.0,
+                size: OnSpec::BoundedPareto {
+                    xm: 3000.0,
+                    alpha: 1.2,
+                    cap_bytes: 150_000.0,
+                },
+                rtt: Ns::from_millis(20),
+            });
+            s
+        };
+        let r2 = Experiment::new(spec2).run().expect("run");
+        for (a, b) in r.cells.iter().zip(&r2.cells) {
+            for (pa, pb) in a.populations.iter().zip(&b.populations) {
+                let (pa, pb) = (pa.as_ref().unwrap(), pb.as_ref().unwrap());
+                assert_eq!(pa.spawned, pb.spawned);
+                assert_eq!(pa.completed, pb.completed);
+                assert_eq!(pa.fct_secs.sum().to_bits(), pb.fct_secs.sum().to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn xcp_on_a_churn_workload_is_rejected() {
+        use netsim::scenario::ChurnSpec;
+        use netsim::traffic::OnSpec;
+        let mut spec = tiny_spec();
+        spec.workload = spec.workload.clone().with_churn(ChurnSpec {
+            arrivals_per_sec: 10.0,
+            size: OnSpec::BoundedPareto {
+                xm: 3000.0,
+                alpha: 1.2,
+                cap_bytes: 150_000.0,
+            },
+            rtt: Ns::from_millis(20),
+        });
+        spec.contenders.push(ContenderSpec::new("xcp"));
+        let err = match spec.expand() {
+            Ok(_) => panic!("xcp on churn must be rejected"),
+            Err(e) => e,
+        };
+        assert!(err.contains("churn"), "{err}");
+        spec.contenders.pop();
+        assert!(spec.expand().is_ok());
     }
 
     #[test]

@@ -16,9 +16,10 @@ use crate::spec::{
     DEFAULT_SIM_SECS,
 };
 use netsim::rng::SimRng;
+use netsim::scenario::ChurnSpec;
 use netsim::scenario::SenderConfig;
 use netsim::sim::Simulator;
-use netsim::stats::{mean, median, std_dev, std_err};
+use netsim::stats::{mean, median, quantile, std_dev, std_err};
 use netsim::time::Ns;
 use netsim::topology::FlowPath;
 use netsim::traffic::{empirical_flow_bytes, OnSpec, TrafficSpec};
@@ -269,7 +270,7 @@ fn env_budget() -> Budget {
 // The catalogue
 // ---------------------------------------------------------------------------
 
-static REGISTRY: [NamedExperiment; 18] = [
+static REGISTRY: [NamedExperiment; 19] = [
     NamedExperiment {
         name: "fig3",
         csv: "fig3_flowcdf",
@@ -440,6 +441,14 @@ static REGISTRY: [NamedExperiment; 18] = [
         spec_fn: spec_reverse_path,
         runner: Runner::Custom(run_reverse_path),
     },
+    NamedExperiment {
+        name: "web_churn",
+        csv: "web_churn",
+        about: "Poisson arrivals of heavy-tailed web transfers under two persistent senders",
+        default_budget: env_budget,
+        spec_fn: spec_web_churn,
+        runner: Runner::Custom(run_web_churn),
+    },
 ];
 
 // ---------------------------------------------------------------------------
@@ -585,6 +594,7 @@ fn spec_fig10(budget: Budget) -> ExperimentSpec {
             .collect(),
         record_deliveries: false,
         topology: None,
+        churn: None,
     };
     ExperimentSpec::new(
         "fig10",
@@ -785,6 +795,44 @@ fn spec_reverse_path(budget: Budget) -> ExperimentSpec {
         ],
         budget,
         27_001,
+    )
+}
+
+/// The web-churn workload: a fast shared bottleneck with two persistent
+/// buffer-filling senders, plus Poisson arrivals (λ = 2000 flows/s) of
+/// bounded-Pareto web transfers — ≥ 10 000 dynamic flows per run even at
+/// the CI smoke budget (2 runs × 5 s), ~60 000 at the default budget.
+pub fn web_churn_workload() -> WorkloadSpec {
+    WorkloadSpec::uniform(
+        LinkRef::constant(1000.0),
+        1000,
+        2,
+        Ns::from_millis(50),
+        TrafficSpec::saturating(),
+    )
+    .with_churn(ChurnSpec {
+        arrivals_per_sec: 2000.0,
+        size: OnSpec::BoundedPareto {
+            xm: 4500.0,
+            alpha: 1.2,
+            cap_bytes: 1_500_000.0,
+        },
+        rtt: Ns::from_millis(20),
+    })
+}
+
+fn spec_web_churn(budget: Budget) -> ExperimentSpec {
+    ExperimentSpec::new(
+        "web_churn",
+        "Web churn — Poisson(2000/s) bounded-Pareto transfers vs two persistent senders, 1 Gbps",
+        web_churn_workload(),
+        vec![
+            ContenderSpec::new("newreno"),
+            ContenderSpec::new("cubic"),
+            ContenderSpec::new("remy:delta1"),
+        ],
+        budget,
+        70_001,
     )
 }
 
@@ -1525,13 +1573,77 @@ fn run_reverse_path(spec: &ExperimentSpec) -> Result<ExperimentReport, String> {
     })
 }
 
+fn run_web_churn(spec: &ExperimentSpec) -> Result<ExperimentReport, String> {
+    let results = Experiment::new(spec.clone()).run()?;
+    let n = spec.workload.n();
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "== {} ({} runs x {} s) ==",
+        spec.title, spec.budget.runs, spec.budget.sim_secs
+    );
+    let _ = writeln!(
+        text,
+        "{:<16} {:>9} {:>9} {:>7} {:>10} {:>10} {:>10} {:>12}",
+        "scheme", "spawned", "done", "done%", "fct p50 ms", "fct p90 ms", "fct p99 ms", "pers tput"
+    );
+    let mut rows = Vec::new();
+    for cell in &results.cells {
+        let mut spawned = 0u64;
+        let mut completed = 0u64;
+        // Pool the per-run FCT reservoirs: each is an unbiased sample of
+        // its run's completions, and the runs are identically budgeted.
+        let mut fct_ms: Vec<f64> = Vec::new();
+        for p in cell.populations.iter().flatten() {
+            spawned += p.spawned;
+            completed += p.completed;
+            fct_ms.extend(p.fct_sample_secs.iter().map(|s| s * 1e3));
+        }
+        if spawned == 0 {
+            return Err(format!("'{}': churn run spawned no flows", spec.name));
+        }
+        fct_ms.sort_by(f64::total_cmp);
+        let done_pct = 100.0 * completed as f64 / spawned as f64;
+        let (p50, p90, p99) = (
+            quantile(&fct_ms, 0.5),
+            quantile(&fct_ms, 0.9),
+            quantile(&fct_ms, 0.99),
+        );
+        let pers = median(&pooled(&cell.runs, 0..n, |f| f.throughput_mbps));
+        let _ = writeln!(
+            text,
+            "{:<16} {spawned:>9} {completed:>9} {done_pct:>7.1} {p50:>10.2} {p90:>10.2} \
+             {p99:>10.2} {pers:>12.3}",
+            cell.label
+        );
+        rows.push(format!(
+            "{},{spawned},{completed},{done_pct},{p50},{p90},{p99},{pers}",
+            cell.label
+        ));
+    }
+    let _ = writeln!(
+        text,
+        "\nshort transfers finish inside slow-start, so their completion times \
+         ride on the queue the persistent senders build; delay-minimizing \
+         schemes shorten the tail"
+    );
+    Ok(ExperimentReport {
+        csv_name: spec.name.clone(),
+        csv_header: "scheme,spawned,completed,completed_pct,fct_p50_ms,fct_p90_ms,\
+                     fct_p99_ms,persistent_median_tput_mbps"
+            .to_string(),
+        csv_rows: rows,
+        text,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_all_eighteen_experiments() {
-        assert_eq!(all().len(), 18);
+    fn registry_has_all_nineteen_experiments() {
+        assert_eq!(all().len(), 19);
         let mut names: Vec<&str> = all().iter().map(|e| e.name).collect();
         names.sort_unstable();
         let mut expected = vec![
@@ -1553,6 +1665,7 @@ mod tests {
             "parking_lot3",
             "incast16",
             "reverse_path",
+            "web_churn",
         ];
         expected.sort_unstable();
         assert_eq!(names, expected);
@@ -1629,6 +1742,41 @@ mod tests {
             cross > e2e,
             "cross traffic crosses fewer bottlenecks: cross={cross} e2e={e2e}"
         );
+    }
+
+    #[test]
+    fn web_churn_smoke_reaches_ten_thousand_flows() {
+        // The CI smoke budget: each run must still see ≥ 10k arrivals.
+        let spec = spec_web_churn(Budget {
+            runs: 2,
+            sim_secs: 5,
+        });
+        let results = Experiment::new(spec).run().expect("runs");
+        for cell in &results.cells {
+            for p in &cell.populations {
+                let p = p.as_ref().expect("population stats");
+                assert!(
+                    p.spawned >= 9_000,
+                    "{}: λ=2000/s for 5 s spawns ~10k flows, got {}",
+                    cell.label,
+                    p.spawned
+                );
+                assert!(
+                    p.completed as f64 > 0.8 * p.spawned as f64,
+                    "{}: most transfers complete, got {}/{}",
+                    cell.label,
+                    p.completed,
+                    p.spawned
+                );
+            }
+        }
+        let rep = run_web_churn(&spec_web_churn(Budget {
+            runs: 1,
+            sim_secs: 3,
+        }))
+        .expect("report");
+        assert_eq!(rep.csv_rows.len(), 3, "one row per contender");
+        assert!(rep.csv_header.contains("fct_p99_ms"));
     }
 
     #[test]

@@ -21,7 +21,7 @@ use netsim::json::{self, Value};
 use netsim::link::LinkSpec;
 use netsim::queue::QueueSpec;
 use netsim::rng::SimRng;
-use netsim::scenario::{Scenario, SenderConfig};
+use netsim::scenario::{ChurnSpec, Scenario, SenderConfig};
 use netsim::time::Ns;
 use netsim::topology::{FlowPath, Topology};
 use netsim::traffic::TrafficSpec;
@@ -330,6 +330,10 @@ pub struct WorkloadSpec {
     /// Multi-hop topology; `None` is the legacy single-bottleneck
     /// dumbbell.
     pub topology: Option<TopologySpec>,
+    /// Dynamic flow churn (Poisson arrivals of finite transfers) layered
+    /// over the persistent senders; `None` is the classic fixed
+    /// population.
+    pub churn: Option<ChurnSpec>,
 }
 
 impl WorkloadSpec {
@@ -352,12 +356,25 @@ impl WorkloadSpec {
                 .collect(),
             record_deliveries: false,
             topology: None,
+            churn: None,
         }
     }
 
     /// Builder-style: route the senders through a multi-hop topology.
     pub fn with_topology(mut self, topology: TopologySpec) -> WorkloadSpec {
         self.topology = Some(topology);
+        self
+    }
+
+    /// Builder-style: layer a dynamic flow-arrival process over the
+    /// persistent senders.
+    pub fn with_churn(mut self, churn: ChurnSpec) -> WorkloadSpec {
+        churn.validate().expect("valid churn spec");
+        assert!(
+            self.topology.is_none(),
+            "churn is not supported on a topology workload"
+        );
+        self.churn = Some(churn);
         self
     }
 
@@ -397,6 +414,7 @@ impl WorkloadSpec {
             seed,
             record_deliveries: self.record_deliveries,
             topology,
+            churn: self.churn.clone(),
         })
     }
 
@@ -439,6 +457,11 @@ impl WorkloadSpec {
         if let Some(t) = &self.topology {
             fields.push(("topology", t.to_json_value()));
         }
+        // Same omission rule: churn-free specs serialize exactly as they
+        // did before churn existed.
+        if let Some(c) = &self.churn {
+            fields.push(("churn", c.to_json_value()));
+        }
         Value::obj(fields)
     }
 
@@ -475,12 +498,20 @@ impl WorkloadSpec {
             None | Some(Value::Null) => None,
             Some(t) => Some(TopologySpec::from_json_value(t)?),
         };
+        let churn = match v.get("churn") {
+            None | Some(Value::Null) => None,
+            Some(c) => Some(ChurnSpec::from_json_value(c)?),
+        };
+        if churn.is_some() && topology.is_some() {
+            return Err("churn is not supported on a topology workload".to_string());
+        }
         Ok(WorkloadSpec {
             link: LinkRef::from_json_value(v.field("link")?)?,
             queue_capacity: v.field("queue_capacity")?.as_usize()?,
             senders,
             record_deliveries: v.field("record_deliveries")?.as_bool()?,
             topology,
+            churn,
         })
     }
 }
@@ -1035,6 +1066,69 @@ mod tests {
         let back = ExperimentSpec::from_json(&spec.to_json()).unwrap();
         assert_eq!(spec, back);
         assert_eq!(back.workload.senders[3].rtt, Ns::from_millis(50));
+    }
+
+    #[test]
+    fn churn_workload_round_trips_inside_a_spec() {
+        use netsim::traffic::OnSpec;
+        let mut spec = fig4ish_spec();
+        spec.workload = spec.workload.clone().with_churn(ChurnSpec {
+            arrivals_per_sec: 2000.0,
+            size: OnSpec::BoundedPareto {
+                xm: 4500.0,
+                alpha: 1.2,
+                cap_bytes: 1_500_000.0,
+            },
+            rtt: Ns::from_millis(20),
+        });
+        let text = spec.to_json();
+        assert!(text.contains("\"churn\""));
+        let back = ExperimentSpec::from_json(&text).expect("parse");
+        assert_eq!(spec, back);
+        assert_eq!(back.to_json(), text, "serialization is stable");
+        // The materialized scenario carries the churn spec through.
+        let sc = back
+            .workload
+            .scenario(
+                netsim::queue::QueueSpec::DropTail { capacity: 1000 },
+                Ns::from_secs(5),
+                1,
+            )
+            .expect("scenario");
+        assert_eq!(sc.churn, spec.workload.churn);
+        // Churn-free specs keep serializing without the key (golden specs
+        // stay byte-identical).
+        assert!(!fig4ish_spec().to_json().contains("churn"));
+    }
+
+    #[test]
+    fn churn_plus_topology_is_rejected_on_parse() {
+        let text = r#"{
+            "name": "mini", "title": "mini", "seed": 1,
+            "budget": {"runs": 2, "sim_secs": 3},
+            "workload": {
+                "link": {"kind": "constant", "rate_mbps": 10},
+                "queue_capacity": 100,
+                "senders": {"n": 1, "rtt_ns": 150000000,
+                            "traffic": {"on": {"kind": "by_bytes", "mean_bytes": 1e5},
+                                        "off_mean_ns": 500000000, "start_on": false}},
+                "record_deliveries": false,
+                "topology": {
+                    "hops": [{"link": {"kind": "constant", "rate_mbps": 10},
+                              "queue_capacity": 100, "prop_delay_ns": 0}],
+                    "paths": [{"fwd": [0], "ack": []}]
+                },
+                "churn": {
+                    "arrivals_per_sec": 100,
+                    "size": {"kind": "bounded_pareto", "xm": 3000, "alpha": 1.2,
+                             "cap_bytes": 100000},
+                    "rtt_ns": 20000000
+                }
+            },
+            "contenders": ["newreno"]
+        }"#;
+        let err = ExperimentSpec::from_json(text).expect_err("must reject");
+        assert!(err.contains("churn"), "{err}");
     }
 
     #[test]

@@ -42,6 +42,7 @@ fn head_to_head(
             seed: 1000 + k as u64,
             record_deliveries: false,
             topology: None,
+            churn: None,
         };
         let ccs: Vec<Box<dyn netsim::cc::CongestionControl>> = vec![
             Box::new(RemyCc::new(Arc::clone(&table)).with_name("RemyCC")),

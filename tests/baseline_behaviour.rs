@@ -19,6 +19,7 @@ fn run(scheme: Scheme, n: usize, secs: u64, seed: u64) -> SimResults {
         seed,
         record_deliveries: false,
         topology: None,
+        churn: None,
     };
     let ccs = (0..n).map(|_| scheme.build_cc()).collect();
     let router = scheme.router(&link, 1500);

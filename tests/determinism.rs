@@ -34,6 +34,7 @@ fn identical_runs_for_every_scheme() {
             seed: 1234,
             record_deliveries: false,
             topology: None,
+            churn: None,
         };
         let go = || {
             let ccs = (0..3).map(|_| scheme.build_cc()).collect();

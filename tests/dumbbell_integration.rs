@@ -19,6 +19,7 @@ fn saturating(n: usize, secs: u64, scheme: Scheme, seed: u64) -> SimResults {
         seed,
         record_deliveries: false,
         topology: None,
+        churn: None,
     };
     let ccs = (0..n).map(|_| scheme.build_cc()).collect();
     let router = scheme.router(&link, 1500);
@@ -98,6 +99,7 @@ fn sfqcodel_isolates_a_light_flow_from_a_buffer_filler() {
             seed,
             record_deliveries: false,
             topology: None,
+            churn: None,
         };
         let ccs: Vec<Box<dyn netsim::cc::CongestionControl>> =
             vec![Box::new(Cubic::new()), Box::new(Cubic::new())];
