@@ -104,7 +104,8 @@ impl CongestionControl for Cubic {
         if self.epoch_start.is_none() {
             self.enter_epoch(info.now);
         }
-        let t = (info.now - self.epoch_start.expect("just set")).as_secs_f64();
+        let epoch_start = self.epoch_start.unwrap_or(info.now);
+        let t = (info.now - epoch_start).as_secs_f64();
         let rtt = info.srtt.as_secs_f64().max(1e-6);
         // TCP-friendly region: Reno-equivalent AIMD with Cubic's β
         // (RFC 8312 §4.2): slope 3(1−β)/(1+β) per RTT.

@@ -29,6 +29,8 @@ pub const TABLE_NAMES: [&str; 7] = [
 fn parse(name: &str, json: &str) -> Arc<WhiskerTree> {
     Arc::new(
         WhiskerTree::from_json(json)
+            // lint:allow(p2-sim-panic): the table is compiled into the
+            // binary; a parse failure means the build itself is corrupt.
             .unwrap_or_else(|e| panic!("shipped table '{name}' is corrupt: {e}")),
     )
 }

@@ -194,6 +194,8 @@ impl Remy {
                 // including the unchanged base — is memoized, so an action
                 // revisited by overlapping neighbourhoods is never
                 // re-simulated within this improve step.
+                // lint:allow(p1-sim-unwrap): `rule` comes from iterating the
+                // tree's own leaf ids this epoch; a miss is a logic error.
                 let start_action = tree.get(rule).expect("rule exists").action;
                 let mut memo: BTreeMap<ActionKey, f64> = BTreeMap::new();
                 memo.insert(action_key(&start_action), base_score);
@@ -221,6 +223,9 @@ impl Remy {
                         .map(|c| memo[&action_key(c)])
                         .enumerate()
                         .max_by(|a, b| a.1.total_cmp(&b.1))
+                        // lint:allow(p1-sim-unwrap): neighbourhood() always
+                        // returns the base action plus its perturbations, so
+                        // the candidate set is non-empty by construction.
                         .expect("non-empty candidate set");
                     if best_score > current {
                         current_action = candidates[best_idx];
@@ -256,6 +261,8 @@ impl Remy {
                 if let Some(rule) = tree.most_used(&usage) {
                     let split_at = usage
                         .median_memory(rule)
+                        // lint:allow(p1-sim-unwrap): `rule` was just returned
+                        // by most_used() over this tree, so the lookup holds.
                         .unwrap_or_else(|| tree.get(rule).expect("rule exists").domain.midpoint());
                     if tree.split(rule, split_at) {
                         progress(TrainEvent::Split {

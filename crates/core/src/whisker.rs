@@ -141,6 +141,9 @@ pub struct WhiskerTree {
     pub provenance: String,
     /// Lazily built flattened lookup view, shared by every RemyCC running
     /// this table. Invalidated by action/structure mutations.
+    // lint:allow(s3-sim-interior-mutability): write-once cache of a pure
+    // function of the tree; reset on mutation, so no cross-event state.
+    // PDES note: safe to share read-only across partitions.
     flat_cache: OnceLock<Arc<FlatTree>>,
 }
 
@@ -157,6 +160,8 @@ impl WhiskerTree {
             }),
             next_id: 1,
             provenance: String::new(),
+            // lint:allow(s3-sim-interior-mutability): fresh empty cache slot
+            // for the write-once flat view (see field declaration).
             flat_cache: OnceLock::new(),
         }
     }
@@ -204,8 +209,12 @@ impl WhiskerTree {
         let w = self
             .root
             .find_mut(id)
+            // lint:allow(p2-sim-panic): mutating a nonexistent whisker id
+            // is an optimizer logic bug — silent corruption is worse.
             .unwrap_or_else(|| panic!("no whisker with id {id}"));
         w.action = action;
+        // lint:allow(s3-sim-interior-mutability): cache invalidation — replaces
+        // the write-once slot so the next flat() rebuilds the view.
         self.flat_cache = OnceLock::new();
     }
 
@@ -224,6 +233,8 @@ impl WhiskerTree {
         let w = self
             .root
             .find_mut(id)
+            // lint:allow(p2-sim-panic): same invariant as set_action —
+            // ids come from iterating this tree, so a miss is a logic error.
             .unwrap_or_else(|| panic!("no whisker with id {id}"));
         w.epoch += 1;
     }
@@ -235,6 +246,8 @@ impl WhiskerTree {
     pub fn split(&mut self, id: usize, point: Memory) -> bool {
         // Find the leaf and compute the clamped split point first.
         let Some(w) = self.root.find_mut(id) else {
+            // lint:allow(p2-sim-panic): splitting a nonexistent whisker
+            // id means the usage table and tree diverged — a logic error.
             panic!("no whisker with id {id}");
         };
         let domain = w.domain;
@@ -275,12 +288,16 @@ impl WhiskerTree {
         }
         self.next_id += 8;
         // Replace the leaf in place.
+        // lint:allow(p1-sim-unwrap): find_mut(id) succeeded at the top of
+        // this method and nothing has removed nodes since.
         let target = self.root.find_node_mut(id).expect("leaf located above");
         *target = Node::Branch {
             domain,
             split,
             children,
         };
+        // lint:allow(s3-sim-interior-mutability): cache invalidation after a
+        // structural split, same write-once discipline as set_action.
         self.flat_cache = OnceLock::new();
         true
     }
@@ -329,6 +346,8 @@ impl WhiskerTree {
                 .and_then(Value::as_str)
                 .map_err(err)?
                 .to_string(),
+            // lint:allow(s3-sim-interior-mutability): fresh empty cache slot on
+            // deserialization (see field declaration).
             flat_cache: OnceLock::new(),
         })
     }

@@ -10,8 +10,11 @@
 //!
 //! The scanner understands the Rust constructs that would otherwise
 //! desynchronize a naive splitter: nested block comments, raw strings
-//! with arbitrary `#` fences, byte strings, and the `'a` lifetime vs
-//! `'a'` char-literal ambiguity.
+//! with arbitrary `#` fences, byte and C strings, raw identifiers
+//! (`r#match` surfaces as the identifier `match`), signed float
+//! exponents, and the `'a` lifetime vs `'a'` char-literal ambiguity.
+//! Any mis-lex here is a false-positive/negative factory for every rule
+//! family downstream, so each of these has a regression test below.
 
 /// What a token is.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -123,7 +126,26 @@ pub fn lex(src: &str) -> Vec<Tok> {
                     line: start_line,
                 });
             }
-            'r' | 'b' if is_string_prefix(&chars, i) => {
+            'r' if chars.get(i + 1) == Some(&'#')
+                && chars
+                    .get(i + 2)
+                    .is_some_and(|c| c.is_alphabetic() || *c == '_') =>
+            {
+                // Raw identifier `r#match`: one Ident token spelling the
+                // bare name, so keyword-named items look like their
+                // ordinary spelling to every rule.
+                i += 2;
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: chars[start..i].iter().collect(),
+                    line: start_line,
+                });
+            }
+            'r' | 'b' | 'c' if is_string_prefix(&chars, i) => {
                 let (text, next) = lex_prefixed_string(&chars, i);
                 bump_lines(&chars, i, next, &mut line);
                 i = next;
@@ -193,6 +215,22 @@ pub fn lex(src: &str) -> Vec<Tok> {
                         i += 1;
                     }
                 }
+                // Signed exponent (`1.5e-3`, `2E+10`): the alnum scan stops
+                // at the sign, which would split one float into
+                // Num/Punct/Num and desynchronize span-sensitive rules.
+                let is_radix_prefixed = chars[start] == '0'
+                    && matches!(chars.get(start + 1), Some('x' | 'X' | 'b' | 'o'));
+                if !is_radix_prefixed
+                    && i > start
+                    && matches!(chars[i - 1], 'e' | 'E')
+                    && matches!(chars.get(i), Some('+') | Some('-'))
+                    && chars.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+                {
+                    i += 1;
+                    while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                }
                 toks.push(Tok {
                     kind: TokKind::Num,
                     text: chars[start..i].iter().collect(),
@@ -212,11 +250,12 @@ pub fn lex(src: &str) -> Vec<Tok> {
     toks
 }
 
-/// True if the `r`/`b` at `chars[i]` starts a raw/byte string rather than
-/// an identifier (`r"`, `r#"`, `b"`, `br"`, `b'`-like forms excluded).
+/// True if the `r`/`b`/`c` at `chars[i]` starts a raw/byte/C string
+/// rather than an identifier (`r"`, `r#"`, `b"`, `br"`, `c"`, `cr#"`;
+/// `b'`-like forms excluded).
 fn is_string_prefix(chars: &[char], i: usize) -> bool {
     let mut j = i;
-    if chars.get(j) == Some(&'b') {
+    if matches!(chars.get(j), Some('b') | Some('c')) {
         j += 1;
     }
     if chars.get(j) == Some(&'r') {
@@ -234,7 +273,10 @@ fn lex_string(chars: &[char], mut i: usize) -> (String, usize) {
     let start = i;
     while i < chars.len() {
         match chars[i] {
-            '\\' => i += 2,
+            // A trailing backslash at end of input must not step past the
+            // buffer (the unterminated-construct contract is "consume to
+            // EOF", never panic).
+            '\\' => i = (i + 2).min(chars.len()),
             '"' => {
                 return (chars[start..i].iter().collect(), i + 1);
             }
@@ -244,10 +286,10 @@ fn lex_string(chars: &[char], mut i: usize) -> (String, usize) {
     (chars[start..i].iter().collect(), i)
 }
 
-/// Lex a raw/byte string starting at its `r`/`b` prefix; returns
+/// Lex a raw/byte/C string starting at its `r`/`b`/`c` prefix; returns
 /// (content, index past the closing delimiter).
 fn lex_prefixed_string(chars: &[char], mut i: usize) -> (String, usize) {
-    if chars.get(i) == Some(&'b') {
+    if matches!(chars.get(i), Some('b') | Some('c')) {
         i += 1;
     }
     let raw = chars.get(i) == Some(&'r');
@@ -382,6 +424,103 @@ mod tests {
         assert!(toks
             .iter()
             .any(|t| t.kind == TokKind::Num && t.text == "1.5e3"));
+    }
+
+    #[test]
+    fn raw_string_with_multi_hash_fence_and_inner_fences() {
+        // A `##`-fenced raw string containing a `"#` that must NOT close
+        // it, across a newline; the token after it keeps its line number.
+        let src = "let a = r##\"quote\"# still \"inside\"\nline two\"##;\nlet b = after();";
+        let toks = lex(src);
+        let s = toks.iter().find(|t| t.kind == TokKind::Str).unwrap();
+        assert_eq!(s.text, "quote\"# still \"inside\"\nline two");
+        let after = toks.iter().find(|t| t.is_ident("after")).unwrap();
+        assert_eq!(after.line, 3);
+    }
+
+    #[test]
+    fn raw_byte_string_with_fence() {
+        let src = "let a = br#\"HashMap \"in\" bytes\"#; let x = 1;";
+        let strs: Vec<_> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(strs, vec!["HashMap \"in\" bytes"]);
+        assert!(idents(src).iter().all(|s| s != "HashMap" && s != "br"));
+    }
+
+    #[test]
+    fn byte_string_escapes_do_not_desync() {
+        let src = r#"let a = b"esc \" HashMap \\"; let h = ok();"#;
+        let toks = lex(src);
+        let s = toks.iter().find(|t| t.kind == TokKind::Str).unwrap();
+        assert_eq!(s.text, r#"esc \" HashMap \\"#);
+        assert!(toks.iter().any(|t| t.is_ident("ok")));
+        assert!(idents(src).iter().all(|s| s != "HashMap"));
+    }
+
+    #[test]
+    fn c_string_literals() {
+        let src = "let a = c\"HashMap\"; let b = cr#\"raw \"c\" HashMap\"#; f();";
+        let strs: Vec<_> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(strs, vec!["HashMap", "raw \"c\" HashMap"]);
+        assert!(idents(src)
+            .iter()
+            .all(|s| s != "HashMap" && s != "c" && s != "cr"));
+    }
+
+    #[test]
+    fn raw_identifiers_surface_as_bare_names() {
+        let src = "fn r#match(r#type: u32) -> u32 { r#type }";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["fn", "match", "type", "u32", "u32", "type"]);
+    }
+
+    #[test]
+    fn deeply_nested_block_comments_with_line_tracking() {
+        let src = "/* a /* b\n /* c */\n */ d */ fn f() {}\nfn g() {}";
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokKind::Comment);
+        let f = toks.iter().find(|t| t.is_ident("f")).unwrap();
+        assert_eq!(f.line, 3);
+        let g = toks.iter().find(|t| t.is_ident("g")).unwrap();
+        assert_eq!(g.line, 4);
+        assert!(idents(src).iter().all(|s| s != "b" && s != "c" && s != "d"));
+    }
+
+    #[test]
+    fn unterminated_constructs_never_panic() {
+        // Each of these used to be (or could be) a place where the lexer
+        // stepped past the buffer: an escape as the last character, an
+        // unterminated raw string / block comment / char escape.
+        for src in [
+            "let s = \"ends with escape \\",
+            "let s = \"\\",
+            "let s = r#\"never closed",
+            "let s = b\"\\",
+            "/* never closed /* nested",
+            "let c = '\\",
+            "let c = '\\u{12",
+        ] {
+            let toks = lex(src);
+            assert!(!toks.is_empty(), "lexed nothing for {src:?}");
+        }
+    }
+
+    #[test]
+    fn signed_float_exponents_stay_one_token() {
+        let src = "let a = 1.5e-3; let b = 2E+10; let c = 7e-2 - x; let d = 0xE-1;";
+        let nums: Vec<_> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(nums, vec!["1.5e-3", "2E+10", "7e-2", "0xE", "1"]);
     }
 
     #[test]

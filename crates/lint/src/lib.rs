@@ -34,7 +34,9 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod callgraph;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 
 use lexer::{lex, Tok, TokKind};
@@ -75,7 +77,7 @@ impl FileCtx {
     }
 }
 
-/// A single lint rule.
+/// A single token-level lint rule (the D family).
 pub struct Rule {
     /// Stable id, used in reports and `lint:allow(<id>)`.
     pub id: &'static str,
@@ -87,51 +89,192 @@ pub struct Rule {
     pub check: fn(&FileCtx) -> Vec<(u32, String)>,
 }
 
-/// Scan one file's text as if it lived at workspace-relative `rel_path`.
-///
-/// This is the engine under both the binary and the fixture tests (which
-/// scan seeded-bad sources under a virtual in-scope path). Returned
-/// diagnostics are filtered through `lint:allow` directives and sorted by
-/// `(line, rule)`.
-pub fn scan_source(rel_path: &str, text: &str) -> Vec<Diagnostic> {
-    let toks = lex(text);
-    let test_mask = test_region_mask(&toks, rel_path);
-    let ctx = FileCtx {
-        path: rel_path.to_string(),
-        toks,
-        test_mask,
-    };
-    let allows = parse_allows(&ctx);
-    let mut out: Vec<Diagnostic> = Vec::new();
+/// A call-graph-aware lint rule (the P/R/S families): scoped by
+/// *reachability from the simulation entry points* rather than by path
+/// glob alone. The check sees the whole-workspace [`Analysis`] and
+/// reports findings for one file at a time.
+pub struct GraphRule {
+    /// Stable id, used in reports and `lint:allow(<id>)`.
+    pub id: &'static str,
+    /// One-line summary for `--list-rules` and docs.
+    pub summary: &'static str,
+    /// Path-scoping predicate (coarse pre-filter; the fine filter is
+    /// reachability, applied inside `check`).
+    pub applies: fn(&str) -> bool,
+    /// The check: (line, message) findings for `analysis.files[file]`.
+    pub check: fn(&Analysis, usize) -> Vec<(u32, String)>,
+}
 
-    // Malformed allow directives are diagnostics in their own right: an
-    // unjustified suppression is exactly what the gate must not accept.
-    for a in &allows {
-        if !a.justified {
-            out.push(Diagnostic {
-                rule: "lint-allow",
-                file: ctx.path.clone(),
-                line: a.line,
-                message: format!(
-                    "lint:allow({}) without a justification — write \
-                     `// lint:allow({}): <why this is sound>`",
-                    a.rule, a.rule
-                ),
-            });
+/// Whole-workspace analysis state: lexed files, per-file symbol tables,
+/// and the sim-reachability verdict for every function definition.
+pub struct Analysis {
+    /// One [`FileCtx`] per input file, in input order.
+    pub files: Vec<FileCtx>,
+    /// Parallel to `files`: the parsed function symbol tables.
+    pub symbols: Vec<parser::FileSymbols>,
+    /// Parallel to `files`/`symbols.defs`: which definitions are
+    /// reachable from [`callgraph::ROOTS`].
+    pub reachable: Vec<Vec<bool>>,
+}
+
+impl Analysis {
+    /// Lex, parse, and compute reachability over a set of
+    /// `(workspace-relative path, source text)` inputs.
+    pub fn build(inputs: Vec<(String, String)>) -> Analysis {
+        let files: Vec<FileCtx> = inputs
+            .into_iter()
+            .map(|(path, text)| {
+                let toks = lex(&text);
+                let test_mask = test_region_mask(&toks, &path);
+                FileCtx {
+                    path,
+                    toks,
+                    test_mask,
+                }
+            })
+            .collect();
+        let symbols: Vec<parser::FileSymbols> = files
+            .iter()
+            .map(|f| parser::parse_file(&f.toks, &f.test_mask))
+            .collect();
+        let gfiles: Vec<callgraph::GraphFile<'_>> = files
+            .iter()
+            .zip(&symbols)
+            .map(|(f, s)| callgraph::GraphFile {
+                toks: &f.toks,
+                symbols: s,
+            })
+            .collect();
+        let reachable = callgraph::reachable_defs(&gfiles);
+        Analysis {
+            files,
+            symbols,
+            reachable,
         }
     }
 
-    for rule in rules::all() {
-        if !(rule.applies)(rel_path) {
-            continue;
+    /// The function definition whose body holds token `ti` of file `fi`.
+    pub fn owner_def(&self, fi: usize, ti: usize) -> Option<&parser::FnDef> {
+        let di = self.symbols[fi].owner.get(ti).copied().flatten()?;
+        Some(&self.symbols[fi].defs[di])
+    }
+
+    /// Is token `ti` of file `fi` inside a sim-reachable function body?
+    pub fn token_in_reachable_fn(&self, fi: usize, ti: usize) -> bool {
+        self.symbols[fi]
+            .owner
+            .get(ti)
+            .copied()
+            .flatten()
+            .map(|di| self.reachable[fi][di])
+            .unwrap_or(false)
+    }
+
+    /// Item-level scoping for state declared *outside* any function
+    /// (statics, struct fields, `thread_local!` blocks): such state is
+    /// sim-relevant when the file defines at least one sim-reachable
+    /// function. Body tokens defer to their owner's reachability.
+    pub fn token_in_sim_scope(&self, fi: usize, ti: usize) -> bool {
+        match self.symbols[fi].owner.get(ti).copied().flatten() {
+            Some(di) => self.reachable[fi][di],
+            None => self.file_has_reachable_fn(fi),
         }
-        for (line, message) in (rule.check)(&ctx) {
+    }
+
+    /// Does file `fi` define any sim-reachable function?
+    pub fn file_has_reachable_fn(&self, fi: usize) -> bool {
+        self.reachable[fi].iter().any(|&b| b)
+    }
+
+    /// Every sim-reachable function as `(file, qualified name, line)`,
+    /// sorted — the `--reachable` listing and the superset-pinning test.
+    pub fn reachable_fns(&self) -> Vec<(String, String, u32)> {
+        let mut out: Vec<(String, String, u32)> = Vec::new();
+        for (fi, flags) in self.reachable.iter().enumerate() {
+            for (di, &on) in flags.iter().enumerate() {
+                if on {
+                    let d = &self.symbols[fi].defs[di];
+                    out.push((self.files[fi].path.clone(), d.qual_name(), d.line));
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+/// Scan a set of `(workspace-relative path, source text)` files as one
+/// unit: the call graph spans all of them, so cross-file reachability is
+/// visible to the P/R/S families. This is the engine under the binary,
+/// `scan_source`, `scan_workspace`, and the fixture tests.
+///
+/// Diagnostics are filtered through justified `lint:allow` directives
+/// and sorted by `(file, line, rule)`. An allow naming a rule id that no
+/// longer exists is itself a diagnostic (stale-allow detection).
+pub fn scan_files(inputs: Vec<(String, String)>) -> Vec<Diagnostic> {
+    let analysis = Analysis::build(inputs);
+    let known: Vec<&'static str> = rules::all()
+        .iter()
+        .map(|r| r.id)
+        .chain(rules::graph_rules().iter().map(|r| r.id))
+        .collect();
+    let mut out: Vec<Diagnostic> = Vec::new();
+
+    for (fi, ctx) in analysis.files.iter().enumerate() {
+        let allows = parse_allows(ctx);
+
+        // Malformed allow directives are diagnostics in their own right:
+        // an unjustified suppression is exactly what the gate must not
+        // accept — and a stale one (naming a rule id that no longer
+        // exists) is a suppression of nothing, hiding a dead comment.
+        for a in &allows {
+            if !a.justified {
+                out.push(Diagnostic {
+                    rule: "lint-allow",
+                    file: ctx.path.clone(),
+                    line: a.line,
+                    message: format!(
+                        "lint:allow({}) without a justification — write \
+                         `// lint:allow({}): <why this is sound>`",
+                        a.rule, a.rule
+                    ),
+                });
+            } else if !known.contains(&a.rule.as_str()) {
+                out.push(Diagnostic {
+                    rule: "lint-allow",
+                    file: ctx.path.clone(),
+                    line: a.line,
+                    message: format!(
+                        "stale lint:allow({}): no such rule — remove the \
+                         directive or update the rule id (see --list-rules)",
+                        a.rule
+                    ),
+                });
+            }
+        }
+
+        let mut raw: Vec<(&'static str, u32, String)> = Vec::new();
+        for rule in rules::all() {
+            if (rule.applies)(&ctx.path) {
+                for (line, message) in (rule.check)(ctx) {
+                    raw.push((rule.id, line, message));
+                }
+            }
+        }
+        for rule in rules::graph_rules() {
+            if (rule.applies)(&ctx.path) {
+                for (line, message) in (rule.check)(&analysis, fi) {
+                    raw.push((rule.id, line, message));
+                }
+            }
+        }
+        for (rule_id, line, message) in raw {
             let allowed = allows
                 .iter()
-                .any(|a| a.justified && a.rule == rule.id && a.covers.contains(&line));
+                .any(|a| a.justified && a.rule == rule_id && a.covers.contains(&line));
             if !allowed {
                 out.push(Diagnostic {
-                    rule: rule.id,
+                    rule: rule_id,
                     file: ctx.path.clone(),
                     line,
                     message,
@@ -139,17 +282,26 @@ pub fn scan_source(rel_path: &str, text: &str) -> Vec<Diagnostic> {
             }
         }
     }
-    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     out
 }
 
-/// Walk the workspace at `root` and scan every Rust source file.
+/// Scan one file's text as if it lived at workspace-relative `rel_path`.
+///
+/// Single-file view of [`scan_files`]: reachability is computed within
+/// the file alone, so sources scanned this way must carry their own
+/// entry point (the P/R/S fixtures embed an `impl Simulator { fn run }`
+/// root for exactly this reason).
+pub fn scan_source(rel_path: &str, text: &str) -> Vec<Diagnostic> {
+    scan_files(vec![(rel_path.to_string(), text.to_string())])
+}
+
+/// Read every workspace `.rs` file for [`Analysis`] — shared by
+/// `scan_workspace` and the `--reachable` listing.
 ///
 /// Skips `target/`, `.git/`, and `fixtures/` directories (the seeded-bad
 /// lint fixtures must not fail the gate for the tree that tests them).
-/// Diagnostics come back sorted by `(file, line, rule)` so output — and
-/// the `--json` document — is deterministic.
-pub fn scan_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
+pub fn read_workspace_files(root: &Path) -> Result<Vec<(String, String)>, String> {
     let mut files = Vec::new();
     collect_rs_files(root, root, &mut files)?;
     files.sort();
@@ -157,10 +309,23 @@ pub fn scan_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
     for rel in files {
         let text =
             std::fs::read_to_string(root.join(&rel)).map_err(|e| format!("reading {rel}: {e}"))?;
-        out.extend(scan_source(&rel, &text));
+        out.push((rel, text));
     }
-    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(out)
+}
+
+/// Walk the workspace at `root` and scan every Rust source file as one
+/// analysis unit (cross-crate call graph included). Diagnostics come
+/// back sorted by `(file, line, rule)` so output — and the `--json`
+/// document — is deterministic.
+pub fn scan_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    Ok(scan_files(read_workspace_files(root)?))
+}
+
+/// Build the whole-workspace [`Analysis`] without running any rules —
+/// the `--reachable` listing and the scope tests use this directly.
+pub fn analyze_workspace(root: &Path) -> Result<Analysis, String> {
+    Ok(Analysis::build(read_workspace_files(root)?))
 }
 
 fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), String> {
@@ -250,6 +415,120 @@ pub fn render_human(diags: &[Diagnostic]) -> String {
 }
 
 // ---------------------------------------------------------------------------
+// Allow inventory (--allow-report)
+// ---------------------------------------------------------------------------
+
+/// One `lint:allow` directive found in the tree, for the
+/// `--allow-report` inventory. Every S-family allow in this list is an
+/// entry on the PDES-migration worklist.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// The rule id the directive names.
+    pub rule: String,
+    /// Workspace-relative path of the file holding the directive.
+    pub file: String,
+    /// 1-based line of the directive comment.
+    pub line: u32,
+    /// The justification text (directive line + continuation comments).
+    pub justification: String,
+    /// False for a bare/malformed directive (which the gate rejects).
+    pub justified: bool,
+    /// False when the rule id no longer exists (stale allow).
+    pub known_rule: bool,
+}
+
+/// Inventory every `lint:allow` directive in the given files, sorted by
+/// `(file, line)`.
+pub fn collect_allows(inputs: &[(String, String)]) -> Vec<AllowEntry> {
+    let known: Vec<&'static str> = rules::all()
+        .iter()
+        .map(|r| r.id)
+        .chain(rules::graph_rules().iter().map(|r| r.id))
+        .collect();
+    let mut out: Vec<AllowEntry> = Vec::new();
+    for (path, text) in inputs {
+        let toks = lex(text);
+        let test_mask = test_region_mask(&toks, path);
+        let ctx = FileCtx {
+            path: path.clone(),
+            toks,
+            test_mask,
+        };
+        for a in parse_allows(&ctx) {
+            out.push(AllowEntry {
+                known_rule: known.contains(&a.rule.as_str()),
+                rule: a.rule,
+                file: ctx.path.clone(),
+                line: a.line,
+                justification: a.justification,
+                justified: a.justified,
+            });
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    out
+}
+
+/// Inventory every `lint:allow` in the workspace at `root`.
+pub fn allow_report(root: &Path) -> Result<Vec<AllowEntry>, String> {
+    Ok(collect_allows(&read_workspace_files(root)?))
+}
+
+/// The `--allow-report --json` document: `count` plus an `allows` array
+/// with `rule`, `file`, `line`, `justified`, `known_rule`, and
+/// `justification` per entry.
+pub fn allow_report_json(entries: &[AllowEntry]) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"count\": {},\n", entries.len()));
+    s.push_str("  \"allows\": [");
+    for (i, a) in entries.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \
+             \"justified\": {}, \"known_rule\": {}, \"justification\": \"{}\"}}",
+            json_escape(&a.rule),
+            json_escape(&a.file),
+            a.line,
+            a.justified,
+            a.known_rule,
+            json_escape(&a.justification)
+        ));
+    }
+    if !entries.is_empty() {
+        s.push('\n');
+        s.push_str("  ");
+    }
+    s.push_str("]\n}\n");
+    s
+}
+
+/// Human rendering of the allow inventory, one
+/// `file:line: [rule] justification` per entry plus a summary line.
+pub fn render_allow_report(entries: &[AllowEntry]) -> String {
+    let mut s = String::new();
+    for a in entries {
+        let mark = if !a.justified {
+            " (UNJUSTIFIED)"
+        } else if !a.known_rule {
+            " (STALE RULE ID)"
+        } else {
+            ""
+        };
+        s.push_str(&format!(
+            "{}:{}: [{}]{} {}\n",
+            a.file, a.line, a.rule, mark, a.justification
+        ));
+    }
+    s.push_str(&format!(
+        "remy-lint: {} allow directive(s)\n",
+        entries.len()
+    ));
+    s
+}
+
+// ---------------------------------------------------------------------------
 // Test-region detection
 // ---------------------------------------------------------------------------
 
@@ -265,7 +544,7 @@ pub fn is_test_path(rel_path: &str) -> bool {
 /// shapes: `#[cfg(test)] mod tests { ... }`, possibly with further
 /// attributes between the cfg and the item, and `#[cfg(test)]` on
 /// brace-less items (skips to the `;`).
-fn test_region_mask(toks: &[Tok], rel_path: &str) -> Vec<bool> {
+pub fn test_region_mask(toks: &[Tok], rel_path: &str) -> Vec<bool> {
     let mut mask = vec![is_test_path(rel_path); toks.len()];
     if mask.first().copied().unwrap_or(false) {
         return mask; // whole file is test code
@@ -376,6 +655,10 @@ struct Allow {
     /// form) and the first code line after the comment block it opens.
     covers: Vec<u32>,
     justified: bool,
+    /// The justification text: everything after `):` on the directive
+    /// line, plus immediately following comment lines up to the next
+    /// code token (the multi-line justification form).
+    justification: String,
 }
 
 /// Extract `lint:allow(<rule>): <justification>` directives from
@@ -403,6 +686,7 @@ fn parse_allows(ctx: &FileCtx) -> Vec<Allow> {
                 line: t.line,
                 covers: Vec::new(),
                 justified: false,
+                justification: String::new(),
             });
             continue;
         };
@@ -412,20 +696,33 @@ fn parse_allows(ctx: &FileCtx) -> Vec<Allow> {
             .strip_prefix(':')
             .map(|j| j.trim().len() >= 8)
             .unwrap_or(false);
+        let mut justification = after
+            .strip_prefix(':')
+            .map(|j| j.trim().to_string())
+            .unwrap_or_default();
         let mut covers = vec![t.line];
-        // First code token after this comment (skipping the rest of the
-        // justification block): the guarded line.
-        if let Some(next) = ctx.toks[i + 1..]
-            .iter()
-            .find(|n| n.kind != TokKind::Comment)
-        {
-            covers.push(next.line);
+        // Continuation comment lines extend the justification; the first
+        // code token after the block is the guarded line.
+        for n in &ctx.toks[i + 1..] {
+            if n.kind == TokKind::Comment {
+                let cont = n.text.trim_start_matches(['/', '!', '*', ' ', '\t']).trim();
+                if !cont.is_empty() && !cont.starts_with("lint:allow(") {
+                    if !justification.is_empty() {
+                        justification.push(' ');
+                    }
+                    justification.push_str(cont);
+                }
+            } else {
+                covers.push(n.line);
+                break;
+            }
         }
         out.push(Allow {
             rule,
             line: t.line,
             covers,
             justified,
+            justification,
         });
     }
     out

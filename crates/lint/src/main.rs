@@ -1,15 +1,24 @@
 //! `remy-lint` — the workspace determinism & safety gate.
 //!
 //! ```text
-//! remy-lint [--json] [--root <dir>] [--scope-as <prefix>] [--list-rules] [paths...]
+//! remy-lint [--json] [--root <dir>] [--scope-as <prefix>] [--list-rules]
+//!           [--allow-report] [--reachable] [paths...]
 //! ```
 //!
 //! With no paths, walks the workspace (found by ascending from `--root`
 //! or the current directory to the first `Cargo.toml` containing
-//! `[workspace]`) and scans every `.rs` file. With paths, scans those
+//! `[workspace]`) and scans every `.rs` file as one unit — the call
+//! graph behind the P/R/S families spans crates. With paths, scans those
 //! files/directories; `--scope-as` maps each scanned file to a virtual
 //! workspace-relative prefix so rule scoping applies (this is how the CI
 //! gate proves the seeded-bad fixtures still fail).
+//!
+//! `--allow-report` inventories every `lint:allow` in the workspace with
+//! its rule id and justification (the S-family entries are the PDES
+//! migration worklist); it exits non-zero if any allow is unjustified or
+//! names a rule that no longer exists. `--reachable` lists every
+//! function the call graph considers reachable from the simulation entry
+//! points, as `file:line: name`.
 //!
 //! Exit status: `0` clean, `1` diagnostics found, `2` usage/IO error.
 
@@ -22,6 +31,8 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut json = false;
     let mut list_rules = false;
+    let mut allow_report = false;
+    let mut reachable = false;
     let mut root: Option<PathBuf> = None;
     let mut scope_as: Option<String> = None;
     let mut paths: Vec<PathBuf> = Vec::new();
@@ -31,6 +42,8 @@ fn main() -> ExitCode {
         match a.as_str() {
             "--json" => json = true,
             "--list-rules" => list_rules = true,
+            "--allow-report" => allow_report = true,
+            "--reachable" => reachable = true,
             "--root" => match args.next() {
                 Some(d) => root = Some(PathBuf::from(d)),
                 None => return usage("--root needs a directory"),
@@ -42,7 +55,7 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: remy-lint [--json] [--root <dir>] [--scope-as <prefix>] \
-                     [--list-rules] [paths...]"
+                     [--list-rules] [--allow-report] [--reachable] [paths...]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -57,7 +70,45 @@ fn main() -> ExitCode {
         for r in remy_lint::rules::all() {
             println!("{:<28} {}", r.id, r.summary);
         }
+        for r in remy_lint::rules::graph_rules() {
+            println!("{:<28} {}", r.id, r.summary);
+        }
         return ExitCode::SUCCESS;
+    }
+
+    if allow_report || reachable {
+        let start = root.unwrap_or_else(|| PathBuf::from("."));
+        let Some(ws) = find_workspace_root(&start) else {
+            return usage(&format!(
+                "no workspace Cargo.toml found above {}",
+                start.display()
+            ));
+        };
+        if reachable {
+            let analysis = match remy_lint::analyze_workspace(&ws) {
+                Ok(a) => a,
+                Err(e) => return usage(&e),
+            };
+            for (file, name, line) in analysis.reachable_fns() {
+                println!("{file}:{line}: {name}");
+            }
+            return ExitCode::SUCCESS;
+        }
+        let entries = match remy_lint::allow_report(&ws) {
+            Ok(e) => e,
+            Err(e) => return usage(&e),
+        };
+        if json {
+            print!("{}", remy_lint::allow_report_json(&entries));
+        } else {
+            print!("{}", remy_lint::render_allow_report(&entries));
+        }
+        let unsound = entries.iter().any(|a| !a.justified || !a.known_rule);
+        return if unsound {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
     }
 
     let diags = if paths.is_empty() {

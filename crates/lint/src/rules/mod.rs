@@ -17,10 +17,13 @@ pub mod d3;
 pub mod d4;
 pub mod d5;
 pub mod d6;
+pub mod p;
+pub mod r;
+pub mod s;
 
-use crate::Rule;
+use crate::{GraphRule, Rule};
 
-/// Every rule, in id order.
+/// Every token-level (D-family) rule, in id order.
 pub fn all() -> Vec<Rule> {
     vec![
         d1::rule(),
@@ -32,9 +35,17 @@ pub fn all() -> Vec<Rule> {
     ]
 }
 
+/// Every call-graph-aware (P/R/S-family) rule, in id order.
+pub fn graph_rules() -> Vec<GraphRule> {
+    let mut out = p::rules();
+    out.extend(r::rules());
+    out.extend(s::rules());
+    out
+}
+
 /// True when `rel_path` is library/binary source of one of the crates
 /// where simulation determinism is load-bearing.
-pub(crate) fn sim_crate_src(rel_path: &str) -> bool {
+pub fn sim_crate_src(rel_path: &str) -> bool {
     !crate::is_test_path(rel_path)
         && [
             "crates/netsim/src/",
@@ -45,6 +56,21 @@ pub(crate) fn sim_crate_src(rel_path: &str) -> bool {
         ]
         .iter()
         .any(|p| rel_path.starts_with(p))
+}
+
+/// Path pre-filter for the call-graph (P/R/S) families: any crate
+/// library source except the shims (reimplement threaded libraries on
+/// purpose), the lint crate itself, the bench harness, and CLI `bin/`
+/// entry shims (startup code — argument parsing may panic freely; it
+/// runs before any simulation). The *fine* filter is reachability.
+pub fn prs_scope(rel_path: &str) -> bool {
+    !crate::is_test_path(rel_path)
+        && rel_path.starts_with("crates/")
+        && rel_path.contains("/src/")
+        && !rel_path.contains("/src/bin/")
+        && !rel_path.starts_with("crates/shims/")
+        && !rel_path.starts_with("crates/lint/")
+        && !rel_path.starts_with("crates/bench/")
 }
 
 #[cfg(test)]
@@ -70,19 +96,35 @@ pub(crate) mod testutil {
 mod tests {
     #[test]
     fn rule_ids_are_unique_and_kebab() {
-        let rules = super::all();
-        for (i, r) in rules.iter().enumerate() {
+        let ids: Vec<(&str, &str)> = super::all()
+            .iter()
+            .map(|r| (r.id, r.summary))
+            .chain(super::graph_rules().iter().map(|r| (r.id, r.summary)))
+            .collect();
+        for (i, (id, summary)) in ids.iter().enumerate() {
             assert!(
-                r.id.chars()
+                id.chars()
                     .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
-                "{} not kebab-case",
-                r.id
+                "{id} not kebab-case"
             );
-            assert!(!r.summary.is_empty());
-            for other in &rules[i + 1..] {
-                assert_ne!(r.id, other.id);
+            assert!(!summary.is_empty());
+            for (other, _) in &ids[i + 1..] {
+                assert_ne!(id, other);
             }
         }
-        assert_eq!(rules.len(), 6);
+        assert_eq!(super::all().len(), 6);
+        assert_eq!(super::graph_rules().len(), 8);
+    }
+
+    #[test]
+    fn prs_scope_covers_sim_crates_not_harness_infra() {
+        assert!(super::prs_scope("crates/netsim/src/sim.rs"));
+        assert!(super::prs_scope("crates/core/src/evaluator.rs"));
+        assert!(super::prs_scope("crates/remy-sim/src/harness.rs"));
+        assert!(!super::prs_scope("crates/shims/rayon/src/lib.rs"));
+        assert!(!super::prs_scope("crates/lint/src/lib.rs"));
+        assert!(!super::prs_scope("crates/bench/src/lib.rs"));
+        assert!(!super::prs_scope("crates/remy-sim/src/bin/remy_cli.rs"));
+        assert!(!super::prs_scope("crates/netsim/tests/equivalence.rs"));
     }
 }

@@ -81,6 +81,74 @@ fn d6_fires_on_wallclock_fields_with_spans() {
 }
 
 #[test]
+fn p1_fires_on_reachable_unwrap_and_expect_only() {
+    let d = scan_fixture("bad_p1.rs");
+    // Lines 6–7 sit in `Simulator::run`; the same `.unwrap()` in the
+    // unreachable `cold_helper` (line 14) must stay silent, and the
+    // `.unwrap_or` fallback on line 8 is not a panic site at all.
+    assert_eq!(lines(&d, "p1-sim-unwrap"), vec![6, 7], "{d:#?}");
+}
+
+#[test]
+fn p2_fires_on_panic_macros_not_asserts() {
+    let d = scan_fixture("bad_p2.rs");
+    // `panic!` (6) and `unreachable!` (9) on the sim path; `assert!`,
+    // `debug_assert!`, and the unreachable `todo!` (16) stay legal.
+    assert_eq!(lines(&d, "p2-sim-panic"), vec![6, 9], "{d:#?}");
+}
+
+#[test]
+fn p3_fires_on_subscript_arithmetic_in_reachable_fns() {
+    let d = scan_fixture("bad_p3.rs");
+    // `buf[head - 1]` (5) and `buf[(head + 7) % buf.len()]` (6); the
+    // plain `buf[head]` (7) and the unreachable copy (12) stay silent.
+    assert_eq!(lines(&d, "p3-sim-index-arith"), vec![5, 6], "{d:#?}");
+}
+
+#[test]
+fn r1_fires_on_second_use_of_a_stream_id() {
+    let d = scan_fixture("bad_r1.rs");
+    // The duplicate `rng.fork(1)` (6) and duplicate `split_seed(7, 3)`
+    // (9); first uses, the distinct stream (7), and the unreachable
+    // duplicates (14–15) stay silent.
+    assert_eq!(lines(&d, "r1-rng-stream-collision"), vec![6, 9], "{d:#?}");
+}
+
+#[test]
+fn r2_fires_on_adhoc_seed_arithmetic_and_literals() {
+    let d = scan_fixture("bad_r2.rs");
+    // Seed arithmetic (5) and a bare literal (6); passing a seed value
+    // through untouched (7) and the unreachable copy (12) stay silent.
+    assert_eq!(lines(&d, "r2-rng-underived-seed"), vec![5, 6], "{d:#?}");
+}
+
+#[test]
+fn s1_fires_on_static_mut_outside_tests() {
+    let d = scan_fixture("bad_s1.rs");
+    // The item-level `static mut` (2) in a file with a sim-reachable
+    // function; the `#[cfg(test)]` copy (9) is masked.
+    assert_eq!(lines(&d, "s1-sim-static-mut"), vec![2], "{d:#?}");
+}
+
+#[test]
+fn s2_fires_on_thread_local() {
+    let d = scan_fixture("bad_s2.rs");
+    assert_eq!(lines(&d, "s2-sim-thread-local"), vec![2], "{d:#?}");
+}
+
+#[test]
+fn s3_fires_on_cells_not_use_statements() {
+    let d = scan_fixture("bad_s3.rs");
+    // The `RefCell` field (4) and `Cell` field (5); the `use` statement
+    // naming RefCell on line 2 is not a cell site.
+    assert_eq!(
+        lines(&d, "s3-sim-interior-mutability"),
+        vec![4, 5],
+        "{d:#?}"
+    );
+}
+
+#[test]
 fn every_rule_fires_somewhere_in_the_fixture_set() {
     let all: Vec<Diagnostic> = [
         "bad_d1.rs",
@@ -89,6 +157,14 @@ fn every_rule_fires_somewhere_in_the_fixture_set() {
         "bad_d4.rs",
         "bad_d5.rs",
         "bad_d6.rs",
+        "bad_p1.rs",
+        "bad_p2.rs",
+        "bad_p3.rs",
+        "bad_r1.rs",
+        "bad_r2.rs",
+        "bad_s1.rs",
+        "bad_s2.rs",
+        "bad_s3.rs",
     ]
     .iter()
     .flat_map(|f| scan_fixture(f))
@@ -100,12 +176,47 @@ fn every_rule_fires_somewhere_in_the_fixture_set() {
             rule.id
         );
     }
+    for rule in remy_lint::rules::graph_rules() {
+        assert!(
+            all.iter().any(|d| d.rule == rule.id),
+            "graph rule {} never fired on the fixture set",
+            rule.id
+        );
+    }
+}
+
+#[test]
+fn every_bad_fixture_on_disk_is_covered_and_fails() {
+    // The gate script globs `bad_*.rs`; every such fixture must actually
+    // produce at least one diagnostic, or the negative control is dead.
+    let dir = format!("{}/tests/fixtures", env!("CARGO_MANIFEST_DIR"));
+    let mut saw = 0;
+    for entry in std::fs::read_dir(&dir).expect("fixtures dir") {
+        let name = entry.expect("dir entry").file_name();
+        let name = name.to_string_lossy().to_string();
+        if !name.starts_with("bad_") || !name.ends_with(".rs") {
+            continue;
+        }
+        saw += 1;
+        let d = scan_fixture(&name);
+        assert!(!d.is_empty(), "negative control {name} scanned clean");
+    }
+    assert!(saw >= 14, "expected the full bad_* suite, found {saw}");
 }
 
 #[test]
 fn justified_allows_scan_clean() {
     let d = scan_fixture("allowed_ok.rs");
     assert!(d.is_empty(), "justified allows must suppress: {d:#?}");
+}
+
+#[test]
+fn stale_allow_is_flagged_and_does_not_suppress() {
+    let d = scan_fixture("allow_stale_rule.rs");
+    // The justified directive names a rule that doesn't exist: reported
+    // stale (6), and the `.unwrap()` it sits above still fires (7).
+    assert_eq!(lines(&d, "lint-allow"), vec![6], "{d:#?}");
+    assert_eq!(lines(&d, "p1-sim-unwrap"), vec![7], "{d:#?}");
 }
 
 #[test]

@@ -1,0 +1,15 @@
+//! P1 seeded violations: unwrap/expect on the sim path.
+pub struct Simulator;
+impl Simulator {
+    pub fn run(&self) {
+        let v: Option<u32> = None;
+        let _ = v.unwrap();
+        let _ = v.expect("boom");
+        let fine = v.unwrap_or(0);
+        let _ = fine;
+    }
+}
+fn cold_helper() {
+    let v: Option<u32> = None;
+    let _ = v.unwrap();
+}

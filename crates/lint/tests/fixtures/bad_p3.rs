@@ -1,0 +1,13 @@
+//! P3 seeded violations: subscript arithmetic on the sim path.
+pub struct Simulator;
+impl Simulator {
+    pub fn run(&self, buf: &[u64], head: usize) -> u64 {
+        let a = buf[head - 1];
+        let b = buf[(head + 7) % buf.len()];
+        let plain = buf[head];
+        a + b + plain
+    }
+}
+fn cold_helper(buf: &[u64], head: usize) -> u64 {
+    buf[head - 1]
+}

@@ -1,0 +1,14 @@
+//! R2 seeded violations: ad-hoc seeds on the sim path.
+pub struct Simulator;
+impl Simulator {
+    pub fn run(&self, seed: u64) {
+        let a = SimRng::new(seed ^ 0xDEAD_BEEF);
+        let b = SimRng::new(42);
+        let derived = SimRng::new(seed);
+        let _ = (a, b, derived);
+    }
+}
+fn cold_helper(seed: u64) {
+    let z = SimRng::new(seed ^ 1);
+    let _ = z;
+}

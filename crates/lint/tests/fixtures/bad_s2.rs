@@ -1,0 +1,8 @@
+//! S2 seeded violation: thread-local storage in sim scope.
+thread_local! {
+    static SCRATCH: Vec<u64> = Vec::new();
+}
+pub struct Simulator;
+impl Simulator {
+    pub fn run(&self) {}
+}

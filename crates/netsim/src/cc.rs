@@ -59,6 +59,9 @@ impl Memory {
             0 => self.ack_ewma_ms,
             1 => self.send_ewma_ms,
             2 => self.rtt_ratio,
+            // lint:allow(p2-sim-panic): axis indices come from the
+            // whisker tree's fixed 3-axis geometry; any other value is a
+            // compile-time logic error, not a runtime condition.
             _ => panic!("memory has 3 axes, asked for {i}"),
         }
     }
@@ -70,6 +73,8 @@ impl Memory {
             0 => &mut self.ack_ewma_ms,
             1 => &mut self.send_ewma_ms,
             2 => &mut self.rtt_ratio,
+            // lint:allow(p2-sim-panic): same fixed 3-axis invariant as
+            // `axis`; an out-of-range index is a caller bug.
             _ => panic!("memory has 3 axes, asked for {i}"),
         }
     }
@@ -154,7 +159,8 @@ impl Usage {
         for i in 0..3 {
             let mut axis: Vec<f64> = s.iter().map(|x| x.axis(i)).collect();
             axis.sort_by(f64::total_cmp);
-            *m.axis_mut(i) = axis[axis.len() / 2];
+            let mid = axis.len() / 2;
+            *m.axis_mut(i) = axis[mid];
         }
         Some(m)
     }

@@ -45,6 +45,8 @@ impl FlowId {
     /// first-lifetime; tests and packet constructors use this.
     pub fn first(index: usize) -> FlowId {
         FlowId {
+            // lint:allow(p1-sim-unwrap): a scenario with 4 billion
+            // persistent senders is beyond any machine this will run on.
             index: u32::try_from(index).expect("more than u32::MAX flows"),
             generation: 1,
         }
@@ -188,6 +190,8 @@ impl FlowTable {
     /// Create a flow in a brand-new slot (growth path — allocates).
     /// Steady-state churn goes through [`FlowTable::respawn`] instead.
     pub fn insert(&mut self, hot: FlowHot, cold: FlowCold) -> FlowId {
+        // lint:allow(p1-sim-unwrap): slot count is bounded by concurrent
+        // flows, not total arrivals; u32::MAX concurrent flows cannot fit.
         let index = u32::try_from(self.slots.len()).expect("more than u32::MAX flows");
         self.slots.push(TableSlot { generation: 1 });
         self.hot.push(hot);

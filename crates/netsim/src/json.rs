@@ -299,7 +299,7 @@ impl Parser<'_> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -336,7 +336,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             let Some(b) = self.peek() else {
@@ -360,10 +360,11 @@ impl Parser<'_> {
                         b'b' => out.push('\u{8}'),
                         b'f' => out.push('\u{c}'),
                         b'u' => {
-                            if self.pos + 4 > self.bytes.len() {
+                            let end = self.pos + 4;
+                            if end > self.bytes.len() {
                                 return Err("truncated \\u escape".to_string());
                             }
-                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..end])
                                 .map_err(|_| "bad \\u escape".to_string())?;
                             let code = u32::from_str_radix(hex, 16)
                                 .map_err(|_| "bad \\u escape".to_string())?;
@@ -401,7 +402,8 @@ impl Parser<'_> {
         if start == self.pos {
             return Err(format!("expected value at byte {start}"));
         }
-        let s = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        let s = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("non-ascii number at byte {start}"))?;
         s.parse::<f64>()
             .map(Value::Num)
             .map_err(|_| format!("bad number '{s}' at byte {start}"))
@@ -417,7 +419,7 @@ impl Parser<'_> {
 
     fn array(&mut self) -> Result<Value, String> {
         self.enter()?;
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -443,7 +445,7 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<Value, String> {
         self.enter()?;
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -455,7 +457,7 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value()?;
             fields.push((key, value));
@@ -480,9 +482,10 @@ fn char_at(bytes: &[u8]) -> Result<char, String> {
         Ok(s) => s,
         // The 4-byte window may cut the *next* character; validity holds up
         // to the error offset, which covers the first character.
-        Err(e) if e.valid_up_to() > 0 => {
-            std::str::from_utf8(&bytes[..e.valid_up_to()]).expect("validated")
-        }
+        Err(e) if e.valid_up_to() > 0 => match std::str::from_utf8(&bytes[..e.valid_up_to()]) {
+            Ok(s) => s,
+            Err(_) => return Err("invalid UTF-8 in string".to_string()),
+        },
         Err(_) => return Err("invalid UTF-8 in string".to_string()),
     };
     s.chars()

@@ -189,6 +189,8 @@ impl DeliverySchedule {
 
     /// The repetition period.
     pub fn period(&self) -> Ns {
+        // lint:allow(p1-sim-unwrap): the constructor asserts a non-empty
+        // instants list, and the schedule is immutable after that.
         *self.instants.last().expect("non-empty") + self.tail_gap
     }
 
@@ -290,6 +292,8 @@ impl DeliverySchedule {
                 std::cmp::Ordering::Greater
             }
         }) {
+            // lint:allow(p2-sim-panic): the comparator above returns only
+            // Less or Greater, so binary_search can never yield Ok.
             Ok(_) => unreachable!("comparator never returns Equal"),
             Err(idx) => {
                 if idx < self.instants.len() {

@@ -227,6 +227,8 @@ impl PacketArena {
                 generation: slot.generation,
             }
         } else {
+            // lint:allow(p1-sim-unwrap): arena slots track packets in
+            // flight, bounded by queue capacities — far below u32::MAX.
             let index = u32::try_from(self.slots.len()).expect("more than u32::MAX live packets");
             self.slots.push(Slot {
                 generation: 1,

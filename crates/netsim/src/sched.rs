@@ -291,8 +291,10 @@ impl<T> TimingWheel<T> {
         // inside that level's current window.
         let level = ((63 - (g ^ self.cur_g).leading_zeros()) / LEVEL_BITS) as usize;
         let slot = ((g >> (LEVEL_BITS * level as u32)) as usize) & (SLOTS - 1);
-        self.slots[level * SLOTS + slot].push((at, id, ev));
-        self.occupied[level][slot / 64] |= 1 << (slot % 64);
+        let flat = level * SLOTS + slot;
+        let word = slot / 64;
+        self.slots[flat].push((at, id, ev));
+        self.occupied[level][word] |= 1 << (slot % 64);
     }
 
     fn wheel_empty(&self) -> bool {
@@ -321,7 +323,8 @@ impl<T> TimingWheel<T> {
             // begin). Drain a level-0 slot into `ready`, or cascade an
             // upper-level slot down and retry.
             let (level, slot) = (0..LEVELS).find_map(|l| self.first_occupied(l).map(|s| (l, s)))?;
-            self.occupied[level][slot / 64] &= !(1u64 << (slot % 64));
+            let word = slot / 64;
+            self.occupied[level][word] &= !(1u64 << (slot % 64));
             let shift = LEVEL_BITS * level as u32;
             // Move the cursor to the start of that slot's window; bits
             // below the level reset to zero.
@@ -355,7 +358,8 @@ impl<T> TimingWheel<T> {
                 // Cascade the slot one or more levels down, through the
                 // reusable scratch buffer (no allocation churn).
                 let mut scratch = std::mem::take(&mut self.scratch);
-                std::mem::swap(&mut scratch, &mut self.slots[level * SLOTS + slot]);
+                let flat = level * SLOTS + slot;
+                std::mem::swap(&mut scratch, &mut self.slots[flat]);
                 for (at, id, ev) in scratch.drain(..) {
                     self.place(at, id, ev);
                 }

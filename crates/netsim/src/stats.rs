@@ -173,9 +173,13 @@ impl P2Quantile {
             // Insertion-sort the bootstrap samples as they arrive.
             let mut i = self.count as usize;
             self.heights[i] = x;
-            while i > 0 && self.heights[i - 1] > self.heights[i] {
-                self.heights.swap(i - 1, i);
-                i -= 1;
+            while i > 0 {
+                let prev = i - 1;
+                if self.heights[prev] <= self.heights[i] {
+                    break;
+                }
+                self.heights.swap(prev, i);
+                i = prev;
             }
             self.count += 1;
             return;
@@ -189,8 +193,12 @@ impl P2Quantile {
             3
         } else {
             let mut k = 0;
-            while k < 3 && x >= self.heights[k + 1] {
-                k += 1;
+            while k < 3 {
+                let next = k + 1;
+                if x < self.heights[next] {
+                    break;
+                }
+                k = next;
             }
             k
         };
@@ -202,14 +210,15 @@ impl P2Quantile {
         }
         // Adjust the three interior markers toward their desired ranks.
         for i in 1..4 {
+            let (below, above) = (i - 1, i + 1);
             let d = self.desired[i] - self.npos[i];
-            let step_up = self.npos[i + 1] - self.npos[i] > 1.0;
-            let step_down = self.npos[i - 1] - self.npos[i] < -1.0;
+            let step_up = self.npos[above] - self.npos[i] > 1.0;
+            let step_down = self.npos[below] - self.npos[i] < -1.0;
             if (d >= 1.0 && step_up) || (d <= -1.0 && step_down) {
                 let s = d.signum();
                 let candidate = self.parabolic(i, s);
                 self.heights[i] =
-                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                    if self.heights[below] < candidate && candidate < self.heights[above] {
                         candidate
                     } else {
                         self.linear(i, s)
@@ -222,9 +231,10 @@ impl P2Quantile {
 
     fn parabolic(&self, i: usize, s: f64) -> f64 {
         let (h, n) = (&self.heights, &self.npos);
-        h[i] + s / (n[i + 1] - n[i - 1])
-            * ((n[i] - n[i - 1] + s) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
-                + (n[i + 1] - n[i] - s) * (h[i] - h[i - 1]) / (n[i] - n[i - 1]))
+        let (lo, hi) = (i - 1, i + 1);
+        h[i] + s / (n[hi] - n[lo])
+            * ((n[i] - n[lo] + s) * (h[hi] - h[i]) / (n[hi] - n[i])
+                + (n[hi] - n[i] - s) * (h[i] - h[lo]) / (n[i] - n[lo]))
     }
 
     fn linear(&self, i: usize, s: f64) -> f64 {

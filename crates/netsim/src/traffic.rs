@@ -294,6 +294,8 @@ impl TrafficProcess {
                 start_on: true,
             },
             state: OnState::Off { until: Ns::ZERO },
+            // lint:allow(r2-rng-underived-seed): placeholder stream — a one-shot
+            // process never draws from its rng (the size is fixed below).
             rng: SimRng::new(0),
             mss,
             current_on_started: None,
@@ -357,6 +359,9 @@ impl TrafficProcess {
             ref on => {
                 let bytes = on
                     .sample_bytes(&mut self.rng)
+                    // lint:allow(p1-sim-unwrap): the match arms above handle
+                    // every time-based shape, so only byte-based ones reach
+                    // this arm, and those always yield a size.
                     .expect("byte-based on-period");
                 OnState::OnBytes {
                     remaining_pkts: bytes.div_ceil(self.mss as u64).max(1),

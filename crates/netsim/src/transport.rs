@@ -319,10 +319,10 @@ impl Transport {
 
     fn update_rtt(&mut self, sample: Ns) {
         self.min_rtt = self.min_rtt.min(sample);
-        match self.srtt {
+        let srtt = match self.srtt {
             None => {
-                self.srtt = Some(sample);
                 self.rttvar = Ns(sample.0 / 2);
+                sample
             }
             Some(srtt) => {
                 let err = if srtt >= sample {
@@ -331,10 +331,10 @@ impl Transport {
                     sample - srtt
                 };
                 self.rttvar = Ns((3 * self.rttvar.0 + err.0) / 4);
-                self.srtt = Some(Ns((7 * srtt.0 + sample.0) / 8));
+                Ns((7 * srtt.0 + sample.0) / 8)
             }
-        }
-        let srtt = self.srtt.expect("just set");
+        };
+        self.srtt = Some(srtt);
         self.rto = (srtt + Ns(4 * self.rttvar.0)).max(MIN_RTO).min(MAX_RTO);
     }
 

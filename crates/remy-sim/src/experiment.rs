@@ -141,11 +141,12 @@ impl Experiment {
         let mut cursor = 0;
         for cell in &cells {
             let n_runs = cell.scenarios.len();
-            let runs: Vec<Vec<FlowSummary>> = per_run[cursor..cursor + n_runs]
+            let end = cursor + n_runs;
+            let runs: Vec<Vec<FlowSummary>> = per_run[cursor..end]
                 .iter()
                 .map(|r| r.flows.clone())
                 .collect();
-            let populations: Vec<Option<PopulationSummary>> = per_run[cursor..cursor + n_runs]
+            let populations: Vec<Option<PopulationSummary>> = per_run[cursor..end]
                 .iter()
                 .map(|r| r.population.clone())
                 .collect();
