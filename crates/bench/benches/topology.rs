@@ -1,0 +1,39 @@
+//! Criterion micro-benchmarks of the routing layer: forwarding-table
+//! recomputation on the fat-tree k=4 fabric (20 routers, 64 directed
+//! links) — the cost every mid-run `LinkEvent` pays — with all links up
+//! and with one core link down.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netsim::graph::NetworkBuilder;
+use netsim::link::LinkSpec;
+use netsim::queue::QueueSpec;
+use netsim::time::Ns;
+use std::hint::black_box;
+
+fn bench_topology(c: &mut Criterion) {
+    let mut g = c.benchmark_group("topology");
+    let link = LinkSpec::constant(50.0);
+    let queue = QueueSpec::DropTail { capacity: 64 };
+    let net = NetworkBuilder::fat_tree_k4(&link, &queue, Ns::from_micros(100))
+        .build()
+        .expect("fat-tree builds");
+    let graph = net.graph();
+
+    let up = vec![false; graph.links.len()];
+    g.bench_function("fattree_k4_forwarding_recompute", |b| {
+        b.iter(|| black_box(graph.forwarding(black_box(&up))));
+    });
+
+    // One failed agg–core link: exactly what a scheduled failure
+    // triggers mid-simulation.
+    let mut one_down = up.clone();
+    one_down[32] = true;
+    g.bench_function("fattree_k4_forwarding_one_link_down", |b| {
+        b.iter(|| black_box(graph.forwarding(black_box(&one_down))));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_topology);
+criterion_main!(benches);

@@ -1,0 +1,935 @@
+//! First-class network graphs: routers, links, and deterministic routing.
+//!
+//! The per-flow hop lists in [`crate::topology`] describe *paths*; this
+//! module describes the *network* they are cut from. A [`NetworkBuilder`]
+//! accumulates named routers and directed links (each carrying a
+//! [`LinkSpec`], a [`QueueSpec`], a propagation delay, and a routing
+//! weight), and [`NetworkBuilder::build`] freezes it into a [`Network`]
+//! whose shortest-path routes are computed — not hand-listed — by
+//! Dijkstra's algorithm with a stable `(cost, RouterId, LinkId)`
+//! tie-break, so equal-cost choices never depend on iteration order.
+//!
+//! A built network derives a [`crate::topology::Topology`] for the
+//! simulator: every link becomes one hop, and every flow's forward and
+//! ACK [`FlowPath`]s are read out of the forwarding tables. The graph
+//! itself rides along as a [`NetGraph`] inside the topology, which is
+//! what lets the engine recompute routes when a [`LinkEvent`] takes a
+//! link down (or brings it back) mid-run.
+//!
+//! Generators for the standard evaluation shapes — linear chains,
+//! fat-tree *k*=4, and seeded Waxman random graphs — live here too, so
+//! spec files can name a topology class instead of enumerating links.
+
+use crate::json::{self, Value};
+use crate::link::LinkSpec;
+use crate::queue::QueueSpec;
+use crate::rng::SimRng;
+use crate::time::Ns;
+use crate::topology::{FlowPath, HopSpec, Topology};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Handle to a router added to a [`NetworkBuilder`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RouterId(u32);
+
+impl RouterId {
+    /// Index of this router in the network's router list.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Handle to a directed link added to a [`NetworkBuilder`].
+///
+/// Link ids double as hop indices: link `i` of a built network is hop
+/// `i` of the derived [`Topology`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LinkId(u32);
+
+impl LinkId {
+    /// Index of this link in the network's link list (== hop index).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Sentinel in a forwarding table: no route to the destination (or the
+/// router *is* the destination).
+pub const NO_ROUTE: u32 = u32::MAX;
+
+/// One directed link under construction: endpoints, routing weight, and
+/// the wire it materializes into.
+#[derive(Clone, Debug)]
+struct LinkDef {
+    src: u32,
+    dst: u32,
+    weight: u64,
+    link: LinkSpec,
+    queue: QueueSpec,
+    prop_delay: Ns,
+}
+
+/// Incrementally builds a routed network.
+///
+/// This is the one public construction path for graph topologies:
+///
+/// ```
+/// use netsim::graph::NetworkBuilder;
+/// use netsim::link::LinkSpec;
+/// use netsim::queue::QueueSpec;
+/// use netsim::time::Ns;
+///
+/// let mut b = NetworkBuilder::new();
+/// let a = b.add_router("a");
+/// let c = b.add_router("c");
+/// b.add_duplex_link(
+///     a,
+///     c,
+///     LinkSpec::constant(10.0),
+///     QueueSpec::DropTail { capacity: 100 },
+///     Ns::from_millis(5),
+/// );
+/// let net = b.build().expect("valid network");
+/// assert_eq!(net.graph().route(a.index() as u32, c.index() as u32, &[]).unwrap(), vec![0]);
+/// ```
+#[derive(Default, Debug)]
+pub struct NetworkBuilder {
+    routers: Vec<String>,
+    links: Vec<LinkDef>,
+}
+
+impl NetworkBuilder {
+    /// An empty network.
+    pub fn new() -> NetworkBuilder {
+        NetworkBuilder::default()
+    }
+
+    /// Add a named router. Names must be unique (checked by
+    /// [`NetworkBuilder::build`]).
+    pub fn add_router(&mut self, name: &str) -> RouterId {
+        self.routers.push(name.to_string());
+        RouterId(self.routers.len() as u32 - 1)
+    }
+
+    /// Add a directed link `a → b` with routing weight 1.
+    pub fn add_link(
+        &mut self,
+        a: RouterId,
+        b: RouterId,
+        link: LinkSpec,
+        queue: QueueSpec,
+        prop_delay: Ns,
+    ) -> LinkId {
+        self.add_weighted_link(a, b, link, queue, prop_delay, 1)
+    }
+
+    /// Add a directed link `a → b` with an explicit routing weight.
+    pub fn add_weighted_link(
+        &mut self,
+        a: RouterId,
+        b: RouterId,
+        link: LinkSpec,
+        queue: QueueSpec,
+        prop_delay: Ns,
+        weight: u64,
+    ) -> LinkId {
+        self.links.push(LinkDef {
+            src: a.0,
+            dst: b.0,
+            weight,
+            link,
+            queue,
+            prop_delay,
+        });
+        LinkId(self.links.len() as u32 - 1)
+    }
+
+    /// Add a pair of directed links `a → b` and `b → a` with routing
+    /// weight 1, sharing one wire model.
+    pub fn add_duplex_link(
+        &mut self,
+        a: RouterId,
+        b: RouterId,
+        link: LinkSpec,
+        queue: QueueSpec,
+        prop_delay: Ns,
+    ) -> (LinkId, LinkId) {
+        self.add_weighted_duplex_link(a, b, link, queue, prop_delay, 1)
+    }
+
+    /// Add a weighted duplex pair `a → b` / `b → a`.
+    pub fn add_weighted_duplex_link(
+        &mut self,
+        a: RouterId,
+        b: RouterId,
+        link: LinkSpec,
+        queue: QueueSpec,
+        prop_delay: Ns,
+        weight: u64,
+    ) -> (LinkId, LinkId) {
+        let fwd = self.add_weighted_link(a, b, link.clone(), queue.clone(), prop_delay, weight);
+        let back = self.add_weighted_link(b, a, link, queue, prop_delay, weight);
+        (fwd, back)
+    }
+
+    /// Linear chain of `n_links` duplex segments: routers `r0 … rN`
+    /// joined by identical links.
+    pub fn chain(
+        n_links: usize,
+        link: &LinkSpec,
+        queue: &QueueSpec,
+        prop_delay: Ns,
+    ) -> NetworkBuilder {
+        let mut b = NetworkBuilder::new();
+        let ids: Vec<RouterId> = (0..=n_links)
+            .map(|i| b.add_router(&format!("r{i}")))
+            .collect();
+        for w in ids.windows(2) {
+            b.add_duplex_link(w[0], w[1], link.clone(), queue.clone(), prop_delay);
+        }
+        b
+    }
+
+    /// Three-tier fat-tree with *k*=4: 4 core routers, 4 pods of 2
+    /// aggregation + 2 edge routers each (20 routers, 48 directed
+    /// links). Routers are named `core{i}`, `pod{p}_agg{j}`, and
+    /// `pod{p}_edge{j}`; all links have weight 1.
+    pub fn fat_tree_k4(link: &LinkSpec, queue: &QueueSpec, prop_delay: Ns) -> NetworkBuilder {
+        let mut b = NetworkBuilder::new();
+        let cores: Vec<RouterId> = (0..4).map(|i| b.add_router(&format!("core{i}"))).collect();
+        for p in 0..4 {
+            let aggs: Vec<RouterId> = (0..2)
+                .map(|j| b.add_router(&format!("pod{p}_agg{j}")))
+                .collect();
+            let edges: Vec<RouterId> = (0..2)
+                .map(|j| b.add_router(&format!("pod{p}_edge{j}")))
+                .collect();
+            for &agg in &aggs {
+                for &edge in &edges {
+                    b.add_duplex_link(edge, agg, link.clone(), queue.clone(), prop_delay);
+                }
+            }
+            for (&agg, pair) in aggs.iter().zip(cores.chunks(2)) {
+                for &core in pair {
+                    b.add_duplex_link(agg, core, link.clone(), queue.clone(), prop_delay);
+                }
+            }
+        }
+        b
+    }
+
+    /// Seeded Waxman random graph on `n` routers (`w0 … w{n-1}`) placed
+    /// uniformly in the unit square; each unordered pair gets a duplex
+    /// link with probability `alpha · exp(−d / (beta · √2))` where `d`
+    /// is the pair's Euclidean distance. Draws are fully determined by
+    /// `seed`; disconnected draws build fine and surface later as
+    /// named no-route diagnostics.
+    pub fn waxman(
+        n: usize,
+        alpha: f64,
+        beta: f64,
+        seed: u64,
+        link: &LinkSpec,
+        queue: &QueueSpec,
+        prop_delay: Ns,
+    ) -> NetworkBuilder {
+        let mut b = NetworkBuilder::new();
+        let mut rng = SimRng::new(seed);
+        let ids: Vec<RouterId> = (0..n).map(|i| b.add_router(&format!("w{i}"))).collect();
+        let pos: Vec<(f64, f64)> = (0..n).map(|_| (rng.f64(), rng.f64())).collect();
+        let scale = beta * std::f64::consts::SQRT_2;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (dx, dy) = (pos[i].0 - pos[j].0, pos[i].1 - pos[j].1);
+                let d = (dx * dx + dy * dy).sqrt();
+                let p = alpha * (-d / scale).exp();
+                if rng.chance(p.clamp(0.0, 1.0)) {
+                    b.add_duplex_link(ids[i], ids[j], link.clone(), queue.clone(), prop_delay);
+                }
+            }
+        }
+        b
+    }
+
+    /// Freeze the builder into a routed [`Network`]. Fails on an empty
+    /// router set, duplicate router names, or out-of-range endpoints.
+    pub fn build(self) -> Result<Network, String> {
+        if self.routers.is_empty() {
+            return Err("network has no routers".to_string());
+        }
+        for (i, name) in self.routers.iter().enumerate() {
+            if self.routers[..i].iter().any(|r| r == name) {
+                return Err(format!("duplicate router name '{name}'"));
+            }
+        }
+        let n = self.routers.len() as u32;
+        for l in &self.links {
+            if l.src >= n || l.dst >= n {
+                return Err("link endpoint out of range".to_string());
+            }
+            if l.src == l.dst {
+                return Err(format!(
+                    "self-loop link on router '{}'",
+                    self.routers[l.src as usize]
+                ));
+            }
+        }
+        let graph = NetGraph {
+            routers: self.routers,
+            links: self
+                .links
+                .iter()
+                .map(|l| GraphLink {
+                    src: l.src,
+                    dst: l.dst,
+                    weight: l.weight,
+                })
+                .collect(),
+            flows: Vec::new(),
+            events: Vec::new(),
+            policy: FailoverPolicy::default(),
+        };
+        let hops = self
+            .links
+            .into_iter()
+            .map(|l| HopSpec::new(l.link, l.queue).with_prop_delay(l.prop_delay))
+            .collect();
+        Ok(Network { graph, hops })
+    }
+}
+
+/// A built, immutable network: the routing graph plus the wire model
+/// (link, queue, propagation delay) behind each directed link.
+#[derive(Clone, Debug)]
+pub struct Network {
+    graph: NetGraph,
+    hops: Vec<HopSpec>,
+}
+
+impl Network {
+    /// The routing graph (routers, links, weights).
+    pub fn graph(&self) -> &NetGraph {
+        &self.graph
+    }
+
+    /// The wire model of each link, indexed like the graph's links.
+    pub fn hops(&self) -> &[HopSpec] {
+        &self.hops
+    }
+
+    /// Look up a router by name.
+    pub fn router(&self, name: &str) -> Option<RouterId> {
+        self.graph.router_index(name).map(RouterId)
+    }
+
+    /// First link `a → b`, if one exists.
+    pub fn link_between(&self, a: RouterId, b: RouterId) -> Option<LinkId> {
+        self.graph
+            .links
+            .iter()
+            .position(|l| l.src == a.0 && l.dst == b.0)
+            .map(|i| LinkId(i as u32))
+    }
+
+    /// Derive the simulator topology for `flows` (per-flow source and
+    /// destination routers, in sender order): each flow's forward path
+    /// is the shortest route `src → dst`, its ACK path the shortest
+    /// route `dst → src`, both read from the all-links-up forwarding
+    /// tables. The graph — with `events` and the failover `policy` —
+    /// rides along inside the topology so the engine can recompute
+    /// routes when links fail.
+    pub fn into_topology(
+        mut self,
+        flows: &[(RouterId, RouterId)],
+        events: Vec<LinkEvent>,
+        policy: FailoverPolicy,
+    ) -> Result<Topology, String> {
+        let down = vec![false; self.graph.links.len()];
+        let tables = self.graph.forwarding(&down);
+        let mut paths = Vec::with_capacity(flows.len());
+        for &(s, d) in flows {
+            if s == d {
+                return Err(format!(
+                    "flow source and destination are both router '{}'",
+                    self.graph.routers[s.0 as usize]
+                ));
+            }
+            let fwd = self.graph.route_via(&tables, s.0, d.0)?;
+            let ack = self.graph.route_via(&tables, d.0, s.0)?;
+            paths.push(FlowPath::through(fwd).with_ack_path(ack));
+        }
+        for ev in &events {
+            if ev.link as usize >= self.graph.links.len() {
+                return Err(format!("link event references unknown link {}", ev.link));
+            }
+        }
+        self.graph.flows = flows.iter().map(|&(s, d)| (s.0, d.0)).collect();
+        self.graph.events = events;
+        self.graph.policy = policy;
+        Ok(Topology {
+            hops: self.hops,
+            paths,
+            graph: Some(self.graph),
+        })
+    }
+}
+
+/// One directed edge of a [`NetGraph`]: endpoints and routing weight.
+/// Edge `i` corresponds to hop `i` of the owning topology.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GraphLink {
+    /// Source router index.
+    pub src: u32,
+    /// Destination router index.
+    pub dst: u32,
+    /// Additive routing cost (≥ 1 in practice; 0 is allowed).
+    pub weight: u64,
+}
+
+/// A scheduled link state change, applied through the event wheel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkEvent {
+    /// Simulation time the change takes effect.
+    pub at: Ns,
+    /// Affected link (index into [`NetGraph::links`] == hop index).
+    pub link: u32,
+    /// `true` brings the link up, `false` takes it down.
+    pub up: bool,
+}
+
+/// What happens to packets caught on a failed link's queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum FailoverPolicy {
+    /// Queued packets are dropped; senders recover via timeout.
+    Drop,
+    /// Queued packets re-enter the network along the recomputed route
+    /// (dropped only if no route remains).
+    #[default]
+    Reroute,
+}
+
+impl FailoverPolicy {
+    /// Stable wire name (`"drop"` / `"reroute"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            FailoverPolicy::Drop => "drop",
+            FailoverPolicy::Reroute => "reroute",
+        }
+    }
+
+    /// Parse a wire name written by [`FailoverPolicy::name`].
+    pub fn from_name(s: &str) -> Result<FailoverPolicy, String> {
+        match s {
+            "drop" => Ok(FailoverPolicy::Drop),
+            "reroute" => Ok(FailoverPolicy::Reroute),
+            other => Err(format!("unknown failover policy '{other}'")),
+        }
+    }
+}
+
+/// The routing view of a built network, embedded in a
+/// [`crate::topology::Topology`] so the engine can recompute routes at
+/// runtime. Links are 1:1 with the topology's hops.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NetGraph {
+    /// Router names, indexed by router id.
+    pub routers: Vec<String>,
+    /// Directed links; index `i` is hop `i` of the owning topology.
+    pub links: Vec<GraphLink>,
+    /// Per-flow `(source, destination)` router indices, in sender order.
+    pub flows: Vec<(u32, u32)>,
+    /// Scheduled link failures/recoveries.
+    pub events: Vec<LinkEvent>,
+    /// Policy for packets caught on a failed link.
+    pub policy: FailoverPolicy,
+}
+
+impl NetGraph {
+    /// Router index for `name`, if present.
+    pub fn router_index(&self, name: &str) -> Option<u32> {
+        self.routers
+            .iter()
+            .position(|r| r == name)
+            .map(|i| i as u32)
+    }
+
+    /// Shortest distance from every router *to* destination `d`,
+    /// skipping links marked in `down` (an empty slice means all up).
+    /// Unreachable routers get `u64::MAX`.
+    fn dist_to(&self, d: usize, down: &[bool]) -> Vec<u64> {
+        const INF: u64 = u64::MAX;
+        let n = self.routers.len();
+        let mut dist = vec![INF; n];
+        dist[d] = 0;
+        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        heap.push(Reverse((0, d as u32)));
+        while let Some(Reverse((du, u))) = heap.pop() {
+            if du > dist[u as usize] {
+                continue;
+            }
+            for (i, l) in self.links.iter().enumerate() {
+                if l.dst != u || down.get(i).copied().unwrap_or(false) {
+                    continue;
+                }
+                let nd = du.saturating_add(l.weight);
+                if nd < dist[l.src as usize] {
+                    dist[l.src as usize] = nd;
+                    heap.push(Reverse((nd, l.src)));
+                }
+            }
+        }
+        dist
+    }
+
+    /// Compute full forwarding tables with the links in `down` removed:
+    /// `tables[d][r]` is the link index router `r` forwards on toward
+    /// destination `d`, or [`NO_ROUTE`]. Equal-cost choices are broken
+    /// by the smallest `(cost, neighbor router, link id)` triple, so
+    /// the result is independent of Dijkstra's visit order and — for
+    /// links between distinct router pairs — of link insertion order.
+    pub fn forwarding(&self, down: &[bool]) -> Vec<Vec<u32>> {
+        const INF: u64 = u64::MAX;
+        let n = self.routers.len();
+        let mut tables = Vec::with_capacity(n);
+        for d in 0..n {
+            let dist = self.dist_to(d, down);
+            let mut next = vec![NO_ROUTE; n];
+            for (r, slot) in next.iter_mut().enumerate() {
+                if r == d || dist[r] == INF {
+                    continue;
+                }
+                let mut best: Option<(u64, u32, u32)> = None;
+                for (i, l) in self.links.iter().enumerate() {
+                    if l.src != r as u32 || down.get(i).copied().unwrap_or(false) {
+                        continue;
+                    }
+                    let to = dist[l.dst as usize];
+                    if to == INF {
+                        continue;
+                    }
+                    let key = (l.weight.saturating_add(to), l.dst, i as u32);
+                    if best.is_none_or(|b| key < b) {
+                        best = Some(key);
+                    }
+                }
+                if let Some((_, _, link)) = best {
+                    *slot = link;
+                }
+            }
+            tables.push(next);
+        }
+        tables
+    }
+
+    /// Read the route `src → dst` (a hop-index list) out of forwarding
+    /// tables produced by [`NetGraph::forwarding`]. Fails with a
+    /// named-router diagnostic if `dst` is unreachable.
+    pub fn route_via(&self, tables: &[Vec<u32>], src: u32, dst: u32) -> Result<Vec<usize>, String> {
+        let mut hops = Vec::new();
+        let mut at = src;
+        while at != dst {
+            let link = tables[dst as usize][at as usize];
+            if link == NO_ROUTE || hops.len() >= self.routers.len() {
+                return Err(format!(
+                    "no route from router '{}' to router '{}'",
+                    self.routers[src as usize], self.routers[dst as usize]
+                ));
+            }
+            hops.push(link as usize);
+            at = self.links[link as usize].dst;
+        }
+        Ok(hops)
+    }
+
+    /// Convenience: compute tables and read one route.
+    pub fn route(&self, src: u32, dst: u32, down: &[bool]) -> Result<Vec<usize>, String> {
+        self.route_via(&self.forwarding(down), src, dst)
+    }
+
+    /// Serialize to a JSON value.
+    pub fn to_json_value(&self) -> Value {
+        let mut fields = vec![
+            (
+                "routers",
+                Value::Arr(self.routers.iter().map(Value::str).collect()),
+            ),
+            (
+                "links",
+                Value::Arr(
+                    self.links
+                        .iter()
+                        .map(|l| {
+                            Value::obj(vec![
+                                ("src", json::u64_value(l.src as u64)),
+                                ("dst", json::u64_value(l.dst as u64)),
+                                ("weight", json::u64_value(l.weight)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "flows",
+                Value::Arr(
+                    self.flows
+                        .iter()
+                        .map(|&(s, d)| {
+                            Value::Arr(vec![json::u64_value(s as u64), json::u64_value(d as u64)])
+                        })
+                        .collect(),
+                ),
+            ),
+        ];
+        if !self.events.is_empty() {
+            fields.push((
+                "events",
+                Value::Arr(
+                    self.events
+                        .iter()
+                        .map(|e| {
+                            Value::obj(vec![
+                                ("at_ns", json::ns_value(e.at)),
+                                ("link", json::u64_value(e.link as u64)),
+                                ("up", Value::Bool(e.up)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        fields.push(("policy", Value::str(self.policy.name())));
+        Value::obj(fields)
+    }
+
+    /// Deserialize a value written by [`NetGraph::to_json_value`].
+    pub fn from_json_value(v: &Value) -> Result<NetGraph, String> {
+        let routers = v
+            .field("routers")?
+            .as_arr()?
+            .iter()
+            .map(|r| r.as_str().map(str::to_string))
+            .collect::<Result<Vec<String>, String>>()?;
+        let links = v
+            .field("links")?
+            .as_arr()?
+            .iter()
+            .map(|l| {
+                Ok(GraphLink {
+                    src: l.field("src")?.as_u64()? as u32,
+                    dst: l.field("dst")?.as_u64()? as u32,
+                    weight: l.field("weight")?.as_u64()?,
+                })
+            })
+            .collect::<Result<Vec<GraphLink>, String>>()?;
+        let flows = v
+            .field("flows")?
+            .as_arr()?
+            .iter()
+            .map(|f| {
+                let pair = f.as_arr()?;
+                if pair.len() != 2 {
+                    return Err("flow endpoints must be a [src, dst] pair".to_string());
+                }
+                Ok((pair[0].as_u64()? as u32, pair[1].as_u64()? as u32))
+            })
+            .collect::<Result<Vec<(u32, u32)>, String>>()?;
+        let events = match v.get("events") {
+            None | Some(Value::Null) => Vec::new(),
+            Some(e) => e
+                .as_arr()?
+                .iter()
+                .map(|e| {
+                    Ok(LinkEvent {
+                        at: json::ns_from(e.field("at_ns")?)?,
+                        link: e.field("link")?.as_u64()? as u32,
+                        up: e.field("up")?.as_bool()?,
+                    })
+                })
+                .collect::<Result<Vec<LinkEvent>, String>>()?,
+        };
+        let policy = FailoverPolicy::from_name(v.field("policy")?.as_str()?)?;
+        let n = routers.len() as u32;
+        for l in &links {
+            if l.src >= n || l.dst >= n {
+                return Err("graph link endpoint out of range".to_string());
+            }
+        }
+        for &(s, d) in &flows {
+            if s >= n || d >= n {
+                return Err("graph flow endpoint out of range".to_string());
+            }
+        }
+        for e in &events {
+            if e.link as usize >= links.len() {
+                return Err(format!("link event references unknown link {}", e.link));
+            }
+        }
+        Ok(NetGraph {
+            routers,
+            links,
+            flows,
+            events,
+            policy,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wire() -> (LinkSpec, QueueSpec) {
+        (
+            LinkSpec::constant(10.0),
+            QueueSpec::DropTail { capacity: 100 },
+        )
+    }
+
+    /// The failover testbed: a 3-hop chain a-b-c-d plus a heavier
+    /// backup path a-e-d.
+    fn chain_with_backup() -> Network {
+        let (l, q) = wire();
+        let mut b = NetworkBuilder::new();
+        let a = b.add_router("a");
+        let bb = b.add_router("b");
+        let c = b.add_router("c");
+        let d = b.add_router("d");
+        let e = b.add_router("e");
+        b.add_duplex_link(a, bb, l.clone(), q.clone(), Ns::from_millis(5));
+        b.add_duplex_link(bb, c, l.clone(), q.clone(), Ns::from_millis(5));
+        b.add_duplex_link(c, d, l.clone(), q.clone(), Ns::from_millis(5));
+        b.add_weighted_duplex_link(a, e, l.clone(), q.clone(), Ns::from_millis(20), 2);
+        b.add_weighted_duplex_link(e, d, l, q, Ns::from_millis(20), 2);
+        b.build().expect("valid network")
+    }
+
+    #[test]
+    fn shortest_paths_prefer_the_light_chain() {
+        let net = chain_with_backup();
+        let g = net.graph();
+        // a→d rides the chain (links 0, 2, 4: a→b, b→c, c→d).
+        assert_eq!(g.route(0, 3, &[]).unwrap(), vec![0, 2, 4]);
+        // d→a rides it backwards (links 5, 3, 1).
+        assert_eq!(g.route(3, 0, &[]).unwrap(), vec![5, 3, 1]);
+    }
+
+    #[test]
+    fn failed_links_shift_routes_to_the_backup_path() {
+        let net = chain_with_backup();
+        let g = net.graph();
+        let mut down = vec![false; g.links.len()];
+        down[2] = true; // b→c
+        down[3] = true; // c→b
+                        // a→d now rides a→e→d (links 6, 8).
+        assert_eq!(g.route(0, 3, &down).unwrap(), vec![6, 8]);
+        // …and recovery restores the original tables exactly.
+        let up = vec![false; g.links.len()];
+        assert_eq!(
+            g.forwarding(&up),
+            chain_with_backup().graph().forwarding(&[])
+        );
+    }
+
+    #[test]
+    fn equal_cost_ties_break_on_router_id_not_insertion_order() {
+        // Diamond: s reaches t through m1 or m2 at equal cost; the
+        // route must pick the smaller router id however links were
+        // inserted.
+        let (l, q) = wire();
+        let routes: Vec<Vec<(u32, u32)>> = [false, true]
+            .iter()
+            .map(|&flip| {
+                let mut b = NetworkBuilder::new();
+                let s = b.add_router("s");
+                let m1 = b.add_router("m1");
+                let m2 = b.add_router("m2");
+                let t = b.add_router("t");
+                let legs: Vec<(RouterId, RouterId)> = if flip {
+                    vec![(s, m2), (m2, t), (s, m1), (m1, t)]
+                } else {
+                    vec![(s, m1), (m1, t), (s, m2), (m2, t)]
+                };
+                for (x, y) in legs {
+                    b.add_duplex_link(x, y, l.clone(), q.clone(), Ns::from_millis(1));
+                }
+                let net = b.build().expect("valid network");
+                let g = net.graph();
+                g.route(s.0, t.0, &[])
+                    .unwrap()
+                    .iter()
+                    .map(|&h| (g.links[h].src, g.links[h].dst))
+                    .collect()
+            })
+            .collect();
+        assert_eq!(routes[0], routes[1]);
+        // Both traverse m1 (router id 1).
+        assert_eq!(routes[0][0], (0, 1));
+    }
+
+    #[test]
+    fn unreachable_pairs_name_both_routers() {
+        let (l, q) = wire();
+        let mut b = NetworkBuilder::new();
+        let x = b.add_router("left");
+        let y = b.add_router("right");
+        let z = b.add_router("island");
+        b.add_duplex_link(x, y, l, q, Ns::from_millis(1));
+        let net = b.build().expect("valid network");
+        let err = net.graph().route(x.0, z.0, &[]).unwrap_err();
+        assert!(
+            err.contains("'left'") && err.contains("'island'"),
+            "diagnostic names both endpoints: {err}"
+        );
+    }
+
+    #[test]
+    fn builder_rejects_duplicates_and_self_loops() {
+        let (l, q) = wire();
+        let mut b = NetworkBuilder::new();
+        b.add_router("a");
+        b.add_router("a");
+        assert!(b.build().unwrap_err().contains("duplicate router name 'a'"));
+        let mut b = NetworkBuilder::new();
+        let a = b.add_router("a");
+        b.add_link(a, a, l, q, Ns::ZERO);
+        assert!(b.build().unwrap_err().contains("self-loop"));
+        assert!(NetworkBuilder::new().build().is_err());
+    }
+
+    #[test]
+    fn fat_tree_k4_has_the_canonical_shape() {
+        let (l, q) = wire();
+        let net = NetworkBuilder::fat_tree_k4(&l, &q, Ns::from_micros(100))
+            .build()
+            .expect("valid network");
+        let g = net.graph();
+        assert_eq!(g.routers.len(), 20);
+        // 16 edge–agg + 16 agg–core duplex pairs = 64 directed links.
+        assert_eq!(g.links.len(), 64);
+        // Every edge router reaches every other edge router.
+        let tables = g.forwarding(&vec![false; g.links.len()]);
+        let edges: Vec<u32> = (0..20)
+            .filter(|&i| g.routers[i as usize].contains("edge"))
+            .collect();
+        assert_eq!(edges.len(), 8);
+        for &a in &edges {
+            for &b in &edges {
+                if a != b {
+                    let r = g.route_via(&tables, a, b).expect("reachable");
+                    // Intra-pod: 2 hops via the pod agg; cross-pod: 4
+                    // hops via a core.
+                    assert!(r.len() == 2 || r.len() == 4, "route {a}->{b}: {r:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chain_builder_matches_hand_wiring() {
+        let (l, q) = wire();
+        let net = NetworkBuilder::chain(3, &l, &q, Ns::from_millis(2))
+            .build()
+            .expect("valid network");
+        let g = net.graph();
+        assert_eq!(g.routers, vec!["r0", "r1", "r2", "r3"]);
+        assert_eq!(g.links.len(), 6);
+        assert_eq!(g.route(0, 3, &[]).unwrap(), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn waxman_draws_are_seed_deterministic() {
+        let (l, q) = wire();
+        let a = NetworkBuilder::waxman(12, 0.9, 0.5, 42, &l, &q, Ns::from_millis(1))
+            .build()
+            .expect("valid network");
+        let b = NetworkBuilder::waxman(12, 0.9, 0.5, 42, &l, &q, Ns::from_millis(1))
+            .build()
+            .expect("valid network");
+        assert_eq!(a.graph(), b.graph());
+        let c = NetworkBuilder::waxman(12, 0.9, 0.5, 43, &l, &q, Ns::from_millis(1))
+            .build()
+            .expect("valid network");
+        assert!(
+            a.graph() != c.graph(),
+            "different seeds draw different graphs"
+        );
+    }
+
+    #[test]
+    fn disconnected_waxman_surfaces_a_named_diagnostic() {
+        let (l, q) = wire();
+        // alpha == 0 draws no links at all: every pair is unreachable.
+        let net = NetworkBuilder::waxman(4, 0.0, 0.5, 7, &l, &q, Ns::from_millis(1))
+            .build()
+            .expect("builds even when disconnected");
+        let err = net
+            .into_topology(
+                &[(RouterId(0), RouterId(3))],
+                Vec::new(),
+                FailoverPolicy::Reroute,
+            )
+            .unwrap_err();
+        assert!(err.contains("'w0'") && err.contains("'w3'"), "{err}");
+    }
+
+    #[test]
+    fn into_topology_derives_paths_and_embeds_the_graph() {
+        let net = chain_with_backup();
+        let flows = vec![(RouterId(0), RouterId(3)), (RouterId(0), RouterId(3))];
+        let events = vec![
+            LinkEvent {
+                at: Ns::from_secs(5),
+                link: 2,
+                up: false,
+            },
+            LinkEvent {
+                at: Ns::from_secs(5),
+                link: 3,
+                up: false,
+            },
+        ];
+        let topo = net
+            .into_topology(&flows, events.clone(), FailoverPolicy::Reroute)
+            .expect("routable");
+        assert_eq!(topo.hops.len(), 10);
+        assert_eq!(topo.paths[0].fwd, vec![0, 2, 4]);
+        assert_eq!(topo.paths[0].ack, vec![5, 3, 1]);
+        let g = topo.graph.as_ref().expect("graph embedded");
+        assert_eq!(g.flows, vec![(0, 3), (0, 3)]);
+        assert_eq!(g.events, events);
+        topo.validate(2).expect("valid topology");
+    }
+
+    #[test]
+    fn netgraph_round_trips_through_json() {
+        let topo = chain_with_backup()
+            .into_topology(
+                &[(RouterId(0), RouterId(3))],
+                vec![LinkEvent {
+                    at: Ns::from_secs(3),
+                    link: 2,
+                    up: false,
+                }],
+                FailoverPolicy::Drop,
+            )
+            .expect("routable");
+        let g = topo.graph.expect("graph embedded");
+        let text = g.to_json_value().pretty();
+        let back = NetGraph::from_json_value(&crate::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(g, back);
+        // Corrupt documents are rejected, not mis-parsed.
+        assert!(NetGraph::from_json_value(
+            &crate::json::parse(&text.replace("reroute", "drop")).unwrap()
+        )
+        .is_ok());
+        assert!(NetGraph::from_json_value(
+            &crate::json::parse(&text.replace("\"drop\"", "\"nonsense\"")).unwrap()
+        )
+        .is_err());
+        assert!(NetGraph::from_json_value(
+            &crate::json::parse(&text.replace("\"link\": 2", "\"link\": 99")).unwrap()
+        )
+        .is_err());
+    }
+}

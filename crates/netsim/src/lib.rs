@@ -20,6 +20,9 @@
 //!   (throughput `Σsᵢ/Σtᵢ`, queueing delay, medians and 1-σ ellipses);
 //! * [`topology`] — multi-hop topologies (parking-lot chains, incast
 //!   fan-in, congested ACK paths) routed through the same event loop;
+//! * [`graph`] — first-class network graphs: named routers, weighted
+//!   links, deterministic shortest-path routing, link-failure events,
+//!   and generated shapes (chain, fat-tree k=4, Waxman);
 //! * [`router`] — the hook XCP uses to run code at the bottleneck;
 //! * [`rng`] — deterministic, forkable randomness (common random numbers
 //!   are load-bearing for Remy's optimizer).
@@ -48,6 +51,7 @@
 
 pub mod cc;
 pub mod flow;
+pub mod graph;
 pub mod json;
 pub mod link;
 pub mod metrics;
@@ -68,6 +72,9 @@ pub mod transport;
 pub mod prelude {
     pub use crate::cc::{factory, AckInfo, CcFactory, CongestionControl, FixedWindow, LossEvent};
     pub use crate::flow::{FlowCold, FlowHot, FlowId, FlowTable};
+    pub use crate::graph::{
+        FailoverPolicy, LinkEvent, LinkId, NetGraph, Network, NetworkBuilder, RouterId,
+    };
     pub use crate::link::{DeliverySchedule, LinkSpec};
     pub use crate::metrics::{FlowSummary, PopulationSummary, SimResults};
     pub use crate::packet::{Ack, Packet, PacketArena, PacketId};

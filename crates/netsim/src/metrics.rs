@@ -149,6 +149,7 @@ impl FlowMetrics {
             } else {
                 0.0
             },
+            rtt_samples: self.rtt_count,
             n_intervals: self.intervals.len(),
         }
     }
@@ -175,6 +176,10 @@ pub struct FlowSummary {
     pub mean_queue_delay_ms: f64,
     /// Mean sender-observed RTT, milliseconds.
     pub mean_rtt_ms: f64,
+    /// Number of RTT samples behind `mean_rtt_ms`. Lets harnesses
+    /// difference two runs' RTT sums (e.g. a failure-time prefix run
+    /// against the full run) to isolate a post-event window.
+    pub rtt_samples: u64,
     /// Number of on-intervals (flows) this sender ran.
     pub n_intervals: usize,
 }
@@ -251,6 +256,17 @@ pub struct SimResults {
     /// Aggregate statistics over dynamically arriving flows; `None` for
     /// scenarios without churn.
     pub population: Option<PopulationSummary>,
+    /// Link up/down events applied during the run (graph topologies
+    /// with scheduled failures; 0 everywhere else).
+    pub link_events: u64,
+    /// Packets discarded because of a link failure: queued packets
+    /// dropped under [`crate::graph::FailoverPolicy::Drop`], plus
+    /// packets with no remaining route under either policy. Counted
+    /// separately from `queue_drops`.
+    pub failover_drops: u64,
+    /// Persistent flows whose forward or ACK path changed at a link
+    /// event (each flow counted once per event that moved it).
+    pub reroutes: u64,
 }
 
 impl SimResults {

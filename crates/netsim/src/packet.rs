@@ -57,6 +57,17 @@ pub struct Packet {
     /// [`crate::topology::FlowPath::fwd`], or `ack` for ACK packets).
     /// Maintained by the engine; always 0 on the legacy dumbbell.
     pub path_pos: usize,
+    /// Routing epoch this packet was last routed under (graph
+    /// topologies only; the engine bumps its epoch on every link
+    /// event). A packet whose epoch lags the engine's is re-resolved at
+    /// the router it currently occupies instead of following its stale
+    /// path. Always 0 outside graph topologies.
+    pub route_epoch: u32,
+    /// The hop this packet is currently traveling toward, stamped when
+    /// the packet leaves the previous hop. Read on hop arrival so that
+    /// a mid-flight path rewrite cannot retarget an already-launched
+    /// packet. Meaningless until first forwarded.
+    pub next_hop: u32,
     /// Size on the wire, in bytes.
     pub size: u32,
     /// True if this is a retransmission (excluded from goodput accounting
@@ -93,6 +104,8 @@ impl Packet {
             enqueued_at: Ns::ZERO,
             ack: None,
             path_pos: 0,
+            route_epoch: 0,
+            next_hop: 0,
             queue_wait: Ns::ZERO,
         }
     }
@@ -112,6 +125,8 @@ impl Packet {
             enqueued_at: Ns::ZERO,
             ack: Some(ack),
             path_pos: 0,
+            route_epoch: 0,
+            next_hop: 0,
             queue_wait: Ns::ZERO,
         }
     }

@@ -458,8 +458,8 @@ mod tests {
             Ns::from_secs(10),
             5,
         );
-        let topo = Topology {
-            hops: vec![
+        let topo = Topology::from_flow_hops(
+            vec![
                 HopSpec::new(
                     LinkSpec::constant(10.0),
                     QueueSpec::DropTail { capacity: 500 },
@@ -470,11 +470,11 @@ mod tests {
                     QueueSpec::DropTail { capacity: 500 },
                 ),
             ],
-            paths: vec![
+            vec![
                 FlowPath::through(vec![0, 1]),
                 FlowPath::through(vec![1]).with_ack_path(vec![0]),
             ],
-        };
+        );
         let s = base.clone().with_topology(topo.clone());
         // link/queue mirror hop 0.
         assert!(matches!(s.link, LinkSpec::Constant { rate_mbps } if rate_mbps == 10.0));

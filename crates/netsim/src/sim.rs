@@ -78,6 +78,9 @@ enum Ev {
     RouterTick(usize),
     /// The next Poisson flow arrival (churn scenarios only).
     Spawn,
+    /// A scheduled link failure or recovery (index into the topology
+    /// graph's event list). Graph topologies only.
+    LinkEvent(usize),
 }
 
 /// Capacity of the flow-completion-time reservoir kept for churn runs:
@@ -128,6 +131,11 @@ struct Hop {
     svc_ack: Ns,
     /// Sequential-query cache for trace-driven links.
     trace_cursor: crate::link::TraceCursor,
+    /// The link is administratively down (graph topologies with scheduled
+    /// [`crate::graph::LinkEvent`]s). A down link refuses new service;
+    /// its queue either drains by policy at failure time or waits for
+    /// recovery.
+    down: bool,
 }
 
 impl Hop {
@@ -154,8 +162,24 @@ impl Hop {
             svc_data,
             svc_ack,
             trace_cursor: crate::link::TraceCursor::default(),
+            down: false,
         }
     }
+}
+
+/// Engine-side state of a graph topology's failure dynamics: the live
+/// up/down map, the routing epoch packets are stamped with, and the
+/// failover counters surfaced in [`SimResults`].
+struct NetState {
+    graph: crate::graph::NetGraph,
+    /// `down[h]` mirrors `hops[h].down` (indexed by link = hop).
+    down: Vec<bool>,
+    /// Bumped on every link event; packets stamped with an older epoch
+    /// re-resolve their route at the router they currently occupy.
+    epoch: u32,
+    link_events: u64,
+    failover_drops: u64,
+    reroutes: u64,
 }
 
 /// The network simulator (dumbbell by default, multi-hop with a
@@ -176,6 +200,9 @@ pub struct Simulator {
     /// Scenario senders (slots `0..n_persistent`, never torn down).
     n_persistent: usize,
     churn: Option<ChurnState>,
+    /// Graph-topology failure dynamics (None for hand-listed topologies
+    /// and the legacy dumbbell — zero overhead on those paths).
+    net: Option<NetState>,
     mss: u32,
     packets_forwarded: u64,
     deliveries: Vec<DeliveryRecord>,
@@ -329,6 +356,18 @@ impl Simulator {
                     .collect()
             }
         };
+        let net = scenario
+            .topology
+            .as_ref()
+            .and_then(|t| t.graph.as_ref())
+            .map(|g| NetState {
+                down: vec![false; g.links.len()],
+                epoch: 0,
+                link_events: 0,
+                failover_drops: 0,
+                reroutes: 0,
+                graph: g.clone(),
+            });
         let n_persistent = flows.live();
         let mut sim = Simulator {
             now: Ns::ZERO,
@@ -339,6 +378,7 @@ impl Simulator {
             flows,
             n_persistent,
             churn,
+            net,
             mss: scenario.mss,
             packets_forwarded: 0,
             deliveries: Vec::new(),
@@ -369,11 +409,24 @@ impl Simulator {
                 }
             }
         }
-        // …and, for churn scenarios, the first Poisson arrival.
+        // …and, for churn scenarios, the first Poisson arrival…
         if let Some(c) = sim.churn.as_mut() {
             let gap = c.arrivals.exponential(1.0 / c.spec.arrivals_per_sec);
             let at = Ns::from_secs_f64(gap);
             sim.schedule(at, Ev::Spawn);
+        }
+        // …and every scheduled link failure/recovery of a graph topology.
+        if let Some(net) = &sim.net {
+            let schedule: Vec<(Ns, usize)> = net
+                .graph
+                .events
+                .iter()
+                .enumerate()
+                .map(|(idx, ev)| (ev.at, idx))
+                .collect();
+            for (at, idx) in schedule {
+                sim.schedule(at, Ev::LinkEvent(idx));
+            }
         }
         sim
     }
@@ -450,6 +503,7 @@ impl Simulator {
                 Ev::Rto(f) => self.on_rto(f),
                 Ev::RouterTick(h) => self.on_router_tick(h),
                 Ev::Spawn => self.on_spawn(),
+                Ev::LinkEvent(idx) => self.on_link_event(idx),
             }
         }
         self.now = self.end;
@@ -482,6 +536,10 @@ impl Simulator {
             flow_bytes: c.flow_bytes,
             fct_sample_secs: c.fct_reservoir.samples().to_vec(),
         });
+        let (link_events, failover_drops, reroutes) = self
+            .net
+            .as_ref()
+            .map_or((0, 0, 0), |n| (n.link_events, n.failover_drops, n.reroutes));
         // Only the persistent senders get positional per-flow summaries;
         // churn flows streamed into `population` as they completed.
         let mut flows = Vec::with_capacity(n);
@@ -499,6 +557,9 @@ impl Simulator {
                 deliveries: self.deliveries,
                 deliveries_dropped: self.deliveries_dropped,
                 population,
+                link_events,
+                failover_drops,
+                reroutes,
             },
             ccs,
         )
@@ -553,6 +614,9 @@ impl Simulator {
                     }
                     let entry_hop = self.flows.hot(i).entry_hop as usize;
                     let id = self.arena.alloc(p);
+                    if let Some(net) = &self.net {
+                        self.arena[id].route_epoch = net.epoch;
+                    }
                     let admitted = {
                         let hop = &mut self.hops[entry_hop];
                         let queue_pkts = hop.queue.len();
@@ -611,7 +675,7 @@ impl Simulator {
         let LinkState::Constant { .. } = self.hops[h].link else {
             return;
         };
-        if self.hops[h].busy {
+        if self.hops[h].busy || self.hops[h].down {
             return;
         }
         let now = self.now;
@@ -634,6 +698,9 @@ impl Simulator {
         if let LinkState::Trace { schedule } = &hop.link {
             let next = schedule.next_after_cached(&mut hop.trace_cursor, now);
             self.schedule(next, Ev::TraceSlot(h));
+        }
+        if self.hops[h].down {
+            return; // a down trace link still chains slots, delivers nothing
         }
         let Some(id) = self.hops[h].queue.dequeue(now, &mut self.arena) else {
             return;
@@ -679,7 +746,10 @@ impl Simulator {
 
     /// Route a packet leaving hop `h` at time `depart`: to the next hop on
     /// its path, or — past the final hop — to its receiver (data) or
-    /// sender (ACK) after the flow's propagation delay.
+    /// sender (ACK) after the flow's propagation delay. On a graph
+    /// topology, a packet stamped with a stale routing epoch (its flow's
+    /// path was rewritten while it was on the wire) re-resolves at the
+    /// router it is arriving at instead of blindly walking the old path.
     fn forward(&mut self, h: usize, id: PacketId, depart: Ns) {
         let (flow, is_ack, path_pos) = {
             let p = &self.arena[id];
@@ -690,6 +760,17 @@ impl Simulator {
             self.arena.free(id);
             return;
         };
+        if let Some(net) = &self.net {
+            if self.arena[id].route_epoch != net.epoch {
+                // The packet has already been launched across hop `h`'s
+                // wire: it lands at `h`'s downstream router, then rejoins
+                // its flow's *current* path from there.
+                let r = net.graph.links[h].dst;
+                let prop_out = self.hops[h].prop_delay_out;
+                self.reroute_at(id, fi, is_ack, r, depart, prop_out);
+                return;
+            }
+        }
         let hot = self.flows.hot(fi);
         let path_len = if is_ack {
             hot.ack_len as usize
@@ -697,7 +778,20 @@ impl Simulator {
             hot.fwd_len as usize
         };
         if path_pos + 1 < path_len {
-            self.arena[id].path_pos += 1;
+            let next = {
+                let cold = self.flows.cold(fi);
+                let pos = path_pos + 1;
+                if is_ack {
+                    cold.ack_hops[pos]
+                } else {
+                    cold.fwd_hops[pos]
+                }
+            };
+            {
+                let p = &mut self.arena[id];
+                p.path_pos += 1;
+                p.next_hop = next as u32;
+            }
             let at = depart + self.hops[h].prop_delay_out;
             self.schedule(at, Ev::HopArrive(id));
         } else if is_ack {
@@ -709,27 +803,46 @@ impl Simulator {
         }
     }
 
-    /// A packet arrives at the hop its `path_pos` points to: run the hop's
-    /// router hook, enqueue, and start service if the link is idle.
+    /// A packet arrives at the hop stamped into it at forward time: run
+    /// the hop's router hook, enqueue, and start service if the link is
+    /// idle. The hop index was resolved when the packet departed the
+    /// previous hop, so a path rewrite mid-propagation cannot retarget a
+    /// packet already on the wire (it re-resolves at its next router
+    /// instead, via the epoch check in [`Simulator::forward`]).
     fn on_hop_arrive(&mut self, id: PacketId) {
-        let (flow, is_ack, path_pos) = {
-            let p = &self.arena[id];
-            (p.flow, p.ack.is_some(), p.path_pos)
-        };
-        let Some(fi) = self.flows.index_of(flow) else {
+        let flow = self.arena[id].flow;
+        if self.flows.index_of(flow).is_none() {
             self.arena.free(id);
             return;
-        };
-        let cold = self.flows.cold(fi);
-        let h = if is_ack {
-            cold.ack_hops[path_pos]
-        } else {
-            cold.fwd_hops[path_pos]
-        };
+        }
+        let h = self.arena[id].next_hop as usize;
         self.admit(h, id);
     }
 
     fn admit(&mut self, h: usize, id: PacketId) {
+        if self.hops[h].down {
+            // The packet arrived at a failed link: re-resolve from the
+            // link's source router under the failover policy.
+            let (flow, is_ack) = {
+                let p = &self.arena[id];
+                (p.flow, p.ack.is_some())
+            };
+            let Some(fi) = self.flows.index_of(flow) else {
+                self.arena.free(id);
+                return;
+            };
+            let Some(net) = &self.net else {
+                // A hop can only be down with a graph topology; tolerate
+                // by dropping the packet.
+                debug_assert!(false, "down hop without graph state");
+                self.arena.free(id);
+                return;
+            };
+            let r = net.graph.links[h].src;
+            let now = self.now;
+            self.reroute_at(id, fi, is_ack, r, now, Ns::ZERO);
+            return;
+        }
         let now = self.now;
         let admitted = {
             let hop = &mut self.hops[h];
@@ -741,6 +854,176 @@ impl Simulator {
         };
         if admitted {
             self.start_service_if_possible(h);
+        }
+    }
+
+    /// Re-join packet `id` (of flow `fi`) to its flow's current path from
+    /// router `r`: if `r` is the packet's terminal router it completes
+    /// (delivery or ACK arrival) after the flow's edge delay; if the
+    /// current path passes through `r` on an alive link, the
+    /// packet adopts that position and the current epoch; otherwise it is
+    /// stranded (no alive on-path link leaves `r`) and is dropped — the
+    /// transport recovers by RTO exactly as it does from a queue drop.
+    fn reroute_at(
+        &mut self,
+        id: PacketId,
+        fi: usize,
+        is_ack: bool,
+        r: u32,
+        depart: Ns,
+        prop_out: Ns,
+    ) {
+        let Some(net) = &self.net else {
+            debug_assert!(false, "reroute without graph state");
+            self.arena.free(id);
+            return;
+        };
+        let hot = self.flows.hot(fi);
+        let cold = self.flows.cold(fi);
+        // Terminal router of this packet's direction of travel (churn
+        // flows never run on graph topologies, so a missing pair just
+        // strands the packet below).
+        let terminal = match net.graph.flows.get(fi).copied() {
+            Some((s, d)) => {
+                if is_ack {
+                    s
+                } else {
+                    d
+                }
+            }
+            None => u32::MAX,
+        };
+        if r == terminal {
+            // Mirror normal final-hop semantics: the flow's edge delay
+            // substitutes for the last wire's propagation.
+            if is_ack {
+                let at = depart + hot.back_delay;
+                self.schedule(at, Ev::AckArrive(id));
+            } else {
+                let at = depart + hot.fwd_delay;
+                self.schedule(at, Ev::Deliver(id));
+            }
+            return;
+        }
+        let path = if is_ack {
+            &cold.ack_hops
+        } else {
+            &cold.fwd_hops
+        };
+        let rejoin = path
+            .iter()
+            .position(|&l| net.graph.links[l].src == r && !net.down[l]);
+        match rejoin {
+            Some(j) => {
+                let epoch = net.epoch;
+                let next = path[j];
+                let p = &mut self.arena[id];
+                p.path_pos = j;
+                p.route_epoch = epoch;
+                p.next_hop = next as u32;
+                let at = depart + prop_out;
+                self.schedule(at, Ev::HopArrive(id));
+            }
+            None => {
+                // Stranded: no alive on-path link leaves this router.
+                self.arena.free(id);
+                if let Some(net) = self.net.as_mut() {
+                    net.failover_drops += 1;
+                }
+            }
+        }
+    }
+
+    /// A scheduled link failure or recovery fires: flip the link's state,
+    /// bump the routing epoch, recompute every flow's shortest path over
+    /// the surviving graph, and handle the failed link's queue contents
+    /// under the topology's failover policy. Flows that become unreachable
+    /// keep their old paths (their packets strand at the failure and drop;
+    /// the transport backs off by RTO until recovery).
+    fn on_link_event(&mut self, idx: usize) {
+        let now = self.now;
+        let Some(net) = self.net.as_mut() else {
+            debug_assert!(false, "link event without graph state");
+            return;
+        };
+        let ev = net.graph.events[idx];
+        let h = ev.link as usize;
+        net.down[h] = !ev.up;
+        net.link_events += 1;
+        net.epoch = net.epoch.wrapping_add(1);
+        self.hops[h].down = !ev.up;
+        // Recompute all routes over the surviving topology, then apply:
+        // the borrow of `net` must end before we touch flows/hops.
+        let tables = net.graph.forwarding(&net.down);
+        let policy = net.graph.policy;
+        let mut new_paths: Vec<(usize, Vec<usize>, Vec<usize>)> = Vec::new();
+        for fi in 0..net.graph.flows.len() {
+            let (s, d) = net.graph.flows[fi];
+            let fwd = net.graph.route_via(&tables, s, d);
+            let ack = net.graph.route_via(&tables, d, s);
+            if let (Ok(fwd), Ok(ack)) = (fwd, ack) {
+                new_paths.push((fi, fwd, ack));
+            }
+            // Unreachable flows keep their old paths: their packets
+            // strand at the failed link and the transport waits out the
+            // outage on its RTO clock.
+        }
+        for (fi, fwd, ack) in new_paths {
+            if fi >= self.n_persistent {
+                continue;
+            }
+            let (hot, cold) = self.flows.pair_mut(fi);
+            if cold.fwd_hops == fwd && cold.ack_hops == ack {
+                continue;
+            }
+            cold.fwd_hops = fwd;
+            cold.ack_hops = ack;
+            hot.entry_hop = cold.fwd_hops[0] as u32;
+            hot.fwd_len = cold.fwd_hops.len() as u32;
+            hot.ack_len = cold.ack_hops.len() as u32;
+            if let Some(net) = self.net.as_mut() {
+                net.reroutes += 1;
+            }
+        }
+        if ev.up {
+            // Recovery: the link may have queued packets that waited out
+            // the outage (entry-hop sends buffer against a down link).
+            self.start_service_if_possible(h);
+        } else {
+            // Failure: deal with the dead link's queue under the policy.
+            let mut stranded = Vec::new();
+            while let Some(id) = self.hops[h].queue.dequeue(now, &mut self.arena) {
+                stranded.push(id);
+            }
+            for id in stranded {
+                match policy {
+                    crate::graph::FailoverPolicy::Drop => {
+                        self.arena.free(id);
+                        if let Some(net) = self.net.as_mut() {
+                            net.failover_drops += 1;
+                        }
+                    }
+                    crate::graph::FailoverPolicy::Reroute => {
+                        let (flow, is_ack) = {
+                            let p = &mut self.arena[id];
+                            let wait = now.saturating_sub(p.enqueued_at);
+                            p.queue_wait += wait;
+                            (p.flow, p.ack.is_some())
+                        };
+                        let Some(fi) = self.flows.index_of(flow) else {
+                            self.arena.free(id);
+                            continue;
+                        };
+                        let r = {
+                            // lint:allow(p1-sim-unwrap): net is Some — this
+                            // handler is only reachable with graph state.
+                            let net = self.net.as_ref().expect("graph state");
+                            net.graph.links[h].src
+                        };
+                        self.reroute_at(id, fi, is_ack, r, now, Ns::ZERO);
+                    }
+                }
+            }
         }
     }
 
@@ -803,6 +1086,9 @@ impl Simulator {
             // hops.
             let entry_hop = cold.ack_hops[0];
             self.arena[id] = Packet::carrying_ack(ack, now);
+            if let Some(net) = &self.net {
+                self.arena[id].route_epoch = net.epoch;
+            }
             self.admit(entry_hop, id);
         }
     }
@@ -1469,10 +1755,7 @@ mod tests {
     fn hopless_topology_panics_with_a_diagnostic() {
         use crate::topology::Topology;
         let mut s = saturating_scenario(1, 10.0, 100);
-        s.topology = Some(Topology {
-            hops: vec![],
-            paths: vec![],
-        });
+        s.topology = Some(Topology::from_flow_hops(vec![], vec![]));
         let _ = Simulator::new(&s, vec![Box::new(FixedWindow::new(1.0))], None);
     }
 
@@ -1521,14 +1804,14 @@ mod tests {
 
     #[test]
     fn chain_throughput_limited_by_slowest_hop() {
-        let topo = Topology {
-            hops: vec![
+        let topo = Topology::from_flow_hops(
+            vec![
                 droptail_hop(10.0, 1000),
                 droptail_hop(2.0, 1000),
                 droptail_hop(5.0, 1000),
             ],
-            paths: vec![FlowPath::through(vec![0, 1, 2])],
-        };
+            vec![FlowPath::through(vec![0, 1, 2])],
+        );
         let s = saturating_scenario(1, 10.0, 100).with_topology(topo);
         let r = run_scenario(&s, &|_| Box::new(FixedWindow::new(200.0)));
         let got = r.flows[0].throughput_mbps;
@@ -1548,10 +1831,10 @@ mod tests {
     fn parking_lot_cross_traffic_contends_on_the_shared_hop() {
         // Flow 0 crosses hops 0 and 1; flow 1 loads hop 1 only. They split
         // hop 1's 10 Mbps while hop 0 stays uncongested.
-        let topo = Topology {
-            hops: vec![droptail_hop(10.0, 1000), droptail_hop(10.0, 1000)],
-            paths: vec![FlowPath::through(vec![0, 1]), FlowPath::through(vec![1])],
-        };
+        let topo = Topology::from_flow_hops(
+            vec![droptail_hop(10.0, 1000), droptail_hop(10.0, 1000)],
+            vec![FlowPath::through(vec![0, 1]), FlowPath::through(vec![1])],
+        );
         let s = saturating_scenario(2, 10.0, 100).with_topology(topo);
         let r = run_scenario(&s, &|_| Box::new(FixedWindow::new(100.0)));
         let t0 = r.flows[0].throughput_mbps;
@@ -1572,13 +1855,13 @@ mod tests {
         // return they do not.
         let build = |queued_acks: bool| {
             let flow0_ack = if queued_acks { vec![1] } else { vec![] };
-            let topo = Topology {
-                hops: vec![droptail_hop(10.0, 1000), droptail_hop(10.0, 1000)],
-                paths: vec![
+            let topo = Topology::from_flow_hops(
+                vec![droptail_hop(10.0, 1000), droptail_hop(10.0, 1000)],
+                vec![
                     FlowPath::through(vec![0]).with_ack_path(flow0_ack),
                     FlowPath::through(vec![1]),
                 ],
-            };
+            );
             saturating_scenario(2, 10.0, 100).with_topology(topo)
         };
         let run = |s: &Scenario| {
@@ -1607,10 +1890,10 @@ mod tests {
         let n = 4;
         let mut hops: Vec<HopSpec> = (0..n).map(|_| droptail_hop(100.0, 1000)).collect();
         hops.push(droptail_hop(10.0, 20)); // shallow aggregation buffer
-        let topo = Topology {
+        let topo = Topology::from_flow_hops(
             hops,
-            paths: (0..n).map(|i| FlowPath::through(vec![i, n])).collect(),
-        };
+            (0..n).map(|i| FlowPath::through(vec![i, n])).collect(),
+        );
         let s = saturating_scenario(n, 10.0, 50).with_topology(topo);
         let r = run_scenario(&s, &|_| Box::new(FixedWindow::new(100.0)));
         assert!(
@@ -1623,5 +1906,165 @@ mod tests {
             "aggregate goodput tracks the fan-in link, minus loss-recovery \
              overhead: {total}"
         );
+    }
+
+    // --- graph topologies: link failure & failover ---------------------
+
+    use crate::graph::{FailoverPolicy, LinkEvent, NetworkBuilder};
+
+    /// Chain a-b-c-d with the b→c hop as the 10 Mbps bottleneck (the
+    /// flanking hops run at 50 Mbps, so the standing queue sits at b→c)
+    /// and a heavier detour b-e-c around exactly that hop. Failing b→c
+    /// mid-run forces the flow onto the detour — and because the detour
+    /// leaves from b, packets stranded at the failed link can rejoin the
+    /// new path under `FailoverPolicy::Reroute`.
+    fn detour_scenario(policy: FailoverPolicy, events: Vec<LinkEvent>) -> Scenario {
+        let mut b = NetworkBuilder::new();
+        let a = b.add_router("a");
+        let rb = b.add_router("b");
+        let c = b.add_router("c");
+        let d = b.add_router("d");
+        let e = b.add_router("e");
+        let fast = LinkSpec::constant(50.0);
+        let slow = LinkSpec::constant(10.0);
+        let q = QueueSpec::DropTail { capacity: 1000 };
+        let ms5 = Ns::from_millis(5);
+        b.add_duplex_link(a, rb, fast.clone(), q.clone(), ms5);
+        b.add_duplex_link(rb, c, slow.clone(), q.clone(), ms5);
+        b.add_duplex_link(c, d, fast, q.clone(), ms5);
+        b.add_weighted_duplex_link(rb, e, slow.clone(), q.clone(), Ns::from_millis(20), 2);
+        b.add_weighted_duplex_link(e, c, slow, q, Ns::from_millis(20), 2);
+        let net = b.build().expect("valid network");
+        let topo = net
+            .into_topology(&[(a, d)], events, policy)
+            .expect("routable flow");
+        Scenario::dumbbell(
+            LinkSpec::constant(50.0),
+            QueueSpec::DropTail { capacity: 1000 },
+            1,
+            Ns::from_millis(20),
+            TrafficSpec::saturating(),
+            Ns::from_secs(10),
+            5,
+        )
+        .with_topology(topo)
+    }
+
+    /// Index of the b→c link in [`detour_scenario`]'s wiring order.
+    const BC: u32 = 2;
+
+    #[test]
+    fn link_failure_reroutes_mid_flight_and_the_flow_keeps_delivering() {
+        let mut s = detour_scenario(
+            FailoverPolicy::Reroute,
+            vec![LinkEvent {
+                at: Ns::from_secs(5),
+                link: BC,
+                up: false,
+            }],
+        );
+        s.record_deliveries = true;
+        let r = run_scenario(&s, &|_| Box::new(FixedWindow::new(100.0)));
+        assert_eq!(r.link_events, 1);
+        assert_eq!(r.reroutes, 1, "one flow's forward path switched");
+        assert_eq!(
+            r.failover_drops, 0,
+            "the detour leaves from b: all salvaged"
+        );
+        // lint:allow(p1-sim-unwrap): test body.
+        let last = r.deliveries.last().expect("deliveries recorded").at;
+        assert!(
+            last > Ns::from_secs(9),
+            "the flow still delivers after the failure: last at {last:?}"
+        );
+    }
+
+    #[test]
+    fn failover_policies_differ_on_the_stranded_queue() {
+        let fail = vec![LinkEvent {
+            at: Ns::from_secs(5),
+            link: BC,
+            up: false,
+        }];
+        let window = |_: usize| Box::new(FixedWindow::new(100.0)) as Box<dyn CongestionControl>;
+        let dropped = run_scenario(
+            &detour_scenario(FailoverPolicy::Drop, fail.clone()),
+            &window,
+        );
+        let rerouted = run_scenario(&detour_scenario(FailoverPolicy::Reroute, fail), &window);
+        assert!(
+            dropped.failover_drops > 0,
+            "Drop frees the standing queue at the dead link: {}",
+            dropped.failover_drops
+        );
+        assert_eq!(rerouted.failover_drops, 0);
+        assert!(
+            rerouted.flows[0].bytes >= dropped.flows[0].bytes,
+            "salvaged packets are not re-earned by retransmission: {} vs {}",
+            rerouted.flows[0].bytes,
+            dropped.flows[0].bytes
+        );
+    }
+
+    #[test]
+    fn link_recovery_restores_the_primary_route() {
+        let s = detour_scenario(
+            FailoverPolicy::Reroute,
+            vec![
+                LinkEvent {
+                    at: Ns::from_secs(3),
+                    link: BC,
+                    up: false,
+                },
+                LinkEvent {
+                    at: Ns::from_secs(6),
+                    link: BC,
+                    up: true,
+                },
+            ],
+        );
+        let r = run_scenario(&s, &|_| Box::new(FixedWindow::new(100.0)));
+        assert_eq!(r.link_events, 2);
+        assert_eq!(r.reroutes, 2, "onto the detour, then back");
+        assert!(r.flows[0].bytes > 0);
+        // The detour adds 30 ms of one-way propagation for 3 of 10
+        // seconds; the mean RTT must sit between the all-primary and
+        // all-detour floors.
+        let rtt = r.flows[0].mean_rtt_ms;
+        assert!(rtt > 30.0, "failure window visible in the mean RTT: {rtt}");
+    }
+
+    #[test]
+    fn failover_runs_agree_across_schedulers_bit_for_bit() {
+        let mut s = detour_scenario(
+            FailoverPolicy::Reroute,
+            vec![LinkEvent {
+                at: Ns::from_secs(5),
+                link: BC,
+                up: false,
+            }],
+        );
+        s.record_deliveries = true;
+        let run = |kind: SchedulerKind| {
+            let ccs: Vec<Box<dyn CongestionControl>> = vec![Box::new(FixedWindow::new(100.0)) as _];
+            let routers = (0..s.topology.as_ref().map_or(1, |t| t.n_hops()))
+                .map(|_| None)
+                .collect();
+            Simulator::with_scheduler(&s, ccs, routers, kind).run()
+        };
+        let a = run(SchedulerKind::Heap);
+        let b = run(SchedulerKind::Wheel);
+        assert_eq!(a.queue_drops, b.queue_drops);
+        assert_eq!(a.packets_forwarded, b.packets_forwarded);
+        assert_eq!(a.reroutes, b.reroutes);
+        assert_eq!(a.failover_drops, b.failover_drops);
+        assert_eq!(a.deliveries.len(), b.deliveries.len());
+        for (da, db) in a.deliveries.iter().zip(&b.deliveries) {
+            assert_eq!((da.at, da.flow, da.seq), (db.at, db.flow, db.seq));
+        }
+        for (fa, fb) in a.flows.iter().zip(&b.flows) {
+            assert_eq!(fa.bytes, fb.bytes);
+            assert_eq!(fa.mean_rtt_ms.to_bits(), fb.mean_rtt_ms.to_bits());
+        }
     }
 }

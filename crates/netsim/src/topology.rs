@@ -19,6 +19,7 @@
 //! whose paths all read `fwd: [0], ack: []` is byte-identical to that
 //! legacy engine (the equivalence suite in `tests/` pins this).
 
+use crate::graph::NetGraph;
 use crate::json::{self, Value};
 use crate::link::LinkSpec;
 use crate::queue::QueueSpec;
@@ -120,22 +121,46 @@ impl FlowPath {
 
 /// A complete multi-hop topology: the hop set plus one [`FlowPath`] per
 /// sender (index-aligned with [`crate::scenario::Scenario::senders`]).
+///
+/// Construct topologies through [`Topology::from_flow_hops`],
+/// [`Topology::single_bottleneck`], or — for routed networks — a
+/// [`crate::graph::NetworkBuilder`]. Raw struct-literal construction is
+/// not a public path: it bypasses the constructors that keep the
+/// `graph` carrier and the hop/path invariants in sync, and new call
+/// sites are flagged in review (see CONTRIBUTING.md).
 #[derive(Clone, Debug)]
 pub struct Topology {
     /// Every hop in the network, indexed by position.
     pub hops: Vec<HopSpec>,
     /// `paths[i]` is sender `i`'s route.
     pub paths: Vec<FlowPath>,
+    /// The routing graph this topology was derived from, when it was
+    /// built by [`crate::graph::NetworkBuilder`] rather than hand-listed.
+    /// Carries link failure events and the failover policy; `None` for
+    /// hand-wired hop-list topologies.
+    pub graph: Option<NetGraph>,
 }
 
 impl Topology {
+    /// The compatibility constructor for hand-listed topologies: an
+    /// explicit hop set plus one per-flow path each. This is the funnel
+    /// every per-flow-hop call site goes through; it attaches no routing
+    /// graph, so the topology is static for the whole run.
+    pub fn from_flow_hops(hops: Vec<HopSpec>, paths: Vec<FlowPath>) -> Topology {
+        Topology {
+            hops,
+            paths,
+            graph: None,
+        }
+    }
+
     /// The 1-hop topology equivalent to the legacy dumbbell: every one of
     /// `n` flows forwards through the single hop, ACKs return un-queued.
     pub fn single_bottleneck(link: LinkSpec, queue: QueueSpec, n: usize) -> Topology {
-        Topology {
-            hops: vec![HopSpec::new(link, queue)],
-            paths: (0..n).map(|_| FlowPath::through(vec![0])).collect(),
-        }
+        Topology::from_flow_hops(
+            vec![HopSpec::new(link, queue)],
+            (0..n).map(|_| FlowPath::through(vec![0])).collect(),
+        )
     }
 
     /// Number of hops.
@@ -178,12 +203,28 @@ impl Topology {
                 }
             }
         }
+        if let Some(g) = &self.graph {
+            if g.links.len() != self.hops.len() {
+                return Err(format!(
+                    "topology graph has {} links but {} hops",
+                    g.links.len(),
+                    self.hops.len()
+                ));
+            }
+            if g.flows.len() != self.paths.len() {
+                return Err(format!(
+                    "topology graph has {} flows but {} paths",
+                    g.flows.len(),
+                    self.paths.len()
+                ));
+            }
+        }
         Ok(())
     }
 
     /// Serialize to a JSON value.
     pub fn to_json_value(&self) -> Value {
-        Value::obj(vec![
+        let mut fields = vec![
             (
                 "hops",
                 Value::Arr(self.hops.iter().map(HopSpec::to_json_value).collect()),
@@ -192,11 +233,21 @@ impl Topology {
                 "paths",
                 Value::Arr(self.paths.iter().map(FlowPath::to_json_value).collect()),
             ),
-        ])
+        ];
+        // Omitted for hand-listed topologies, so pre-graph documents
+        // (and the golden specs) stay byte-identical.
+        if let Some(g) = &self.graph {
+            fields.push(("graph", g.to_json_value()));
+        }
+        Value::obj(fields)
     }
 
     /// Deserialize a value written by [`Topology::to_json_value`].
     pub fn from_json_value(v: &Value) -> Result<Topology, String> {
+        let graph = match v.get("graph") {
+            None | Some(Value::Null) => None,
+            Some(g) => Some(NetGraph::from_json_value(g)?),
+        };
         let topo = Topology {
             hops: v
                 .field("hops")?
@@ -210,6 +261,7 @@ impl Topology {
                 .iter()
                 .map(FlowPath::from_json_value)
                 .collect::<Result<Vec<FlowPath>, String>>()?,
+            graph,
         };
         topo.validate(topo.paths.len())?;
         Ok(topo)
@@ -221,8 +273,8 @@ mod tests {
     use super::*;
 
     fn three_hop_chain() -> Topology {
-        Topology {
-            hops: (0..3)
+        Topology::from_flow_hops(
+            (0..3)
                 .map(|_| {
                     HopSpec::new(
                         LinkSpec::constant(10.0),
@@ -231,13 +283,13 @@ mod tests {
                     .with_prop_delay(Ns::from_millis(10))
                 })
                 .collect(),
-            paths: vec![
+            vec![
                 FlowPath::through(vec![0, 1, 2]),
                 FlowPath::through(vec![0]),
                 FlowPath::through(vec![1]),
                 FlowPath::through(vec![2]),
             ],
-        }
+        )
     }
 
     #[test]
@@ -283,6 +335,52 @@ mod tests {
         assert_eq!(back.hops.len(), 3);
         assert_eq!(back.hops[1].prop_delay_out, Ns::from_millis(10));
         assert_eq!(back.hops[2].queue, t.hops[2].queue);
+    }
+
+    #[test]
+    fn graph_topologies_round_trip_and_hand_listed_docs_stay_graph_free() {
+        // Hand-listed topologies never emit a graph key, so pre-graph
+        // documents (and goldens) stay byte-identical.
+        let hand = three_hop_chain();
+        assert!(!hand.to_json_value().pretty().contains("\"graph\""));
+        // Graph-built topologies carry the graph through JSON.
+        use crate::graph::{FailoverPolicy, LinkEvent, NetworkBuilder};
+        let mut b = NetworkBuilder::new();
+        let a = b.add_router("a");
+        let c = b.add_router("c");
+        b.add_duplex_link(
+            a,
+            c,
+            LinkSpec::constant(10.0),
+            QueueSpec::DropTail { capacity: 100 },
+            Ns::from_millis(5),
+        );
+        let topo = b
+            .build()
+            .unwrap()
+            .into_topology(
+                &[(a, c)],
+                vec![LinkEvent {
+                    at: Ns::from_secs(2),
+                    link: 0,
+                    up: false,
+                }],
+                FailoverPolicy::Reroute,
+            )
+            .unwrap();
+        let text = topo.to_json_value().pretty();
+        assert!(text.contains("\"graph\""));
+        let back = Topology::from_json_value(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.to_json_value().pretty(), text);
+        assert_eq!(back.graph, topo.graph);
+        // A graph whose link count disagrees with the hop list is
+        // rejected at parse time.
+        let mut bad = topo.clone();
+        bad.hops.push(bad.hops[0].clone());
+        let v = json::parse(&bad.to_json_value().pretty()).unwrap();
+        assert!(Topology::from_json_value(&v)
+            .unwrap_err()
+            .contains("links but"));
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! remy-cli run <name|spec.json> [--runs N] [--secs S] [--out csv]
 //! remy-cli list-experiments [--names]     # the named experiment registry
 //! remy-cli spec <name> [--runs N] [--secs S]   # dump an experiment's JSON spec
+//! remy-cli topo <name|spec.json>          # dump a resolved topology graph
 //! remy-cli inspect <table>                # annotated rule dump
 //! remy-cli eval <table> [delta] [specimens] [secs]  # score on the general model
 //! remy-cli compare <tableA> <tableB> [runs] [secs]  # head-to-head on Fig. 4
@@ -49,6 +50,7 @@ fn usage() -> ! {
         "usage:\n  remy-cli run <name|spec.json> [--runs N] [--secs S] [--out csv]\n  \
          remy-cli list-experiments [--names]\n  \
          remy-cli spec <name> [--runs N] [--secs S]\n  \
+         remy-cli topo <name|spec.json>\n  \
          remy-cli list\n  remy-cli inspect <table>\n  \
          remy-cli eval <table> [delta=1] [specimens=8] [secs=15]\n  \
          remy-cli compare <tableA> <tableB> [runs=8] [secs=20]\n\n\
@@ -124,12 +126,152 @@ fn cmd_list_experiments(names_only: bool) {
         }
         return;
     }
-    println!("{:<18} {:<22} description", "name", "csv");
+    println!(
+        "{:<24} {:<24} {:<16} description",
+        "name", "csv", "topology"
+    );
     for e in experiments::all() {
-        println!("{:<18} {:<22} {}", e.name, e.csv, e.about);
+        let class = e
+            .spec(Budget::default_fixed())
+            .workload
+            .topology
+            .map(|t| t.class())
+            .unwrap_or_else(|| "-".to_string());
+        println!("{:<24} {:<24} {:<16} {}", e.name, e.csv, class, e.about);
     }
     println!("\nrun one with:   remy-cli run <name> [--runs N] [--secs S]");
     println!("dump its spec:  remy-cli spec <name>");
+    println!("its topology:   remy-cli topo <name>");
+}
+
+/// `topo`: dump the resolved network of a topology experiment — routers,
+/// links, and the per-flow routes the engine computed — as stable JSON,
+/// for eyeballing a generated graph and for golden diffs in scripts.
+fn cmd_topo(target: &str) {
+    use netsim::json::{ns_value, u64_value, Value};
+    let spec = if let Some(entry) = experiments::by_name(target) {
+        entry.spec(Budget::default_fixed())
+    } else if std::path::Path::new(target).exists() {
+        let text = std::fs::read_to_string(target)
+            .unwrap_or_else(|e| die(&format!("cannot read '{target}': {e}")));
+        ExperimentSpec::from_json(&text)
+            .unwrap_or_else(|e| die(&format!("cannot parse '{target}': {e}")))
+    } else {
+        die(&format!(
+            "'{target}' is neither a registered experiment nor a spec file"
+        ))
+    };
+    let topo_spec = spec.workload.topology.as_ref().unwrap_or_else(|| {
+        die(&format!(
+            "'{}' runs on the plain dumbbell; no topology to dump",
+            spec.name
+        ))
+    });
+    // The queue discipline never affects the graph or the routes, so the
+    // dump resolves with plain DropTail (hops keep their own capacities).
+    let topo = topo_spec
+        .resolve(&QueueSpec::DropTail { capacity: 1000 })
+        .unwrap_or_else(|e| die(&e));
+    let path_value =
+        |hops: &[usize]| Value::Arr(hops.iter().map(|&h| u64_value(h as u64)).collect());
+    let doc = match &topo.graph {
+        Some(g) => {
+            let routers = Value::Arr(g.routers.iter().map(Value::str).collect());
+            let links = Value::Arr(
+                g.links
+                    .iter()
+                    .enumerate()
+                    .map(|(i, l)| {
+                        Value::obj(vec![
+                            ("id", u64_value(i as u64)),
+                            ("from", Value::str(g.routers[l.src as usize].clone())),
+                            ("to", Value::str(g.routers[l.dst as usize].clone())),
+                            ("weight", u64_value(l.weight)),
+                            ("prop_delay_ns", ns_value(topo.hops[i].prop_delay_out)),
+                        ])
+                    })
+                    .collect(),
+            );
+            let events = Value::Arr(
+                g.events
+                    .iter()
+                    .map(|e| {
+                        Value::obj(vec![
+                            ("at_ns", ns_value(e.at)),
+                            ("link", u64_value(e.link as u64)),
+                            ("up", Value::Bool(e.up)),
+                        ])
+                    })
+                    .collect(),
+            );
+            let flows = Value::Arr(
+                g.flows
+                    .iter()
+                    .zip(&topo.paths)
+                    .enumerate()
+                    .map(|(i, (&(s, d), p))| {
+                        // The hop-by-hop router walk: the source, then the
+                        // far end of each forward link in order.
+                        let via: Vec<Value> = std::iter::once(s)
+                            .chain(p.fwd.iter().map(|&h| g.links[h].dst))
+                            .map(|r| Value::str(g.routers[r as usize].clone()))
+                            .collect();
+                        Value::obj(vec![
+                            ("id", u64_value(i as u64)),
+                            ("src", Value::str(g.routers[s as usize].clone())),
+                            ("dst", Value::str(g.routers[d as usize].clone())),
+                            ("via", Value::Arr(via)),
+                            ("fwd", path_value(&p.fwd)),
+                            ("ack", path_value(&p.ack)),
+                        ])
+                    })
+                    .collect(),
+            );
+            Value::obj(vec![
+                ("experiment", Value::str(spec.name.clone())),
+                ("kind", Value::str("graph")),
+                ("policy", Value::str(g.policy.name())),
+                ("routers", routers),
+                ("links", links),
+                ("events", events),
+                ("flows", flows),
+            ])
+        }
+        None => {
+            let hops = Value::Arr(
+                topo.hops
+                    .iter()
+                    .enumerate()
+                    .map(|(i, h)| {
+                        Value::obj(vec![
+                            ("id", u64_value(i as u64)),
+                            ("prop_delay_ns", ns_value(h.prop_delay_out)),
+                        ])
+                    })
+                    .collect(),
+            );
+            let flows = Value::Arr(
+                topo.paths
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| {
+                        Value::obj(vec![
+                            ("id", u64_value(i as u64)),
+                            ("fwd", path_value(&p.fwd)),
+                            ("ack", path_value(&p.ack)),
+                        ])
+                    })
+                    .collect(),
+            );
+            Value::obj(vec![
+                ("experiment", Value::str(spec.name.clone())),
+                ("kind", Value::str("hops")),
+                ("hops", hops),
+                ("flows", flows),
+            ])
+        }
+    };
+    println!("{}", doc.pretty());
 }
 
 fn cmd_spec(name: &str, runs: Option<usize>, secs: Option<u64>) {
@@ -244,6 +386,10 @@ fn main() {
         Some("spec") => {
             let n = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
             cmd_spec(n, runs, secs);
+        }
+        Some("topo") => {
+            let t = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            cmd_topo(t);
         }
         Some("run") => {
             let t = args.get(1).map(String::as_str).unwrap_or_else(|| usage());

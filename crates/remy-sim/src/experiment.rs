@@ -441,10 +441,10 @@ mod tests {
         use crate::spec::{HopRef, TopologySpec};
         use netsim::topology::FlowPath;
         let mut spec = tiny_spec();
-        spec.workload = spec.workload.clone().with_topology(TopologySpec {
-            hops: vec![HopRef::new(LinkRef::constant(15.0), 1000)],
-            paths: (0..2).map(|_| FlowPath::through(vec![0])).collect(),
-        });
+        spec.workload = spec.workload.clone().with_topology(TopologySpec::flow_hops(
+            vec![HopRef::new(LinkRef::constant(15.0), 1000)],
+            (0..2).map(|_| FlowPath::through(vec![0])).collect(),
+        ));
         spec.contenders.push(ContenderSpec::new("xcp"));
         let err = match spec.expand() {
             Ok(_) => panic!("xcp on a topology must be rejected"),

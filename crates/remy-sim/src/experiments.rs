@@ -12,9 +12,10 @@ use crate::experiment::Experiment;
 use crate::harness::{runs_from_env, sim_secs_from_env, Contender};
 use crate::report::ExperimentReport;
 use crate::spec::{
-    Budget, ContenderSpec, ExperimentSpec, HopRef, LinkRef, SweepAxis, TopologySpec, WorkloadSpec,
-    DEFAULT_SIM_SECS,
+    Budget, ContenderSpec, ExperimentSpec, GraphGenerator, GraphLinkRef, GraphSpec, HopRef,
+    LinkEventSpec, LinkRef, SweepAxis, TopologySpec, WorkloadSpec, DEFAULT_SIM_SECS,
 };
+use netsim::graph::FailoverPolicy;
 use netsim::rng::SimRng;
 use netsim::scenario::ChurnSpec;
 use netsim::scenario::SenderConfig;
@@ -100,17 +101,17 @@ pub fn cellular_workload(trace: &str, n: usize) -> WorkloadSpec {
 /// sender loads each hop individually.
 pub fn parking_lot_workload(hops: usize) -> WorkloadSpec {
     let n_long = 2;
-    let topo = TopologySpec {
-        hops: (0..hops)
+    let topo = TopologySpec::flow_hops(
+        (0..hops)
             .map(|_| {
                 HopRef::new(LinkRef::constant(10.0), 1000).with_prop_delay(Ns::from_millis(10))
             })
             .collect(),
-        paths: (0..n_long)
+        (0..n_long)
             .map(|_| FlowPath::through((0..hops).collect()))
             .chain((0..hops).map(|h| FlowPath::through(vec![h])))
             .collect(),
-    };
+    );
     let mut wl = WorkloadSpec::uniform(
         LinkRef::constant(10.0),
         1000,
@@ -132,10 +133,10 @@ pub fn incast_workload(n: usize) -> WorkloadSpec {
         .map(|_| HopRef::new(LinkRef::constant(1000.0), 1000))
         .collect();
     hops.push(HopRef::new(LinkRef::constant(100.0), 64));
-    let topo = TopologySpec {
+    let topo = TopologySpec::flow_hops(
         hops,
-        paths: (0..n).map(|i| FlowPath::through(vec![i, n])).collect(),
-    };
+        (0..n).map(|i| FlowPath::through(vec![i, n])).collect(),
+    );
     WorkloadSpec::uniform(
         LinkRef::constant(100.0),
         64,
@@ -155,16 +156,16 @@ pub fn incast_workload(n: usize) -> WorkloadSpec {
 /// (hop 1); flow 1 sends data west with ACKs returning east — each flow's
 /// ACKs queue behind the other's data.
 pub fn reverse_path_workload() -> WorkloadSpec {
-    let topo = TopologySpec {
-        hops: vec![
+    let topo = TopologySpec::flow_hops(
+        vec![
             HopRef::new(LinkRef::constant(10.0), 1000),
             HopRef::new(LinkRef::constant(10.0), 1000),
         ],
-        paths: vec![
+        vec![
             FlowPath::through(vec![0]).with_ack_path(vec![1]),
             FlowPath::through(vec![1]).with_ack_path(vec![0]),
         ],
-    };
+    );
     WorkloadSpec::uniform(
         LinkRef::constant(10.0),
         1000,
@@ -270,7 +271,7 @@ fn env_budget() -> Budget {
 // The catalogue
 // ---------------------------------------------------------------------------
 
-static REGISTRY: [NamedExperiment; 19] = [
+static REGISTRY: [NamedExperiment; 21] = [
     NamedExperiment {
         name: "fig3",
         csv: "fig3_flowcdf",
@@ -448,6 +449,35 @@ static REGISTRY: [NamedExperiment; 19] = [
         default_budget: env_budget,
         spec_fn: spec_web_churn,
         runner: Runner::Custom(run_web_churn),
+    },
+    NamedExperiment {
+        name: "failover_chain",
+        csv: "failover_chain",
+        about: "link failure mid-run: shortest-path reroute onto a slower backup path",
+        default_budget: || {
+            let b = Budget::from_env();
+            // Saturating senders draw no randomness; two runs double-check.
+            Budget {
+                runs: b.runs.min(2),
+                sim_secs: b.sim_secs,
+            }
+        },
+        spec_fn: spec_failover_chain,
+        runner: Runner::Custom(run_failover_chain),
+    },
+    NamedExperiment {
+        name: "fattree_k4_crosstraffic",
+        csv: "fattree_k4_crosstraffic",
+        about: "fat-tree k=4 with cross-pod and intra-pod edge-to-edge flows",
+        default_budget: || {
+            let b = Budget::from_env();
+            Budget {
+                runs: b.runs.min(2),
+                sim_secs: b.sim_secs,
+            }
+        },
+        spec_fn: spec_fattree_k4_crosstraffic,
+        runner: Runner::Generic,
     },
 ];
 
@@ -833,6 +863,134 @@ fn spec_web_churn(budget: Budget) -> ExperimentSpec {
         ],
         budget,
         70_001,
+    )
+}
+
+/// The failover-chain workload: a 3-segment primary chain a—b—c—d
+/// (5 ms per segment, weight 1) and a slower 2-segment detour a—e—d
+/// (20 ms per segment, weight 2), all duplex 10 Mbps links. Two
+/// saturating flows a→d ride the primary until the b↔c segment fails
+/// at `fail_at`; shortest-path recomputation then shifts both flows —
+/// and their ACKs — onto the detour, and the RTT steps up by the extra
+/// propagation. The buffers are kept shallow (6 packets ≈ 7 ms at
+/// 10 Mbps) so the 20 ms propagation step dominates the RTT and stays
+/// visible under any contender's queue occupancy.
+pub fn failover_chain_workload(fail_at: Ns) -> WorkloadSpec {
+    let wire = |from: &str, to: &str, ms: u64, weight: u64| GraphLinkRef {
+        from: from.to_string(),
+        to: to.to_string(),
+        link: LinkRef::constant(10.0),
+        queue_capacity: 6,
+        prop_delay: Ns::from_millis(ms),
+        weight,
+    };
+    let duplex = |a: &str, b: &str, ms: u64, w: u64| vec![wire(a, b, ms, w), wire(b, a, ms, w)];
+    let mut links = Vec::new();
+    links.extend(duplex("a", "b", 5, 1));
+    links.extend(duplex("b", "c", 5, 1));
+    links.extend(duplex("c", "d", 5, 1));
+    links.extend(duplex("a", "e", 20, 2));
+    links.extend(duplex("e", "d", 20, 2));
+    let down = |from: &str, to: &str| LinkEventSpec {
+        at: fail_at,
+        from: from.to_string(),
+        to: to.to_string(),
+        up: false,
+    };
+    let graph = GraphSpec {
+        generator: GraphGenerator::Explicit {
+            routers: ["a", "b", "c", "d", "e"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            links,
+        },
+        flows: vec![("a".into(), "d".into()), ("a".into(), "d".into())],
+        // Both directions of the b↔c segment fail together, so the
+        // forward path and the ACK path reroute at the same instant.
+        events: vec![down("b", "c"), down("c", "b")],
+        policy: FailoverPolicy::Reroute,
+    };
+    WorkloadSpec::uniform(
+        LinkRef::constant(10.0),
+        6,
+        2,
+        Ns::from_millis(20),
+        TrafficSpec::saturating(),
+    )
+    .with_topology(TopologySpec::Graph(graph))
+}
+
+fn spec_failover_chain(budget: Budget) -> ExperimentSpec {
+    // The failure lands mid-run at every budget (same derivation as
+    // Fig. 6's departure time), so pre- and post-failure windows both
+    // carry traffic.
+    let fail_secs = (budget.sim_secs / 2).max(1);
+    ExperimentSpec::new(
+        "failover_chain",
+        format!(
+            "Failover — 3-hop chain, primary b-c segment fails at t={fail_secs}s, \
+             reroute onto the 40 ms backup path"
+        ),
+        failover_chain_workload(Ns::from_secs(fail_secs)),
+        vec![
+            ContenderSpec::new("remy:delta1"),
+            ContenderSpec::new("cubic"),
+        ],
+        budget,
+        91_001,
+    )
+}
+
+/// The fat-tree cross-traffic workload: the canonical k=4 switch-level
+/// fabric (20 routers, 64 directed 50 Mbps links) carrying six
+/// saturating edge-to-edge flows — four cross-pod (two hops up to the
+/// core and two back down) and two intra-pod (via the shared
+/// aggregation layer), so core and aggregation links see overlapping
+/// traffic from different pods.
+pub fn fattree_crosstraffic_workload() -> WorkloadSpec {
+    let graph = GraphSpec {
+        generator: GraphGenerator::FatTreeK4 {
+            link: LinkRef::constant(50.0),
+            queue_capacity: 64,
+            prop_delay: Ns::from_micros(100),
+        },
+        flows: [
+            ("pod0_edge0", "pod1_edge0"),
+            ("pod1_edge1", "pod2_edge1"),
+            ("pod2_edge0", "pod3_edge0"),
+            ("pod0_edge1", "pod3_edge1"),
+            ("pod0_edge0", "pod0_edge1"),
+            ("pod2_edge1", "pod2_edge0"),
+        ]
+        .iter()
+        .map(|(s, d)| (s.to_string(), d.to_string()))
+        .collect(),
+        events: vec![],
+        policy: FailoverPolicy::Reroute,
+    };
+    WorkloadSpec::uniform(
+        LinkRef::constant(50.0),
+        64,
+        6,
+        Ns::from_millis(1),
+        TrafficSpec::saturating(),
+    )
+    .with_topology(TopologySpec::Graph(graph))
+}
+
+fn spec_fattree_k4_crosstraffic(budget: Budget) -> ExperimentSpec {
+    ExperimentSpec::new(
+        "fattree_k4_crosstraffic",
+        "Fat-tree k=4 — six edge-to-edge flows, cross-pod and intra-pod, 50 Mbps fabric",
+        fattree_crosstraffic_workload(),
+        vec![
+            ContenderSpec::labeled("remy:datacenter", "RemyCC (DropTail)"),
+            ContenderSpec::new("dctcp:8"),
+            ContenderSpec::new("cubic"),
+        ],
+        budget,
+        84_001,
     )
 }
 
@@ -1434,9 +1592,8 @@ fn run_parking_lot3(spec: &ExperimentSpec) -> Result<ExperimentReport, String> {
         .workload
         .topology
         .as_ref()
-        .ok_or("parking_lot3 spec needs a topology")?
-        .hops
-        .len();
+        .and_then(|t| t.n_flow_hops())
+        .ok_or("parking_lot3 spec needs a hop-list topology")?;
     let n_long = spec.workload.n() - n_hops;
     let mut text = String::new();
     let _ = writeln!(
@@ -1637,13 +1794,80 @@ fn run_web_churn(spec: &ExperimentSpec) -> Result<ExperimentReport, String> {
     })
 }
 
+fn run_failover_chain(spec: &ExperimentSpec) -> Result<ExperimentReport, String> {
+    let full = Experiment::new(spec.clone()).run()?;
+    // A second run truncated at the failure instant isolates the
+    // pre-failure RTTs: the engine is deterministic and the workload
+    // identical, so the truncated run is an exact event-prefix of the
+    // full one. Subtracting its RTT sums from the full-run sums leaves
+    // exactly the post-failure samples.
+    let mut prefix_spec = spec.clone();
+    prefix_spec.budget.sim_secs = (spec.budget.sim_secs / 2).max(1);
+    let prefix = Experiment::new(prefix_spec).run()?;
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "== {} ({} runs x {} s) ==",
+        spec.title, spec.budget.runs, spec.budget.sim_secs
+    );
+    let _ = writeln!(
+        text,
+        "{:<16} {:>16} {:>16} {:>16}",
+        "scheme", "pre-fail rtt ms", "post-fail rtt ms", "median tput Mbps"
+    );
+    let mut rows = Vec::new();
+    for (cell, pre_cell) in full.cells.iter().zip(&prefix.cells) {
+        let mut pre_sum = 0.0;
+        let mut pre_n = 0u64;
+        let mut full_sum = 0.0;
+        let mut full_n = 0u64;
+        for (run, pre_run) in cell.runs.iter().zip(&pre_cell.runs) {
+            for (f, p) in run.iter().zip(pre_run) {
+                full_sum += f.mean_rtt_ms * f.rtt_samples as f64;
+                full_n += f.rtt_samples;
+                pre_sum += p.mean_rtt_ms * p.rtt_samples as f64;
+                pre_n += p.rtt_samples;
+            }
+        }
+        if pre_n == 0 || full_n <= pre_n {
+            return Err(format!(
+                "{}: both failure windows need RTT samples (pre={pre_n}, total={full_n}); \
+                 raise --secs",
+                cell.label
+            ));
+        }
+        let pre_rtt = pre_sum / pre_n as f64;
+        let post_rtt = (full_sum - pre_sum) / (full_n - pre_n) as f64;
+        let tput = median(&pooled(&cell.runs, 0..spec.workload.n(), |f| {
+            f.throughput_mbps
+        }));
+        let _ = writeln!(
+            text,
+            "{:<16} {pre_rtt:>16.2} {post_rtt:>16.2} {tput:>16.3}",
+            cell.label
+        );
+        rows.push(format!("{},{pre_rtt},{post_rtt},{tput}", cell.label));
+    }
+    let _ = writeln!(
+        text,
+        "\nthe backup path raises the propagation floor by 20 ms of RTT \
+         (60 ms vs 40), so the post-failure RTT must step up if the reroute worked"
+    );
+    Ok(ExperimentReport {
+        csv_name: spec.name.clone(),
+        csv_header: "scheme,pre_fail_rtt_ms,post_fail_rtt_ms,median_tput_mbps".to_string(),
+        csv_rows: rows,
+        text,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_all_nineteen_experiments() {
-        assert_eq!(all().len(), 19);
+    fn registry_has_all_twenty_one_experiments() {
+        assert_eq!(all().len(), 21);
         let mut names: Vec<&str> = all().iter().map(|e| e.name).collect();
         names.sort_unstable();
         let mut expected = vec![
@@ -1666,6 +1890,8 @@ mod tests {
             "incast16",
             "reverse_path",
             "web_churn",
+            "failover_chain",
+            "fattree_k4_crosstraffic",
         ];
         expected.sort_unstable();
         assert_eq!(names, expected);
@@ -1680,11 +1906,50 @@ mod tests {
             runs: 2,
             sim_secs: 3,
         };
-        for name in ["parking_lot3", "incast16", "reverse_path"] {
+        for (name, contenders) in [
+            ("parking_lot3", 3),
+            ("incast16", 3),
+            ("reverse_path", 3),
+            ("failover_chain", 2),
+            ("fattree_k4_crosstraffic", 3),
+        ] {
             let rep = run_named(name, tiny).unwrap_or_else(|e| panic!("{name}: {e}"));
             assert!(!rep.csv_rows.is_empty(), "{name} produced CSV rows");
-            assert_eq!(rep.csv_rows.len(), 3, "{name}: one row per contender");
+            assert_eq!(
+                rep.csv_rows.len(),
+                contenders,
+                "{name}: one row per contender"
+            );
             assert!(rep.text.contains("=="), "{name} printed a table");
+        }
+    }
+
+    #[test]
+    fn failover_chain_rtt_steps_up_after_the_link_failure() {
+        // The acceptance check for the failure dynamics: the post-failure
+        // RTT must sit a clear step above the pre-failure RTT (the backup
+        // path costs 20 ms more of round-trip propagation), for every
+        // contender, and the flows must keep delivering after the switch.
+        let rep = run_failover_chain(&spec_failover_chain(Budget {
+            runs: 1,
+            sim_secs: 8,
+        }))
+        .expect("failover_chain runs");
+        assert_eq!(rep.csv_rows.len(), 2, "one row per contender");
+        for row in &rep.csv_rows {
+            let cols: Vec<&str> = row.split(',').collect();
+            let pre: f64 = cols[1].parse().expect("pre RTT");
+            let post: f64 = cols[2].parse().expect("post RTT");
+            let tput: f64 = cols[3].parse().expect("throughput");
+            assert!(
+                pre >= 40.0,
+                "{row}: pre-failure RTT sits on the 40 ms primary floor"
+            );
+            assert!(
+                post > pre + 10.0,
+                "{row}: post-failure RTT steps up with the 20 ms slower backup path"
+            );
+            assert!(tput > 0.0, "{row}: flows keep delivering after failover");
         }
     }
 

@@ -60,8 +60,8 @@ pub mod prelude {
         print_outcomes, print_speedup_table, write_outcomes_csv, write_rows_csv, ExperimentReport,
     };
     pub use crate::spec::{
-        Budget, ContenderSpec, ExperimentSpec, HopRef, LinkRef, SweepAxis, SweepPoint,
-        TopologySpec, WorkloadSpec,
+        Budget, ContenderSpec, ExperimentSpec, GraphGenerator, GraphLinkRef, GraphSpec, HopRef,
+        LinkEventSpec, LinkRef, SweepAxis, SweepPoint, TopologySpec, WorkloadSpec,
     };
     pub use congestion::{Compound, Cubic, Dctcp, NewReno, Scheme, Vegas, Xcp, XcpRouter};
     pub use netsim::prelude::*;

@@ -233,68 +233,540 @@ impl HopRef {
     }
 }
 
-/// A serializable multi-hop topology: hops by reference plus one
-/// [`FlowPath`] per sender. `None` on a workload means the legacy
-/// single-bottleneck dumbbell — every existing spec document is a valid
-/// topology-era spec unchanged.
+/// One directed link of an explicit [`GraphGenerator`]: named endpoints
+/// plus the wire it materializes into and its routing weight.
 #[derive(Clone, Debug, PartialEq)]
-pub struct TopologySpec {
-    /// Every hop, indexed by position.
-    pub hops: Vec<HopRef>,
-    /// `paths[i]` routes sender `i` (index-aligned with the workload's
-    /// sender list).
-    pub paths: Vec<FlowPath>,
+pub struct GraphLinkRef {
+    /// Source router name.
+    pub from: String,
+    /// Destination router name.
+    pub to: String,
+    /// The link's wire.
+    pub link: LinkRef,
+    /// Queue depth in packets (the discipline comes from the scheme).
+    pub queue_capacity: usize,
+    /// Propagation delay across this link.
+    pub prop_delay: Ns,
+    /// Dijkstra routing weight.
+    pub weight: u64,
+}
+
+impl GraphLinkRef {
+    fn to_json_value(&self) -> Value {
+        Value::obj(vec![
+            ("from", Value::str(self.from.clone())),
+            ("to", Value::str(self.to.clone())),
+            ("link", self.link.to_json_value()),
+            (
+                "queue_capacity",
+                json::u64_value(self.queue_capacity as u64),
+            ),
+            ("prop_delay_ns", json::ns_value(self.prop_delay)),
+            ("weight", json::u64_value(self.weight)),
+        ])
+    }
+
+    fn from_json_value(v: &Value) -> Result<GraphLinkRef, String> {
+        Ok(GraphLinkRef {
+            from: v.field("from")?.as_str()?.to_string(),
+            to: v.field("to")?.as_str()?.to_string(),
+            link: LinkRef::from_json_value(v.field("link")?)?,
+            queue_capacity: v.field("queue_capacity")?.as_usize()?,
+            prop_delay: json::ns_from(v.field("prop_delay_ns")?)?,
+            weight: v.field("weight")?.as_u64()?,
+        })
+    }
+}
+
+/// How a graph topology's routers and links come to exist: listed
+/// explicitly, or drawn by a named generator.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GraphGenerator {
+    /// Hand-listed routers and directed links.
+    Explicit {
+        /// Router names, in id order.
+        routers: Vec<String>,
+        /// Directed links (list both directions for duplex wiring).
+        links: Vec<GraphLinkRef>,
+    },
+    /// A duplex linear chain `r0 — r1 — … — rN` of `n_links` segments.
+    Chain {
+        /// Number of chain segments (routers = `n_links + 1`).
+        n_links: usize,
+        /// Every link's wire.
+        link: LinkRef,
+        /// Every link's queue depth.
+        queue_capacity: usize,
+        /// Every link's propagation delay.
+        prop_delay: Ns,
+    },
+    /// The three-tier fat-tree with k=4 (20 routers, 64 directed links).
+    FatTreeK4 {
+        /// Every link's wire.
+        link: LinkRef,
+        /// Every link's queue depth.
+        queue_capacity: usize,
+        /// Every link's propagation delay.
+        prop_delay: Ns,
+    },
+    /// A seeded Waxman random graph over `n` routers on the unit square.
+    Waxman {
+        /// Number of routers.
+        n: usize,
+        /// Edge-probability scale.
+        alpha: f64,
+        /// Distance-decay scale.
+        beta: f64,
+        /// Draw seed (independent of the experiment's run seeds).
+        seed: u64,
+        /// Every link's wire.
+        link: LinkRef,
+        /// Every link's queue depth.
+        queue_capacity: usize,
+        /// Every link's propagation delay.
+        prop_delay: Ns,
+    },
+}
+
+impl GraphGenerator {
+    /// Short class name for listings (`explicit`, `chain`, …).
+    pub fn name(&self) -> &'static str {
+        match self {
+            GraphGenerator::Explicit { .. } => "explicit",
+            GraphGenerator::Chain { .. } => "chain",
+            GraphGenerator::FatTreeK4 { .. } => "fat_tree_k4",
+            GraphGenerator::Waxman { .. } => "waxman",
+        }
+    }
+
+    /// Build the network's wiring, applying `discipline` at each link's
+    /// capacity (the same rule as [`TopologySpec::resolve`] for hop
+    /// lists).
+    fn builder(&self, discipline: &QueueSpec) -> Result<netsim::graph::NetworkBuilder, String> {
+        use netsim::graph::NetworkBuilder;
+        match self {
+            GraphGenerator::Explicit { routers, links } => {
+                let mut b = NetworkBuilder::new();
+                let ids: Vec<netsim::graph::RouterId> =
+                    routers.iter().map(|name| b.add_router(name)).collect();
+                let index = |name: &str| {
+                    routers
+                        .iter()
+                        .position(|r| r == name)
+                        .ok_or_else(|| format!("unknown router '{name}' in link list"))
+                };
+                for l in links {
+                    let queue = discipline.clone().with_capacity(l.queue_capacity);
+                    b.add_weighted_link(
+                        ids[index(&l.from)?],
+                        ids[index(&l.to)?],
+                        l.link.resolve()?,
+                        queue,
+                        l.prop_delay,
+                        l.weight,
+                    );
+                }
+                Ok(b)
+            }
+            GraphGenerator::Chain {
+                n_links,
+                link,
+                queue_capacity,
+                prop_delay,
+            } => Ok(NetworkBuilder::chain(
+                *n_links,
+                &link.resolve()?,
+                &discipline.clone().with_capacity(*queue_capacity),
+                *prop_delay,
+            )),
+            GraphGenerator::FatTreeK4 {
+                link,
+                queue_capacity,
+                prop_delay,
+            } => Ok(NetworkBuilder::fat_tree_k4(
+                &link.resolve()?,
+                &discipline.clone().with_capacity(*queue_capacity),
+                *prop_delay,
+            )),
+            GraphGenerator::Waxman {
+                n,
+                alpha,
+                beta,
+                seed,
+                link,
+                queue_capacity,
+                prop_delay,
+            } => Ok(NetworkBuilder::waxman(
+                *n,
+                *alpha,
+                *beta,
+                *seed,
+                &link.resolve()?,
+                &discipline.clone().with_capacity(*queue_capacity),
+                *prop_delay,
+            )),
+        }
+    }
+
+    fn to_json_value(&self) -> Value {
+        match self {
+            GraphGenerator::Explicit { routers, links } => Value::obj(vec![
+                ("kind", Value::str("explicit")),
+                (
+                    "routers",
+                    Value::Arr(routers.iter().map(Value::str).collect()),
+                ),
+                (
+                    "links",
+                    Value::Arr(links.iter().map(GraphLinkRef::to_json_value).collect()),
+                ),
+            ]),
+            GraphGenerator::Chain {
+                n_links,
+                link,
+                queue_capacity,
+                prop_delay,
+            } => Value::obj(vec![
+                ("kind", Value::str("chain")),
+                ("n_links", json::u64_value(*n_links as u64)),
+                ("link", link.to_json_value()),
+                ("queue_capacity", json::u64_value(*queue_capacity as u64)),
+                ("prop_delay_ns", json::ns_value(*prop_delay)),
+            ]),
+            GraphGenerator::FatTreeK4 {
+                link,
+                queue_capacity,
+                prop_delay,
+            } => Value::obj(vec![
+                ("kind", Value::str("fat_tree_k4")),
+                ("link", link.to_json_value()),
+                ("queue_capacity", json::u64_value(*queue_capacity as u64)),
+                ("prop_delay_ns", json::ns_value(*prop_delay)),
+            ]),
+            GraphGenerator::Waxman {
+                n,
+                alpha,
+                beta,
+                seed,
+                link,
+                queue_capacity,
+                prop_delay,
+            } => Value::obj(vec![
+                ("kind", Value::str("waxman")),
+                ("n", json::u64_value(*n as u64)),
+                ("alpha", Value::num(*alpha)),
+                ("beta", Value::num(*beta)),
+                ("seed", json::u64_value(*seed)),
+                ("link", link.to_json_value()),
+                ("queue_capacity", json::u64_value(*queue_capacity as u64)),
+                ("prop_delay_ns", json::ns_value(*prop_delay)),
+            ]),
+        }
+    }
+
+    fn from_json_value(v: &Value) -> Result<GraphGenerator, String> {
+        match v.field("kind")?.as_str()? {
+            "explicit" => Ok(GraphGenerator::Explicit {
+                routers: v
+                    .field("routers")?
+                    .as_arr()?
+                    .iter()
+                    .map(|r| r.as_str().map(str::to_string))
+                    .collect::<Result<Vec<String>, String>>()?,
+                links: v
+                    .field("links")?
+                    .as_arr()?
+                    .iter()
+                    .map(GraphLinkRef::from_json_value)
+                    .collect::<Result<Vec<GraphLinkRef>, String>>()?,
+            }),
+            "chain" => Ok(GraphGenerator::Chain {
+                n_links: v.field("n_links")?.as_usize()?,
+                link: LinkRef::from_json_value(v.field("link")?)?,
+                queue_capacity: v.field("queue_capacity")?.as_usize()?,
+                prop_delay: json::ns_from(v.field("prop_delay_ns")?)?,
+            }),
+            "fat_tree_k4" => Ok(GraphGenerator::FatTreeK4 {
+                link: LinkRef::from_json_value(v.field("link")?)?,
+                queue_capacity: v.field("queue_capacity")?.as_usize()?,
+                prop_delay: json::ns_from(v.field("prop_delay_ns")?)?,
+            }),
+            "waxman" => Ok(GraphGenerator::Waxman {
+                n: v.field("n")?.as_usize()?,
+                alpha: v.field("alpha")?.as_f64()?,
+                beta: v.field("beta")?.as_f64()?,
+                seed: v.field("seed")?.as_u64()?,
+                link: LinkRef::from_json_value(v.field("link")?)?,
+                queue_capacity: v.field("queue_capacity")?.as_usize()?,
+                prop_delay: json::ns_from(v.field("prop_delay_ns")?)?,
+            }),
+            other => Err(format!("unknown graph generator '{other}'")),
+        }
+    }
+}
+
+/// One scheduled link failure or recovery, by named endpoints.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinkEventSpec {
+    /// When the event fires.
+    pub at: Ns,
+    /// Source router of the affected directed link.
+    pub from: String,
+    /// Destination router of the affected directed link.
+    pub to: String,
+    /// `true` brings the link up, `false` takes it down.
+    pub up: bool,
+}
+
+impl LinkEventSpec {
+    fn to_json_value(&self) -> Value {
+        Value::obj(vec![
+            ("at_ns", json::ns_value(self.at)),
+            ("from", Value::str(self.from.clone())),
+            ("to", Value::str(self.to.clone())),
+            ("up", Value::Bool(self.up)),
+        ])
+    }
+
+    fn from_json_value(v: &Value) -> Result<LinkEventSpec, String> {
+        Ok(LinkEventSpec {
+            at: json::ns_from(v.field("at_ns")?)?,
+            from: v.field("from")?.as_str()?.to_string(),
+            to: v.field("to")?.as_str()?.to_string(),
+            up: v.field("up")?.as_bool()?,
+        })
+    }
+}
+
+/// A graph-form topology: a generator for routers and links, per-flow
+/// (source, destination) router names in sender order, scheduled link
+/// events, and the failover policy for packets caught by a failure.
+/// Flow paths are *derived* by deterministic shortest-path routing, not
+/// hand-listed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphSpec {
+    /// Routers and links.
+    pub generator: GraphGenerator,
+    /// `flows[i]` is sender `i`'s (source, destination) router names.
+    pub flows: Vec<(String, String)>,
+    /// Scheduled link failures and recoveries.
+    pub events: Vec<LinkEventSpec>,
+    /// What happens to packets caught at a failed link.
+    pub policy: netsim::graph::FailoverPolicy,
+}
+
+impl GraphSpec {
+    fn to_json_value(&self) -> Value {
+        let mut fields = vec![
+            ("kind", Value::str("graph")),
+            ("generator", self.generator.to_json_value()),
+            (
+                "flows",
+                Value::Arr(
+                    self.flows
+                        .iter()
+                        .map(|(s, d)| {
+                            Value::Arr(vec![Value::str(s.clone()), Value::str(d.clone())])
+                        })
+                        .collect(),
+                ),
+            ),
+        ];
+        if !self.events.is_empty() {
+            fields.push((
+                "events",
+                Value::Arr(
+                    self.events
+                        .iter()
+                        .map(LinkEventSpec::to_json_value)
+                        .collect(),
+                ),
+            ));
+        }
+        fields.push(("policy", Value::str(self.policy.name())));
+        Value::obj(fields)
+    }
+
+    fn from_json_value(v: &Value) -> Result<GraphSpec, String> {
+        let flows = v
+            .field("flows")?
+            .as_arr()?
+            .iter()
+            .map(|f| {
+                let pair = f.as_arr()?;
+                if pair.len() != 2 {
+                    return Err("a flow is a [src, dst] router-name pair".to_string());
+                }
+                Ok((pair[0].as_str()?.to_string(), pair[1].as_str()?.to_string()))
+            })
+            .collect::<Result<Vec<(String, String)>, String>>()?;
+        let events = match v.field("events") {
+            Ok(e) => e
+                .as_arr()?
+                .iter()
+                .map(LinkEventSpec::from_json_value)
+                .collect::<Result<Vec<LinkEventSpec>, String>>()?,
+            Err(_) => Vec::new(),
+        };
+        Ok(GraphSpec {
+            generator: GraphGenerator::from_json_value(v.field("generator")?)?,
+            flows,
+            events,
+            policy: netsim::graph::FailoverPolicy::from_name(v.field("policy")?.as_str()?)?,
+        })
+    }
+}
+
+/// A serializable multi-hop topology. `None` on a workload means the
+/// legacy single-bottleneck dumbbell — every existing spec document is a
+/// valid topology-era spec unchanged.
+///
+/// Two forms exist: the original hand-listed hop/path form, and the
+/// graph form whose flow paths are derived by shortest-path routing over
+/// a [`GraphSpec`]. The hop-list form serializes exactly as it always
+/// did (no `kind` key), so pre-graph golden specs stay byte-identical.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TopologySpec {
+    /// Hand-listed hops plus one [`FlowPath`] per sender.
+    FlowHops {
+        /// Every hop, indexed by position.
+        hops: Vec<HopRef>,
+        /// `paths[i]` routes sender `i` (index-aligned with the
+        /// workload's sender list).
+        paths: Vec<FlowPath>,
+    },
+    /// A first-class network graph with derived routes.
+    Graph(GraphSpec),
+}
+
+/// Per-hop seed fork for stochastic-loss disciplines. Hop 0 keeps the
+/// caller's stream (1-hop topologies stay byte-identical to the legacy
+/// engine); every later hop forks its own — otherwise all hops would
+/// replay the identical drop stream and the "independent" loss
+/// processes would be perfectly correlated.
+fn fork_lossy_hop_seeds(hops: &mut [netsim::topology::HopSpec]) {
+    for (i, h) in hops.iter_mut().enumerate().skip(1) {
+        if let QueueSpec::LossyDropTail { seed, .. } = &mut h.queue {
+            *seed = SimRng::split_seed(*seed, i as u64);
+        }
+    }
 }
 
 impl TopologySpec {
+    /// The hand-listed form (the pre-graph constructor).
+    pub fn flow_hops(hops: Vec<HopRef>, paths: Vec<FlowPath>) -> TopologySpec {
+        TopologySpec::FlowHops { hops, paths }
+    }
+
+    /// Number of hops of a hand-listed topology; `None` for graph form
+    /// (its hop count is the built graph's link count).
+    pub fn n_flow_hops(&self) -> Option<usize> {
+        match self {
+            TopologySpec::FlowHops { hops, .. } => Some(hops.len()),
+            TopologySpec::Graph(_) => None,
+        }
+    }
+
+    /// Short topology-class label for listings: `hops(n)` or
+    /// `graph:<generator>`.
+    pub fn class(&self) -> String {
+        match self {
+            TopologySpec::FlowHops { hops, .. } => format!("hops({})", hops.len()),
+            TopologySpec::Graph(g) => format!("graph:{}", g.generator.name()),
+        }
+    }
+
     /// Materialize a runnable [`Topology`], applying `discipline` (a
     /// contender's queue spec) to every hop at that hop's capacity. A
     /// stochastic-loss discipline gets a fork-derived seed per hop —
     /// otherwise every hop would replay the identical drop stream and the
-    /// "independent" loss processes would be perfectly correlated.
+    /// "independent" loss processes would be perfectly correlated. Graph
+    /// topologies resolve their named flows and events against the built
+    /// network and derive every path by shortest-path routing.
     pub fn resolve(&self, discipline: &QueueSpec) -> Result<Topology, String> {
-        Ok(Topology {
-            hops: self
-                .hops
-                .iter()
-                .enumerate()
-                .map(|(i, h)| {
-                    let mut queue = discipline.clone().with_capacity(h.queue_capacity);
-                    // Hop 0 keeps the caller's seed (1-hop topologies stay
-                    // byte-identical to the legacy engine); later hops fork.
-                    if i > 0 {
-                        if let QueueSpec::LossyDropTail { seed, .. } = &mut queue {
-                            *seed = SimRng::split_seed(*seed, i as u64);
-                        }
-                    }
-                    Ok(netsim::topology::HopSpec {
-                        link: h.link.resolve()?,
-                        queue,
-                        prop_delay_out: h.prop_delay,
+        match self {
+            TopologySpec::FlowHops { hops, paths } => {
+                let mut resolved = hops
+                    .iter()
+                    .map(|h| {
+                        Ok(netsim::topology::HopSpec {
+                            link: h.link.resolve()?,
+                            queue: discipline.clone().with_capacity(h.queue_capacity),
+                            prop_delay_out: h.prop_delay,
+                        })
                     })
-                })
-                .collect::<Result<Vec<netsim::topology::HopSpec>, String>>()?,
-            paths: self.paths.clone(),
-        })
+                    .collect::<Result<Vec<netsim::topology::HopSpec>, String>>()?;
+                fork_lossy_hop_seeds(&mut resolved);
+                Ok(Topology::from_flow_hops(resolved, paths.clone()))
+            }
+            TopologySpec::Graph(g) => {
+                let net = g.generator.builder(discipline)?.build()?;
+                let flows = g
+                    .flows
+                    .iter()
+                    .map(|(s, d)| {
+                        let src = net
+                            .router(s)
+                            .ok_or_else(|| format!("unknown router '{s}' in flow list"))?;
+                        let dst = net
+                            .router(d)
+                            .ok_or_else(|| format!("unknown router '{d}' in flow list"))?;
+                        Ok((src, dst))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                let events = g
+                    .events
+                    .iter()
+                    .map(|e| {
+                        let from = net
+                            .router(&e.from)
+                            .ok_or_else(|| format!("unknown router '{}' in event list", e.from))?;
+                        let to = net
+                            .router(&e.to)
+                            .ok_or_else(|| format!("unknown router '{}' in event list", e.to))?;
+                        let link = net.link_between(from, to).ok_or_else(|| {
+                            format!("no link '{}' → '{}' for a scheduled event", e.from, e.to)
+                        })?;
+                        Ok(netsim::graph::LinkEvent {
+                            at: e.at,
+                            link: link.index() as u32,
+                            up: e.up,
+                        })
+                    })
+                    .collect::<Result<Vec<netsim::graph::LinkEvent>, String>>()?;
+                let mut topo = net.into_topology(&flows, events, g.policy)?;
+                fork_lossy_hop_seeds(&mut topo.hops);
+                Ok(topo)
+            }
+        }
     }
 
     /// Serialize to a JSON value.
     pub fn to_json_value(&self) -> Value {
-        Value::obj(vec![
-            (
-                "hops",
-                Value::Arr(self.hops.iter().map(HopRef::to_json_value).collect()),
-            ),
-            (
-                "paths",
-                Value::Arr(self.paths.iter().map(FlowPath::to_json_value).collect()),
-            ),
-        ])
+        match self {
+            TopologySpec::FlowHops { hops, paths } => Value::obj(vec![
+                (
+                    "hops",
+                    Value::Arr(hops.iter().map(HopRef::to_json_value).collect()),
+                ),
+                (
+                    "paths",
+                    Value::Arr(paths.iter().map(FlowPath::to_json_value).collect()),
+                ),
+            ]),
+            TopologySpec::Graph(g) => g.to_json_value(),
+        }
     }
 
     /// Deserialize a value written by [`TopologySpec::to_json_value`].
     pub fn from_json_value(v: &Value) -> Result<TopologySpec, String> {
-        Ok(TopologySpec {
+        if let Ok(kind) = v.field("kind") {
+            return match kind.as_str()? {
+                "graph" => Ok(TopologySpec::Graph(GraphSpec::from_json_value(v)?)),
+                other => Err(format!("unknown topology kind '{other}'")),
+            };
+        }
+        Ok(TopologySpec::FlowHops {
             hops: v
                 .field("hops")?
                 .as_arr()?
@@ -1273,16 +1745,83 @@ mod tests {
     }"#;
 
     fn two_hop_topology() -> TopologySpec {
-        TopologySpec {
-            hops: vec![
+        TopologySpec::flow_hops(
+            vec![
                 HopRef::new(LinkRef::constant(10.0), 1000).with_prop_delay(Ns::from_millis(10)),
                 HopRef::new(LinkRef::constant(5.0), 64),
             ],
-            paths: vec![
+            vec![
                 FlowPath::through(vec![0, 1]),
                 FlowPath::through(vec![1]).with_ack_path(vec![0]),
             ],
-        }
+        )
+    }
+
+    #[test]
+    fn graph_spec_resolve_names_unreachable_routers() {
+        // The hop-less diagnostic, extended to graph specs: a flow
+        // between disconnected routers must fail with both names, not
+        // panic deep in the engine.
+        let wire = |from: &str, to: &str| GraphLinkRef {
+            from: from.to_string(),
+            to: to.to_string(),
+            link: LinkRef::constant(10.0),
+            queue_capacity: 50,
+            prop_delay: Ns::from_millis(1),
+            weight: 1,
+        };
+        let spec = TopologySpec::Graph(GraphSpec {
+            generator: GraphGenerator::Explicit {
+                routers: vec!["left".into(), "right".into(), "island".into()],
+                links: vec![wire("left", "right"), wire("right", "left")],
+            },
+            flows: vec![("left".into(), "island".into())],
+            events: vec![],
+            policy: netsim::graph::FailoverPolicy::Reroute,
+        });
+        let err = spec
+            .resolve(&QueueSpec::DropTail { capacity: 100 })
+            .unwrap_err();
+        assert!(
+            err.contains("'left'") && err.contains("'island'"),
+            "diagnostic names both endpoints: {err}"
+        );
+
+        // A disconnected Waxman draw (alpha = 0 draws no links at all)
+        // fails the same way.
+        let spec = TopologySpec::Graph(GraphSpec {
+            generator: GraphGenerator::Waxman {
+                n: 4,
+                alpha: 0.0,
+                beta: 0.5,
+                seed: 7,
+                link: LinkRef::constant(10.0),
+                queue_capacity: 50,
+                prop_delay: Ns::from_millis(1),
+            },
+            flows: vec![("w0".into(), "w3".into())],
+            events: vec![],
+            policy: netsim::graph::FailoverPolicy::Reroute,
+        });
+        let err = spec
+            .resolve(&QueueSpec::DropTail { capacity: 100 })
+            .unwrap_err();
+        assert!(err.contains("'w0'") && err.contains("'w3'"), "{err}");
+
+        // Unknown router names in the flow list are caught before routing.
+        let spec = TopologySpec::Graph(GraphSpec {
+            generator: GraphGenerator::Explicit {
+                routers: vec!["left".into(), "right".into()],
+                links: vec![wire("left", "right"), wire("right", "left")],
+            },
+            flows: vec![("left".into(), "nowhere".into())],
+            events: vec![],
+            policy: netsim::graph::FailoverPolicy::Reroute,
+        });
+        let err = spec
+            .resolve(&QueueSpec::DropTail { capacity: 100 })
+            .unwrap_err();
+        assert!(err.contains("'nowhere'"), "{err}");
     }
 
     #[test]
@@ -1336,14 +1875,28 @@ mod tests {
             },
             "discipline applied at the hop's own capacity"
         );
-        assert_eq!(resolved.paths, topo.paths);
+        assert_eq!(
+            resolved.paths,
+            vec![
+                FlowPath::through(vec![0, 1]),
+                FlowPath::through(vec![1]).with_ack_path(vec![0]),
+            ]
+        );
     }
 
     #[test]
     fn lossy_disciplines_get_independent_streams_per_hop() {
-        let mut topo = two_hop_topology();
-        topo.hops.push(HopRef::new(LinkRef::constant(5.0), 64));
-        topo.paths[0].fwd = vec![0, 1, 2];
+        let topo = TopologySpec::flow_hops(
+            vec![
+                HopRef::new(LinkRef::constant(10.0), 1000).with_prop_delay(Ns::from_millis(10)),
+                HopRef::new(LinkRef::constant(5.0), 64),
+                HopRef::new(LinkRef::constant(5.0), 64),
+            ],
+            vec![
+                FlowPath::through(vec![0, 1, 2]),
+                FlowPath::through(vec![1]).with_ack_path(vec![0]),
+            ],
+        );
         let resolved = topo
             .resolve(&QueueSpec::LossyDropTail {
                 capacity: 1000,

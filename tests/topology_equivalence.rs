@@ -158,9 +158,16 @@ fn wheel_and_heap_schedulers_agree_across_the_full_matrix() {
 
 #[test]
 fn wheel_and_heap_schedulers_agree_on_topology_experiments() {
-    // The three registered multi-hop experiments (parking lot, incast,
-    // reverse path), cell by cell, scheduler vs scheduler.
-    for exp in ["parking_lot3", "incast16", "reverse_path"] {
+    // The registered multi-hop experiments (parking lot, incast, reverse
+    // path, plus the two graph-topology experiments), cell by cell,
+    // scheduler vs scheduler.
+    for exp in [
+        "parking_lot3",
+        "incast16",
+        "reverse_path",
+        "failover_chain",
+        "fattree_k4_crosstraffic",
+    ] {
         let spec = remy_sim::experiments::by_name(exp)
             .expect("registered")
             .spec(Budget {
@@ -224,10 +231,10 @@ fn one_hop_topology_through_the_spec_layer_matches_legacy_cells() {
         4141,
     );
     let mut topo = plain.clone();
-    topo.workload = topo.workload.clone().with_topology(TopologySpec {
-        hops: vec![HopRef::new(LinkRef::constant(15.0), 1000)],
-        paths: (0..3).map(|_| FlowPath::through(vec![0])).collect(),
-    });
+    topo.workload = topo.workload.clone().with_topology(TopologySpec::flow_hops(
+        vec![HopRef::new(LinkRef::constant(15.0), 1000)],
+        (0..3).map(|_| FlowPath::through(vec![0])).collect(),
+    ));
     let a = Experiment::new(plain).run().expect("plain runs");
     let b = Experiment::new(topo).run().expect("topology runs");
     assert_eq!(a.cells.len(), b.cells.len());
