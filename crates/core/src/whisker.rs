@@ -11,7 +11,7 @@
 use crate::action::Action;
 use crate::json::{self, Value};
 use crate::memory::{Memory, MEMORY_MAX};
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 
 /// A half-open axis-aligned box `[lo, hi)` in memory space.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -139,30 +139,29 @@ pub struct WhiskerTree {
     /// Free-form provenance (design ranges, δ, training budget) recorded
     /// by the optimizer for reports.
     pub provenance: String,
-    /// Lazily built flattened lookup view, shared by every RemyCC running
-    /// this table. Invalidated by action/structure mutations.
-    // lint:allow(s3-sim-interior-mutability): write-once cache of a pure
-    // function of the tree; reset on mutation, so no cross-event state.
-    // PDES note: safe to share read-only across partitions.
-    flat_cache: OnceLock<Arc<FlatTree>>,
+    /// Flattened lookup view, shared by every RemyCC running this table.
+    /// Rebuilt eagerly by the mutating methods (`set_action`, `split`,
+    /// `from_json`), so it is always in sync with `root` and `flat()` is
+    /// a plain read — no interior mutability, nothing to invalidate.
+    flat: Arc<FlatTree>,
 }
 
 impl WhiskerTree {
     /// The single-rule table Remy starts from: the whole memory domain
     /// mapped to the default action `(m=1, b=1, r=0.01)`.
     pub fn single_rule() -> WhiskerTree {
+        let root = Node::Leaf(Whisker {
+            id: 0,
+            domain: Cube::whole(),
+            action: Action::DEFAULT,
+            epoch: 0,
+        });
+        let flat = Arc::new(FlatTree::build(&root));
         WhiskerTree {
-            root: Node::Leaf(Whisker {
-                id: 0,
-                domain: Cube::whole(),
-                action: Action::DEFAULT,
-                epoch: 0,
-            }),
+            root,
             next_id: 1,
             provenance: String::new(),
-            // lint:allow(s3-sim-interior-mutability): fresh empty cache slot
-            // for the write-once flat view (see field declaration).
-            flat_cache: OnceLock::new(),
+            flat,
         }
     }
 
@@ -171,14 +170,12 @@ impl WhiskerTree {
         self.root.lookup(m.clamped())
     }
 
-    /// The flattened lookup view of this table, built once and cached.
-    /// All per-ACK lookups (see [`crate::remycc::RemyCc`]) go through this
-    /// view rather than walking the boxed octree.
+    /// The flattened lookup view of this table, kept in sync with the
+    /// octree by every mutating method. All per-ACK lookups (see
+    /// [`crate::remycc::RemyCc`]) go through this view rather than
+    /// walking the boxed octree.
     pub fn flat(&self) -> Arc<FlatTree> {
-        Arc::clone(
-            self.flat_cache
-                .get_or_init(|| Arc::new(FlatTree::build(&self.root))),
-        )
+        Arc::clone(&self.flat)
     }
 
     /// All rules, in tree order.
@@ -213,9 +210,7 @@ impl WhiskerTree {
             // is an optimizer logic bug — silent corruption is worse.
             .unwrap_or_else(|| panic!("no whisker with id {id}"));
         w.action = action;
-        // lint:allow(s3-sim-interior-mutability): cache invalidation — replaces
-        // the write-once slot so the next flat() rebuilds the view.
-        self.flat_cache = OnceLock::new();
+        self.flat = Arc::new(FlatTree::build(&self.root));
     }
 
     /// Fetch a rule by id.
@@ -296,9 +291,7 @@ impl WhiskerTree {
             split,
             children,
         };
-        // lint:allow(s3-sim-interior-mutability): cache invalidation after a
-        // structural split, same write-once discipline as set_action.
-        self.flat_cache = OnceLock::new();
+        self.flat = Arc::new(FlatTree::build(&self.root));
         true
     }
 
@@ -338,17 +331,17 @@ impl WhiskerTree {
     pub fn from_json(s: &str) -> Result<WhiskerTree, String> {
         let err = |e: String| format!("bad whisker table: {e}");
         let v = json::parse(s).map_err(err)?;
+        let root = Node::from_value(v.field("root").map_err(err)?).map_err(err)?;
+        let flat = Arc::new(FlatTree::build(&root));
         Ok(WhiskerTree {
-            root: Node::from_value(v.field("root").map_err(err)?).map_err(err)?,
+            root,
             next_id: v.field("next_id").and_then(Value::as_usize).map_err(err)?,
             provenance: v
                 .field("provenance")
                 .and_then(Value::as_str)
                 .map_err(err)?
                 .to_string(),
-            // lint:allow(s3-sim-interior-mutability): fresh empty cache slot on
-            // deserialization (see field declaration).
-            flat_cache: OnceLock::new(),
+            flat,
         })
     }
 }

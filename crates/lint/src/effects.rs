@@ -1,0 +1,1462 @@
+//! Field-level effect analysis: who writes what, and can two event
+//! handlers commute?
+//!
+//! ROADMAP item 1 (zone-partitioned conservative PDES) needs one question
+//! answered *mechanically*: which event handlers touch which mutable
+//! state, and do any two handlers' write-sets collide outside
+//! flow-/hop-keyed data? This module grows the lint from reachability
+//! ([`crate::callgraph`]) to effects:
+//!
+//! 1. **Extraction** — for every function body, a token-level pass
+//!    recovers field accesses through `self`, `&mut`-typed parameters,
+//!    and local aliases bound from them (`let Some(c) =
+//!    self.churn.as_mut()` makes every access through `c` an access to
+//!    `Simulator.churn`). Writes are plain assignment, compound
+//!    assignment, `&mut` borrows, and method calls whose name resolves to
+//!    a `&mut self` receiver anywhere in the workspace (or a builtin
+//!    mutator like `push`).
+//! 2. **The state model** — [`STATE_MODEL`] classifies every mutable
+//!    field of the sim-scope structs into a partition bucket:
+//!    [`Bucket::PerFlow`] / [`Bucket::PerHop`] / [`Bucket::PerZone`] /
+//!    [`Bucket::Global`]. A field absent from the model that the sim
+//!    mutates is an `e3-unmodeled-state` diagnostic — the gate that keeps
+//!    the model current as code grows.
+//! 3. **Propagation** — footprints flow transitively over the call graph.
+//!    From the event-loop roots ([`HANDLER_ROOTS`]), every write that
+//!    reaches `global`-bucket state outside an allowlisted commit point
+//!    ([`COMMIT_POINTS`]) is an `e1-global-write-in-handler` diagnostic
+//!    and a *global-write edge* in the `--effects` report. The committed
+//!    `lint/effects_baseline.json` ratchets that edge set: CI fails on
+//!    any new edge.
+//!
+//! Everything here is over-approximate in the safe direction: name-only
+//! method resolution widens write-sets, never narrows them, so a clean
+//! report means clean, while a finding may still merit a justified allow.
+
+use crate::callgraph::{self, DefId, GraphFile};
+use crate::lexer::{Tok, TokKind};
+use crate::parser::FileSymbols;
+use crate::{Analysis, FileCtx};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Partition bucket of one piece of mutable state in the PDES design.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Bucket {
+    /// Keyed by flow: lives with the flow's owning zone, migrates with
+    /// the flow, never shared.
+    PerFlow,
+    /// Keyed by hop/link: owned by the zone containing that hop.
+    PerHop,
+    /// One instance per zone (clock, event wheel, arena, counters with a
+    /// commutative merge at commit).
+    PerZone,
+    /// Genuinely shared across zones: every write outside a commit point
+    /// is an ordering hazard for the parallel event loop.
+    Global,
+}
+
+impl Bucket {
+    /// The bucket's stable spelling, as used in the state model docs,
+    /// the JSON report, and the diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            Bucket::PerFlow => "per_flow",
+            Bucket::PerHop => "per_hop",
+            Bucket::PerZone => "per_zone",
+            Bucket::Global => "global",
+        }
+    }
+}
+
+/// The declarative state model: `(type, field, bucket)`. A field entry
+/// of `"*"` classifies every field of the type at once (value types
+/// whose instances inherit the bucket of whatever field owns them).
+/// Exact entries take precedence over the wildcard.
+///
+/// CONTRIBUTING.md ("State model") documents how to classify a new
+/// field; `e3-unmodeled-state` fires when a sim-mutated netsim field is
+/// missing here, and the stale-entry check fires when an exact entry
+/// outlives its field.
+pub const STATE_MODEL: &[(&str, &str, Bucket)] = &[
+    // --- Simulator: the event loop's own state, field by field. ---
+    ("Simulator", "now", Bucket::PerZone),
+    ("Simulator", "end", Bucket::PerZone),
+    ("Simulator", "events", Bucket::PerZone),
+    ("Simulator", "arena", Bucket::PerZone),
+    ("Simulator", "hops", Bucket::PerHop),
+    ("Simulator", "flows", Bucket::PerFlow),
+    ("Simulator", "n_persistent", Bucket::PerZone),
+    // One Poisson arrival stream + order-sensitive population stats:
+    // the headline global on the PDES worklist.
+    ("Simulator", "churn", Bucket::Global),
+    // Routing epoch + failover counters shared by every path: link
+    // events are global barriers (see COMMIT_POINTS).
+    ("Simulator", "net", Bucket::Global),
+    ("Simulator", "mss", Bucket::PerZone),
+    ("Simulator", "packets_forwarded", Bucket::PerZone),
+    ("Simulator", "deliveries", Bucket::PerZone),
+    ("Simulator", "deliveries_dropped", Bucket::PerZone),
+    ("Simulator", "record_deliveries", Bucket::PerZone),
+    ("Simulator", "delivery_log_cap", Bucket::PerZone),
+    // --- FlowTable: SoA per-flow state + its allocator. ---
+    ("FlowTable", "slots", Bucket::PerFlow),
+    ("FlowTable", "hot", Bucket::PerFlow),
+    ("FlowTable", "cold", Bucket::PerFlow),
+    ("FlowTable", "free", Bucket::PerZone),
+    ("FlowTable", "live", Bucket::PerZone),
+    // --- Shared engine containers: one instance per zone. ---
+    ("PacketArena", "*", Bucket::PerZone),
+    ("EventQueue", "*", Bucket::PerZone),
+    ("TimingWheel", "*", Bucket::PerZone),
+    ("Shadow", "*", Bucket::PerZone),
+    // --- Hop-keyed state: queues, links, routers. ---
+    ("Hop", "*", Bucket::PerHop),
+    ("DropTail", "*", Bucket::PerHop),
+    ("EcnThreshold", "*", Bucket::PerHop),
+    ("Codel", "*", Bucket::PerHop),
+    ("CodelLaw", "*", Bucket::PerHop),
+    ("SfqCodel", "*", Bucket::PerHop),
+    ("Red", "*", Bucket::PerHop),
+    ("Lossy", "*", Bucket::PerHop),
+    ("TraceCursor", "*", Bucket::PerHop),
+    ("HopSpec", "*", Bucket::PerHop),
+    // --- Flow-keyed value types: live inside FlowTable columns or the
+    //     flow's congestion-control instance. ---
+    ("FlowHot", "*", Bucket::PerFlow),
+    ("FlowCold", "*", Bucket::PerFlow),
+    ("Receiver", "*", Bucket::PerFlow),
+    ("Transport", "*", Bucket::PerFlow),
+    ("FlowMetrics", "*", Bucket::PerFlow),
+    ("TrafficProcess", "*", Bucket::PerFlow),
+    ("Memory", "*", Bucket::PerFlow),
+    ("Usage", "*", Bucket::PerFlow),
+    ("AckInfo", "*", Bucket::PerFlow),
+    ("FlowPath", "*", Bucket::PerFlow),
+    // --- Packets: owned by the zone currently holding them; handoff at
+    //     zone boundaries is the inter-zone channel. ---
+    ("Packet", "*", Bucket::PerZone),
+    ("Ack", "*", Bucket::PerZone),
+    ("XcpHeader", "*", Bucket::PerZone),
+    // --- Value types bucketed by their owning field (per_zone = sound
+    //     whenever exactly one zone owns the instance). ---
+    ("SimRng", "*", Bucket::PerZone),
+    ("StreamingSummary", "*", Bucket::PerZone),
+    ("Reservoir", "*", Bucket::PerZone),
+    ("P2Quantile", "*", Bucket::PerZone),
+    // --- Single-owner ephemeral state: alive only during construction
+    //     or results assembly, never shared mid-loop. ---
+    ("NetworkBuilder", "*", Bucket::PerZone),
+    ("Parser", "*", Bucket::PerZone),
+    ("Scenario", "*", Bucket::PerZone),
+    // --- Genuinely global state behind the Simulator.churn / .net
+    //     container fields. ---
+    ("ChurnState", "*", Bucket::Global),
+    ("NetState", "*", Bucket::Global),
+    ("NetGraph", "*", Bucket::Global),
+    ("Network", "*", Bucket::Global),
+];
+
+/// Commit points: functions whose writes are *excluded* from the
+/// handler-scope global-write gate. `Simulator::finish` assembles results
+/// after the event loop drains (a natural end-of-run commit);
+/// `Simulator::on_link_event` is a topology change — in the PDES design a
+/// global barrier where every zone quiesces, re-routes, and resumes, so
+/// its global writes are synchronization by construction, not a race.
+pub const COMMIT_POINTS: &[(&str, &str)] =
+    &[("Simulator", "finish"), ("Simulator", "on_link_event")];
+
+/// The event-loop entry points whose transitive write-sets the
+/// `e1-global-write-in-handler` gate and the baseline ratchet cover.
+/// (The full 13-root footprint report covers training and harness roots
+/// too; construction-time writes there are not handler hazards.)
+pub const HANDLER_ROOTS: &[(Option<&str>, &str)] = &[
+    (Some("Simulator"), "run"),
+    (Some("Simulator"), "run_returning_ccs"),
+    (None, "run_scenario"),
+];
+
+/// The per-event dispatch handlers of `Simulator::drive`, in dispatch
+/// order — the rows/columns of the commutativity matrix. Two handlers
+/// commute when no global-bucket field is in one's write-set and the
+/// other's read-or-write-set.
+pub const HANDLERS: &[(&str, &str)] = &[
+    ("Simulator", "on_toggle"),
+    ("Simulator", "on_trace_slot"),
+    ("Simulator", "on_hop_arrive"),
+    ("Simulator", "on_deliver"),
+    ("Simulator", "on_ack_arrive"),
+    ("Simulator", "on_rto"),
+    ("Simulator", "on_router_tick"),
+    ("Simulator", "on_spawn"),
+    ("Simulator", "on_link_event"),
+];
+
+/// Method names that mutate their receiver even though no workspace
+/// definition carries the `&mut self` signature (std types). Resolution
+/// by name only — over-approximate in the safe (write) direction.
+const BUILTIN_MUT_METHODS: &[&str] = &[
+    "append",
+    "as_mut",
+    "clear",
+    "drain",
+    "extend",
+    "fill",
+    "first_mut",
+    "get_mut",
+    "get_or_insert_with",
+    "insert",
+    "iter_mut",
+    "last_mut",
+    "pop",
+    "pop_front",
+    "push",
+    "push_back",
+    "remove",
+    "replace",
+    "resize",
+    "retain",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "split_off",
+    "swap",
+    "take",
+    "truncate",
+];
+
+/// Look up the bucket of `(ty, field)`: exact entry first, then the
+/// type's `"*"` wildcard.
+pub fn bucket_of(ty: &str, field: &str) -> Option<Bucket> {
+    STATE_MODEL
+        .iter()
+        .find(|(t, f, _)| *t == ty && *f == field)
+        .or_else(|| STATE_MODEL.iter().find(|(t, f, _)| *t == ty && *f == "*"))
+        .map(|&(_, _, b)| b)
+}
+
+/// One field access extracted from a function body, attributed to the
+/// *container* field of the root object (`self.churn.arrivals.next()` is
+/// an access to `(Simulator, churn)`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Access {
+    /// The root object's type (`Simulator`, `FlowTable`, ...).
+    pub ty: String,
+    /// The root field accessed through it.
+    pub field: String,
+    /// True for writes (assignment, compound assignment, `&mut` borrow,
+    /// mutating method call); compound assignment records a read too.
+    pub write: bool,
+    /// True for compound assignment (`+=`, `*=`, ...) — a
+    /// read-modify-write whose result depends on the old value.
+    pub compound: bool,
+    /// 1-based source line of the access.
+    pub line: u32,
+    /// Raw token index of the base identifier (for lexical-span checks
+    /// like "is this access inside a loop body").
+    pub tok: usize,
+    /// The innermost field of the projection chain (equal to `field` for
+    /// single-step accesses): `self.churn.spawned` has field `churn`,
+    /// leaf `spawned`.
+    pub leaf: String,
+}
+
+/// Whole-workspace effect state, computed once per [`Analysis`].
+pub struct Effects {
+    /// Per file, per definition: the direct (non-transitive) accesses.
+    pub accesses: Vec<Vec<Vec<Access>>>,
+    /// The materialized call graph (parallel to `symbols.defs`).
+    pub edges: Vec<Vec<Vec<DefId>>>,
+    /// Definitions reachable from [`HANDLER_ROOTS`] without passing
+    /// through a [`COMMIT_POINTS`] function — the `e1` scope.
+    pub handler_scope: Vec<Vec<bool>>,
+    /// Every `(type, field)` written by some sim-reachable definition,
+    /// with one witness site `(file index, line, via qual name)`.
+    pub written: BTreeMap<(String, String), (usize, u32, String)>,
+}
+
+/// Extract per-function accesses and handler-scope reachability.
+pub fn compute(
+    files: &[FileCtx],
+    symbols: &[FileSymbols],
+    edges: Vec<Vec<Vec<DefId>>>,
+    reachable: &[Vec<bool>],
+) -> Effects {
+    // Names of workspace methods with a `&mut self` receiver: a method
+    // call `.name(` resolves to a write when any definition of that name
+    // mutates its receiver (over-approximate, the safe direction).
+    let mut mut_names: BTreeSet<&str> = BUILTIN_MUT_METHODS.iter().copied().collect();
+    for (f, s) in files.iter().zip(symbols) {
+        // Shims and test code mimic external APIs (the criterion shim has
+        // an `iter(&mut self)`); their receiver conventions must not
+        // poison name resolution for sim code.
+        if f.path.contains("/shims/") || crate::is_test_path(&f.path) {
+            continue;
+        }
+        for d in &s.defs {
+            if d.self_mut && !d.is_test {
+                mut_names.insert(&d.name);
+            }
+        }
+    }
+
+    let accesses: Vec<Vec<Vec<Access>>> = files
+        .iter()
+        .zip(symbols)
+        .map(|(f, s)| {
+            s.defs
+                .iter()
+                .map(|d| fn_accesses(&f.toks, d, &mut_names))
+                .collect()
+        })
+        .collect();
+
+    let gfiles: Vec<GraphFile<'_>> = files
+        .iter()
+        .zip(symbols)
+        .map(|(f, s)| GraphFile {
+            toks: &f.toks,
+            symbols: s,
+        })
+        .collect();
+    let handler_scope = callgraph::reachable_over(&gfiles, &edges, HANDLER_ROOTS, COMMIT_POINTS);
+
+    let mut written: BTreeMap<(String, String), (usize, u32, String)> = BTreeMap::new();
+    for (fi, flags) in reachable.iter().enumerate() {
+        for (di, &on) in flags.iter().enumerate() {
+            if !on || symbols[fi].defs[di].is_test {
+                continue;
+            }
+            for a in &accesses[fi][di] {
+                if a.write {
+                    written.entry((a.ty.clone(), a.field.clone())).or_insert((
+                        fi,
+                        a.line,
+                        symbols[fi].defs[di].qual_name(),
+                    ));
+                }
+            }
+        }
+    }
+
+    Effects {
+        accesses,
+        edges,
+        handler_scope,
+        written,
+    }
+}
+
+/// What an identifier in scope roots to: a struct base (`self`, a typed
+/// reference parameter) whose field projections are attributed directly,
+/// or an alias pinned to one `(type, field)` pair.
+#[derive(Clone, Debug)]
+enum Base {
+    /// Accesses project a field: `base.f` → `(ty, f)`.
+    Struct(String),
+    /// Accesses are pinned: any use is an access to `(ty, field)`.
+    Alias(String, String),
+}
+
+/// Extract the direct field accesses of one function body.
+fn fn_accesses(
+    toks: &[Tok],
+    def: &crate::parser::FnDef,
+    mut_names: &BTreeSet<&str>,
+) -> Vec<Access> {
+    let code: Vec<usize> = (def.body.0..def.body.1.min(toks.len()))
+        .filter(|&i| toks[i].kind != TokKind::Comment)
+        .collect();
+    let mut bases: BTreeMap<String, Base> = BTreeMap::new();
+    if let Some(ty) = &def.self_ty {
+        bases.insert("self".to_string(), Base::Struct(ty.clone()));
+    }
+    param_bases(toks, def.sig, &mut bases);
+
+    let mut out: Vec<Access> = Vec::new();
+    // Token indices (into `code`) that are `let`-pattern bindings: they
+    // look like `c = ...` but bind a name instead of writing through it.
+    let mut pattern_tokens: BTreeSet<usize> = BTreeSet::new();
+
+    for k in 0..code.len() {
+        let t = &toks[code[k]];
+        if t.is_ident("let") {
+            bind_let_aliases(toks, &code, k, &mut bases, &mut pattern_tokens);
+            continue;
+        }
+        if t.kind != TokKind::Ident || pattern_tokens.contains(&k) {
+            continue;
+        }
+        // A base use must not itself be a field/path segment.
+        if k > 0 && (toks[code[k - 1]].is_punct('.') || toks[code[k - 1]].is_punct(':')) {
+            continue;
+        }
+        let Some(base) = bases.get(&t.text) else {
+            continue;
+        };
+        let line = t.line;
+        let (end, first_field, last_field, method) = walk_projection(toks, &code, k + 1);
+        let (ty, field) = match base {
+            Base::Alias(ty, field) => (ty.clone(), field.clone()),
+            Base::Struct(ty) => match first_field {
+                Some(f) => (ty.clone(), f),
+                // `self.method(...)` or a bare `self`: no field access of
+                // its own — the callee's footprint covers it via the call
+                // graph (and `&mut self` borrows say nothing field-level).
+                None => continue,
+            },
+        };
+        let write = match &method {
+            Some(m) => mut_names.contains(m.as_str()),
+            None => {
+                is_write_op(toks, &code, end)
+                    || (k >= 2
+                        && toks[code[k - 1]].is_ident("mut")
+                        && toks[code[k - 2]].is_punct('&'))
+            }
+        };
+        let compound = method.is_none() && write && !is_plain_assign(toks, &code, end);
+        let leaf = last_field.unwrap_or_else(|| field.clone());
+        if compound || !write {
+            out.push(Access {
+                ty: ty.clone(),
+                field: field.clone(),
+                write: false,
+                compound,
+                line,
+                tok: code[k],
+                leaf: leaf.clone(),
+            });
+        }
+        if write {
+            out.push(Access {
+                ty,
+                field,
+                write: true,
+                compound,
+                line,
+                tok: code[k],
+                leaf,
+            });
+        }
+    }
+    out.sort_by(|a, b| (a.line, &a.ty, &a.field, a.write).cmp(&(b.line, &b.ty, &b.field, b.write)));
+    out.dedup();
+    out
+}
+
+/// Record reference parameters (`hop: &mut Hop`, `net: &NetState`) as
+/// struct bases: accesses through them attribute to the named type.
+fn param_bases(toks: &[Tok], sig: (usize, usize), bases: &mut BTreeMap<String, Base>) {
+    let code: Vec<usize> = (sig.0..sig.1.min(toks.len()))
+        .filter(|&i| toks[i].kind != TokKind::Comment)
+        .collect();
+    // Find the parameter list's `(` (past generics).
+    let mut j = 0usize;
+    let mut angle = 0i32;
+    while j < code.len() {
+        let t = &toks[code[j]];
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle = (angle - 1).max(0);
+        } else if angle == 0 && t.is_punct('(') {
+            break;
+        }
+        j += 1;
+    }
+    let mut depth = 0i32;
+    let mut param_start = j + 1;
+    while j < code.len() {
+        let t = &toks[code[j]];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                record_param(toks, &code[param_start..j], bases);
+                break;
+            }
+        } else if depth == 1 && t.is_punct(',') {
+            record_param(toks, &code[param_start..j], bases);
+            param_start = j + 1;
+        }
+        j += 1;
+    }
+}
+
+/// One parameter's tokens: `name : [&] [mut] path::Type<...>`. Records a
+/// struct base when the type's head identifier is type-cased.
+fn record_param(toks: &[Tok], param: &[usize], bases: &mut BTreeMap<String, Base>) {
+    let mut it = param.iter();
+    let Some(&name_i) = it.next() else { return };
+    let name = &toks[name_i];
+    if name.kind != TokKind::Ident || name.is_ident("self") || name.is_ident("mut") {
+        return;
+    }
+    if !param.get(1).is_some_and(|&i| toks[i].is_punct(':')) {
+        return;
+    }
+    // The type's principal identifier: the last path ident at angle
+    // depth 0 (`crate::graph::NetGraph` → `NetGraph`, `Vec<Hop>` → `Vec`).
+    let mut angle = 0i32;
+    let mut last: Option<&str> = None;
+    for &i in &param[2..] {
+        let t = &toks[i];
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle = (angle - 1).max(0);
+        } else if angle == 0 && t.kind == TokKind::Ident && !t.is_ident("dyn") && !t.is_ident("mut")
+        {
+            last = Some(&t.text);
+        }
+    }
+    if let Some(ty) = last {
+        if ty.starts_with(|c: char| c.is_ascii_uppercase()) {
+            bases.insert(name.text.clone(), Base::Struct(ty.to_string()));
+        }
+    }
+}
+
+/// Handle one `let` statement starting at `code[k]` (the keyword): mark
+/// its pattern bindings (so they are not misread as writes) and, when the
+/// initializer's first base access resolves, alias each binding to that
+/// `(type, field)` root.
+fn bind_let_aliases(
+    toks: &[Tok],
+    code: &[usize],
+    k: usize,
+    bases: &mut BTreeMap<String, Base>,
+    pattern_tokens: &mut BTreeSet<usize>,
+) {
+    // Pattern: tokens up to the `=` at delimiter depth 0 (or the `;` of
+    // a bindingless `let x;`).
+    let mut j = k + 1;
+    let mut depth = 0i32;
+    let mut binders: Vec<(usize, String)> = Vec::new();
+    let eq = loop {
+        let Some(&i) = code.get(j) else { return };
+        let t = &toks[i];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct('=') {
+            break j;
+        } else if depth == 0 && t.is_punct(';') {
+            return;
+        } else if t.kind == TokKind::Ident {
+            // Bindings are lowercase-initial idents that are not path
+            // segments or struct-pattern field names (`f:` in `Foo { f: x }`).
+            let lower = t
+                .text
+                .starts_with(|c: char| c.is_ascii_lowercase() || c == '_');
+            let path_adj = code.get(j + 1).is_some_and(|&n| toks[n].is_punct(':'))
+                || (j > 0 && toks[code[j - 1]].is_punct(':'));
+            if lower && !path_adj && !matches!(t.text.as_str(), "mut" | "ref" | "box") {
+                binders.push((j, t.text.clone()));
+            }
+            pattern_tokens.insert(j);
+        }
+        j += 1;
+    };
+    if binders.is_empty() {
+        return;
+    }
+    // Initializer: find the first resolvable base access before the
+    // statement ends (`;` at depth 0) or the block of an
+    // `if let`/`while let`/`let … else` opens (`{` at depth 0).
+    let mut j = eq + 1;
+    let mut depth = 0i32;
+    let mut root: Option<(String, String)> = None;
+    while let Some(&i) = code.get(j) {
+        let t = &toks[i];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if depth == 0 && (t.is_punct(';') || t.is_punct('{')) {
+            break;
+        } else if t.kind == TokKind::Ident
+            && !(j > 0 && (toks[code[j - 1]].is_punct('.') || toks[code[j - 1]].is_punct(':')))
+        {
+            if let Some(base) = bases.get(&t.text) {
+                let (_, first_field, _, method) = walk_projection(toks, code, j + 1);
+                // Only alias through initializers that yield a *view* of
+                // the base: a plain field borrow, or a method returning a
+                // reference (`as_mut`, `pair_mut`, `get`, ...). A value
+                // copy (`let n = self.routers.len()`) must not alias —
+                // writes through the copy never touch the base.
+                let views = method.as_deref().is_none_or(|m| {
+                    m.ends_with("_mut")
+                        || matches!(
+                            m,
+                            "as_ref" | "as_deref" | "get" | "entry" | "last" | "first"
+                        )
+                });
+                let resolved = match base {
+                    Base::Alias(ty, field) if views => Some((ty.clone(), field.clone())),
+                    Base::Struct(ty) if views => first_field.map(|f| (ty.clone(), f)),
+                    _ => None,
+                };
+                if let Some(r) = resolved {
+                    root = Some(r);
+                    break;
+                }
+            }
+        }
+        j += 1;
+    }
+    // Rebind (shadow) each binder: either to the resolved root or — when
+    // the initializer roots nowhere we track — to nothing, clearing any
+    // outer binding the shadow hides.
+    for (_, name) in binders {
+        match &root {
+            Some((ty, field)) => {
+                bases.insert(name, Base::Alias(ty.clone(), field.clone()));
+            }
+            None => {
+                bases.remove(&name);
+            }
+        }
+    }
+}
+
+/// Walk a projection chain starting at `code[from]` (the token after the
+/// base identifier): field segments (`.name`, `.0`) and index brackets
+/// extend the chain; a method call (`.name(`, `.name::<T>(`) or anything
+/// else ends it. Returns `(end, first_field, last_field, method)` where
+/// `end` indexes the first token past the chain.
+fn walk_projection(
+    toks: &[Tok],
+    code: &[usize],
+    from: usize,
+) -> (usize, Option<String>, Option<String>, Option<String>) {
+    let mut j = from;
+    let mut first_field: Option<String> = None;
+    let mut last_field: Option<String> = None;
+    loop {
+        let Some(&i) = code.get(j) else {
+            return (j, first_field, last_field, None);
+        };
+        let t = &toks[i];
+        if t.is_punct('.') {
+            let Some(&ni) = code.get(j + 1) else {
+                return (j, first_field, last_field, None);
+            };
+            let n = &toks[ni];
+            if n.kind == TokKind::Ident {
+                let called = code.get(j + 2).is_some_and(|&ci| toks[ci].is_punct('('))
+                    || (code.get(j + 2).is_some_and(|&ci| toks[ci].is_punct(':'))
+                        && code.get(j + 3).is_some_and(|&ci| toks[ci].is_punct(':'))
+                        && code.get(j + 4).is_some_and(|&ci| toks[ci].is_punct('<')));
+                if called {
+                    return (j, first_field, last_field, Some(n.text.clone()));
+                }
+                if first_field.is_none() {
+                    first_field = Some(n.text.clone());
+                }
+                last_field = Some(n.text.clone());
+                j += 2;
+                continue;
+            }
+            if n.kind == TokKind::Num {
+                // Tuple index `.0` (and `.0.1`, lexed as one `0.1` Num).
+                if first_field.is_none() {
+                    first_field = Some(n.text.clone());
+                }
+                last_field = Some(n.text.clone());
+                j += 2;
+                continue;
+            }
+            return (j, first_field, last_field, None);
+        }
+        if t.is_punct('[') {
+            let mut depth = 0i32;
+            while let Some(&bi) = code.get(j) {
+                if toks[bi].is_punct('[') {
+                    depth += 1;
+                } else if toks[bi].is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            j += 1;
+            continue;
+        }
+        return (j, first_field, last_field, None);
+    }
+}
+
+/// Is the operator at `code[end]` (just past a projection chain) a write?
+/// Plain assignment `=` (not `==`, `=>`), compound assignment
+/// (`+=` … `>>=`, lexed as single-char puncts).
+fn is_write_op(toks: &[Tok], code: &[usize], end: usize) -> bool {
+    let Some(&i) = code.get(end) else {
+        return false;
+    };
+    let t = &toks[i];
+    let at = |n: usize, c: char| code.get(n).is_some_and(|&j| toks[j].is_punct(c));
+    if t.is_punct('=') {
+        // `==` is comparison, `=>` a match arm.
+        return !at(end + 1, '=') && !at(end + 1, '>');
+    }
+    for c in ['+', '-', '*', '/', '%', '^', '|', '&'] {
+        if t.is_punct(c) && at(end + 1, '=') && !at(end + 2, '=') {
+            return true;
+        }
+    }
+    // Shift-assign: `<<=` / `>>=` (a single `<`/`>` + `=` is comparison).
+    if (t.is_punct('<') && at(end + 1, '<') && at(end + 2, '='))
+        || (t.is_punct('>') && at(end + 1, '>') && at(end + 2, '='))
+    {
+        return true;
+    }
+    false
+}
+
+/// Is the operator at `code[end]` a *plain* assignment (no read of the
+/// old value)? Compound assignments read and write.
+fn is_plain_assign(toks: &[Tok], code: &[usize], end: usize) -> bool {
+    let Some(&i) = code.get(end) else {
+        return false;
+    };
+    toks[i].is_punct('=')
+        && !code.get(end + 1).is_some_and(|&j| toks[j].is_punct('='))
+        && !code.get(end + 1).is_some_and(|&j| toks[j].is_punct('>'))
+}
+
+// ---------------------------------------------------------------------------
+// The --effects / --pdes-report document
+// ---------------------------------------------------------------------------
+
+/// Transitive read/write footprint of one root, restricted to modeled
+/// fields (entries are `Type.field`).
+#[derive(Clone, Debug)]
+pub struct RootEffect {
+    /// The root's qualified name.
+    pub name: String,
+    /// Modeled fields read (sorted, deduped).
+    pub reads: Vec<String>,
+    /// Modeled fields written (sorted, deduped).
+    pub writes: Vec<String>,
+}
+
+/// One global-bucket write reachable from a handler root outside commit
+/// points — an entry of the ratcheted PDES worklist.
+#[derive(Clone, Debug)]
+pub struct GlobalWrite {
+    /// The handler root the write is reachable from.
+    pub root: String,
+    /// The written field, `Type.field`.
+    pub field: String,
+    /// The function whose body holds the write.
+    pub via: String,
+    /// Workspace-relative file of the write site.
+    pub file: String,
+    /// 1-based line of the write site.
+    pub line: u32,
+}
+
+impl GlobalWrite {
+    /// The ratchet key: stable across line-number churn, so the baseline
+    /// only moves when an *edge* appears or disappears.
+    pub fn key(&self) -> String {
+        format!("{}|{}|{}", self.root, self.field, self.via)
+    }
+}
+
+/// One handler pair's commutativity verdict.
+#[derive(Clone, Debug)]
+pub struct PairVerdict {
+    /// First handler (dispatch order).
+    pub a: String,
+    /// Second handler.
+    pub b: String,
+    /// Global-bucket fields in one side's write-set and the other's
+    /// read-or-write set; empty means the pair commutes.
+    pub conflicts: Vec<String>,
+}
+
+/// A sim-mutated field missing from [`STATE_MODEL`].
+#[derive(Clone, Debug)]
+pub struct Unmodeled {
+    /// The struct's name.
+    pub ty: String,
+    /// The unmodeled field.
+    pub field: String,
+    /// Workspace-relative file declaring the struct.
+    pub decl_file: String,
+    /// 1-based line of the field declaration.
+    pub decl_line: u32,
+    /// A witness write site, `file:line` of the mutating function.
+    pub witness: String,
+}
+
+/// The complete `--effects` document.
+pub struct EffectsReport {
+    /// Footprints of all 13 simulation roots ([`callgraph::ROOTS`]).
+    pub roots: Vec<RootEffect>,
+    /// Footprints of the dispatch handlers ([`HANDLERS`]).
+    pub handlers: Vec<RootEffect>,
+    /// Commutativity verdict per handler pair (upper triangle, dispatch
+    /// order).
+    pub matrix: Vec<PairVerdict>,
+    /// The ratcheted worklist: global writes in handler scope.
+    pub global_writes: Vec<GlobalWrite>,
+    /// Sim-mutated netsim fields missing from the model (must be empty
+    /// for the gate to pass).
+    pub unmodeled: Vec<Unmodeled>,
+    /// Exact model entries whose field no longer exists on the declared
+    /// struct (stale — remove or rename them).
+    pub stale: Vec<String>,
+}
+
+/// Footprint of a BFS over `edges` from `seeds`, restricted to modeled
+/// fields.
+fn footprint(an: &Analysis, seeds: &[DefId]) -> (BTreeSet<String>, BTreeSet<String>) {
+    let eff = &an.effects;
+    let mut seen: BTreeSet<DefId> = BTreeSet::new();
+    let mut work: Vec<DefId> = Vec::new();
+    for &s in seeds {
+        if seen.insert(s) {
+            work.push(s);
+        }
+    }
+    let (mut reads, mut writes) = (BTreeSet::new(), BTreeSet::new());
+    while let Some((fi, di)) = work.pop() {
+        for a in &eff.accesses[fi][di] {
+            if bucket_of(&a.ty, &a.field).is_some() {
+                let entry = format!("{}.{}", a.ty, a.field);
+                if a.write {
+                    writes.insert(entry);
+                } else {
+                    reads.insert(entry);
+                }
+            }
+        }
+        for &callee in &eff.edges[fi][di] {
+            if seen.insert(callee) {
+                work.push(callee);
+            }
+        }
+    }
+    (reads, writes)
+}
+
+/// Definitions matching `(self type, name)`, tests excluded.
+fn defs_named(an: &Analysis, ty: Option<&str>, name: &str) -> Vec<DefId> {
+    let mut out = Vec::new();
+    for (fi, s) in an.symbols.iter().enumerate() {
+        for (di, d) in s.defs.iter().enumerate() {
+            if d.is_test || d.name != name {
+                continue;
+            }
+            match ty {
+                Some(ty) if d.self_ty.as_deref() != Some(ty) => continue,
+                _ => out.push((fi, di)),
+            }
+        }
+    }
+    out
+}
+
+/// Build the complete effects document from a finished [`Analysis`].
+pub fn report(an: &Analysis) -> EffectsReport {
+    let root_name = |ty: Option<&str>, name: &str| match ty {
+        Some(t) => format!("{t}::{name}"),
+        None => name.to_string(),
+    };
+
+    let roots = callgraph::ROOTS
+        .iter()
+        .map(|&(ty, name)| {
+            let (reads, writes) = footprint(an, &defs_named(an, ty, name));
+            RootEffect {
+                name: root_name(ty, name),
+                reads: reads.into_iter().collect(),
+                writes: writes.into_iter().collect(),
+            }
+        })
+        .collect();
+
+    let handler_prints: Vec<(String, BTreeSet<String>, BTreeSet<String>)> = HANDLERS
+        .iter()
+        .map(|&(ty, name)| {
+            let (reads, writes) = footprint(an, &defs_named(an, Some(ty), name));
+            (root_name(Some(ty), name), reads, writes)
+        })
+        .collect();
+    let is_global = |entry: &str| {
+        entry
+            .split_once('.')
+            .and_then(|(t, f)| bucket_of(t, f))
+            .is_some_and(|b| b == Bucket::Global)
+    };
+    let mut matrix = Vec::new();
+    for i in 0..handler_prints.len() {
+        for j in i + 1..handler_prints.len() {
+            let (na, ra, wa) = &handler_prints[i];
+            let (nb, rb, wb) = &handler_prints[j];
+            let mut conflicts: BTreeSet<String> = BTreeSet::new();
+            for w in wa {
+                if is_global(w) && (rb.contains(w) || wb.contains(w)) {
+                    conflicts.insert(w.clone());
+                }
+            }
+            for w in wb {
+                if is_global(w) && (ra.contains(w) || wa.contains(w)) {
+                    conflicts.insert(w.clone());
+                }
+            }
+            matrix.push(PairVerdict {
+                a: na.clone(),
+                b: nb.clone(),
+                conflicts: conflicts.into_iter().collect(),
+            });
+        }
+    }
+    let handlers = handler_prints
+        .into_iter()
+        .map(|(name, reads, writes)| RootEffect {
+            name,
+            reads: reads.into_iter().collect(),
+            writes: writes.into_iter().collect(),
+        })
+        .collect();
+
+    // Global-write edges: direct global-bucket writes of every definition
+    // in handler scope, attributed to each handler root that reaches it.
+    let mut global_writes: Vec<GlobalWrite> = Vec::new();
+    for &(rty, rname) in HANDLER_ROOTS {
+        let seeds = defs_named(an, rty, rname);
+        if seeds.is_empty() {
+            continue;
+        }
+        let mut seen: BTreeSet<DefId> = BTreeSet::new();
+        let mut work: Vec<DefId> = Vec::new();
+        let stopped = |id: DefId| {
+            let d = &an.symbols[id.0].defs[id.1];
+            COMMIT_POINTS
+                .iter()
+                .any(|&(ty, name)| d.name == name && d.self_ty.as_deref() == Some(ty))
+        };
+        for s in seeds {
+            if !stopped(s) && seen.insert(s) {
+                work.push(s);
+            }
+        }
+        let mut edges_here: BTreeMap<String, GlobalWrite> = BTreeMap::new();
+        while let Some((fi, di)) = work.pop() {
+            for a in &an.effects.accesses[fi][di] {
+                if !a.write || bucket_of(&a.ty, &a.field) != Some(Bucket::Global) {
+                    continue;
+                }
+                let gw = GlobalWrite {
+                    root: root_name(rty, rname),
+                    field: format!("{}.{}", a.ty, a.field),
+                    via: an.symbols[fi].defs[di].qual_name(),
+                    file: an.files[fi].path.clone(),
+                    line: a.line,
+                };
+                edges_here.entry(gw.key()).or_insert(gw);
+            }
+            for &callee in &an.effects.edges[fi][di] {
+                if !stopped(callee) && seen.insert(callee) {
+                    work.push(callee);
+                }
+            }
+        }
+        global_writes.extend(edges_here.into_values());
+    }
+    global_writes.sort_by_key(|g| g.key());
+
+    // Unmodeled fields + stale exact entries, over netsim-declared
+    // structs (plus anything scanned under that virtual prefix).
+    let mut unmodeled = Vec::new();
+    let mut declared: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (fi, s) in an.symbols.iter().enumerate() {
+        if !an.files[fi].path.starts_with("crates/netsim/src/") {
+            continue;
+        }
+        for st in &s.structs {
+            if st.is_test {
+                continue;
+            }
+            let entry = declared.entry(&st.name).or_default();
+            for f in &st.fields {
+                entry.insert(&f.name);
+                let key = (st.name.clone(), f.name.clone());
+                if let Some(&(wfi, wline, ref via)) = an.effects.written.get(&key) {
+                    if bucket_of(&st.name, &f.name).is_none() {
+                        unmodeled.push(Unmodeled {
+                            ty: st.name.clone(),
+                            field: f.name.clone(),
+                            decl_file: an.files[fi].path.clone(),
+                            decl_line: f.line,
+                            witness: format!("{}:{} ({via})", an.files[wfi].path, wline),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    let mut stale = Vec::new();
+    for &(ty, field, _) in STATE_MODEL {
+        if field == "*" {
+            continue;
+        }
+        if let Some(fields) = declared.get(ty) {
+            if !fields.contains(field) {
+                stale.push(format!("{ty}.{field}"));
+            }
+        }
+    }
+
+    EffectsReport {
+        roots,
+        handlers,
+        matrix,
+        global_writes,
+        unmodeled,
+        stale,
+    }
+}
+
+/// Render the effects document as deterministic JSON (the
+/// `target/lint_effects.json` CI artifact).
+pub fn report_json(r: &EffectsReport) -> String {
+    let esc = crate::json_escape;
+    let strs = |xs: &[String]| {
+        xs.iter()
+            .map(|x| format!("\"{}\"", esc(x)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let mut s = String::from("{\n");
+    s.push_str("  \"model\": [");
+    for (i, &(ty, field, b)) in STATE_MODEL.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"type\": \"{}\", \"field\": \"{}\", \"bucket\": \"{}\"}}",
+            esc(ty),
+            esc(field),
+            b.name()
+        ));
+    }
+    s.push_str("\n  ],\n");
+    for (label, effects) in [("roots", &r.roots), ("handlers", &r.handlers)] {
+        s.push_str(&format!("  \"{label}\": ["));
+        for (i, e) in effects.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"name\": \"{}\", \"reads\": [{}], \"writes\": [{}]}}",
+                esc(&e.name),
+                strs(&e.reads),
+                strs(&e.writes)
+            ));
+        }
+        s.push_str("\n  ],\n");
+    }
+    s.push_str("  \"matrix\": [");
+    for (i, p) in r.matrix.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"a\": \"{}\", \"b\": \"{}\", \"commutes\": {}, \"conflicts\": [{}]}}",
+            esc(&p.a),
+            esc(&p.b),
+            p.conflicts.is_empty(),
+            strs(&p.conflicts)
+        ));
+    }
+    s.push_str("\n  ],\n");
+    s.push_str("  \"global_writes\": [");
+    for (i, g) in r.global_writes.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"key\": \"{}\", \"file\": \"{}\", \"line\": {}}}",
+            esc(&g.key()),
+            esc(&g.file),
+            g.line
+        ));
+    }
+    s.push_str("\n  ],\n");
+    s.push_str("  \"unmodeled\": [");
+    for (i, u) in r.unmodeled.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"type\": \"{}\", \"field\": \"{}\", \"decl\": \"{}:{}\", \"witness\": \"{}\"}}",
+            esc(&u.ty),
+            esc(&u.field),
+            esc(&u.decl_file),
+            u.decl_line,
+            esc(&u.witness)
+        ));
+    }
+    s.push_str("\n  ],\n");
+    s.push_str(&format!("  \"stale_model\": [{}]\n", strs(&r.stale)));
+    s.push_str("}\n");
+    s
+}
+
+/// Extract the ratchet keys from a committed baseline document: every
+/// string in the `"global_writes"` array (the baseline stores bare keys;
+/// this also accepts the full report format's `"key"` fields).
+pub fn parse_baseline(text: &str) -> Vec<String> {
+    let Some(at) = text.find("\"global_writes\"") else {
+        return Vec::new();
+    };
+    let rest = &text[at..];
+    let Some(open) = rest.find('[') else {
+        return Vec::new();
+    };
+    let Some(close) = rest.find(']') else {
+        return Vec::new();
+    };
+    let body = &rest[open + 1..close];
+    let mut keys = Vec::new();
+    let mut it = body.split('"');
+    // Every odd split element is a quoted string; keep the ones shaped
+    // like ratchet keys (`root|Type.field|via`), skipping JSON labels.
+    it.next();
+    while let (Some(s), next) = (it.next(), it.next()) {
+        if s.contains('|') {
+            keys.push(s.to_string());
+        }
+        if next.is_none() {
+            break;
+        }
+    }
+    keys.sort();
+    keys
+}
+
+/// The committed-baseline document for the current report: bare ratchet
+/// keys only, so line-number churn never touches it.
+pub fn baseline_json(r: &EffectsReport) -> String {
+    let mut s = String::from("{\n  \"global_writes\": [");
+    for (i, g) in r.global_writes.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\n    \"{}\"", crate::json_escape(&g.key())));
+    }
+    if !r.global_writes.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("]\n}\n");
+    s
+}
+
+/// Compare the report against baseline keys: `(new, removed)` edges.
+pub fn ratchet_diff(r: &EffectsReport, baseline: &[String]) -> (Vec<String>, Vec<String>) {
+    let current: BTreeSet<String> = r.global_writes.iter().map(|g| g.key()).collect();
+    let base: BTreeSet<String> = baseline.iter().cloned().collect();
+    let new = current.difference(&base).cloned().collect();
+    let removed = base.difference(&current).cloned().collect();
+    (new, removed)
+}
+
+/// Render the human `--pdes-report`: the worklist burn-down. Takes the
+/// allow inventory so the remaining S-family allows (interior
+/// mutability) appear alongside the computed global-write edges, each
+/// annotated with its state-model bucket where one applies.
+pub fn render_pdes(an: &Analysis, r: &EffectsReport, allows: &[crate::AllowEntry]) -> String {
+    let mut s = String::from("PDES readiness report\n=====================\n\n");
+
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for &(_, _, b) in STATE_MODEL {
+        *counts.entry(b.name()).or_default() += 1;
+    }
+    s.push_str(&format!(
+        "state model: {} entries ({})\n\n",
+        STATE_MODEL.len(),
+        counts
+            .iter()
+            .map(|(k, v)| format!("{k} {v}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+
+    s.push_str("s-family worklist (interior-mutability allows):\n");
+    let mut any = false;
+    for a in allows {
+        if !a.rule.starts_with("s1-") && !a.rule.starts_with("s2-") && !a.rule.starts_with("s3-") {
+            continue;
+        }
+        any = true;
+        // Annotate with the bucket of the field the allow guards, when
+        // the guarded line is a modeled struct field.
+        let bucket = an
+            .symbols
+            .iter()
+            .enumerate()
+            .filter(|(fi, _)| an.files[*fi].path == a.file)
+            .flat_map(|(_, sy)| &sy.structs)
+            .flat_map(|st| st.fields.iter().map(move |f| (st, f)))
+            .find(|(_, f)| f.line > a.line && f.line <= a.line + 4)
+            .and_then(|(st, f)| bucket_of(&st.name, &f.name))
+            .map(|b| format!(" [{}]", b.name()))
+            .unwrap_or_default();
+        s.push_str(&format!(
+            "  {}:{}: [{}]{} {}\n",
+            a.file, a.line, a.rule, bucket, a.justification
+        ));
+    }
+    if !any {
+        s.push_str("  (none — worklist clear)\n");
+    }
+
+    s.push_str("\nglobal-write edges in handler scope (the ratcheted worklist):\n");
+    if r.global_writes.is_empty() {
+        s.push_str("  (none)\n");
+    }
+    for g in &r.global_writes {
+        s.push_str(&format!(
+            "  {} -> {} via {} ({}:{})\n",
+            g.root, g.field, g.via, g.file, g.line
+        ));
+    }
+
+    s.push_str("\nhandler commutativity (conflicting pairs):\n");
+    let mut any = false;
+    for p in &r.matrix {
+        if p.conflicts.is_empty() {
+            continue;
+        }
+        any = true;
+        s.push_str(&format!(
+            "  {} x {}: CONFLICT on {}\n",
+            p.a,
+            p.b,
+            p.conflicts.join(", ")
+        ));
+    }
+    if !any {
+        s.push_str("  (all handler pairs commute on modeled global state)\n");
+    }
+
+    s.push_str("\nunmodeled sim-scope mutable fields:\n");
+    if r.unmodeled.is_empty() {
+        s.push_str("  (none — the state model is complete)\n");
+    }
+    for u in &r.unmodeled {
+        s.push_str(&format!(
+            "  {}.{} declared {}:{} written {}\n",
+            u.ty, u.field, u.decl_file, u.decl_line, u.witness
+        ));
+    }
+    if !r.stale.is_empty() {
+        s.push_str("\nstale model entries (field no longer exists):\n");
+        for e in &r.stale {
+            s.push_str(&format!("  {e}\n"));
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Analysis;
+
+    fn analyze(src: &str) -> Analysis {
+        Analysis::build(vec![("crates/netsim/src/under_test.rs".into(), src.into())])
+    }
+
+    /// Accesses of the named def, as `(ty.field, write, line)`.
+    fn accesses_of(an: &Analysis, name: &str) -> Vec<(String, bool, u32)> {
+        let mut out = Vec::new();
+        for (fi, sy) in an.symbols.iter().enumerate() {
+            for (di, d) in sy.defs.iter().enumerate() {
+                if d.qual_name() == name {
+                    for a in &an.effects.accesses[fi][di] {
+                        out.push((format!("{}.{}", a.ty, a.field), a.write, a.line));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn plain_assignment_is_a_write() {
+        let an = analyze(
+            "impl Simulator {\n    pub fn run(&mut self) { self.now = next(); }\n}\nfn next() {}\n",
+        );
+        assert_eq!(
+            accesses_of(&an, "Simulator::run"),
+            vec![("Simulator.now".to_string(), true, 2)]
+        );
+    }
+
+    #[test]
+    fn compound_assignment_reads_and_writes() {
+        let an = analyze(
+            "impl Simulator {\n    pub fn run(&mut self) { self.packets_forwarded += 1; }\n}\n",
+        );
+        assert_eq!(
+            accesses_of(&an, "Simulator::run"),
+            vec![
+                ("Simulator.packets_forwarded".to_string(), false, 2),
+                ("Simulator.packets_forwarded".to_string(), true, 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn comparisons_and_match_arms_are_reads() {
+        let an = analyze(
+            "impl Simulator {\n    pub fn run(&mut self) {\n        if self.now == self.end { leaf(); }\n        let _ = self.mss <= 9000;\n        match self.record_deliveries { true => leaf(), _ => {} }\n    }\n}\nfn leaf() {}\n",
+        );
+        assert!(
+            accesses_of(&an, "Simulator::run").iter().all(|a| !a.1),
+            "{:?}",
+            accesses_of(&an, "Simulator::run")
+        );
+    }
+
+    #[test]
+    fn mut_borrow_and_mut_method_are_writes() {
+        let an = analyze(
+            "impl Simulator {\n    pub fn run(&mut self) {\n        take_rng(&mut self.arena);\n        self.deliveries.push(1);\n        let n = self.deliveries.len();\n        let _ = n;\n    }\n}\nfn take_rng(_x: &mut u32) {}\n",
+        );
+        let acc = accesses_of(&an, "Simulator::run");
+        assert!(
+            acc.contains(&("Simulator.arena".into(), true, 3)),
+            "{acc:?}"
+        );
+        assert!(
+            acc.contains(&("Simulator.deliveries".into(), true, 4)),
+            "{acc:?}"
+        );
+        assert!(
+            acc.contains(&("Simulator.deliveries".into(), false, 5)),
+            "{acc:?}"
+        );
+    }
+
+    #[test]
+    fn method_resolving_to_workspace_mut_receiver_is_a_write() {
+        let an = analyze(
+            "impl Simulator {\n    pub fn run(&mut self) { self.flows.compact(0); let _ = self.flows.count(); }\n}\nimpl FlowTable {\n    pub fn compact(&mut self, _i: usize) {}\n    pub fn count(&self) -> usize { 0 }\n}\n",
+        );
+        let acc = accesses_of(&an, "Simulator::run");
+        assert!(
+            acc.contains(&("Simulator.flows".into(), true, 2)),
+            "{acc:?}"
+        );
+        assert!(
+            acc.contains(&("Simulator.flows".into(), false, 2)),
+            "{acc:?}"
+        );
+    }
+
+    #[test]
+    fn let_alias_attributes_to_the_container_field() {
+        let an = analyze(
+            "impl Simulator {\n    pub fn run(&mut self) {\n        let Some(c) = self.churn.as_mut() else { return; };\n        c.spawned += 1;\n    }\n}\n",
+        );
+        let acc = accesses_of(&an, "Simulator::run");
+        // Line 3: as_mut() is a mutating access; line 4: the aliased write.
+        assert!(
+            acc.contains(&("Simulator.churn".into(), true, 3)),
+            "{acc:?}"
+        );
+        assert!(
+            acc.contains(&("Simulator.churn".into(), true, 4)),
+            "{acc:?}"
+        );
+    }
+
+    #[test]
+    fn shadowed_locals_rebind_the_alias() {
+        let an = analyze(
+            "impl Simulator {\n    pub fn run(&mut self) {\n        let c = self.arena.slot();\n        let c = unrelated();\n        c.write_through();\n    }\n}\nfn unrelated() {}\n",
+        );
+        let acc = accesses_of(&an, "Simulator::run");
+        // After the shadow, writes through `c` no longer touch the arena.
+        assert!(
+            !acc.iter().any(|a| a.0 == "Simulator.arena" && a.2 >= 4),
+            "{acc:?}"
+        );
+    }
+
+    #[test]
+    fn mut_ref_params_attribute_to_their_type() {
+        let an = analyze(
+            "impl Simulator {\n    pub fn run(&mut self) { helper(&mut self.hops); }\n}\nfn helper(hop: &mut Hop) { hop.busy = true; }\n",
+        );
+        let acc = accesses_of(&an, "helper");
+        assert_eq!(acc, vec![("Hop.busy".to_string(), true, 4)]);
+    }
+
+    #[test]
+    fn tuple_destructuring_aliases_both_bindings() {
+        let an = analyze(
+            "impl Simulator {\n    pub fn run(&mut self) {\n        let (hot, cold) = self.flows.pair_mut(0);\n        hot.cwnd = 1.0;\n        cold.reset();\n    }\n}\nimpl FlowTable {\n    pub fn pair_mut(&mut self, _i: usize) {}\n}\nimpl FlowCold {\n    pub fn reset(&mut self) {}\n}\n",
+        );
+        let acc = accesses_of(&an, "Simulator::run");
+        assert!(
+            acc.contains(&("Simulator.flows".into(), true, 4)),
+            "{acc:?}"
+        );
+        assert!(
+            acc.contains(&("Simulator.flows".into(), true, 5)),
+            "{acc:?}"
+        );
+    }
+
+    #[test]
+    fn handler_scope_stops_at_commit_points() {
+        let an = analyze(
+            "impl Simulator {\n    pub fn run(&mut self) { self.step(); self.finish(); }\n    fn step(&mut self) { self.now = self.end; }\n    fn finish(&mut self) { self.churn = commit(); }\n}\nfn commit() {}\n",
+        );
+        let r = report(&an);
+        // step's write is in scope; finish's global write is commit-time.
+        assert!(
+            !r.global_writes.iter().any(|g| g.via.contains("finish")),
+            "{:?}",
+            r.global_writes
+        );
+    }
+
+    #[test]
+    fn global_write_edges_carry_stable_keys() {
+        let an = analyze(
+            "impl Simulator {\n    pub fn run(&mut self) { self.spawn_one(); }\n    fn spawn_one(&mut self) {\n        let Some(c) = self.churn.as_mut() else { return; };\n        c.completed += 1;\n    }\n}\n",
+        );
+        let r = report(&an);
+        let keys: Vec<String> = r.global_writes.iter().map(|g| g.key()).collect();
+        assert!(
+            keys.contains(&"Simulator::run|Simulator.churn|Simulator::spawn_one".to_string()),
+            "{keys:?}"
+        );
+        // Round-trip through the committed-baseline format.
+        assert_eq!(parse_baseline(&baseline_json(&r)), keys);
+        let (new, removed) = ratchet_diff(&r, &keys);
+        assert!(new.is_empty() && removed.is_empty());
+    }
+
+    #[test]
+    fn bucket_lookup_prefers_exact_over_wildcard() {
+        assert_eq!(bucket_of("Simulator", "churn"), Some(Bucket::Global));
+        assert_eq!(bucket_of("Simulator", "hops"), Some(Bucket::PerHop));
+        assert_eq!(bucket_of("ChurnState", "anything"), Some(Bucket::Global));
+        assert_eq!(bucket_of("NoSuchType", "x"), None);
+    }
+}

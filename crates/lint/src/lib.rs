@@ -35,6 +35,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod callgraph;
+pub mod effects;
 pub mod lexer;
 pub mod parser;
 pub mod rules;
@@ -115,6 +116,10 @@ pub struct Analysis {
     /// Parallel to `files`/`symbols.defs`: which definitions are
     /// reachable from [`callgraph::ROOTS`].
     pub reachable: Vec<Vec<bool>>,
+    /// Field-level effect state (per-definition accesses, the
+    /// materialized call graph, and handler-scope reachability) — the E
+    /// rule family and the `--effects` report read from here.
+    pub effects: effects::Effects,
 }
 
 impl Analysis {
@@ -145,11 +150,14 @@ impl Analysis {
                 symbols: s,
             })
             .collect();
-        let reachable = callgraph::reachable_defs(&gfiles);
+        let edges = callgraph::def_edges(&gfiles);
+        let reachable = callgraph::reachable_over(&gfiles, &edges, callgraph::ROOTS, &[]);
+        let effects = effects::compute(&files, &symbols, edges, &reachable);
         Analysis {
             files,
             symbols,
             reachable,
+            effects,
         }
     }
 
@@ -381,7 +389,7 @@ pub fn to_json(diags: &[Diagnostic]) -> String {
     s
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

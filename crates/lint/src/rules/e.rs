@@ -1,0 +1,271 @@
+//! **E-family** — effect-analysis rules: the machine-checked side of the
+//! PDES-partitionability gate.
+//!
+//! Built on [`crate::effects`]: per-function field-level read/write
+//! footprints, propagated over the call graph, classified by the
+//! declarative state model (`per_flow`/`per_hop`/`per_zone`/`global`).
+//!
+//! - `e1-global-write-in-handler` — a function reachable from an
+//!   event-loop root ([`crate::effects::HANDLER_ROOTS`]) writes
+//!   `global`-bucket state outside the allowlisted commit points. In the
+//!   zone-parallel event loop such a write is an ordering hazard: two
+//!   zones executing handlers concurrently do not agree on the write
+//!   order. One finding per `(function, field)`, anchored at the first
+//!   write site, so a single justified allow covers the function's
+//!   access pattern as a whole.
+//! - `e2-order-sensitive-float-accumulation` — an f64 `+=`/`*=` fold
+//!   inside a loop in sim-reachable code. Float addition does not
+//!   associate, so the fold's value depends on iteration order; the
+//!   justification must name the total order that makes it
+//!   deterministic (sorted keys, single-zone ownership, ...).
+//! - `e3-unmodeled-state` — a netsim struct field written by
+//!   sim-reachable code with no entry in
+//!   [`crate::effects::STATE_MODEL`] — the gate that keeps the model
+//!   current as the code grows — plus stale exact entries whose field no
+//!   longer exists (anchored at the struct declaration).
+
+use crate::effects::{bucket_of, Bucket};
+use crate::rules::prs_scope;
+use crate::{Analysis, GraphRule};
+use std::collections::BTreeSet;
+
+pub(crate) fn rules() -> Vec<GraphRule> {
+    vec![
+        GraphRule {
+            id: "e1-global-write-in-handler",
+            summary: "event-handler scope writes global-bucket state outside a \
+                      commit point — zones cannot agree on the write order",
+            applies: prs_scope,
+            check: check_e1,
+        },
+        GraphRule {
+            id: "e2-order-sensitive-float-accumulation",
+            summary: "f64 +=/*= fold inside a loop in sim scope — float \
+                      addition does not associate; justify the total order",
+            applies: prs_scope,
+            check: check_e2,
+        },
+        GraphRule {
+            id: "e3-unmodeled-state",
+            summary: "sim-mutated netsim struct field missing from the effects \
+                      state model (or a stale model entry)",
+            applies: netsim_scope,
+            check: check_e3,
+        },
+    ]
+}
+
+/// `e3` anchors findings at struct declarations, which live in netsim's
+/// library sources (or a fixture scanned under that virtual prefix).
+fn netsim_scope(rel_path: &str) -> bool {
+    rel_path.starts_with("crates/netsim/src/") && !crate::is_test_path(rel_path)
+}
+
+fn check_e1(an: &Analysis, fi: usize) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for (di, def) in an.symbols[fi].defs.iter().enumerate() {
+        if !an.effects.handler_scope[fi][di] {
+            continue;
+        }
+        let mut seen: BTreeSet<(String, String)> = BTreeSet::new();
+        for a in &an.effects.accesses[fi][di] {
+            if !a.write || bucket_of(&a.ty, &a.field) != Some(Bucket::Global) {
+                continue;
+            }
+            if !seen.insert((a.ty.clone(), a.field.clone())) {
+                continue;
+            }
+            out.push((
+                a.line,
+                format!(
+                    "`{}` writes global-bucket state `{}.{}` in event-handler \
+                     scope — a zone-parallel event loop cannot order this \
+                     write; move it behind a commit point \
+                     (effects::COMMIT_POINTS) or justify with lint:allow",
+                    def.qual_name(),
+                    a.ty,
+                    a.field
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Field names whose declared type mentions `f64`, across the whole
+/// workspace — evidence that a `lhs += rhs` fold is a float
+/// accumulation.
+fn f64_field_names(an: &Analysis) -> BTreeSet<&str> {
+    let mut out = BTreeSet::new();
+    for s in &an.symbols {
+        for st in &s.structs {
+            for f in &st.fields {
+                if f.ty.contains("f64") {
+                    out.insert(f.name.as_str());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Raw-token spans of every `for`/`while`/`loop` body in the file, as
+/// `(open token, close token)` pairs.
+fn loop_spans(an: &Analysis, fi: usize) -> Vec<(usize, usize)> {
+    let ctx = &an.files[fi];
+    let code: Vec<usize> = ctx.code_tokens().map(|(i, _)| i).collect();
+    let mut spans = Vec::new();
+    let mut k = 0usize;
+    while k < code.len() {
+        let t = &ctx.toks[code[k]];
+        if !(t.is_ident("for") || t.is_ident("while") || t.is_ident("loop")) {
+            k += 1;
+            continue;
+        }
+        // The body: from the next `{` at delimiter depth 0 to its match.
+        let mut j = k + 1;
+        let mut depth = 0i32;
+        while j < code.len() {
+            let t = &ctx.toks[code[j]];
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if depth == 0 && t.is_punct('{') {
+                break;
+            }
+            j += 1;
+        }
+        let open = j;
+        let mut brace = 0i32;
+        while j < code.len() {
+            let t = &ctx.toks[code[j]];
+            if t.is_punct('{') {
+                brace += 1;
+            } else if t.is_punct('}') {
+                brace -= 1;
+                if brace == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        if open < code.len() {
+            spans.push((code[open], code[j.min(code.len() - 1)]));
+        }
+        k = open + 1;
+    }
+    spans
+}
+
+fn check_e2(an: &Analysis, fi: usize) -> Vec<(u32, String)> {
+    let spans = loop_spans(an, fi);
+    if spans.is_empty() {
+        return Vec::new();
+    }
+    let f64_fields = f64_field_names(an);
+    // Declared-type evidence for direct single-step accesses.
+    let declared_f64 = |ty: &str, field: &str| {
+        an.symbols.iter().any(|s| {
+            s.structs.iter().any(|st| {
+                st.name == ty
+                    && st
+                        .fields
+                        .iter()
+                        .any(|f| f.name == field && f.ty.contains("f64"))
+            })
+        })
+    };
+    let mut out = Vec::new();
+    for (di, _) in an.symbols[fi].defs.iter().enumerate() {
+        if !an.reachable[fi][di] {
+            continue;
+        }
+        for a in &an.effects.accesses[fi][di] {
+            if !a.write || !a.compound {
+                continue;
+            }
+            // Per-flow/per-hop folds are ordered by their owner's own
+            // event sequence; the hazard is accumulation into state
+            // merged across owners (per_zone) or shared (global).
+            if !matches!(
+                bucket_of(&a.ty, &a.field),
+                Some(Bucket::PerZone | Bucket::Global)
+            ) {
+                continue;
+            }
+            if !spans.iter().any(|&(o, c)| a.tok > o && a.tok < c) {
+                continue;
+            }
+            if !declared_f64(&a.ty, &a.field) && !f64_fields.contains(a.leaf.as_str()) {
+                continue;
+            }
+            out.push((
+                a.line,
+                format!(
+                    "f64 accumulation into `{}.{}` inside a loop in sim scope \
+                     — float addition does not associate, so the result \
+                     depends on iteration order; document the total order \
+                     that makes this deterministic with lint:allow",
+                    a.ty, a.field
+                ),
+            ));
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn check_e3(an: &Analysis, fi: usize) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for st in &an.symbols[fi].structs {
+        if st.is_test {
+            continue;
+        }
+        for f in &st.fields {
+            let key = (st.name.clone(), f.name.clone());
+            if bucket_of(&st.name, &f.name).is_some() {
+                continue;
+            }
+            if let Some(&(wfi, wline, ref via)) = an.effects.written.get(&key) {
+                out.push((
+                    f.line,
+                    format!(
+                        "sim-mutated field `{}.{}` has no state-model entry \
+                         (written at {}:{} by `{via}`) — classify it in \
+                         effects::STATE_MODEL (per_flow/per_hop/per_zone/global)",
+                        st.name, f.name, an.files[wfi].path, wline
+                    ),
+                ));
+            }
+        }
+        // Stale exact entries: the model names a field this struct no
+        // longer has (and no other declaration of the type has either).
+        let stale: Vec<&str> = crate::effects::STATE_MODEL
+            .iter()
+            .filter(|&&(ty, field, _)| {
+                ty == st.name
+                    && field != "*"
+                    && !an.symbols.iter().any(|s| {
+                        s.structs
+                            .iter()
+                            .any(|o| o.name == ty && o.fields.iter().any(|f| f.name == field))
+                    })
+            })
+            .map(|&(_, field, _)| field)
+            .collect();
+        if !stale.is_empty() {
+            out.push((
+                st.line,
+                format!(
+                    "stale state-model entries for `{}`: {} — the fields no \
+                     longer exist; remove or rename them in effects::STATE_MODEL",
+                    st.name,
+                    stale.join(", ")
+                ),
+            ));
+        }
+    }
+    out
+}

@@ -17,6 +17,7 @@ pub mod d3;
 pub mod d4;
 pub mod d5;
 pub mod d6;
+pub mod e;
 pub mod p;
 pub mod r;
 pub mod s;
@@ -35,11 +36,12 @@ pub fn all() -> Vec<Rule> {
     ]
 }
 
-/// Every call-graph-aware (P/R/S-family) rule, in id order.
+/// Every call-graph-aware (P/R/S/E-family) rule, in id order.
 pub fn graph_rules() -> Vec<GraphRule> {
     let mut out = p::rules();
     out.extend(r::rules());
     out.extend(s::rules());
+    out.extend(e::rules());
     out
 }
 
@@ -113,7 +115,7 @@ mod tests {
             }
         }
         assert_eq!(super::all().len(), 6);
-        assert_eq!(super::graph_rules().len(), 8);
+        assert_eq!(super::graph_rules().len(), 11);
     }
 
     #[test]

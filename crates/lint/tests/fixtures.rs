@@ -1,7 +1,8 @@
-//! Seeded-violation fixture suite: every rule (D1–D6) must fire on its
-//! fixture with the right `file:line` spans, the justified-allow fixture
-//! must scan clean, and the bare-allow fixture must produce both the
-//! `lint-allow` diagnostic and the unsuppressed finding.
+//! Seeded-violation fixture suite: every rule (token-level D1–D6 and
+//! call-graph P/R/S/E) must fire on its fixture with the right
+//! `file:line` spans, the justified-allow fixture must scan clean, and
+//! the bare-allow fixture must produce both the `lint-allow` diagnostic
+//! and the unsuppressed finding.
 //!
 //! Fixtures live in `tests/fixtures/` (not compile targets; the
 //! workspace walker skips `fixtures/` directories) and are scanned under
@@ -149,6 +150,50 @@ fn s3_fires_on_cells_not_use_statements() {
 }
 
 #[test]
+fn e1_fires_on_handler_global_writes_not_commit_points() {
+    let d = scan_fixture("bad_e1.rs");
+    // `on_spawn` writing `Simulator.churn` (15); the write behind the
+    // `finish` commit point (20) and the per_flow-bucket write (16) are
+    // silent.
+    assert_eq!(lines(&d, "e1-global-write-in-handler"), vec![15], "{d:#?}");
+}
+
+#[test]
+fn e2_fires_on_per_zone_folds_not_per_flow() {
+    let d = scan_fixture("bad_e2.rs");
+    // The `StreamingSummary.sum` fold (14, per_zone); the identical
+    // `FlowMetrics.bytes_acc` fold (26, per_flow) is owner-ordered and
+    // stays silent.
+    assert_eq!(
+        lines(&d, "e2-order-sensitive-float-accumulation"),
+        vec![14],
+        "{d:#?}"
+    );
+}
+
+#[test]
+fn e3_fires_on_unmodeled_fields_and_stale_entries() {
+    let d = scan_fixture("bad_e3.rs");
+    // The combined stale-entry finding at the struct declaration (7) and
+    // the unmodeled `rogue_counter` at its field declaration (8).
+    assert_eq!(lines(&d, "e3-unmodeled-state"), vec![7, 8], "{d:#?}");
+    let msgs: Vec<&str> = d.iter().map(|x| x.message.as_str()).collect();
+    assert!(msgs.iter().any(|m| m.contains("stale state-model entries")));
+    assert!(msgs
+        .iter()
+        .any(|m| m.contains("written at crates/netsim/src/bad_e3.rs:13 by `Simulator::run`")));
+}
+
+#[test]
+fn e3_catches_a_novel_struct_outside_the_bad_glob() {
+    // `unmodeled_field.rs` deliberately avoids the `bad_*` prefix: the
+    // gate script wires it in explicitly, and this test pins its span.
+    let d = scan_fixture("unmodeled_field.rs");
+    assert_eq!(lines(&d, "e3-unmodeled-state"), vec![8], "{d:#?}");
+    assert_eq!(d.len(), 1, "only the unmodeled finding: {d:#?}");
+}
+
+#[test]
 fn every_rule_fires_somewhere_in_the_fixture_set() {
     let all: Vec<Diagnostic> = [
         "bad_d1.rs",
@@ -165,6 +210,9 @@ fn every_rule_fires_somewhere_in_the_fixture_set() {
         "bad_s1.rs",
         "bad_s2.rs",
         "bad_s3.rs",
+        "bad_e1.rs",
+        "bad_e2.rs",
+        "bad_e3.rs",
     ]
     .iter()
     .flat_map(|f| scan_fixture(f))
@@ -201,7 +249,7 @@ fn every_bad_fixture_on_disk_is_covered_and_fails() {
         let d = scan_fixture(&name);
         assert!(!d.is_empty(), "negative control {name} scanned clean");
     }
-    assert!(saw >= 14, "expected the full bad_* suite, found {saw}");
+    assert!(saw >= 17, "expected the full bad_* suite, found {saw}");
 }
 
 #[test]

@@ -1,0 +1,22 @@
+//! Seeded e1 violations: handler-scope writes to global-bucket state.
+//! `on_spawn` (reached from the event-loop root `Simulator::run`) writes
+//! `Simulator.churn` — the zone-parallel ordering hazard e1 exists for.
+//! The `finish` write to `Simulator.net` sits behind a commit point
+//! (`effects::COMMIT_POINTS`) and must stay silent, as must the
+//! `per_flow`-bucket write to `Simulator.flows` in `on_spawn`.
+
+impl Simulator {
+    pub fn run(&mut self) {
+        self.on_spawn();
+        self.finish();
+    }
+
+    fn on_spawn(&mut self) {
+        self.churn = next_arrival();
+        self.flows = rebuild_flow_table();
+    }
+
+    fn finish(&mut self) {
+        self.net = recompute_routes();
+    }
+}

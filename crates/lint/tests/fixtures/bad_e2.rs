@@ -1,0 +1,36 @@
+//! Seeded e2 violation: an f64 `+=` fold inside a loop, into state the
+//! model classifies `per_zone` (`StreamingSummary` — merged across
+//! owners at zone boundaries, so iteration order is observable). The
+//! identical fold into `per_flow` state (`FlowMetrics` — ordered by its
+//! single owner's own event sequence) must stay silent.
+
+pub struct StreamingSummary {
+    pub sum: f64,
+}
+
+impl StreamingSummary {
+    pub fn absorb(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.sum += x;
+        }
+    }
+}
+
+pub struct FlowMetrics {
+    pub bytes_acc: f64,
+}
+
+impl FlowMetrics {
+    pub fn fold(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.bytes_acc += x;
+        }
+    }
+}
+
+impl Simulator {
+    pub fn run(&mut self, xs: &[f64]) {
+        self.totals.absorb(xs);
+        self.per_flow.fold(xs);
+    }
+}

@@ -1,0 +1,15 @@
+//! Seeded e3 violations: a `Simulator` field the state model has never
+//! heard of, mutated on the sim path (unmodeled — anchored at the field
+//! declaration), plus the flip side: because this lone declaration lacks
+//! every modeled `Simulator` field, the exact model entries all come back
+//! stale (one combined finding anchored at the struct declaration).
+
+pub struct Simulator {
+    pub rogue_counter: u64,
+}
+
+impl Simulator {
+    pub fn run(&mut self) {
+        self.rogue_counter += 1;
+    }
+}

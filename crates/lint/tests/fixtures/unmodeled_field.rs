@@ -1,0 +1,15 @@
+//! Effects-gate control (not part of the `bad_*` glob — wired into
+//! `scripts/lint_gate.sh` separately): a brand-new sim-scope struct whose
+//! field is mutated by reachable code must trip `e3-unmodeled-state`
+//! until someone classifies it in `effects::STATE_MODEL`. This is the
+//! ratchet that keeps the state model current as the codebase grows.
+
+pub struct ZoneLedger {
+    pub deficit: i64,
+}
+
+impl Simulator {
+    pub fn run(&mut self, ledger: &mut ZoneLedger) {
+        ledger.deficit = 0;
+    }
+}

@@ -438,6 +438,9 @@ impl Simulator {
     /// every previously freed slot — steady-state arrivals reuse the CC
     /// box already sitting in a recycled slot.
     pub fn with_churn_cc(mut self, factory: ChurnCcFactory) -> Simulator {
+        // lint:allow(e1-global-write-in-handler): builder-time write — the
+        // churn factory is installed before run() schedules the first event,
+        // so no zone can observe the mutation mid-loop.
         let churn = self
             .churn
             .as_mut()
@@ -927,6 +930,11 @@ impl Simulator {
             None => {
                 // Stranded: no alive on-path link leaves this router.
                 self.arena.free(id);
+                // lint:allow(e1-global-write-in-handler): PDES worklist — a
+                // monotone u64 drop counter; integer += commutes, so a
+                // zone-parallel loop keeps per-zone deltas and folds them at
+                // the next commit point. Tracked on the effects baseline
+                // (lint/effects_baseline.json).
                 if let Some(net) = self.net.as_mut() {
                     net.failover_drops += 1;
                 }
@@ -1123,6 +1131,11 @@ impl Simulator {
                 let cold = self.flows.cold_mut(i);
                 let bytes = cold.metrics.bytes() as f64;
                 cold.metrics.end_interval(now);
+                // lint:allow(e1-global-write-in-handler): PDES worklist — the
+                // churn completion stats (count, FCT/bytes summaries) are a
+                // cross-zone fold; the plan is per-zone StreamingSummary
+                // shards merged at commit points. Tracked on the effects
+                // baseline (lint/effects_baseline.json).
                 let Some(c) = self.churn.as_mut() else {
                     // Invariant: churn flows only exist with churn state.
                     // Tolerate: retire the flow, skip the stats update.
@@ -1254,6 +1267,11 @@ impl Simulator {
     fn on_spawn(&mut self) {
         let now = self.now;
         let (gap, bytes, rtt, spawn_seq) = {
+            // lint:allow(e1-global-write-in-handler): PDES worklist — the
+            // Poisson arrival process is a single global RNG stream; the
+            // plan is per-zone arrival streams with split seeds so spawns
+            // need no cross-zone order. Tracked on the effects baseline
+            // (lint/effects_baseline.json).
             let Some(c) = self.churn.as_mut() else {
                 // Tolerate a stray Spawn event: drop it (churn stops).
                 debug_assert!(false, "Spawn event without churn state");

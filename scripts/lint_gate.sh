@@ -40,6 +40,22 @@ if ! $REMY_LINT --allow-report --json > target/lint_allows.json; then
 fi
 echo "lint_gate: allow inventory written to target/lint_allows.json"
 
+# Effect analysis: the field-level read/write report over the state
+# model must show zero unmodeled sim-scope mutable fields and zero stale
+# model entries, and the global-write edge set must match the committed
+# baseline exactly (the PDES-partitionability ratchet — new edges fail,
+# burned-down edges demand a tightened baseline).
+echo "lint_gate: effect analysis + global-write ratchet..."
+if ! $REMY_LINT --effects --json --baseline lint/effects_baseline.json \
+        > target/lint_effects.json; then
+    echo "lint_gate: FAIL - effects gate (unmodeled state or a new"
+    echo "           global-write edge; see stderr above)"
+    exit 1
+fi
+echo "lint_gate: effects report written to target/lint_effects.json"
+echo "lint_gate: PDES readiness report..."
+$REMY_LINT --pdes-report
+
 # Negative control: every seeded-violation fixture, scanned under a
 # virtual in-scope path, must FAIL individually. A gate that stops
 # rejecting bad code is worse than no gate — and checking per fixture
@@ -53,6 +69,19 @@ for fixture in crates/lint/tests/fixtures/bad_*.rs; do
     fi
 done
 echo "lint_gate: all fixtures still rejected"
+
+# The unmodeled-field control sits outside the bad_* glob on purpose
+# (it exercises the e3 model-completeness path, not a seeded token
+# violation): a brand-new struct written by sim code must be rejected
+# until it is classified in effects::STATE_MODEL.
+echo "lint_gate: unmodeled-state control..."
+if $REMY_LINT --scope-as crates/netsim/src \
+        crates/lint/tests/fixtures/unmodeled_field.rs > /dev/null 2>&1; then
+    echo "lint_gate: FAIL - unmodeled_field.rs scanned clean;"
+    echo "           e3 no longer enforces state-model completeness"
+    exit 1
+fi
+echo "lint_gate: unmodeled-state control still rejected"
 
 # Dynamic lane: every EventQueue pop checked against a shadow reference
 # heap, every arena alloc/free audited for generation parity. Stable
